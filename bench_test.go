@@ -1,0 +1,134 @@
+// Benchmarks regenerating the paper's evaluation artefacts (one benchmark
+// per table/figure; see DESIGN.md §4 for the experiment index) plus
+// functional end-to-end micro-benchmarks of the public API.
+//
+// The figure benchmarks evaluate the calibrated hardware models at the
+// paper's database sizes and report the headline modeled metric via
+// b.ReportMetric; `impir-bench` prints the full tables. The functional
+// benchmarks execute the real engines on scaled databases.
+package impir
+
+import (
+	"testing"
+
+	"github.com/impir/impir/internal/bench"
+)
+
+func benchmarkFigure(b *testing.B, runner func(bench.Options) *bench.Report) {
+	opts := bench.Options{} // model layer only; functional verification is TestAllFiguresReproduceShapes's job
+	var r *bench.Report
+	for i := 0; i < b.N; i++ {
+		r = runner(opts)
+	}
+	if r == nil || !r.AllChecksPass() {
+		b.Fatalf("%s failed its paper-shape checks", r.ID)
+	}
+	b.ReportMetric(float64(len(r.Rows)), "series-points")
+}
+
+func BenchmarkFig3aBreakdown(b *testing.B)      { benchmarkFigure(b, bench.Fig3a) }
+func BenchmarkFig3bRoofline(b *testing.B)       { benchmarkFigure(b, bench.Fig3b) }
+func BenchmarkFig9aThroughputVsDB(b *testing.B) { benchmarkFigure(b, bench.Fig9a) }
+func BenchmarkFig9bThroughputVsBatch(b *testing.B) {
+	benchmarkFigure(b, bench.Fig9b)
+}
+func BenchmarkFig9cLatencyVsDB(b *testing.B)    { benchmarkFigure(b, bench.Fig9c) }
+func BenchmarkFig9dLatencyVsBatch(b *testing.B) { benchmarkFigure(b, bench.Fig9d) }
+func BenchmarkFig10aPIMBreakdown(b *testing.B)  { benchmarkFigure(b, bench.Fig10a) }
+func BenchmarkFig10bCPUBreakdown(b *testing.B)  { benchmarkFigure(b, bench.Fig10b) }
+func BenchmarkTable1PhaseShares(b *testing.B)   { benchmarkFigure(b, bench.Table1) }
+func BenchmarkFig11aClusterThroughput(b *testing.B) {
+	benchmarkFigure(b, bench.Fig11a)
+}
+func BenchmarkFig11bClusterLatency(b *testing.B) { benchmarkFigure(b, bench.Fig11b) }
+func BenchmarkFig12aEngineThroughput(b *testing.B) {
+	benchmarkFigure(b, bench.Fig12a)
+}
+func BenchmarkFig12bEngineLatency(b *testing.B) { benchmarkFigure(b, bench.Fig12b) }
+
+// --- Functional end-to-end benchmarks on scaled databases ---
+
+func setupBenchServer(b *testing.B, kind EngineKind, records int) *Server {
+	b.Helper()
+	srv, err := NewServer(ServerConfig{
+		Engine:      kind,
+		DPUs:        16,
+		Tasklets:    8,
+		EvalWorkers: 2,
+		Threads:     2,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	db, err := GenerateHashDB(records, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := srv.Load(db); err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(func() { srv.Close() })
+	return srv
+}
+
+func benchmarkEngineQuery(b *testing.B, kind EngineKind) {
+	const records = 1 << 14
+	srv := setupBenchServer(b, kind, records)
+	k0, _, err := GenerateKeys(records, 42)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.SetBytes(int64(records) * 32)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := srv.Answer(k0); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkQueryPIMEngine(b *testing.B) { benchmarkEngineQuery(b, EnginePIM) }
+func BenchmarkQueryCPUEngine(b *testing.B) { benchmarkEngineQuery(b, EngineCPU) }
+func BenchmarkQueryGPUEngine(b *testing.B) { benchmarkEngineQuery(b, EngineGPU) }
+
+func BenchmarkQueryBatch32PIM(b *testing.B) {
+	const records = 1 << 13
+	srv := setupBenchServer(b, EnginePIM, records)
+	keys := make([]*Key, 32)
+	for i := range keys {
+		k0, _, err := GenerateKeys(records, uint64(i*97)%records)
+		if err != nil {
+			b.Fatal(err)
+		}
+		keys[i] = k0
+	}
+	b.SetBytes(int64(records) * 32 * int64(len(keys)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := srv.AnswerBatch(keys); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkGenerateKeys(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, _, err := GenerateKeys(1<<20, uint64(i)&(1<<20-1)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkReconstruct(b *testing.B) {
+	r0 := make([]byte, 32)
+	r1 := make([]byte, 32)
+	for i := range r0 {
+		r0[i], r1[i] = byte(i), byte(i*7)
+	}
+	b.SetBytes(32)
+	for i := 0; i < b.N; i++ {
+		if _, err := Reconstruct(r0, r1); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

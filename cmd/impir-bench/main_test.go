@@ -1,0 +1,51 @@
+package main
+
+import (
+	"os"
+	"strings"
+	"testing"
+)
+
+func TestRunSingleExperiment(t *testing.T) {
+	// Model layer only (verify-records 0) keeps this fast.
+	if err := run([]string{"-experiment", "fig3b", "-verify-records", "0"}); err != nil {
+		t.Fatalf("run(fig3b): %v", err)
+	}
+}
+
+func TestRunUnknownExperiment(t *testing.T) {
+	if err := run([]string{"-experiment", "fig99"}); err == nil {
+		t.Fatal("unknown experiment accepted")
+	}
+}
+
+func TestRunBadFlag(t *testing.T) {
+	if err := run([]string{"-no-such-flag"}); err == nil {
+		t.Fatal("bad flag accepted")
+	}
+}
+
+func TestRunnerNamesRegistered(t *testing.T) {
+	for _, name := range sortedNames() {
+		if _, ok := runners[name]; !ok {
+			t.Errorf("experiment %q listed but not registered", name)
+		}
+	}
+	if len(runners) != len(sortedNames()) {
+		t.Errorf("%d runners registered but %d listed", len(runners), len(sortedNames()))
+	}
+}
+
+func TestRunWritesCSV(t *testing.T) {
+	dir := t.TempDir()
+	if err := run([]string{"-experiment", "table1", "-verify-records", "0", "-csv", dir}); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(dir + "/table-1.csv")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), "dpXOR") {
+		t.Fatalf("csv missing expected column: %s", data)
+	}
+}

@@ -1,0 +1,27 @@
+package main
+
+import "testing"
+
+func TestParseIndices(t *testing.T) {
+	got, err := parseIndices("1, 2,30")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []uint64{1, 2, 30}
+	if len(got) != len(want) {
+		t.Fatalf("got %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("got %v, want %v", got, want)
+		}
+	}
+}
+
+func TestParseIndicesRejectsGarbage(t *testing.T) {
+	for _, s := range []string{"", "abc", "1,,2", "-5"} {
+		if _, err := parseIndices(s); err == nil {
+			t.Errorf("parseIndices(%q) accepted", s)
+		}
+	}
+}

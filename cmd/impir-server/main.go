@@ -1,0 +1,112 @@
+// Command impir-server runs one PIR server of a multi-server deployment.
+//
+// The server synthesises (or loads) its database replica deterministically
+// from a seed, so two independently started servers with the same
+// -records/-seed flags hold byte-identical replicas — which the client
+// verifies on connect via database digests.
+//
+// A two-server deployment on one machine:
+//
+//	impir-server -listen 127.0.0.1:7100 -party 0 -records 65536 -seed 7 &
+//	impir-server -listen 127.0.0.1:7101 -party 1 -records 65536 -seed 7 &
+//	impir-client -servers 127.0.0.1:7100,127.0.0.1:7101 -index 123
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"os"
+	"os/signal"
+	"syscall"
+
+	"github.com/impir/impir"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "impir-server:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		listen   = flag.String("listen", "127.0.0.1:7100", "address to listen on")
+		party    = flag.Int("party", 0, "server index in the deployment (0 or 1)")
+		engine   = flag.String("engine", "pim", "compute engine: pim, cpu, or gpu")
+		records  = flag.Int("records", 1<<16, "records in the synthetic hash database")
+		seed     = flag.Int64("seed", 1, "database generator seed (must match the peer server)")
+		workload = flag.String("workload", "hash", "database workload: hash, ct, credentials, blocklist")
+		dpus     = flag.Int("dpus", 0, "PIM engine: DPU count (0 = 2048)")
+		clusters = flag.Int("clusters", 0, "PIM engine: DPU clusters (0 = 1)")
+		threads  = flag.Int("threads", 0, "CPU engine: worker threads (0 = 32)")
+	)
+	flag.Parse()
+
+	if *party < 0 || *party > 1 {
+		return fmt.Errorf("party %d must be 0 or 1", *party)
+	}
+	kind, err := impir.ParseEngineKind(*engine)
+	if err != nil {
+		return err
+	}
+
+	db, err := buildDatabase(*workload, *records, *seed)
+	if err != nil {
+		return err
+	}
+
+	srv, err := impir.NewServer(impir.ServerConfig{
+		Engine:   kind,
+		DPUs:     *dpus,
+		Clusters: *clusters,
+		Threads:  *threads,
+	})
+	if err != nil {
+		return err
+	}
+	defer srv.Close()
+
+	log.Printf("loading %d×%dB records (%s workload, seed %d) into %s engine…",
+		db.NumRecords(), db.RecordSize(), *workload, *seed, srv.EngineName())
+	if err := srv.Load(db); err != nil {
+		return err
+	}
+	digest := srv.Database().Digest()
+	log.Printf("replica digest %x", digest[:8])
+
+	lis, err := net.Listen("tcp", *listen)
+	if err != nil {
+		return err
+	}
+	if err := srv.Serve(lis, uint8(*party)); err != nil {
+		return err
+	}
+	log.Printf("party %d serving %s engine on %s", *party, srv.EngineName(), srv.Addr())
+
+	stop := make(chan os.Signal, 1)
+	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
+	<-stop
+	log.Printf("shutting down")
+	return nil
+}
+
+func buildDatabase(workload string, records int, seed int64) (*impir.DB, error) {
+	switch workload {
+	case "hash":
+		return impir.GenerateHashDB(records, seed)
+	case "ct":
+		db, _, err := impir.GenerateCTLog(records, seed)
+		return db, err
+	case "credentials":
+		db, _, err := impir.GenerateCredentialDB(records, seed)
+		return db, err
+	case "blocklist":
+		db, _, err := impir.GenerateBlocklist(records, seed)
+		return db, err
+	default:
+		return nil, fmt.Errorf("unknown workload %q (want hash, ct, credentials, or blocklist)", workload)
+	}
+}

@@ -1,0 +1,35 @@
+package main
+
+import "testing"
+
+func TestBuildDatabaseWorkloads(t *testing.T) {
+	for _, w := range []string{"hash", "ct", "credentials", "blocklist"} {
+		db, err := buildDatabase(w, 64, 7)
+		if err != nil {
+			t.Fatalf("buildDatabase(%q): %v", w, err)
+		}
+		if db.NumRecords() != 64 || db.RecordSize() != 32 {
+			t.Errorf("%q geometry = (%d,%d)", w, db.NumRecords(), db.RecordSize())
+		}
+	}
+}
+
+func TestBuildDatabaseDeterministicAcrossParties(t *testing.T) {
+	a, err := buildDatabase("hash", 128, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := buildDatabase("hash", 128, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Digest() != b.Digest() {
+		t.Fatal("two servers with the same flags built different replicas")
+	}
+}
+
+func TestBuildDatabaseUnknownWorkload(t *testing.T) {
+	if _, err := buildDatabase("nope", 64, 1); err == nil {
+		t.Fatal("unknown workload accepted")
+	}
+}

@@ -1,0 +1,54 @@
+package impir_test
+
+import (
+	"bytes"
+	"fmt"
+
+	"github.com/impir/impir"
+)
+
+// The complete two-server protocol in one process: generate a key pair,
+// answer on both replicas, reconstruct.
+func Example() {
+	db, _ := impir.GenerateHashDB(1024, 7)
+	s0, _ := impir.NewServer(impir.ServerConfig{DPUs: 16, Tasklets: 8})
+	s1, _ := impir.NewServer(impir.ServerConfig{DPUs: 16, Tasklets: 8})
+	_ = s0.Load(db)
+	_ = s1.Load(db)
+	defer s0.Close()
+	defer s1.Close()
+
+	k0, k1, _ := impir.GenerateKeys(db.NumRecords(), 42)
+	r0, _, _ := s0.Answer(k0)
+	r1, _, _ := s1.Answer(k1)
+	record, _ := impir.Reconstruct(r0, r1)
+
+	fmt.Println(bytes.Equal(record, db.Record(42)))
+	// Output: true
+}
+
+// Reconstruct XORs any number of subresults — here a three-server
+// deployment using the naive share encoding.
+func ExampleReconstruct() {
+	db, _ := impir.GenerateHashDB(256, 3)
+	shares, _ := impir.GenerateShares(db.NumRecords(), 99, 3)
+
+	subresults := make([][]byte, 3)
+	for i := range subresults {
+		s, _ := impir.NewServer(impir.ServerConfig{Engine: impir.EngineCPU, Threads: 2})
+		defer s.Close()
+		_ = s.Load(db)
+		subresults[i], _, _ = s.AnswerShare(shares[i])
+	}
+
+	record, _ := impir.Reconstruct(subresults...)
+	fmt.Println(bytes.Equal(record, db.Record(99)))
+	// Output: true
+}
+
+// DomainFor reports the DPF tree depth for a database size.
+func ExampleDomainFor() {
+	d, _ := impir.DomainFor(1_000_000)
+	fmt.Println(d)
+	// Output: 20
+}

@@ -1,0 +1,151 @@
+// Package impir is a Go implementation of IM-PIR — in-memory private
+// information retrieval (Mwaisela et al., MIDDLEWARE 2025) — together
+// with the complete stack it builds on: a tree-based distributed point
+// function (DPF), a functional UPMEM processing-in-memory simulator with
+// a calibrated timing model, CPU and GPU baseline engines, a Paillier
+// single-server PIR for comparison, and a TCP transport for two-server
+// deployments.
+//
+// # Protocol
+//
+// Two-server PIR: a public database D of N fixed-size records is
+// replicated on two non-colluding servers. To fetch D[i] privately, the
+// client generates a DPF key pair with GenerateKeys — two keys that
+// secret-share the one-hot indicator of i — and sends one key to each
+// server. Each server expands its key over the full index space and XORs
+// together the records whose share bit is set (the dpXOR scan, offloaded
+// to PIM DPUs by the IM-PIR engine). The client XORs the two subresults
+// with Reconstruct to obtain D[i]. Neither server learns anything about
+// i, and each server's work is a linear scan regardless of the query —
+// the "all-for-one" principle that makes PIR memory-bound and PIM a
+// natural fit.
+//
+// # Quick start
+//
+//	db, _ := impir.GenerateHashDB(1<<12, 1) // 4096 random 32-byte records
+//	s0, _ := impir.NewServer(impir.ServerConfig{})
+//	s1, _ := impir.NewServer(impir.ServerConfig{})
+//	s0.Load(db)
+//	s1.Load(db)
+//	k0, k1, _ := impir.GenerateKeys(db.NumRecords(), 42)
+//	r0, _, _ := s0.Answer(k0)
+//	r1, _, _ := s1.Answer(k1)
+//	record, _ := impir.Reconstruct(r0, r1) // == db.Record(42)
+//
+// See the examples/ directory for runnable programs, including network
+// deployments over TCP.
+package impir
+
+import (
+	"errors"
+	"fmt"
+	"math/bits"
+
+	"github.com/impir/impir/internal/database"
+	"github.com/impir/impir/internal/dpf"
+	"github.com/impir/impir/internal/metrics"
+	"github.com/impir/impir/internal/xorop"
+)
+
+// Key is one party's DPF query key. Keys are generated in pairs by
+// GenerateKeys; each key individually reveals nothing about the queried
+// index. Keys implement encoding.BinaryMarshaler/Unmarshaler for
+// transmission.
+type Key = dpf.Key
+
+// DB is a PIR database: N fixed-size records replicated across servers.
+type DB = database.DB
+
+// Breakdown is a per-phase timing report for one query: both measured
+// wall-clock and the modeled duration on the paper's hardware.
+type Breakdown = metrics.Breakdown
+
+// BatchStats summarises a processed batch (throughput, latency, per-query
+// phase breakdown).
+type BatchStats = metrics.BatchStats
+
+// CTEntry is a synthetic Certificate Transparency log entry produced by
+// GenerateCTLog.
+type CTEntry = database.CTEntry
+
+// NewDatabase returns a zero-filled database with the given geometry.
+func NewDatabase(numRecords, recordSize int) (*DB, error) {
+	return database.New(numRecords, recordSize)
+}
+
+// DatabaseFromRecords builds a database from equally sized records.
+func DatabaseFromRecords(records [][]byte) (*DB, error) {
+	return database.FromRecords(records)
+}
+
+// GenerateHashDB synthesises the paper's evaluation workload: numRecords
+// pseudorandom 32-byte hash records, deterministic in seed.
+func GenerateHashDB(numRecords int, seed int64) (*DB, error) {
+	return database.GenerateHashDB(numRecords, seed)
+}
+
+// GenerateCTLog synthesises a Certificate Transparency log and its PIR
+// database of leaf hashes (the §5.2 CT auditing use case).
+func GenerateCTLog(numCerts int, seed int64) (*DB, []CTEntry, error) {
+	return database.GenerateCTLog(numCerts, seed)
+}
+
+// GenerateCredentialDB synthesises a breached-credential hash database
+// (the §5.2 compromised-credential checking use case).
+func GenerateCredentialDB(numCreds int, seed int64) (*DB, []string, error) {
+	return database.GenerateCredentialDB(numCreds, seed)
+}
+
+// GenerateBlocklist synthesises a private-blocklist database of hashed
+// malicious URLs.
+func GenerateBlocklist(numURLs int, seed int64) (*DB, []string, error) {
+	return database.GenerateBlocklist(numURLs, seed)
+}
+
+// CredentialHash returns the digest a credential-checking deployment
+// stores for one credential.
+func CredentialHash(password string) [32]byte {
+	return database.CredentialHash(password)
+}
+
+// DomainFor returns the DPF tree depth covering a database of numRecords:
+// ⌈log₂ numRecords⌉. Keys for a database must be generated at exactly
+// this domain; GenerateKeys does so automatically.
+func DomainFor(numRecords int) (int, error) {
+	if numRecords < 1 {
+		return 0, fmt.Errorf("impir: numRecords %d must be ≥ 1", numRecords)
+	}
+	return bits.Len(uint(numRecords - 1)), nil
+}
+
+// GenerateKeys produces the two-server query for index: a DPF key pair
+// secret-sharing the one-hot indicator of index over a database of
+// numRecords records. Send k0 to server 0 and k1 to server 1; neither
+// key alone reveals index.
+func GenerateKeys(numRecords int, index uint64) (k0, k1 *Key, err error) {
+	domain, err := DomainFor(numRecords)
+	if err != nil {
+		return nil, nil, err
+	}
+	if index >= uint64(numRecords) {
+		return nil, nil, fmt.Errorf("impir: index %d outside database of %d records", index, numRecords)
+	}
+	return dpf.Gen(dpf.Params{Domain: domain}, index, nil)
+}
+
+// Reconstruct XORs the servers' subresults into the queried record.
+// With the standard two-server deployment pass exactly two subresults;
+// deployments with more servers pass one per server.
+func Reconstruct(subresults ...[]byte) ([]byte, error) {
+	if len(subresults) < 2 {
+		return nil, errors.New("impir: reconstruction needs at least two subresults")
+	}
+	out := make([]byte, len(subresults[0]))
+	copy(out, subresults[0])
+	for i, sub := range subresults[1:] {
+		if err := xorop.XORBytes(out, sub); err != nil {
+			return nil, fmt.Errorf("impir: subresult %d: %w", i+1, err)
+		}
+	}
+	return out, nil
+}

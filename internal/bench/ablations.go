@@ -1,0 +1,395 @@
+package bench
+
+import (
+	"fmt"
+	"runtime"
+	"time"
+
+	"github.com/impir/impir/internal/database"
+	"github.com/impir/impir/internal/dpf"
+	"github.com/impir/impir/internal/impir"
+	"github.com/impir/impir/internal/naivepir"
+	"github.com/impir/impir/internal/pim"
+	"github.com/impir/impir/internal/pimkernel"
+	"github.com/impir/impir/internal/singleserver"
+)
+
+// The ablations below probe the design choices §3 argues for, beyond the
+// paper's numbered figures: the DPF traversal strategy (§3.2), DPU
+// pipeline occupancy (§5.2's "16 tasklets"), DPF vs naive query encoding
+// (§2.3), single- vs multi-server server cost (Take-away 1), and the two
+// batch evaluation schedules (§3.4).
+
+// AblationEvalStrategies measures the four full-domain DPF evaluation
+// strategies of §3.2 functionally on the local machine.
+func AblationEvalStrategies(opts Options) *Report {
+	r := &Report{
+		ID:      "Ablation A1",
+		Title:   "DPF full-domain evaluation strategies (§3.2), measured locally",
+		Columns: []string{"strategy", "domain", "wall (ms)", "vs subtree"},
+	}
+	const domain = 16
+	workers := runtime.GOMAXPROCS(0)
+	k0, _, err := dpf.Gen(dpf.Params{Domain: domain}, 12345, nil)
+	if err != nil {
+		r.AddCheck("setup", false, "%v", err)
+		return r
+	}
+
+	strategies := []dpf.Strategy{
+		dpf.StrategySubtree,
+		dpf.StrategyMemoryBounded,
+		dpf.StrategyLevelByLevel,
+		dpf.StrategyBranchParallel,
+	}
+	times := make(map[dpf.Strategy]time.Duration)
+	for _, s := range strategies {
+		// Warm-up, then best-of-3 to de-noise the shared machine.
+		best := time.Duration(1<<62 - 1)
+		for rep := 0; rep < 4; rep++ {
+			start := time.Now()
+			if _, err := k0.EvalFull(dpf.FullEvalOptions{Strategy: s, Workers: workers}); err != nil {
+				r.AddCheck("evaluation", false, "%v", err)
+				return r
+			}
+			if d := time.Since(start); rep > 0 && d < best {
+				best = d
+			}
+		}
+		times[s] = best
+	}
+	base := times[dpf.StrategySubtree]
+	for _, s := range strategies {
+		r.Rows = append(r.Rows, []string{
+			s.String(), fmt.Sprintf("%d", domain), fmtMS(times[s]),
+			fmt.Sprintf("%.2fx", float64(times[s])/float64(base)),
+		})
+	}
+	r.AddCheck("branch-parallel pays the redundant-path penalty (§3.2)",
+		times[dpf.StrategyBranchParallel] > 2*times[dpf.StrategySubtree],
+		"%.1fx slower than subtree",
+		float64(times[dpf.StrategyBranchParallel])/float64(times[dpf.StrategySubtree]))
+	r.AddNote("IM-PIR uses the subtree partition; memory-bounded is Lam et al.'s GPU traversal")
+	return r
+}
+
+// AblationTasklets sweeps the per-DPU tasklet count through the modeled
+// dpXOR kernel, reproducing the pipeline-occupancy rationale for running
+// 16 tasklets ("above 11 is recommended", §5.2).
+func AblationTasklets(opts Options) *Report {
+	r := &Report{
+		ID:      "Ablation A2",
+		Title:   "dpXOR kernel time vs DPU tasklet count (pipeline occupancy)",
+		Columns: []string{"tasklets", "modeled kernel (ms)", "vs 16 tasklets"},
+	}
+	const recordsPerDPU = 16384 // 512 KB chunk: the 1 GiB / 2048 DPU point
+	cfg := pim.DefaultConfig()
+	ref := time.Duration(0)
+	durations := make([]time.Duration, 0, 7)
+	taskletCounts := []int{1, 2, 4, 8, 11, 16, 24}
+	for _, t := range taskletCounts {
+		cfg.TaskletsPerDPU = t
+		instr, dma := pimkernel.ModelCost(recordsPerDPU, recordSize, t)
+		d := cfg.KernelDuration(instr, dma)
+		durations = append(durations, d)
+		if t == 16 {
+			ref = d
+		}
+	}
+	for i, t := range taskletCounts {
+		r.Rows = append(r.Rows, []string{
+			fmt.Sprintf("%d", t), fmtMS(durations[i]),
+			fmt.Sprintf("%.2fx", float64(durations[i])/float64(ref)),
+		})
+	}
+	r.AddCheck("kernel time saturates at ≥ 11 tasklets (§5.2)",
+		durations[4] < durations[3] && // 11 beats 8
+			float64(durations[6])/float64(durations[5]) > 0.95, // 24 ≈ 16
+		"11 tasklets %.2f ms, 16 tasklets %.2f ms, 24 tasklets %.2f ms",
+		durations[4].Seconds()*1e3, durations[5].Seconds()*1e3, durations[6].Seconds()*1e3)
+	r.AddCheck("single tasklet pays the full pipeline bubble (~11x compute)",
+		float64(durations[0]) > 3*float64(durations[5]),
+		"1 tasklet is %.1fx the 16-tasklet time",
+		float64(durations[0])/float64(durations[5]))
+	return r
+}
+
+// AblationCommunication compares per-server query sizes of the DPF
+// encoding (O(λ log N)) against the naive Figure 2 encoding (O(N)).
+func AblationCommunication(opts Options) *Report {
+	r := &Report{
+		ID:      "Ablation A3",
+		Title:   "Query communication per server: DPF vs naive secret-sharing (§2.3)",
+		Columns: []string{"DB records", "DPF key (bytes)", "naive share (bytes)", "naive/DPF"},
+	}
+	var lastRatio float64
+	for _, domain := range []int{16, 20, 25, 30} {
+		n := 1 << domain
+		dpfBytes := keyWireSize(domain)
+		naiveBytes := n / 8
+		lastRatio = float64(naiveBytes) / float64(dpfBytes)
+		r.Rows = append(r.Rows, []string{
+			fmt.Sprintf("2^%d", domain),
+			fmt.Sprintf("%d", dpfBytes),
+			fmt.Sprintf("%d", naiveBytes),
+			fmt.Sprintf("%.0fx", lastRatio),
+		})
+	}
+	r.AddCheck("DPF keys are ≥ 10000x smaller at 2^30 records", lastRatio > 1e4,
+		"%.0fx", lastRatio)
+	r.AddNote("both encodings drive the identical dpXOR scan; internal/naivepir cross-checks the results")
+	return r
+}
+
+// AblationSingleServer quantifies Take-away 1: the per-record server cost
+// of FHE-style single-server PIR (Paillier, §2.2) versus the XOR scan of
+// multi-server PIR, measured functionally.
+func AblationSingleServer(opts Options) *Report {
+	r := &Report{
+		ID:      "Ablation A4",
+		Title:   "Server cost per record: single-server (homomorphic) vs multi-server (XOR)",
+		Columns: []string{"scheme", "records", "server time", "per record"},
+	}
+	const numRecords = 64
+	db, err := database.GenerateHashDB(numRecords, 3)
+	if err != nil {
+		r.AddCheck("setup", false, "%v", err)
+		return r
+	}
+
+	// Single-server: Paillier homomorphic dot product.
+	client, err := singleserver.NewClient(nil, 512)
+	if err != nil {
+		r.AddCheck("setup", false, "%v", err)
+		return r
+	}
+	srv, err := singleserver.NewServer(db)
+	if err != nil {
+		r.AddCheck("setup", false, "%v", err)
+		return r
+	}
+	q, err := client.BuildQuery(7, numRecords)
+	if err != nil {
+		r.AddCheck("setup", false, "%v", err)
+		return r
+	}
+	resp, err := srv.Answer(q)
+	if err != nil {
+		r.AddCheck("single-server answer", false, "%v", err)
+		return r
+	}
+	singlePerRecord := resp.ServerTime / numRecords
+
+	// Multi-server: one server's XOR scan over a much larger database,
+	// normalised per record.
+	const xorRecords = 1 << 18
+	bigDB, err := database.GenerateHashDB(xorRecords, 4)
+	if err != nil {
+		r.AddCheck("setup", false, "%v", err)
+		return r
+	}
+	nq, err := naivepir.Gen(nil, xorRecords, 12345, 2)
+	if err != nil {
+		r.AddCheck("setup", false, "%v", err)
+		return r
+	}
+	start := time.Now()
+	if _, err := naivepir.Answer(bigDB, nq.Shares[0]); err != nil {
+		r.AddCheck("multi-server answer", false, "%v", err)
+		return r
+	}
+	xorTime := time.Since(start)
+	xorPerRecord := xorTime / xorRecords
+
+	r.Rows = append(r.Rows, []string{
+		"single-server (Paillier-512)", fmt.Sprintf("%d", numRecords),
+		resp.ServerTime.Round(time.Microsecond).String(),
+		singlePerRecord.Round(time.Nanosecond).String(),
+	})
+	r.Rows = append(r.Rows, []string{
+		"multi-server (XOR scan)", fmt.Sprintf("%d", xorRecords),
+		xorTime.Round(time.Microsecond).String(),
+		xorPerRecord.Round(time.Nanosecond).String(),
+	})
+	ratio := float64(singlePerRecord) / float64(max64(int64(xorPerRecord), 1))
+	r.AddCheck("homomorphic per-record cost ≥ 100x the XOR per-record cost (Take-away 1)",
+		ratio >= 100, "%.0fx", ratio)
+	r.AddNote("lightweight XOR work is what maps onto PIM DPUs; modular exponentiation does not")
+	return r
+}
+
+// AblationEvalModes compares the two §3.4 batch-evaluation schedules
+// through the modeled pipeline at 1 GiB.
+func AblationEvalModes(opts Options) *Report {
+	r := &Report{
+		ID:      "Ablation A5",
+		Title:   "Batch evaluation scheduling (§3.4): per-key workers vs per-query-parallel",
+		Columns: []string{"batch", "per-key workers (QPS)", "per-query-parallel (QPS)"},
+	}
+	n := recordsFor(1)
+	perKey := paperPIM()
+	perKey.EvalMode = impir.EvalPerKeyWorkers
+	perQuery := paperPIM()
+	perQuery.EvalMode = impir.EvalPerQueryParallel
+
+	var convergeHigh, convergeLow float64
+	for _, b := range []int{4, 16, 64, 256} {
+		mk, _ := perKey.batch(n, b)
+		mq, _ := perQuery.batch(n, b)
+		r.Rows = append(r.Rows, []string{
+			fmt.Sprintf("%d", b), fmtQPS(qps(b, mk)), fmtQPS(qps(b, mq)),
+		})
+		if b == 256 {
+			convergeHigh = qps(b, mq)
+			convergeLow = qps(b, mk)
+		}
+	}
+	r.AddCheck("both schedules converge at large batches (same aggregate resources)",
+		convergeHigh/convergeLow < 1.4 && convergeLow/convergeHigh < 1.4,
+		"batch 256: %.0f vs %.0f QPS", convergeLow, convergeHigh)
+	r.AddNote("per-query-parallel fills the pipeline faster at small batches; " +
+		"per-key workers avoid intra-eval synchronisation")
+	return r
+}
+
+// AblationResidentVsBatched quantifies the value of §3.3's database
+// preloading by comparing the modeled per-query cost of the resident
+// ("one-shot") mode against the streaming fallback that restages the
+// database through MRAM on every query.
+func AblationResidentVsBatched(opts Options) *Report {
+	r := &Report{
+		ID:      "Ablation A6",
+		Title:   "Database preloading (§3.3): resident one-shot vs per-query streaming",
+		Columns: []string{"DB (GB)", "resident query (ms)", "streamed query (ms)", "penalty"},
+	}
+	pm := paperPIM()
+	cfg := pm.PIM
+	var worst float64
+	for _, sizeGB := range []float64{1, 4, 16} {
+		n := recordsFor(sizeGB)
+		bd := pm.phases(n)
+		resident := bd.TotalModeled()
+
+		// Streaming adds one full-database CPU→DPU transfer per query.
+		staging := cfg.HostToDPUDuration(dbBytes(n), cfg.Ranks)
+		streamed := resident + staging
+
+		penalty := float64(streamed) / float64(resident)
+		if penalty > worst {
+			worst = penalty
+		}
+		r.Rows = append(r.Rows, []string{
+			fmt.Sprintf("%.0f", sizeGB), fmtMS(resident), fmtMS(streamed),
+			fmt.Sprintf("%.1fx", penalty),
+		})
+	}
+	r.AddCheck("restaging the DB per query is ruinous (why IM-PIR preloads)",
+		worst > 5, "up to %.1fx slower", worst)
+	r.AddNote("the engine falls back to streaming automatically when the DB exceeds " +
+		"aggregate MRAM, trading this penalty for unbounded database size")
+	return r
+}
+
+// AblationBandwidthScaling reproduces the §2.4 bandwidth story with the
+// Stream probe kernel: per-DPU MRAM bandwidth is fixed (≈700 MB/s), so
+// aggregate bandwidth scales linearly to TB/s across the machine — the
+// property the CPU's shared memory bus cannot match. The small points run
+// functionally on the simulator; the full-machine points use the same
+// analytic model the simulator charges.
+func AblationBandwidthScaling(opts Options) *Report {
+	r := &Report{
+		ID:      "Ablation A7",
+		Title:   "Aggregate MRAM bandwidth vs DPU count (§2.4, STREAM-style probe)",
+		Columns: []string{"DPUs", "aggregate bandwidth", "source"},
+	}
+	const perDPUBytes = 1 << 20
+
+	// Functional points: launch the probe on real simulated DPUs.
+	var funcBW []float64
+	for _, dpus := range []int{1, 4, 16} {
+		cfg := pim.DefaultConfig()
+		cfg.Ranks = 1
+		cfg.DPUsPerRank = dpus
+		cfg.MRAMPerDPU = 2 * perDPUBytes
+		cfg.LaunchOverhead = 0
+		sys, err := pim.NewSystem(cfg)
+		if err != nil {
+			r.AddCheck("setup", false, "%v", err)
+			return r
+		}
+		ids := make([]int, dpus)
+		args := make([][]byte, dpus)
+		for i := range ids {
+			ids[i] = i
+			if err := sys.Preload(i, 0, make([]byte, perDPUBytes)); err != nil {
+				r.AddCheck("setup", false, "%v", err)
+				return r
+			}
+			args[i] = pimkernel.StreamArgs{Offset: 0, Length: perDPUBytes, OutOffset: perDPUBytes}.Marshal()
+		}
+		cost, err := sys.Launch(ids, pimkernel.Stream{}, args)
+		if err != nil {
+			r.AddCheck("stream launch", false, "%v", err)
+			return r
+		}
+		bw := float64(dpus) * perDPUBytes / cost.Modeled.Seconds()
+		funcBW = append(funcBW, bw)
+		r.Rows = append(r.Rows, []string{
+			fmt.Sprintf("%d", dpus), fmtBW(bw), "functional simulation",
+		})
+	}
+
+	// Full-machine points from the same analytic charge formulas.
+	cfg := pim.DefaultConfig()
+	instr := int64(perDPUBytes / 8 * 1) // cyclesPerStreamWord = 1
+	perDPU := cfg.KernelDuration(instr, perDPUBytes) - cfg.LaunchOverhead
+	var fullBW float64
+	for _, dpus := range []int{256, 2048, 2560} {
+		bw := float64(dpus) * perDPUBytes / perDPU.Seconds()
+		fullBW = bw
+		r.Rows = append(r.Rows, []string{
+			fmt.Sprintf("%d", dpus), fmtBW(bw), "analytic (same model)",
+		})
+	}
+
+	scaling := funcBW[2] / funcBW[0]
+	r.AddCheck("bandwidth scales linearly with DPU count",
+		scaling > 14 && scaling < 18,
+		"1→16 DPUs: %.0f→%.0f MB/s (%.1fx)", funcBW[0]/1e6, funcBW[2]/1e6, scaling)
+	r.AddCheck("full machine reaches TB/s aggregate (§2.4: ≈1.8–2 TB/s)",
+		fullBW > 1.2e12 && fullBW < 2.2e12, "%.2f TB/s at 2560 DPUs", fullBW/1e12)
+	r.AddNote("a dual-socket CPU tops out near 0.06 TB/s of DRAM bandwidth — the ~30x " +
+		"gap is the memory-wall argument of §1/§2.4")
+	return r
+}
+
+func fmtBW(bytesPerSec float64) string {
+	switch {
+	case bytesPerSec >= 1e12:
+		return fmt.Sprintf("%.2f TB/s", bytesPerSec/1e12)
+	case bytesPerSec >= 1e9:
+		return fmt.Sprintf("%.2f GB/s", bytesPerSec/1e9)
+	default:
+		return fmt.Sprintf("%.0f MB/s", bytesPerSec/1e6)
+	}
+}
+
+// Ablations runs all ablation experiments.
+func Ablations(opts Options) []*Report {
+	return []*Report{
+		AblationEvalStrategies(opts),
+		AblationTasklets(opts),
+		AblationCommunication(opts),
+		AblationSingleServer(opts),
+		AblationEvalModes(opts),
+		AblationResidentVsBatched(opts),
+		AblationBandwidthScaling(opts),
+	}
+}
+
+func max64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}

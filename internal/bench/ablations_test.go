@@ -1,0 +1,20 @@
+package bench
+
+import "testing"
+
+func TestAblationsPass(t *testing.T) {
+	reports := Ablations(Options{})
+	if len(reports) != 7 {
+		t.Fatalf("got %d ablation reports, want 7", len(reports))
+	}
+	for _, r := range reports {
+		if len(r.Rows) == 0 {
+			t.Errorf("%s: no rows", r.ID)
+		}
+		for _, c := range r.Checks {
+			if !c.OK {
+				t.Errorf("%s: %s — %s", r.ID, c.Name, c.Detail)
+			}
+		}
+	}
+}

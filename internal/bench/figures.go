@@ -1,0 +1,568 @@
+package bench
+
+import (
+	"fmt"
+	"time"
+
+	"github.com/impir/impir/internal/impir"
+	"github.com/impir/impir/internal/metrics"
+	"github.com/impir/impir/internal/roofline"
+)
+
+// Options configures the experiment runners.
+type Options struct {
+	// VerifyRecords sets the scaled database size (in records) for the
+	// functional verification layer; 0 skips verification.
+	VerifyRecords int
+}
+
+// DefaultOptions verifies on a 4096-record database.
+func DefaultOptions() Options { return Options{VerifyRecords: 1 << 12} }
+
+func fmtMS(d time.Duration) string { return fmt.Sprintf("%.2f", float64(d.Microseconds())/1000) }
+func fmtS(d time.Duration) string  { return fmt.Sprintf("%.3f", d.Seconds()) }
+func fmtQPS(v float64) string      { return fmt.Sprintf("%.1f", v) }
+
+func attachVerification(r *Report, opts Options) {
+	if opts.VerifyRecords <= 0 {
+		return
+	}
+	note, err := verifyFunctional(opts.VerifyRecords)
+	if err != nil {
+		r.AddCheck("functional verification (scaled DB)", false, "%v", err)
+		return
+	}
+	r.AddCheck("functional verification (scaled DB)", true, "%s", note)
+}
+
+// Fig3a regenerates Figure 3(a): single-query Gen/Eval/dpXOR times on the
+// CPU baseline for 1–4 GB databases (single thread, no batch contention).
+func Fig3a(opts Options) *Report {
+	r := &Report{
+		ID:      "Figure 3a",
+		Title:   "DPF-PIR execution-time breakdown on CPU (single query, single thread)",
+		Columns: []string{"DB (GB)", "Gen (ms)", "Eval (ms)", "dpXOR (ms)"},
+	}
+	m := paperCPU()
+	var evals, scans []time.Duration
+	for _, sizeGB := range []float64{1, 2, 4} {
+		n := recordsFor(sizeGB)
+		gen := m.Host.KeyGenDuration(domainOf(n))
+		eval := m.Host.EvalDuration(uint64(n), 1)
+		scan := m.Host.ScanDuration(dbBytes(n), 1)
+		evals = append(evals, eval)
+		scans = append(scans, scan)
+		r.Rows = append(r.Rows, []string{
+			fmt.Sprintf("%.0f", sizeGB), fmtMS(gen), fmtMS(eval), fmtMS(scan),
+		})
+	}
+	last := len(scans) - 1
+	r.AddCheck("dpXOR dominates Eval at every size", scans[0] > evals[0] && scans[last] > evals[last],
+		"dpXOR/Eval = %.1fx at 4 GB (paper reports ≈ 10x with an unoptimised single-thread eval)",
+		scans[last].Seconds()/evals[last].Seconds())
+	gen := paperCPU().Host.KeyGenDuration(domainOf(recordsFor(4)))
+	r.AddCheck("Eval ≫ Gen (≈1000x)", evals[last] > 1000*gen,
+		"Eval/Gen = %.0fx", evals[last].Seconds()/gen.Seconds())
+	r.AddCheck("server time at 4 GB is seconds-scale (paper: ≈3 s)",
+		evals[last]+scans[last] > time.Second && evals[last]+scans[last] < 10*time.Second,
+		"total = %.2f s", (evals[last] + scans[last]).Seconds())
+	attachVerification(r, opts)
+	return r
+}
+
+// Fig3b regenerates Figure 3(b): the roofline placement of Eval and dpXOR
+// on the CPU baseline — both memory-bound, dpXOR deepest.
+func Fig3b(opts Options) *Report {
+	r := &Report{
+		ID:      "Figure 3b",
+		Title:   "Roofline model: operational intensity of PIR server kernels",
+		Columns: []string{"kernel", "OI (op/B)", "achieved (Gop/s)", "attainable (Gop/s)", "region"},
+	}
+	machine := roofline.CPUBaselineMachine()
+	m := paperCPU()
+	n := recordsFor(4)
+	kernels := []roofline.Kernel{
+		roofline.GenKernel(domainOf(n), m.Host.KeyGenDuration(domainOf(n))),
+		roofline.EvalKernel(uint64(n), m.Host.EvalDuration(uint64(n), 1)),
+		roofline.DpXORKernel(dbBytes(n), 0.5, m.Host.ScanDuration(dbBytes(n), 1)),
+	}
+	for _, k := range kernels {
+		region := "compute-bound"
+		if machine.MemoryBound(k.Intensity()) {
+			region = "memory-bound"
+		}
+		r.Rows = append(r.Rows, []string{
+			k.Name,
+			fmt.Sprintf("%.4f", k.Intensity()),
+			fmt.Sprintf("%.2f", k.AchievedOpsPerSec()/1e9),
+			fmt.Sprintf("%.2f", machine.AttainableOpsPerSec(k.Intensity())/1e9),
+			region,
+		})
+	}
+	eval, dpxor := kernels[1], kernels[2]
+	r.AddCheck("dpXOR is memory-bound", machine.MemoryBound(dpxor.Intensity()),
+		"OI %.4f < ridge %.4f", dpxor.Intensity(), machine.RidgeIntensity())
+	r.AddCheck("Eval is memory-bound", machine.MemoryBound(eval.Intensity()),
+		"OI %.4f < ridge %.4f", eval.Intensity(), machine.RidgeIntensity())
+	r.AddCheck("dpXOR has the lowest operational intensity", dpxor.Intensity() < eval.Intensity(),
+		"dpXOR %.4f vs Eval %.4f", dpxor.Intensity(), eval.Intensity())
+	r.AddNote("ridge point of %s: %.3f op/B", machine.Name, machine.RidgeIntensity())
+	attachVerification(r, opts)
+	return r
+}
+
+var fig9Sizes = []float64{0.5, 1, 2, 4, 8}
+
+// fig9Data computes the Figure 9 sweep once for all four panels.
+func fig9Data(batch int) (cpuQPS, pimQPS []float64, cpuLat, pimLat []time.Duration) {
+	cpu, pm := paperCPU(), paperPIM()
+	for _, sizeGB := range fig9Sizes {
+		n := recordsFor(sizeGB)
+		cms, _ := cpu.batch(n, batch)
+		pms, _ := pm.batch(n, batch)
+		cpuQPS = append(cpuQPS, qps(batch, cms))
+		pimQPS = append(pimQPS, qps(batch, pms))
+		cpuLat = append(cpuLat, cms)
+		pimLat = append(pimLat, pms)
+	}
+	return cpuQPS, pimQPS, cpuLat, pimLat
+}
+
+// Fig9a regenerates Figure 9(a): throughput vs DB size at batch 32.
+func Fig9a(opts Options) *Report {
+	const batch = 32
+	r := &Report{
+		ID:      "Figure 9a",
+		Title:   "Throughput vs DB size (batch = 32)",
+		Columns: []string{"DB (GB)", "CPU-PIR (QPS)", "IM-PIR (QPS)", "speedup"},
+	}
+	cpuQPS, pimQPS, _, _ := fig9Data(batch)
+	var speedups []float64
+	for i, sizeGB := range fig9Sizes {
+		s := pimQPS[i] / cpuQPS[i]
+		speedups = append(speedups, s)
+		r.Rows = append(r.Rows, []string{
+			fmt.Sprintf("%.1f", sizeGB), fmtQPS(cpuQPS[i]), fmtQPS(pimQPS[i]),
+			fmt.Sprintf("%.2fx", s),
+		})
+	}
+	last := len(speedups) - 1
+	r.AddCheck("IM-PIR wins at every size", minF(speedups) > 1,
+		"min speedup %.2fx", minF(speedups))
+	r.AddCheck("speedup ≈ 1.7x at 0.5 GB (paper: 1.7x)", speedups[0] > 1.3 && speedups[0] < 2.6,
+		"%.2fx", speedups[0])
+	r.AddCheck("speedup > 3.5x at 8 GB (paper: >3.7x)", speedups[last] >= 3.5,
+		"%.2fx", speedups[last])
+	r.AddCheck("speedup grows with DB size", speedups[last] > speedups[0],
+		"%.2fx → %.2fx", speedups[0], speedups[last])
+	attachVerification(r, opts)
+	return r
+}
+
+// Fig9c regenerates Figure 9(c): latency vs DB size at batch 32.
+func Fig9c(opts Options) *Report {
+	const batch = 32
+	r := &Report{
+		ID:      "Figure 9c",
+		Title:   "Latency vs DB size (batch = 32)",
+		Columns: []string{"DB (GB)", "CPU-PIR (s)", "IM-PIR (s)"},
+	}
+	_, _, cpuLat, pimLat := fig9Data(batch)
+	for i, sizeGB := range fig9Sizes {
+		r.Rows = append(r.Rows, []string{
+			fmt.Sprintf("%.1f", sizeGB), fmtS(cpuLat[i]), fmtS(pimLat[i]),
+		})
+	}
+	last := len(fig9Sizes) - 1
+	cpuSlope := cpuLat[last].Seconds() / cpuLat[0].Seconds()
+	pimSlope := pimLat[last].Seconds() / pimLat[0].Seconds()
+	r.AddCheck("both latencies grow with DB size", cpuSlope > 1 && pimSlope > 1,
+		"CPU x%.1f, IM-PIR x%.1f over a 16x size range", cpuSlope, pimSlope)
+	r.AddCheck("IM-PIR scales better (smaller slope)", pimSlope < cpuSlope,
+		"IM-PIR x%.1f vs CPU x%.1f", pimSlope, cpuSlope)
+	r.AddCheck("IM-PIR latency lower at every size", pimLat[0] < cpuLat[0] && pimLat[last] < cpuLat[last],
+		"at 8 GB: %.2f s vs %.2f s", pimLat[last].Seconds(), cpuLat[last].Seconds())
+	attachVerification(r, opts)
+	return r
+}
+
+var fig9Batches = []int{4, 8, 16, 32, 64, 128, 256, 512}
+
+// Fig9b regenerates Figure 9(b): throughput vs batch size at DB = 1 GB.
+func Fig9b(opts Options) *Report {
+	r := &Report{
+		ID:      "Figure 9b",
+		Title:   "Throughput vs batch size (DB = 1 GiB)",
+		Columns: []string{"batch", "CPU-PIR (QPS)", "IM-PIR (QPS)", "ratio"},
+	}
+	cpu, pm := paperCPU(), paperPIM()
+	n := recordsFor(1)
+	var cpuQPS, pimQPS []float64
+	for _, b := range fig9Batches {
+		cms, _ := cpu.batch(n, b)
+		pms, _ := pm.batch(n, b)
+		cq, pq := qps(b, cms), qps(b, pms)
+		cpuQPS = append(cpuQPS, cq)
+		pimQPS = append(pimQPS, pq)
+		r.Rows = append(r.Rows, []string{
+			fmt.Sprintf("%d", b), fmtQPS(cq), fmtQPS(pq), fmt.Sprintf("%.2fx", pq/cq),
+		})
+	}
+	r.AddCheck("IM-PIR throughput roughly flat across batch sizes (single cluster)",
+		maxF(pimQPS[1:])/minF(pimQPS[1:]) < 1.6,
+		"max/min = %.2f over batches ≥ 8", maxF(pimQPS[1:])/minF(pimQPS[1:]))
+	meanAdvantage := avgF(pimQPS) / avgF(cpuQPS)
+	r.AddCheck("mean advantage ≈ 2.6x (paper: 2.6x on average)",
+		meanAdvantage > 1.8 && meanAdvantage < 4.5,
+		"mean IM-PIR QPS / mean CPU QPS = %.2fx", meanAdvantage)
+	attachVerification(r, opts)
+	return r
+}
+
+// Fig9d regenerates Figure 9(d): latency vs batch size at DB = 1 GB.
+func Fig9d(opts Options) *Report {
+	r := &Report{
+		ID:      "Figure 9d",
+		Title:   "Latency vs batch size (DB = 1 GiB)",
+		Columns: []string{"batch", "CPU-PIR (s)", "IM-PIR (s)"},
+	}
+	cpu, pm := paperCPU(), paperPIM()
+	n := recordsFor(1)
+	var cpuLat, pimLat []time.Duration
+	for _, b := range fig9Batches {
+		cms, _ := cpu.batch(n, b)
+		pms, _ := pm.batch(n, b)
+		cpuLat = append(cpuLat, cms)
+		pimLat = append(pimLat, pms)
+		r.Rows = append(r.Rows, []string{fmt.Sprintf("%d", b), fmtS(cms), fmtS(pms)})
+	}
+	last := len(fig9Batches) - 1
+	r.AddCheck("latency grows with batch size for both systems",
+		cpuLat[last] > cpuLat[0] && pimLat[last] > pimLat[0],
+		"CPU %.2f→%.2f s, IM-PIR %.2f→%.2f s",
+		cpuLat[0].Seconds(), cpuLat[last].Seconds(), pimLat[0].Seconds(), pimLat[last].Seconds())
+	r.AddCheck("IM-PIR latency lower throughout", pimLat[last] < cpuLat[last],
+		"at batch 512: %.2f s vs %.2f s", pimLat[last].Seconds(), cpuLat[last].Seconds())
+	attachVerification(r, opts)
+	return r
+}
+
+var fig10Sizes = []float64{1, 2, 4, 8, 16, 32}
+
+// fig10PIM returns the Fig. 10(a) configuration: per-query-parallel
+// evaluation with 8 workers, the setup under which the paper's phase
+// shares (Table 1) were measured.
+func fig10PIM() pimModel {
+	m := paperPIM()
+	m.EvalMode = impir.EvalPerQueryParallel
+	m.EvalWorkers = 8
+	return m
+}
+
+// Fig10a regenerates Figure 10(a): IM-PIR per-phase latency, 1–32 GB.
+func Fig10a(opts Options) *Report {
+	r := &Report{
+		ID:    "Figure 10a",
+		Title: "Latency breakdown of IM-PIR server phases",
+		Columns: []string{"DB (GB)", "Eval (ms)", "copy cpu→pim (ms)", "dpXOR (ms)",
+			"copy pim→cpu (ms)", "aggregation (ms)", "total (ms)"},
+	}
+	m := fig10PIM()
+	evalDominant := true
+	for _, sizeGB := range fig10Sizes {
+		bd := m.phases(recordsFor(sizeGB))
+		if bd.Modeled[metrics.PhaseEval] < bd.Modeled[metrics.PhaseDpXOR] {
+			evalDominant = false
+		}
+		r.Rows = append(r.Rows, []string{
+			fmt.Sprintf("%.0f", sizeGB),
+			fmtMS(bd.Modeled[metrics.PhaseEval]),
+			fmtMS(bd.Modeled[metrics.PhaseCopyToPIM]),
+			fmtMS(bd.Modeled[metrics.PhaseDpXOR]),
+			fmtMS(bd.Modeled[metrics.PhaseCopyToHost]),
+			fmtMS(bd.Modeled[metrics.PhaseAggregate]),
+			fmtMS(bd.TotalModeled()),
+		})
+	}
+	bd32 := m.phases(recordsFor(32))
+	r.AddCheck("Eval is the dominant IM-PIR phase at every size (Take-away 4)", evalDominant,
+		"at 32 GB: Eval %.0f ms vs dpXOR %.0f ms",
+		float64(bd32.Modeled[metrics.PhaseEval].Milliseconds()),
+		float64(bd32.Modeled[metrics.PhaseDpXOR].Milliseconds()))
+	r.AddCheck("total at 32 GB is sub-second (paper: ≈0.7 s)",
+		bd32.TotalModeled() > 300*time.Millisecond && bd32.TotalModeled() < 1500*time.Millisecond,
+		"%.0f ms", float64(bd32.TotalModeled().Milliseconds()))
+	attachVerification(r, opts)
+	return r
+}
+
+// Fig10b regenerates Figure 10(b): CPU-PIR per-phase latency, 1–32 GB.
+func Fig10b(opts Options) *Report {
+	r := &Report{
+		ID:      "Figure 10b",
+		Title:   "Latency breakdown of CPU-PIR server phases",
+		Columns: []string{"DB (GB)", "Eval (ms)", "dpXOR (ms)", "total (ms)"},
+	}
+	m := paperCPU()
+	dpxorDominant := true
+	for _, sizeGB := range fig10Sizes {
+		bd := m.phases(recordsFor(sizeGB), m.Host.Threads)
+		if bd.Modeled[metrics.PhaseDpXOR] < bd.Modeled[metrics.PhaseEval] {
+			dpxorDominant = false
+		}
+		r.Rows = append(r.Rows, []string{
+			fmt.Sprintf("%.0f", sizeGB),
+			fmtMS(bd.Modeled[metrics.PhaseEval]),
+			fmtMS(bd.Modeled[metrics.PhaseDpXOR]),
+			fmtMS(bd.TotalModeled()),
+		})
+	}
+	r.AddCheck("dpXOR is the dominant CPU-PIR phase at every size (Take-away 4)", dpxorDominant, "")
+	attachVerification(r, opts)
+	return r
+}
+
+// Table1 regenerates Table 1: mean per-phase share of query latency.
+func Table1(opts Options) *Report {
+	r := &Report{
+		ID:    "Table 1",
+		Title: "Average per-phase contribution to server-side query latency",
+		Columns: []string{"approach", "DPF Eval", "CPU→DPU copy", "dpXOR",
+			"DPU→CPU copy", "aggregation"},
+	}
+	pimM := fig10PIM()
+	cpuM := paperCPU()
+
+	var pimShares, cpuShares [metrics.NumPhases]float64
+	for _, sizeGB := range fig10Sizes {
+		n := recordsFor(sizeGB)
+		pb := pimM.phases(n)
+		cb := cpuM.phases(n, cpuM.Host.Threads)
+		for _, p := range metrics.Phases() {
+			pimShares[p] += pb.ModeledShare(p) / float64(len(fig10Sizes))
+			cpuShares[p] += cb.ModeledShare(p) / float64(len(fig10Sizes))
+		}
+	}
+	pct := func(v float64) string { return fmt.Sprintf("%.2f%%", v*100) }
+	r.Rows = append(r.Rows, []string{
+		"IM-PIR",
+		pct(pimShares[metrics.PhaseEval]),
+		pct(pimShares[metrics.PhaseCopyToPIM]),
+		pct(pimShares[metrics.PhaseDpXOR]),
+		pct(pimShares[metrics.PhaseCopyToHost]),
+		pct(pimShares[metrics.PhaseAggregate]),
+	})
+	r.Rows = append(r.Rows, []string{
+		"CPU-PIR",
+		pct(cpuShares[metrics.PhaseEval]),
+		"N/A",
+		pct(cpuShares[metrics.PhaseDpXOR]),
+		"N/A",
+		"N/A",
+	})
+	r.AddCheck("IM-PIR: Eval ≈ 76% (paper: 76.45%)",
+		pimShares[metrics.PhaseEval] > 0.60 && pimShares[metrics.PhaseEval] < 0.90,
+		"%.1f%%", pimShares[metrics.PhaseEval]*100)
+	r.AddCheck("IM-PIR: dpXOR ≈ 16% (paper: 16.20%)",
+		pimShares[metrics.PhaseDpXOR] > 0.07 && pimShares[metrics.PhaseDpXOR] < 0.30,
+		"%.1f%%", pimShares[metrics.PhaseDpXOR]*100)
+	r.AddCheck("IM-PIR: copies ≈ 7% (paper: 7.35% combined)",
+		pimShares[metrics.PhaseCopyToPIM]+pimShares[metrics.PhaseCopyToHost] < 0.15,
+		"%.1f%%", (pimShares[metrics.PhaseCopyToPIM]+pimShares[metrics.PhaseCopyToHost])*100)
+	r.AddCheck("CPU-PIR: dpXOR ≈ 83% (paper: 83.36%)",
+		cpuShares[metrics.PhaseDpXOR] > 0.70 && cpuShares[metrics.PhaseDpXOR] < 0.92,
+		"%.1f%%", cpuShares[metrics.PhaseDpXOR]*100)
+	attachVerification(r, opts)
+	return r
+}
+
+var (
+	fig11Clusters = []int{1, 2, 4, 8}
+	fig11Batches  = []int{4, 8, 16, 32, 64, 128, 256}
+)
+
+// fig11Sweep computes the DPU-clustering sweep at DB = 1 GB.
+func fig11Sweep() map[int]map[int]time.Duration {
+	out := make(map[int]map[int]time.Duration)
+	n := recordsFor(1)
+	for _, c := range fig11Clusters {
+		m := paperPIM()
+		m.Clusters = c
+		out[c] = make(map[int]time.Duration)
+		for _, b := range fig11Batches {
+			ms, _ := m.batch(n, b)
+			out[c][b] = ms
+		}
+	}
+	return out
+}
+
+// Fig11a regenerates Figure 11(a): clustering effect on throughput.
+func Fig11a(opts Options) *Report {
+	r := &Report{
+		ID:      "Figure 11a",
+		Title:   "DPU clustering: throughput vs batch size (DB = 1 GiB)",
+		Columns: []string{"batch", "1 cluster", "2 clusters", "4 clusters", "8 clusters"},
+	}
+	sweep := fig11Sweep()
+	for _, b := range fig11Batches {
+		row := []string{fmt.Sprintf("%d", b)}
+		for _, c := range fig11Clusters {
+			row = append(row, fmtQPS(qps(b, sweep[c][b])))
+		}
+		r.Rows = append(r.Rows, row)
+	}
+	bigBatch := fig11Batches[len(fig11Batches)-1]
+	gain := qps(bigBatch, sweep[8][bigBatch]) / qps(bigBatch, sweep[1][bigBatch])
+	r.AddCheck("8 clusters ≈ 1.35x throughput of 1 cluster (paper: up to 1.35x)",
+		gain > 1.15 && gain < 1.7, "%.2fx at batch %d", gain, bigBatch)
+	monotonic := true
+	for i := 1; i < len(fig11Clusters); i++ {
+		if qps(bigBatch, sweep[fig11Clusters[i]][bigBatch]) < qps(bigBatch, sweep[fig11Clusters[i-1]][bigBatch])*0.98 {
+			monotonic = false
+		}
+	}
+	r.AddCheck("throughput non-decreasing in cluster count at large batch", monotonic, "")
+	attachVerification(r, opts)
+	return r
+}
+
+// Fig11b regenerates Figure 11(b): clustering effect on latency.
+func Fig11b(opts Options) *Report {
+	r := &Report{
+		ID:      "Figure 11b",
+		Title:   "DPU clustering: batch latency vs batch size (DB = 1 GiB)",
+		Columns: []string{"batch", "1 cluster (s)", "2 clusters (s)", "4 clusters (s)", "8 clusters (s)"},
+	}
+	sweep := fig11Sweep()
+	for _, b := range fig11Batches {
+		row := []string{fmt.Sprintf("%d", b)}
+		for _, c := range fig11Clusters {
+			row = append(row, fmtS(sweep[c][b]))
+		}
+		r.Rows = append(r.Rows, row)
+	}
+	bigBatch := fig11Batches[len(fig11Batches)-1]
+	r.AddCheck("more clusters lower batch latency at large batch",
+		sweep[8][bigBatch] < sweep[1][bigBatch],
+		"1 cluster %.3f s vs 8 clusters %.3f s",
+		sweep[1][bigBatch].Seconds(), sweep[8][bigBatch].Seconds())
+	attachVerification(r, opts)
+	return r
+}
+
+var fig12Sizes = []float64{0.125, 0.25, 0.5, 0.75, 1}
+
+// fig12Sweep computes the engine comparison at batch 32.
+func fig12Sweep() (cpuMS, gpuMS, pimMS []time.Duration) {
+	const batch = 32
+	cpu, gpu, pm := paperCPU(), paperGPU(), paperPIM()
+	for _, sizeGB := range fig12Sizes {
+		n := recordsFor(sizeGB)
+		c, _ := cpu.batch(n, batch)
+		g, _ := gpu.batch(n, batch)
+		p, _ := pm.batch(n, batch)
+		cpuMS = append(cpuMS, c)
+		gpuMS = append(gpuMS, g)
+		pimMS = append(pimMS, p)
+	}
+	return cpuMS, gpuMS, pimMS
+}
+
+// Fig12a regenerates Figure 12(a): CPU vs PIM vs GPU throughput.
+func Fig12a(opts Options) *Report {
+	const batch = 32
+	r := &Report{
+		ID:      "Figure 12a",
+		Title:   "CPU vs PIM vs GPU: throughput vs DB size (batch = 32)",
+		Columns: []string{"DB (GB)", "CPU-PIR (QPS)", "GPU-PIR (QPS)", "IM-PIR (QPS)"},
+	}
+	cpuMS, gpuMS, pimMS := fig12Sweep()
+	for i, sizeGB := range fig12Sizes {
+		r.Rows = append(r.Rows, []string{
+			fmt.Sprintf("%.3f", sizeGB),
+			fmtQPS(qps(batch, cpuMS[i])), fmtQPS(qps(batch, gpuMS[i])), fmtQPS(qps(batch, pimMS[i])),
+		})
+	}
+	last := len(fig12Sizes) - 1
+	cq, gq, pq := qps(batch, cpuMS[last]), qps(batch, gpuMS[last]), qps(batch, pimMS[last])
+	r.AddCheck("ordering at 1 GB: IM-PIR > GPU-PIR > CPU-PIR", pq > gq && gq > cq,
+		"PIM %.0f / GPU %.0f / CPU %.0f QPS", pq, gq, cq)
+	r.AddCheck("IM-PIR/GPU ≈ 1.34x at 1 GB (paper: up to 1.34x)", pq/gq > 1.1 && pq/gq < 2.2,
+		"%.2fx", pq/gq)
+	r.AddCheck("GPU/CPU ≈ 1.36x at 1 GB (paper: up to 1.36x)", gq/cq > 1.1 && gq/cq < 2.2,
+		"%.2fx", gq/cq)
+	r.AddNote("at very small DBs the GPU approaches or passes PIM — consistent with " +
+		"the paper's observation that GPUs excel when memory bandwidth is not the bottleneck")
+	r.AddNote("0.75 GB pads to the same 2^25-record power-of-two layout as 1 GB, " +
+		"so those rows coincide (all engines pad identically)")
+	attachVerification(r, opts)
+	return r
+}
+
+// Fig12b regenerates Figure 12(b): CPU vs PIM vs GPU latency.
+func Fig12b(opts Options) *Report {
+	const batch = 32
+	r := &Report{
+		ID:      "Figure 12b",
+		Title:   "CPU vs PIM vs GPU: batch latency vs DB size (batch = 32)",
+		Columns: []string{"DB (GB)", "CPU-PIR (s)", "GPU-PIR (s)", "IM-PIR (s)"},
+	}
+	cpuMS, gpuMS, pimMS := fig12Sweep()
+	for i, sizeGB := range fig12Sizes {
+		r.Rows = append(r.Rows, []string{
+			fmt.Sprintf("%.3f", sizeGB), fmtS(cpuMS[i]), fmtS(gpuMS[i]), fmtS(pimMS[i]),
+		})
+	}
+	last := len(fig12Sizes) - 1
+	r.AddCheck("latency ordering at 1 GB: IM-PIR < GPU-PIR < CPU-PIR",
+		pimMS[last] < gpuMS[last] && gpuMS[last] < cpuMS[last],
+		"PIM %.3f / GPU %.3f / CPU %.3f s",
+		pimMS[last].Seconds(), gpuMS[last].Seconds(), cpuMS[last].Seconds())
+	attachVerification(r, opts)
+	return r
+}
+
+// All runs every experiment. Functional verification is executed once and
+// shared, since it is engine-level rather than per-figure.
+func All(opts Options) []*Report {
+	first := opts
+	rest := opts
+	rest.VerifyRecords = 0
+	reports := []*Report{Fig3a(first)}
+	for _, f := range []func(Options) *Report{
+		Fig3b, Fig9a, Fig9b, Fig9c, Fig9d, Fig10a, Fig10b, Table1,
+		Fig11a, Fig11b, Fig12a, Fig12b,
+	} {
+		reports = append(reports, f(rest))
+	}
+	return reports
+}
+
+func minF(xs []float64) float64 {
+	m := xs[0]
+	for _, x := range xs[1:] {
+		if x < m {
+			m = x
+		}
+	}
+	return m
+}
+
+func maxF(xs []float64) float64 {
+	m := xs[0]
+	for _, x := range xs[1:] {
+		if x > m {
+			m = x
+		}
+	}
+	return m
+}
+
+func avgF(xs []float64) float64 {
+	var s float64
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}

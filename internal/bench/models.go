@@ -1,0 +1,180 @@
+package bench
+
+import (
+	"time"
+
+	"github.com/impir/impir/internal/gpupir"
+	"github.com/impir/impir/internal/hostmodel"
+	"github.com/impir/impir/internal/impir"
+	"github.com/impir/impir/internal/metrics"
+	"github.com/impir/impir/internal/pim"
+	"github.com/impir/impir/internal/pimkernel"
+)
+
+// recordSize is the paper's record size: one SHA-256 digest.
+const recordSize = 32
+
+const gib = float64(1 << 30)
+
+// recordsFor converts a database size in GiB to a power-of-two-padded
+// record count (the engines pad, so the models must too).
+func recordsFor(sizeGiB float64) int {
+	n := int(sizeGiB * gib / recordSize)
+	p := 1
+	for p < n {
+		p <<= 1
+	}
+	return p
+}
+
+// dbBytes is the padded database size in bytes.
+func dbBytes(n int) int64 { return int64(n) * recordSize }
+
+// keyWireSize mirrors the dpf key encoding: 25-byte header plus 17 bytes
+// per tree level.
+func keyWireSize(domain int) int { return 25 + 17*domain }
+
+func domainOf(n int) int {
+	d := 0
+	for 1<<d < n {
+		d++
+	}
+	return d
+}
+
+// pimModel evaluates IM-PIR's per-query phase durations on the paper's
+// hardware for a given configuration, mirroring exactly what the engine
+// charges per phase during functional execution.
+type pimModel struct {
+	PIM         pim.Config
+	Host        hostmodel.Model
+	DPUs        int
+	Clusters    int
+	EvalWorkers int
+	EvalMode    impir.EvalMode
+}
+
+// paperPIM returns the §5.2 IM-PIR configuration: 2048 DPUs at 350 MHz,
+// 16 tasklets, and the §3.2 subtree-parallel host evaluation across all
+// host threads — query i+1's evaluation overlaps query i's dpXOR, the
+// pipelining that keeps IM-PIR's throughput flat across batch sizes
+// (Fig. 9b).
+func paperPIM() pimModel {
+	host := hostmodel.PIMHost()
+	return pimModel{
+		PIM:         pim.DefaultConfig(),
+		Host:        host,
+		DPUs:        2048,
+		Clusters:    1,
+		EvalWorkers: host.Threads,
+		EvalMode:    impir.EvalPerQueryParallel,
+	}
+}
+
+// phases returns one query's modeled per-phase durations.
+func (m pimModel) phases(numRecords int) metrics.Breakdown {
+	var bd metrics.Breakdown
+	dpusPerCluster := m.DPUs / m.Clusters
+	ranksPerCluster := m.PIM.Ranks * dpusPerCluster / m.PIM.NumDPUs()
+	if ranksPerCluster < 1 {
+		ranksPerCluster = 1
+	}
+	recordsPerDPU := (numRecords + dpusPerCluster - 1) / dpusPerCluster
+	recordsPerDPU = (recordsPerDPU + 63) / 64 * 64
+
+	evalThreads := 1
+	if m.EvalMode == impir.EvalPerQueryParallel {
+		evalThreads = m.EvalWorkers
+	}
+	bd.AddPhase(metrics.PhaseEval, 0, m.Host.EvalDuration(uint64(numRecords), evalThreads))
+	bd.AddPhase(metrics.PhaseCopyToPIM, 0,
+		m.PIM.HostToDPUDuration(int64(numRecords)/8, ranksPerCluster))
+	instr, dma := pimkernel.ModelCost(recordsPerDPU, recordSize, m.PIM.TaskletsPerDPU)
+	bd.AddPhase(metrics.PhaseDpXOR, 0, m.PIM.KernelDuration(instr, dma))
+	bd.AddPhase(metrics.PhaseCopyToHost, 0,
+		m.PIM.DPUToHostDuration(int64(dpusPerCluster)*recordSize, ranksPerCluster))
+	bd.AddPhase(metrics.PhaseAggregate, 0, m.Host.XORFoldDuration(dpusPerCluster, recordSize))
+	return bd
+}
+
+// batch returns the modeled makespan of a batch through the Fig. 8
+// pipeline and the per-query breakdown.
+func (m pimModel) batch(numRecords, batchSize int) (time.Duration, metrics.Breakdown) {
+	bd := m.phases(numRecords)
+	evalDur := make([]time.Duration, batchSize)
+	pimDur := make([]time.Duration, batchSize)
+	perPIM := bd.TotalModeled() - bd.Modeled[metrics.PhaseEval]
+	for i := range evalDur {
+		evalDur[i] = bd.Modeled[metrics.PhaseEval]
+		pimDur[i] = perPIM
+	}
+	makespan := impir.ModeledMakespan(m.EvalMode, m.EvalWorkers, m.Clusters, evalDur, pimDur)
+	return makespan, bd
+}
+
+// cpuModel evaluates the CPU baseline on the paper's baseline server.
+type cpuModel struct {
+	Host hostmodel.Model
+}
+
+func paperCPU() cpuModel { return cpuModel{Host: hostmodel.CPUPIRBaseline()} }
+
+// phases returns one query's modeled durations with `concurrent` queries
+// in flight (the batch contention level).
+func (m cpuModel) phases(numRecords, concurrent int) metrics.Breakdown {
+	var bd metrics.Breakdown
+	bd.AddPhase(metrics.PhaseEval, 0, m.Host.EvalDuration(uint64(numRecords), 1))
+	bd.AddPhase(metrics.PhaseDpXOR, 0, m.Host.ScanDuration(dbBytes(numRecords), concurrent))
+	return bd
+}
+
+// batch returns the modeled batch makespan: ⌈B/threads⌉ rounds of
+// `threads` concurrent single-thread queries.
+func (m cpuModel) batch(numRecords, batchSize int) (time.Duration, metrics.Breakdown) {
+	concurrent := m.Host.Threads
+	if concurrent > batchSize {
+		concurrent = batchSize
+	}
+	bd := m.phases(numRecords, concurrent)
+	rounds := (batchSize + m.Host.Threads - 1) / m.Host.Threads
+	return time.Duration(rounds) * bd.TotalModeled(), bd
+}
+
+// gpuModel evaluates the GPU baseline on the modeled RTX 4090.
+type gpuModel struct {
+	GPU gpupir.Config
+}
+
+func paperGPU() gpuModel {
+	cfg := gpupir.DefaultConfig()
+	return gpuModel{GPU: cfg}
+}
+
+func (m gpuModel) phases(numRecords int) metrics.Breakdown {
+	var bd metrics.Breakdown
+	domain := domainOf(numRecords)
+	bd.AddPhase(metrics.PhaseCopyToPIM, 0, m.GPU.UploadDuration(keyWireSize(domain)))
+	bd.AddPhase(metrics.PhaseEval, 0, m.GPU.EvalDuration(uint64(numRecords)))
+	bd.AddPhase(metrics.PhaseDpXOR, 0, m.GPU.ScanDuration(dbBytes(numRecords)))
+	bd.AddPhase(metrics.PhaseCopyToHost, 0, m.GPU.DownloadDuration(recordSize))
+	return bd
+}
+
+// batch models CUDA-stream overlap: eval of query i+1 overlaps the scan
+// of query i, so the makespan is the heavier stage.
+func (m gpuModel) batch(numRecords, batchSize int) (time.Duration, metrics.Breakdown) {
+	bd := m.phases(numRecords)
+	evalStage := (bd.Modeled[metrics.PhaseEval] + bd.Modeled[metrics.PhaseCopyToPIM]) * time.Duration(batchSize)
+	scanStage := (bd.Modeled[metrics.PhaseDpXOR] + bd.Modeled[metrics.PhaseCopyToHost]) * time.Duration(batchSize)
+	if evalStage > scanStage {
+		return evalStage, bd
+	}
+	return scanStage, bd
+}
+
+func qps(batch int, makespan time.Duration) float64 {
+	if makespan <= 0 {
+		return 0
+	}
+	return float64(batch) / makespan.Seconds()
+}

@@ -1,0 +1,296 @@
+package bitvec
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewIsZeroed(t *testing.T) {
+	v := New(130)
+	if v.Len() != 130 {
+		t.Fatalf("Len() = %d, want 130", v.Len())
+	}
+	for i := 0; i < v.Len(); i++ {
+		if v.Bit(i) {
+			t.Fatalf("bit %d set in fresh vector", i)
+		}
+	}
+	if v.OnesCount() != 0 {
+		t.Fatalf("OnesCount() = %d, want 0", v.OnesCount())
+	}
+}
+
+func TestSetClearBit(t *testing.T) {
+	tests := []struct {
+		name string
+		n    int
+		idx  []int
+	}{
+		{name: "first word", n: 64, idx: []int{0, 1, 63}},
+		{name: "crossing words", n: 130, idx: []int{63, 64, 65, 129}},
+		{name: "single bit", n: 1, idx: []int{0}},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			v := New(tt.n)
+			for _, i := range tt.idx {
+				v.Set(i)
+				if !v.Bit(i) {
+					t.Errorf("Bit(%d) = false after Set", i)
+				}
+			}
+			if got := v.OnesCount(); got != len(tt.idx) {
+				t.Errorf("OnesCount() = %d, want %d", got, len(tt.idx))
+			}
+			for _, i := range tt.idx {
+				v.Clear(i)
+				if v.Bit(i) {
+					t.Errorf("Bit(%d) = true after Clear", i)
+				}
+			}
+			if got := v.OnesCount(); got != 0 {
+				t.Errorf("OnesCount() = %d after clearing, want 0", got)
+			}
+		})
+	}
+}
+
+func TestSetTo(t *testing.T) {
+	v := New(10)
+	v.SetTo(3, true)
+	if !v.Bit(3) {
+		t.Error("SetTo(3, true) did not set the bit")
+	}
+	v.SetTo(3, false)
+	if v.Bit(3) {
+		t.Error("SetTo(3, false) did not clear the bit")
+	}
+}
+
+func TestFromBools(t *testing.T) {
+	bs := []bool{true, false, true, true, false}
+	v := FromBools(bs)
+	if v.Len() != len(bs) {
+		t.Fatalf("Len() = %d, want %d", v.Len(), len(bs))
+	}
+	for i, b := range bs {
+		if v.Bit(i) != b {
+			t.Errorf("Bit(%d) = %v, want %v", i, v.Bit(i), b)
+		}
+	}
+}
+
+func TestXor(t *testing.T) {
+	a := FromBools([]bool{true, true, false, false})
+	b := FromBools([]bool{true, false, true, false})
+	a.Xor(b)
+	want := []bool{false, true, true, false}
+	for i, w := range want {
+		if a.Bit(i) != w {
+			t.Errorf("bit %d = %v, want %v", i, a.Bit(i), w)
+		}
+	}
+}
+
+func TestXorLengthMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Xor with mismatched lengths did not panic")
+		}
+	}()
+	New(4).Xor(New(5))
+}
+
+func TestOutOfRangePanics(t *testing.T) {
+	for _, idx := range []int{-1, 64} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("Bit(%d) on length-64 vector did not panic", idx)
+				}
+			}()
+			New(64).Bit(idx)
+		}()
+	}
+}
+
+func TestEqualAndClone(t *testing.T) {
+	v := New(100)
+	v.Set(3)
+	v.Set(99)
+	c := v.Clone()
+	if !v.Equal(c) {
+		t.Fatal("clone not equal to original")
+	}
+	c.Set(50)
+	if v.Equal(c) {
+		t.Fatal("mutating clone affected original equality")
+	}
+	if v.Bit(50) {
+		t.Fatal("mutating clone mutated original storage")
+	}
+	if v.Equal(New(101)) {
+		t.Fatal("vectors of different lengths reported equal")
+	}
+}
+
+func TestSlice(t *testing.T) {
+	v := New(200)
+	for i := 0; i < 200; i += 3 {
+		v.Set(i)
+	}
+	tests := []struct{ lo, hi int }{
+		{0, 200},   // whole vector, aligned
+		{64, 128},  // word aligned
+		{65, 131},  // unaligned
+		{10, 10},   // empty
+		{199, 200}, // tail
+	}
+	for _, tt := range tests {
+		s := v.Slice(tt.lo, tt.hi)
+		if s.Len() != tt.hi-tt.lo {
+			t.Fatalf("Slice(%d,%d).Len() = %d", tt.lo, tt.hi, s.Len())
+		}
+		for i := 0; i < s.Len(); i++ {
+			if s.Bit(i) != v.Bit(tt.lo+i) {
+				t.Errorf("Slice(%d,%d) bit %d mismatch", tt.lo, tt.hi, i)
+			}
+		}
+	}
+}
+
+func TestSliceAlignedMasksTail(t *testing.T) {
+	v := New(128)
+	for i := 0; i < 128; i++ {
+		v.Set(i)
+	}
+	s := v.Slice(0, 70)
+	if got := s.OnesCount(); got != 70 {
+		t.Fatalf("OnesCount() = %d, want 70 (tail bits leaked)", got)
+	}
+}
+
+func TestMarshalRoundTrip(t *testing.T) {
+	for _, n := range []int{0, 1, 63, 64, 65, 1000} {
+		v := New(n)
+		for i := 0; i < n; i += 7 {
+			v.Set(i)
+		}
+		data, err := v.MarshalBinary()
+		if err != nil {
+			t.Fatalf("MarshalBinary(n=%d): %v", n, err)
+		}
+		var got Vector
+		if err := got.UnmarshalBinary(data); err != nil {
+			t.Fatalf("UnmarshalBinary(n=%d): %v", n, err)
+		}
+		if !got.Equal(v) {
+			t.Fatalf("round trip mismatch for n=%d", n)
+		}
+	}
+}
+
+func TestUnmarshalRejectsBadInput(t *testing.T) {
+	var v Vector
+	if err := v.UnmarshalBinary(nil); err == nil {
+		t.Error("UnmarshalBinary(nil) succeeded")
+	}
+	if err := v.UnmarshalBinary([]byte{1, 2, 3}); err == nil {
+		t.Error("UnmarshalBinary(short) succeeded")
+	}
+	// Length claims 128 bits but payload holds one word.
+	bad := make([]byte, 16)
+	bad[0] = 128
+	if err := v.UnmarshalBinary(bad); err == nil {
+		t.Error("UnmarshalBinary(truncated payload) succeeded")
+	}
+	// Implausibly huge length.
+	huge := make([]byte, 16)
+	for i := 0; i < 8; i++ {
+		huge[i] = 0xff
+	}
+	if err := v.UnmarshalBinary(huge); err == nil {
+		t.Error("UnmarshalBinary(huge length) succeeded")
+	}
+}
+
+func TestString(t *testing.T) {
+	v := FromBools([]bool{true, false, true})
+	if got := v.String(); got != "101" {
+		t.Fatalf("String() = %q, want %q", got, "101")
+	}
+}
+
+func TestTrailingWordMask(t *testing.T) {
+	v := New(70)
+	v.Words()[1] = ^uint64(0) // scribble beyond bit 70
+	v.TrailingWordMask()
+	if got := v.OnesCount(); got != 6 {
+		t.Fatalf("OnesCount() = %d after mask, want 6", got)
+	}
+}
+
+// Property: XOR is an involution — (v ⊕ w) ⊕ w == v.
+func TestQuickXorInvolution(t *testing.T) {
+	f := func(seed int64, nRaw uint16) bool {
+		n := int(nRaw)%512 + 1
+		rng := rand.New(rand.NewSource(seed))
+		v, w := New(n), New(n)
+		for i := 0; i < n; i++ {
+			v.SetTo(i, rng.Intn(2) == 1)
+			w.SetTo(i, rng.Intn(2) == 1)
+		}
+		orig := v.Clone()
+		v.Xor(w)
+		v.Xor(w)
+		return v.Equal(orig)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: marshal/unmarshal is the identity.
+func TestQuickMarshalRoundTrip(t *testing.T) {
+	f := func(seed int64, nRaw uint16) bool {
+		n := int(nRaw) % 2048
+		rng := rand.New(rand.NewSource(seed))
+		v := New(n)
+		for i := 0; i < n; i++ {
+			v.SetTo(i, rng.Intn(2) == 1)
+		}
+		data, err := v.MarshalBinary()
+		if err != nil {
+			return false
+		}
+		var got Vector
+		if err := got.UnmarshalBinary(data); err != nil {
+			return false
+		}
+		return got.Equal(v)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: OnesCount equals the number of explicitly set positions.
+func TestQuickOnesCount(t *testing.T) {
+	f := func(seed int64, nRaw uint16) bool {
+		n := int(nRaw)%1024 + 1
+		rng := rand.New(rand.NewSource(seed))
+		v := New(n)
+		want := 0
+		for i := 0; i < n; i++ {
+			if rng.Intn(2) == 1 {
+				v.Set(i)
+				want++
+			}
+		}
+		return v.OnesCount() == want
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

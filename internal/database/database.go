@@ -1,0 +1,168 @@
+// Package database defines the PIR database representation shared by all
+// server engines, plus deterministic workload generators modelled on the
+// paper's evaluation databases (§5.2): fixed-size 32-byte records holding
+// SHA-256 digests, as used by Certificate Transparency auditing and
+// compromised-credential checking services.
+package database
+
+import (
+	"crypto/sha256"
+	"errors"
+	"fmt"
+	"math/bits"
+)
+
+// RecordSizeHash is the record size used throughout the paper's
+// evaluation: one SHA-256 digest per record.
+const RecordSizeHash = 32
+
+// DB is an immutable-by-convention PIR database: numRecords records of
+// recordSize bytes each, stored contiguously. In multi-server PIR the
+// same DB is replicated byte-for-byte on every server; Digest lets
+// deployments verify replicas match.
+type DB struct {
+	recordSize int
+	numRecords int
+	data       []byte
+}
+
+// New returns a zero-filled database.
+func New(numRecords, recordSize int) (*DB, error) {
+	if numRecords < 1 {
+		return nil, fmt.Errorf("database: numRecords %d must be ≥ 1", numRecords)
+	}
+	if recordSize < 1 {
+		return nil, fmt.Errorf("database: recordSize %d must be ≥ 1", recordSize)
+	}
+	return &DB{
+		recordSize: recordSize,
+		numRecords: numRecords,
+		data:       make([]byte, numRecords*recordSize),
+	}, nil
+}
+
+// FromRecords builds a database from equally sized records.
+func FromRecords(records [][]byte) (*DB, error) {
+	if len(records) == 0 {
+		return nil, errors.New("database: no records")
+	}
+	size := len(records[0])
+	db, err := New(len(records), size)
+	if err != nil {
+		return nil, err
+	}
+	for i, rec := range records {
+		if len(rec) != size {
+			return nil, fmt.Errorf("database: record %d has %d bytes, want %d", i, len(rec), size)
+		}
+		copy(db.data[i*size:], rec)
+	}
+	return db, nil
+}
+
+// FromFlat wraps an existing flat buffer as a database without copying.
+// The caller must not mutate data afterwards.
+func FromFlat(data []byte, recordSize int) (*DB, error) {
+	if recordSize < 1 {
+		return nil, fmt.Errorf("database: recordSize %d must be ≥ 1", recordSize)
+	}
+	if len(data) == 0 || len(data)%recordSize != 0 {
+		return nil, fmt.Errorf("database: %d bytes is not a positive multiple of record size %d",
+			len(data), recordSize)
+	}
+	return &DB{
+		recordSize: recordSize,
+		numRecords: len(data) / recordSize,
+		data:       data,
+	}, nil
+}
+
+// NumRecords returns the number of records (N in the paper's notation).
+func (d *DB) NumRecords() int { return d.numRecords }
+
+// RecordSize returns the record size in bytes (the paper's L, in bytes).
+func (d *DB) RecordSize() int { return d.recordSize }
+
+// SizeBytes returns the total database size.
+func (d *DB) SizeBytes() int64 { return int64(d.numRecords) * int64(d.recordSize) }
+
+// Record returns a read-only view of record i. The returned slice aliases
+// the database storage.
+func (d *DB) Record(i int) []byte {
+	if i < 0 || i >= d.numRecords {
+		panic(fmt.Sprintf("database: record %d out of range [0,%d)", i, d.numRecords))
+	}
+	return d.data[i*d.recordSize : (i+1)*d.recordSize : (i+1)*d.recordSize]
+}
+
+// SetRecord overwrites record i. Intended for construction and for the
+// bulk-update windows described in §3.3.
+func (d *DB) SetRecord(i int, rec []byte) error {
+	if i < 0 || i >= d.numRecords {
+		return fmt.Errorf("database: record %d out of range [0,%d)", i, d.numRecords)
+	}
+	if len(rec) != d.recordSize {
+		return fmt.Errorf("database: record has %d bytes, want %d", len(rec), d.recordSize)
+	}
+	copy(d.data[i*d.recordSize:], rec)
+	return nil
+}
+
+// Data returns the flat backing buffer (records concatenated in order).
+// Engines use this to shard the DB across DPUs; callers must treat it as
+// read-only.
+func (d *DB) Data() []byte { return d.data }
+
+// Domain returns the smallest tree depth whose index space covers every
+// record: ⌈log₂(numRecords)⌉.
+func (d *DB) Domain() int {
+	return bits.Len(uint(d.numRecords - 1))
+}
+
+// IsPowerOfTwo reports whether the record count is a power of two, the
+// layout the engines operate on directly.
+func (d *DB) IsPowerOfTwo() bool {
+	return d.numRecords&(d.numRecords-1) == 0
+}
+
+// PadToPowerOfTwo returns d itself when the record count is already a
+// power of two, or a copy extended with zero records up to the next power
+// of two. DPF share vectors are pseudorandom beyond the true record
+// count, so engines must only ever scan zero-padded storage.
+func (d *DB) PadToPowerOfTwo() *DB {
+	if d.IsPowerOfTwo() {
+		return d
+	}
+	padded := 1 << uint(d.Domain())
+	data := make([]byte, padded*d.recordSize)
+	copy(data, d.data)
+	return &DB{recordSize: d.recordSize, numRecords: padded, data: data}
+}
+
+// Clone returns a deep copy.
+func (d *DB) Clone() *DB {
+	data := make([]byte, len(d.data))
+	copy(data, d.data)
+	return &DB{recordSize: d.recordSize, numRecords: d.numRecords, data: data}
+}
+
+// Digest returns the SHA-256 of the database contents and geometry.
+// Replicated servers compare digests before serving: a silent replica
+// mismatch would break reconstruction correctness (not privacy).
+func (d *DB) Digest() [32]byte {
+	h := sha256.New()
+	var hdr [16]byte
+	putUint64(hdr[:8], uint64(d.numRecords))
+	putUint64(hdr[8:], uint64(d.recordSize))
+	h.Write(hdr[:])
+	h.Write(d.data)
+	var out [32]byte
+	h.Sum(out[:0])
+	return out
+}
+
+func putUint64(b []byte, v uint64) {
+	for i := 0; i < 8; i++ {
+		b[i] = byte(v >> (8 * i))
+	}
+}

@@ -1,0 +1,122 @@
+package database
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"fmt"
+)
+
+// The generators below synthesise the evaluation workloads of §5.2: PIR
+// databases whose records are 32-byte SHA-256 digests, as used by
+// Certificate Transparency auditing and breached-credential lookup
+// services. All generators are deterministic in (seed, count) so that the
+// two PIR servers of a test deployment can independently materialise
+// byte-identical replicas.
+
+// GenerateHashDB fills a database with pseudorandom 32-byte hash records
+// derived from the seed. This mirrors the paper's synthetic database of
+// random 32-byte hashes.
+func GenerateHashDB(numRecords int, seed int64) (*DB, error) {
+	db, err := New(numRecords, RecordSizeHash)
+	if err != nil {
+		return nil, err
+	}
+	var buf [16]byte
+	binary.LittleEndian.PutUint64(buf[:8], uint64(seed))
+	for i := 0; i < numRecords; i++ {
+		binary.LittleEndian.PutUint64(buf[8:], uint64(i))
+		sum := sha256.Sum256(buf[:])
+		copy(db.data[i*RecordSizeHash:], sum[:])
+	}
+	return db, nil
+}
+
+// CTEntry is a synthetic Certificate Transparency log entry.
+type CTEntry struct {
+	SerialNumber uint64
+	Domain       string
+	Issuer       string
+}
+
+// LeafHash returns the 32-byte log leaf hash for the entry — the value a
+// CT auditor privately retrieves (cf. §5.2 and [51, 58]).
+func (e CTEntry) LeafHash() [32]byte {
+	h := sha256.New()
+	var serial [8]byte
+	binary.BigEndian.PutUint64(serial[:], e.SerialNumber)
+	h.Write(serial[:])
+	h.Write([]byte(e.Domain))
+	h.Write([]byte{0})
+	h.Write([]byte(e.Issuer))
+	var out [32]byte
+	h.Sum(out[:0])
+	return out
+}
+
+var ctIssuers = []string{
+	"C=US, O=Let's Encrypt, CN=R11",
+	"C=US, O=DigiCert Inc, CN=DigiCert TLS RSA SHA256 2020 CA1",
+	"C=US, O=Google Trust Services, CN=WR2",
+	"C=AT, O=ZeroSSL, CN=ZeroSSL RSA Domain Secure Site CA",
+}
+
+// GenerateCTLog synthesises a CT log of numCerts entries and returns both
+// the PIR database of leaf hashes and the entries themselves (so example
+// clients can compute the index and expected hash of a certificate they
+// want to audit).
+func GenerateCTLog(numCerts int, seed int64) (*DB, []CTEntry, error) {
+	db, err := New(numCerts, RecordSizeHash)
+	if err != nil {
+		return nil, nil, err
+	}
+	entries := make([]CTEntry, numCerts)
+	for i := range entries {
+		entries[i] = CTEntry{
+			SerialNumber: uint64(seed)<<20 + uint64(i),
+			Domain:       fmt.Sprintf("host-%06d.example.org", i),
+			Issuer:       ctIssuers[i%len(ctIssuers)],
+		}
+		hash := entries[i].LeafHash()
+		copy(db.data[i*RecordSizeHash:], hash[:])
+	}
+	return db, entries, nil
+}
+
+// CredentialHash returns the digest stored for a breached credential, as
+// in Have-I-Been-Pwned-style compromised-credential services.
+func CredentialHash(password string) [32]byte {
+	return sha256.Sum256([]byte(password))
+}
+
+// GenerateCredentialDB synthesises a breached-password database and
+// returns the PIR database of SHA-256 digests plus the plaintext corpus
+// (for examples/tests that need to know which passwords are "breached").
+func GenerateCredentialDB(numCreds int, seed int64) (*DB, []string, error) {
+	db, err := New(numCreds, RecordSizeHash)
+	if err != nil {
+		return nil, nil, err
+	}
+	creds := make([]string, numCreds)
+	for i := range creds {
+		creds[i] = fmt.Sprintf("hunter%d-%x", i, uint64(seed)+uint64(i)*2654435761)
+		sum := CredentialHash(creds[i])
+		copy(db.data[i*RecordSizeHash:], sum[:])
+	}
+	return db, creds, nil
+}
+
+// GenerateBlocklist synthesises a private-blocklist database (cf. Kogan &
+// Corrigan-Gibbs's Checklist [60]): hashed URLs of malicious sites.
+func GenerateBlocklist(numURLs int, seed int64) (*DB, []string, error) {
+	db, err := New(numURLs, RecordSizeHash)
+	if err != nil {
+		return nil, nil, err
+	}
+	urls := make([]string, numURLs)
+	for i := range urls {
+		urls[i] = fmt.Sprintf("https://malware-%08x.bad.example/%d", uint64(seed)*31+uint64(i), i)
+		sum := sha256.Sum256([]byte(urls[i]))
+		copy(db.data[i*RecordSizeHash:], sum[:])
+	}
+	return db, urls, nil
+}

@@ -1,0 +1,368 @@
+package dpf
+
+import (
+	"bytes"
+	"crypto/rand"
+	"math/big"
+	mrand "math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func mustGen(t *testing.T, p Params, alpha uint64, beta []byte) (*Key, *Key) {
+	t.Helper()
+	k0, k1, err := Gen(p, alpha, beta)
+	if err != nil {
+		t.Fatalf("Gen(domain=%d, alpha=%d): %v", p.Domain, alpha, err)
+	}
+	return k0, k1
+}
+
+func randomIndex(t *testing.T, domain int) uint64 {
+	t.Helper()
+	if domain == 0 {
+		return 0
+	}
+	n, err := rand.Int(rand.Reader, big.NewInt(1<<uint(domain)))
+	if err != nil {
+		t.Fatalf("rand.Int: %v", err)
+	}
+	return n.Uint64()
+}
+
+// TestPointFunctionExhaustive checks the defining DPF property for every
+// index of small domains: Eval(k0,x) ⊕ Eval(k1,x) = 1 iff x = α.
+func TestPointFunctionExhaustive(t *testing.T) {
+	for _, prg := range []PRGKind{PRGFixedKey, PRGKeyed} {
+		for domain := 0; domain <= 8; domain++ {
+			n := uint64(1) << uint(domain)
+			for alpha := uint64(0); alpha < n; alpha++ {
+				k0, k1 := mustGen(t, Params{Domain: domain, PRG: prg}, alpha, nil)
+				for x := uint64(0); x < n; x++ {
+					b0, _, err := k0.Eval(x)
+					if err != nil {
+						t.Fatalf("Eval: %v", err)
+					}
+					b1, _, err := k1.Eval(x)
+					if err != nil {
+						t.Fatalf("Eval: %v", err)
+					}
+					got := b0 != b1
+					want := x == alpha
+					if got != want {
+						t.Fatalf("prg=%v domain=%d alpha=%d x=%d: share XOR = %v, want %v",
+							prg, domain, alpha, x, got, want)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestPointFunctionLargeDomain samples random indices on larger domains.
+func TestPointFunctionLargeDomain(t *testing.T) {
+	for _, domain := range []int{16, 20, 32, 47, MaxDomain} {
+		alpha := randomIndex(t, domain)
+		k0, k1 := mustGen(t, Params{Domain: domain}, alpha, nil)
+
+		check := func(x uint64, want bool) {
+			b0, _, err := k0.Eval(x)
+			if err != nil {
+				t.Fatalf("Eval(%d): %v", x, err)
+			}
+			b1, _, err := k1.Eval(x)
+			if err != nil {
+				t.Fatalf("Eval(%d): %v", x, err)
+			}
+			if (b0 != b1) != want {
+				t.Fatalf("domain=%d alpha=%d x=%d: share XOR = %v, want %v",
+					domain, alpha, x, b0 != b1, want)
+			}
+		}
+
+		check(alpha, true)
+		// Nearby and random off-path indices must evaluate to zero.
+		n := uint64(1) << uint(domain)
+		for _, x := range []uint64{0, n - 1, alpha ^ 1, (alpha + 1) % n} {
+			if x != alpha {
+				check(x, false)
+			}
+		}
+		for i := 0; i < 32; i++ {
+			if x := randomIndex(t, domain); x != alpha {
+				check(x, false)
+			}
+		}
+	}
+}
+
+// TestPayloadBeta checks multi-byte payload reconstruction: the XOR of the
+// value shares is β at α and zero elsewhere.
+func TestPayloadBeta(t *testing.T) {
+	for _, betaLen := range []int{1, 4, 16, 17, 32, 100} {
+		beta := make([]byte, betaLen)
+		if _, err := rand.Read(beta); err != nil {
+			t.Fatalf("rand.Read: %v", err)
+		}
+		const domain = 10
+		alpha := randomIndex(t, domain)
+		k0, k1 := mustGen(t, Params{Domain: domain, BetaLen: betaLen}, alpha, beta)
+
+		for _, x := range []uint64{alpha, 0, 1023, alpha ^ 1} {
+			_, v0, err := k0.Eval(x)
+			if err != nil {
+				t.Fatalf("Eval: %v", err)
+			}
+			_, v1, err := k1.Eval(x)
+			if err != nil {
+				t.Fatalf("Eval: %v", err)
+			}
+			combined := make([]byte, betaLen)
+			for i := range combined {
+				combined[i] = v0[i] ^ v1[i]
+			}
+			if x == alpha {
+				if !bytes.Equal(combined, beta) {
+					t.Fatalf("betaLen=%d: reconstruction at alpha = %x, want %x", betaLen, combined, beta)
+				}
+			} else if !bytes.Equal(combined, make([]byte, betaLen)) {
+				t.Fatalf("betaLen=%d x=%d: nonzero payload off-path: %x", betaLen, x, combined)
+			}
+		}
+	}
+}
+
+// TestKeyShareLooksRandom: a single key's full evaluation must not be the
+// one-hot vector itself (that would leak α trivially). With overwhelming
+// probability roughly half the bits are set.
+func TestKeyShareLooksRandom(t *testing.T) {
+	const domain = 12
+	n := 1 << domain
+	k0, _ := mustGen(t, Params{Domain: domain}, 42, nil)
+	v, err := k0.EvalFull(FullEvalOptions{})
+	if err != nil {
+		t.Fatalf("EvalFull: %v", err)
+	}
+	ones := v.OnesCount()
+	if ones < n/4 || ones > 3*n/4 {
+		t.Fatalf("share vector weight %d/%d outside [1/4, 3/4] — share is not pseudorandom", ones, n)
+	}
+}
+
+func TestGenValidation(t *testing.T) {
+	if _, _, err := Gen(Params{Domain: -1}, 0, nil); err == nil {
+		t.Error("Gen accepted negative domain")
+	}
+	if _, _, err := Gen(Params{Domain: MaxDomain + 1}, 0, nil); err == nil {
+		t.Error("Gen accepted oversized domain")
+	}
+	if _, _, err := Gen(Params{Domain: 4}, 16, nil); err == nil {
+		t.Error("Gen accepted alpha outside index space")
+	}
+	if _, _, err := Gen(Params{Domain: 4, BetaLen: 2}, 0, []byte{1}); err == nil {
+		t.Error("Gen accepted beta shorter than BetaLen")
+	}
+	if _, _, err := Gen(Params{Domain: 4}, 0, []byte{1}); err == nil {
+		t.Error("Gen accepted beta with BetaLen=0")
+	}
+}
+
+func TestEvalValidation(t *testing.T) {
+	k0, _ := mustGen(t, Params{Domain: 4}, 3, nil)
+	if _, _, err := k0.Eval(16); err == nil {
+		t.Error("Eval accepted out-of-domain index")
+	}
+	bad := *k0
+	bad.CW = bad.CW[:2]
+	if _, _, err := bad.Eval(0); err == nil {
+		t.Error("Eval accepted malformed key (truncated CW)")
+	}
+}
+
+func TestKeysDiffer(t *testing.T) {
+	k0, k1 := mustGen(t, Params{Domain: 8}, 5, nil)
+	if k0.RootSeed == k1.RootSeed {
+		t.Error("both parties share a root seed")
+	}
+	if k0.Party == k1.Party {
+		t.Error("both keys claim the same party")
+	}
+	// Regenerating for the same alpha must give fresh keys.
+	k0b, _ := mustGen(t, Params{Domain: 8}, 5, nil)
+	if k0.RootSeed == k0b.RootSeed {
+		t.Error("two Gen calls produced identical root seeds")
+	}
+}
+
+func TestDeterministicWithFixedRand(t *testing.T) {
+	src := func() *mrand.Rand { return mrand.New(mrand.NewSource(7)) }
+	p := Params{Domain: 10}
+	p.Rand = src()
+	a0, a1, err := Gen(p, 123, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.Rand = src()
+	b0, b1, err := Gen(p, 123, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a0.RootSeed != b0.RootSeed || a1.RootSeed != b1.RootSeed {
+		t.Error("Gen with identical randomness produced different keys")
+	}
+}
+
+func TestWireSizeLogarithmic(t *testing.T) {
+	k8, _ := mustGen(t, Params{Domain: 8}, 0, nil)
+	k16, _ := mustGen(t, Params{Domain: 16}, 0, nil)
+	d8, d16 := k8.WireSize(), k16.WireSize()
+	if d16-d8 != 8*cwWireSize {
+		t.Fatalf("wire growth %d bytes for 8 extra levels, want %d", d16-d8, 8*cwWireSize)
+	}
+	data, err := k16.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(data) != k16.WireSize() {
+		t.Fatalf("WireSize() = %d but MarshalBinary produced %d bytes", k16.WireSize(), len(data))
+	}
+}
+
+func TestNumIndices(t *testing.T) {
+	k, _ := mustGen(t, Params{Domain: 10}, 0, nil)
+	if k.NumIndices() != 1024 {
+		t.Fatalf("NumIndices() = %d, want 1024", k.NumIndices())
+	}
+}
+
+// Property test: for random (domain, alpha, x), the XOR of shares equals
+// the point function.
+func TestQuickPointFunction(t *testing.T) {
+	f := func(domainRaw uint8, alphaRaw, xRaw uint64) bool {
+		domain := int(domainRaw)%20 + 1
+		n := uint64(1) << uint(domain)
+		alpha, x := alphaRaw%n, xRaw%n
+		k0, k1, err := Gen(Params{Domain: domain}, alpha, nil)
+		if err != nil {
+			return false
+		}
+		b0, _, err := k0.Eval(x)
+		if err != nil {
+			return false
+		}
+		b1, _, err := k1.Eval(x)
+		if err != nil {
+			return false
+		}
+		return (b0 != b1) == (x == alpha)
+	}
+	cfg := &quick.Config{MaxCount: 40}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property test: marshalling round-trips and the unmarshalled key
+// evaluates identically.
+func TestQuickMarshalRoundTrip(t *testing.T) {
+	f := func(domainRaw uint8, alphaRaw uint64, withBeta bool) bool {
+		domain := int(domainRaw)%14 + 1
+		n := uint64(1) << uint(domain)
+		alpha := alphaRaw % n
+		p := Params{Domain: domain}
+		var beta []byte
+		if withBeta {
+			p.BetaLen = 8
+			beta = []byte{1, 2, 3, 4, 5, 6, 7, 8}
+		}
+		k0, _, err := Gen(p, alpha, beta)
+		if err != nil {
+			return false
+		}
+		data, err := k0.MarshalBinary()
+		if err != nil {
+			return false
+		}
+		var back Key
+		if err := back.UnmarshalBinary(data); err != nil {
+			return false
+		}
+		for x := uint64(0); x < n; x += 1 + n/16 {
+			wb, wv, err := k0.Eval(x)
+			if err != nil {
+				return false
+			}
+			gb, gv, err := back.Eval(x)
+			if err != nil {
+				return false
+			}
+			if wb != gb || !bytes.Equal(wv, gv) {
+				return false
+			}
+		}
+		return true
+	}
+	cfg := &quick.Config{MaxCount: 30}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestUnmarshalRejectsCorruptKeys(t *testing.T) {
+	k0, _ := mustGen(t, Params{Domain: 6}, 3, nil)
+	good, err := k0.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	corrupt := func(name string, mutate func([]byte) []byte) {
+		t.Run(name, func(t *testing.T) {
+			data := mutate(append([]byte(nil), good...))
+			var k Key
+			if err := k.UnmarshalBinary(data); err == nil {
+				t.Errorf("UnmarshalBinary accepted corrupted key (%s)", name)
+			}
+		})
+	}
+
+	corrupt("empty", func(b []byte) []byte { return nil })
+	corrupt("short", func(b []byte) []byte { return b[:10] })
+	corrupt("bad version", func(b []byte) []byte { b[0] = 99; return b })
+	corrupt("bad party", func(b []byte) []byte { b[1] = 2; return b })
+	corrupt("bad domain", func(b []byte) []byte { b[2] = 200; return b })
+	corrupt("bad prg", func(b []byte) []byte { b[3] = 9; return b })
+	corrupt("truncated", func(b []byte) []byte { return b[:len(b)-1] })
+	corrupt("extended", func(b []byte) []byte { return append(b, 0) })
+	corrupt("bad root bit", func(b []byte) []byte { b[24] = 7; return b })
+	corrupt("bad cw bits", func(b []byte) []byte { b[keyHeaderSize+16] = 0xF; return b })
+}
+
+func TestPRGKindString(t *testing.T) {
+	if PRGFixedKey.String() != "fixedkey" || PRGKeyed.String() != "keyed" {
+		t.Error("unexpected PRGKind strings")
+	}
+	if PRGKind(9).String() == "" {
+		t.Error("unknown kind produced empty string")
+	}
+}
+
+func BenchmarkGen(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, _, err := Gen(Params{Domain: 30}, 12345, nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkEvalSingle(b *testing.B) {
+	k0, _, err := Gen(Params{Domain: 30}, 12345, nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := k0.Eval(uint64(i) & (1<<30 - 1)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,154 @@
+package dpf
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+
+	"github.com/impir/impir/internal/aesprf"
+)
+
+// EvalFullValues evaluates a payload-carrying key on every index of its
+// domain, returning the flat value-share array: bytes
+// [x·BetaLen : (x+1)·BetaLen] are this party's share of P_{α,β}(x). The
+// XOR of both parties' arrays is β at α and zero elsewhere.
+//
+// This is the workhorse of DPF applications beyond bit-selector PIR:
+// PIR-with-payload (β = the record), distributed point updates
+// (PIR-write), and keyword-PIR stacks all expand the value shares over
+// the full domain. The traversal is the subtree partition of §3.2 with
+// bounded per-worker memory.
+func (k *Key) EvalFullValues(opts FullEvalOptions) ([]byte, error) {
+	betaLen := len(k.OutputCW)
+	if betaLen == 0 {
+		return nil, errors.New("dpf: EvalFullValues requires a payload-carrying key (BetaLen > 0)")
+	}
+	if len(k.CW) != int(k.Domain) {
+		return nil, fmt.Errorf("dpf: malformed key: %d correction words for domain %d", len(k.CW), k.Domain)
+	}
+	prg, err := k.PRG.expander()
+	if err != nil {
+		return nil, err
+	}
+	n := 1 << uint(k.Domain)
+	out := make([]byte, n*betaLen)
+
+	if k.Domain == 0 {
+		k.emitValue(out, 0, node{seed: k.RootSeed, t: k.RootT})
+		return out, nil
+	}
+
+	workers := opts.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	chunk := opts.ChunkLeaves
+	if chunk <= 0 {
+		chunk = defaultSubtreeChunk
+	}
+
+	domain := int(k.Domain)
+	wBits := 0
+	for (1<<(wBits+1)) <= workers && wBits+1 <= domain {
+		wBits++
+	}
+	numWorkers := 1 << uint(wBits)
+	if chunk > n/numWorkers {
+		chunk = n / numWorkers
+	}
+	if chunk < 1 {
+		chunk = 1
+	}
+
+	frontier := k.expandToLevel(prg, wBits)
+	leavesPerWorker := uint64(n / numWorkers)
+	var wg sync.WaitGroup
+	for w := 0; w < numWorkers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			base := uint64(w) * leavesPerWorker
+			k.evalValueRange(prg, frontier[w], wBits, base, leavesPerWorker, chunk, out)
+		}(w)
+	}
+	wg.Wait()
+	return out, nil
+}
+
+// evalValueRange mirrors evalRange but emits payload shares per leaf.
+func (k *Key) evalValueRange(prg aesprf.Expander, root node, depth int, leafBase, count uint64, chunkLeaves int, out []byte) {
+	if count <= uint64(chunkLeaves) {
+		k.evalValueChunkBFS(prg, root, depth, leafBase, count, out)
+		return
+	}
+	sL, tL, sR, tR := expandNode(prg, root.seed)
+	if root.t {
+		cw := &k.CW[depth]
+		sL = xorBlocks(sL, cw.Seed)
+		sR = xorBlocks(sR, cw.Seed)
+		tL = tL != cw.TLeft
+		tR = tR != cw.TRight
+	}
+	half := count / 2
+	k.evalValueRange(prg, node{sL, tL}, depth+1, leafBase, half, chunkLeaves, out)
+	k.evalValueRange(prg, node{sR, tR}, depth+1, leafBase+half, half, chunkLeaves, out)
+}
+
+// evalValueChunkBFS expands one chunk breadth-first, converting each leaf
+// seed into payload bytes.
+func (k *Key) evalValueChunkBFS(prg aesprf.Expander, root node, depth int, leafBase, count uint64, out []byte) {
+	domain := int(k.Domain)
+	cnt := int(count)
+
+	cur := make([]aesprf.Block, 1, cnt)
+	next := make([]aesprf.Block, 0, cnt)
+	tsCur := make([]bool, 1, cnt)
+	tsNext := make([]bool, 0, cnt)
+	left := make([]aesprf.Block, 0, (cnt+1)/2)
+	right := make([]aesprf.Block, 0, (cnt+1)/2)
+	cur[0], tsCur[0] = root.seed, root.t
+
+	for d := depth; d < domain; d++ {
+		width := len(cur)
+		left = left[:width]
+		right = right[:width]
+		prg.ExpandBatch(cur, left, right)
+
+		cw := &k.CW[d]
+		next = next[:2*width]
+		tsNext = tsNext[:2*width]
+		for i := 0; i < width; i++ {
+			sL, sR := left[i], right[i]
+			tL := sL[0]&1 == 1
+			tR := sR[0]&1 == 1
+			sL[0] &^= 1
+			sR[0] &^= 1
+			if tsCur[i] {
+				sL = xorBlocks(sL, cw.Seed)
+				sR = xorBlocks(sR, cw.Seed)
+				tL = tL != cw.TLeft
+				tR = tR != cw.TRight
+			}
+			next[2*i], tsNext[2*i] = sL, tL
+			next[2*i+1], tsNext[2*i+1] = sR, tR
+		}
+		cur, next = next, cur
+		tsCur, tsNext = tsNext, tsCur
+	}
+
+	for i := 0; i < cnt; i++ {
+		k.emitValue(out, int(leafBase)+i, node{seed: cur[i], t: tsCur[i]})
+	}
+}
+
+func (k *Key) emitValue(out []byte, leaf int, nd node) {
+	betaLen := len(k.OutputCW)
+	v := convertSeed(nd.seed, betaLen)
+	if nd.t {
+		for j := range v {
+			v[j] ^= k.OutputCW[j]
+		}
+	}
+	copy(out[leaf*betaLen:], v)
+}

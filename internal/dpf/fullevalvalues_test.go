@@ -1,0 +1,121 @@
+package dpf
+
+import (
+	"bytes"
+	"crypto/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestEvalFullValuesMatchesPointEval(t *testing.T) {
+	for _, domain := range []int{0, 1, 3, 6, 10} {
+		for _, betaLen := range []int{1, 8, 32} {
+			beta := make([]byte, betaLen)
+			if _, err := rand.Read(beta); err != nil {
+				t.Fatal(err)
+			}
+			alpha := randomIndex(t, domain)
+			k0, _ := mustGen(t, Params{Domain: domain, BetaLen: betaLen}, alpha, beta)
+
+			full, err := k0.EvalFullValues(FullEvalOptions{Workers: 3})
+			if err != nil {
+				t.Fatalf("EvalFullValues(domain=%d, betaLen=%d): %v", domain, betaLen, err)
+			}
+			n := 1 << uint(domain)
+			if len(full) != n*betaLen {
+				t.Fatalf("output length %d, want %d", len(full), n*betaLen)
+			}
+			for x := 0; x < n; x++ {
+				_, want, err := k0.Eval(uint64(x))
+				if err != nil {
+					t.Fatal(err)
+				}
+				got := full[x*betaLen : (x+1)*betaLen]
+				if !bytes.Equal(got, want) {
+					t.Fatalf("domain=%d betaLen=%d x=%d: full-domain value differs from point eval",
+						domain, betaLen, x)
+				}
+			}
+		}
+	}
+}
+
+func TestEvalFullValuesReconstruction(t *testing.T) {
+	const domain, betaLen = 9, 16
+	beta := bytes.Repeat([]byte{0xAB}, betaLen)
+	alpha := randomIndex(t, domain)
+	k0, k1 := mustGen(t, Params{Domain: domain, BetaLen: betaLen}, alpha, beta)
+
+	v0, err := k0.EvalFullValues(FullEvalOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	v1, err := k1.EvalFullValues(FullEvalOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := 1 << domain
+	zero := make([]byte, betaLen)
+	for x := 0; x < n; x++ {
+		combined := make([]byte, betaLen)
+		for j := range combined {
+			combined[j] = v0[x*betaLen+j] ^ v1[x*betaLen+j]
+		}
+		if uint64(x) == alpha {
+			if !bytes.Equal(combined, beta) {
+				t.Fatalf("value at alpha = %x, want %x", combined, beta)
+			}
+		} else if !bytes.Equal(combined, zero) {
+			t.Fatalf("nonzero value share at x=%d", x)
+		}
+	}
+}
+
+func TestEvalFullValuesRequiresPayload(t *testing.T) {
+	k0, _ := mustGen(t, Params{Domain: 4}, 0, nil)
+	if _, err := k0.EvalFullValues(FullEvalOptions{}); err == nil {
+		t.Fatal("EvalFullValues accepted a bit-only key")
+	}
+}
+
+func TestEvalFullValuesMalformedKey(t *testing.T) {
+	k0, _ := mustGen(t, Params{Domain: 5, BetaLen: 4}, 0, []byte{1, 2, 3, 4})
+	bad := *k0
+	bad.CW = bad.CW[:2]
+	if _, err := bad.EvalFullValues(FullEvalOptions{}); err == nil {
+		t.Fatal("EvalFullValues accepted malformed key")
+	}
+}
+
+// Property: chunk size and worker count never change the output.
+func TestQuickEvalFullValuesInvariance(t *testing.T) {
+	k0, _ := mustGen(t, Params{Domain: 8, BetaLen: 8}, 77, []byte{1, 2, 3, 4, 5, 6, 7, 8})
+	want, err := k0.EvalFullValues(FullEvalOptions{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := func(workersRaw, chunkRaw uint8) bool {
+		got, err := k0.EvalFullValues(FullEvalOptions{
+			Workers:     int(workersRaw)%8 + 1,
+			ChunkLeaves: int(chunkRaw)%300 + 1,
+		})
+		return err == nil && bytes.Equal(got, want)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkEvalFullValues(b *testing.B) {
+	k0, _, err := Gen(Params{Domain: 14, BetaLen: 32}, 999, make([]byte, 32))
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.SetBytes(32 << 14)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := k0.EvalFullValues(FullEvalOptions{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

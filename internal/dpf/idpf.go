@@ -1,0 +1,287 @@
+package dpf
+
+import (
+	"crypto/rand"
+	"encoding/binary"
+	"fmt"
+	"io"
+
+	"github.com/impir/impir/internal/aesprf"
+)
+
+// Incremental DPFs (IDPFs) extend the point-function sharing to every
+// level of the evaluation tree: the client fixes a target point α and a
+// per-level value β_ℓ, and the two keys secret-share the function that
+// maps each ℓ-bit prefix p to β_ℓ when p is a prefix of α and to zero
+// otherwise. This is the construction implemented by Google's
+// distributed_point_functions library — the code base the paper uses as
+// its CPU baseline — and the primitive behind heavy-hitter aggregation
+// and hierarchical/range PIR.
+//
+// The tree mechanics are identical to the plain DPF (same correction
+// words, same PRG); the increment is one output correction word per
+// level, derived from the on-path seeds at that level.
+
+// IncrementalKey is one party's IDPF key.
+type IncrementalKey struct {
+	Party    uint8
+	Domain   uint8
+	PRG      PRGKind
+	RootSeed aesprf.Block
+	RootT    bool
+	CW       []CorrectionWord
+	// LevelOCW[ℓ-1] is the output correction word of level ℓ; its length
+	// is that level's value size.
+	LevelOCW [][]byte
+}
+
+// NumLevels returns the number of evaluable levels (= Domain).
+func (k *IncrementalKey) NumLevels() int { return int(k.Domain) }
+
+// GenIncremental produces an IDPF key pair for target α with per-level
+// values levelBetas[ℓ-1] (one per level, each non-empty; lengths may
+// differ between levels). The domain is len(levelBetas).
+func GenIncremental(p Params, alpha uint64, levelBetas [][]byte) (k0, k1 *IncrementalKey, err error) {
+	domain := len(levelBetas)
+	if domain < 1 || domain > MaxDomain {
+		return nil, nil, fmt.Errorf("%w: %d levels", ErrDomainRange, domain)
+	}
+	if p.Domain != 0 && p.Domain != domain {
+		return nil, nil, fmt.Errorf("dpf: Params.Domain %d conflicts with %d levels", p.Domain, domain)
+	}
+	if alpha >= 1<<uint(domain) {
+		return nil, nil, fmt.Errorf("%w: alpha=%d domain=%d", ErrAlphaRange, alpha, domain)
+	}
+	for ell, beta := range levelBetas {
+		if len(beta) == 0 {
+			return nil, nil, fmt.Errorf("%w: level %d value is empty", ErrBetaLen, ell+1)
+		}
+	}
+	prgKind := p.PRG
+	if prgKind == 0 {
+		prgKind = PRGFixedKey
+	}
+	prg, err := prgKind.expander()
+	if err != nil {
+		return nil, nil, err
+	}
+	rng := p.Rand
+	if rng == nil {
+		rng = rand.Reader
+	}
+
+	var s0, s1 aesprf.Block
+	if _, err := io.ReadFull(rng, s0[:]); err != nil {
+		return nil, nil, fmt.Errorf("dpf: read root seed: %w", err)
+	}
+	if _, err := io.ReadFull(rng, s1[:]); err != nil {
+		return nil, nil, fmt.Errorf("dpf: read root seed: %w", err)
+	}
+
+	k0 = &IncrementalKey{Party: 0, Domain: uint8(domain), PRG: prgKind, RootSeed: s0, RootT: false}
+	k1 = &IncrementalKey{Party: 1, Domain: uint8(domain), PRG: prgKind, RootSeed: s1, RootT: true}
+	k0.CW = make([]CorrectionWord, domain)
+	k1.CW = make([]CorrectionWord, domain)
+	k0.LevelOCW = make([][]byte, domain)
+	k1.LevelOCW = make([][]byte, domain)
+
+	t0, t1 := false, true
+	for level := 0; level < domain; level++ {
+		s0L, t0L, s0R, t0R := expandNode(prg, s0)
+		s1L, t1L, s1R, t1R := expandNode(prg, s1)
+
+		aBit := alpha>>(uint(domain)-1-uint(level))&1 == 1
+
+		var sKeep0, sKeep1, sLose0, sLose1 aesprf.Block
+		var tKeep0, tKeep1 bool
+		if aBit {
+			sKeep0, tKeep0, sLose0 = s0R, t0R, s0L
+			sKeep1, tKeep1, sLose1 = s1R, t1R, s1L
+		} else {
+			sKeep0, tKeep0, sLose0 = s0L, t0L, s0R
+			sKeep1, tKeep1, sLose1 = s1L, t1L, s1R
+		}
+
+		cw := CorrectionWord{
+			Seed:   xorBlocks(sLose0, sLose1),
+			TLeft:  t0L != t1L != !aBit,
+			TRight: t0R != t1R != aBit,
+		}
+		k0.CW[level] = cw
+		k1.CW[level] = cw
+
+		tKeepCW := cw.TRight
+		if !aBit {
+			tKeepCW = cw.TLeft
+		}
+		s0, t0 = applyCorrection(sKeep0, tKeep0, t0, cw.Seed, tKeepCW)
+		s1, t1 = applyCorrection(sKeep1, tKeep1, t1, cw.Seed, tKeepCW)
+
+		// Per-level output correction from the on-path seeds.
+		beta := levelBetas[level]
+		ocw := make([]byte, len(beta))
+		c0 := convertSeed(s0, len(beta))
+		c1 := convertSeed(s1, len(beta))
+		for i := range ocw {
+			ocw[i] = beta[i] ^ c0[i] ^ c1[i]
+		}
+		k0.LevelOCW[level] = ocw
+		k1.LevelOCW[level] = append([]byte(nil), ocw...)
+	}
+	return k0, k1, nil
+}
+
+// EvalPrefix returns this party's value share for the ℓ-bit prefix
+// (level ∈ [1, Domain], prefix < 2^level). The XOR of the two parties'
+// shares is levelBetas[level-1] when prefix is a prefix of α, zero
+// otherwise.
+func (k *IncrementalKey) EvalPrefix(prefix uint64, level int) ([]byte, error) {
+	if level < 1 || level > int(k.Domain) {
+		return nil, fmt.Errorf("dpf: level %d outside [1,%d]", level, k.Domain)
+	}
+	if prefix >= 1<<uint(level) {
+		return nil, fmt.Errorf("%w: prefix=%d level=%d", ErrAlphaRange, prefix, level)
+	}
+	if len(k.CW) != int(k.Domain) || len(k.LevelOCW) != int(k.Domain) {
+		return nil, fmt.Errorf("dpf: malformed incremental key")
+	}
+	prg, err := k.PRG.expander()
+	if err != nil {
+		return nil, err
+	}
+
+	s, t := k.RootSeed, k.RootT
+	for d := 0; d < level; d++ {
+		sL, tL, sR, tR := expandNode(prg, s)
+		if t {
+			cw := &k.CW[d]
+			sL = xorBlocks(sL, cw.Seed)
+			sR = xorBlocks(sR, cw.Seed)
+			tL = tL != cw.TLeft
+			tR = tR != cw.TRight
+		}
+		if prefix>>(uint(level)-1-uint(d))&1 == 1 {
+			s, t = sR, tR
+		} else {
+			s, t = sL, tL
+		}
+	}
+	ocw := k.LevelOCW[level-1]
+	out := convertSeed(s, len(ocw))
+	if t {
+		for i := range out {
+			out[i] ^= ocw[i]
+		}
+	}
+	return out, nil
+}
+
+// Incremental key wire format: the plain-key header and correction words
+// followed by one length-prefixed OCW per level.
+const idpfVersion = 2
+
+// MarshalBinary encodes the incremental key.
+func (k *IncrementalKey) MarshalBinary() ([]byte, error) {
+	if len(k.CW) != int(k.Domain) || len(k.LevelOCW) != int(k.Domain) {
+		return nil, fmt.Errorf("dpf: marshal: malformed incremental key")
+	}
+	size := keyHeaderSize + cwWireSize*len(k.CW)
+	for _, ocw := range k.LevelOCW {
+		size += 4 + len(ocw)
+	}
+	out := make([]byte, size)
+	out[0] = idpfVersion
+	out[1] = k.Party
+	out[2] = k.Domain
+	out[3] = uint8(k.PRG)
+	// Bytes 4..8 (betaLen in the plain format) stay zero.
+	copy(out[8:], k.RootSeed[:])
+	if k.RootT {
+		out[24] = 1
+	}
+	off := keyHeaderSize
+	for _, cw := range k.CW {
+		copy(out[off:], cw.Seed[:])
+		var bits byte
+		if cw.TLeft {
+			bits |= 1
+		}
+		if cw.TRight {
+			bits |= 2
+		}
+		out[off+aesprf.BlockSize] = bits
+		off += cwWireSize
+	}
+	for _, ocw := range k.LevelOCW {
+		binary.LittleEndian.PutUint32(out[off:], uint32(len(ocw)))
+		off += 4
+		copy(out[off:], ocw)
+		off += len(ocw)
+	}
+	return out, nil
+}
+
+// UnmarshalBinary decodes an incremental key.
+func (k *IncrementalKey) UnmarshalBinary(data []byte) error {
+	if len(data) < keyHeaderSize {
+		return fmt.Errorf("dpf: unmarshal: short buffer (%d bytes)", len(data))
+	}
+	if data[0] != idpfVersion {
+		return fmt.Errorf("dpf: unmarshal: unsupported incremental version %d", data[0])
+	}
+	if data[1] > 1 {
+		return fmt.Errorf("dpf: unmarshal: invalid party %d", data[1])
+	}
+	domain := int(data[2])
+	if domain < 1 || domain > MaxDomain {
+		return fmt.Errorf("%w: %d", ErrDomainRange, domain)
+	}
+	prg := PRGKind(data[3])
+	if _, err := prg.expander(); err != nil {
+		return err
+	}
+	if data[24] > 1 {
+		return fmt.Errorf("dpf: unmarshal: invalid control bit %d", data[24])
+	}
+	if len(data) < keyHeaderSize+cwWireSize*domain {
+		return fmt.Errorf("dpf: unmarshal: truncated correction words")
+	}
+
+	k.Party = data[1]
+	k.Domain = uint8(domain)
+	k.PRG = prg
+	copy(k.RootSeed[:], data[8:24])
+	k.RootT = data[24] == 1
+	k.CW = make([]CorrectionWord, domain)
+	off := keyHeaderSize
+	for i := range k.CW {
+		copy(k.CW[i].Seed[:], data[off:off+aesprf.BlockSize])
+		bits := data[off+aesprf.BlockSize]
+		if bits > 3 {
+			return fmt.Errorf("dpf: unmarshal: invalid correction bits %#x at level %d", bits, i)
+		}
+		k.CW[i].TLeft = bits&1 == 1
+		k.CW[i].TRight = bits&2 == 2
+		off += cwWireSize
+	}
+	k.LevelOCW = make([][]byte, domain)
+	for i := range k.LevelOCW {
+		if len(data)-off < 4 {
+			return fmt.Errorf("dpf: unmarshal: missing OCW length at level %d", i+1)
+		}
+		n := int(binary.LittleEndian.Uint32(data[off:]))
+		off += 4
+		if n == 0 || n > 1<<20 {
+			return fmt.Errorf("dpf: unmarshal: implausible OCW length %d at level %d", n, i+1)
+		}
+		if len(data)-off < n {
+			return fmt.Errorf("dpf: unmarshal: truncated OCW at level %d", i+1)
+		}
+		k.LevelOCW[i] = append([]byte(nil), data[off:off+n]...)
+		off += n
+	}
+	if off != len(data) {
+		return fmt.Errorf("dpf: unmarshal: %d trailing bytes", len(data)-off)
+	}
+	return nil
+}

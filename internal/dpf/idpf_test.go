@@ -1,0 +1,298 @@
+package dpf
+
+import (
+	"bytes"
+	"crypto/rand"
+	"testing"
+	"testing/quick"
+)
+
+func mustGenIncremental(t *testing.T, alpha uint64, betas [][]byte) (*IncrementalKey, *IncrementalKey) {
+	t.Helper()
+	k0, k1, err := GenIncremental(Params{}, alpha, betas)
+	if err != nil {
+		t.Fatalf("GenIncremental: %v", err)
+	}
+	return k0, k1
+}
+
+func levelBetas(t *testing.T, domain int, size int) [][]byte {
+	t.Helper()
+	betas := make([][]byte, domain)
+	for i := range betas {
+		betas[i] = make([]byte, size)
+		if _, err := rand.Read(betas[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return betas
+}
+
+// combine XORs the two parties' prefix shares.
+func combine(t *testing.T, k0, k1 *IncrementalKey, prefix uint64, level int) []byte {
+	t.Helper()
+	v0, err := k0.EvalPrefix(prefix, level)
+	if err != nil {
+		t.Fatalf("EvalPrefix(party 0, %d, %d): %v", prefix, level, err)
+	}
+	v1, err := k1.EvalPrefix(prefix, level)
+	if err != nil {
+		t.Fatalf("EvalPrefix(party 1, %d, %d): %v", prefix, level, err)
+	}
+	out := make([]byte, len(v0))
+	for i := range out {
+		out[i] = v0[i] ^ v1[i]
+	}
+	return out
+}
+
+// TestIncrementalExhaustive checks the defining IDPF property on every
+// prefix of every level for small domains: the combined share is β_ℓ on
+// the path to α and zero off it.
+func TestIncrementalExhaustive(t *testing.T) {
+	for domain := 1; domain <= 6; domain++ {
+		betas := levelBetas(t, domain, 8)
+		for alpha := uint64(0); alpha < 1<<uint(domain); alpha++ {
+			k0, k1 := mustGenIncremental(t, alpha, betas)
+			for level := 1; level <= domain; level++ {
+				alphaPrefix := alpha >> uint(domain-level)
+				for prefix := uint64(0); prefix < 1<<uint(level); prefix++ {
+					got := combine(t, k0, k1, prefix, level)
+					if prefix == alphaPrefix {
+						if !bytes.Equal(got, betas[level-1]) {
+							t.Fatalf("domain=%d alpha=%d level=%d prefix=%d: on-path value wrong",
+								domain, alpha, level, prefix)
+						}
+					} else if !bytes.Equal(got, make([]byte, 8)) {
+						t.Fatalf("domain=%d alpha=%d level=%d prefix=%d: off-path value nonzero",
+							domain, alpha, level, prefix)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestIncrementalMixedValueSizes(t *testing.T) {
+	// Per-level value sizes may differ (Google's IDPF allows per-level
+	// value types).
+	betas := [][]byte{
+		{0xAA},
+		bytes.Repeat([]byte{0xBB}, 16),
+		bytes.Repeat([]byte{0xCC}, 3),
+	}
+	const alpha = 0b101
+	k0, k1 := mustGenIncremental(t, alpha, betas)
+	for level := 1; level <= 3; level++ {
+		got := combine(t, k0, k1, alpha>>uint(3-level), level)
+		if !bytes.Equal(got, betas[level-1]) {
+			t.Fatalf("level %d: got %x, want %x", level, got, betas[level-1])
+		}
+		if len(got) != len(betas[level-1]) {
+			t.Fatalf("level %d: value size %d, want %d", level, len(got), len(betas[level-1]))
+		}
+	}
+}
+
+func TestIncrementalLargeDomainSpotChecks(t *testing.T) {
+	const domain = 32
+	betas := levelBetas(t, domain, 4)
+	alpha := randomIndex(t, domain)
+	k0, k1 := mustGenIncremental(t, alpha, betas)
+	for _, level := range []int{1, 7, 16, 32} {
+		alphaPrefix := alpha >> uint(domain-level)
+		if got := combine(t, k0, k1, alphaPrefix, level); !bytes.Equal(got, betas[level-1]) {
+			t.Fatalf("level %d on-path wrong", level)
+		}
+		off := alphaPrefix ^ 1
+		if got := combine(t, k0, k1, off, level); !bytes.Equal(got, make([]byte, 4)) {
+			t.Fatalf("level %d off-path nonzero", level)
+		}
+	}
+}
+
+// TestIncrementalConsistentWithPlainDPF: at the leaf level with a
+// constant value size, the IDPF behaves like a plain payload DPF.
+func TestIncrementalConsistentWithPlainDPF(t *testing.T) {
+	const domain = 8
+	beta := []byte{1, 2, 3, 4}
+	betas := make([][]byte, domain)
+	for i := range betas {
+		betas[i] = beta
+	}
+	const alpha = 99
+	ik0, ik1 := mustGenIncremental(t, alpha, betas)
+	pk0, pk1, err := Gen(Params{Domain: domain, BetaLen: 4}, alpha, beta)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for x := uint64(0); x < 1<<domain; x += 17 {
+		iGot := combine(t, ik0, ik1, x, domain)
+		_, v0, err := pk0.Eval(x)
+		if err != nil {
+			t.Fatal(err)
+		}
+		_, v1, err := pk1.Eval(x)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pGot := make([]byte, 4)
+		for i := range pGot {
+			pGot[i] = v0[i] ^ v1[i]
+		}
+		if !bytes.Equal(iGot, pGot) {
+			t.Fatalf("x=%d: incremental %x != plain %x", x, iGot, pGot)
+		}
+	}
+}
+
+func TestIncrementalValidation(t *testing.T) {
+	if _, _, err := GenIncremental(Params{}, 0, nil); err == nil {
+		t.Error("empty level list accepted")
+	}
+	if _, _, err := GenIncremental(Params{}, 4, [][]byte{{1}, {2}}); err == nil {
+		t.Error("alpha beyond domain accepted")
+	}
+	if _, _, err := GenIncremental(Params{}, 0, [][]byte{{1}, nil}); err == nil {
+		t.Error("empty level value accepted")
+	}
+	if _, _, err := GenIncremental(Params{Domain: 5}, 0, [][]byte{{1}}); err == nil {
+		t.Error("conflicting Params.Domain accepted")
+	}
+
+	k0, _ := mustGenIncremental(t, 2, [][]byte{{1}, {2}})
+	if _, err := k0.EvalPrefix(0, 0); err == nil {
+		t.Error("level 0 accepted")
+	}
+	if _, err := k0.EvalPrefix(0, 3); err == nil {
+		t.Error("level beyond domain accepted")
+	}
+	if _, err := k0.EvalPrefix(4, 2); err == nil {
+		t.Error("prefix beyond level accepted")
+	}
+	if k0.NumLevels() != 2 {
+		t.Errorf("NumLevels = %d", k0.NumLevels())
+	}
+}
+
+func TestIncrementalMarshalRoundTrip(t *testing.T) {
+	betas := [][]byte{{9}, bytes.Repeat([]byte{7}, 12), {1, 2}}
+	k0, _ := mustGenIncremental(t, 5, betas)
+	data, err := k0.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back IncrementalKey
+	if err := back.UnmarshalBinary(data); err != nil {
+		t.Fatal(err)
+	}
+	for level := 1; level <= 3; level++ {
+		for prefix := uint64(0); prefix < 1<<uint(level); prefix++ {
+			want, err := k0.EvalPrefix(prefix, level)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := back.EvalPrefix(prefix, level)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(got, want) {
+				t.Fatalf("round-tripped key differs at level %d prefix %d", level, prefix)
+			}
+		}
+	}
+}
+
+func TestIncrementalUnmarshalRejectsCorruption(t *testing.T) {
+	k0, _ := mustGenIncremental(t, 3, [][]byte{{1}, {2}, {3}})
+	good, err := k0.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := map[string]func([]byte) []byte{
+		"empty":         func(b []byte) []byte { return nil },
+		"plain version": func(b []byte) []byte { b[0] = keyVersion; return b },
+		"bad party":     func(b []byte) []byte { b[1] = 7; return b },
+		"zero domain":   func(b []byte) []byte { b[2] = 0; return b },
+		"truncated cw":  func(b []byte) []byte { return b[:keyHeaderSize+5] },
+		"truncated ocw": func(b []byte) []byte { return b[:len(b)-1] },
+		"trailing":      func(b []byte) []byte { return append(b, 0) },
+	}
+	for name, mutate := range cases {
+		data := mutate(append([]byte(nil), good...))
+		var k IncrementalKey
+		if err := k.UnmarshalBinary(data); err == nil {
+			t.Errorf("%s: corruption accepted", name)
+		}
+	}
+}
+
+// Property: random (domain, alpha, level, prefix) satisfies the IDPF
+// prefix property.
+func TestQuickIncremental(t *testing.T) {
+	f := func(domainRaw, levelRaw uint8, alphaRaw, prefixRaw uint64) bool {
+		domain := int(domainRaw)%10 + 1
+		level := int(levelRaw)%domain + 1
+		alpha := alphaRaw % (1 << uint(domain))
+		prefix := prefixRaw % (1 << uint(level))
+		betas := make([][]byte, domain)
+		for i := range betas {
+			betas[i] = []byte{byte(i + 1), byte(i * 3)}
+		}
+		k0, k1, err := GenIncremental(Params{}, alpha, betas)
+		if err != nil {
+			return false
+		}
+		v0, err := k0.EvalPrefix(prefix, level)
+		if err != nil {
+			return false
+		}
+		v1, err := k1.EvalPrefix(prefix, level)
+		if err != nil {
+			return false
+		}
+		onPath := prefix == alpha>>uint(domain-level)
+		for i := range v0 {
+			want := byte(0)
+			if onPath {
+				want = betas[level-1][i]
+			}
+			if v0[i]^v1[i] != want {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkGenIncremental(b *testing.B) {
+	betas := make([][]byte, 30)
+	for i := range betas {
+		betas[i] = make([]byte, 8)
+	}
+	for i := 0; i < b.N; i++ {
+		if _, _, err := GenIncremental(Params{}, 12345, betas); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkEvalPrefix(b *testing.B) {
+	betas := make([][]byte, 30)
+	for i := range betas {
+		betas[i] = make([]byte, 8)
+	}
+	k0, _, err := GenIncremental(Params{}, 12345, betas)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := k0.EvalPrefix(uint64(i)&(1<<20-1), 20); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,209 @@
+package impir
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"github.com/impir/impir/internal/bitvec"
+	"github.com/impir/impir/internal/dpf"
+	"github.com/impir/impir/internal/metrics"
+)
+
+// QueryBatch processes a batch of queries through the §3.4 pipeline:
+// host-side eval workers feed a task queue, and one goroutine per DPU
+// cluster drains it (Fig. 8). The returned stats carry both the measured
+// wall-clock makespan and the modeled makespan on the paper's hardware,
+// computed by replaying the per-query phase costs through a deterministic
+// pipeline schedule.
+func (e *Engine) QueryBatch(keys []*dpf.Key) ([][]byte, metrics.BatchStats, error) {
+	if len(keys) == 0 {
+		return nil, metrics.BatchStats{}, fmt.Errorf("impir: empty batch")
+	}
+	for i, k := range keys {
+		if err := e.validateKey(k); err != nil {
+			return nil, metrics.BatchStats{}, fmt.Errorf("impir: batch key %d: %w", i, err)
+		}
+	}
+
+	type evalTask struct {
+		idx int
+		vec *bitvec.Vector
+	}
+	type queryOutcome struct {
+		result      []byte
+		bd          metrics.Breakdown
+		evalModeled time.Duration
+		pimModeled  time.Duration
+		err         error
+	}
+
+	outcomes := make([]queryOutcome, len(keys))
+	taskQueue := make(chan evalTask, len(keys))
+	batchStart := time.Now()
+
+	// ---- Eval stage (Alg. 1 ➋, Fig. 8 ➊-➋) ----
+	var evalWG sync.WaitGroup
+	switch e.cfg.EvalMode {
+	case EvalPerQueryParallel:
+		// One key at a time, all workers cooperating on its subtrees.
+		evalWG.Add(1)
+		go func() {
+			defer evalWG.Done()
+			defer close(taskQueue)
+			for i, key := range keys {
+				vec, wall, modeled, err := e.evalFull(key, e.cfg.EvalWorkers)
+				outcomes[i].bd.AddPhase(metrics.PhaseEval, wall, modeled)
+				outcomes[i].evalModeled = modeled
+				if err != nil {
+					outcomes[i].err = err
+					continue
+				}
+				taskQueue <- evalTask{idx: i, vec: vec}
+			}
+		}()
+	default: // EvalPerKeyWorkers
+		workers := e.cfg.EvalWorkers
+		if workers > len(keys) {
+			workers = len(keys)
+		}
+		keyCh := make(chan int, len(keys))
+		for i := range keys {
+			keyCh <- i
+		}
+		close(keyCh)
+		for w := 0; w < workers; w++ {
+			evalWG.Add(1)
+			go func() {
+				defer evalWG.Done()
+				for i := range keyCh {
+					vec, wall, modeled, err := e.evalFull(keys[i], 1)
+					outcomes[i].bd.AddPhase(metrics.PhaseEval, wall, modeled)
+					outcomes[i].evalModeled = modeled
+					if err != nil {
+						outcomes[i].err = err
+						continue
+					}
+					taskQueue <- evalTask{idx: i, vec: vec}
+				}
+			}()
+		}
+		go func() {
+			evalWG.Wait()
+			close(taskQueue)
+		}()
+	}
+
+	// ---- Cluster stage (Fig. 8 ➌, Alg. 1 ➍-➏) ----
+	var clusterWG sync.WaitGroup
+	for _, c := range e.clusters {
+		clusterWG.Add(1)
+		go func(c *cluster) {
+			defer clusterWG.Done()
+			for task := range taskQueue {
+				result, bd, err := e.runCluster(c, task.vec)
+				out := &outcomes[task.idx]
+				out.bd.Add(bd)
+				out.pimModeled = bd.TotalModeled() // cluster phases only; eval is tracked separately
+				if err != nil {
+					out.err = err
+					continue
+				}
+				out.result = result
+			}
+		}(c)
+	}
+
+	evalWG.Wait()
+	clusterWG.Wait()
+	wallLatency := time.Since(batchStart)
+
+	results := make([][]byte, len(keys))
+	var total metrics.Breakdown
+	evalDurations := make([]time.Duration, len(keys))
+	pimDurations := make([]time.Duration, len(keys))
+	for i := range outcomes {
+		if outcomes[i].err != nil {
+			return nil, metrics.BatchStats{}, fmt.Errorf("impir: query %d: %w", i, outcomes[i].err)
+		}
+		results[i] = outcomes[i].result
+		total.Add(outcomes[i].bd)
+		evalDurations[i] = outcomes[i].evalModeled
+		pimDurations[i] = outcomes[i].pimModeled
+	}
+
+	stats := metrics.BatchStats{
+		Queries:     len(keys),
+		PerQuery:    total.Scale(len(keys)),
+		WallLatency: wallLatency,
+		ModeledLatency: ModeledMakespan(
+			e.cfg.EvalMode, e.cfg.EvalWorkers, len(e.clusters),
+			evalDurations, pimDurations),
+	}
+	return results, stats, nil
+}
+
+// ModeledMakespan replays the batch through a deterministic two-stage
+// pipeline schedule on the paper's hardware: stage 1 is the eval workers
+// (W parallel single-thread servers, or one W-thread server in
+// per-query-parallel mode), stage 2 is the C DPU clusters. Each query
+// enters stage 2 when its eval finishes and a cluster is free.
+func ModeledMakespan(mode EvalMode, workers, clusters int, evalDur, pimDur []time.Duration) time.Duration {
+	n := len(evalDur)
+	ready := make([]time.Duration, n)
+
+	switch mode {
+	case EvalPerQueryParallel:
+		// Sequential evals, each using every worker.
+		var t time.Duration
+		for i := 0; i < n; i++ {
+			t += evalDur[i]
+			ready[i] = t
+		}
+	default:
+		// W parallel eval servers, greedy assignment in key order.
+		if workers > n {
+			workers = n
+		}
+		free := make([]time.Duration, workers)
+		for i := 0; i < n; i++ {
+			w := argminDur(free)
+			free[w] += evalDur[i]
+			ready[i] = free[w]
+		}
+	}
+
+	// Queries reach the task queue in eval-completion order.
+	order := make([]int, n)
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(a, b int) bool { return ready[order[a]] < ready[order[b]] })
+
+	clusterFree := make([]time.Duration, clusters)
+	var makespan time.Duration
+	for _, i := range order {
+		c := argminDur(clusterFree)
+		start := ready[i]
+		if clusterFree[c] > start {
+			start = clusterFree[c]
+		}
+		finish := start + pimDur[i]
+		clusterFree[c] = finish
+		if finish > makespan {
+			makespan = finish
+		}
+	}
+	return makespan
+}
+
+func argminDur(xs []time.Duration) int {
+	best := 0
+	for i := 1; i < len(xs); i++ {
+		if xs[i] < xs[best] {
+			best = i
+		}
+	}
+	return best
+}

@@ -1,0 +1,532 @@
+// Package impir implements the paper's contribution: the IM-PIR server
+// engine, which partitions multi-server PIR query processing between the
+// host CPU (DPF key evaluation, AES-NI accelerated) and PIM DPUs (the
+// memory-bound dpXOR scan), per §3 and Algorithm 1 of the paper.
+//
+// One Engine is one PIR server's compute plane. A two-server deployment
+// runs two engines on replicas of the same database; the client XORs
+// their subresults to reconstruct the record (package impir at the module
+// root wires this together).
+//
+// The engine supports the paper's two batch execution modes (§3.4,
+// Fig. 8): a single DPU cluster holding the database sharded across all
+// DPUs (queries serialise on the cluster but each uses maximal
+// parallelism), or C clusters each holding a full database replica
+// (queries fan out across clusters).
+package impir
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"github.com/impir/impir/internal/bitvec"
+	"github.com/impir/impir/internal/database"
+	"github.com/impir/impir/internal/dpf"
+	"github.com/impir/impir/internal/hostmodel"
+	"github.com/impir/impir/internal/metrics"
+	"github.com/impir/impir/internal/pim"
+	"github.com/impir/impir/internal/pimkernel"
+	"github.com/impir/impir/internal/xorop"
+)
+
+// EvalMode selects how a batch's DPF evaluations are parallelised on the
+// host CPU (§3.4).
+type EvalMode int
+
+const (
+	// EvalPerKeyWorkers is the paper's Fig. 8 workflow: W worker threads
+	// each evaluate a different key concurrently (one thread per key)
+	// and feed the shared task queue. Default for batches.
+	EvalPerKeyWorkers EvalMode = iota + 1
+	// EvalPerQueryParallel evaluates one key at a time with all workers
+	// cooperating on its subtree partition (§3.2). Single queries always
+	// use this mode.
+	EvalPerQueryParallel
+)
+
+func (m EvalMode) String() string {
+	switch m {
+	case EvalPerKeyWorkers:
+		return "per-key-workers"
+	case EvalPerQueryParallel:
+		return "per-query-parallel"
+	default:
+		return fmt.Sprintf("EvalMode(%d)", int(m))
+	}
+}
+
+// Config configures an IM-PIR engine.
+type Config struct {
+	// PIM is the simulated PIM machine. Zero value means pim.DefaultConfig.
+	PIM pim.Config
+	// DPUs is how many DPUs the engine uses (0 = all). The paper uses
+	// 2048 of the machine's 2560.
+	DPUs int
+	// Clusters divides the DPUs into equal clusters, each holding a full
+	// database replica (§5.4). 0 or 1 means a single cluster sharding
+	// the DB across all DPUs.
+	Clusters int
+	// EvalWorkers is the host thread count for DPF evaluation. 0 means 8.
+	EvalWorkers int
+	// EvalStrategy is the full-domain evaluation traversal; zero value
+	// means dpf.StrategySubtree (the paper's choice).
+	EvalStrategy dpf.Strategy
+	// EvalMode selects batch evaluation scheduling; zero value means
+	// EvalPerKeyWorkers.
+	EvalMode EvalMode
+	// Host models the PIM server's host CPU for modeled durations. Zero
+	// value means hostmodel.PIMHost.
+	Host hostmodel.Model
+}
+
+// DefaultConfig returns the paper's evaluation configuration: 2048 DPUs,
+// one cluster, 16-tasklet DPUs, subtree-parallel host evaluation.
+func DefaultConfig() Config {
+	return Config{
+		PIM:         pim.DefaultConfig(),
+		DPUs:        2048,
+		Clusters:    1,
+		EvalWorkers: 8,
+		Host:        hostmodel.PIMHost(),
+	}
+}
+
+func (c Config) withDefaults() Config {
+	if c.PIM.Ranks == 0 && c.PIM.DPUsPerRank == 0 {
+		c.PIM = pim.DefaultConfig()
+	}
+	if c.DPUs == 0 {
+		c.DPUs = c.PIM.NumDPUs()
+	}
+	if c.Clusters == 0 {
+		c.Clusters = 1
+	}
+	if c.EvalWorkers == 0 {
+		c.EvalWorkers = 8
+	}
+	if c.EvalStrategy == 0 {
+		c.EvalStrategy = dpf.StrategySubtree
+	}
+	if c.EvalMode == 0 {
+		c.EvalMode = EvalPerKeyWorkers
+	}
+	if c.Host.Threads == 0 {
+		c.Host = hostmodel.PIMHost()
+	}
+	return c
+}
+
+func (c Config) validate() error {
+	var errs []error
+	if err := c.PIM.Validate(); err != nil {
+		errs = append(errs, err)
+	}
+	if c.DPUs < 1 || c.DPUs > c.PIM.NumDPUs() {
+		errs = append(errs, fmt.Errorf("impir: DPUs %d outside [1,%d]", c.DPUs, c.PIM.NumDPUs()))
+	}
+	if c.Clusters < 1 {
+		errs = append(errs, fmt.Errorf("impir: Clusters %d must be ≥ 1", c.Clusters))
+	}
+	if c.Clusters >= 1 && c.DPUs >= 1 && c.DPUs%c.Clusters != 0 {
+		errs = append(errs, fmt.Errorf("impir: DPUs %d not divisible by Clusters %d", c.DPUs, c.Clusters))
+	}
+	if c.EvalWorkers < 1 {
+		errs = append(errs, fmt.Errorf("impir: EvalWorkers %d must be ≥ 1", c.EvalWorkers))
+	}
+	if err := c.Host.Validate(); err != nil {
+		errs = append(errs, err)
+	}
+	return errors.Join(errs...)
+}
+
+// cluster is one group of DPUs holding a complete database replica (or,
+// in batched mode, streaming through it pass by pass).
+type cluster struct {
+	id     int
+	dpuIDs []int
+	// recordsPerDPU is B_d: each DPU's share of the database in records,
+	// a multiple of 64 so selector words never straddle DPUs.
+	recordsPerDPU int
+	// args holds each DPU's precomputed kernel argument block.
+	args [][]byte
+	// layout offsets (identical on every DPU of the cluster).
+	selOffset int
+	outOffset int
+	// resident is true when the whole chunk fits in MRAM and was
+	// preloaded (the paper's default "one-shot" mode, §3.3). When false,
+	// queries stream the database through MRAM in `passes` batches of
+	// perPassRecords records per DPU — the §3.3 adaptation for databases
+	// beyond the machine's PIM capacity.
+	resident       bool
+	passes         int
+	perPassRecords int
+	// mu serialises use of the cluster's DPUs: hardware executes one
+	// kernel per DPU at a time, so concurrent queries (e.g. from
+	// concurrent transport connections) queue here rather than
+	// double-booking a launch.
+	mu sync.Mutex
+}
+
+// Engine is an IM-PIR server engine. Query, QueryBatch and the cluster
+// scheduler may be called concurrently; cluster access is serialised
+// internally the way real hardware serialises kernel launches.
+type Engine struct {
+	cfg      Config
+	sys      *pim.System
+	db       *database.DB // padded to a power of two
+	domain   int
+	clusters []*cluster
+	rr       atomic.Uint64 // round-robin cluster pick for single queries
+}
+
+// New builds an engine and its simulated PIM system.
+func New(cfg Config) (*Engine, error) {
+	cfg = cfg.withDefaults()
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	sys, err := pim.NewSystem(cfg.PIM)
+	if err != nil {
+		return nil, err
+	}
+	return &Engine{cfg: cfg, sys: sys}, nil
+}
+
+// Name identifies the engine in benchmark reports.
+func (e *Engine) Name() string { return "IM-PIR" }
+
+// Config returns the engine's effective configuration.
+func (e *Engine) Config() Config { return e.cfg }
+
+// System exposes the underlying PIM system (tests and the roofline
+// instrumentation use it).
+func (e *Engine) System() *pim.System { return e.sys }
+
+// Database returns the loaded (padded) database, or nil.
+func (e *Engine) Database() *database.DB { return e.db }
+
+// LoadDatabase shards the database across every cluster's DPUs and
+// preloads the chunks into MRAM (§3.3 "Database preloading"). Preloading
+// is a one-time cost excluded from query latency, as in the paper (§5.1).
+func (e *Engine) LoadDatabase(db *database.DB) error {
+	if db == nil {
+		return errors.New("impir: nil database")
+	}
+	if db.RecordSize()%8 != 0 || db.RecordSize() > pim.DMAMaxTransfer {
+		return fmt.Errorf("impir: record size %d must be a positive multiple of 8 bytes ≤ %d",
+			db.RecordSize(), pim.DMAMaxTransfer)
+	}
+	padded := db.PadToPowerOfTwo()
+	if padded == db {
+		// PadToPowerOfTwo returned the caller's storage; clone so this
+		// replica is independent of the caller's and of other engines
+		// loaded from the same DB (true replica semantics for §3.3
+		// updates).
+		padded = db.Clone()
+	}
+	n := padded.NumRecords()
+	recordSize := padded.RecordSize()
+
+	dpusPerCluster := e.cfg.DPUs / e.cfg.Clusters
+	recordsPerDPU := (n + dpusPerCluster - 1) / dpusPerCluster
+	recordsPerDPU = (recordsPerDPU + 63) / 64 * 64
+
+	// Resident ("one-shot", §3.3) when the whole chunk plus selector fits
+	// in MRAM; otherwise fall back to streaming the database through MRAM
+	// in batches per query.
+	resident := mramFootprint(recordsPerDPU, recordSize) <= e.cfg.PIM.MRAMPerDPU
+	perPass := recordsPerDPU
+	passes := 1
+	if !resident {
+		perPass = maxRecordsFitting(e.cfg.PIM.MRAMPerDPU, recordSize)
+		if perPass < 64 {
+			return fmt.Errorf("impir: MRAM of %d bytes cannot hold even one 64-record batch of %d-byte records",
+				e.cfg.PIM.MRAMPerDPU, recordSize)
+		}
+		passes = (recordsPerDPU + perPass - 1) / perPass
+	}
+
+	// MRAM layout: [db chunk | selector bits | subresult], 8-aligned.
+	selOffset := align8(perPass * recordSize)
+	outOffset := align8(selOffset + perPass/8)
+
+	clusters := make([]*cluster, e.cfg.Clusters)
+	for ci := range clusters {
+		c := &cluster{
+			id:             ci,
+			dpuIDs:         make([]int, dpusPerCluster),
+			recordsPerDPU:  recordsPerDPU,
+			selOffset:      selOffset,
+			outOffset:      outOffset,
+			args:           make([][]byte, dpusPerCluster),
+			resident:       resident,
+			passes:         passes,
+			perPassRecords: perPass,
+		}
+		args := pimkernel.DPXORArgs{
+			DBOffset:   0,
+			NumRecords: uint64(perPass),
+			RecordSize: uint64(recordSize),
+			SelOffset:  uint64(selOffset),
+			OutOffset:  uint64(outOffset),
+		}.Marshal()
+		for i := 0; i < dpusPerCluster; i++ {
+			dpuID := ci*dpusPerCluster + i
+			c.dpuIDs[i] = dpuID
+			c.args[i] = args
+			if resident {
+				if err := e.sys.Preload(dpuID, 0, dbSlice(padded, i*recordsPerDPU, recordsPerDPU)); err != nil {
+					return fmt.Errorf("impir: preload cluster %d dpu %d: %w", ci, i, err)
+				}
+			}
+		}
+		clusters[ci] = c
+	}
+
+	e.db = padded
+	e.domain = padded.Domain()
+	e.clusters = clusters
+	return nil
+}
+
+// mramFootprint is the per-DPU MRAM demand of a chunk of the given size.
+func mramFootprint(records, recordSize int) int {
+	return align8(align8(records*recordSize)+records/8) + recordSize
+}
+
+// maxRecordsFitting returns the largest 64-multiple record count whose
+// footprint fits the MRAM budget.
+func maxRecordsFitting(mram, recordSize int) int {
+	lo, hi := 0, mram/recordSize/64+1
+	for lo < hi {
+		mid := (lo + hi + 1) / 2
+		if mramFootprint(mid*64, recordSize) <= mram {
+			lo = mid
+		} else {
+			hi = mid - 1
+		}
+	}
+	return lo * 64
+}
+
+// dbSlice returns the flat bytes for `count` records starting at the
+// given global record index, zero-padded past the end of the database.
+func dbSlice(db *database.DB, startRecord, count int) []byte {
+	recordSize := db.RecordSize()
+	data := db.Data()
+	start := startRecord * recordSize
+	want := count * recordSize
+	if start >= len(data) {
+		return make([]byte, want)
+	}
+	if start+want <= len(data) {
+		return data[start : start+want]
+	}
+	out := make([]byte, want)
+	copy(out, data[start:])
+	return out
+}
+
+func align8(n int) int { return (n + 7) &^ 7 }
+
+// validateKey checks a query key against the loaded database.
+func (e *Engine) validateKey(key *dpf.Key) error {
+	if e.db == nil {
+		return errors.New("impir: no database loaded")
+	}
+	if key == nil {
+		return errors.New("impir: nil key")
+	}
+	if int(key.Domain) != e.domain {
+		return fmt.Errorf("impir: key domain %d does not match database domain %d", key.Domain, e.domain)
+	}
+	if key.BetaLen() != 0 {
+		return fmt.Errorf("impir: PIR keys must be single-bit DPFs, got %d-byte payload", key.BetaLen())
+	}
+	return nil
+}
+
+// evalFull runs the host-side DPF evaluation phase (Alg. 1 ➋),
+// returning the share vector plus wall and modeled durations.
+func (e *Engine) evalFull(key *dpf.Key, threads int) (*bitvec.Vector, time.Duration, time.Duration, error) {
+	start := time.Now()
+	vec, err := key.EvalFull(dpf.FullEvalOptions{
+		Strategy: e.cfg.EvalStrategy,
+		Workers:  threads,
+	})
+	if err != nil {
+		return nil, 0, 0, fmt.Errorf("impir: DPF evaluation: %w", err)
+	}
+	wall := time.Since(start)
+	modeled := e.cfg.Host.EvalDuration(uint64(e.db.NumRecords()), threads)
+	return vec, wall, modeled, nil
+}
+
+// selectorFlat packs the share vector into flat little-endian selector
+// bytes padded to the cluster's full capacity (|DPUs|·B_d bits), so both
+// resident chunks and batched pass-slices are simple sub-slices.
+func (c *cluster) selectorFlat(vec *bitvec.Vector) []byte {
+	words := vec.Words()
+	flat := make([]byte, len(c.dpuIDs)*c.recordsPerDPU/8)
+	for i, w := range words {
+		off := i * 8
+		flat[off] = byte(w)
+		flat[off+1] = byte(w >> 8)
+		flat[off+2] = byte(w >> 16)
+		flat[off+3] = byte(w >> 24)
+		flat[off+4] = byte(w >> 32)
+		flat[off+5] = byte(w >> 40)
+		flat[off+6] = byte(w >> 48)
+		flat[off+7] = byte(w >> 56)
+	}
+	return flat
+}
+
+// runCluster executes the PIM phases of one query on one cluster:
+// scatter the share vector (➌), launch dpXOR (➍), gather subresults (➎),
+// and XOR-fold them on the host (➏). In batched mode (database beyond
+// MRAM capacity) the database itself is also streamed through MRAM, one
+// pass per batch. Returns the server subresult and per-phase breakdown.
+func (e *Engine) runCluster(c *cluster, vec *bitvec.Vector) ([]byte, metrics.Breakdown, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+
+	var bd metrics.Breakdown
+	recordSize := e.db.RecordSize()
+	flatSel := c.selectorFlat(vec)
+	result := make([]byte, recordSize)
+
+	selChunks := make([][]byte, len(c.dpuIDs))
+	var dbChunks [][]byte
+	if !c.resident {
+		dbChunks = make([][]byte, len(c.dpuIDs))
+	}
+
+	for pass := 0; pass < c.passes; pass++ {
+		passBase := pass * c.perPassRecords
+		passRecords := c.perPassRecords
+		if passBase+passRecords > c.recordsPerDPU {
+			// Final pass covers the tail of each DPU's share (both are
+			// 64-multiples, so the clamp stays kernel-aligned).
+			passRecords = c.recordsPerDPU - passBase
+		}
+		args := c.args
+		if passRecords != c.perPassRecords {
+			tail := pimkernel.DPXORArgs{
+				DBOffset:   0,
+				NumRecords: uint64(passRecords),
+				RecordSize: uint64(recordSize),
+				SelOffset:  uint64(c.selOffset),
+				OutOffset:  uint64(c.outOffset),
+			}.Marshal()
+			args = make([][]byte, len(c.dpuIDs))
+			for i := range args {
+				args[i] = tail
+			}
+		}
+		for i := range c.dpuIDs {
+			recStart := i*c.recordsPerDPU + passBase
+			selStart := recStart / 8
+			selChunks[i] = flatSel[selStart : selStart+passRecords/8]
+			if !c.resident {
+				dbChunks[i] = dbSlice(e.db, recStart, passRecords)
+			}
+		}
+
+		// Batched mode only: stage this pass's database chunks (§3.3's
+		// adaptation; in resident mode the DB was preloaded for free).
+		if !c.resident {
+			start := time.Now()
+			cost, err := e.sys.Scatter(c.dpuIDs, 0, dbChunks)
+			if err != nil {
+				return nil, bd, fmt.Errorf("impir: stage DB pass %d: %w", pass, err)
+			}
+			bd.AddPhase(metrics.PhaseCopyToPIM, time.Since(start), cost.Modeled)
+		}
+
+		// ➌ scatter share-vector chunks.
+		start := time.Now()
+		scatterCost, err := e.sys.Scatter(c.dpuIDs, c.selOffset, selChunks)
+		if err != nil {
+			return nil, bd, fmt.Errorf("impir: scatter: %w", err)
+		}
+		bd.AddPhase(metrics.PhaseCopyToPIM, time.Since(start), scatterCost.Modeled)
+
+		// ➍ dpXOR kernel.
+		start = time.Now()
+		launchCost, err := e.sys.Launch(c.dpuIDs, pimkernel.DPXOR{}, args)
+		if err != nil {
+			return nil, bd, fmt.Errorf("impir: dpXOR launch: %w", err)
+		}
+		bd.AddPhase(metrics.PhaseDpXOR, time.Since(start), launchCost.Modeled)
+
+		// ➎ gather per-DPU subresults.
+		start = time.Now()
+		subresults, gatherCost, err := e.sys.Gather(c.dpuIDs, c.outOffset, recordSize)
+		if err != nil {
+			return nil, bd, fmt.Errorf("impir: gather: %w", err)
+		}
+		bd.AddPhase(metrics.PhaseCopyToHost, time.Since(start), gatherCost.Modeled)
+
+		// ➏ aggregate on the host.
+		start = time.Now()
+		for _, sub := range subresults {
+			if err := xorop.XORBytes(result, sub); err != nil {
+				return nil, bd, fmt.Errorf("impir: aggregate: %w", err)
+			}
+		}
+		bd.AddPhase(metrics.PhaseAggregate, time.Since(start),
+			e.cfg.Host.XORFoldDuration(len(subresults), recordSize))
+	}
+
+	return result, bd, nil
+}
+
+// Query processes a single PIR query end-to-end: per-query-parallel
+// evaluation, then the PIM phases on one cluster (round-robin when the
+// engine is configured with several, so concurrent callers spread out).
+func (e *Engine) Query(key *dpf.Key) ([]byte, metrics.Breakdown, error) {
+	if err := e.validateKey(key); err != nil {
+		return nil, metrics.Breakdown{}, err
+	}
+	vec, wall, modeled, err := e.evalFull(key, e.cfg.EvalWorkers)
+	if err != nil {
+		return nil, metrics.Breakdown{}, err
+	}
+	var bd metrics.Breakdown
+	bd.AddPhase(metrics.PhaseEval, wall, modeled)
+
+	c := e.clusters[e.rr.Add(1)%uint64(len(e.clusters))]
+	result, pimBD, err := e.runCluster(c, vec)
+	if err != nil {
+		return nil, bd, err
+	}
+	bd.Add(pimBD)
+	return result, bd, nil
+}
+
+// QueryShare processes a raw selector-share query: the n-server
+// generalisation of §2.3, where the client ships each server an explicit
+// N-bit share instead of a DPF key (O(N) communication, any number of
+// servers ≥ 2). Only the PIM phases run — there is no key to evaluate.
+func (e *Engine) QueryShare(share *bitvec.Vector) ([]byte, metrics.Breakdown, error) {
+	if e.db == nil {
+		return nil, metrics.Breakdown{}, errors.New("impir: no database loaded")
+	}
+	if share == nil {
+		return nil, metrics.Breakdown{}, errors.New("impir: nil share")
+	}
+	if share.Len() != e.db.NumRecords() {
+		return nil, metrics.Breakdown{}, fmt.Errorf("impir: share covers %d records, database has %d",
+			share.Len(), e.db.NumRecords())
+	}
+	c := e.clusters[e.rr.Add(1)%uint64(len(e.clusters))]
+	return e.runCluster(c, share)
+}
+
+// Close releases the engine. (The simulator has no external resources;
+// Close exists for API symmetry with real deployments.)
+func (e *Engine) Close() error { return nil }

@@ -1,0 +1,78 @@
+package impir
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"github.com/impir/impir/internal/pim"
+)
+
+// UpdateRecords applies a bulk database update during an idle window, as
+// §3.3 describes for frequently updated databases: the host rewrites the
+// affected records in every cluster's MRAM replica (and in the engine's
+// host-side copy) between query batches. The returned cost models the
+// CPU→DPU transfer of the dirty records; amortised over the window it
+// does not sit on any query's critical path.
+//
+// UpdateRecords must not run concurrently with Query/QueryBatch — the
+// DPUs process queries against a stable database version, exactly the
+// discipline the paper prescribes.
+func (e *Engine) UpdateRecords(updates map[int][]byte) (pim.Cost, error) {
+	if e.db == nil {
+		return pim.Cost{}, errors.New("impir: no database loaded")
+	}
+	if len(updates) == 0 {
+		return pim.Cost{}, errors.New("impir: empty update set")
+	}
+	recordSize := e.db.RecordSize()
+
+	// Validate everything before mutating anything, so a bad entry can
+	// not leave replicas diverged.
+	indices := make([]int, 0, len(updates))
+	for idx, rec := range updates {
+		if idx < 0 || idx >= e.db.NumRecords() {
+			return pim.Cost{}, fmt.Errorf("impir: update index %d outside [0,%d)", idx, e.db.NumRecords())
+		}
+		if len(rec) != recordSize {
+			return pim.Cost{}, fmt.Errorf("impir: update for record %d has %d bytes, want %d",
+				idx, len(rec), recordSize)
+		}
+		indices = append(indices, idx)
+	}
+	sort.Ints(indices)
+
+	ranksTouched := make(map[int]struct{})
+	var totalBytes int64
+	for _, idx := range indices {
+		rec := updates[idx]
+		if err := e.db.SetRecord(idx, rec); err != nil {
+			return pim.Cost{}, err
+		}
+		for _, c := range e.clusters {
+			if !c.resident {
+				// Batched clusters restage the database from the host
+				// copy on every query; only that copy needs the update.
+				continue
+			}
+			dpuSlot := idx / c.recordsPerDPU
+			if dpuSlot >= len(c.dpuIDs) {
+				// Beyond the replica's populated chunks (zero padding).
+				continue
+			}
+			dpuID := c.dpuIDs[dpuSlot]
+			offset := (idx % c.recordsPerDPU) * recordSize
+			if err := e.sys.Preload(dpuID, offset, rec); err != nil {
+				return pim.Cost{}, fmt.Errorf("impir: update record %d on DPU %d: %w", idx, dpuID, err)
+			}
+			ranksTouched[dpuID/e.cfg.PIM.DPUsPerRank] = struct{}{}
+			totalBytes += int64(recordSize)
+		}
+	}
+
+	cost := pim.Cost{
+		Modeled: e.cfg.PIM.HostToDPUDuration(totalBytes, len(ranksTouched)),
+		Bytes:   totalBytes,
+	}
+	return cost, nil
+}

@@ -1,0 +1,96 @@
+package impir
+
+import (
+	"bytes"
+	"testing"
+)
+
+func TestUpdateRecordsVisibleToQueries(t *testing.T) {
+	for _, clusters := range []int{1, 2} {
+		e0, db := newLoadedEngine(t, testConfig(clusters), 512)
+		e1, _ := newLoadedEngine(t, testConfig(clusters), 512)
+
+		newRec := bytes.Repeat([]byte{0xAB}, 32)
+		updates := map[int][]byte{137: newRec}
+		cost0, err := e0.UpdateRecords(updates)
+		if err != nil {
+			t.Fatalf("UpdateRecords: %v", err)
+		}
+		if _, err := e1.UpdateRecords(updates); err != nil {
+			t.Fatalf("UpdateRecords replica: %v", err)
+		}
+		if cost0.Modeled <= 0 || cost0.Bytes <= 0 {
+			t.Errorf("update cost not accounted: %+v", cost0)
+		}
+
+		got := queryBothServers(t, e0, e1, db.Domain(), 137)
+		if !bytes.Equal(got, newRec) {
+			t.Fatalf("clusters=%d: query after update returned stale record %x", clusters, got[:4])
+		}
+		// Neighbouring records must be untouched.
+		got = queryBothServers(t, e0, e1, db.Domain(), 136)
+		if !bytes.Equal(got, db.Record(136)) {
+			t.Fatalf("clusters=%d: update corrupted neighbouring record", clusters)
+		}
+	}
+}
+
+func TestUpdateRecordsBulk(t *testing.T) {
+	e0, db := newLoadedEngine(t, testConfig(2), 512)
+	e1, _ := newLoadedEngine(t, testConfig(2), 512)
+	updates := make(map[int][]byte)
+	for i := 0; i < 50; i++ {
+		rec := bytes.Repeat([]byte{byte(i + 1)}, 32)
+		updates[i*10] = rec
+	}
+	if _, err := e0.UpdateRecords(updates); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e1.UpdateRecords(updates); err != nil {
+		t.Fatal(err)
+	}
+	for idx, want := range updates {
+		got := queryBothServers(t, e0, e1, db.Domain(), uint64(idx))
+		if !bytes.Equal(got, want) {
+			t.Fatalf("record %d not updated", idx)
+		}
+	}
+}
+
+func TestUpdateRecordsValidation(t *testing.T) {
+	e0, _ := newLoadedEngine(t, testConfig(1), 512)
+
+	if _, err := e0.UpdateRecords(nil); err == nil {
+		t.Error("empty update set accepted")
+	}
+	if _, err := e0.UpdateRecords(map[int][]byte{-1: make([]byte, 32)}); err == nil {
+		t.Error("negative index accepted")
+	}
+	if _, err := e0.UpdateRecords(map[int][]byte{1 << 20: make([]byte, 32)}); err == nil {
+		t.Error("out-of-range index accepted")
+	}
+	if _, err := e0.UpdateRecords(map[int][]byte{0: make([]byte, 16)}); err == nil {
+		t.Error("short record accepted")
+	}
+
+	// A bad entry in a batch must not partially apply.
+	orig := append([]byte(nil), e0.Database().Record(5)...)
+	bad := map[int][]byte{
+		5:       bytes.Repeat([]byte{0xFF}, 32),
+		1 << 20: make([]byte, 32),
+	}
+	if _, err := e0.UpdateRecords(bad); err == nil {
+		t.Fatal("invalid batch accepted")
+	}
+	if !bytes.Equal(e0.Database().Record(5), orig) {
+		t.Fatal("failed batch partially applied")
+	}
+
+	unloaded, err := New(testConfig(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := unloaded.UpdateRecords(map[int][]byte{0: make([]byte, 32)}); err == nil {
+		t.Error("update before load accepted")
+	}
+}

@@ -1,0 +1,178 @@
+// Package metrics defines the per-phase timing breakdowns reported by the
+// PIR engines, mirroring the instrumentation behind Figure 10 and Table 1
+// of the paper: every query's server-side cost is attributed to DPF
+// evaluation, CPU→PIM copy, dpXOR, PIM→CPU copy, and aggregation.
+//
+// Each phase carries two durations: Wall (measured on the machine running
+// this reproduction) and Modeled (what the operation costs on the paper's
+// hardware per the calibrated models in packages pim and hostmodel). The
+// benchmark harness reports both; figure reproduction uses Modeled.
+package metrics
+
+import (
+	"fmt"
+	"strings"
+	"time"
+)
+
+// Phase identifies one server-side query-processing phase (Alg. 1 ➋–➏).
+type Phase int
+
+const (
+	// PhaseGen is client-side key generation (only Fig. 3a reports it).
+	PhaseGen Phase = iota
+	// PhaseEval is host-side full-domain DPF evaluation (Alg. 1 ➋).
+	PhaseEval
+	// PhaseCopyToPIM is the share-vector scatter to DPU MRAM (➌).
+	PhaseCopyToPIM
+	// PhaseDpXOR is the selective-XOR scan (➍) — on DPUs for IM-PIR, on
+	// the CPU for the baseline, on the GPU for GPU-PIR.
+	PhaseDpXOR
+	// PhaseCopyToHost is the subresult gather from DPUs (➎).
+	PhaseCopyToHost
+	// PhaseAggregate is the host-side XOR fold of subresults (➏).
+	PhaseAggregate
+
+	numPhases
+)
+
+// NumPhases is the number of distinct phases.
+const NumPhases = int(numPhases)
+
+// String returns the phase name as used in the paper's figures.
+func (p Phase) String() string {
+	switch p {
+	case PhaseGen:
+		return "Gen"
+	case PhaseEval:
+		return "Eval"
+	case PhaseCopyToPIM:
+		return "copy(cpu→pim)"
+	case PhaseDpXOR:
+		return "dpXOR"
+	case PhaseCopyToHost:
+		return "copy(pim→cpu)"
+	case PhaseAggregate:
+		return "aggregation"
+	default:
+		return fmt.Sprintf("Phase(%d)", int(p))
+	}
+}
+
+// Phases lists all phases in pipeline order.
+func Phases() []Phase {
+	out := make([]Phase, NumPhases)
+	for i := range out {
+		out[i] = Phase(i)
+	}
+	return out
+}
+
+// Breakdown is a per-phase accounting of one query (or an accumulation
+// over many queries) in both wall-clock and modeled time.
+type Breakdown struct {
+	Wall    [NumPhases]time.Duration
+	Modeled [NumPhases]time.Duration
+}
+
+// AddPhase accumulates one phase observation.
+func (b *Breakdown) AddPhase(p Phase, wall, modeled time.Duration) {
+	b.Wall[p] += wall
+	b.Modeled[p] += modeled
+}
+
+// Add accumulates another breakdown into b.
+func (b *Breakdown) Add(o Breakdown) {
+	for i := 0; i < NumPhases; i++ {
+		b.Wall[i] += o.Wall[i]
+		b.Modeled[i] += o.Modeled[i]
+	}
+}
+
+// TotalWall returns the summed measured duration across phases.
+func (b *Breakdown) TotalWall() time.Duration {
+	var t time.Duration
+	for _, d := range b.Wall {
+		t += d
+	}
+	return t
+}
+
+// TotalModeled returns the summed modeled duration across phases.
+func (b *Breakdown) TotalModeled() time.Duration {
+	var t time.Duration
+	for _, d := range b.Modeled {
+		t += d
+	}
+	return t
+}
+
+// ModeledShare returns phase p's fraction of the modeled total, the
+// quantity Table 1 reports. Returns 0 for an empty breakdown.
+func (b *Breakdown) ModeledShare(p Phase) float64 {
+	total := b.TotalModeled()
+	if total == 0 {
+		return 0
+	}
+	return float64(b.Modeled[p]) / float64(total)
+}
+
+// Scale returns a copy of b with all durations divided by n — used to
+// convert batch accumulations into per-query averages.
+func (b *Breakdown) Scale(n int) Breakdown {
+	if n <= 0 {
+		return *b
+	}
+	var out Breakdown
+	for i := 0; i < NumPhases; i++ {
+		out.Wall[i] = b.Wall[i] / time.Duration(n)
+		out.Modeled[i] = b.Modeled[i] / time.Duration(n)
+	}
+	return out
+}
+
+// String renders the modeled breakdown compactly for logs.
+func (b *Breakdown) String() string {
+	var sb strings.Builder
+	for i := 0; i < NumPhases; i++ {
+		if b.Modeled[i] == 0 && b.Wall[i] == 0 {
+			continue
+		}
+		if sb.Len() > 0 {
+			sb.WriteString(" ")
+		}
+		fmt.Fprintf(&sb, "%s=%v", Phase(i), b.Modeled[i].Round(time.Microsecond))
+	}
+	return sb.String()
+}
+
+// BatchStats summarises a batch of queries processed by an engine.
+type BatchStats struct {
+	// Queries is the batch size.
+	Queries int
+	// PerQuery is the average per-query breakdown.
+	PerQuery Breakdown
+	// WallLatency is the measured end-to-end time for the whole batch.
+	WallLatency time.Duration
+	// ModeledLatency is the modeled end-to-end batch time on the paper's
+	// hardware, including pipeline overlap between eval workers and DPU
+	// clusters.
+	ModeledLatency time.Duration
+}
+
+// ModeledQPS returns the modeled query throughput of the batch.
+func (s BatchStats) ModeledQPS() float64 {
+	if s.ModeledLatency <= 0 {
+		return 0
+	}
+	return float64(s.Queries) / s.ModeledLatency.Seconds()
+}
+
+// WallQPS returns the measured query throughput of the batch on the local
+// machine.
+func (s BatchStats) WallQPS() float64 {
+	if s.WallLatency <= 0 {
+		return 0
+	}
+	return float64(s.Queries) / s.WallLatency.Seconds()
+}

@@ -1,0 +1,113 @@
+package metrics
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestPhaseNames(t *testing.T) {
+	want := map[Phase]string{
+		PhaseGen:        "Gen",
+		PhaseEval:       "Eval",
+		PhaseCopyToPIM:  "copy(cpu→pim)",
+		PhaseDpXOR:      "dpXOR",
+		PhaseCopyToHost: "copy(pim→cpu)",
+		PhaseAggregate:  "aggregation",
+	}
+	for p, name := range want {
+		if p.String() != name {
+			t.Errorf("%d.String() = %q, want %q", p, p.String(), name)
+		}
+	}
+	if Phase(99).String() == "" {
+		t.Error("unknown phase produced empty string")
+	}
+	if len(Phases()) != NumPhases {
+		t.Errorf("Phases() has %d entries, want %d", len(Phases()), NumPhases)
+	}
+}
+
+func TestBreakdownAccumulation(t *testing.T) {
+	var b Breakdown
+	b.AddPhase(PhaseEval, 10*time.Millisecond, 20*time.Millisecond)
+	b.AddPhase(PhaseDpXOR, 5*time.Millisecond, 60*time.Millisecond)
+	b.AddPhase(PhaseEval, 10*time.Millisecond, 20*time.Millisecond)
+
+	if b.TotalWall() != 25*time.Millisecond {
+		t.Errorf("TotalWall = %v", b.TotalWall())
+	}
+	if b.TotalModeled() != 100*time.Millisecond {
+		t.Errorf("TotalModeled = %v", b.TotalModeled())
+	}
+	if share := b.ModeledShare(PhaseEval); share != 0.4 {
+		t.Errorf("ModeledShare(Eval) = %v, want 0.4", share)
+	}
+	if share := b.ModeledShare(PhaseGen); share != 0 {
+		t.Errorf("ModeledShare(Gen) = %v, want 0", share)
+	}
+}
+
+func TestBreakdownAdd(t *testing.T) {
+	var a, b Breakdown
+	a.AddPhase(PhaseEval, time.Second, 2*time.Second)
+	b.AddPhase(PhaseEval, time.Second, time.Second)
+	b.AddPhase(PhaseAggregate, time.Millisecond, time.Millisecond)
+	a.Add(b)
+	if a.Wall[PhaseEval] != 2*time.Second || a.Modeled[PhaseEval] != 3*time.Second {
+		t.Errorf("Add mis-accumulated eval: %+v", a)
+	}
+	if a.Modeled[PhaseAggregate] != time.Millisecond {
+		t.Error("Add dropped aggregate phase")
+	}
+}
+
+func TestBreakdownScale(t *testing.T) {
+	var b Breakdown
+	b.AddPhase(PhaseEval, 10*time.Millisecond, 30*time.Millisecond)
+	s := b.Scale(3)
+	if s.Modeled[PhaseEval] != 10*time.Millisecond {
+		t.Errorf("Scale(3) modeled = %v", s.Modeled[PhaseEval])
+	}
+	// Scale by non-positive returns unchanged values.
+	s0 := b.Scale(0)
+	if s0.Modeled[PhaseEval] != 30*time.Millisecond {
+		t.Error("Scale(0) mutated breakdown")
+	}
+}
+
+func TestEmptyBreakdownShares(t *testing.T) {
+	var b Breakdown
+	if b.ModeledShare(PhaseEval) != 0 {
+		t.Error("empty breakdown has nonzero share")
+	}
+	if b.String() != "" {
+		t.Errorf("empty breakdown String() = %q", b.String())
+	}
+}
+
+func TestBreakdownString(t *testing.T) {
+	var b Breakdown
+	b.AddPhase(PhaseDpXOR, time.Millisecond, 2*time.Millisecond)
+	if !strings.Contains(b.String(), "dpXOR") {
+		t.Errorf("String() = %q missing phase name", b.String())
+	}
+}
+
+func TestBatchStats(t *testing.T) {
+	s := BatchStats{
+		Queries:        10,
+		WallLatency:    2 * time.Second,
+		ModeledLatency: 500 * time.Millisecond,
+	}
+	if got := s.ModeledQPS(); got != 20 {
+		t.Errorf("ModeledQPS = %v, want 20", got)
+	}
+	if got := s.WallQPS(); got != 5 {
+		t.Errorf("WallQPS = %v, want 5", got)
+	}
+	var zero BatchStats
+	if zero.ModeledQPS() != 0 || zero.WallQPS() != 0 {
+		t.Error("zero stats produced nonzero QPS")
+	}
+}

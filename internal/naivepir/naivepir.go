@@ -1,0 +1,126 @@
+// Package naivepir implements the "simple (naive)" multi-server PIR of
+// §2.3 / Figure 2 of the paper: the client secret-shares its one-hot
+// query vector as n random bit vectors that XOR to the indicator of the
+// queried index, sending one full-length vector to each of n ≥ 2
+// non-colluding servers.
+//
+// Compared with the DPF encoding (package dpf), queries cost O(N) bits
+// per server instead of O(λ log N) — the communication blow-up that
+// motivated distributed point functions — but the server-side work is an
+// identical dpXOR scan, and the construction generalises trivially to any
+// number of servers. IM-PIR's benchmarks use this package for the
+// communication ablation, and it doubles as an independent oracle for the
+// DPF path: both must select exactly the same records.
+package naivepir
+
+import (
+	"crypto/rand"
+	"errors"
+	"fmt"
+	"io"
+
+	"github.com/impir/impir/internal/bitvec"
+	"github.com/impir/impir/internal/database"
+	"github.com/impir/impir/internal/xorop"
+)
+
+// MinServers is the smallest deployment size; privacy requires at least
+// two non-colluding servers.
+const MinServers = 2
+
+// Query is the client's encoding of one retrieval: Shares[s] goes to
+// server s. The XOR of all shares is the one-hot indicator of the queried
+// index; any proper subset is uniformly random.
+type Query struct {
+	Shares []*bitvec.Vector
+}
+
+// Gen secret-shares the one-hot indicator of index over numRecords
+// positions into n shares. randSource nil means crypto/rand.
+func Gen(randSource io.Reader, numRecords int, index uint64, n int) (*Query, error) {
+	if n < MinServers {
+		return nil, fmt.Errorf("naivepir: %d servers below minimum %d", n, MinServers)
+	}
+	if numRecords < 1 {
+		return nil, fmt.Errorf("naivepir: numRecords %d must be ≥ 1", numRecords)
+	}
+	if index >= uint64(numRecords) {
+		return nil, fmt.Errorf("naivepir: index %d outside [0,%d)", index, numRecords)
+	}
+	if randSource == nil {
+		randSource = rand.Reader
+	}
+
+	shares := make([]*bitvec.Vector, n)
+	words := (numRecords + 63) / 64
+	buf := make([]byte, 8*words)
+	// Shares 0..n-2 are uniformly random; the last is the XOR of the
+	// others corrected by the one-hot target, so the total telescopes.
+	last := bitvec.New(numRecords)
+	for s := 0; s < n-1; s++ {
+		if _, err := io.ReadFull(randSource, buf); err != nil {
+			return nil, fmt.Errorf("naivepir: sample share: %w", err)
+		}
+		v := bitvec.New(numRecords)
+		w := v.Words()
+		for i := range w {
+			w[i] = le64(buf[8*i:])
+		}
+		v.TrailingWordMask()
+		shares[s] = v
+		last.Xor(v)
+	}
+	last.SetTo(int(index), !last.Bit(int(index)))
+	shares[n-1] = last
+	return &Query{Shares: shares}, nil
+}
+
+// WireBits returns the query size in bits per server — the O(N)
+// communication cost Figure 2's scheme pays.
+func (q *Query) WireBits() int {
+	if len(q.Shares) == 0 {
+		return 0
+	}
+	return q.Shares[0].Len()
+}
+
+// Answer computes one server's subresult: the XOR of the database records
+// selected by its share (the same dpXOR scan every engine in this module
+// implements).
+func Answer(db *database.DB, share *bitvec.Vector) ([]byte, error) {
+	if db == nil {
+		return nil, errors.New("naivepir: nil database")
+	}
+	if share == nil {
+		return nil, errors.New("naivepir: nil share")
+	}
+	if share.Len() != db.NumRecords() {
+		return nil, fmt.Errorf("naivepir: share covers %d records, database has %d",
+			share.Len(), db.NumRecords())
+	}
+	out := make([]byte, db.RecordSize())
+	if err := xorop.Accumulate(out, db.Data(), db.RecordSize(), share.Words()); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// Reconstruct XORs the n subresults into the queried record.
+func Reconstruct(subresults [][]byte) ([]byte, error) {
+	if len(subresults) < MinServers {
+		return nil, fmt.Errorf("naivepir: need ≥ %d subresults, have %d", MinServers, len(subresults))
+	}
+	out := make([]byte, len(subresults[0]))
+	copy(out, subresults[0])
+	for i, sub := range subresults[1:] {
+		if err := xorop.XORBytes(out, sub); err != nil {
+			return nil, fmt.Errorf("naivepir: subresult %d: %w", i+1, err)
+		}
+	}
+	return out, nil
+}
+
+func le64(b []byte) uint64 {
+	return uint64(b[0]) | uint64(b[1])<<8 | uint64(b[2])<<16 | uint64(b[3])<<24 |
+		uint64(b[4])<<32 | uint64(b[5])<<40 | uint64(b[6])<<48 | uint64(b[7])<<56
+}

@@ -1,0 +1,179 @@
+// Package paillier implements the Paillier additively homomorphic
+// cryptosystem over the Go standard library's math/big.
+//
+// IM-PIR uses it as the substrate for the single-server PIR construction
+// of §2.2 / Figure 1 of the paper: the server homomorphically multiplies
+// an encrypted one-hot query vector against the database and sums the
+// result, never learning the queried index. Paillier supports exactly the
+// two operations that construction needs — ciphertext·ciphertext addition
+// and ciphertext·plaintext multiplication — which makes it the smallest
+// honest stand-in for the paper's "FHE" single-server background without
+// pulling a lattice library into a stdlib-only reproduction. The
+// asymptotics the paper cares about (server does heavy modular arithmetic
+// over the whole database per query) are preserved.
+package paillier
+
+import (
+	"crypto/rand"
+	"errors"
+	"fmt"
+	"io"
+	"math/big"
+)
+
+// MinKeyBits is the smallest accepted modulus size. Real deployments use
+// ≥ 2048; tests use small keys for speed.
+const MinKeyBits = 128
+
+var one = big.NewInt(1)
+
+// PublicKey encrypts and operates on ciphertexts.
+type PublicKey struct {
+	// N is the modulus (product of two safe-ish primes).
+	N *big.Int
+	// NSquared caches N².
+	NSquared *big.Int
+}
+
+// PrivateKey decrypts.
+type PrivateKey struct {
+	PublicKey
+
+	// lambda is lcm(p-1, q-1); mu is lambda⁻¹ mod N.
+	lambda *big.Int
+	mu     *big.Int
+}
+
+// Ciphertext is an element of Z*_{N²}. Treat as opaque.
+type Ciphertext struct {
+	c *big.Int
+}
+
+// GenerateKey creates a key pair with an N of the given bit length.
+// randSource nil means crypto/rand.
+func GenerateKey(randSource io.Reader, bits int) (*PrivateKey, error) {
+	if bits < MinKeyBits {
+		return nil, fmt.Errorf("paillier: key size %d below minimum %d", bits, MinKeyBits)
+	}
+	if randSource == nil {
+		randSource = rand.Reader
+	}
+	for {
+		p, err := rand.Prime(randSource, bits/2)
+		if err != nil {
+			return nil, fmt.Errorf("paillier: generate prime: %w", err)
+		}
+		q, err := rand.Prime(randSource, bits-bits/2)
+		if err != nil {
+			return nil, fmt.Errorf("paillier: generate prime: %w", err)
+		}
+		if p.Cmp(q) == 0 {
+			continue
+		}
+		n := new(big.Int).Mul(p, q)
+		pMinus := new(big.Int).Sub(p, one)
+		qMinus := new(big.Int).Sub(q, one)
+		gcd := new(big.Int).GCD(nil, nil, pMinus, qMinus)
+		lambda := new(big.Int).Mul(pMinus, qMinus)
+		lambda.Div(lambda, gcd) // lcm
+		// mu = lambda^{-1} mod n must exist; retry otherwise.
+		mu := new(big.Int).ModInverse(lambda, n)
+		if mu == nil {
+			continue
+		}
+		return &PrivateKey{
+			PublicKey: PublicKey{
+				N:        n,
+				NSquared: new(big.Int).Mul(n, n),
+			},
+			lambda: lambda,
+			mu:     mu,
+		}, nil
+	}
+}
+
+// Encrypt encrypts m ∈ [0, N) with fresh randomness:
+// c = (1+N)^m · r^N mod N², using the g = N+1 shortcut
+// (1+N)^m ≡ 1 + mN (mod N²).
+func (pk *PublicKey) Encrypt(randSource io.Reader, m *big.Int) (*Ciphertext, error) {
+	if randSource == nil {
+		randSource = rand.Reader
+	}
+	if m.Sign() < 0 || m.Cmp(pk.N) >= 0 {
+		return nil, fmt.Errorf("paillier: plaintext outside [0, N)")
+	}
+	r, err := pk.randomUnit(randSource)
+	if err != nil {
+		return nil, err
+	}
+	// gm = 1 + m*N mod N².
+	gm := new(big.Int).Mul(m, pk.N)
+	gm.Add(gm, one)
+	gm.Mod(gm, pk.NSquared)
+	rn := new(big.Int).Exp(r, pk.N, pk.NSquared)
+	c := gm.Mul(gm, rn)
+	c.Mod(c, pk.NSquared)
+	return &Ciphertext{c: c}, nil
+}
+
+func (pk *PublicKey) randomUnit(randSource io.Reader) (*big.Int, error) {
+	for {
+		r, err := rand.Int(randSource, pk.N)
+		if err != nil {
+			return nil, fmt.Errorf("paillier: sample randomness: %w", err)
+		}
+		if r.Sign() == 0 {
+			continue
+		}
+		if new(big.Int).GCD(nil, nil, r, pk.N).Cmp(one) == 0 {
+			return r, nil
+		}
+	}
+}
+
+// Decrypt recovers the plaintext: m = L(c^λ mod N²)·μ mod N with
+// L(x) = (x−1)/N.
+func (sk *PrivateKey) Decrypt(ct *Ciphertext) (*big.Int, error) {
+	if ct == nil || ct.c == nil {
+		return nil, errors.New("paillier: nil ciphertext")
+	}
+	x := new(big.Int).Exp(ct.c, sk.lambda, sk.NSquared)
+	x.Sub(x, one)
+	x.Div(x, sk.N)
+	x.Mul(x, sk.mu)
+	x.Mod(x, sk.N)
+	return x, nil
+}
+
+// Add returns Enc(m1 + m2 mod N): the homomorphic sum c1·c2 mod N².
+func (pk *PublicKey) Add(c1, c2 *Ciphertext) *Ciphertext {
+	out := new(big.Int).Mul(c1.c, c2.c)
+	out.Mod(out, pk.NSquared)
+	return &Ciphertext{c: out}
+}
+
+// MulPlain returns Enc(m·k mod N): the homomorphic scalar product c^k
+// mod N². This is the "homomorphic multiplication of a ciphertext by a
+// database record" step ➍ of Figure 1.
+func (pk *PublicKey) MulPlain(ct *Ciphertext, k *big.Int) *Ciphertext {
+	out := new(big.Int).Exp(ct.c, k, pk.NSquared)
+	return &Ciphertext{c: out}
+}
+
+// EncryptZeroLike returns a fresh encryption of 0, used as the neutral
+// accumulator of homomorphic sums.
+func (pk *PublicKey) EncryptZeroLike(randSource io.Reader) (*Ciphertext, error) {
+	return pk.Encrypt(randSource, new(big.Int))
+}
+
+// Bytes serialises the ciphertext.
+func (ct *Ciphertext) Bytes() []byte { return ct.c.Bytes() }
+
+// CiphertextFromBytes deserialises a ciphertext and validates its range.
+func (pk *PublicKey) CiphertextFromBytes(b []byte) (*Ciphertext, error) {
+	c := new(big.Int).SetBytes(b)
+	if c.Sign() <= 0 || c.Cmp(pk.NSquared) >= 0 {
+		return nil, errors.New("paillier: ciphertext outside Z_{N²}")
+	}
+	return &Ciphertext{c: c}, nil
+}

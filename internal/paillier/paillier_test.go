@@ -1,0 +1,172 @@
+package paillier
+
+import (
+	"math/big"
+	"testing"
+	"testing/quick"
+)
+
+// testKeyBits keeps unit tests fast; security is not under test.
+const testKeyBits = 256
+
+func testKey(t *testing.T) *PrivateKey {
+	t.Helper()
+	key, err := GenerateKey(nil, testKeyBits)
+	if err != nil {
+		t.Fatalf("GenerateKey: %v", err)
+	}
+	return key
+}
+
+func TestEncryptDecryptRoundTrip(t *testing.T) {
+	key := testKey(t)
+	for _, m := range []int64{0, 1, 2, 255, 65537, 1 << 40} {
+		ct, err := key.Encrypt(nil, big.NewInt(m))
+		if err != nil {
+			t.Fatalf("Encrypt(%d): %v", m, err)
+		}
+		got, err := key.Decrypt(ct)
+		if err != nil {
+			t.Fatalf("Decrypt(%d): %v", m, err)
+		}
+		if got.Int64() != m {
+			t.Fatalf("round trip %d -> %d", m, got.Int64())
+		}
+	}
+}
+
+func TestEncryptionIsRandomized(t *testing.T) {
+	key := testKey(t)
+	m := big.NewInt(42)
+	c1, err := key.Encrypt(nil, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c2, err := key.Encrypt(nil, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c1.c.Cmp(c2.c) == 0 {
+		t.Fatal("two encryptions of the same plaintext are identical")
+	}
+}
+
+func TestHomomorphicAdd(t *testing.T) {
+	key := testKey(t)
+	a, _ := key.Encrypt(nil, big.NewInt(17))
+	b, _ := key.Encrypt(nil, big.NewInt(25))
+	sum, err := key.Decrypt(key.Add(a, b))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum.Int64() != 42 {
+		t.Fatalf("Dec(Enc(17)+Enc(25)) = %d, want 42", sum.Int64())
+	}
+}
+
+func TestHomomorphicMulPlain(t *testing.T) {
+	key := testKey(t)
+	ct, _ := key.Encrypt(nil, big.NewInt(6))
+	prod, err := key.Decrypt(key.MulPlain(ct, big.NewInt(7)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if prod.Int64() != 42 {
+		t.Fatalf("Dec(Enc(6)^7) = %d, want 42", prod.Int64())
+	}
+}
+
+func TestMulPlainByZeroAndOne(t *testing.T) {
+	key := testKey(t)
+	ct, _ := key.Encrypt(nil, big.NewInt(99))
+	byOne, _ := key.Decrypt(key.MulPlain(ct, big.NewInt(1)))
+	if byOne.Int64() != 99 {
+		t.Fatalf("c^1 decrypts to %d, want 99", byOne.Int64())
+	}
+	byZero, _ := key.Decrypt(key.MulPlain(ct, new(big.Int)))
+	if byZero.Sign() != 0 {
+		t.Fatalf("c^0 decrypts to %v, want 0", byZero)
+	}
+}
+
+func TestAdditionWrapsModN(t *testing.T) {
+	key := testKey(t)
+	nMinusOne := new(big.Int).Sub(key.N, big.NewInt(1))
+	a, err := key.Encrypt(nil, nMinusOne)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _ := key.Encrypt(nil, big.NewInt(2))
+	sum, _ := key.Decrypt(key.Add(a, b))
+	if sum.Int64() != 1 {
+		t.Fatalf("(N-1)+2 mod N = %v, want 1", sum)
+	}
+}
+
+func TestValidation(t *testing.T) {
+	if _, err := GenerateKey(nil, 64); err == nil {
+		t.Error("GenerateKey accepted undersized key")
+	}
+	key := testKey(t)
+	if _, err := key.Encrypt(nil, big.NewInt(-1)); err == nil {
+		t.Error("Encrypt accepted negative plaintext")
+	}
+	if _, err := key.Encrypt(nil, key.N); err == nil {
+		t.Error("Encrypt accepted plaintext ≥ N")
+	}
+	if _, err := key.Decrypt(nil); err == nil {
+		t.Error("Decrypt accepted nil ciphertext")
+	}
+}
+
+func TestCiphertextSerialization(t *testing.T) {
+	key := testKey(t)
+	ct, _ := key.Encrypt(nil, big.NewInt(1234))
+	back, err := key.CiphertextFromBytes(ct.Bytes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := key.Decrypt(back)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Int64() != 1234 {
+		t.Fatalf("deserialised ciphertext decrypts to %d", m.Int64())
+	}
+	if _, err := key.CiphertextFromBytes(nil); err == nil {
+		t.Error("CiphertextFromBytes accepted empty input")
+	}
+	huge := new(big.Int).Add(key.NSquared, big.NewInt(1))
+	if _, err := key.CiphertextFromBytes(huge.Bytes()); err == nil {
+		t.Error("CiphertextFromBytes accepted out-of-range value")
+	}
+}
+
+// Property: Dec(Enc(a) + Enc(b)·k) = a + b·k mod N for small a, b, k.
+func TestQuickAffineHomomorphism(t *testing.T) {
+	key := testKey(t)
+	f := func(aRaw, bRaw, kRaw uint32) bool {
+		a := big.NewInt(int64(aRaw))
+		b := big.NewInt(int64(bRaw))
+		k := big.NewInt(int64(kRaw % 1000))
+		ca, err := key.Encrypt(nil, a)
+		if err != nil {
+			return false
+		}
+		cb, err := key.Encrypt(nil, b)
+		if err != nil {
+			return false
+		}
+		got, err := key.Decrypt(key.Add(ca, key.MulPlain(cb, k)))
+		if err != nil {
+			return false
+		}
+		want := new(big.Int).Mul(b, k)
+		want.Add(want, a)
+		want.Mod(want, key.N)
+		return got.Cmp(want) == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,290 @@
+package pim
+
+import (
+	"fmt"
+	"sync"
+)
+
+// dpu is one simulated DRAM Processing Unit. MRAM is grown lazily up to
+// the configured capacity so that simulating thousands of DPUs only costs
+// memory proportional to the data actually resident.
+type dpu struct {
+	id   int
+	cfg  *Config
+	mu   sync.Mutex // guards mram growth and busy flag
+	mram []byte
+	busy bool
+}
+
+func (d *dpu) rank() int { return d.id / d.cfg.DPUsPerRank }
+
+// ensure grows the MRAM backing store to cover [0, end).
+func (d *dpu) ensure(end int) error {
+	if end > d.cfg.MRAMPerDPU {
+		return fmt.Errorf("pim: dpu %d: MRAM access at %d exceeds capacity %d", d.id, end, d.cfg.MRAMPerDPU)
+	}
+	if end > len(d.mram) {
+		grown := make([]byte, end)
+		copy(grown, d.mram)
+		d.mram = grown
+	}
+	return nil
+}
+
+func (d *dpu) writeMRAM(offset int, data []byte) error {
+	if offset < 0 {
+		return fmt.Errorf("pim: dpu %d: negative MRAM offset %d", d.id, offset)
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if err := d.ensure(offset + len(data)); err != nil {
+		return err
+	}
+	copy(d.mram[offset:], data)
+	return nil
+}
+
+func (d *dpu) readMRAM(offset int, dst []byte) error {
+	if offset < 0 {
+		return fmt.Errorf("pim: dpu %d: negative MRAM offset %d", d.id, offset)
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if err := d.ensure(offset + len(dst)); err != nil {
+		return err
+	}
+	copy(dst, d.mram[offset:])
+	return nil
+}
+
+// barrier is a reusable synchronisation barrier for the tasklets of one
+// DPU, mirroring the UPMEM SDK's barrier_wait.
+type barrier struct {
+	mu      sync.Mutex
+	cond    *sync.Cond
+	parties int
+	waiting int
+	phase   uint64
+	broken  bool
+}
+
+func newBarrier(parties int) *barrier {
+	b := &barrier{parties: parties}
+	b.cond = sync.NewCond(&b.mu)
+	return b
+}
+
+// await blocks until all parties arrive. If the barrier has been broken
+// (a tasklet failed), await returns false immediately.
+func (b *barrier) await() bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.broken {
+		return false
+	}
+	b.waiting++
+	if b.waiting == b.parties {
+		b.waiting = 0
+		b.phase++
+		b.cond.Broadcast()
+		return true
+	}
+	phase := b.phase
+	for phase == b.phase && !b.broken {
+		b.cond.Wait()
+	}
+	return !b.broken
+}
+
+// breakBarrier releases all waiters with failure; used when a tasklet
+// returns an error so siblings blocked on the barrier do not deadlock.
+func (b *barrier) breakBarrier() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.broken = true
+	b.cond.Broadcast()
+}
+
+// wram is the per-launch scratchpad allocator shared by a DPU's tasklets.
+// It is a bump allocator: UPMEM kernels statically partition WRAM between
+// tasklet stacks and buffers, which a bump allocator models faithfully
+// enough while still catching capacity overruns.
+type wram struct {
+	mu       sync.Mutex
+	capacity int
+	used     int
+}
+
+func (w *wram) alloc(n int) ([]byte, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("pim: WRAM allocation size %d must be positive", n)
+	}
+	aligned := (n + DMAAlign - 1) &^ (DMAAlign - 1)
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.used+aligned > w.capacity {
+		return nil, fmt.Errorf("pim: WRAM exhausted: %d requested, %d free of %d",
+			aligned, w.capacity-w.used, w.capacity)
+	}
+	w.used += aligned
+	return make([]byte, n), nil
+}
+
+// launchState is the shared execution state of one kernel launch on one DPU.
+type launchState struct {
+	dpu     *dpu
+	args    []byte
+	wram    *wram
+	barrier *barrier
+	mu      sync.Mutex // DPU-local mutex exposed to tasklets
+
+	sharedMu sync.Mutex
+	shared   map[string][]byte
+
+	statsMu     sync.Mutex
+	instrCycles int64
+	dmaBytes    int64
+}
+
+// TaskletCtx is the execution context handed to each tasklet of a kernel
+// launch. It is the only interface kernels have to the machine: MRAM via
+// explicit DMA, WRAM via the allocator, synchronisation via the DPU-local
+// barrier and mutex. This mirrors what a UPMEM C kernel can do — in
+// particular there is no access to other DPUs' memory.
+type TaskletCtx struct {
+	state *launchState
+	id    int
+}
+
+// TaskletID returns this tasklet's index in [0, NumTasklets).
+func (c *TaskletCtx) TaskletID() int { return c.id }
+
+// NumTasklets returns the number of tasklets running the kernel.
+func (c *TaskletCtx) NumTasklets() int { return c.state.dpu.cfg.TaskletsPerDPU }
+
+// DPUID returns the global ID of the DPU executing this tasklet.
+func (c *TaskletCtx) DPUID() int { return c.state.dpu.id }
+
+// Args returns the per-DPU argument block supplied by the host at launch.
+// Kernels must treat it as read-only.
+func (c *TaskletCtx) Args() []byte { return c.state.args }
+
+// MRAMCapacity returns the DPU's MRAM size in bytes.
+func (c *TaskletCtx) MRAMCapacity() int { return c.state.dpu.cfg.MRAMPerDPU }
+
+// AllocWRAM reserves n bytes of the DPU's shared WRAM scratchpad for the
+// remainder of the launch. Returns an error when the scratchpad is
+// exhausted — the same constraint that rules out branch-parallel DPF
+// evaluation on real DPUs (§3.2).
+func (c *TaskletCtx) AllocWRAM(n int) ([]byte, error) {
+	return c.state.wram.alloc(n)
+}
+
+// SharedWRAM returns a WRAM buffer shared by every tasklet of this DPU's
+// launch, allocating it on first use. This models UPMEM kernels' global
+// WRAM variables, which all tasklets of a DPU can read and write — the
+// mechanism the dpXOR kernel uses to exchange per-tasklet partial results
+// before the master tasklet's reduction. Callers must synchronise access
+// themselves (Barrier or Lock), exactly as on real hardware.
+func (c *TaskletCtx) SharedWRAM(name string, size int) ([]byte, error) {
+	st := c.state
+	st.sharedMu.Lock()
+	defer st.sharedMu.Unlock()
+	if buf, ok := st.shared[name]; ok {
+		if len(buf) != size {
+			return nil, fmt.Errorf("pim: shared WRAM %q exists with size %d, requested %d", name, len(buf), size)
+		}
+		return buf, nil
+	}
+	buf, err := st.wram.alloc(size)
+	if err != nil {
+		return nil, err
+	}
+	if st.shared == nil {
+		st.shared = make(map[string][]byte)
+	}
+	st.shared[name] = buf
+	return buf, nil
+}
+
+// ReadMRAM DMA-transfers MRAM[offset : offset+len(dst)] into the WRAM
+// buffer dst, enforcing UPMEM's DMA rules: 8-byte aligned offset and
+// length, at most DMAMaxTransfer bytes per call. The transfer is charged
+// to the DPU's DMA budget for timing.
+func (c *TaskletCtx) ReadMRAM(offset int, dst []byte) error {
+	if err := c.checkDMA(offset, len(dst)); err != nil {
+		return err
+	}
+	if err := c.state.dpu.readMRAM(offset, dst); err != nil {
+		return err
+	}
+	c.chargeDMA(len(dst))
+	return nil
+}
+
+// WriteMRAM DMA-transfers the WRAM buffer src to MRAM[offset:], with the
+// same constraints as ReadMRAM.
+func (c *TaskletCtx) WriteMRAM(offset int, src []byte) error {
+	if err := c.checkDMA(offset, len(src)); err != nil {
+		return err
+	}
+	if err := c.state.dpu.writeMRAM(offset, src); err != nil {
+		return err
+	}
+	c.chargeDMA(len(src))
+	return nil
+}
+
+func (c *TaskletCtx) checkDMA(offset, size int) error {
+	switch {
+	case offset%DMAAlign != 0:
+		return fmt.Errorf("pim: DMA offset %d not %d-byte aligned", offset, DMAAlign)
+	case size%DMAAlign != 0:
+		return fmt.Errorf("pim: DMA size %d not %d-byte aligned", size, DMAAlign)
+	case size <= 0:
+		return fmt.Errorf("pim: DMA size %d must be positive", size)
+	case size > DMAMaxTransfer:
+		return fmt.Errorf("pim: DMA size %d exceeds max transfer %d", size, DMAMaxTransfer)
+	}
+	return nil
+}
+
+// Barrier synchronises all tasklets of the DPU. Returns false if the
+// launch is failing (another tasklet returned an error), in which case
+// the kernel should return promptly.
+func (c *TaskletCtx) Barrier() bool {
+	return c.state.barrier.await()
+}
+
+// Lock acquires the DPU-local mutex (UPMEM's mutex_lock equivalent).
+func (c *TaskletCtx) Lock() { c.state.mu.Lock() }
+
+// Unlock releases the DPU-local mutex.
+func (c *TaskletCtx) Unlock() { c.state.mu.Unlock() }
+
+// ChargeCycles accounts n executed instructions to the timing model.
+// Kernels call this with their per-item instruction estimates; the launch
+// duration divides the total by the pipeline's effective IPC.
+func (c *TaskletCtx) ChargeCycles(n int64) {
+	if n <= 0 {
+		return
+	}
+	c.state.statsMu.Lock()
+	c.state.instrCycles += n
+	c.state.statsMu.Unlock()
+}
+
+func (c *TaskletCtx) chargeDMA(bytes int) {
+	c.state.statsMu.Lock()
+	c.state.dmaBytes += int64(bytes)
+	c.state.statsMu.Unlock()
+}
+
+// Kernel is a DPU program: Run is invoked once per tasklet, concurrently,
+// exactly like an UPMEM kernel's main() running on every tasklet.
+type Kernel interface {
+	// Name identifies the kernel in errors and traces.
+	Name() string
+	// Run executes the kernel body on one tasklet.
+	Run(ctx *TaskletCtx) error
+}

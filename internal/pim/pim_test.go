@@ -1,0 +1,564 @@
+package pim
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// testConfig returns a small machine suitable for unit tests.
+func testConfig() Config {
+	cfg := DefaultConfig()
+	cfg.Ranks = 2
+	cfg.DPUsPerRank = 4
+	cfg.MRAMPerDPU = 1 << 20
+	cfg.WRAMPerDPU = 64 << 10
+	cfg.TaskletsPerDPU = 4
+	return cfg
+}
+
+func newTestSystem(t *testing.T, cfg Config) *System {
+	t.Helper()
+	s, err := NewSystem(cfg)
+	if err != nil {
+		t.Fatalf("NewSystem: %v", err)
+	}
+	return s
+}
+
+func TestConfigValidate(t *testing.T) {
+	if err := DefaultConfig().Validate(); err != nil {
+		t.Fatalf("DefaultConfig invalid: %v", err)
+	}
+	bad := []func(*Config){
+		func(c *Config) { c.Ranks = 0 },
+		func(c *Config) { c.DPUsPerRank = 0 },
+		func(c *Config) { c.MRAMPerDPU = 0 },
+		func(c *Config) { c.WRAMPerDPU = 0 },
+		func(c *Config) { c.TaskletsPerDPU = 0 },
+		func(c *Config) { c.TaskletsPerDPU = MaxTasklets + 1 },
+		func(c *Config) { c.ClockHz = 0 },
+		func(c *Config) { c.MRAMBandwidth = -1 },
+		func(c *Config) { c.HostToDPUBandwidthPerRank = 0 },
+	}
+	for i, mutate := range bad {
+		cfg := DefaultConfig()
+		mutate(&cfg)
+		if err := cfg.Validate(); err == nil {
+			t.Errorf("mutation %d accepted", i)
+		}
+		if _, err := NewSystem(cfg); err == nil {
+			t.Errorf("NewSystem accepted mutation %d", i)
+		}
+	}
+}
+
+func TestConfigDerived(t *testing.T) {
+	cfg := DefaultConfig()
+	if cfg.NumDPUs() != 2048 {
+		t.Errorf("NumDPUs = %d, want 2048", cfg.NumDPUs())
+	}
+	if cfg.TotalMRAM() != int64(2048)*64<<20 {
+		t.Errorf("TotalMRAM = %d", cfg.TotalMRAM())
+	}
+	if got := cfg.effectiveIPC(16); got != 1 {
+		t.Errorf("effectiveIPC(16) = %v, want 1", got)
+	}
+	if got := cfg.effectiveIPC(1); got >= 0.5 {
+		t.Errorf("effectiveIPC(1) = %v, want well below saturation", got)
+	}
+}
+
+func TestPreloadAndInspect(t *testing.T) {
+	s := newTestSystem(t, testConfig())
+	data := []byte{1, 2, 3, 4, 5, 6, 7, 8}
+	if err := s.Preload(3, 16, data); err != nil {
+		t.Fatal(err)
+	}
+	got, err := s.InspectMRAM(3, 16, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, data) {
+		t.Fatalf("InspectMRAM = %v, want %v", got, data)
+	}
+	// Reads of never-written MRAM return zeros.
+	zeros, err := s.InspectMRAM(3, 1000, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(zeros, make([]byte, 4)) {
+		t.Fatal("uninitialised MRAM is not zero")
+	}
+}
+
+func TestPreloadBounds(t *testing.T) {
+	s := newTestSystem(t, testConfig())
+	if err := s.Preload(99, 0, []byte{1}); err == nil {
+		t.Error("Preload accepted bad DPU id")
+	}
+	if err := s.Preload(-1, 0, []byte{1}); err == nil {
+		t.Error("Preload accepted negative DPU id")
+	}
+	if err := s.Preload(0, -4, []byte{1}); err == nil {
+		t.Error("Preload accepted negative offset")
+	}
+	// Exceeding MRAM capacity must fail.
+	big := make([]byte, testConfig().MRAMPerDPU+1)
+	if err := s.Preload(0, 0, big); err == nil {
+		t.Error("Preload accepted oversized write")
+	}
+}
+
+func TestScatterGatherRoundTrip(t *testing.T) {
+	s := newTestSystem(t, testConfig())
+	ids := []int{0, 2, 5, 7}
+	chunks := make([][]byte, len(ids))
+	for i := range chunks {
+		chunks[i] = bytes.Repeat([]byte{byte(i + 1)}, 64)
+	}
+	cost, err := s.Scatter(ids, 128, chunks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cost.Bytes != 4*64 {
+		t.Errorf("scatter bytes = %d, want 256", cost.Bytes)
+	}
+	if cost.Modeled <= 0 {
+		t.Error("scatter modeled time not positive")
+	}
+	out, gcost, err := s.Gather(ids, 128, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range ids {
+		if !bytes.Equal(out[i], chunks[i]) {
+			t.Fatalf("gather chunk %d mismatch", i)
+		}
+	}
+	if gcost.Bytes != 256 {
+		t.Errorf("gather bytes = %d, want 256", gcost.Bytes)
+	}
+}
+
+func TestBroadcast(t *testing.T) {
+	s := newTestSystem(t, testConfig())
+	ids := []int{1, 3, 6}
+	data := []byte{0xDE, 0xAD, 0xBE, 0xEF}
+	if _, err := s.Broadcast(ids, 0, data); err != nil {
+		t.Fatal(err)
+	}
+	for _, id := range ids {
+		got, err := s.InspectMRAM(id, 0, 4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(got, data) {
+			t.Fatalf("DPU %d missing broadcast data", id)
+		}
+	}
+}
+
+func TestScatterValidation(t *testing.T) {
+	s := newTestSystem(t, testConfig())
+	if _, err := s.Scatter([]int{0, 1}, 0, [][]byte{{1}}); err == nil {
+		t.Error("Scatter accepted mismatched chunk count")
+	}
+	if _, err := s.Scatter([]int{100}, 0, [][]byte{{1}}); err == nil {
+		t.Error("Scatter accepted invalid DPU id")
+	}
+}
+
+// TestRankParallelTransferTiming: scattering B bytes to DPUs in the same
+// rank must take roughly twice as long as B/2 bytes each to two ranks.
+func TestRankParallelTransferTiming(t *testing.T) {
+	cfg := testConfig()
+	cfg.TransferLatency = 0
+	s := newTestSystem(t, cfg)
+
+	buf := make([]byte, 1<<16)
+	// Same rank: DPUs 0 and 1 (rank 0).
+	sameRank, err := s.Scatter([]int{0, 1}, 0, [][]byte{buf, buf})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Different ranks: DPUs 0 (rank 0) and 4 (rank 1).
+	crossRank, err := s.Scatter([]int{0, 4}, 0, [][]byte{buf, buf})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ratio := float64(sameRank.Modeled) / float64(crossRank.Modeled)
+	if ratio < 1.9 || ratio > 2.1 {
+		t.Fatalf("same-rank/cross-rank time ratio = %.2f, want ≈ 2", ratio)
+	}
+}
+
+// fillKernel writes a per-tasklet pattern into MRAM, checking the SPMD
+// execution model: every tasklet of every DPU must run exactly once.
+type fillKernel struct{}
+
+func (fillKernel) Name() string { return "fill" }
+
+func (fillKernel) Run(ctx *TaskletCtx) error {
+	buf, err := ctx.AllocWRAM(8)
+	if err != nil {
+		return err
+	}
+	dpuBase := uint64(ctx.DPUID()) << 32
+	binary.LittleEndian.PutUint64(buf, dpuBase|uint64(ctx.TaskletID()+1))
+	ctx.ChargeCycles(10)
+	return ctx.WriteMRAM(ctx.TaskletID()*8, buf)
+}
+
+func TestLaunchRunsEveryTasklet(t *testing.T) {
+	cfg := testConfig()
+	s := newTestSystem(t, cfg)
+	ids := []int{0, 3, 7}
+	cost, err := s.Launch(ids, fillKernel{}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cost.Modeled <= cfg.LaunchOverhead {
+		t.Error("launch cost does not exceed fixed overhead")
+	}
+	for _, id := range ids {
+		got, err := s.InspectMRAM(id, 0, cfg.TaskletsPerDPU*8)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for tid := 0; tid < cfg.TaskletsPerDPU; tid++ {
+			v := binary.LittleEndian.Uint64(got[tid*8:])
+			want := uint64(id)<<32 | uint64(tid+1)
+			if v != want {
+				t.Fatalf("DPU %d tasklet %d wrote %#x, want %#x", id, tid, v, want)
+			}
+		}
+	}
+}
+
+// barrierKernel checks barrier semantics: stage 1 writes per-tasklet
+// values to shared WRAM; after the barrier, tasklet 0 sums them.
+type barrierKernel struct{}
+
+func (barrierKernel) Name() string { return "barrier" }
+
+func (barrierKernel) Run(ctx *TaskletCtx) error {
+	shared, err := ctx.SharedWRAM("partials", ctx.NumTasklets()*8)
+	if err != nil {
+		return err
+	}
+	binary.LittleEndian.PutUint64(shared[ctx.TaskletID()*8:], uint64(ctx.TaskletID()+1))
+	if !ctx.Barrier() {
+		return errors.New("barrier broken")
+	}
+	if ctx.TaskletID() != 0 {
+		return nil
+	}
+	var sum uint64
+	for i := 0; i < ctx.NumTasklets(); i++ {
+		sum += binary.LittleEndian.Uint64(shared[i*8:])
+	}
+	out, err := ctx.AllocWRAM(8)
+	if err != nil {
+		return err
+	}
+	binary.LittleEndian.PutUint64(out, sum)
+	return ctx.WriteMRAM(0, out)
+}
+
+func TestBarrierAndSharedWRAM(t *testing.T) {
+	cfg := testConfig()
+	s := newTestSystem(t, cfg)
+	if _, err := s.Launch([]int{2}, barrierKernel{}, nil); err != nil {
+		t.Fatal(err)
+	}
+	got, err := s.InspectMRAM(2, 0, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := uint64(cfg.TaskletsPerDPU)
+	want := n * (n + 1) / 2
+	if v := binary.LittleEndian.Uint64(got); v != want {
+		t.Fatalf("barrier reduction = %d, want %d", v, want)
+	}
+}
+
+// argsKernel echoes its argument block into MRAM.
+type argsKernel struct{}
+
+func (argsKernel) Name() string { return "args" }
+
+func (argsKernel) Run(ctx *TaskletCtx) error {
+	if ctx.TaskletID() != 0 {
+		return nil
+	}
+	buf, err := ctx.AllocWRAM(len(ctx.Args()))
+	if err != nil {
+		return err
+	}
+	copy(buf, ctx.Args())
+	return ctx.WriteMRAM(0, buf)
+}
+
+func TestLaunchPerDPUArgs(t *testing.T) {
+	s := newTestSystem(t, testConfig())
+	ids := []int{1, 5}
+	args := [][]byte{
+		bytes.Repeat([]byte{0xA1}, 16),
+		bytes.Repeat([]byte{0xB2}, 16),
+	}
+	if _, err := s.Launch(ids, argsKernel{}, args); err != nil {
+		t.Fatal(err)
+	}
+	for i, id := range ids {
+		got, err := s.InspectMRAM(id, 0, 16)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(got, args[i]) {
+			t.Fatalf("DPU %d saw wrong args", id)
+		}
+	}
+}
+
+// failKernel fails on one tasklet; the others wait on a barrier. The
+// launch must report the error and must not deadlock.
+type failKernel struct{}
+
+func (failKernel) Name() string { return "fail" }
+
+func (failKernel) Run(ctx *TaskletCtx) error {
+	if ctx.TaskletID() == 1 {
+		return errors.New("injected tasklet failure")
+	}
+	if !ctx.Barrier() {
+		return nil // barrier broken by the failing tasklet, exit cleanly
+	}
+	return nil
+}
+
+func TestLaunchTaskletFailureDoesNotDeadlock(t *testing.T) {
+	s := newTestSystem(t, testConfig())
+	done := make(chan error, 1)
+	go func() {
+		_, err := s.Launch([]int{0}, failKernel{}, nil)
+		done <- err
+	}()
+	select {
+	case err := <-done:
+		if err == nil {
+			t.Fatal("launch with failing tasklet reported success")
+		}
+		if !strings.Contains(err.Error(), "injected tasklet failure") {
+			t.Fatalf("unexpected error: %v", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("launch deadlocked on tasklet failure")
+	}
+	// The DPU must be reusable afterwards.
+	if _, err := s.Launch([]int{0}, fillKernel{}, nil); err != nil {
+		t.Fatalf("DPU not reusable after failed launch: %v", err)
+	}
+}
+
+// wramHogKernel exhausts WRAM.
+type wramHogKernel struct{}
+
+func (wramHogKernel) Name() string { return "wramhog" }
+
+func (wramHogKernel) Run(ctx *TaskletCtx) error {
+	_, err := ctx.AllocWRAM(1 << 20) // 1 MB ≫ 64 KB WRAM
+	if err == nil {
+		return errors.New("oversized WRAM allocation succeeded")
+	}
+	return nil // the allocation failing IS the success condition
+}
+
+func TestWRAMExhaustion(t *testing.T) {
+	s := newTestSystem(t, testConfig())
+	if _, err := s.Launch([]int{0}, wramHogKernel{}, nil); err != nil {
+		t.Fatalf("WRAM exhaustion not reported as allocator error: %v", err)
+	}
+}
+
+// dmaRulesKernel checks that the DMA constraints are enforced.
+type dmaRulesKernel struct{}
+
+func (dmaRulesKernel) Name() string { return "dmarules" }
+
+func (dmaRulesKernel) Run(ctx *TaskletCtx) error {
+	if ctx.TaskletID() != 0 {
+		return nil
+	}
+	buf, err := ctx.AllocWRAM(DMAMaxTransfer + 8)
+	if err != nil {
+		return err
+	}
+	checks := []struct {
+		name string
+		call func() error
+	}{
+		{"misaligned offset", func() error { return ctx.ReadMRAM(4, buf[:8]) }},
+		{"misaligned size", func() error { return ctx.ReadMRAM(0, buf[:12]) }},
+		{"oversized transfer", func() error { return ctx.ReadMRAM(0, buf[:DMAMaxTransfer+8]) }},
+		{"misaligned write", func() error { return ctx.WriteMRAM(3, buf[:8]) }},
+		{"beyond MRAM", func() error { return ctx.ReadMRAM(ctx.MRAMCapacity(), buf[:8]) }},
+	}
+	for _, c := range checks {
+		if err := c.call(); err == nil {
+			return fmt.Errorf("DMA rule not enforced: %s", c.name)
+		}
+	}
+	// A legal transfer must pass.
+	return ctx.ReadMRAM(0, buf[:DMAMaxTransfer])
+}
+
+func TestDMARulesEnforced(t *testing.T) {
+	s := newTestSystem(t, testConfig())
+	if _, err := s.Launch([]int{0}, dmaRulesKernel{}, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLaunchValidation(t *testing.T) {
+	s := newTestSystem(t, testConfig())
+	if _, err := s.Launch(nil, fillKernel{}, nil); err == nil {
+		t.Error("Launch accepted empty DPU set")
+	}
+	if _, err := s.Launch([]int{0}, fillKernel{}, make([][]byte, 2)); err == nil {
+		t.Error("Launch accepted mismatched args")
+	}
+	if _, err := s.Launch([]int{1000}, fillKernel{}, nil); err == nil {
+		t.Error("Launch accepted bad DPU id")
+	}
+}
+
+// blockingKernel lets the test hold a DPU busy.
+type blockingKernel struct {
+	release chan struct{}
+	started chan struct{}
+	once    sync.Once
+}
+
+func (k *blockingKernel) Name() string { return "blocking" }
+
+func (k *blockingKernel) Run(ctx *TaskletCtx) error {
+	if ctx.TaskletID() == 0 {
+		k.once.Do(func() { close(k.started) })
+		<-k.release
+	}
+	return nil
+}
+
+func TestOverlappingLaunchRejected(t *testing.T) {
+	s := newTestSystem(t, testConfig())
+	k := &blockingKernel{release: make(chan struct{}), started: make(chan struct{})}
+	done := make(chan error, 1)
+	go func() {
+		_, err := s.Launch([]int{0, 1}, k, nil)
+		done <- err
+	}()
+	<-k.started
+	// Overlap on DPU 1 must be rejected; disjoint launch must work.
+	if _, err := s.Launch([]int{1, 2}, fillKernel{}, nil); err == nil {
+		t.Error("overlapping launch on busy DPU accepted")
+	}
+	if _, err := s.Launch([]int{2, 3}, fillKernel{}, nil); err != nil {
+		t.Errorf("disjoint launch rejected: %v", err)
+	}
+	close(k.release)
+	if err := <-done; err != nil {
+		t.Fatalf("blocked launch failed: %v", err)
+	}
+}
+
+// timingKernel charges a known cycle count.
+type timingKernel struct{ cycles int64 }
+
+func (k timingKernel) Name() string { return "timing" }
+
+func (k timingKernel) Run(ctx *TaskletCtx) error {
+	ctx.ChargeCycles(k.cycles)
+	return nil
+}
+
+func TestLaunchTimingModel(t *testing.T) {
+	cfg := testConfig()
+	cfg.TaskletsPerDPU = 16 // saturated pipeline: IPC = 1
+	cfg.LaunchOverhead = 0
+	s := newTestSystem(t, cfg)
+
+	const perTasklet = 350_000 // ×16 tasklets = 5.6M cycles at 350 MHz = 16 ms
+	cost, err := s.Launch([]int{0}, timingKernel{cycles: perTasklet}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := time.Duration(float64(perTasklet*16) / cfg.ClockHz * float64(time.Second))
+	ratio := float64(cost.Modeled) / float64(want)
+	if ratio < 0.99 || ratio > 1.01 {
+		t.Fatalf("modeled %v, want %v", cost.Modeled, want)
+	}
+}
+
+// TestPipelineOccupancyModel: the same total work with 1 tasklet must be
+// modeled slower than with a saturated pipeline.
+func TestPipelineOccupancyModel(t *testing.T) {
+	run := func(tasklets int, perTasklet int64) time.Duration {
+		cfg := testConfig()
+		cfg.TaskletsPerDPU = tasklets
+		cfg.LaunchOverhead = 0
+		s := newTestSystem(t, cfg)
+		cost, err := s.Launch([]int{0}, timingKernel{cycles: perTasklet}, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return cost.Modeled
+	}
+	// 1 tasklet × 16M cycles vs 16 tasklets × 1M cycles: same total work.
+	single := run(1, 16_000_000)
+	saturated := run(16, 1_000_000)
+	// A lone tasklet issues once per pipelineDepth cycles → ~11× slower.
+	ratio := float64(single) / float64(saturated)
+	if ratio < 10 || ratio > 12 {
+		t.Fatalf("single/saturated = %.1f, want ≈ 11", ratio)
+	}
+}
+
+func TestCostCombinators(t *testing.T) {
+	a := Cost{Modeled: 2 * time.Millisecond, Bytes: 100}
+	b := Cost{Modeled: 3 * time.Millisecond, Bytes: 50}
+	sum := a.Add(b)
+	if sum.Modeled != 5*time.Millisecond || sum.Bytes != 150 {
+		t.Errorf("Add = %+v", sum)
+	}
+	mx := a.Max(b)
+	if mx.Modeled != 3*time.Millisecond || mx.Bytes != 150 {
+		t.Errorf("Max = %+v", mx)
+	}
+}
+
+// TestConcurrentDisjointLaunches runs many launches on disjoint DPU sets
+// in parallel, as the engine's cluster scheduler does.
+func TestConcurrentDisjointLaunches(t *testing.T) {
+	s := newTestSystem(t, testConfig())
+	var wg sync.WaitGroup
+	errs := make([]error, s.NumDPUs())
+	for i := 0; i < s.NumDPUs(); i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			_, errs[i] = s.Launch([]int{i}, fillKernel{}, nil)
+		}(i)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("launch %d: %v", i, err)
+		}
+	}
+}

@@ -1,0 +1,266 @@
+// Package pimkernel contains the DPU programs IM-PIR launches on the
+// simulated UPMEM system. The central kernel is DPXOR: the selective-XOR
+// scan of a DPU's database chunk with two-stage parallel reduction across
+// tasklets (Algorithm 1, lines 28–45, and §3.3 of the paper).
+package pimkernel
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math/bits"
+
+	"github.com/impir/impir/internal/pim"
+	"github.com/impir/impir/internal/xorop"
+)
+
+// Per-record instruction estimates for the DPU timing model, in DPU
+// instructions (≈ cycles at saturated pipeline occupancy). The DPU is a
+// 32-bit in-order core, so one 64-bit load+XOR+store round trip costs
+// several instructions; these constants are calibrated so the modeled
+// dpXOR share of query time matches Table 1 of the paper (≈ 16% for
+// IM-PIR) and are consistent with per-DPU effective throughputs measured
+// on real UPMEM hardware (tens of MB/s for compute+copy kernels).
+const (
+	// cyclesRecordCheck covers selector-bit extraction, the branch and
+	// loop bookkeeping charged for every record, selected or not.
+	cyclesRecordCheck = 12
+	// cyclesPerWordXOR covers XOR-accumulating one 8-byte word of a
+	// selected record from WRAM into the accumulator (two 32-bit loads,
+	// two XORs, two stores plus addressing on the 32-bit core).
+	cyclesPerWordXOR = 24
+)
+
+// DPXORArgs is the per-DPU argument block of the DPXOR kernel. Offsets
+// are MRAM byte offsets within the executing DPU.
+type DPXORArgs struct {
+	// DBOffset is where this DPU's database chunk begins.
+	DBOffset uint64
+	// NumRecords is the number of records in this DPU's chunk.
+	NumRecords uint64
+	// RecordSize is the record size in bytes (multiple of 8, ≤ 2048).
+	RecordSize uint64
+	// SelOffset is where the packed selector bits for the chunk begin.
+	SelOffset uint64
+	// OutOffset is where the master tasklet writes the chunk subresult
+	// (RecordSize bytes).
+	OutOffset uint64
+}
+
+const argsSize = 5 * 8
+
+// Marshal encodes the argument block for pim.System.Launch.
+func (a DPXORArgs) Marshal() []byte {
+	out := make([]byte, argsSize)
+	binary.LittleEndian.PutUint64(out[0:], a.DBOffset)
+	binary.LittleEndian.PutUint64(out[8:], a.NumRecords)
+	binary.LittleEndian.PutUint64(out[16:], a.RecordSize)
+	binary.LittleEndian.PutUint64(out[24:], a.SelOffset)
+	binary.LittleEndian.PutUint64(out[32:], a.OutOffset)
+	return out
+}
+
+func parseArgs(raw []byte) (DPXORArgs, error) {
+	if len(raw) != argsSize {
+		return DPXORArgs{}, fmt.Errorf("pimkernel: args block is %d bytes, want %d", len(raw), argsSize)
+	}
+	return DPXORArgs{
+		DBOffset:   binary.LittleEndian.Uint64(raw[0:]),
+		NumRecords: binary.LittleEndian.Uint64(raw[8:]),
+		RecordSize: binary.LittleEndian.Uint64(raw[16:]),
+		SelOffset:  binary.LittleEndian.Uint64(raw[24:]),
+		OutOffset:  binary.LittleEndian.Uint64(raw[32:]),
+	}, nil
+}
+
+// Validate checks the argument block against kernel limits.
+func (a DPXORArgs) Validate() error {
+	switch {
+	case a.RecordSize == 0 || a.RecordSize%pim.DMAAlign != 0:
+		return fmt.Errorf("pimkernel: record size %d must be a positive multiple of %d", a.RecordSize, pim.DMAAlign)
+	case a.RecordSize > pim.DMAMaxTransfer:
+		return fmt.Errorf("pimkernel: record size %d exceeds one DMA transfer (%d)", a.RecordSize, pim.DMAMaxTransfer)
+	case a.DBOffset%pim.DMAAlign != 0 || a.SelOffset%pim.DMAAlign != 0 || a.OutOffset%pim.DMAAlign != 0:
+		return errors.New("pimkernel: MRAM offsets must be 8-byte aligned")
+	case a.NumRecords%64 != 0:
+		// Selector words must not straddle tasklet boundaries; the engine
+		// pads chunks to 64-record multiples.
+		return fmt.Errorf("pimkernel: record count %d must be a multiple of 64", a.NumRecords)
+	}
+	return nil
+}
+
+// ModelCost estimates the per-DPU instruction and DMA-byte counts of a
+// DPXOR execution over a chunk of numRecords records, assuming the
+// expected DPF-share selectivity of 1/2. These are the quantities the
+// functional kernel charges through TaskletCtx; the benchmark harness
+// combines them with pim.Config.KernelDuration to evaluate paper-scale
+// configurations without materialising the database.
+func ModelCost(numRecords, recordSize, tasklets int) (instrCycles, dmaBytes int64) {
+	words := int64(recordSize / 8)
+	n := int64(numRecords)
+	instrCycles = n*cyclesRecordCheck + n/2*words*cyclesPerWordXOR
+	// Stage 2: master tasklet folds one partial per tasklet.
+	instrCycles += int64(tasklets) * words * cyclesPerWordXOR
+	// DMA: the database chunk, the selector bits, and the subresult.
+	dmaBytes = n*int64(recordSize) + n/8 + int64(recordSize)
+	return instrCycles, dmaBytes
+}
+
+// DPXOR is the dpXOR kernel. One instance is stateless and reusable
+// across launches and DPUs.
+type DPXOR struct{}
+
+var _ pim.Kernel = DPXOR{}
+
+// Name implements pim.Kernel.
+func (DPXOR) Name() string { return "dpxor" }
+
+// Run implements pim.Kernel. Every tasklet scans an interleaved share of
+// the DPU's records (stage 1 of the parallel reduction), deposits its
+// partial into shared WRAM, and tasklet 0 folds the partials and writes
+// the DPU subresult to MRAM (stage 2).
+func (k DPXOR) Run(ctx *pim.TaskletCtx) error {
+	args, err := parseArgs(ctx.Args())
+	if err != nil {
+		return err
+	}
+	if err := args.Validate(); err != nil {
+		return err
+	}
+	recordSize := int(args.RecordSize)
+	numRecords := int(args.NumRecords)
+	t := ctx.NumTasklets()
+	tid := ctx.TaskletID()
+
+	// Partition records across tasklets in 64-record groups so each
+	// selector word belongs to exactly one tasklet: B_t = ⌈B_d/T⌉
+	// rounded to 64 (Alg. 1 line 5).
+	groups := numRecords / 64
+	groupsPerTasklet := (groups + t - 1) / t
+	firstGroup := tid * groupsPerTasklet
+	lastGroup := firstGroup + groupsPerTasklet
+	if lastGroup > groups {
+		lastGroup = groups
+	}
+
+	partials, err := ctx.SharedWRAM("dpxor.partials", t*recordSize)
+	if err != nil {
+		return err
+	}
+	acc := partials[tid*recordSize : (tid+1)*recordSize]
+
+	if firstGroup < lastGroup {
+		if err := k.scanRange(ctx, args, acc, firstGroup, lastGroup); err != nil {
+			return err
+		}
+	}
+
+	// Stage 2: wait for every tasklet's partial, then the master tasklet
+	// folds them (Alg. 1 MASTERXOR).
+	if !ctx.Barrier() {
+		return errors.New("pimkernel: launch aborted")
+	}
+	if tid != 0 {
+		return nil
+	}
+	out, err := ctx.AllocWRAM(recordSize)
+	if err != nil {
+		return err
+	}
+	for i := 0; i < t; i++ {
+		if err := xorop.XORBytes(out, partials[i*recordSize:(i+1)*recordSize]); err != nil {
+			return err
+		}
+	}
+	ctx.ChargeCycles(int64(t) * int64(recordSize/8) * cyclesPerWordXOR)
+	return writeMRAMChunked(ctx, int(args.OutOffset), out)
+}
+
+// scanRange processes the tasklet's 64-record groups: for each group, DMA
+// the selector word and the records into WRAM, then XOR-accumulate the
+// selected ones.
+func (DPXOR) scanRange(ctx *pim.TaskletCtx, args DPXORArgs, acc []byte, firstGroup, lastGroup int) error {
+	recordSize := int(args.RecordSize)
+
+	// Records are fetched in sub-chunks of ≤ one DMA transfer.
+	recsPerDMA := pim.DMAMaxTransfer / recordSize
+	if recsPerDMA > 64 {
+		recsPerDMA = 64
+	}
+	// Power-of-two sub-chunks keep selector bit offsets word-regular.
+	for recsPerDMA&(recsPerDMA-1) != 0 {
+		recsPerDMA &= recsPerDMA - 1
+	}
+
+	recBuf, err := ctx.AllocWRAM(recsPerDMA * recordSize)
+	if err != nil {
+		return err
+	}
+	// Selector words are fetched in blocks to amortise DMA setup: 64
+	// groups (512 bytes) per transfer.
+	const selBlockGroups = 64
+	selBuf, err := ctx.AllocWRAM(selBlockGroups * 8)
+	if err != nil {
+		return err
+	}
+
+	for blockStart := firstGroup; blockStart < lastGroup; blockStart += selBlockGroups {
+		blockEnd := blockStart + selBlockGroups
+		if blockEnd > lastGroup {
+			blockEnd = lastGroup
+		}
+		nWords := blockEnd - blockStart
+		if err := ctx.ReadMRAM(int(args.SelOffset)+blockStart*8, selBuf[:nWords*8]); err != nil {
+			return err
+		}
+
+		for g := 0; g < nWords; g++ {
+			word := binary.LittleEndian.Uint64(selBuf[g*8:])
+			group := blockStart + g
+			ctx.ChargeCycles(64 * cyclesRecordCheck)
+			if word == 0 {
+				// No record of this group is selected: the DMA fetch of
+				// the records can be skipped entirely. (This leaks only
+				// the server's own pseudorandom share, never the query.)
+				continue
+			}
+			baseRecord := group * 64
+			for sub := 0; sub < 64; sub += recsPerDMA {
+				subSel := word >> uint(sub)
+				if recsPerDMA < 64 {
+					subSel &= (1 << uint(recsPerDMA)) - 1
+				}
+				if subSel == 0 {
+					continue
+				}
+				recOff := int(args.DBOffset) + (baseRecord+sub)*recordSize
+				if err := ctx.ReadMRAM(recOff, recBuf[:recsPerDMA*recordSize]); err != nil {
+					return err
+				}
+				sel := [1]uint64{subSel}
+				if err := xorop.Accumulate(acc, recBuf[:recsPerDMA*recordSize], recordSize, sel[:]); err != nil {
+					return err
+				}
+				setBits := bits.OnesCount64(subSel)
+				ctx.ChargeCycles(int64(setBits) * int64(recordSize/8) * cyclesPerWordXOR)
+			}
+		}
+	}
+	return nil
+}
+
+// writeMRAMChunked writes a WRAM buffer to MRAM honouring the DMA
+// transfer-size limit.
+func writeMRAMChunked(ctx *pim.TaskletCtx, offset int, buf []byte) error {
+	for off := 0; off < len(buf); off += pim.DMAMaxTransfer {
+		end := off + pim.DMAMaxTransfer
+		if end > len(buf) {
+			end = len(buf)
+		}
+		if err := ctx.WriteMRAM(offset+off, buf[off:end]); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,130 @@
+package pimkernel
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+
+	"github.com/impir/impir/internal/pim"
+)
+
+// Stream is a bandwidth-probe kernel in the style of the PrIM COPY
+// microbenchmark: every tasklet DMA-streams its slice of an MRAM region
+// into WRAM and XOR-folds it into a checksum (one ALU op per word, so the
+// kernel stays DMA-bound). IM-PIR's §2.4 motivation rests on the claim
+// that per-DPU MRAM bandwidth (≈700 MB/s) aggregates linearly across
+// thousands of DPUs into TB/s; this kernel makes that claim measurable on
+// the simulator and is the basis of ablation A7.
+type Stream struct{}
+
+var _ pim.Kernel = Stream{}
+
+// StreamArgs is the per-DPU argument block of the Stream kernel.
+type StreamArgs struct {
+	// Offset is the MRAM start of the region to stream (8-aligned).
+	Offset uint64
+	// Length is the region size in bytes (8-aligned).
+	Length uint64
+	// OutOffset is where tasklet 0 writes the 8-byte XOR checksum.
+	OutOffset uint64
+}
+
+const streamArgsSize = 3 * 8
+
+// Marshal encodes the argument block for pim.System.Launch.
+func (a StreamArgs) Marshal() []byte {
+	out := make([]byte, streamArgsSize)
+	binary.LittleEndian.PutUint64(out[0:], a.Offset)
+	binary.LittleEndian.PutUint64(out[8:], a.Length)
+	binary.LittleEndian.PutUint64(out[16:], a.OutOffset)
+	return out
+}
+
+func parseStreamArgs(raw []byte) (StreamArgs, error) {
+	if len(raw) != streamArgsSize {
+		return StreamArgs{}, fmt.Errorf("pimkernel: stream args block is %d bytes, want %d", len(raw), streamArgsSize)
+	}
+	a := StreamArgs{
+		Offset:    binary.LittleEndian.Uint64(raw[0:]),
+		Length:    binary.LittleEndian.Uint64(raw[8:]),
+		OutOffset: binary.LittleEndian.Uint64(raw[16:]),
+	}
+	switch {
+	case a.Offset%pim.DMAAlign != 0 || a.OutOffset%pim.DMAAlign != 0:
+		return StreamArgs{}, errors.New("pimkernel: stream offsets must be 8-byte aligned")
+	case a.Length == 0 || a.Length%pim.DMAAlign != 0:
+		return StreamArgs{}, fmt.Errorf("pimkernel: stream length %d must be a positive multiple of %d", a.Length, pim.DMAAlign)
+	}
+	return a, nil
+}
+
+// cyclesPerStreamWord is the per-8-byte ALU cost of the checksum fold —
+// deliberately minimal so the kernel measures the DMA engine, not the
+// core (the fold exists only so the simulator cannot elide the reads).
+const cyclesPerStreamWord = 1
+
+// Name implements pim.Kernel.
+func (Stream) Name() string { return "stream" }
+
+// Run implements pim.Kernel.
+func (Stream) Run(ctx *pim.TaskletCtx) error {
+	args, err := parseStreamArgs(ctx.Args())
+	if err != nil {
+		return err
+	}
+	t := ctx.NumTasklets()
+	tid := ctx.TaskletID()
+
+	// Partition the region across tasklets in DMA-sized strides.
+	words := int(args.Length) / 8
+	wordsPerTasklet := (words + t - 1) / t
+	first := tid * wordsPerTasklet
+	last := first + wordsPerTasklet
+	if last > words {
+		last = words
+	}
+
+	sums, err := ctx.SharedWRAM("stream.sums", t*8)
+	if err != nil {
+		return err
+	}
+
+	if first < last {
+		buf, err := ctx.AllocWRAM(pim.DMAMaxTransfer)
+		if err != nil {
+			return err
+		}
+		var acc uint64
+		for off := first * 8; off < last*8; off += pim.DMAMaxTransfer {
+			n := last*8 - off
+			if n > pim.DMAMaxTransfer {
+				n = pim.DMAMaxTransfer
+			}
+			if err := ctx.ReadMRAM(int(args.Offset)+off, buf[:n]); err != nil {
+				return err
+			}
+			for i := 0; i < n; i += 8 {
+				acc ^= binary.LittleEndian.Uint64(buf[i:])
+			}
+			ctx.ChargeCycles(int64(n) / 8 * cyclesPerStreamWord)
+		}
+		binary.LittleEndian.PutUint64(sums[tid*8:], acc)
+	}
+
+	if !ctx.Barrier() {
+		return errors.New("pimkernel: launch aborted")
+	}
+	if tid != 0 {
+		return nil
+	}
+	var total uint64
+	for i := 0; i < t; i++ {
+		total ^= binary.LittleEndian.Uint64(sums[i*8:])
+	}
+	out, err := ctx.AllocWRAM(8)
+	if err != nil {
+		return err
+	}
+	binary.LittleEndian.PutUint64(out, total)
+	return ctx.WriteMRAM(int(args.OutOffset), out)
+}

@@ -1,0 +1,107 @@
+package pimkernel
+
+import (
+	"encoding/binary"
+	"math/rand"
+	"testing"
+
+	"github.com/impir/impir/internal/pim"
+)
+
+func TestStreamChecksum(t *testing.T) {
+	cfg := pim.DefaultConfig()
+	cfg.Ranks = 1
+	cfg.DPUsPerRank = 1
+	cfg.MRAMPerDPU = 1 << 20
+	cfg.TaskletsPerDPU = 16
+	s, err := pim.NewSystem(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const length = 96 * 1024
+	rng := rand.New(rand.NewSource(5))
+	data := make([]byte, length)
+	rng.Read(data)
+	if err := s.Preload(0, 0, data); err != nil {
+		t.Fatal(err)
+	}
+
+	var want uint64
+	for i := 0; i < length; i += 8 {
+		want ^= binary.LittleEndian.Uint64(data[i:])
+	}
+
+	args := StreamArgs{Offset: 0, Length: length, OutOffset: length}
+	cost, err := s.Launch([]int{0}, Stream{}, [][]byte{args.Marshal()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := s.InspectMRAM(0, length, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := binary.LittleEndian.Uint64(out); got != want {
+		t.Fatalf("checksum %#x, want %#x", got, want)
+	}
+	if cost.Bytes < length {
+		t.Fatalf("DMA accounting %d bytes, want ≥ %d", cost.Bytes, length)
+	}
+}
+
+// TestStreamIsDMABound: the modeled duration must be dominated by the DMA
+// term (bytes / 700 MB/s), not compute — that is the §2.4 bandwidth story.
+func TestStreamIsDMABound(t *testing.T) {
+	cfg := pim.DefaultConfig()
+	cfg.Ranks = 1
+	cfg.DPUsPerRank = 1
+	cfg.MRAMPerDPU = 8 << 20
+	cfg.TaskletsPerDPU = 16
+	cfg.LaunchOverhead = 0
+	s, err := pim.NewSystem(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const length = 4 << 20
+	if err := s.Preload(0, 0, make([]byte, length)); err != nil {
+		t.Fatal(err)
+	}
+	args := StreamArgs{Offset: 0, Length: length, OutOffset: length}
+	cost, err := s.Launch([]int{0}, Stream{}, [][]byte{args.Marshal()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dmaSeconds := float64(length) / cfg.MRAMBandwidth
+	ratio := cost.Modeled.Seconds() / dmaSeconds
+	if ratio < 1.0 || ratio > 1.3 {
+		t.Fatalf("modeled/DMA-only = %.2f, want 1.0–1.3 (DMA-bound)", ratio)
+	}
+	// Effective per-DPU bandwidth lands near the 700 MB/s spec.
+	bw := float64(length) / cost.Modeled.Seconds()
+	if bw < 500e6 || bw > 700e6 {
+		t.Fatalf("per-DPU stream bandwidth %.0f MB/s, want 500–700", bw/1e6)
+	}
+}
+
+func TestStreamArgsValidation(t *testing.T) {
+	s, err := pim.NewSystem(func() pim.Config {
+		c := pim.DefaultConfig()
+		c.Ranks, c.DPUsPerRank, c.MRAMPerDPU, c.TaskletsPerDPU = 1, 1, 1<<16, 2
+		return c
+	}())
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad := [][]byte{
+		{1, 2, 3}, // short
+		StreamArgs{Offset: 4, Length: 64}.Marshal(),    // misaligned offset
+		StreamArgs{Offset: 0, Length: 0}.Marshal(),     // empty
+		StreamArgs{Offset: 0, Length: 12}.Marshal(),    // misaligned length
+		StreamArgs{Length: 64, OutOffset: 3}.Marshal(), // misaligned out
+	}
+	for i, args := range bad {
+		if _, err := s.Launch([]int{0}, Stream{}, [][]byte{args}); err == nil {
+			t.Errorf("bad args %d accepted", i)
+		}
+	}
+}

@@ -1,0 +1,60 @@
+package pirproto
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzParseBatch hardens the batch decoder against adversarial payloads.
+func FuzzParseBatch(f *testing.F) {
+	good, err := MarshalBatch([][]byte{[]byte("abc"), {}, []byte("z")})
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(good)
+	f.Add([]byte{})
+	f.Add([]byte{0xFF, 0xFF, 0xFF, 0xFF})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		items, err := ParseBatch(data)
+		if err != nil {
+			return
+		}
+		// Accepted payloads must round-trip exactly.
+		back, err := MarshalBatch(items)
+		if err != nil {
+			t.Fatalf("accepted batch fails re-marshal: %v", err)
+		}
+		if !bytes.Equal(back, data) {
+			t.Fatal("accepted batch is not a fixed point of the codec")
+		}
+	})
+}
+
+// FuzzReadFrame hardens the frame reader: arbitrary streams must never
+// panic or over-allocate.
+func FuzzReadFrame(f *testing.F) {
+	var buf bytes.Buffer
+	if err := WriteFrame(&buf, MsgQuery, []byte("payload")); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(buf.Bytes())
+	f.Add([]byte{'I', 'P'})
+	f.Add([]byte("GET / HTTP/1.1\r\n"))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		typ, payload, err := ReadFrame(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		// A successfully parsed frame must re-encode to a prefix of the
+		// input.
+		var out bytes.Buffer
+		if err := WriteFrame(&out, typ, payload); err != nil {
+			t.Fatalf("accepted frame fails re-encode: %v", err)
+		}
+		if !bytes.HasPrefix(data, out.Bytes()) {
+			t.Fatal("accepted frame is not a prefix fixed point")
+		}
+	})
+}

@@ -1,0 +1,208 @@
+// Package pirproto defines the binary wire protocol between PIR clients
+// and servers: length-prefixed frames carrying DPF keys, subresults, and
+// server metadata. The protocol is deliberately minimal — one
+// request/response in flight per connection — because PIR payloads are
+// tiny (keys are O(λ log N), responses are one record) and all the cost
+// is server-side compute.
+package pirproto
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+)
+
+// MsgType identifies a frame's payload.
+type MsgType uint8
+
+const (
+	// MsgHello is the client's opening frame: [version u8].
+	MsgHello MsgType = iota + 1
+	// MsgServerInfo is the server's reply to Hello:
+	// [party u8][domain u8][recordSize u32][numRecords u64][digest 32B].
+	MsgServerInfo
+	// MsgQuery carries one marshalled DPF key.
+	MsgQuery
+	// MsgQueryResp carries one subresult (recordSize bytes).
+	MsgQueryResp
+	// MsgBatchQuery carries [count u32] then count length-prefixed keys.
+	MsgBatchQuery
+	// MsgBatchResp carries [count u32] then count length-prefixed
+	// subresults.
+	MsgBatchResp
+	// MsgError carries a UTF-8 error message.
+	MsgError
+	// MsgShareQuery carries one marshalled selector-share bit vector —
+	// the naive n-server encoding of §2.3 (O(N) bits).
+	MsgShareQuery
+)
+
+func (t MsgType) String() string {
+	switch t {
+	case MsgHello:
+		return "hello"
+	case MsgServerInfo:
+		return "server-info"
+	case MsgQuery:
+		return "query"
+	case MsgQueryResp:
+		return "query-resp"
+	case MsgBatchQuery:
+		return "batch-query"
+	case MsgBatchResp:
+		return "batch-resp"
+	case MsgError:
+		return "error"
+	case MsgShareQuery:
+		return "share-query"
+	default:
+		return fmt.Sprintf("MsgType(%d)", uint8(t))
+	}
+}
+
+// Version is the protocol version carried in Hello frames.
+const Version = 1
+
+// MaxFrameSize bounds a frame's payload; larger frames are rejected
+// before allocation. Batch frames of thousands of keys stay well below
+// this.
+const MaxFrameSize = 64 << 20
+
+var (
+	magic = [2]byte{'I', 'P'}
+
+	// ErrFrameTooLarge indicates a frame above MaxFrameSize.
+	ErrFrameTooLarge = errors.New("pirproto: frame exceeds size limit")
+	// ErrBadMagic indicates a stream that is not speaking this protocol.
+	ErrBadMagic = errors.New("pirproto: bad frame magic")
+)
+
+// Frame header: magic(2) type(1) reserved(1) length(4, LE).
+const headerSize = 8
+
+// WriteFrame writes one frame.
+func WriteFrame(w io.Writer, t MsgType, payload []byte) error {
+	if len(payload) > MaxFrameSize {
+		return ErrFrameTooLarge
+	}
+	var hdr [headerSize]byte
+	hdr[0], hdr[1] = magic[0], magic[1]
+	hdr[2] = byte(t)
+	binary.LittleEndian.PutUint32(hdr[4:], uint32(len(payload)))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return fmt.Errorf("pirproto: write header: %w", err)
+	}
+	if len(payload) > 0 {
+		if _, err := w.Write(payload); err != nil {
+			return fmt.Errorf("pirproto: write payload: %w", err)
+		}
+	}
+	return nil
+}
+
+// ReadFrame reads one frame, validating magic and size.
+func ReadFrame(r io.Reader) (MsgType, []byte, error) {
+	var hdr [headerSize]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return 0, nil, err
+	}
+	if hdr[0] != magic[0] || hdr[1] != magic[1] {
+		return 0, nil, ErrBadMagic
+	}
+	size := binary.LittleEndian.Uint32(hdr[4:])
+	if size > MaxFrameSize {
+		return 0, nil, ErrFrameTooLarge
+	}
+	payload := make([]byte, size)
+	if _, err := io.ReadFull(r, payload); err != nil {
+		return 0, nil, fmt.Errorf("pirproto: read payload: %w", err)
+	}
+	return MsgType(hdr[2]), payload, nil
+}
+
+// ServerInfo describes a PIR server's database to clients.
+type ServerInfo struct {
+	Party      uint8
+	Domain     uint8
+	RecordSize uint32
+	NumRecords uint64
+	Digest     [32]byte
+}
+
+const serverInfoSize = 1 + 1 + 4 + 8 + 32
+
+// Marshal encodes the info payload.
+func (si ServerInfo) Marshal() []byte {
+	out := make([]byte, serverInfoSize)
+	out[0] = si.Party
+	out[1] = si.Domain
+	binary.LittleEndian.PutUint32(out[2:], si.RecordSize)
+	binary.LittleEndian.PutUint64(out[6:], si.NumRecords)
+	copy(out[14:], si.Digest[:])
+	return out
+}
+
+// ParseServerInfo decodes the info payload.
+func ParseServerInfo(b []byte) (ServerInfo, error) {
+	if len(b) != serverInfoSize {
+		return ServerInfo{}, fmt.Errorf("pirproto: server info is %d bytes, want %d", len(b), serverInfoSize)
+	}
+	var si ServerInfo
+	si.Party = b[0]
+	si.Domain = b[1]
+	si.RecordSize = binary.LittleEndian.Uint32(b[2:])
+	si.NumRecords = binary.LittleEndian.Uint64(b[6:])
+	copy(si.Digest[:], b[14:])
+	return si, nil
+}
+
+// MarshalBatch encodes count length-prefixed byte strings.
+func MarshalBatch(items [][]byte) ([]byte, error) {
+	total := 4
+	for _, it := range items {
+		total += 4 + len(it)
+	}
+	if total > MaxFrameSize {
+		return nil, ErrFrameTooLarge
+	}
+	out := make([]byte, 0, total)
+	var tmp [4]byte
+	binary.LittleEndian.PutUint32(tmp[:], uint32(len(items)))
+	out = append(out, tmp[:]...)
+	for _, it := range items {
+		binary.LittleEndian.PutUint32(tmp[:], uint32(len(it)))
+		out = append(out, tmp[:]...)
+		out = append(out, it...)
+	}
+	return out, nil
+}
+
+// ParseBatch decodes a MarshalBatch payload.
+func ParseBatch(b []byte) ([][]byte, error) {
+	if len(b) < 4 {
+		return nil, errors.New("pirproto: batch payload too short")
+	}
+	count := binary.LittleEndian.Uint32(b)
+	if count > 1<<20 {
+		return nil, fmt.Errorf("pirproto: implausible batch count %d", count)
+	}
+	b = b[4:]
+	items := make([][]byte, 0, count)
+	for i := uint32(0); i < count; i++ {
+		if len(b) < 4 {
+			return nil, fmt.Errorf("pirproto: batch item %d: missing length", i)
+		}
+		n := binary.LittleEndian.Uint32(b)
+		b = b[4:]
+		if uint32(len(b)) < n {
+			return nil, fmt.Errorf("pirproto: batch item %d: truncated (%d of %d bytes)", i, len(b), n)
+		}
+		items = append(items, b[:n:n])
+		b = b[n:]
+	}
+	if len(b) != 0 {
+		return nil, fmt.Errorf("pirproto: %d trailing bytes after batch", len(b))
+	}
+	return items, nil
+}

@@ -1,0 +1,201 @@
+package pirproto
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"testing"
+	"testing/quick"
+)
+
+func TestFrameRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	payload := []byte("hello pir")
+	if err := WriteFrame(&buf, MsgQuery, payload); err != nil {
+		t.Fatal(err)
+	}
+	typ, got, err := ReadFrame(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if typ != MsgQuery || !bytes.Equal(got, payload) {
+		t.Fatalf("round trip: type=%v payload=%q", typ, got)
+	}
+}
+
+func TestEmptyPayloadFrame(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteFrame(&buf, MsgHello, nil); err != nil {
+		t.Fatal(err)
+	}
+	typ, got, err := ReadFrame(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if typ != MsgHello || len(got) != 0 {
+		t.Fatalf("empty frame: type=%v len=%d", typ, len(got))
+	}
+}
+
+func TestMultipleFramesSequential(t *testing.T) {
+	var buf bytes.Buffer
+	for i := 0; i < 5; i++ {
+		if err := WriteFrame(&buf, MsgQuery, []byte{byte(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 5; i++ {
+		_, payload, err := ReadFrame(&buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if payload[0] != byte(i) {
+			t.Fatalf("frame %d out of order", i)
+		}
+	}
+}
+
+func TestReadFrameRejectsBadMagic(t *testing.T) {
+	data := []byte{'X', 'Y', 1, 0, 0, 0, 0, 0}
+	if _, _, err := ReadFrame(bytes.NewReader(data)); !errors.Is(err, ErrBadMagic) {
+		t.Fatalf("err = %v, want ErrBadMagic", err)
+	}
+}
+
+func TestReadFrameRejectsOversize(t *testing.T) {
+	data := []byte{'I', 'P', 1, 0, 0xFF, 0xFF, 0xFF, 0xFF}
+	if _, _, err := ReadFrame(bytes.NewReader(data)); !errors.Is(err, ErrFrameTooLarge) {
+		t.Fatalf("err = %v, want ErrFrameTooLarge", err)
+	}
+}
+
+func TestReadFrameTruncated(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteFrame(&buf, MsgQuery, []byte("0123456789")); err != nil {
+		t.Fatal(err)
+	}
+	data := buf.Bytes()
+	for _, cut := range []int{0, 3, 8, len(data) - 1} {
+		if _, _, err := ReadFrame(bytes.NewReader(data[:cut])); err == nil {
+			t.Errorf("truncation at %d not detected", cut)
+		}
+	}
+}
+
+func TestWriteFrameRejectsOversize(t *testing.T) {
+	huge := make([]byte, MaxFrameSize+1)
+	if err := WriteFrame(io.Discard, MsgQuery, huge); !errors.Is(err, ErrFrameTooLarge) {
+		t.Fatalf("err = %v, want ErrFrameTooLarge", err)
+	}
+}
+
+func TestServerInfoRoundTrip(t *testing.T) {
+	si := ServerInfo{
+		Party:      1,
+		Domain:     20,
+		RecordSize: 32,
+		NumRecords: 1 << 20,
+	}
+	for i := range si.Digest {
+		si.Digest[i] = byte(i)
+	}
+	got, err := ParseServerInfo(si.Marshal())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != si {
+		t.Fatalf("round trip: %+v != %+v", got, si)
+	}
+	if _, err := ParseServerInfo([]byte{1, 2, 3}); err == nil {
+		t.Error("ParseServerInfo accepted short payload")
+	}
+}
+
+func TestBatchRoundTrip(t *testing.T) {
+	items := [][]byte{[]byte("a"), {}, []byte("longer item"), {0, 1, 2}}
+	payload, err := MarshalBatch(items)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := ParseBatch(payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(items) {
+		t.Fatalf("got %d items, want %d", len(got), len(items))
+	}
+	for i := range items {
+		if !bytes.Equal(got[i], items[i]) {
+			t.Fatalf("item %d mismatch", i)
+		}
+	}
+}
+
+func TestBatchEmpty(t *testing.T) {
+	payload, err := MarshalBatch(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := ParseBatch(payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 0 {
+		t.Fatalf("empty batch decoded to %d items", len(got))
+	}
+}
+
+func TestParseBatchRejectsCorruption(t *testing.T) {
+	good, err := MarshalBatch([][]byte{[]byte("abc"), []byte("def")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := map[string][]byte{
+		"empty":          nil,
+		"short":          good[:2],
+		"truncated item": good[:len(good)-2],
+		"trailing":       append(append([]byte{}, good...), 0xFF),
+		"huge count":     {0xFF, 0xFF, 0xFF, 0xFF},
+		"length overrun": {1, 0, 0, 0, 0xFF, 0, 0, 0},
+		"missing length": {2, 0, 0, 0, 1, 0, 0, 0, 'x'},
+	}
+	for name, data := range cases {
+		if _, err := ParseBatch(data); err == nil {
+			t.Errorf("%s: corruption accepted", name)
+		}
+	}
+}
+
+func TestMsgTypeString(t *testing.T) {
+	for _, typ := range []MsgType{MsgHello, MsgServerInfo, MsgQuery, MsgQueryResp, MsgBatchQuery, MsgBatchResp, MsgError} {
+		if typ.String() == "" {
+			t.Errorf("MsgType %d has empty name", typ)
+		}
+	}
+	if MsgType(200).String() == "" {
+		t.Error("unknown type has empty name")
+	}
+}
+
+// Property: batch marshalling round-trips arbitrary byte strings.
+func TestQuickBatchRoundTrip(t *testing.T) {
+	f := func(items [][]byte) bool {
+		payload, err := MarshalBatch(items)
+		if err != nil {
+			return len(items) > 0 // only oversize should fail
+		}
+		got, err := ParseBatch(payload)
+		if err != nil || len(got) != len(items) {
+			return false
+		}
+		for i := range items {
+			if !bytes.Equal(got[i], items[i]) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

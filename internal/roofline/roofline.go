@@ -1,0 +1,131 @@
+// Package roofline implements the roofline performance model used in
+// Figure 3(b) of the paper to show that multi-server PIR's server-side
+// operations are memory-bound: their operational intensity (useful
+// operations per byte moved) falls left of the machine's ridge point, so
+// attainable performance is capped by memory bandwidth rather than
+// compute throughput — the observation that motivates moving dpXOR into
+// memory.
+package roofline
+
+import (
+	"fmt"
+	"time"
+)
+
+// Machine is the roofline envelope: a flat compute roof and a bandwidth
+// diagonal.
+type Machine struct {
+	// Name identifies the machine in reports.
+	Name string
+	// PeakOpsPerSec is the compute roof (64-bit-word operations/s across
+	// all cores).
+	PeakOpsPerSec float64
+	// BytesPerSec is the DRAM bandwidth diagonal.
+	BytesPerSec float64
+}
+
+// CPUBaselineMachine is the roofline envelope of the paper's baseline
+// server: 32 hardware threads at 2.1 GHz (≈ one useful 64-bit op per
+// cycle each) against ~60 GB/s of realised DRAM bandwidth.
+func CPUBaselineMachine() Machine {
+	return Machine{
+		Name:          "cpu-pir-baseline",
+		PeakOpsPerSec: 33.6e9,
+		BytesPerSec:   60e9,
+	}
+}
+
+// RidgeIntensity is the operational intensity (op/B) where the bandwidth
+// diagonal meets the compute roof; kernels left of it are memory-bound.
+func (m Machine) RidgeIntensity() float64 {
+	return m.PeakOpsPerSec / m.BytesPerSec
+}
+
+// AttainableOpsPerSec evaluates the roofline at a given operational
+// intensity: min(peak, intensity × bandwidth).
+func (m Machine) AttainableOpsPerSec(intensity float64) float64 {
+	bw := intensity * m.BytesPerSec
+	if bw < m.PeakOpsPerSec {
+		return bw
+	}
+	return m.PeakOpsPerSec
+}
+
+// MemoryBound reports whether a kernel of the given intensity sits in the
+// memory-bound region.
+func (m Machine) MemoryBound(intensity float64) bool {
+	return intensity < m.RidgeIntensity()
+}
+
+// Kernel is one measured (or modeled) kernel placed on the roofline.
+type Kernel struct {
+	// Name identifies the kernel ("dpXOR", "Eval", …).
+	Name string
+	// Ops is the useful-operation count of one execution.
+	Ops float64
+	// Bytes is the data volume moved to/from memory by one execution.
+	Bytes float64
+	// Duration is the execution time (modeled on the paper's hardware).
+	Duration time.Duration
+}
+
+// Intensity returns operations per byte.
+func (k Kernel) Intensity() float64 {
+	if k.Bytes == 0 {
+		return 0
+	}
+	return k.Ops / k.Bytes
+}
+
+// AchievedOpsPerSec returns the kernel's realised performance.
+func (k Kernel) AchievedOpsPerSec() float64 {
+	s := k.Duration.Seconds()
+	if s <= 0 {
+		return 0
+	}
+	return k.Ops / s
+}
+
+// String renders the kernel's roofline coordinates.
+func (k Kernel) String() string {
+	return fmt.Sprintf("%s: OI=%.4f op/B, achieved=%.2f Gop/s", k.Name, k.Intensity(), k.AchievedOpsPerSec()/1e9)
+}
+
+// DpXORKernel builds the roofline point for the selective-XOR scan: one
+// 64-bit XOR per selected 8-byte word, against streaming the database
+// once plus the selector bits. With DPF shares, selectivity is ≈ 0.5.
+func DpXORKernel(dbBytes int64, selectivity float64, d time.Duration) Kernel {
+	words := float64(dbBytes) / 8
+	return Kernel{
+		Name:     "dpXOR",
+		Ops:      words * selectivity,
+		Bytes:    float64(dbBytes) + float64(dbBytes)/64/8, // records + 1 selector bit per record byte/recordSize… conservatively: selector stream
+		Duration: d,
+	}
+}
+
+// EvalKernel builds the roofline point for GGM full-domain evaluation:
+// every internal node costs two AES-128 blocks (≈ 12 instructions each
+// with AES-NI) and moves its 16-byte seed in and two 16-byte children
+// out.
+func EvalKernel(leaves uint64, d time.Duration) Kernel {
+	nodes := float64(leaves) // ≈ N internal nodes
+	return Kernel{
+		Name:     "Eval",
+		Ops:      nodes * 2 * 12,
+		Bytes:    nodes * 48,
+		Duration: d,
+	}
+}
+
+// GenKernel builds the roofline point for client key generation: O(log N)
+// PRG expansions on cache-resident data.
+func GenKernel(domain int, d time.Duration) Kernel {
+	levels := float64(domain)
+	return Kernel{
+		Name:     "Gen",
+		Ops:      levels * 2 * 12,
+		Bytes:    levels * 48,
+		Duration: d,
+	}
+}

@@ -1,0 +1,76 @@
+package roofline
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestRidgeAndAttainable(t *testing.T) {
+	m := Machine{PeakOpsPerSec: 10e9, BytesPerSec: 20e9}
+	if got := m.RidgeIntensity(); got != 0.5 {
+		t.Fatalf("RidgeIntensity = %v, want 0.5", got)
+	}
+	// Below the ridge: bandwidth-limited.
+	if got := m.AttainableOpsPerSec(0.1); got != 2e9 {
+		t.Fatalf("Attainable(0.1) = %v, want 2e9", got)
+	}
+	// Above the ridge: compute roof.
+	if got := m.AttainableOpsPerSec(10); got != 10e9 {
+		t.Fatalf("Attainable(10) = %v, want peak", got)
+	}
+	if !m.MemoryBound(0.1) || m.MemoryBound(1.0) {
+		t.Fatal("MemoryBound misclassifies intensities")
+	}
+}
+
+// TestFigure3bShape checks the figure's qualitative claims on the
+// baseline machine: dpXOR and Eval are memory-bound and dpXOR has the
+// lower operational intensity.
+func TestFigure3bShape(t *testing.T) {
+	m := CPUBaselineMachine()
+	dpxor := DpXORKernel(1<<30, 0.5, 500*time.Millisecond)
+	eval := EvalKernel(1<<25, 150*time.Millisecond)
+
+	if !m.MemoryBound(dpxor.Intensity()) {
+		t.Errorf("dpXOR OI %.3f not memory-bound (ridge %.3f)", dpxor.Intensity(), m.RidgeIntensity())
+	}
+	if !m.MemoryBound(eval.Intensity()) {
+		t.Errorf("Eval OI %.3f not memory-bound (ridge %.3f)", eval.Intensity(), m.RidgeIntensity())
+	}
+	if dpxor.Intensity() >= eval.Intensity() {
+		t.Errorf("dpXOR OI %.3f should be below Eval OI %.3f", dpxor.Intensity(), eval.Intensity())
+	}
+}
+
+func TestAchievedBelowRoofline(t *testing.T) {
+	// Achieved performance from the calibrated durations must not exceed
+	// the roofline bound at the kernel's intensity.
+	m := CPUBaselineMachine()
+	dpxor := DpXORKernel(4<<30, 0.5, 1650*time.Millisecond)
+	if achieved := dpxor.AchievedOpsPerSec(); achieved > m.AttainableOpsPerSec(dpxor.Intensity()) {
+		t.Errorf("dpXOR achieved %.2e exceeds roofline bound %.2e",
+			achieved, m.AttainableOpsPerSec(dpxor.Intensity()))
+	}
+}
+
+func TestKernelEdgeCases(t *testing.T) {
+	k := Kernel{Name: "x", Ops: 100}
+	if k.Intensity() != 0 {
+		t.Error("zero-byte kernel has nonzero intensity")
+	}
+	if k.AchievedOpsPerSec() != 0 {
+		t.Error("zero-duration kernel has nonzero achieved rate")
+	}
+	if !strings.Contains(k.String(), "x:") {
+		t.Errorf("String() = %q", k.String())
+	}
+}
+
+func TestGenKernelTiny(t *testing.T) {
+	g := GenKernel(30, 3*time.Microsecond)
+	e := EvalKernel(1<<30, time.Second)
+	if g.Ops >= e.Ops/1e6 {
+		t.Error("Gen ops should be negligible next to Eval")
+	}
+}

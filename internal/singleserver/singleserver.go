@@ -1,0 +1,152 @@
+// Package singleserver implements the FHE-style single-server PIR of the
+// paper's §2.2 / Figure 1, on the Paillier additively homomorphic
+// substrate.
+//
+// Protocol (Figure 1): the client builds a one-hot query vector for index
+// α and encrypts every slot (➊–➋). The server multiplies each ciphertext
+// homomorphically by the corresponding database record and sums the
+// products (➍–➎); by the one-hot structure the result decrypts to D[α]
+// (➏–➐). The server touches every record (all-for-one) and performs a
+// modular exponentiation per record, which is why the paper's Take-away 1
+// concludes single-server PIR is a poor match for lightweight PIM cores —
+// this package exists to make that comparison concrete in the benchmarks.
+package singleserver
+
+import (
+	"crypto/rand"
+	"errors"
+	"fmt"
+	"io"
+	"math/big"
+	"time"
+
+	"github.com/impir/impir/internal/database"
+	"github.com/impir/impir/internal/paillier"
+)
+
+// Client generates queries and decrypts responses.
+type Client struct {
+	key *paillier.PrivateKey
+	rng io.Reader
+}
+
+// Query is an encrypted one-hot vector.
+type Query struct {
+	// Pub is the client's public key, under which the server operates.
+	Pub *paillier.PublicKey
+	// Slots holds one ciphertext per database record.
+	Slots []*paillier.Ciphertext
+}
+
+// Response is the server's single ciphertext reply.
+type Response struct {
+	Ct *paillier.Ciphertext
+	// ServerTime is how long the homomorphic scan took (the quantity the
+	// paper's Figure 1 discussion calls out as the FHE bottleneck).
+	ServerTime time.Duration
+}
+
+// NewClient creates a client with a fresh key pair. randSource nil means
+// crypto/rand.
+func NewClient(randSource io.Reader, keyBits int) (*Client, error) {
+	if randSource == nil {
+		randSource = rand.Reader
+	}
+	key, err := paillier.GenerateKey(randSource, keyBits)
+	if err != nil {
+		return nil, err
+	}
+	return &Client{key: key, rng: randSource}, nil
+}
+
+// BuildQuery encrypts the one-hot indicator of index into numRecords
+// slots (steps ➊–➋ of Figure 1).
+func (c *Client) BuildQuery(index, numRecords int) (*Query, error) {
+	if index < 0 || index >= numRecords {
+		return nil, fmt.Errorf("singleserver: index %d outside [0,%d)", index, numRecords)
+	}
+	slots := make([]*paillier.Ciphertext, numRecords)
+	zero := new(big.Int)
+	oneInt := big.NewInt(1)
+	for i := range slots {
+		m := zero
+		if i == index {
+			m = oneInt
+		}
+		ct, err := c.key.Encrypt(c.rng, m)
+		if err != nil {
+			return nil, fmt.Errorf("singleserver: encrypt slot %d: %w", i, err)
+		}
+		slots[i] = ct
+	}
+	return &Query{Pub: &c.key.PublicKey, Slots: slots}, nil
+}
+
+// Decrypt recovers the queried record from the server's response
+// (step ➐). recordSize restores the fixed-width encoding.
+func (c *Client) Decrypt(resp *Response, recordSize int) ([]byte, error) {
+	if resp == nil || resp.Ct == nil {
+		return nil, errors.New("singleserver: nil response")
+	}
+	m, err := c.key.Decrypt(resp.Ct)
+	if err != nil {
+		return nil, err
+	}
+	out := m.Bytes()
+	if len(out) > recordSize {
+		return nil, fmt.Errorf("singleserver: plaintext %d bytes exceeds record size %d", len(out), recordSize)
+	}
+	// Left-pad to the fixed record width.
+	padded := make([]byte, recordSize)
+	copy(padded[recordSize-len(out):], out)
+	return padded, nil
+}
+
+// Server holds the public database.
+type Server struct {
+	db *database.DB
+}
+
+// NewServer wraps a database. Records must fit in the plaintext space of
+// the querying clients' keys; Answer validates this per query.
+func NewServer(db *database.DB) (*Server, error) {
+	if db == nil {
+		return nil, errors.New("singleserver: nil database")
+	}
+	return &Server{db: db}, nil
+}
+
+// Answer executes steps ➍–➎ of Figure 1: the homomorphic dot product of
+// the encrypted one-hot vector with the database. The server processes
+// every record (all-for-one principle).
+func (s *Server) Answer(q *Query) (*Response, error) {
+	if q == nil || q.Pub == nil {
+		return nil, errors.New("singleserver: nil query")
+	}
+	if len(q.Slots) != s.db.NumRecords() {
+		return nil, fmt.Errorf("singleserver: query has %d slots for %d records",
+			len(q.Slots), s.db.NumRecords())
+	}
+	recordBound := new(big.Int).Lsh(big.NewInt(1), uint(8*s.db.RecordSize()))
+	if q.Pub.N.Cmp(recordBound) <= 0 {
+		return nil, fmt.Errorf("singleserver: %d-byte records do not fit plaintext space (need N > 2^%d)",
+			s.db.RecordSize(), 8*s.db.RecordSize())
+	}
+
+	start := time.Now()
+	acc, err := q.Pub.EncryptZeroLike(nil)
+	if err != nil {
+		return nil, err
+	}
+	m := new(big.Int)
+	for i := 0; i < s.db.NumRecords(); i++ {
+		m.SetBytes(s.db.Record(i))
+		if m.Sign() == 0 {
+			// c^0 = Enc(0): adding it is a no-op, skip the exponentiation.
+			continue
+		}
+		term := q.Pub.MulPlain(q.Slots[i], m)
+		acc = q.Pub.Add(acc, term)
+	}
+	return &Response{Ct: acc, ServerTime: time.Since(start)}, nil
+}

@@ -1,0 +1,138 @@
+package singleserver
+
+import (
+	"bytes"
+	"testing"
+
+	"github.com/impir/impir/internal/database"
+)
+
+// Small keys and databases keep the O(N) modular exponentiations cheap in
+// tests; Answer validates record-vs-plaintext-space fit per query.
+const testKeyBits = 384
+
+func setup(t *testing.T, numRecords int) (*Client, *Server, *database.DB) {
+	t.Helper()
+	client, err := NewClient(nil, testKeyBits)
+	if err != nil {
+		t.Fatalf("NewClient: %v", err)
+	}
+	db, err := database.GenerateHashDB(numRecords, 99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	server, err := NewServer(db)
+	if err != nil {
+		t.Fatalf("NewServer: %v", err)
+	}
+	return client, server, db
+}
+
+func TestFigure1EndToEnd(t *testing.T) {
+	client, server, db := setup(t, 16)
+	for _, idx := range []int{0, 7, 15} {
+		q, err := client.BuildQuery(idx, db.NumRecords())
+		if err != nil {
+			t.Fatalf("BuildQuery(%d): %v", idx, err)
+		}
+		resp, err := server.Answer(q)
+		if err != nil {
+			t.Fatalf("Answer: %v", err)
+		}
+		got, err := client.Decrypt(resp, db.RecordSize())
+		if err != nil {
+			t.Fatalf("Decrypt: %v", err)
+		}
+		if !bytes.Equal(got, db.Record(idx)) {
+			t.Fatalf("index %d: got %x, want %x", idx, got[:8], db.Record(idx)[:8])
+		}
+	}
+}
+
+func TestPaperWorkedExample(t *testing.T) {
+	// The paper's running example: D = [2, 6, 7, 5], query index 2 → 7.
+	db, err := database.FromRecords([][]byte{{2}, {6}, {7}, {5}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	client, err := NewClient(nil, testKeyBits)
+	if err != nil {
+		t.Fatal(err)
+	}
+	server, err := NewServer(db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q, err := client.BuildQuery(2, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := server.Answer(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := client.Decrypt(resp, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got[0] != 7 {
+		t.Fatalf("D[2] = %d, want 7", got[0])
+	}
+	if resp.ServerTime <= 0 {
+		t.Error("server time not recorded")
+	}
+}
+
+func TestQueryValidation(t *testing.T) {
+	client, server, db := setup(t, 8)
+	if _, err := client.BuildQuery(-1, 8); err == nil {
+		t.Error("BuildQuery accepted negative index")
+	}
+	if _, err := client.BuildQuery(8, 8); err == nil {
+		t.Error("BuildQuery accepted out-of-range index")
+	}
+	if _, err := server.Answer(nil); err == nil {
+		t.Error("Answer accepted nil query")
+	}
+	q, err := client.BuildQuery(0, 4) // wrong slot count
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := server.Answer(q); err == nil {
+		t.Error("Answer accepted mismatched slot count")
+	}
+	_ = db
+}
+
+func TestRecordTooLargeForPlaintextSpace(t *testing.T) {
+	// 384-bit N cannot hold 64-byte (512-bit) records.
+	client, err := NewClient(nil, testKeyBits)
+	if err != nil {
+		t.Fatal(err)
+	}
+	db, err := database.New(4, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	server, err := NewServer(db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q, err := client.BuildQuery(0, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := server.Answer(q); err == nil {
+		t.Error("Answer accepted records larger than the plaintext space")
+	}
+}
+
+func TestNilArguments(t *testing.T) {
+	if _, err := NewServer(nil); err == nil {
+		t.Error("NewServer accepted nil database")
+	}
+	client, _, _ := setup(t, 4)
+	if _, err := client.Decrypt(nil, 32); err == nil {
+		t.Error("Decrypt accepted nil response")
+	}
+}

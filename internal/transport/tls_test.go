@@ -1,0 +1,162 @@
+package transport
+
+import (
+	"bytes"
+	"crypto/ecdsa"
+	"crypto/elliptic"
+	"crypto/rand"
+	"crypto/tls"
+	"crypto/x509"
+	"crypto/x509/pkix"
+	"math/big"
+	"net"
+	"testing"
+	"time"
+
+	"github.com/impir/impir/internal/cpupir"
+	"github.com/impir/impir/internal/database"
+	"github.com/impir/impir/internal/dpf"
+)
+
+// selfSignedTLS builds a throwaway server certificate and the matching
+// client trust pool.
+func selfSignedTLS(t *testing.T) (serverCfg, clientCfg *tls.Config) {
+	t.Helper()
+	key, err := ecdsa.GenerateKey(elliptic.P256(), rand.Reader)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tmpl := x509.Certificate{
+		SerialNumber:          big.NewInt(1),
+		Subject:               pkix.Name{CommonName: "impir-test"},
+		NotBefore:             time.Now().Add(-time.Hour),
+		NotAfter:              time.Now().Add(time.Hour),
+		KeyUsage:              x509.KeyUsageDigitalSignature | x509.KeyUsageCertSign,
+		ExtKeyUsage:           []x509.ExtKeyUsage{x509.ExtKeyUsageServerAuth},
+		IPAddresses:           []net.IP{net.ParseIP("127.0.0.1")},
+		IsCA:                  true,
+		BasicConstraintsValid: true,
+	}
+	der, err := x509.CreateCertificate(rand.Reader, &tmpl, &tmpl, &key.PublicKey, key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cert, err := x509.ParseCertificate(der)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pool := x509.NewCertPool()
+	pool.AddCert(cert)
+
+	serverCfg = &tls.Config{
+		Certificates: []tls.Certificate{{
+			Certificate: [][]byte{der},
+			PrivateKey:  key,
+		}},
+		MinVersion: tls.VersionTLS13,
+	}
+	clientCfg = &tls.Config{RootCAs: pool, MinVersion: tls.VersionTLS13}
+	return serverCfg, clientCfg
+}
+
+func TestTLSQueryEndToEnd(t *testing.T) {
+	serverCfg, clientCfg := selfSignedTLS(t)
+
+	eng, err := cpupir.New(cpupir.Config{Threads: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	db, err := database.GenerateHashDB(256, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.LoadDatabase(db); err != nil {
+		t.Fatal(err)
+	}
+	lis, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := NewServerTLS(lis, eng, 0, serverCfg, WithLogf(t.Logf))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	conn, err := DialTLS(srv.Addr().String(), clientCfg)
+	if err != nil {
+		t.Fatalf("DialTLS: %v", err)
+	}
+	defer conn.Close()
+	if conn.Info().NumRecords != 256 {
+		t.Fatalf("handshake info over TLS wrong: %+v", conn.Info())
+	}
+
+	k0, _, err := dpf.Gen(dpf.Params{Domain: 8}, 42, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r0, err := conn.Query(k0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r0) != 32 || bytes.Equal(r0, make([]byte, 32)) {
+		t.Fatal("TLS query returned an implausible subresult")
+	}
+}
+
+func TestTLSRejectsPlaintextClient(t *testing.T) {
+	serverCfg, _ := selfSignedTLS(t)
+	eng, _ := cpupir.New(cpupir.Config{Threads: 1})
+	db, _ := database.GenerateHashDB(64, 1)
+	if err := eng.LoadDatabase(db); err != nil {
+		t.Fatal(err)
+	}
+	lis, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := NewServerTLS(lis, eng, 0, serverCfg, WithLogf(t.Logf))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	// A plaintext client must fail the handshake, not hang.
+	if _, err := Dial(srv.Addr().String()); err == nil {
+		t.Fatal("plaintext Dial succeeded against a TLS server")
+	}
+}
+
+func TestTLSUntrustedServerRejected(t *testing.T) {
+	serverCfg, _ := selfSignedTLS(t)
+	eng, _ := cpupir.New(cpupir.Config{Threads: 1})
+	db, _ := database.GenerateHashDB(64, 1)
+	if err := eng.LoadDatabase(db); err != nil {
+		t.Fatal(err)
+	}
+	lis, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := NewServerTLS(lis, eng, 0, serverCfg, WithLogf(t.Logf))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	// A client with an empty trust pool must refuse the certificate.
+	empty := &tls.Config{RootCAs: x509.NewCertPool(), MinVersion: tls.VersionTLS13}
+	if _, err := DialTLS(srv.Addr().String(), empty); err == nil {
+		t.Fatal("DialTLS accepted an untrusted certificate")
+	}
+}
+
+func TestTLSConfigValidation(t *testing.T) {
+	if _, err := NewServerTLS(nil, nil, 0, nil); err == nil {
+		t.Error("nil TLS config accepted by NewServerTLS")
+	}
+	if _, err := DialTLS("127.0.0.1:1", nil); err == nil {
+		t.Error("nil TLS config accepted by DialTLS")
+	}
+}

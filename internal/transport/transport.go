@@ -1,0 +1,374 @@
+// Package transport runs PIR server engines behind TCP listeners and
+// provides the matching client side. In a real IM-PIR deployment the two
+// non-colluding servers are operated by independent entities; this
+// package is the network plane of such a deployment (the paper excludes
+// it from benchmarks, and so do we — it exists for the examples and the
+// cmd/ binaries).
+package transport
+
+import (
+	"crypto/tls"
+	"errors"
+	"fmt"
+	"log"
+	"net"
+	"sync"
+
+	"github.com/impir/impir/internal/bitvec"
+	"github.com/impir/impir/internal/database"
+	"github.com/impir/impir/internal/dpf"
+	"github.com/impir/impir/internal/metrics"
+	"github.com/impir/impir/internal/pirproto"
+)
+
+// Engine is the server-side compute plane: any of the IM-PIR, CPU or GPU
+// engines.
+type Engine interface {
+	Name() string
+	Database() *database.DB
+	Query(*dpf.Key) ([]byte, metrics.Breakdown, error)
+	QueryBatch([]*dpf.Key) ([][]byte, metrics.BatchStats, error)
+	// QueryShare answers the §2.3 naive encoding: an explicit selector
+	// share over every record (n-server deployments use this).
+	QueryShare(*bitvec.Vector) ([]byte, metrics.Breakdown, error)
+}
+
+// Server serves one PIR engine over a listener.
+type Server struct {
+	engine Engine
+	party  uint8
+	lis    net.Listener
+	logf   func(format string, args ...any)
+
+	mu     sync.Mutex
+	conns  map[net.Conn]struct{}
+	closed bool
+	done   chan struct{}
+}
+
+// ServerOption customises a Server.
+type ServerOption func(*Server)
+
+// WithLogf directs server logs (default: log.Printf).
+func WithLogf(f func(format string, args ...any)) ServerOption {
+	return func(s *Server) { s.logf = f }
+}
+
+// NewServer starts serving the engine on the listener. party is this
+// server's index in the multi-server deployment (0 or 1 for two-server).
+// The returned server owns the listener.
+func NewServer(lis net.Listener, engine Engine, party uint8, opts ...ServerOption) (*Server, error) {
+	if engine == nil {
+		return nil, errors.New("transport: nil engine")
+	}
+	if engine.Database() == nil {
+		return nil, errors.New("transport: engine has no database loaded")
+	}
+	s := &Server{
+		engine: engine,
+		party:  party,
+		lis:    lis,
+		logf:   log.Printf,
+		conns:  make(map[net.Conn]struct{}),
+		done:   make(chan struct{}),
+	}
+	for _, opt := range opts {
+		opt(s)
+	}
+	go s.acceptLoop()
+	return s, nil
+}
+
+// Addr returns the listener address.
+func (s *Server) Addr() net.Addr { return s.lis.Addr() }
+
+// Close stops accepting, closes active connections, and waits for the
+// accept loop to exit.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	for c := range s.conns {
+		c.Close()
+	}
+	s.mu.Unlock()
+	err := s.lis.Close()
+	<-s.done
+	return err
+}
+
+func (s *Server) acceptLoop() {
+	defer close(s.done)
+	for {
+		conn, err := s.lis.Accept()
+		if err != nil {
+			s.mu.Lock()
+			closed := s.closed
+			s.mu.Unlock()
+			if !closed {
+				s.logf("transport: accept: %v", err)
+			}
+			return
+		}
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			conn.Close()
+			return
+		}
+		s.conns[conn] = struct{}{}
+		s.mu.Unlock()
+		go s.handle(conn)
+	}
+}
+
+func (s *Server) dropConn(conn net.Conn) {
+	s.mu.Lock()
+	delete(s.conns, conn)
+	s.mu.Unlock()
+	conn.Close()
+}
+
+func (s *Server) handle(conn net.Conn) {
+	defer s.dropConn(conn)
+	for {
+		t, payload, err := pirproto.ReadFrame(conn)
+		if err != nil {
+			return // connection closed or broken framing; nothing to salvage
+		}
+		if err := s.dispatch(conn, t, payload); err != nil {
+			if werr := pirproto.WriteFrame(conn, pirproto.MsgError, []byte(err.Error())); werr != nil {
+				return
+			}
+		}
+	}
+}
+
+func (s *Server) dispatch(conn net.Conn, t pirproto.MsgType, payload []byte) error {
+	switch t {
+	case pirproto.MsgHello:
+		if len(payload) != 1 || payload[0] != pirproto.Version {
+			return fmt.Errorf("unsupported protocol version")
+		}
+		db := s.engine.Database()
+		info := pirproto.ServerInfo{
+			Party:      s.party,
+			Domain:     uint8(db.Domain()),
+			RecordSize: uint32(db.RecordSize()),
+			NumRecords: uint64(db.NumRecords()),
+			Digest:     db.Digest(),
+		}
+		return pirproto.WriteFrame(conn, pirproto.MsgServerInfo, info.Marshal())
+
+	case pirproto.MsgQuery:
+		var key dpf.Key
+		if err := key.UnmarshalBinary(payload); err != nil {
+			return fmt.Errorf("bad key: %w", err)
+		}
+		result, _, err := s.engine.Query(&key)
+		if err != nil {
+			return err
+		}
+		return pirproto.WriteFrame(conn, pirproto.MsgQueryResp, result)
+
+	case pirproto.MsgShareQuery:
+		var share bitvec.Vector
+		if err := share.UnmarshalBinary(payload); err != nil {
+			return fmt.Errorf("bad share: %w", err)
+		}
+		result, _, err := s.engine.QueryShare(&share)
+		if err != nil {
+			return err
+		}
+		return pirproto.WriteFrame(conn, pirproto.MsgQueryResp, result)
+
+	case pirproto.MsgBatchQuery:
+		raw, err := pirproto.ParseBatch(payload)
+		if err != nil {
+			return err
+		}
+		if len(raw) == 0 {
+			return errors.New("empty batch")
+		}
+		keys := make([]*dpf.Key, len(raw))
+		for i, kb := range raw {
+			keys[i] = new(dpf.Key)
+			if err := keys[i].UnmarshalBinary(kb); err != nil {
+				return fmt.Errorf("bad key %d: %w", i, err)
+			}
+		}
+		results, _, err := s.engine.QueryBatch(keys)
+		if err != nil {
+			return err
+		}
+		resp, err := pirproto.MarshalBatch(results)
+		if err != nil {
+			return err
+		}
+		return pirproto.WriteFrame(conn, pirproto.MsgBatchResp, resp)
+
+	default:
+		return fmt.Errorf("unexpected frame %v", t)
+	}
+}
+
+// NewServerTLS wraps the listener with TLS before serving — the channel
+// protection a production deployment runs (PIR hides the query from the
+// servers themselves; TLS hides traffic from everyone else).
+func NewServerTLS(lis net.Listener, engine Engine, party uint8, tlsCfg *tls.Config, opts ...ServerOption) (*Server, error) {
+	if tlsCfg == nil {
+		return nil, errors.New("transport: nil TLS config")
+	}
+	return NewServer(tls.NewListener(lis, tlsCfg), engine, party, opts...)
+}
+
+// Conn is a client connection to one PIR server.
+type Conn struct {
+	conn net.Conn
+	info pirproto.ServerInfo
+}
+
+// Dial connects to a PIR server and performs the hello handshake.
+func Dial(addr string) (*Conn, error) {
+	nc, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("transport: dial %s: %w", addr, err)
+	}
+	return handshake(nc)
+}
+
+// DialTLS connects over TLS and performs the hello handshake.
+func DialTLS(addr string, tlsCfg *tls.Config) (*Conn, error) {
+	if tlsCfg == nil {
+		return nil, errors.New("transport: nil TLS config")
+	}
+	nc, err := tls.Dial("tcp", addr, tlsCfg)
+	if err != nil {
+		return nil, fmt.Errorf("transport: dial tls %s: %w", addr, err)
+	}
+	return handshake(nc)
+}
+
+// handshake performs the hello exchange on a fresh connection, taking
+// ownership of nc (closed on failure).
+func handshake(nc net.Conn) (*Conn, error) {
+	c := &Conn{conn: nc}
+	if err := pirproto.WriteFrame(nc, pirproto.MsgHello, []byte{pirproto.Version}); err != nil {
+		nc.Close()
+		return nil, err
+	}
+	t, payload, err := pirproto.ReadFrame(nc)
+	if err != nil {
+		nc.Close()
+		return nil, fmt.Errorf("transport: handshake: %w", err)
+	}
+	if t == pirproto.MsgError {
+		nc.Close()
+		return nil, fmt.Errorf("transport: server rejected handshake: %s", payload)
+	}
+	if t != pirproto.MsgServerInfo {
+		nc.Close()
+		return nil, fmt.Errorf("transport: unexpected handshake frame %v", t)
+	}
+	info, err := pirproto.ParseServerInfo(payload)
+	if err != nil {
+		nc.Close()
+		return nil, err
+	}
+	c.info = info
+	return c, nil
+}
+
+// Info returns the server's database description from the handshake.
+func (c *Conn) Info() pirproto.ServerInfo { return c.info }
+
+// Query sends one DPF key and returns the server's subresult.
+func (c *Conn) Query(key *dpf.Key) ([]byte, error) {
+	kb, err := key.MarshalBinary()
+	if err != nil {
+		return nil, err
+	}
+	if err := pirproto.WriteFrame(c.conn, pirproto.MsgQuery, kb); err != nil {
+		return nil, err
+	}
+	t, payload, err := pirproto.ReadFrame(c.conn)
+	if err != nil {
+		return nil, err
+	}
+	switch t {
+	case pirproto.MsgQueryResp:
+		return payload, nil
+	case pirproto.MsgError:
+		return nil, fmt.Errorf("transport: server error: %s", payload)
+	default:
+		return nil, fmt.Errorf("transport: unexpected frame %v", t)
+	}
+}
+
+// QueryShare sends a raw selector share (the §2.3 naive n-server
+// encoding) and returns the server's subresult.
+func (c *Conn) QueryShare(share *bitvec.Vector) ([]byte, error) {
+	payload, err := share.MarshalBinary()
+	if err != nil {
+		return nil, err
+	}
+	if err := pirproto.WriteFrame(c.conn, pirproto.MsgShareQuery, payload); err != nil {
+		return nil, err
+	}
+	t, resp, err := pirproto.ReadFrame(c.conn)
+	if err != nil {
+		return nil, err
+	}
+	switch t {
+	case pirproto.MsgQueryResp:
+		return resp, nil
+	case pirproto.MsgError:
+		return nil, fmt.Errorf("transport: server error: %s", resp)
+	default:
+		return nil, fmt.Errorf("transport: unexpected frame %v", t)
+	}
+}
+
+// QueryBatch sends a batch of keys and returns the subresults in order.
+func (c *Conn) QueryBatch(keys []*dpf.Key) ([][]byte, error) {
+	raw := make([][]byte, len(keys))
+	for i, k := range keys {
+		kb, err := k.MarshalBinary()
+		if err != nil {
+			return nil, err
+		}
+		raw[i] = kb
+	}
+	payload, err := pirproto.MarshalBatch(raw)
+	if err != nil {
+		return nil, err
+	}
+	if err := pirproto.WriteFrame(c.conn, pirproto.MsgBatchQuery, payload); err != nil {
+		return nil, err
+	}
+	t, resp, err := pirproto.ReadFrame(c.conn)
+	if err != nil {
+		return nil, err
+	}
+	switch t {
+	case pirproto.MsgBatchResp:
+		results, err := pirproto.ParseBatch(resp)
+		if err != nil {
+			return nil, err
+		}
+		if len(results) != len(keys) {
+			return nil, fmt.Errorf("transport: %d results for %d keys", len(results), len(keys))
+		}
+		return results, nil
+	case pirproto.MsgError:
+		return nil, fmt.Errorf("transport: server error: %s", resp)
+	default:
+		return nil, fmt.Errorf("transport: unexpected frame %v", t)
+	}
+}
+
+// Close closes the connection.
+func (c *Conn) Close() error { return c.conn.Close() }

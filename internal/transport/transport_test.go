@@ -1,0 +1,340 @@
+package transport
+
+import (
+	"bytes"
+	"net"
+	"strings"
+	"sync"
+	"testing"
+
+	"github.com/impir/impir/internal/bitvec"
+	"github.com/impir/impir/internal/cpupir"
+	"github.com/impir/impir/internal/database"
+	"github.com/impir/impir/internal/dpf"
+	"github.com/impir/impir/internal/naivepir"
+	"github.com/impir/impir/internal/pirproto"
+)
+
+func startServer(t *testing.T, numRecords int, party uint8) (*Server, *database.DB) {
+	t.Helper()
+	eng, err := cpupir.New(cpupir.Config{Threads: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	db, err := database.GenerateHashDB(numRecords, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.LoadDatabase(db); err != nil {
+		t.Fatal(err)
+	}
+	lis, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := NewServer(lis, eng, party, WithLogf(t.Logf))
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { srv.Close() })
+	return srv, db
+}
+
+func genPair(t *testing.T, domain int, idx uint64) (*dpf.Key, *dpf.Key) {
+	t.Helper()
+	k0, k1, err := dpf.Gen(dpf.Params{Domain: domain}, idx, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return k0, k1
+}
+
+func TestHandshakeInfo(t *testing.T) {
+	srv, db := startServer(t, 256, 1)
+	conn, err := Dial(srv.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	info := conn.Info()
+	if info.Party != 1 {
+		t.Errorf("party = %d, want 1", info.Party)
+	}
+	if info.NumRecords != 256 || info.RecordSize != 32 || info.Domain != 8 {
+		t.Errorf("info = %+v", info)
+	}
+	if info.Digest != db.PadToPowerOfTwo().Digest() {
+		t.Error("digest mismatch")
+	}
+}
+
+func TestTwoServerQueryOverTCP(t *testing.T) {
+	srv0, db := startServer(t, 512, 0)
+	srv1, _ := startServer(t, 512, 1)
+	c0, err := Dial(srv0.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c0.Close()
+	c1, err := Dial(srv1.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c1.Close()
+
+	const idx = 77
+	k0, k1 := genPair(t, db.Domain(), idx)
+	r0, err := c0.Query(k0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r1, err := c1.Query(k1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := make([]byte, len(r0))
+	for i := range rec {
+		rec[i] = r0[i] ^ r1[i]
+	}
+	if !bytes.Equal(rec, db.Record(idx)) {
+		t.Fatal("TCP reconstruction failed")
+	}
+}
+
+func TestBatchOverTCP(t *testing.T) {
+	srv0, db := startServer(t, 256, 0)
+	conn, err := Dial(srv0.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+
+	keys := make([]*dpf.Key, 5)
+	for i := range keys {
+		keys[i], _ = genPair(t, db.Domain(), uint64(i*13))
+	}
+	results, err := conn.QueryBatch(keys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != len(keys) {
+		t.Fatalf("got %d results", len(results))
+	}
+	for _, r := range results {
+		if len(r) != 32 {
+			t.Fatalf("result size %d", len(r))
+		}
+	}
+}
+
+func TestSequentialQueriesOnOneConnection(t *testing.T) {
+	srv0, db := startServer(t, 128, 0)
+	conn, err := Dial(srv0.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	for i := 0; i < 10; i++ {
+		k0, _ := genPair(t, db.Domain(), uint64(i*11))
+		if _, err := conn.Query(k0); err != nil {
+			t.Fatalf("query %d: %v", i, err)
+		}
+	}
+}
+
+func TestConcurrentClients(t *testing.T) {
+	srv0, db := startServer(t, 128, 0)
+	var wg sync.WaitGroup
+	errs := make([]error, 8)
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			conn, err := Dial(srv0.Addr().String())
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			defer conn.Close()
+			k0, _ := genPair(t, db.Domain(), uint64(i))
+			_, errs[i] = conn.Query(k0)
+		}(i)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("client %d: %v", i, err)
+		}
+	}
+}
+
+func TestServerRejectsBadKey(t *testing.T) {
+	srv0, db := startServer(t, 128, 0)
+	conn, err := Dial(srv0.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+
+	// Wrong domain: valid key, wrong database.
+	k0, _ := genPair(t, 3, 0)
+	if _, err := conn.Query(k0); err == nil || !strings.Contains(err.Error(), "server error") {
+		t.Fatalf("wrong-domain key: err = %v, want server error", err)
+	}
+
+	// The connection must survive the error and serve good queries.
+	good, _ := genPair(t, db.Domain(), 1)
+	if _, err := conn.Query(good); err != nil {
+		t.Fatalf("connection unusable after server error: %v", err)
+	}
+}
+
+func TestServerRejectsGarbageFrames(t *testing.T) {
+	srv0, _ := startServer(t, 128, 0)
+	// Raw TCP: send garbage that is not a valid frame.
+	nc, err := net.Dial("tcp", srv0.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer nc.Close()
+	if _, err := nc.Write([]byte("GET / HTTP/1.1\r\n\r\n")); err != nil {
+		t.Fatal(err)
+	}
+	// Server must drop the connection: read should reach EOF.
+	buf := make([]byte, 16)
+	nc.Read(buf) // ignore result; just ensure no hang
+}
+
+func TestServerRejectsMalformedKeyBytes(t *testing.T) {
+	srv0, _ := startServer(t, 128, 0)
+	nc, err := net.Dial("tcp", srv0.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer nc.Close()
+	if err := pirproto.WriteFrame(nc, pirproto.MsgQuery, []byte{1, 2, 3}); err != nil {
+		t.Fatal(err)
+	}
+	typ, payload, err := pirproto.ReadFrame(nc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if typ != pirproto.MsgError {
+		t.Fatalf("frame = %v (%q), want error", typ, payload)
+	}
+}
+
+func TestShareQueryOverTCP(t *testing.T) {
+	srv0, db := startServer(t, 256, 0)
+	srv1, _ := startServer(t, 256, 1)
+	c0, err := Dial(srv0.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c0.Close()
+	c1, err := Dial(srv1.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c1.Close()
+
+	const idx = 123
+	q, err := naivepir.Gen(nil, 256, idx, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r0, err := c0.QueryShare(q.Shares[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	r1, err := c1.QueryShare(q.Shares[1])
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := make([]byte, len(r0))
+	for i := range rec {
+		rec[i] = r0[i] ^ r1[i]
+	}
+	if !bytes.Equal(rec, db.Record(idx)) {
+		t.Fatal("share-query reconstruction over TCP failed")
+	}
+}
+
+func TestShareQueryRejectsBadShare(t *testing.T) {
+	srv0, _ := startServer(t, 256, 0)
+	conn, err := Dial(srv0.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+
+	// Wrong length: share for a different database size.
+	wrong := bitvec.New(64)
+	if _, err := conn.QueryShare(wrong); err == nil || !strings.Contains(err.Error(), "server error") {
+		t.Fatalf("mis-sized share: err = %v", err)
+	}
+
+	// Malformed payload straight onto the wire.
+	nc, err := net.Dial("tcp", srv0.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer nc.Close()
+	if err := pirproto.WriteFrame(nc, pirproto.MsgShareQuery, []byte{9, 9}); err != nil {
+		t.Fatal(err)
+	}
+	typ, _, err := pirproto.ReadFrame(nc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if typ != pirproto.MsgError {
+		t.Fatalf("frame = %v, want error", typ)
+	}
+}
+
+func TestHandshakeVersionMismatch(t *testing.T) {
+	srv0, _ := startServer(t, 128, 0)
+	nc, err := net.Dial("tcp", srv0.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer nc.Close()
+	if err := pirproto.WriteFrame(nc, pirproto.MsgHello, []byte{99}); err != nil {
+		t.Fatal(err)
+	}
+	typ, _, err := pirproto.ReadFrame(nc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if typ != pirproto.MsgError {
+		t.Fatalf("frame = %v, want error", typ)
+	}
+}
+
+func TestNewServerValidation(t *testing.T) {
+	lis, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer lis.Close()
+	if _, err := NewServer(lis, nil, 0); err == nil {
+		t.Error("NewServer accepted nil engine")
+	}
+	eng, _ := cpupir.New(cpupir.Config{})
+	if _, err := NewServer(lis, eng, 0); err == nil {
+		t.Error("NewServer accepted engine without database")
+	}
+}
+
+func TestCloseIdempotent(t *testing.T) {
+	srv0, _ := startServer(t, 128, 0)
+	if err := srv0.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := srv0.Close(); err != nil {
+		t.Fatalf("second Close: %v", err)
+	}
+	if _, err := Dial(srv0.Addr().String()); err == nil {
+		t.Fatal("Dial succeeded after Close")
+	}
+}

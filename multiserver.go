@@ -1,0 +1,133 @@
+package impir
+
+import (
+	"errors"
+	"fmt"
+
+	"github.com/impir/impir/internal/bitvec"
+	"github.com/impir/impir/internal/naivepir"
+	"github.com/impir/impir/internal/transport"
+)
+
+// Share is one server's selector share under the naive n-server encoding
+// of §2.3 / Figure 2 of the paper: an explicit N-bit vector, one bit per
+// database record. The XOR of a query's shares is the one-hot indicator
+// of the queried index; any proper subset is uniformly random.
+//
+// Compared with DPF keys (O(λ·log N) bytes), shares cost O(N) bits per
+// server — but they work with any number of servers ≥ 2, whereas the DPF
+// encoding in this module is two-party. Use GenerateShares + AnswerShare
+// (or MultiSession over the network) for deployments with more than two
+// servers; use GenerateKeys for the bandwidth-efficient two-server path.
+type Share = bitvec.Vector
+
+// GenerateShares encodes a query for `servers` non-colluding servers
+// using the naive §2.3 scheme. Send shares[s] to server s.
+func GenerateShares(numRecords int, index uint64, servers int) ([]*Share, error) {
+	// The engines pad databases to powers of two, so shares must cover
+	// the padded index space to match the server-side record count.
+	domain, err := DomainFor(numRecords)
+	if err != nil {
+		return nil, err
+	}
+	if index >= uint64(numRecords) {
+		return nil, fmt.Errorf("impir: index %d outside database of %d records", index, numRecords)
+	}
+	q, err := naivepir.Gen(nil, 1<<uint(domain), index, servers)
+	if err != nil {
+		return nil, err
+	}
+	return q.Shares, nil
+}
+
+// AnswerShare processes a raw selector-share query on this server — the
+// n-server generalisation. The share must cover the server's padded
+// record count (as produced by GenerateShares).
+func (s *Server) AnswerShare(share *Share) ([]byte, Breakdown, error) {
+	return s.eng.QueryShare(share)
+}
+
+// MultiSession is a client connection to an n-server deployment (n ≥ 2)
+// using the naive share encoding. All servers must hold byte-identical
+// replicas; privacy holds as long as at least one server does not collude
+// with the others.
+type MultiSession struct {
+	conns      []*transport.Conn
+	numRecords uint64
+	recordSize int
+}
+
+// ConnectMulti dials every server and cross-checks their replicas.
+func ConnectMulti(addrs ...string) (*MultiSession, error) {
+	if len(addrs) < naivepir.MinServers {
+		return nil, fmt.Errorf("impir: need ≥ %d servers, got %d", naivepir.MinServers, len(addrs))
+	}
+	s := &MultiSession{}
+	for i, addr := range addrs {
+		c, err := transport.Dial(addr)
+		if err != nil {
+			s.Close()
+			return nil, fmt.Errorf("impir: server %d: %w", i, err)
+		}
+		s.conns = append(s.conns, c)
+	}
+	first := s.conns[0].Info()
+	if first.NumRecords == 0 {
+		s.Close()
+		return nil, errors.New("impir: servers report an empty database")
+	}
+	for i, c := range s.conns[1:] {
+		info := c.Info()
+		if info.Digest != first.Digest || info.NumRecords != first.NumRecords ||
+			info.RecordSize != first.RecordSize {
+			s.Close()
+			return nil, fmt.Errorf("impir: server %d holds a different replica", i+1)
+		}
+	}
+	s.numRecords = first.NumRecords
+	s.recordSize = int(first.RecordSize)
+	return s, nil
+}
+
+// Servers returns the number of connected servers.
+func (s *MultiSession) Servers() int { return len(s.conns) }
+
+// NumRecords returns the (padded) record count of the deployment.
+func (s *MultiSession) NumRecords() uint64 { return s.numRecords }
+
+// RecordSize returns the record size in bytes.
+func (s *MultiSession) RecordSize() int { return s.recordSize }
+
+// Retrieve privately fetches record `index`: one share per server, XOR of
+// all subresults. Privacy holds unless every server colludes.
+func (s *MultiSession) Retrieve(index uint64) ([]byte, error) {
+	if index >= s.numRecords {
+		return nil, fmt.Errorf("impir: index %d outside database of %d records", index, s.numRecords)
+	}
+	q, err := naivepir.Gen(nil, int(s.numRecords), index, len(s.conns))
+	if err != nil {
+		return nil, err
+	}
+	subresults := make([][]byte, len(s.conns))
+	for i, c := range s.conns {
+		sub, err := c.QueryShare(q.Shares[i])
+		if err != nil {
+			return nil, fmt.Errorf("impir: server %d: %w", i, err)
+		}
+		subresults[i] = sub
+	}
+	return Reconstruct(subresults...)
+}
+
+// Close closes every server connection.
+func (s *MultiSession) Close() error {
+	var err error
+	for _, c := range s.conns {
+		if c != nil {
+			if cerr := c.Close(); err == nil {
+				err = cerr
+			}
+		}
+	}
+	return err
+}

@@ -1,0 +1,249 @@
+package impir
+
+import (
+	"errors"
+	"fmt"
+	"net"
+
+	"github.com/impir/impir/internal/bitvec"
+	"github.com/impir/impir/internal/cpupir"
+	"github.com/impir/impir/internal/database"
+	"github.com/impir/impir/internal/dpf"
+	"github.com/impir/impir/internal/gpupir"
+	"github.com/impir/impir/internal/impir"
+	"github.com/impir/impir/internal/metrics"
+	"github.com/impir/impir/internal/pim"
+	"github.com/impir/impir/internal/transport"
+)
+
+// EngineKind selects a server's compute plane.
+type EngineKind int
+
+const (
+	// EnginePIM is the paper's contribution: DPF evaluation on the host
+	// CPU, dpXOR on UPMEM PIM DPUs. The default.
+	EnginePIM EngineKind = iota + 1
+	// EngineCPU is the processor-centric baseline (Google-DPF style).
+	EngineCPU
+	// EngineGPU is the GPU baseline of Lam et al. (modeled RTX 4090).
+	EngineGPU
+)
+
+func (k EngineKind) String() string {
+	switch k {
+	case EnginePIM:
+		return "pim"
+	case EngineCPU:
+		return "cpu"
+	case EngineGPU:
+		return "gpu"
+	default:
+		return fmt.Sprintf("EngineKind(%d)", int(k))
+	}
+}
+
+// ParseEngineKind converts a command-line engine name.
+func ParseEngineKind(s string) (EngineKind, error) {
+	switch s {
+	case "pim", "impir", "im-pir":
+		return EnginePIM, nil
+	case "cpu", "cpu-pir":
+		return EngineCPU, nil
+	case "gpu", "gpu-pir":
+		return EngineGPU, nil
+	default:
+		return 0, fmt.Errorf("impir: unknown engine %q (want pim, cpu, or gpu)", s)
+	}
+}
+
+// ServerConfig configures one PIR server. The zero value is the paper's
+// IM-PIR evaluation setup: 2048 DPUs at 350 MHz, 16 tasklets, a single
+// cluster, subtree-parallel host evaluation.
+type ServerConfig struct {
+	// Engine selects the compute plane; zero value means EnginePIM.
+	Engine EngineKind
+	// DPUs is the PIM DPU count (PIM engine only; 0 = 2048). Must be a
+	// multiple of Clusters.
+	DPUs int
+	// Clusters divides the DPUs into independent clusters, each holding
+	// a full DB replica (PIM engine only; 0 = 1).
+	Clusters int
+	// Tasklets is the per-DPU thread count (PIM engine only; 0 = 16).
+	Tasklets int
+	// EvalWorkers is the host-side DPF evaluation thread count (PIM
+	// engine; 0 = 8).
+	EvalWorkers int
+	// Threads is the CPU engine's worker count (CPU engine only; 0 = 32).
+	Threads int
+}
+
+// engine abstracts the three compute planes.
+type engine interface {
+	Name() string
+	Database() *database.DB
+	LoadDatabase(*database.DB) error
+	Query(*dpf.Key) ([]byte, metrics.Breakdown, error)
+	QueryBatch([]*dpf.Key) ([][]byte, metrics.BatchStats, error)
+	QueryShare(*bitvec.Vector) ([]byte, metrics.Breakdown, error)
+	Close() error
+}
+
+// Statically ensure the engines satisfy both the local interface and the
+// transport-facing one.
+var (
+	_ engine           = (*impir.Engine)(nil)
+	_ engine           = (*cpupir.Engine)(nil)
+	_ engine           = (*gpupir.Engine)(nil)
+	_ transport.Engine = (*impir.Engine)(nil)
+	_ transport.Engine = (*cpupir.Engine)(nil)
+	_ transport.Engine = (*gpupir.Engine)(nil)
+)
+
+// Server is one PIR server: an engine plus an optional network listener.
+// In a two-server deployment, run two Servers on independent machines
+// with byte-identical databases.
+type Server struct {
+	eng engine
+	srv *transport.Server
+}
+
+// NewServer builds a server with the configured engine.
+func NewServer(cfg ServerConfig) (*Server, error) {
+	kind := cfg.Engine
+	if kind == 0 {
+		kind = EnginePIM
+	}
+	switch kind {
+	case EnginePIM:
+		ecfg := impir.DefaultConfig()
+		if cfg.DPUs != 0 {
+			ecfg.DPUs = cfg.DPUs
+			// Size the simulated machine to the requested DPU count so
+			// small test servers do not allocate 2048 DPU structs.
+			if cfg.DPUs < ecfg.PIM.NumDPUs() {
+				ecfg.PIM = shrinkPIM(ecfg.PIM, cfg.DPUs)
+			}
+		}
+		if cfg.Clusters != 0 {
+			ecfg.Clusters = cfg.Clusters
+		}
+		if cfg.Tasklets != 0 {
+			ecfg.PIM.TaskletsPerDPU = cfg.Tasklets
+		}
+		if cfg.EvalWorkers != 0 {
+			ecfg.EvalWorkers = cfg.EvalWorkers
+		}
+		eng, err := impir.New(ecfg)
+		if err != nil {
+			return nil, err
+		}
+		return &Server{eng: eng}, nil
+	case EngineCPU:
+		eng, err := cpupir.New(cpupir.Config{Threads: cfg.Threads})
+		if err != nil {
+			return nil, err
+		}
+		return &Server{eng: eng}, nil
+	case EngineGPU:
+		eng, err := gpupir.New(gpupir.Config{})
+		if err != nil {
+			return nil, err
+		}
+		return &Server{eng: eng}, nil
+	default:
+		return nil, fmt.Errorf("impir: unknown engine kind %d", kind)
+	}
+}
+
+// shrinkPIM sizes a PIM topology down to about n DPUs, keeping ranks of
+// the original width where possible.
+func shrinkPIM(cfg pim.Config, n int) pim.Config {
+	if n < cfg.DPUsPerRank {
+		cfg.DPUsPerRank = n
+		cfg.Ranks = 1
+		return cfg
+	}
+	cfg.Ranks = (n + cfg.DPUsPerRank - 1) / cfg.DPUsPerRank
+	return cfg
+}
+
+// Load replicates the database into the server's engine. For the PIM
+// engine this preloads DPU MRAM, a one-time cost outside the query path.
+func (s *Server) Load(db *DB) error {
+	return s.eng.LoadDatabase(db)
+}
+
+// EngineName reports the compute plane ("IM-PIR", "CPU-PIR", "GPU-PIR").
+func (s *Server) EngineName() string { return s.eng.Name() }
+
+// Database returns the loaded (power-of-two padded) database, or nil.
+func (s *Server) Database() *DB { return s.eng.Database() }
+
+// Answer processes one query key and returns this server's subresult and
+// the phase breakdown. The subresult alone reveals nothing; the client
+// reconstructs the record from both servers' subresults.
+func (s *Server) Answer(key *Key) ([]byte, Breakdown, error) {
+	return s.eng.Query(key)
+}
+
+// AnswerBatch processes a batch of keys through the engine's batch
+// pipeline (§3.4) and reports throughput statistics.
+func (s *Server) AnswerBatch(keys []*Key) ([][]byte, BatchStats, error) {
+	return s.eng.QueryBatch(keys)
+}
+
+// Update applies a bulk record update to the loaded database replica
+// during an idle window (§3.3 of the paper): updates maps record index to
+// its new contents (exactly RecordSize bytes each). For the PIM engine
+// this rewrites the affected DPU MRAM chunks on every cluster. Callers
+// must update every server of a deployment identically, and must not run
+// updates concurrently with queries on the same server.
+func (s *Server) Update(updates map[int][]byte) error {
+	switch eng := s.eng.(type) {
+	case *impir.Engine:
+		_, err := eng.UpdateRecords(updates)
+		return err
+	case *cpupir.Engine:
+		return eng.UpdateRecords(updates)
+	case *gpupir.Engine:
+		return eng.UpdateRecords(updates)
+	default:
+		return fmt.Errorf("impir: engine %s does not support updates", s.eng.Name())
+	}
+}
+
+// Serve exposes the server over a TCP listener using the IM-PIR wire
+// protocol. party is this server's index (0 or 1). Serve returns
+// immediately; use Close to stop.
+func (s *Server) Serve(lis net.Listener, party uint8) error {
+	if s.srv != nil {
+		return errors.New("impir: server already serving")
+	}
+	srv, err := transport.NewServer(lis, s.eng, party)
+	if err != nil {
+		return err
+	}
+	s.srv = srv
+	return nil
+}
+
+// Addr returns the listening address, or nil when not serving.
+func (s *Server) Addr() net.Addr {
+	if s.srv == nil {
+		return nil
+	}
+	return s.srv.Addr()
+}
+
+// Close stops the network listener (if any) and releases the engine.
+func (s *Server) Close() error {
+	var err error
+	if s.srv != nil {
+		err = s.srv.Close()
+		s.srv = nil
+	}
+	if cerr := s.eng.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}

@@ -1,0 +1,77 @@
+package impir
+
+import (
+	"bytes"
+	"testing"
+)
+
+// TestUpdateAcrossEngines: §3.3 bulk updates must be visible to
+// subsequent queries on every engine, through the public API.
+func TestUpdateAcrossEngines(t *testing.T) {
+	for _, kind := range []EngineKind{EnginePIM, EngineCPU, EngineGPU} {
+		t.Run(kind.String(), func(t *testing.T) {
+			db, err := GenerateHashDB(256, 1)
+			if err != nil {
+				t.Fatal(err)
+			}
+			s0, s1 := newPair(t, kind, db)
+
+			newRec := bytes.Repeat([]byte{0x5C}, 32)
+			updates := map[int][]byte{99: newRec}
+			if err := s0.Update(updates); err != nil {
+				t.Fatalf("Update server 0: %v", err)
+			}
+			if err := s1.Update(updates); err != nil {
+				t.Fatalf("Update server 1: %v", err)
+			}
+
+			k0, k1, err := GenerateKeys(256, 99)
+			if err != nil {
+				t.Fatal(err)
+			}
+			r0, _, err := s0.Answer(k0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			r1, _, err := s1.Answer(k1)
+			if err != nil {
+				t.Fatal(err)
+			}
+			rec, err := Reconstruct(r0, r1)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(rec, newRec) {
+				t.Fatalf("engine %v: query after update returned stale record", kind)
+			}
+		})
+	}
+}
+
+func TestUpdateValidationThroughPublicAPI(t *testing.T) {
+	db, _ := GenerateHashDB(64, 1)
+	s0, _ := newPair(t, EngineCPU, db)
+	if err := s0.Update(nil); err == nil {
+		t.Error("empty update accepted")
+	}
+	if err := s0.Update(map[int][]byte{1000: make([]byte, 32)}); err == nil {
+		t.Error("out-of-range update accepted")
+	}
+	if err := s0.Update(map[int][]byte{0: make([]byte, 3)}); err == nil {
+		t.Error("short record accepted")
+	}
+}
+
+// TestUpdateDesynchronisedReplicasDetected: if only one server applies an
+// update, reconstruction silently corrupts — which is exactly why Session
+// compares digests at connect time. Verify the digests diverge.
+func TestUpdateDesynchronisedReplicasDetected(t *testing.T) {
+	db, _ := GenerateHashDB(128, 1)
+	s0, s1 := newPair(t, EngineCPU, db.Clone())
+	if err := s0.Update(map[int][]byte{5: bytes.Repeat([]byte{1}, 32)}); err != nil {
+		t.Fatal(err)
+	}
+	if s0.Database().Digest() == s1.Database().Digest() {
+		t.Fatal("digest did not change after a one-sided update")
+	}
+}
