@@ -9,6 +9,7 @@
 package impir
 
 import (
+	"context"
 	"testing"
 
 	"github.com/impir/impir/internal/bench"
@@ -81,7 +82,7 @@ func benchmarkEngineQuery(b *testing.B, kind EngineKind) {
 	b.SetBytes(int64(records) * 32)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, _, err := srv.Answer(k0); err != nil {
+		if _, _, err := srv.Answer(context.Background(), k0); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -105,7 +106,7 @@ func BenchmarkQueryBatch32PIM(b *testing.B) {
 	b.SetBytes(int64(records) * 32 * int64(len(keys)))
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, _, err := srv.AnswerBatch(keys); err != nil {
+		if _, _, err := srv.AnswerBatch(context.Background(), keys); err != nil {
 			b.Fatal(err)
 		}
 	}

@@ -1,0 +1,242 @@
+package impir
+
+import (
+	"context"
+	"crypto/tls"
+	"errors"
+	"fmt"
+
+	"github.com/impir/impir/internal/fanout"
+	"github.com/impir/impir/internal/transport"
+)
+
+// Client is a connection to a multi-server PIR deployment — two servers
+// under the DPF encoding, or any n ≥ 2 under the naive share encoding.
+// Dial validates on connect that every server presents a byte-identical
+// database replica (a replica mismatch silently breaks reconstruction);
+// Retrieve and RetrieveBatch then fetch records privately, querying all
+// servers concurrently so retrieval latency is the slowest server's
+// round trip, not the sum.
+//
+// A retrieval aborts as a whole when any server fails or the context is
+// cancelled: subresults from the remaining servers are discarded, never
+// returned — a proper subset of subresults is uniformly random and must
+// not be mistaken for a record.
+//
+// A Client may be shared by concurrent goroutines; overlapping
+// retrievals are serialised per server connection. Note that a query
+// abandoned mid-flight — by context cancellation, or because another
+// server's failure cancelled the fan-out — poisons the underlying
+// connection (the wire protocol has no cancellation frame), so after a
+// failed or cancelled retrieval the Client must be discarded.
+type Client struct {
+	conns      []*transport.Conn
+	coder      queryCoder
+	geom       geometry
+	recordSize int
+}
+
+type clientConfig struct {
+	encoding Encoding
+	tlsCfg   *tls.Config
+}
+
+// ClientOption customises Dial.
+type ClientOption func(*clientConfig)
+
+// WithEncoding overrides the query encoding. The default, EncodingAuto,
+// picks the DPF encoding for two-server deployments and the naive share
+// encoding for larger ones.
+func WithEncoding(e Encoding) ClientOption {
+	return func(cfg *clientConfig) { cfg.encoding = e }
+}
+
+// WithTLS dials every server over TLS with the given configuration. PIR
+// hides the query from the servers themselves; TLS hides traffic from
+// everyone else.
+func WithTLS(tlsCfg *tls.Config) ClientOption {
+	return func(cfg *clientConfig) { cfg.tlsCfg = tlsCfg }
+}
+
+// Dial connects to every server of a PIR deployment concurrently,
+// cross-checks their database replicas, and resolves the query encoding
+// against the deployment size. The context bounds connection
+// establishment and the handshakes.
+func Dial(ctx context.Context, addrs []string, opts ...ClientOption) (*Client, error) {
+	cfg := clientConfig{encoding: EncodingAuto}
+	for _, opt := range opts {
+		opt(&cfg)
+	}
+	if cfg.encoding == nil {
+		return nil, errors.New("impir: nil encoding")
+	}
+	if len(addrs) < 2 {
+		return nil, fmt.Errorf("impir: a PIR deployment needs ≥ 2 non-colluding servers, got %d address(es)", len(addrs))
+	}
+	coder, err := cfg.encoding.resolve(len(addrs))
+	if err != nil {
+		return nil, err
+	}
+
+	conns := make([]*transport.Conn, len(addrs))
+	g, gctx := fanout.WithContext(ctx)
+	for i, addr := range addrs {
+		g.Go(func() error {
+			var (
+				c   *transport.Conn
+				err error
+			)
+			if cfg.tlsCfg != nil {
+				c, err = transport.DialTLS(gctx, addr, cfg.tlsCfg)
+			} else {
+				c, err = transport.Dial(gctx, addr)
+			}
+			if err != nil {
+				return fmt.Errorf("impir: server %d: %w", i, err)
+			}
+			conns[i] = c
+			return nil
+		})
+	}
+	err = g.Wait()
+	c := &Client{conns: conns, coder: coder}
+	if err == nil {
+		err = c.validate()
+	}
+	if err != nil {
+		c.Close()
+		return nil, err
+	}
+	info := conns[0].Info()
+	c.geom = geometry{domain: int(info.Domain), numRecords: info.NumRecords}
+	c.recordSize = int(info.RecordSize)
+	return c, nil
+}
+
+// validate cross-checks the replicas every server presented during its
+// handshake: identical digests and geometry, non-empty database.
+func (c *Client) validate() error {
+	first := c.conns[0].Info()
+	if first.NumRecords == 0 {
+		return errors.New("impir: servers report an empty database")
+	}
+	for i, conn := range c.conns[1:] {
+		info := conn.Info()
+		if info.Digest != first.Digest {
+			return fmt.Errorf("impir: server %d holds a different database replica (digest mismatch)", i+1)
+		}
+		if info.NumRecords != first.NumRecords || info.RecordSize != first.RecordSize ||
+			info.Domain != first.Domain {
+			return fmt.Errorf("impir: server %d disagrees on database geometry", i+1)
+		}
+	}
+	return nil
+}
+
+// Servers returns the number of connected servers.
+func (c *Client) Servers() int { return len(c.conns) }
+
+// NumRecords returns the (power-of-two padded) record count of the
+// deployment.
+func (c *Client) NumRecords() uint64 { return c.geom.numRecords }
+
+// RecordSize returns the record size in bytes.
+func (c *Client) RecordSize() int { return c.recordSize }
+
+// Encoding reports the resolved query encoding ("dpf" or "shares").
+func (c *Client) Encoding() string { return c.coder.name() }
+
+// Retrieve privately fetches record index: one query message per server,
+// issued to all servers concurrently, XOR of all subresults. No server
+// learns the index; each sees only its pseudorandom message.
+func (c *Client) Retrieve(ctx context.Context, index uint64) ([]byte, error) {
+	if index >= c.geom.numRecords {
+		return nil, fmt.Errorf("impir: index %d outside database of %d records", index, c.geom.numRecords)
+	}
+	queries, err := c.coder.encode(c.geom, len(c.conns), index)
+	if err != nil {
+		return nil, err
+	}
+	subresults, err := c.fanOut(ctx, queries)
+	if err != nil {
+		return nil, err
+	}
+	recs := make([][]byte, len(subresults))
+	for i, rs := range subresults {
+		recs[i] = rs[0]
+	}
+	return Reconstruct(recs...)
+}
+
+// RetrieveBatch privately fetches several records in one round trip per
+// server, under either encoding.
+func (c *Client) RetrieveBatch(ctx context.Context, indices []uint64) ([][]byte, error) {
+	if len(indices) == 0 {
+		return nil, errors.New("impir: empty batch")
+	}
+	for _, idx := range indices {
+		if idx >= c.geom.numRecords {
+			return nil, fmt.Errorf("impir: index %d outside database of %d records", idx, c.geom.numRecords)
+		}
+	}
+	queries, err := c.coder.encodeBatch(c.geom, len(c.conns), indices)
+	if err != nil {
+		return nil, err
+	}
+	subresults, err := c.fanOut(ctx, queries)
+	if err != nil {
+		return nil, err
+	}
+	out := make([][]byte, len(indices))
+	for i := range indices {
+		recs := make([][]byte, len(subresults))
+		for s, rs := range subresults {
+			if i >= len(rs) {
+				return nil, fmt.Errorf("impir: server %d returned %d of %d batch subresults", s, len(rs), len(indices))
+			}
+			recs[s] = rs[i]
+		}
+		rec, err := Reconstruct(recs...)
+		if err != nil {
+			return nil, fmt.Errorf("impir: batch item %d: %w", i, err)
+		}
+		out[i] = rec
+	}
+	return out, nil
+}
+
+// fanOut issues one pre-encoded query per server, all concurrently, and
+// collects every server's subresults. The first failure cancels the
+// remaining queries and fails the whole retrieval — a lone subresult is
+// never returned.
+func (c *Client) fanOut(ctx context.Context, queries []serverQuery) ([][][]byte, error) {
+	subresults := make([][][]byte, len(c.conns))
+	g, gctx := fanout.WithContext(ctx)
+	for i := range c.conns {
+		g.Go(func() error {
+			rs, err := queries[i].do(gctx, c.conns[i])
+			if err != nil {
+				return fmt.Errorf("impir: server %d: %w", i, err)
+			}
+			subresults[i] = rs
+			return nil
+		})
+	}
+	if err := g.Wait(); err != nil {
+		return nil, err
+	}
+	return subresults, nil
+}
+
+// Close closes every server connection.
+func (c *Client) Close() error {
+	var err error
+	for _, conn := range c.conns {
+		if conn != nil {
+			if cerr := conn.Close(); err == nil {
+				err = cerr
+			}
+		}
+	}
+	return err
+}

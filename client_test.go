@@ -1,0 +1,369 @@
+package impir
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"net"
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/impir/impir/internal/bitvec"
+	"github.com/impir/impir/internal/cpupir"
+	"github.com/impir/impir/internal/database"
+	"github.com/impir/impir/internal/dpf"
+	"github.com/impir/impir/internal/metrics"
+	"github.com/impir/impir/internal/transport"
+)
+
+// startDeployment serves n byte-identical replicas over loopback TCP and
+// returns their addresses.
+func startDeployment(t *testing.T, db *DB, n int) []string {
+	t.Helper()
+	addrs := make([]string, n)
+	for i := range addrs {
+		srv, err := NewServer(testServerConfig(EngineCPU))
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { srv.Close() })
+		if err := srv.Load(db); err != nil {
+			t.Fatal(err)
+		}
+		lis, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := srv.Serve(lis, uint8(i)); err != nil {
+			t.Fatal(err)
+		}
+		addrs[i] = srv.Addr().String()
+	}
+	return addrs
+}
+
+// shimEngine wraps a real engine, letting tests slow down or fail the
+// query path while keeping replicas byte-identical.
+type shimEngine struct {
+	*cpupir.Engine
+	delay time.Duration
+	fail  error
+}
+
+func (e *shimEngine) Query(k *dpf.Key) ([]byte, metrics.Breakdown, error) {
+	if e.fail != nil {
+		return nil, metrics.Breakdown{}, e.fail
+	}
+	time.Sleep(e.delay)
+	return e.Engine.Query(k)
+}
+
+func (e *shimEngine) QueryShare(sh *bitvec.Vector) ([]byte, metrics.Breakdown, error) {
+	if e.fail != nil {
+		return nil, metrics.Breakdown{}, e.fail
+	}
+	time.Sleep(e.delay)
+	return e.Engine.QueryShare(sh)
+}
+
+// startShimServer serves db through a shimEngine over loopback TCP.
+func startShimServer(t *testing.T, db *database.DB, delay time.Duration, fail error) string {
+	t.Helper()
+	eng, err := cpupir.New(cpupir.Config{Threads: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.LoadDatabase(db); err != nil {
+		t.Fatal(err)
+	}
+	lis, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := transport.NewServer(lis, &shimEngine{Engine: eng, delay: delay, fail: fail}, 0,
+		transport.WithLogf(t.Logf))
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { srv.Close() })
+	return srv.Addr().String()
+}
+
+// TestClientRetrieve: the acceptance-criterion flow — Retrieve(ctx, idx)
+// works unchanged against a 2-server DPF deployment and a 3-server share
+// deployment, and RetrieveBatch works under both encodings.
+func TestClientRetrieve(t *testing.T) {
+	db, err := GenerateHashDB(700, 33) // non-power-of-two: shares must cover padding
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	for _, n := range []int{2, 3} {
+		addrs := startDeployment(t, db, n)
+		cli, err := Dial(ctx, addrs)
+		if err != nil {
+			t.Fatalf("%d servers: %v", n, err)
+		}
+		defer cli.Close()
+
+		wantEnc := "dpf"
+		if n > 2 {
+			wantEnc = "shares"
+		}
+		if cli.Encoding() != wantEnc {
+			t.Errorf("%d servers: encoding %q, want %q", n, cli.Encoding(), wantEnc)
+		}
+		if cli.Servers() != n || cli.RecordSize() != 32 {
+			t.Errorf("%d servers: Servers=%d RecordSize=%d", n, cli.Servers(), cli.RecordSize())
+		}
+
+		for _, idx := range []uint64{0, 350, 699} {
+			rec, err := cli.Retrieve(ctx, idx)
+			if err != nil {
+				t.Fatalf("%d servers: Retrieve(%d): %v", n, idx, err)
+			}
+			if !bytes.Equal(rec, db.Record(int(idx))) {
+				t.Fatalf("%d servers: index %d: wrong record", n, idx)
+			}
+		}
+
+		batch, err := cli.RetrieveBatch(ctx, []uint64{1, 511, 600, 1})
+		if err != nil {
+			t.Fatalf("%d servers: RetrieveBatch: %v", n, err)
+		}
+		for i, idx := range []uint64{1, 511, 600, 1} {
+			if !bytes.Equal(batch[i], db.Record(int(idx))) {
+				t.Fatalf("%d servers: batch item %d wrong", n, i)
+			}
+		}
+
+		if _, err := cli.Retrieve(ctx, 1<<30); err == nil {
+			t.Errorf("%d servers: out-of-range retrieve accepted", n)
+		}
+		if _, err := cli.RetrieveBatch(ctx, nil); err == nil {
+			t.Errorf("%d servers: empty batch accepted", n)
+		}
+	}
+}
+
+// TestClientFanOutConcurrency: with three servers each sleeping `delay`
+// per query, a concurrent client finishes in ~delay while a sequential
+// one needs 3×delay. Asserting max-not-sum latency.
+func TestClientFanOutConcurrency(t *testing.T) {
+	db, err := database.GenerateHashDB(256, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const delay = 300 * time.Millisecond
+	addrs := []string{
+		startShimServer(t, db, delay, nil),
+		startShimServer(t, db, delay, nil),
+		startShimServer(t, db, delay, nil),
+	}
+	ctx := context.Background()
+	cli, err := Dial(ctx, addrs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cli.Close()
+
+	start := time.Now()
+	rec, err := cli.Retrieve(ctx, 77)
+	elapsed := time.Since(start)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(rec, db.Record(77)) {
+		t.Fatal("wrong record through slow deployment")
+	}
+	if elapsed >= 2*delay {
+		t.Fatalf("Retrieve took %v over 3 servers of %v each — sequential, not fanned out", elapsed, delay)
+	}
+}
+
+// TestClientContextCancellation: a deadline must abort a retrieval stuck
+// on a slow server, promptly and with the context's error.
+func TestClientContextCancellation(t *testing.T) {
+	db, err := database.GenerateHashDB(128, 12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	addrs := []string{
+		startShimServer(t, db, 10*time.Second, nil),
+		startShimServer(t, db, 0, nil),
+	}
+	cli, err := Dial(context.Background(), addrs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cli.Close()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 150*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	_, err = cli.Retrieve(ctx, 5)
+	elapsed := time.Since(start)
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("Retrieve under expired deadline: err = %v", err)
+	}
+	if elapsed > 3*time.Second {
+		t.Fatalf("cancellation took %v — deadline not honored on the wire", elapsed)
+	}
+
+	// A query abandoned mid-flight poisons the stream; later retrievals
+	// must fail fast instead of desynchronising the protocol.
+	if _, err := cli.Retrieve(context.Background(), 5); err == nil {
+		t.Fatal("retrieve succeeded on a client with a poisoned connection")
+	}
+
+	// An already-cancelled context must not touch the wire at all.
+	cancelled, cancel2 := context.WithCancel(context.Background())
+	cancel2()
+	cli2, err := Dial(context.Background(), []string{addrs[1], addrs[1]})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cli2.Close()
+	if _, err := cli2.Retrieve(cancelled, 5); !errors.Is(err, context.Canceled) {
+		t.Fatalf("pre-cancelled retrieve: err = %v", err)
+	}
+}
+
+// TestClientOneServerDownAborts: when any server fails, the whole
+// retrieval fails — a lone subresult must never be returned as a record.
+func TestClientOneServerDownAborts(t *testing.T) {
+	db, err := database.GenerateHashDB(128, 13)
+	if err != nil {
+		t.Fatal(err)
+	}
+	boom := errors.New("replica offline for maintenance")
+	addrs := []string{
+		startShimServer(t, db, 0, nil),
+		startShimServer(t, db, 50*time.Millisecond, boom),
+	}
+	cli, err := Dial(context.Background(), addrs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cli.Close()
+
+	rec, err := cli.Retrieve(context.Background(), 3)
+	if err == nil {
+		t.Fatal("retrieve succeeded with a failing server")
+	}
+	if rec != nil {
+		t.Fatal("failing retrieval returned data — a lone subresult leaked")
+	}
+	if !strings.Contains(err.Error(), "server 1") {
+		t.Errorf("error %q does not identify the failing server", err)
+	}
+}
+
+// TestDialValidation: replica digest and geometry mismatches must be
+// rejected at connect time, as must undersized deployments and encodings
+// that cannot serve the server count.
+func TestDialValidation(t *testing.T) {
+	ctx := context.Background()
+
+	if _, err := Dial(ctx, nil); err == nil {
+		t.Error("Dial accepted zero addresses")
+	}
+	if _, err := Dial(ctx, []string{"127.0.0.1:1"}); err == nil {
+		t.Error("Dial accepted a single server")
+	}
+	if _, err := Dial(ctx, []string{"a", "b", "c"}, WithEncoding(EncodingDPF)); err == nil {
+		t.Error("DPF encoding accepted a 3-server deployment")
+	}
+	if _, err := Dial(ctx, []string{"a", "b"}, WithEncoding(nil)); err == nil {
+		t.Error("Dial accepted a nil encoding")
+	}
+
+	// Mismatched replicas across three servers must be rejected.
+	dbA, _ := GenerateHashDB(128, 1)
+	dbB, _ := GenerateHashDB(128, 2)
+	addrsA := startDeployment(t, dbA, 2)
+	addrsB := startDeployment(t, dbB, 1)
+	if _, err := Dial(ctx, append(addrsA, addrsB...)); err == nil ||
+		!strings.Contains(err.Error(), "replica") {
+		t.Errorf("mismatched replicas: err = %v", err)
+	}
+
+	// Mismatched geometry (same content length, different record count).
+	dbC, _ := GenerateHashDB(256, 1)
+	addrsC := startDeployment(t, dbC, 1)
+	if _, err := Dial(ctx, append(addrsA, addrsC...)); err == nil {
+		t.Error("mismatched geometry accepted")
+	}
+}
+
+// TestClientExplicitShareEncodingTwoServers: forcing EncodingShares on a
+// two-server deployment must work — it is the paper's communication
+// ablation baseline.
+func TestClientExplicitShareEncodingTwoServers(t *testing.T) {
+	db, err := GenerateHashDB(256, 21)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	cli, err := Dial(ctx, startDeployment(t, db, 2), WithEncoding(EncodingShares))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cli.Close()
+	if cli.Encoding() != "shares" {
+		t.Fatalf("encoding = %q", cli.Encoding())
+	}
+	rec, err := cli.Retrieve(ctx, 123)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(rec, db.Record(123)) {
+		t.Fatal("share-encoded 2-server retrieval wrong")
+	}
+}
+
+// TestMultiSessionBatch: the deprecated wrapper gained batch support via
+// the Client underneath.
+func TestMultiSessionBatch(t *testing.T) {
+	db, err := GenerateHashDB(300, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sess, err := ConnectMulti(startDeployment(t, db, 3)...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sess.Close()
+	if sess.Client() == nil {
+		t.Fatal("MultiSession.Client is nil")
+	}
+	recs, err := sess.RetrieveBatch([]uint64{7, 299, 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, idx := range []uint64{7, 299, 0} {
+		if !bytes.Equal(recs[i], db.Record(int(idx))) {
+			t.Fatalf("batch item %d wrong", i)
+		}
+	}
+}
+
+func TestParseEncoding(t *testing.T) {
+	for s, want := range map[string]Encoding{
+		"auto": EncodingAuto, "": EncodingAuto,
+		"dpf":    EncodingDPF,
+		"shares": EncodingShares, "share": EncodingShares, "naive": EncodingShares,
+	} {
+		got, err := ParseEncoding(s)
+		if err != nil || got != want {
+			t.Errorf("ParseEncoding(%q) = %v, %v", s, got, err)
+		}
+	}
+	if _, err := ParseEncoding("paillier"); err == nil {
+		t.Error("unknown encoding accepted")
+	}
+	if EncodingAuto.String() != "auto" || EncodingDPF.String() != "dpf" || EncodingShares.String() != "shares" {
+		t.Error("encoding names wrong")
+	}
+}

@@ -1,11 +1,15 @@
-// Command impir-client privately retrieves records from a two-server
-// IM-PIR deployment.
+// Command impir-client privately retrieves records from a multi-server
+// IM-PIR deployment — two servers under the DPF encoding, or any n ≥ 2
+// under the naive share encoding (selected automatically from the server
+// count, or forced with -encoding).
 //
 //	impir-client -servers 127.0.0.1:7100,127.0.0.1:7101 -index 123
-//	impir-client -servers a:7100,b:7100 -index 5,9,1000   # batched
+//	impir-client -servers a:7100,b:7100 -index 5,9,1000     # batched
+//	impir-client -servers a:7100,b:7100,c:7100 -index 123   # 3-server shares
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -26,38 +30,48 @@ func main() {
 func run() error {
 	var (
 		servers = flag.String("servers", "127.0.0.1:7100,127.0.0.1:7101",
-			"comma-separated addresses of the two non-colluding servers")
+			"comma-separated addresses of the non-colluding servers (≥ 2)")
 		indexFlag = flag.String("index", "0", "record index (or comma-separated indices) to retrieve")
+		encoding  = flag.String("encoding", "auto",
+			"query encoding: auto, dpf (2 servers), or shares (any n)")
+		timeout = flag.Duration("timeout", 30*time.Second, "overall deadline for connect and retrieval")
 	)
 	flag.Parse()
 
-	addrs := strings.Split(*servers, ",")
-	if len(addrs) != 2 {
-		return fmt.Errorf("need exactly two server addresses, got %d", len(addrs))
+	addrs := parseAddrs(*servers)
+	if len(addrs) < 2 {
+		return fmt.Errorf("need at least two server addresses, got %d", len(addrs))
 	}
 	indices, err := parseIndices(*indexFlag)
 	if err != nil {
 		return err
 	}
-
-	sess, err := impir.Connect(strings.TrimSpace(addrs[0]), strings.TrimSpace(addrs[1]))
+	enc, err := impir.ParseEncoding(*encoding)
 	if err != nil {
 		return err
 	}
-	defer sess.Close()
-	fmt.Printf("connected: %d records × %d bytes, replicas verified\n",
-		sess.NumRecords(), sess.RecordSize())
+
+	ctx, cancel := context.WithTimeout(context.Background(), *timeout)
+	defer cancel()
+
+	cli, err := impir.Dial(ctx, addrs, impir.WithEncoding(enc))
+	if err != nil {
+		return err
+	}
+	defer cli.Close()
+	fmt.Printf("connected to %d servers: %d records × %d bytes, replicas verified, %s encoding\n",
+		cli.Servers(), cli.NumRecords(), cli.RecordSize(), cli.Encoding())
 
 	start := time.Now()
 	var records [][]byte
 	if len(indices) == 1 {
-		rec, err := sess.Retrieve(indices[0])
+		rec, err := cli.Retrieve(ctx, indices[0])
 		if err != nil {
 			return err
 		}
 		records = [][]byte{rec}
 	} else {
-		records, err = sess.RetrieveBatch(indices)
+		records, err = cli.RetrieveBatch(ctx, indices)
 		if err != nil {
 			return err
 		}
@@ -67,8 +81,18 @@ func run() error {
 	for i, rec := range records {
 		fmt.Printf("record[%d] = %x\n", indices[i], rec)
 	}
-	fmt.Printf("%d record(s) in %v (neither server learned which)\n", len(records), elapsed.Round(time.Millisecond))
+	fmt.Printf("%d record(s) in %v (no server learned which)\n", len(records), elapsed.Round(time.Millisecond))
 	return nil
+}
+
+func parseAddrs(s string) []string {
+	var out []string
+	for _, a := range strings.Split(s, ",") {
+		if a = strings.TrimSpace(a); a != "" {
+			out = append(out, a)
+		}
+	}
+	return out
 }
 
 func parseIndices(s string) ([]uint64, error) {

@@ -25,3 +25,16 @@ func TestParseIndicesRejectsGarbage(t *testing.T) {
 		}
 	}
 }
+
+func TestParseAddrs(t *testing.T) {
+	got := parseAddrs(" a:1, b:2 ,,c:3")
+	want := []string{"a:1", "b:2", "c:3"}
+	if len(got) != len(want) {
+		t.Fatalf("got %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("got %v, want %v", got, want)
+		}
+	}
+}

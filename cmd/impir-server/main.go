@@ -10,6 +10,9 @@
 //	impir-server -listen 127.0.0.1:7100 -party 0 -records 65536 -seed 7 &
 //	impir-server -listen 127.0.0.1:7101 -party 1 -records 65536 -seed 7 &
 //	impir-client -servers 127.0.0.1:7100,127.0.0.1:7101 -index 123
+//
+// Deployments with more than two servers (the naive share encoding) run
+// one impir-server per party with -party 0..n-1.
 package main
 
 import (
@@ -34,7 +37,7 @@ func main() {
 func run() error {
 	var (
 		listen   = flag.String("listen", "127.0.0.1:7100", "address to listen on")
-		party    = flag.Int("party", 0, "server index in the deployment (0 or 1)")
+		party    = flag.Int("party", 0, "server index in the deployment (0..n-1)")
 		engine   = flag.String("engine", "pim", "compute engine: pim, cpu, or gpu")
 		records  = flag.Int("records", 1<<16, "records in the synthetic hash database")
 		seed     = flag.Int64("seed", 1, "database generator seed (must match the peer server)")
@@ -45,8 +48,8 @@ func run() error {
 	)
 	flag.Parse()
 
-	if *party < 0 || *party > 1 {
-		return fmt.Errorf("party %d must be 0 or 1", *party)
+	if *party < 0 || *party > 255 {
+		return fmt.Errorf("party %d must be in 0..255", *party)
 	}
 	kind, err := impir.ParseEngineKind(*engine)
 	if err != nil {

@@ -1,0 +1,217 @@
+package impir
+
+import (
+	"context"
+	"fmt"
+
+	"github.com/impir/impir/internal/bitvec"
+	"github.com/impir/impir/internal/dpf"
+	"github.com/impir/impir/internal/naivepir"
+	"github.com/impir/impir/internal/transport"
+)
+
+// Encoding selects how a Client turns a record index into per-server
+// query messages. Two encodings ship with the package, matching the two
+// schemes the paper evaluates:
+//
+//   - EncodingDPF: the bandwidth-efficient two-server scheme — a DPF key
+//     pair of O(λ·log N) bytes per server. Exactly two servers.
+//   - EncodingShares: the naive §2.3 / Figure 2 scheme — an explicit
+//     N-bit selector share per server. Any n ≥ 2 servers; privacy holds
+//     as long as at least one server does not collude.
+//
+// EncodingAuto, the Client default, picks DPF for two-server deployments
+// and shares otherwise — the per-deployment bandwidth/generality
+// tradeoff resolved from the server count. The interface is closed;
+// deployments choose an encoding, they do not implement new ones.
+type Encoding interface {
+	// String names the encoding ("auto", "dpf", "shares").
+	String() string
+	// resolve returns the concrete query coder for an n-server
+	// deployment, or an error when the encoding cannot serve it.
+	resolve(servers int) (queryCoder, error)
+}
+
+// Package-level encoding selectors; pass to WithEncoding.
+var (
+	// EncodingAuto selects EncodingDPF for two servers and
+	// EncodingShares for three or more. The Client default.
+	EncodingAuto Encoding = autoEncoding{}
+	// EncodingDPF forces the two-server DPF encoding.
+	EncodingDPF Encoding = dpfEncoding{}
+	// EncodingShares forces the naive share encoding, which works for
+	// any deployment size n ≥ 2 at O(N)-bit query cost — including
+	// two-server deployments, where it is the communication-ablation
+	// baseline of the paper's §5.
+	EncodingShares Encoding = shareEncoding{}
+)
+
+// ParseEncoding converts a command-line encoding name.
+func ParseEncoding(s string) (Encoding, error) {
+	switch s {
+	case "auto", "":
+		return EncodingAuto, nil
+	case "dpf":
+		return EncodingDPF, nil
+	case "shares", "share", "naive":
+		return EncodingShares, nil
+	default:
+		return nil, fmt.Errorf("impir: unknown encoding %q (want auto, dpf, or shares)", s)
+	}
+}
+
+// geometry is the database shape a deployment's servers agreed on during
+// the handshake; coders encode queries against it.
+type geometry struct {
+	domain     int
+	numRecords uint64 // power-of-two padded record count the servers hold
+}
+
+// queryCoder generates the per-server wire messages of one encoding for
+// a fixed deployment size.
+type queryCoder interface {
+	name() string
+	// encode produces one query message per server for a single index.
+	encode(g geometry, servers int, index uint64) ([]serverQuery, error)
+	// encodeBatch produces one batched message per server covering all
+	// indices, answered in one round trip.
+	encodeBatch(g geometry, servers int, indices []uint64) ([]serverQuery, error)
+}
+
+// serverQuery is one server's portion of an encoded query, executable
+// against that server's connection. do returns one subresult per
+// encoded index.
+type serverQuery interface {
+	do(ctx context.Context, c *transport.Conn) ([][]byte, error)
+}
+
+type autoEncoding struct{}
+
+func (autoEncoding) String() string { return "auto" }
+
+func (autoEncoding) resolve(servers int) (queryCoder, error) {
+	if servers == 2 {
+		return dpfCoder{}, nil
+	}
+	return shareCoder{}, nil
+}
+
+type dpfEncoding struct{}
+
+func (dpfEncoding) String() string { return "dpf" }
+
+func (dpfEncoding) resolve(servers int) (queryCoder, error) {
+	if servers != 2 {
+		return nil, fmt.Errorf("impir: the DPF encoding is two-party, deployment has %d servers (use EncodingShares)", servers)
+	}
+	return dpfCoder{}, nil
+}
+
+type shareEncoding struct{}
+
+func (shareEncoding) String() string { return "shares" }
+
+func (shareEncoding) resolve(servers int) (queryCoder, error) {
+	if servers < naivepir.MinServers {
+		return nil, fmt.Errorf("impir: need ≥ %d servers, got %d", naivepir.MinServers, servers)
+	}
+	return shareCoder{}, nil
+}
+
+// dpfCoder encodes queries as DPF key pairs.
+type dpfCoder struct{}
+
+func (dpfCoder) name() string { return "dpf" }
+
+func (dpfCoder) encode(g geometry, servers int, index uint64) ([]serverQuery, error) {
+	k0, k1, err := dpf.Gen(dpf.Params{Domain: g.domain}, index, nil)
+	if err != nil {
+		return nil, err
+	}
+	return []serverQuery{keyQuery{k0}, keyQuery{k1}}, nil
+}
+
+func (dpfCoder) encodeBatch(g geometry, servers int, indices []uint64) ([]serverQuery, error) {
+	keys0 := make([]*dpf.Key, len(indices))
+	keys1 := make([]*dpf.Key, len(indices))
+	for i, idx := range indices {
+		k0, k1, err := dpf.Gen(dpf.Params{Domain: g.domain}, idx, nil)
+		if err != nil {
+			return nil, err
+		}
+		keys0[i], keys1[i] = k0, k1
+	}
+	return []serverQuery{keyBatchQuery{keys0}, keyBatchQuery{keys1}}, nil
+}
+
+// shareCoder encodes queries as explicit selector shares over the padded
+// index space (the servers pad databases to powers of two, so shares
+// must cover the padded record count to match).
+type shareCoder struct{}
+
+func (shareCoder) name() string { return "shares" }
+
+func (shareCoder) encode(g geometry, servers int, index uint64) ([]serverQuery, error) {
+	q, err := naivepir.Gen(nil, int(g.numRecords), index, servers)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]serverQuery, servers)
+	for s, share := range q.Shares {
+		out[s] = shareQuery{share}
+	}
+	return out, nil
+}
+
+func (shareCoder) encodeBatch(g geometry, servers int, indices []uint64) ([]serverQuery, error) {
+	perServer := make([][]*bitvec.Vector, servers)
+	for s := range perServer {
+		perServer[s] = make([]*bitvec.Vector, len(indices))
+	}
+	for i, idx := range indices {
+		q, err := naivepir.Gen(nil, int(g.numRecords), idx, servers)
+		if err != nil {
+			return nil, err
+		}
+		for s, share := range q.Shares {
+			perServer[s][i] = share
+		}
+	}
+	out := make([]serverQuery, servers)
+	for s := range out {
+		out[s] = shareBatchQuery{perServer[s]}
+	}
+	return out, nil
+}
+
+type keyQuery struct{ key *dpf.Key }
+
+func (q keyQuery) do(ctx context.Context, c *transport.Conn) ([][]byte, error) {
+	r, err := c.Query(ctx, q.key)
+	if err != nil {
+		return nil, err
+	}
+	return [][]byte{r}, nil
+}
+
+type keyBatchQuery struct{ keys []*dpf.Key }
+
+func (q keyBatchQuery) do(ctx context.Context, c *transport.Conn) ([][]byte, error) {
+	return c.QueryBatch(ctx, q.keys)
+}
+
+type shareQuery struct{ share *bitvec.Vector }
+
+func (q shareQuery) do(ctx context.Context, c *transport.Conn) ([][]byte, error) {
+	r, err := c.QueryShare(ctx, q.share)
+	if err != nil {
+		return nil, err
+	}
+	return [][]byte{r}, nil
+}
+
+type shareBatchQuery struct{ shares []*bitvec.Vector }
+
+func (q shareBatchQuery) do(ctx context.Context, c *transport.Conn) ([][]byte, error) {
+	return c.QueryShareBatch(ctx, q.shares)
+}

@@ -2,7 +2,9 @@ package impir_test
 
 import (
 	"bytes"
+	"context"
 	"fmt"
+	"net"
 
 	"github.com/impir/impir"
 )
@@ -10,6 +12,7 @@ import (
 // The complete two-server protocol in one process: generate a key pair,
 // answer on both replicas, reconstruct.
 func Example() {
+	ctx := context.Background()
 	db, _ := impir.GenerateHashDB(1024, 7)
 	s0, _ := impir.NewServer(impir.ServerConfig{DPUs: 16, Tasklets: 8})
 	s1, _ := impir.NewServer(impir.ServerConfig{DPUs: 16, Tasklets: 8})
@@ -19,17 +22,77 @@ func Example() {
 	defer s1.Close()
 
 	k0, k1, _ := impir.GenerateKeys(db.NumRecords(), 42)
-	r0, _, _ := s0.Answer(k0)
-	r1, _, _ := s1.Answer(k1)
+	r0, _, _ := s0.Answer(ctx, k0)
+	r1, _, _ := s1.Answer(ctx, k1)
 	record, _ := impir.Reconstruct(r0, r1)
 
 	fmt.Println(bytes.Equal(record, db.Record(42)))
 	// Output: true
 }
 
+// A network deployment through the Client API: serve two replicas over
+// TCP, dial both, retrieve privately. Dial validates the replicas and
+// picks the DPF encoding from the server count; Retrieve queries both
+// servers concurrently.
+func ExampleClient() {
+	ctx := context.Background()
+	db, _ := impir.GenerateHashDB(1024, 7)
+	addrs := make([]string, 2)
+	for i := range addrs {
+		srv, _ := impir.NewServer(impir.ServerConfig{Engine: impir.EngineCPU, Threads: 2})
+		_ = srv.Load(db)
+		defer srv.Close()
+		lis, _ := net.Listen("tcp", "127.0.0.1:0")
+		_ = srv.Serve(lis, uint8(i))
+		addrs[i] = srv.Addr().String()
+	}
+
+	cli, err := impir.Dial(ctx, addrs)
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	defer cli.Close()
+
+	record, _ := cli.Retrieve(ctx, 42)
+	fmt.Println(cli.Encoding(), bytes.Equal(record, db.Record(42)))
+	// Output: dpf true
+}
+
+// Deployments with more than two servers use the naive share encoding —
+// EncodingAuto selects it from the server count, and RetrieveBatch
+// fetches several records in one round trip per server.
+func ExampleClient_threeServers() {
+	ctx := context.Background()
+	db, _ := impir.GenerateHashDB(512, 3)
+	addrs := make([]string, 3)
+	for i := range addrs {
+		srv, _ := impir.NewServer(impir.ServerConfig{Engine: impir.EngineCPU, Threads: 2})
+		_ = srv.Load(db)
+		defer srv.Close()
+		lis, _ := net.Listen("tcp", "127.0.0.1:0")
+		_ = srv.Serve(lis, uint8(i))
+		addrs[i] = srv.Addr().String()
+	}
+
+	cli, err := impir.Dial(ctx, addrs)
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	defer cli.Close()
+
+	records, _ := cli.RetrieveBatch(ctx, []uint64{99, 300})
+	fmt.Println(cli.Encoding(),
+		bytes.Equal(records[0], db.Record(99)),
+		bytes.Equal(records[1], db.Record(300)))
+	// Output: shares true true
+}
+
 // Reconstruct XORs any number of subresults — here a three-server
-// deployment using the naive share encoding.
+// deployment using the naive share encoding, in process.
 func ExampleReconstruct() {
+	ctx := context.Background()
 	db, _ := impir.GenerateHashDB(256, 3)
 	shares, _ := impir.GenerateShares(db.NumRecords(), 99, 3)
 
@@ -38,7 +101,7 @@ func ExampleReconstruct() {
 		s, _ := impir.NewServer(impir.ServerConfig{Engine: impir.EngineCPU, Threads: 2})
 		defer s.Close()
 		_ = s.Load(db)
-		subresults[i], _, _ = s.AnswerShare(shares[i])
+		subresults[i], _, _ = s.AnswerShare(ctx, shares[i])
 	}
 
 	record, _ := impir.Reconstruct(subresults...)

@@ -13,6 +13,7 @@ package main
 
 import (
 	"bytes"
+	"context"
 	"fmt"
 	"log"
 
@@ -73,6 +74,7 @@ func run() error {
 		pairs[kind] = serverPair{s0, s1}
 	}
 
+	ctx := context.Background()
 	for _, u := range visited {
 		idx, listed := directory[impir.CredentialHash(u)]
 		if !listed {
@@ -89,11 +91,11 @@ func run() error {
 		var reference []byte
 		for _, kind := range engines {
 			p := pairs[kind]
-			r0, bd, err := p.s0.Answer(k0)
+			r0, bd, err := p.s0.Answer(ctx, k0)
 			if err != nil {
 				return err
 			}
-			r1, _, err := p.s1.Answer(k1)
+			r1, _, err := p.s1.Answer(ctx, k1)
 			if err != nil {
 				return err
 			}

@@ -15,6 +15,7 @@ package main
 
 import (
 	"bytes"
+	"context"
 	"fmt"
 	"log"
 	"net"
@@ -55,18 +56,20 @@ func run() error {
 		return err
 	}
 
-	sess, err := impir.Connect(addr0, addr1)
+	ctx := context.Background()
+	cli, err := impir.Dial(ctx, []string{addr0, addr1})
 	if err != nil {
 		return err
 	}
-	defer sess.Close()
-	fmt.Printf("connected to both log mirrors: %d entries, replicas verified\n\n", sess.NumRecords())
+	defer cli.Close()
+	fmt.Printf("connected to both log mirrors: %d entries, replicas verified (%s encoding)\n\n",
+		cli.NumRecords(), cli.Encoding())
 
 	// Audit 1: an honest certificate.
 	const honestIdx = 4242
 	cert := entries[honestIdx]
 	fmt.Printf("auditing %q (serial %d) at log index %d…\n", cert.Domain, cert.SerialNumber, honestIdx)
-	leaf, err := sess.Retrieve(uint64(honestIdx))
+	leaf, err := cli.Retrieve(ctx, uint64(honestIdx))
 	if err != nil {
 		return err
 	}
@@ -81,7 +84,7 @@ func run() error {
 	tampered := entries[100]
 	tampered.Issuer = "CN=Totally Legit CA"
 	fmt.Printf("auditing tampered record for %q…\n", tampered.Domain)
-	leaf, err = sess.Retrieve(100)
+	leaf, err = cli.Retrieve(ctx, 100)
 	if err != nil {
 		return err
 	}

@@ -17,6 +17,7 @@ package main
 
 import (
 	"bytes"
+	"context"
 	"fmt"
 	"log"
 	"time"
@@ -99,12 +100,13 @@ func run() error {
 	}
 
 	// Batched server-side processing (§3.4 pipeline).
+	ctx := context.Background()
 	start := time.Now()
-	r0, stats, err := s0.AnswerBatch(keys0)
+	r0, stats, err := s0.AnswerBatch(ctx, keys0)
 	if err != nil {
 		return err
 	}
-	r1, _, err := s1.AnswerBatch(keys1)
+	r1, _, err := s1.AnswerBatch(ctx, keys1)
 	if err != nil {
 		return err
 	}

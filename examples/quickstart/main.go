@@ -10,6 +10,7 @@ package main
 
 import (
 	"bytes"
+	"context"
 	"fmt"
 	"log"
 
@@ -68,11 +69,12 @@ func run() error {
 
 	// Each server evaluates its key over the whole database (the
 	// all-for-one principle) and returns a subresult.
-	r0, breakdown, err := server0.Answer(k0)
+	ctx := context.Background()
+	r0, breakdown, err := server0.Answer(ctx, k0)
 	if err != nil {
 		return err
 	}
-	r1, _, err := server1.Answer(k1)
+	r1, _, err := server1.Answer(ctx, k1)
 	if err != nil {
 		return err
 	}

@@ -13,6 +13,7 @@ package main
 
 import (
 	"bytes"
+	"context"
 	"fmt"
 	"log"
 	"time"
@@ -102,11 +103,11 @@ func run() error {
 		return err
 	}
 	start := time.Now()
-	r0, _, err := s0.Answer(k0)
+	r0, _, err := s0.Answer(context.Background(), k0)
 	if err != nil {
 		return err
 	}
-	r1, _, err := s1.Answer(k1)
+	r1, _, err := s1.Answer(context.Background(), k1)
 	if err != nil {
 		return err
 	}

@@ -1,0 +1,3 @@
+module github.com/impir/impir
+
+go 1.22

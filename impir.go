@@ -22,15 +22,34 @@
 //
 // # Quick start
 //
+// The protocol in one process, through the low-level primitives:
+//
+//	ctx := context.Background()
 //	db, _ := impir.GenerateHashDB(1<<12, 1) // 4096 random 32-byte records
 //	s0, _ := impir.NewServer(impir.ServerConfig{})
 //	s1, _ := impir.NewServer(impir.ServerConfig{})
 //	s0.Load(db)
 //	s1.Load(db)
 //	k0, k1, _ := impir.GenerateKeys(db.NumRecords(), 42)
-//	r0, _, _ := s0.Answer(k0)
-//	r1, _, _ := s1.Answer(k1)
+//	r0, _, _ := s0.Answer(ctx, k0)
+//	r1, _, _ := s1.Answer(ctx, k1)
 //	record, _ := impir.Reconstruct(r0, r1) // == db.Record(42)
+//
+// # Client
+//
+// Network deployments use Client, which subsumes the deprecated Session
+// and MultiSession types: Dial connects to every server of a 2..n-server
+// deployment concurrently and cross-checks the replicas; Retrieve and
+// RetrieveBatch encode the query under a pluggable Encoding (DPF key
+// pairs for two servers, naive §2.3 selector shares for n — selected
+// automatically from the server count, or forced with WithEncoding) and
+// fan it out to all servers in parallel, so retrieval latency is the
+// slowest server rather than the sum. Contexts bound and cancel every
+// network operation.
+//
+//	cli, _ := impir.Dial(ctx, []string{addr0, addr1})
+//	defer cli.Close()
+//	record, _ := cli.Retrieve(ctx, 42)
 //
 // See the examples/ directory for runnable programs, including network
 // deployments over TCP.

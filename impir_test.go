@@ -2,6 +2,7 @@ package impir
 
 import (
 	"bytes"
+	"context"
 	"net"
 	"testing"
 	"testing/quick"
@@ -52,11 +53,11 @@ func TestQuickstartFlow(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	r0, bd0, err := s0.Answer(k0)
+	r0, bd0, err := s0.Answer(context.Background(), k0)
 	if err != nil {
 		t.Fatal(err)
 	}
-	r1, _, err := s1.Answer(k1)
+	r1, _, err := s1.Answer(context.Background(), k1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -94,7 +95,7 @@ func TestEnginesProduceIdenticalSubresults(t *testing.T) {
 		if err := s.Load(db); err != nil {
 			t.Fatalf("%v: %v", kind, err)
 		}
-		r, _, err := s.Answer(k0)
+		r, _, err := s.Answer(context.Background(), k0)
 		if err != nil {
 			t.Fatalf("%v: %v", kind, err)
 		}
@@ -120,11 +121,11 @@ func TestAllEnginesEndToEnd(t *testing.T) {
 				if err != nil {
 					t.Fatal(err)
 				}
-				r0, _, err := s0.Answer(k0)
+				r0, _, err := s0.Answer(context.Background(), k0)
 				if err != nil {
 					t.Fatal(err)
 				}
-				r1, _, err := s1.Answer(k1)
+				r1, _, err := s1.Answer(context.Background(), k1)
 				if err != nil {
 					t.Fatal(err)
 				}
@@ -156,11 +157,11 @@ func TestBatchAPI(t *testing.T) {
 			t.Fatal(err)
 		}
 	}
-	r0, stats, err := s0.AnswerBatch(keys0)
+	r0, stats, err := s0.AnswerBatch(context.Background(), keys0)
 	if err != nil {
 		t.Fatal(err)
 	}
-	r1, _, err := s1.AnswerBatch(keys1)
+	r1, _, err := s1.AnswerBatch(context.Background(), keys1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -342,11 +343,11 @@ func TestQuickEndToEnd(t *testing.T) {
 		if err != nil {
 			return false
 		}
-		r0, _, err := s0.Answer(k0)
+		r0, _, err := s0.Answer(context.Background(), k0)
 		if err != nil {
 			return false
 		}
-		r1, _, err := s1.Answer(k1)
+		r1, _, err := s1.Answer(context.Background(), k1)
 		if err != nil {
 			return false
 		}

@@ -251,6 +251,11 @@ func (e *Engine) QueryShare(share *bitvec.Vector) ([]byte, metrics.Breakdown, er
 	return result, bd, nil
 }
 
+// ApplyUpdates is the uniform update entry point shared by every engine.
+func (e *Engine) ApplyUpdates(updates map[int][]byte) error {
+	return e.UpdateRecords(updates)
+}
+
 // UpdateRecords applies a bulk database update between query batches, the
 // §3.3 update discipline. For the CPU baseline the database lives in host
 // DRAM, so the update is an in-place rewrite. Must not run concurrently

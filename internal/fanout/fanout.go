@@ -1,0 +1,55 @@
+// Package fanout runs a set of tasks concurrently and cancels the rest
+// as soon as one fails — the errgroup pattern, implemented locally so the
+// module stays dependency-free. The client uses it to query every PIR
+// server in parallel: retrieval latency is the slowest server, not the
+// sum, and one failed server aborts the whole retrieval immediately (a
+// lone subresult is useless and must never be mistaken for a record).
+package fanout
+
+import (
+	"context"
+	"sync"
+)
+
+// Group is a set of goroutines working on one retrieval. The zero value
+// is not usable; construct with WithContext.
+type Group struct {
+	ctx    context.Context
+	cancel context.CancelCauseFunc
+
+	wg   sync.WaitGroup
+	once sync.Once
+	err  error
+}
+
+// WithContext returns a Group and a context derived from ctx that is
+// cancelled when any task fails, when Wait returns, or when ctx itself is
+// cancelled. Tasks must observe the derived context for the fail-fast
+// behaviour to have teeth.
+func WithContext(ctx context.Context) (*Group, context.Context) {
+	ctx, cancel := context.WithCancelCause(ctx)
+	return &Group{ctx: ctx, cancel: cancel}, ctx
+}
+
+// Go runs f in its own goroutine. The first non-nil error cancels the
+// group context and is the one Wait returns.
+func (g *Group) Go(f func() error) {
+	g.wg.Add(1)
+	go func() {
+		defer g.wg.Done()
+		if err := f(); err != nil {
+			g.once.Do(func() {
+				g.err = err
+				g.cancel(err)
+			})
+		}
+	}()
+}
+
+// Wait blocks until every task launched with Go has returned, then
+// releases the group context and reports the first error.
+func (g *Group) Wait() error {
+	g.wg.Wait()
+	g.cancel(nil)
+	return g.err
+}

@@ -1,0 +1,82 @@
+package fanout
+
+import (
+	"context"
+	"errors"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestAllSucceed(t *testing.T) {
+	g, _ := WithContext(context.Background())
+	var n atomic.Int32
+	for i := 0; i < 8; i++ {
+		g.Go(func() error {
+			n.Add(1)
+			return nil
+		})
+	}
+	if err := g.Wait(); err != nil {
+		t.Fatalf("Wait = %v", err)
+	}
+	if n.Load() != 8 {
+		t.Fatalf("ran %d of 8 tasks", n.Load())
+	}
+}
+
+func TestFirstErrorWinsAndCancels(t *testing.T) {
+	g, ctx := WithContext(context.Background())
+	boom := errors.New("boom")
+	g.Go(func() error { return boom })
+	// The second task blocks until the first one's failure cancels the
+	// group context — fail-fast, not wait-for-everyone.
+	g.Go(func() error {
+		select {
+		case <-ctx.Done():
+			return nil
+		case <-time.After(5 * time.Second):
+			return errors.New("group context never cancelled")
+		}
+	})
+	if err := g.Wait(); !errors.Is(err, boom) {
+		t.Fatalf("Wait = %v, want %v", err, boom)
+	}
+	if context.Cause(ctx) != boom {
+		t.Fatalf("cause = %v, want %v", context.Cause(ctx), boom)
+	}
+}
+
+func TestParentCancellationPropagates(t *testing.T) {
+	parent, cancel := context.WithCancel(context.Background())
+	g, ctx := WithContext(parent)
+	g.Go(func() error {
+		<-ctx.Done()
+		return ctx.Err()
+	})
+	cancel()
+	if err := g.Wait(); !errors.Is(err, context.Canceled) {
+		t.Fatalf("Wait = %v, want context.Canceled", err)
+	}
+}
+
+func TestTasksRunConcurrently(t *testing.T) {
+	g, _ := WithContext(context.Background())
+	const n = 4
+	const delay = 100 * time.Millisecond
+	start := time.Now()
+	for i := 0; i < n; i++ {
+		g.Go(func() error {
+			time.Sleep(delay)
+			return nil
+		})
+	}
+	if err := g.Wait(); err != nil {
+		t.Fatal(err)
+	}
+	// Sequential execution would take n×delay; allow generous slack for
+	// slow CI machines while still ruling out serialisation.
+	if elapsed := time.Since(start); elapsed >= time.Duration(n-1)*delay {
+		t.Fatalf("%d tasks of %v took %v — not concurrent", n, delay, elapsed)
+	}
+}

@@ -347,6 +347,11 @@ func (e *Engine) QueryBatch(keys []*dpf.Key) ([][]byte, metrics.BatchStats, erro
 	return results, stats, nil
 }
 
+// ApplyUpdates is the uniform update entry point shared by every engine.
+func (e *Engine) ApplyUpdates(updates map[int][]byte) error {
+	return e.UpdateRecords(updates)
+}
+
 // UpdateRecords applies a bulk database update between query batches: the
 // host rewrites its copy and (in a real deployment) re-uploads the dirty
 // records over PCIe. Must not run concurrently with queries.

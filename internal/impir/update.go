@@ -76,3 +76,11 @@ func (e *Engine) UpdateRecords(updates map[int][]byte) (pim.Cost, error) {
 	}
 	return cost, nil
 }
+
+// ApplyUpdates is UpdateRecords without the cost report — the uniform
+// update entry point shared by every engine. The same concurrency
+// discipline applies.
+func (e *Engine) ApplyUpdates(updates map[int][]byte) error {
+	_, err := e.UpdateRecords(updates)
+	return err
+}

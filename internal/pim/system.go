@@ -40,11 +40,15 @@ func NewSystem(cfg Config) (*System, error) {
 }
 
 func maxParallelDPUs() int {
-	n := runtime.GOMAXPROCS(0)
-	if n < 1 {
-		n = 1
+	n := runtime.GOMAXPROCS(0) * 2
+	// Keep headroom beyond the core count: a kernel may block in DPU
+	// code (e.g. on host-mediated I/O) while another launch waits for
+	// slots, and on a 1-CPU machine a 2-slot semaphore would let two
+	// blocked DPUs starve every later launch.
+	if n < 8 {
+		n = 8
 	}
-	return n * 2
+	return n
 }
 
 // Config returns the system configuration.

@@ -36,6 +36,9 @@ const (
 	// MsgShareQuery carries one marshalled selector-share bit vector —
 	// the naive n-server encoding of §2.3 (O(N) bits).
 	MsgShareQuery
+	// MsgShareBatchQuery carries [count u32] then count length-prefixed
+	// marshalled selector shares; the server answers with MsgBatchResp.
+	MsgShareBatchQuery
 )
 
 func (t MsgType) String() string {
@@ -56,6 +59,8 @@ func (t MsgType) String() string {
 		return "error"
 	case MsgShareQuery:
 		return "share-query"
+	case MsgShareBatchQuery:
+		return "share-batch-query"
 	default:
 		return fmt.Sprintf("MsgType(%d)", uint8(t))
 	}

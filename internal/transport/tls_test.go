@@ -2,6 +2,7 @@ package transport
 
 import (
 	"bytes"
+	"context"
 	"crypto/ecdsa"
 	"crypto/elliptic"
 	"crypto/rand"
@@ -83,7 +84,7 @@ func TestTLSQueryEndToEnd(t *testing.T) {
 	}
 	defer srv.Close()
 
-	conn, err := DialTLS(srv.Addr().String(), clientCfg)
+	conn, err := DialTLS(context.Background(), srv.Addr().String(), clientCfg)
 	if err != nil {
 		t.Fatalf("DialTLS: %v", err)
 	}
@@ -96,7 +97,7 @@ func TestTLSQueryEndToEnd(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	r0, err := conn.Query(k0)
+	r0, err := conn.Query(context.Background(), k0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -123,7 +124,7 @@ func TestTLSRejectsPlaintextClient(t *testing.T) {
 	defer srv.Close()
 
 	// A plaintext client must fail the handshake, not hang.
-	if _, err := Dial(srv.Addr().String()); err == nil {
+	if _, err := Dial(dialCtx(t), srv.Addr().String()); err == nil {
 		t.Fatal("plaintext Dial succeeded against a TLS server")
 	}
 }
@@ -147,7 +148,7 @@ func TestTLSUntrustedServerRejected(t *testing.T) {
 
 	// A client with an empty trust pool must refuse the certificate.
 	empty := &tls.Config{RootCAs: x509.NewCertPool(), MinVersion: tls.VersionTLS13}
-	if _, err := DialTLS(srv.Addr().String(), empty); err == nil {
+	if _, err := DialTLS(context.Background(), srv.Addr().String(), empty); err == nil {
 		t.Fatal("DialTLS accepted an untrusted certificate")
 	}
 }
@@ -156,7 +157,16 @@ func TestTLSConfigValidation(t *testing.T) {
 	if _, err := NewServerTLS(nil, nil, 0, nil); err == nil {
 		t.Error("nil TLS config accepted by NewServerTLS")
 	}
-	if _, err := DialTLS("127.0.0.1:1", nil); err == nil {
+	if _, err := DialTLS(context.Background(), "127.0.0.1:1", nil); err == nil {
 		t.Error("nil TLS config accepted by DialTLS")
 	}
+}
+
+// dialCtx bounds handshakes that are expected to fail, so a
+// misbehaving peer cannot hang the test.
+func dialCtx(t *testing.T) context.Context {
+	t.Helper()
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	t.Cleanup(cancel)
+	return ctx
 }

@@ -7,12 +7,14 @@
 package transport
 
 import (
+	"context"
 	"crypto/tls"
 	"errors"
 	"fmt"
 	"log"
 	"net"
 	"sync"
+	"time"
 
 	"github.com/impir/impir/internal/bitvec"
 	"github.com/impir/impir/internal/database"
@@ -185,6 +187,32 @@ func (s *Server) dispatch(conn net.Conn, t pirproto.MsgType, payload []byte) err
 		}
 		return pirproto.WriteFrame(conn, pirproto.MsgQueryResp, result)
 
+	case pirproto.MsgShareBatchQuery:
+		raw, err := pirproto.ParseBatch(payload)
+		if err != nil {
+			return err
+		}
+		if len(raw) == 0 {
+			return errors.New("empty share batch")
+		}
+		results := make([][]byte, len(raw))
+		for i, sb := range raw {
+			var share bitvec.Vector
+			if err := share.UnmarshalBinary(sb); err != nil {
+				return fmt.Errorf("bad share %d: %w", i, err)
+			}
+			result, _, err := s.engine.QueryShare(&share)
+			if err != nil {
+				return err
+			}
+			results[i] = result
+		}
+		resp, err := pirproto.MarshalBatch(results)
+		if err != nil {
+			return err
+		}
+		return pirproto.WriteFrame(conn, pirproto.MsgBatchResp, resp)
+
 	case pirproto.MsgBatchQuery:
 		raw, err := pirproto.ParseBatch(payload)
 		if err != nil {
@@ -225,42 +253,45 @@ func NewServerTLS(lis net.Listener, engine Engine, party uint8, tlsCfg *tls.Conf
 	return NewServer(tls.NewListener(lis, tlsCfg), engine, party, opts...)
 }
 
-// Conn is a client connection to one PIR server.
+// Conn is a client connection to one PIR server. A Conn carries one
+// request/response at a time; concurrent callers are serialised by an
+// internal mutex, so a single Conn may be shared by the fan-out layer.
 type Conn struct {
-	conn net.Conn
-	info pirproto.ServerInfo
+	mu     sync.Mutex // serialises request/response exchanges
+	conn   net.Conn
+	info   pirproto.ServerInfo
+	broken error // set when a cancelled exchange poisons the stream
 }
 
-// Dial connects to a PIR server and performs the hello handshake.
-func Dial(addr string) (*Conn, error) {
-	nc, err := net.Dial("tcp", addr)
+// Dial connects to a PIR server and performs the hello handshake. The
+// context bounds connection establishment and the handshake exchange.
+func Dial(ctx context.Context, addr string) (*Conn, error) {
+	var d net.Dialer
+	nc, err := d.DialContext(ctx, "tcp", addr)
 	if err != nil {
 		return nil, fmt.Errorf("transport: dial %s: %w", addr, err)
 	}
-	return handshake(nc)
+	return handshake(ctx, nc)
 }
 
 // DialTLS connects over TLS and performs the hello handshake.
-func DialTLS(addr string, tlsCfg *tls.Config) (*Conn, error) {
+func DialTLS(ctx context.Context, addr string, tlsCfg *tls.Config) (*Conn, error) {
 	if tlsCfg == nil {
 		return nil, errors.New("transport: nil TLS config")
 	}
-	nc, err := tls.Dial("tcp", addr, tlsCfg)
+	td := tls.Dialer{Config: tlsCfg}
+	nc, err := td.DialContext(ctx, "tcp", addr)
 	if err != nil {
 		return nil, fmt.Errorf("transport: dial tls %s: %w", addr, err)
 	}
-	return handshake(nc)
+	return handshake(ctx, nc)
 }
 
 // handshake performs the hello exchange on a fresh connection, taking
 // ownership of nc (closed on failure).
-func handshake(nc net.Conn) (*Conn, error) {
+func handshake(ctx context.Context, nc net.Conn) (*Conn, error) {
 	c := &Conn{conn: nc}
-	if err := pirproto.WriteFrame(nc, pirproto.MsgHello, []byte{pirproto.Version}); err != nil {
-		nc.Close()
-		return nil, err
-	}
-	t, payload, err := pirproto.ReadFrame(nc)
+	t, payload, err := c.roundTrip(ctx, pirproto.MsgHello, []byte{pirproto.Version})
 	if err != nil {
 		nc.Close()
 		return nil, fmt.Errorf("transport: handshake: %w", err)
@@ -285,19 +316,66 @@ func handshake(nc net.Conn) (*Conn, error) {
 // Info returns the server's database description from the handshake.
 func (c *Conn) Info() pirproto.ServerInfo { return c.info }
 
-// Query sends one DPF key and returns the server's subresult.
-func (c *Conn) Query(key *dpf.Key) ([]byte, error) {
-	kb, err := key.MarshalBinary()
+// roundTrip performs one request/response exchange under ctx. A context
+// deadline becomes a socket deadline; cancellation interrupts pending
+// I/O by expiring the deadline immediately. Because the protocol has no
+// request framing beyond the stream position, an exchange abandoned
+// mid-flight leaves the stream unusable — the Conn is marked broken and
+// every later exchange fails fast.
+func (c *Conn) roundTrip(ctx context.Context, t pirproto.MsgType, payload []byte) (pirproto.MsgType, []byte, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.broken != nil {
+		return 0, nil, c.broken
+	}
+	if err := ctx.Err(); err != nil {
+		return 0, nil, err
+	}
+
+	if dl, ok := ctx.Deadline(); ok {
+		c.conn.SetDeadline(dl)
+	} else {
+		c.conn.SetDeadline(time.Time{})
+	}
+	ioDone := make(chan struct{})
+	watchDone := make(chan struct{})
+	go func() {
+		defer close(watchDone)
+		select {
+		case <-ctx.Done():
+			c.conn.SetDeadline(time.Now()) // interrupt pending reads/writes
+		case <-ioDone:
+		}
+	}()
+
+	var (
+		respType pirproto.MsgType
+		resp     []byte
+	)
+	err := pirproto.WriteFrame(c.conn, t, payload)
+	if err == nil {
+		respType, resp, err = pirproto.ReadFrame(c.conn)
+	}
+	close(ioDone)
+	<-watchDone
+
 	if err != nil {
-		return nil, err
+		// The exchange died part-way; the stream position is unknown and
+		// the connection cannot carry further requests.
+		if cerr := ctx.Err(); cerr != nil {
+			err = cerr
+		}
+		// Deliberately %v: a later call with a healthy context must not
+		// see the original call's context error through errors.Is and
+		// misread a dead connection as its own timeout.
+		c.broken = fmt.Errorf("transport: connection unusable after failed exchange: %v", err)
+		return 0, nil, err
 	}
-	if err := pirproto.WriteFrame(c.conn, pirproto.MsgQuery, kb); err != nil {
-		return nil, err
-	}
-	t, payload, err := pirproto.ReadFrame(c.conn)
-	if err != nil {
-		return nil, err
-	}
+	return respType, resp, nil
+}
+
+// queryResp interprets a single-subresult response frame.
+func queryResp(t pirproto.MsgType, payload []byte) ([]byte, error) {
 	switch t {
 	case pirproto.MsgQueryResp:
 		return payload, nil
@@ -308,32 +386,54 @@ func (c *Conn) Query(key *dpf.Key) ([]byte, error) {
 	}
 }
 
-// QueryShare sends a raw selector share (the §2.3 naive n-server
-// encoding) and returns the server's subresult.
-func (c *Conn) QueryShare(share *bitvec.Vector) ([]byte, error) {
-	payload, err := share.MarshalBinary()
-	if err != nil {
-		return nil, err
-	}
-	if err := pirproto.WriteFrame(c.conn, pirproto.MsgShareQuery, payload); err != nil {
-		return nil, err
-	}
-	t, resp, err := pirproto.ReadFrame(c.conn)
-	if err != nil {
-		return nil, err
-	}
+// batchResp interprets a batched response frame, checking the count.
+func batchResp(t pirproto.MsgType, payload []byte, want int) ([][]byte, error) {
 	switch t {
-	case pirproto.MsgQueryResp:
-		return resp, nil
+	case pirproto.MsgBatchResp:
+		results, err := pirproto.ParseBatch(payload)
+		if err != nil {
+			return nil, err
+		}
+		if len(results) != want {
+			return nil, fmt.Errorf("transport: %d results for %d queries", len(results), want)
+		}
+		return results, nil
 	case pirproto.MsgError:
-		return nil, fmt.Errorf("transport: server error: %s", resp)
+		return nil, fmt.Errorf("transport: server error: %s", payload)
 	default:
 		return nil, fmt.Errorf("transport: unexpected frame %v", t)
 	}
 }
 
+// Query sends one DPF key and returns the server's subresult.
+func (c *Conn) Query(ctx context.Context, key *dpf.Key) ([]byte, error) {
+	kb, err := key.MarshalBinary()
+	if err != nil {
+		return nil, err
+	}
+	t, payload, err := c.roundTrip(ctx, pirproto.MsgQuery, kb)
+	if err != nil {
+		return nil, err
+	}
+	return queryResp(t, payload)
+}
+
+// QueryShare sends a raw selector share (the §2.3 naive n-server
+// encoding) and returns the server's subresult.
+func (c *Conn) QueryShare(ctx context.Context, share *bitvec.Vector) ([]byte, error) {
+	payload, err := share.MarshalBinary()
+	if err != nil {
+		return nil, err
+	}
+	t, resp, err := c.roundTrip(ctx, pirproto.MsgShareQuery, payload)
+	if err != nil {
+		return nil, err
+	}
+	return queryResp(t, resp)
+}
+
 // QueryBatch sends a batch of keys and returns the subresults in order.
-func (c *Conn) QueryBatch(keys []*dpf.Key) ([][]byte, error) {
+func (c *Conn) QueryBatch(ctx context.Context, keys []*dpf.Key) ([][]byte, error) {
 	raw := make([][]byte, len(keys))
 	for i, k := range keys {
 		kb, err := k.MarshalBinary()
@@ -346,28 +446,33 @@ func (c *Conn) QueryBatch(keys []*dpf.Key) ([][]byte, error) {
 	if err != nil {
 		return nil, err
 	}
-	if err := pirproto.WriteFrame(c.conn, pirproto.MsgBatchQuery, payload); err != nil {
-		return nil, err
-	}
-	t, resp, err := pirproto.ReadFrame(c.conn)
+	t, resp, err := c.roundTrip(ctx, pirproto.MsgBatchQuery, payload)
 	if err != nil {
 		return nil, err
 	}
-	switch t {
-	case pirproto.MsgBatchResp:
-		results, err := pirproto.ParseBatch(resp)
+	return batchResp(t, resp, len(keys))
+}
+
+// QueryShareBatch sends a batch of selector shares in one round trip and
+// returns the subresults in order.
+func (c *Conn) QueryShareBatch(ctx context.Context, shares []*bitvec.Vector) ([][]byte, error) {
+	raw := make([][]byte, len(shares))
+	for i, sh := range shares {
+		sb, err := sh.MarshalBinary()
 		if err != nil {
 			return nil, err
 		}
-		if len(results) != len(keys) {
-			return nil, fmt.Errorf("transport: %d results for %d keys", len(results), len(keys))
-		}
-		return results, nil
-	case pirproto.MsgError:
-		return nil, fmt.Errorf("transport: server error: %s", resp)
-	default:
-		return nil, fmt.Errorf("transport: unexpected frame %v", t)
+		raw[i] = sb
 	}
+	payload, err := pirproto.MarshalBatch(raw)
+	if err != nil {
+		return nil, err
+	}
+	t, resp, err := c.roundTrip(ctx, pirproto.MsgShareBatchQuery, payload)
+	if err != nil {
+		return nil, err
+	}
+	return batchResp(t, resp, len(shares))
 }
 
 // Close closes the connection.

@@ -2,10 +2,13 @@ package transport
 
 import (
 	"bytes"
+	"context"
+	"errors"
 	"net"
 	"strings"
 	"sync"
 	"testing"
+	"time"
 
 	"github.com/impir/impir/internal/bitvec"
 	"github.com/impir/impir/internal/cpupir"
@@ -51,7 +54,7 @@ func genPair(t *testing.T, domain int, idx uint64) (*dpf.Key, *dpf.Key) {
 
 func TestHandshakeInfo(t *testing.T) {
 	srv, db := startServer(t, 256, 1)
-	conn, err := Dial(srv.Addr().String())
+	conn, err := Dial(context.Background(), srv.Addr().String())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -71,12 +74,12 @@ func TestHandshakeInfo(t *testing.T) {
 func TestTwoServerQueryOverTCP(t *testing.T) {
 	srv0, db := startServer(t, 512, 0)
 	srv1, _ := startServer(t, 512, 1)
-	c0, err := Dial(srv0.Addr().String())
+	c0, err := Dial(context.Background(), srv0.Addr().String())
 	if err != nil {
 		t.Fatal(err)
 	}
 	defer c0.Close()
-	c1, err := Dial(srv1.Addr().String())
+	c1, err := Dial(context.Background(), srv1.Addr().String())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -84,11 +87,11 @@ func TestTwoServerQueryOverTCP(t *testing.T) {
 
 	const idx = 77
 	k0, k1 := genPair(t, db.Domain(), idx)
-	r0, err := c0.Query(k0)
+	r0, err := c0.Query(context.Background(), k0)
 	if err != nil {
 		t.Fatal(err)
 	}
-	r1, err := c1.Query(k1)
+	r1, err := c1.Query(context.Background(), k1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -103,7 +106,7 @@ func TestTwoServerQueryOverTCP(t *testing.T) {
 
 func TestBatchOverTCP(t *testing.T) {
 	srv0, db := startServer(t, 256, 0)
-	conn, err := Dial(srv0.Addr().String())
+	conn, err := Dial(context.Background(), srv0.Addr().String())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -113,7 +116,7 @@ func TestBatchOverTCP(t *testing.T) {
 	for i := range keys {
 		keys[i], _ = genPair(t, db.Domain(), uint64(i*13))
 	}
-	results, err := conn.QueryBatch(keys)
+	results, err := conn.QueryBatch(context.Background(), keys)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -129,14 +132,14 @@ func TestBatchOverTCP(t *testing.T) {
 
 func TestSequentialQueriesOnOneConnection(t *testing.T) {
 	srv0, db := startServer(t, 128, 0)
-	conn, err := Dial(srv0.Addr().String())
+	conn, err := Dial(context.Background(), srv0.Addr().String())
 	if err != nil {
 		t.Fatal(err)
 	}
 	defer conn.Close()
 	for i := 0; i < 10; i++ {
 		k0, _ := genPair(t, db.Domain(), uint64(i*11))
-		if _, err := conn.Query(k0); err != nil {
+		if _, err := conn.Query(context.Background(), k0); err != nil {
 			t.Fatalf("query %d: %v", i, err)
 		}
 	}
@@ -150,14 +153,14 @@ func TestConcurrentClients(t *testing.T) {
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
-			conn, err := Dial(srv0.Addr().String())
+			conn, err := Dial(context.Background(), srv0.Addr().String())
 			if err != nil {
 				errs[i] = err
 				return
 			}
 			defer conn.Close()
 			k0, _ := genPair(t, db.Domain(), uint64(i))
-			_, errs[i] = conn.Query(k0)
+			_, errs[i] = conn.Query(context.Background(), k0)
 		}(i)
 	}
 	wg.Wait()
@@ -170,7 +173,7 @@ func TestConcurrentClients(t *testing.T) {
 
 func TestServerRejectsBadKey(t *testing.T) {
 	srv0, db := startServer(t, 128, 0)
-	conn, err := Dial(srv0.Addr().String())
+	conn, err := Dial(context.Background(), srv0.Addr().String())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -178,13 +181,13 @@ func TestServerRejectsBadKey(t *testing.T) {
 
 	// Wrong domain: valid key, wrong database.
 	k0, _ := genPair(t, 3, 0)
-	if _, err := conn.Query(k0); err == nil || !strings.Contains(err.Error(), "server error") {
+	if _, err := conn.Query(context.Background(), k0); err == nil || !strings.Contains(err.Error(), "server error") {
 		t.Fatalf("wrong-domain key: err = %v, want server error", err)
 	}
 
 	// The connection must survive the error and serve good queries.
 	good, _ := genPair(t, db.Domain(), 1)
-	if _, err := conn.Query(good); err != nil {
+	if _, err := conn.Query(context.Background(), good); err != nil {
 		t.Fatalf("connection unusable after server error: %v", err)
 	}
 }
@@ -227,12 +230,12 @@ func TestServerRejectsMalformedKeyBytes(t *testing.T) {
 func TestShareQueryOverTCP(t *testing.T) {
 	srv0, db := startServer(t, 256, 0)
 	srv1, _ := startServer(t, 256, 1)
-	c0, err := Dial(srv0.Addr().String())
+	c0, err := Dial(context.Background(), srv0.Addr().String())
 	if err != nil {
 		t.Fatal(err)
 	}
 	defer c0.Close()
-	c1, err := Dial(srv1.Addr().String())
+	c1, err := Dial(context.Background(), srv1.Addr().String())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -243,11 +246,11 @@ func TestShareQueryOverTCP(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	r0, err := c0.QueryShare(q.Shares[0])
+	r0, err := c0.QueryShare(context.Background(), q.Shares[0])
 	if err != nil {
 		t.Fatal(err)
 	}
-	r1, err := c1.QueryShare(q.Shares[1])
+	r1, err := c1.QueryShare(context.Background(), q.Shares[1])
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -262,7 +265,7 @@ func TestShareQueryOverTCP(t *testing.T) {
 
 func TestShareQueryRejectsBadShare(t *testing.T) {
 	srv0, _ := startServer(t, 256, 0)
-	conn, err := Dial(srv0.Addr().String())
+	conn, err := Dial(context.Background(), srv0.Addr().String())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -270,7 +273,7 @@ func TestShareQueryRejectsBadShare(t *testing.T) {
 
 	// Wrong length: share for a different database size.
 	wrong := bitvec.New(64)
-	if _, err := conn.QueryShare(wrong); err == nil || !strings.Contains(err.Error(), "server error") {
+	if _, err := conn.QueryShare(context.Background(), wrong); err == nil || !strings.Contains(err.Error(), "server error") {
 		t.Fatalf("mis-sized share: err = %v", err)
 	}
 
@@ -334,7 +337,133 @@ func TestCloseIdempotent(t *testing.T) {
 	if err := srv0.Close(); err != nil {
 		t.Fatalf("second Close: %v", err)
 	}
-	if _, err := Dial(srv0.Addr().String()); err == nil {
+	if _, err := Dial(context.Background(), srv0.Addr().String()); err == nil {
 		t.Fatal("Dial succeeded after Close")
+	}
+}
+
+func TestShareBatchOverTCP(t *testing.T) {
+	srv0, db := startServer(t, 256, 0)
+	srv1, _ := startServer(t, 256, 1)
+	c0, err := Dial(context.Background(), srv0.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c0.Close()
+	c1, err := Dial(context.Background(), srv1.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c1.Close()
+
+	indices := []uint64{3, 99, 200}
+	shares0 := make([]*bitvec.Vector, len(indices))
+	shares1 := make([]*bitvec.Vector, len(indices))
+	for i, idx := range indices {
+		q, err := naivepir.Gen(nil, 256, idx, 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		shares0[i], shares1[i] = q.Shares[0], q.Shares[1]
+	}
+	r0, err := c0.QueryShareBatch(context.Background(), shares0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r1, err := c1.QueryShareBatch(context.Background(), shares1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, idx := range indices {
+		rec := make([]byte, len(r0[i]))
+		for j := range rec {
+			rec[j] = r0[i][j] ^ r1[i][j]
+		}
+		if !bytes.Equal(rec, db.Record(int(idx))) {
+			t.Fatalf("share-batch item %d: wrong record", i)
+		}
+	}
+}
+
+func TestShareBatchRejectsEmpty(t *testing.T) {
+	srv0, _ := startServer(t, 128, 0)
+	nc, err := net.Dial("tcp", srv0.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer nc.Close()
+	payload, _ := pirproto.MarshalBatch(nil)
+	if err := pirproto.WriteFrame(nc, pirproto.MsgShareBatchQuery, payload); err != nil {
+		t.Fatal(err)
+	}
+	typ, _, err := pirproto.ReadFrame(nc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if typ != pirproto.MsgError {
+		t.Fatalf("frame = %v, want error", typ)
+	}
+}
+
+func TestQueryContextCancellationPoisonsConn(t *testing.T) {
+	// An unresponsive peer: accepts the connection, answers the
+	// handshake, then goes silent.
+	lis, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer lis.Close()
+	go func() {
+		nc, err := lis.Accept()
+		if err != nil {
+			return
+		}
+		defer nc.Close()
+		if _, _, err := pirproto.ReadFrame(nc); err != nil {
+			return
+		}
+		info := pirproto.ServerInfo{Domain: 7, RecordSize: 32, NumRecords: 128}
+		pirproto.WriteFrame(nc, pirproto.MsgServerInfo, info.Marshal())
+		// Swallow the query and never answer.
+		pirproto.ReadFrame(nc)
+		time.Sleep(10 * time.Second)
+	}()
+
+	conn, err := Dial(context.Background(), lis.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+
+	k0, _ := genPair(t, 7, 5)
+	ctx, cancel := context.WithTimeout(context.Background(), 100*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	_, err = conn.Query(ctx, k0)
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("Query = %v, want deadline exceeded", err)
+	}
+	if time.Since(start) > 3*time.Second {
+		t.Fatalf("cancellation took %v", time.Since(start))
+	}
+
+	// The stream position is unknown; the conn must refuse further use —
+	// but without replaying the first call's context error, which a
+	// caller with a healthy context would misread as its own timeout.
+	_, err = conn.Query(context.Background(), k0)
+	if err == nil {
+		t.Fatal("poisoned connection accepted another query")
+	}
+	if errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled) {
+		t.Fatalf("poisoned-conn error %v replays the original context error", err)
+	}
+}
+
+func TestDialContextCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	// A routable-but-never-accepting target would hang without ctx.
+	if _, err := Dial(ctx, "10.255.255.1:9"); err == nil {
+		t.Fatal("Dial succeeded with a cancelled context")
 	}
 }

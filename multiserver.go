@@ -1,12 +1,11 @@
 package impir
 
 import (
-	"errors"
+	"context"
 	"fmt"
 
 	"github.com/impir/impir/internal/bitvec"
 	"github.com/impir/impir/internal/naivepir"
-	"github.com/impir/impir/internal/transport"
 )
 
 // Share is one server's selector share under the naive n-server encoding
@@ -17,8 +16,9 @@ import (
 // Compared with DPF keys (O(λ·log N) bytes), shares cost O(N) bits per
 // server — but they work with any number of servers ≥ 2, whereas the DPF
 // encoding in this module is two-party. Use GenerateShares + AnswerShare
-// (or MultiSession over the network) for deployments with more than two
-// servers; use GenerateKeys for the bandwidth-efficient two-server path.
+// (or a Client with EncodingShares over the network) for deployments
+// with more than two servers; use GenerateKeys for the
+// bandwidth-efficient two-server path.
 type Share = bitvec.Vector
 
 // GenerateShares encodes a query for `servers` non-colluding servers
@@ -43,91 +43,71 @@ func GenerateShares(numRecords int, index uint64, servers int) ([]*Share, error)
 // AnswerShare processes a raw selector-share query on this server — the
 // n-server generalisation. The share must cover the server's padded
 // record count (as produced by GenerateShares).
-func (s *Server) AnswerShare(share *Share) ([]byte, Breakdown, error) {
+func (s *Server) AnswerShare(ctx context.Context, share *Share) ([]byte, Breakdown, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, Breakdown{}, err
+	}
 	return s.eng.QueryShare(share)
 }
 
 // MultiSession is a client connection to an n-server deployment (n ≥ 2)
-// using the naive share encoding. All servers must hold byte-identical
-// replicas; privacy holds as long as at least one server does not collude
-// with the others.
+// using the naive share encoding.
+//
+// Deprecated: MultiSession is a thin wrapper over Client, retained for
+// one release. Use Dial with WithEncoding(EncodingShares) instead — it
+// performs the same replica validation, adds context and batch support,
+// and queries all servers concurrently instead of sequentially.
+//
+// One behavioural difference carries over from Client: a failed
+// retrieval cancels the concurrent fan-out, which can abandon other
+// servers' exchanges mid-flight and poison their connections. After any
+// Retrieve/RetrieveBatch error, discard the MultiSession and reconnect
+// (the old sequential MultiSession could keep going after a per-server
+// error).
 type MultiSession struct {
-	conns      []*transport.Conn
-	numRecords uint64
-	recordSize int
+	c *Client
 }
 
 // ConnectMulti dials every server and cross-checks their replicas.
+//
+// Deprecated: use Dial with WithEncoding(EncodingShares), which takes a
+// context.
 func ConnectMulti(addrs ...string) (*MultiSession, error) {
-	if len(addrs) < naivepir.MinServers {
-		return nil, fmt.Errorf("impir: need ≥ %d servers, got %d", naivepir.MinServers, len(addrs))
-	}
-	s := &MultiSession{}
-	for i, addr := range addrs {
-		c, err := transport.Dial(addr)
-		if err != nil {
-			s.Close()
-			return nil, fmt.Errorf("impir: server %d: %w", i, err)
-		}
-		s.conns = append(s.conns, c)
-	}
-	first := s.conns[0].Info()
-	if first.NumRecords == 0 {
-		s.Close()
-		return nil, errors.New("impir: servers report an empty database")
-	}
-	for i, c := range s.conns[1:] {
-		info := c.Info()
-		if info.Digest != first.Digest || info.NumRecords != first.NumRecords ||
-			info.RecordSize != first.RecordSize {
-			s.Close()
-			return nil, fmt.Errorf("impir: server %d holds a different replica", i+1)
-		}
-	}
-	s.numRecords = first.NumRecords
-	s.recordSize = int(first.RecordSize)
-	return s, nil
-}
-
-// Servers returns the number of connected servers.
-func (s *MultiSession) Servers() int { return len(s.conns) }
-
-// NumRecords returns the (padded) record count of the deployment.
-func (s *MultiSession) NumRecords() uint64 { return s.numRecords }
-
-// RecordSize returns the record size in bytes.
-func (s *MultiSession) RecordSize() int { return s.recordSize }
-
-// Retrieve privately fetches record `index`: one share per server, XOR of
-// all subresults. Privacy holds unless every server colludes.
-func (s *MultiSession) Retrieve(index uint64) ([]byte, error) {
-	if index >= s.numRecords {
-		return nil, fmt.Errorf("impir: index %d outside database of %d records", index, s.numRecords)
-	}
-	q, err := naivepir.Gen(nil, int(s.numRecords), index, len(s.conns))
+	c, err := Dial(context.Background(), addrs, WithEncoding(EncodingShares))
 	if err != nil {
 		return nil, err
 	}
-	subresults := make([][]byte, len(s.conns))
-	for i, c := range s.conns {
-		sub, err := c.QueryShare(q.Shares[i])
-		if err != nil {
-			return nil, fmt.Errorf("impir: server %d: %w", i, err)
-		}
-		subresults[i] = sub
-	}
-	return Reconstruct(subresults...)
+	return &MultiSession{c: c}, nil
+}
+
+// Client returns the underlying Client, easing migration off the
+// deprecated wrapper.
+func (s *MultiSession) Client() *Client { return s.c }
+
+// Servers returns the number of connected servers.
+func (s *MultiSession) Servers() int { return s.c.Servers() }
+
+// NumRecords returns the (padded) record count of the deployment.
+func (s *MultiSession) NumRecords() uint64 { return s.c.NumRecords() }
+
+// RecordSize returns the record size in bytes.
+func (s *MultiSession) RecordSize() int { return s.c.RecordSize() }
+
+// Retrieve privately fetches record `index`: one share per server, XOR of
+// all subresults. Privacy holds unless every server colludes.
+//
+// Deprecated: use Client.Retrieve, which takes a context.
+func (s *MultiSession) Retrieve(index uint64) ([]byte, error) {
+	return s.c.Retrieve(context.Background(), index)
+}
+
+// RetrieveBatch privately fetches several records in one round trip per
+// server under the share encoding.
+//
+// Deprecated: use Client.RetrieveBatch, which takes a context.
+func (s *MultiSession) RetrieveBatch(indices []uint64) ([][]byte, error) {
+	return s.c.RetrieveBatch(context.Background(), indices)
 }
 
 // Close closes every server connection.
-func (s *MultiSession) Close() error {
-	var err error
-	for _, c := range s.conns {
-		if c != nil {
-			if cerr := c.Close(); err == nil {
-				err = cerr
-			}
-		}
-	}
-	return err
-}
+func (s *MultiSession) Close() error { return s.c.Close() }

@@ -2,6 +2,7 @@ package impir
 
 import (
 	"bytes"
+	"context"
 	"net"
 	"testing"
 )
@@ -31,7 +32,7 @@ func TestShareQueriesAcrossEngines(t *testing.T) {
 				if err := servers[i].Load(db); err != nil {
 					t.Fatal(err)
 				}
-				subresults[i], _, err = servers[i].AnswerShare(shares[i])
+				subresults[i], _, err = servers[i].AnswerShare(context.Background(), shares[i])
 				if err != nil {
 					t.Fatalf("AnswerShare server %d: %v", i, err)
 				}
@@ -149,7 +150,7 @@ func TestAnswerShareValidation(t *testing.T) {
 	db, _ := GenerateHashDB(128, 1)
 	s0, _ := newPair(t, EnginePIM, db)
 	short := new(Share) // zero-length share
-	if _, _, err := s0.AnswerShare(short); err == nil {
+	if _, _, err := s0.AnswerShare(context.Background(), short); err == nil {
 		t.Error("mis-sized share accepted")
 	}
 }

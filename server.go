@@ -1,6 +1,7 @@
 package impir
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"net"
@@ -85,6 +86,10 @@ type engine interface {
 	Query(*dpf.Key) ([]byte, metrics.Breakdown, error)
 	QueryBatch([]*dpf.Key) ([][]byte, metrics.BatchStats, error)
 	QueryShare(*bitvec.Vector) ([]byte, metrics.Breakdown, error)
+	// ApplyUpdates applies a §3.3 bulk record update to the loaded
+	// replica (every engine supports it, so Server.Update needs no
+	// per-engine dispatch).
+	ApplyUpdates(updates map[int][]byte) error
 	Close() error
 }
 
@@ -181,14 +186,23 @@ func (s *Server) Database() *DB { return s.eng.Database() }
 
 // Answer processes one query key and returns this server's subresult and
 // the phase breakdown. The subresult alone reveals nothing; the client
-// reconstructs the record from both servers' subresults.
-func (s *Server) Answer(key *Key) ([]byte, Breakdown, error) {
+// reconstructs the record from both servers' subresults. Cancellation is
+// cooperative at query granularity: a context cancelled before the call
+// aborts it, one cancelled mid-scan does not.
+func (s *Server) Answer(ctx context.Context, key *Key) ([]byte, Breakdown, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, Breakdown{}, err
+	}
 	return s.eng.Query(key)
 }
 
 // AnswerBatch processes a batch of keys through the engine's batch
-// pipeline (§3.4) and reports throughput statistics.
-func (s *Server) AnswerBatch(keys []*Key) ([][]byte, BatchStats, error) {
+// pipeline (§3.4) and reports throughput statistics. Cancellation is
+// cooperative at batch granularity.
+func (s *Server) AnswerBatch(ctx context.Context, keys []*Key) ([][]byte, BatchStats, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, BatchStats{}, err
+	}
 	return s.eng.QueryBatch(keys)
 }
 
@@ -198,18 +212,13 @@ func (s *Server) AnswerBatch(keys []*Key) ([][]byte, BatchStats, error) {
 // this rewrites the affected DPU MRAM chunks on every cluster. Callers
 // must update every server of a deployment identically, and must not run
 // updates concurrently with queries on the same server.
+//
+// Update deliberately takes no context: an update interrupted part-way
+// would leave this replica diverged from its peers, which a digest check
+// only catches at the next connect. It is atomic per server — validate
+// everything, then apply.
 func (s *Server) Update(updates map[int][]byte) error {
-	switch eng := s.eng.(type) {
-	case *impir.Engine:
-		_, err := eng.UpdateRecords(updates)
-		return err
-	case *cpupir.Engine:
-		return eng.UpdateRecords(updates)
-	case *gpupir.Engine:
-		return eng.UpdateRecords(updates)
-	default:
-		return fmt.Errorf("impir: engine %s does not support updates", s.eng.Name())
-	}
+	return s.eng.ApplyUpdates(updates)
 }
 
 // Serve exposes the server over a TCP listener using the IM-PIR wire

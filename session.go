@@ -1,137 +1,63 @@
 package impir
 
 import (
-	"errors"
-	"fmt"
-
-	"github.com/impir/impir/internal/dpf"
-	"github.com/impir/impir/internal/transport"
+	"context"
 )
 
-// Session is a client connection to a two-server PIR deployment. It
-// validates on connect that both servers present byte-identical database
-// replicas (a replica mismatch silently breaks reconstruction), then
-// privately retrieves records by index.
+// Session is a client connection to a two-server PIR deployment.
+//
+// Deprecated: Session is a thin wrapper over Client, retained for one
+// release so existing callers migrate incrementally. Use Dial with two
+// addresses instead — it performs the same replica validation, adds
+// context support, and queries both servers concurrently instead of
+// sequentially.
+//
+// One behavioural difference carries over from Client: a failed
+// retrieval cancels the concurrent fan-out, which can abandon the other
+// server's exchange mid-flight and poison its connection. After any
+// Retrieve/RetrieveBatch error, discard the Session and reconnect (the
+// old sequential Session could keep going after a per-server error).
 type Session struct {
-	conns      [2]*transport.Conn
-	numRecords uint64
-	recordSize int
-	domain     int
+	c *Client
 }
 
 // Connect dials both PIR servers and cross-checks their replicas.
+//
+// Deprecated: use Dial, which takes a context and generalises to n
+// servers.
 func Connect(addr0, addr1 string) (*Session, error) {
-	c0, err := transport.Dial(addr0)
+	c, err := Dial(context.Background(), []string{addr0, addr1}, WithEncoding(EncodingDPF))
 	if err != nil {
-		return nil, fmt.Errorf("impir: server 0: %w", err)
-	}
-	c1, err := transport.Dial(addr1)
-	if err != nil {
-		c0.Close()
-		return nil, fmt.Errorf("impir: server 1: %w", err)
-	}
-	s := &Session{conns: [2]*transport.Conn{c0, c1}}
-	if err := s.validate(); err != nil {
-		s.Close()
 		return nil, err
 	}
-	i := c0.Info()
-	s.numRecords = i.NumRecords
-	s.recordSize = int(i.RecordSize)
-	s.domain = int(i.Domain)
-	return s, nil
+	return &Session{c: c}, nil
 }
 
-func (s *Session) validate() error {
-	i0, i1 := s.conns[0].Info(), s.conns[1].Info()
-	if i0.Digest != i1.Digest {
-		return errors.New("impir: servers hold different database replicas (digest mismatch)")
-	}
-	if i0.NumRecords != i1.NumRecords || i0.RecordSize != i1.RecordSize || i0.Domain != i1.Domain {
-		return errors.New("impir: servers disagree on database geometry")
-	}
-	if i0.NumRecords == 0 {
-		return errors.New("impir: servers report an empty database")
-	}
-	return nil
-}
+// Client returns the underlying Client, easing migration off the
+// deprecated wrapper.
+func (s *Session) Client() *Client { return s.c }
 
 // NumRecords returns the (padded) record count of the deployment.
-func (s *Session) NumRecords() uint64 { return s.numRecords }
+func (s *Session) NumRecords() uint64 { return s.c.NumRecords() }
 
 // RecordSize returns the record size in bytes.
-func (s *Session) RecordSize() int { return s.recordSize }
+func (s *Session) RecordSize() int { return s.c.RecordSize() }
 
 // Retrieve privately fetches record `index`. Neither server learns the
 // index; each sees only its pseudorandom DPF key.
+//
+// Deprecated: use Client.Retrieve, which takes a context.
 func (s *Session) Retrieve(index uint64) ([]byte, error) {
-	if index >= s.numRecords {
-		return nil, fmt.Errorf("impir: index %d outside database of %d records", index, s.numRecords)
-	}
-	k0, k1, err := dpf.Gen(dpf.Params{Domain: s.domain}, index, nil)
-	if err != nil {
-		return nil, err
-	}
-	// Query both servers; any network or server error aborts the
-	// retrieval (a single subresult is useless — and must never be
-	// mistaken for the record).
-	r0, err := s.conns[0].Query(k0)
-	if err != nil {
-		return nil, fmt.Errorf("impir: server 0: %w", err)
-	}
-	r1, err := s.conns[1].Query(k1)
-	if err != nil {
-		return nil, fmt.Errorf("impir: server 1: %w", err)
-	}
-	return Reconstruct(r0, r1)
+	return s.c.Retrieve(context.Background(), index)
 }
 
 // RetrieveBatch privately fetches several records in one round trip per
 // server using the servers' batch pipeline.
+//
+// Deprecated: use Client.RetrieveBatch, which takes a context.
 func (s *Session) RetrieveBatch(indices []uint64) ([][]byte, error) {
-	if len(indices) == 0 {
-		return nil, errors.New("impir: empty batch")
-	}
-	keys0 := make([]*dpf.Key, len(indices))
-	keys1 := make([]*dpf.Key, len(indices))
-	for i, idx := range indices {
-		if idx >= s.numRecords {
-			return nil, fmt.Errorf("impir: index %d outside database of %d records", idx, s.numRecords)
-		}
-		k0, k1, err := dpf.Gen(dpf.Params{Domain: s.domain}, idx, nil)
-		if err != nil {
-			return nil, err
-		}
-		keys0[i], keys1[i] = k0, k1
-	}
-	r0, err := s.conns[0].QueryBatch(keys0)
-	if err != nil {
-		return nil, fmt.Errorf("impir: server 0: %w", err)
-	}
-	r1, err := s.conns[1].QueryBatch(keys1)
-	if err != nil {
-		return nil, fmt.Errorf("impir: server 1: %w", err)
-	}
-	out := make([][]byte, len(indices))
-	for i := range indices {
-		rec, err := Reconstruct(r0[i], r1[i])
-		if err != nil {
-			return nil, fmt.Errorf("impir: batch item %d: %w", i, err)
-		}
-		out[i] = rec
-	}
-	return out, nil
+	return s.c.RetrieveBatch(context.Background(), indices)
 }
 
 // Close closes both server connections.
-func (s *Session) Close() error {
-	var err error
-	for _, c := range s.conns {
-		if c != nil {
-			if cerr := c.Close(); err == nil {
-				err = cerr
-			}
-		}
-	}
-	return err
-}
+func (s *Session) Close() error { return s.c.Close() }

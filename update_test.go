@@ -2,6 +2,7 @@ package impir
 
 import (
 	"bytes"
+	"context"
 	"testing"
 )
 
@@ -29,11 +30,11 @@ func TestUpdateAcrossEngines(t *testing.T) {
 			if err != nil {
 				t.Fatal(err)
 			}
-			r0, _, err := s0.Answer(k0)
+			r0, _, err := s0.Answer(context.Background(), k0)
 			if err != nil {
 				t.Fatal(err)
 			}
-			r1, _, err := s1.Answer(k1)
+			r1, _, err := s1.Answer(context.Background(), k1)
 			if err != nil {
 				t.Fatal(err)
 			}
