@@ -14,6 +14,7 @@ import (
 	"github.com/impir/impir/internal/database"
 	"github.com/impir/impir/internal/dpf"
 	"github.com/impir/impir/internal/metrics"
+	"github.com/impir/impir/internal/scheduler"
 	"github.com/impir/impir/internal/transport"
 )
 
@@ -67,7 +68,8 @@ func (e *shimEngine) QueryShare(sh *bitvec.Vector) ([]byte, metrics.Breakdown, e
 	return e.Engine.QueryShare(sh)
 }
 
-// startShimServer serves db through a shimEngine over loopback TCP.
+// startShimServer serves db through a shimEngine (behind a scheduler,
+// like the real stack) over loopback TCP.
 func startShimServer(t *testing.T, db *database.DB, delay time.Duration, fail error) string {
 	t.Helper()
 	eng, err := cpupir.New(cpupir.Config{Threads: 2})
@@ -81,8 +83,9 @@ func startShimServer(t *testing.T, db *database.DB, delay time.Duration, fail er
 	if err != nil {
 		t.Fatal(err)
 	}
-	srv, err := transport.NewServer(lis, &shimEngine{Engine: eng, delay: delay, fail: fail}, 0,
-		transport.WithLogf(t.Logf))
+	sched := scheduler.New(&shimEngine{Engine: eng, delay: delay, fail: fail}, scheduler.Config{})
+	t.Cleanup(func() { sched.Close() })
+	srv, err := transport.NewServer(lis, sched, 0, transport.WithLogf(t.Logf))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -323,22 +326,20 @@ func TestClientExplicitShareEncodingTwoServers(t *testing.T) {
 	}
 }
 
-// TestMultiSessionBatch: the deprecated wrapper gained batch support via
-// the Client underneath.
-func TestMultiSessionBatch(t *testing.T) {
+// TestThreeServerBatch: batch retrieval under the share encoding against
+// a 3-server deployment.
+func TestThreeServerBatch(t *testing.T) {
 	db, err := GenerateHashDB(300, 9)
 	if err != nil {
 		t.Fatal(err)
 	}
-	sess, err := ConnectMulti(startDeployment(t, db, 3)...)
+	ctx := context.Background()
+	cli, err := Dial(ctx, startDeployment(t, db, 3))
 	if err != nil {
 		t.Fatal(err)
 	}
-	defer sess.Close()
-	if sess.Client() == nil {
-		t.Fatal("MultiSession.Client is nil")
-	}
-	recs, err := sess.RetrieveBatch([]uint64{7, 299, 0})
+	defer cli.Close()
+	recs, err := cli.RetrieveBatch(ctx, []uint64{7, 299, 0})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -16,6 +16,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
@@ -23,6 +24,7 @@ import (
 	"os"
 	"os/signal"
 	"syscall"
+	"time"
 
 	"github.com/impir/impir"
 )
@@ -45,6 +47,15 @@ func run() error {
 		dpus     = flag.Int("dpus", 0, "PIM engine: DPU count (0 = 2048)")
 		clusters = flag.Int("clusters", 0, "PIM engine: DPU clusters (0 = 1)")
 		threads  = flag.Int("threads", 0, "CPU engine: worker threads (0 = 32)")
+
+		queueDepth = flag.Int("queue-depth", 0,
+			"scheduler admission queue depth; overflow is rejected busy (0 = 256)")
+		coalesceWindow = flag.Duration("coalesce-window", 0,
+			"how long to hold a single query to coalesce concurrent ones into one batch pass (0 = off)")
+		maxCoalesce = flag.Int("max-coalesce", 0,
+			"max single queries per coalesced pass (0 = 64)")
+		drainTimeout = flag.Duration("drain-timeout", 10*time.Second,
+			"graceful drain bound on SIGTERM/SIGINT before in-flight requests are abandoned")
 	)
 	flag.Parse()
 
@@ -62,10 +73,13 @@ func run() error {
 	}
 
 	srv, err := impir.NewServer(impir.ServerConfig{
-		Engine:   kind,
-		DPUs:     *dpus,
-		Clusters: *clusters,
-		Threads:  *threads,
+		Engine:         kind,
+		DPUs:           *dpus,
+		Clusters:       *clusters,
+		Threads:        *threads,
+		QueueDepth:     *queueDepth,
+		CoalesceWindow: *coalesceWindow,
+		MaxCoalesce:    *maxCoalesce,
 	})
 	if err != nil {
 		return err
@@ -92,7 +106,15 @@ func run() error {
 	stop := make(chan os.Signal, 1)
 	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
 	<-stop
-	log.Printf("shutting down")
+	log.Printf("draining (up to %v)…", *drainTimeout)
+	ctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+	defer cancel()
+	err = srv.Shutdown(ctx)
+	log.Printf("final queue stats: %v", srv.QueueStats())
+	if err != nil {
+		return fmt.Errorf("graceful drain incomplete: %w", err)
+	}
+	log.Printf("drained cleanly")
 	return nil
 }
 

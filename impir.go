@@ -37,22 +37,32 @@
 //
 // # Client
 //
-// Network deployments use Client, which subsumes the deprecated Session
-// and MultiSession types: Dial connects to every server of a 2..n-server
-// deployment concurrently and cross-checks the replicas; Retrieve and
-// RetrieveBatch encode the query under a pluggable Encoding (DPF key
-// pairs for two servers, naive §2.3 selector shares for n — selected
-// automatically from the server count, or forced with WithEncoding) and
-// fan it out to all servers in parallel, so retrieval latency is the
-// slowest server rather than the sum. Contexts bound and cancel every
-// network operation.
+// Network deployments use Client: Dial connects to every server of a
+// 2..n-server deployment concurrently and cross-checks the replicas;
+// Retrieve and RetrieveBatch encode the query under a pluggable Encoding
+// (DPF key pairs for two servers, naive §2.3 selector shares for n —
+// selected automatically from the server count, or forced with
+// WithEncoding) and fan it out to all servers in parallel, so retrieval
+// latency is the slowest server rather than the sum. Contexts bound and
+// cancel every network operation.
 //
 //	cli, _ := impir.Dial(ctx, []string{addr0, addr1})
 //	defer cli.Close()
 //	record, _ := cli.Retrieve(ctx, 42)
 //
+// # Server-side scheduling
+//
+// Every Server runs its engine behind a request scheduler: a bounded
+// admission queue (overflow is rejected with ErrServerBusy — a MsgBusy
+// frame on the wire — instead of unbounded queueing), an optional
+// coalescing window that merges concurrent single queries from
+// different clients into one §3.4 batch-pipeline pass, and epoch-based
+// quiescing that makes Update safe under live query load. See
+// ServerConfig's QueueDepth, CoalesceWindow and MaxCoalesce, and
+// Server.QueueStats for the observed queue behaviour.
+//
 // See the examples/ directory for runnable programs, including network
-// deployments over TCP.
+// deployments over TCP and live updates under load.
 package impir
 
 import (

@@ -201,16 +201,17 @@ func TestNetworkDeployment(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	sess, err := Connect(s0.Addr().String(), s1.Addr().String())
+	ctx := context.Background()
+	cli, err := Dial(ctx, []string{s0.Addr().String(), s1.Addr().String()})
 	if err != nil {
 		t.Fatal(err)
 	}
-	defer sess.Close()
+	defer cli.Close()
 
-	if sess.RecordSize() != 32 {
-		t.Errorf("RecordSize = %d", sess.RecordSize())
+	if cli.RecordSize() != 32 {
+		t.Errorf("RecordSize = %d", cli.RecordSize())
 	}
-	rec, err := sess.Retrieve(77)
+	rec, err := cli.Retrieve(ctx, 77)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -219,22 +220,22 @@ func TestNetworkDeployment(t *testing.T) {
 		t.Fatal("network retrieval returned wrong record")
 	}
 
-	batch, err := sess.RetrieveBatch([]uint64{1, 2, 3})
+	batch, err := cli.RetrieveBatch(ctx, []uint64{1, 2, 3})
 	if err != nil {
 		t.Fatal(err)
 	}
 	if len(batch) != 3 {
 		t.Fatalf("batch returned %d records", len(batch))
 	}
-	if _, err := sess.Retrieve(1 << 40); err == nil {
+	if _, err := cli.Retrieve(ctx, 1<<40); err == nil {
 		t.Error("Retrieve accepted out-of-range index")
 	}
-	if _, err := sess.RetrieveBatch(nil); err == nil {
+	if _, err := cli.RetrieveBatch(ctx, nil); err == nil {
 		t.Error("RetrieveBatch accepted empty batch")
 	}
 }
 
-func TestConnectRejectsMismatchedReplicas(t *testing.T) {
+func TestDialRejectsMismatchedReplicas(t *testing.T) {
 	dbA, _ := GenerateHashDB(128, 1)
 	dbB, _ := GenerateHashDB(128, 2) // different content
 
@@ -262,8 +263,8 @@ func TestConnectRejectsMismatchedReplicas(t *testing.T) {
 	if err := s1.Serve(lis1, 1); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := Connect(s0.Addr().String(), s1.Addr().String()); err == nil {
-		t.Fatal("Connect accepted mismatched replicas")
+	if _, err := Dial(context.Background(), []string{s0.Addr().String(), s1.Addr().String()}); err == nil {
+		t.Fatal("Dial accepted mismatched replicas")
 	}
 }
 

@@ -17,7 +17,9 @@ import (
 //
 // UpdateRecords must not run concurrently with Query/QueryBatch — the
 // DPUs process queries against a stable database version, exactly the
-// discipline the paper prescribes.
+// discipline the paper prescribes. Callers above the engine get this
+// for free: the request scheduler (internal/scheduler) quiesces
+// in-flight query passes around every update.
 func (e *Engine) UpdateRecords(updates map[int][]byte) (pim.Cost, error) {
 	if e.db == nil {
 		return pim.Cost{}, errors.New("impir: no database loaded")

@@ -176,3 +176,63 @@ func (s BatchStats) WallQPS() float64 {
 	}
 	return float64(s.Queries) / s.WallLatency.Seconds()
 }
+
+// SchedulerStats is a snapshot of a server-side request scheduler: the
+// admission queue, the cross-client coalescing behaviour, and the update
+// epochs. All counters are cumulative since the scheduler started.
+type SchedulerStats struct {
+	// Submitted counts requests admitted to the queue.
+	Submitted uint64
+	// Rejected counts requests refused because the queue was full — the
+	// backpressure signal that becomes a MsgBusy frame on the wire.
+	Rejected uint64
+	// Cancelled counts requests dequeued without an engine pass because
+	// their context died while they waited.
+	Cancelled uint64
+	// Dispatched counts requests that reached an engine pass.
+	Dispatched uint64
+	// Passes counts engine passes executed (a coalesced pass serves many
+	// requests in one).
+	Passes uint64
+	// CoalescedPasses counts passes that merged ≥ 2 single queries from
+	// different submitters into one batch pipeline pass.
+	CoalescedPasses uint64
+	// CoalescedQueries counts single queries served through a coalesced
+	// pass rather than a solo engine pass.
+	CoalescedQueries uint64
+	// MaxDepth is the deepest the admission queue has been.
+	MaxDepth int
+	// Depth is the queue depth at snapshot time.
+	Depth int
+	// TotalWait accumulates time requests spent queued before dispatch.
+	TotalWait time.Duration
+	// Updates counts applied database updates; Epoch is the database
+	// version the scheduler is serving (bumped once per update).
+	Updates uint64
+	Epoch   uint64
+}
+
+// AvgWait returns the mean time a dispatched request spent queued.
+func (s SchedulerStats) AvgWait() time.Duration {
+	if s.Dispatched == 0 {
+		return 0
+	}
+	return s.TotalWait / time.Duration(s.Dispatched)
+}
+
+// AvgCoalesce returns the mean number of requests served per engine pass
+// — 1.0 means no cross-client amortisation happened.
+func (s SchedulerStats) AvgCoalesce() float64 {
+	if s.Passes == 0 {
+		return 0
+	}
+	return float64(s.Dispatched) / float64(s.Passes)
+}
+
+// String renders the queue counters compactly for logs and reports.
+func (s SchedulerStats) String() string {
+	return fmt.Sprintf(
+		"submitted=%d rejected=%d cancelled=%d passes=%d coalesce=%.2f avg-wait=%v max-depth=%d epoch=%d",
+		s.Submitted, s.Rejected, s.Cancelled, s.Passes, s.AvgCoalesce(),
+		s.AvgWait().Round(time.Microsecond), s.MaxDepth, s.Epoch)
+}

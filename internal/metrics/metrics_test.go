@@ -111,3 +111,32 @@ func TestBatchStats(t *testing.T) {
 		t.Error("zero stats produced nonzero QPS")
 	}
 }
+
+func TestSchedulerStats(t *testing.T) {
+	s := SchedulerStats{
+		Submitted:        100,
+		Rejected:         5,
+		Dispatched:       90,
+		Passes:           30,
+		CoalescedPasses:  20,
+		CoalescedQueries: 80,
+		TotalWait:        900 * time.Millisecond,
+		MaxDepth:         12,
+		Epoch:            3,
+	}
+	if got := s.AvgWait(); got != 10*time.Millisecond {
+		t.Errorf("AvgWait = %v, want 10ms", got)
+	}
+	if got := s.AvgCoalesce(); got != 3 {
+		t.Errorf("AvgCoalesce = %v, want 3", got)
+	}
+	for _, want := range []string{"rejected=5", "coalesce=3.00", "epoch=3"} {
+		if !strings.Contains(s.String(), want) {
+			t.Errorf("String() = %q missing %q", s.String(), want)
+		}
+	}
+	var zero SchedulerStats
+	if zero.AvgWait() != 0 || zero.AvgCoalesce() != 0 {
+		t.Error("zero stats produced nonzero averages")
+	}
+}

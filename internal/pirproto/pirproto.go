@@ -39,6 +39,11 @@ const (
 	// MsgShareBatchQuery carries [count u32] then count length-prefixed
 	// marshalled selector shares; the server answers with MsgBatchResp.
 	MsgShareBatchQuery
+	// MsgBusy is the server's backpressure reply: its admission queue is
+	// full and the request was rejected without an engine pass. The
+	// payload is empty; the connection remains usable — clients may retry
+	// after a backoff.
+	MsgBusy
 )
 
 func (t MsgType) String() string {
@@ -61,6 +66,8 @@ func (t MsgType) String() string {
 		return "share-query"
 	case MsgShareBatchQuery:
 		return "share-batch-query"
+	case MsgBusy:
+		return "busy"
 	default:
 		return fmt.Sprintf("MsgType(%d)", uint8(t))
 	}

@@ -167,7 +167,7 @@ func TestParseBatchRejectsCorruption(t *testing.T) {
 }
 
 func TestMsgTypeString(t *testing.T) {
-	for _, typ := range []MsgType{MsgHello, MsgServerInfo, MsgQuery, MsgQueryResp, MsgBatchQuery, MsgBatchResp, MsgError} {
+	for _, typ := range []MsgType{MsgHello, MsgServerInfo, MsgQuery, MsgQueryResp, MsgBatchQuery, MsgBatchResp, MsgError, MsgShareQuery, MsgShareBatchQuery, MsgBusy} {
 		if typ.String() == "" {
 			t.Errorf("MsgType %d has empty name", typ)
 		}

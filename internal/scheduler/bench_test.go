@@ -1,0 +1,66 @@
+package scheduler
+
+import (
+	"context"
+	"sync"
+	"testing"
+	"time"
+
+	"github.com/impir/impir/internal/cpupir"
+	"github.com/impir/impir/internal/database"
+	"github.com/impir/impir/internal/dpf"
+)
+
+// benchScheduler drives K concurrent clients through one scheduler and
+// reports the queue metrics bench-report.sh tracks across PRs: average
+// coalesced pass size, mean queue wait, and rejects.
+func benchScheduler(b *testing.B, window time.Duration) {
+	eng, err := cpupir.New(cpupir.Config{Threads: 4})
+	if err != nil {
+		b.Fatal(err)
+	}
+	db, err := database.GenerateHashDB(1<<12, 3)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := eng.LoadDatabase(db); err != nil {
+		b.Fatal(err)
+	}
+	s := New(eng, Config{QueueDepth: 1024, CoalesceWindow: window})
+	defer s.Close()
+
+	const clients = 16
+	keys := make([]*dpf.Key, clients)
+	for i := range keys {
+		keys[i], _, err = dpf.Gen(dpf.Params{Domain: db.Domain()}, uint64(i*17), nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+
+	ctx := context.Background()
+	b.ResetTimer()
+	for n := 0; n < b.N; n++ {
+		var wg sync.WaitGroup
+		for c := 0; c < clients; c++ {
+			wg.Add(1)
+			go func(c int) {
+				defer wg.Done()
+				if _, _, err := s.Query(ctx, keys[c]); err != nil {
+					b.Error(err)
+				}
+			}(c)
+		}
+		wg.Wait()
+	}
+	b.StopTimer()
+
+	stats := s.Stats()
+	b.ReportMetric(stats.AvgCoalesce(), "queries/pass")
+	b.ReportMetric(float64(stats.AvgWait().Nanoseconds()), "queue-wait-ns")
+	b.ReportMetric(float64(stats.Rejected), "rejects")
+}
+
+func BenchmarkSchedulerSerial(b *testing.B) { benchScheduler(b, 0) }
+
+func BenchmarkSchedulerCoalesced(b *testing.B) { benchScheduler(b, 2*time.Millisecond) }

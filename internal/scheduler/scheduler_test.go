@@ -1,0 +1,498 @@
+package scheduler
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"github.com/impir/impir/internal/bitvec"
+	"github.com/impir/impir/internal/cpupir"
+	"github.com/impir/impir/internal/database"
+	"github.com/impir/impir/internal/dpf"
+	"github.com/impir/impir/internal/metrics"
+	"github.com/impir/impir/internal/naivepir"
+)
+
+// fakeEngine gives tests deterministic pass costs and records overlap
+// between updates and query passes.
+type fakeEngine struct {
+	queryDelay time.Duration
+	batchDelay time.Duration // per coalesced pass, regardless of size
+
+	passQueries atomic.Int64 // query passes in flight
+	updates     atomic.Int64 // updates in flight
+	overlap     atomic.Bool  // an update overlapped a query pass
+	queryPasses atomic.Int64
+	batchPasses atomic.Int64
+}
+
+func (f *fakeEngine) Name() string           { return "fake" }
+func (f *fakeEngine) Database() *database.DB { return nil }
+func (f *fakeEngine) enter()                 { f.passQueries.Add(1) }
+func (f *fakeEngine) leave()                 { f.passQueries.Add(-1) }
+func (f *fakeEngine) checkOverlap() {
+	if f.updates.Load() > 0 {
+		f.overlap.Store(true)
+	}
+}
+
+func (f *fakeEngine) Query(k *dpf.Key) ([]byte, metrics.Breakdown, error) {
+	f.enter()
+	defer f.leave()
+	f.checkOverlap()
+	f.queryPasses.Add(1)
+	time.Sleep(f.queryDelay)
+	return []byte{1}, metrics.Breakdown{}, nil
+}
+
+func (f *fakeEngine) QueryBatch(keys []*dpf.Key) ([][]byte, metrics.BatchStats, error) {
+	f.enter()
+	defer f.leave()
+	f.checkOverlap()
+	f.batchPasses.Add(1)
+	time.Sleep(f.batchDelay)
+	out := make([][]byte, len(keys))
+	for i := range out {
+		out[i] = []byte{byte(i)}
+	}
+	return out, metrics.BatchStats{Queries: len(keys)}, nil
+}
+
+func (f *fakeEngine) QueryShare(sh *bitvec.Vector) ([]byte, metrics.Breakdown, error) {
+	f.enter()
+	defer f.leave()
+	f.checkOverlap()
+	time.Sleep(f.queryDelay)
+	return []byte{2}, metrics.Breakdown{}, nil
+}
+
+func (f *fakeEngine) ApplyUpdates(updates map[int][]byte) error {
+	f.updates.Add(1)
+	defer f.updates.Add(-1)
+	if f.passQueries.Load() > 0 {
+		f.overlap.Store(true)
+	}
+	time.Sleep(f.queryDelay)
+	return nil
+}
+
+// realScheduler builds a scheduler over a small CPU engine.
+func realScheduler(t *testing.T, cfg Config) (*Scheduler, *database.DB) {
+	t.Helper()
+	eng, err := cpupir.New(cpupir.Config{Threads: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	db, err := database.GenerateHashDB(256, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.LoadDatabase(db); err != nil {
+		t.Fatal(err)
+	}
+	sched := New(eng, cfg)
+	t.Cleanup(func() { sched.Close() })
+	return sched, eng.Database()
+}
+
+func keyPair(t *testing.T, domain int, idx uint64) (*dpf.Key, *dpf.Key) {
+	t.Helper()
+	k0, k1, err := dpf.Gen(dpf.Params{Domain: domain}, idx, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return k0, k1
+}
+
+// TestCoalescedResultsDemultiplexCorrectly: many goroutines submit
+// single queries with a coalescing window; every waiter must get the
+// subresult for its own key (XOR of both parties' subresults must equal
+// its record), and the stats must show cross-submitter batching.
+func TestCoalescedResultsDemultiplexCorrectly(t *testing.T) {
+	cfg := Config{CoalesceWindow: 20 * time.Millisecond}
+	s0, db := realScheduler(t, cfg)
+	s1, _ := realScheduler(t, cfg)
+
+	const clients = 16
+	ctx := context.Background()
+	errs := make([]error, clients)
+	var wg sync.WaitGroup
+	for i := 0; i < clients; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			idx := uint64(i * 13)
+			k0, k1 := keyPair(t, db.Domain(), idx)
+			r0, _, err := s0.Query(ctx, k0)
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			r1, _, err := s1.Query(ctx, k1)
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			rec := make([]byte, len(r0))
+			for j := range rec {
+				rec[j] = r0[j] ^ r1[j]
+			}
+			if !bytes.Equal(rec, db.Record(int(idx))) {
+				errs[i] = fmt.Errorf("client %d: wrong record", i)
+			}
+		}(i)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	stats := s0.Stats()
+	if stats.Dispatched != clients {
+		t.Errorf("dispatched %d, want %d", stats.Dispatched, clients)
+	}
+	if stats.CoalescedQueries == 0 {
+		t.Error("no queries were coalesced despite a window and concurrent submitters")
+	}
+	if stats.AvgCoalesce() <= 1 {
+		t.Errorf("AvgCoalesce = %.2f, want > 1", stats.AvgCoalesce())
+	}
+}
+
+// TestNoCoalescingWithZeroWindow: window 0 must run every single query
+// as its own engine pass.
+func TestNoCoalescingWithZeroWindow(t *testing.T) {
+	fe := &fakeEngine{}
+	s := New(fe, Config{})
+	defer s.Close()
+
+	ctx := context.Background()
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if _, _, err := s.Query(ctx, nil); err != nil {
+				t.Error(err)
+			}
+		}()
+	}
+	wg.Wait()
+	stats := s.Stats()
+	if stats.CoalescedQueries != 0 || stats.CoalescedPasses != 0 {
+		t.Errorf("window=0 coalesced: %+v", stats)
+	}
+	if got := fe.queryPasses.Load(); got != 8 {
+		t.Errorf("engine ran %d solo passes, want 8", got)
+	}
+}
+
+// TestQueueFullRejectsBusy: with depth 1 and a slow engine, overflow
+// submissions fail fast with ErrBusy instead of blocking.
+func TestQueueFullRejectsBusy(t *testing.T) {
+	fe := &fakeEngine{queryDelay: 300 * time.Millisecond}
+	s := New(fe, Config{QueueDepth: 1})
+	defer s.Close()
+
+	ctx := context.Background()
+	release := make(chan struct{})
+	go func() {
+		s.Query(ctx, nil) // occupies the dispatcher
+		close(release)
+	}()
+	// Wait for the dispatcher to pick it up, then fill the queue.
+	time.Sleep(50 * time.Millisecond)
+	go s.Query(ctx, nil) // fills the single queue slot
+
+	time.Sleep(20 * time.Millisecond)
+	start := time.Now()
+	_, _, err := s.Query(ctx, nil)
+	if !errors.Is(err, ErrBusy) {
+		t.Fatalf("overflow submission: err = %v, want ErrBusy", err)
+	}
+	if elapsed := time.Since(start); elapsed > 100*time.Millisecond {
+		t.Fatalf("busy rejection took %v — it blocked", elapsed)
+	}
+	<-release
+	if s.Stats().Rejected == 0 {
+		t.Error("Rejected counter not incremented")
+	}
+}
+
+// TestCancelledWhileQueuedIsDequeued: a context cancelled while the
+// request waits in the queue must (1) unblock the submitter promptly and
+// (2) never reach the engine.
+func TestCancelledWhileQueuedIsDequeued(t *testing.T) {
+	fe := &fakeEngine{queryDelay: 200 * time.Millisecond}
+	s := New(fe, Config{QueueDepth: 8})
+	defer s.Close()
+
+	bg := context.Background()
+	go s.Query(bg, nil) // occupies the dispatcher
+	time.Sleep(50 * time.Millisecond)
+
+	ctx, cancel := context.WithCancel(bg)
+	errCh := make(chan error, 1)
+	go func() {
+		_, _, err := s.Query(ctx, nil) // sits in the queue
+		errCh <- err
+	}()
+	time.Sleep(20 * time.Millisecond)
+	cancel()
+	select {
+	case err := <-errCh:
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("queued-then-cancelled query: err = %v", err)
+		}
+	case <-time.After(time.Second):
+		t.Fatal("cancelled submitter still blocked after 1s")
+	}
+
+	// Let the dispatcher work through the queue, then confirm the
+	// cancelled request was dropped without an engine pass.
+	time.Sleep(400 * time.Millisecond)
+	if got := fe.queryPasses.Load(); got != 1 {
+		t.Errorf("engine ran %d passes, want 1 (cancelled request dequeued)", got)
+	}
+	if s.Stats().Cancelled == 0 {
+		t.Error("Cancelled counter not incremented")
+	}
+}
+
+// TestUpdateQuiescesInFlightQueries: updates issued while query passes
+// run must never overlap one inside the engine, and each update must
+// bump the epoch.
+func TestUpdateQuiescesInFlightQueries(t *testing.T) {
+	fe := &fakeEngine{queryDelay: 5 * time.Millisecond, batchDelay: 5 * time.Millisecond}
+	s := New(fe, Config{QueueDepth: 128, CoalesceWindow: time.Millisecond})
+	defer s.Close()
+
+	ctx := context.Background()
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				if _, _, err := s.Query(ctx, nil); err != nil && !errors.Is(err, ErrBusy) {
+					t.Error(err)
+					return
+				}
+			}
+		}()
+	}
+	const updates = 10
+	for i := 0; i < updates; i++ {
+		if err := s.Update(map[int][]byte{0: {1}}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	close(stop)
+	wg.Wait()
+
+	if fe.overlap.Load() {
+		t.Fatal("an update overlapped a query pass inside the engine")
+	}
+	stats := s.Stats()
+	if stats.Updates != updates || stats.Epoch != updates {
+		t.Errorf("updates=%d epoch=%d, want %d", stats.Updates, stats.Epoch, updates)
+	}
+}
+
+// TestShareAndBatchThroughScheduler: explicit batches and share queries
+// flow through the queue and return correct data.
+func TestShareAndBatchThroughScheduler(t *testing.T) {
+	s0, db := realScheduler(t, Config{CoalesceWindow: time.Millisecond})
+	ctx := context.Background()
+
+	// Explicit batch: subresults must come back in key order.
+	indices := []uint64{3, 77, 200}
+	keys := make([]*dpf.Key, len(indices))
+	for i, idx := range indices {
+		keys[i], _ = keyPair(t, db.Domain(), idx)
+	}
+	results, stats, err := s0.QueryBatch(ctx, keys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != len(indices) || stats.Queries != len(indices) {
+		t.Fatalf("batch returned %d results, stats %+v", len(results), stats)
+	}
+
+	// Share query: a one-hot selector returns the record directly.
+	q, err := naivepir.Gen(nil, db.NumRecords(), 42, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r0, _, err := s0.QueryShare(ctx, q.Shares[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	r1, _, err := s0.QueryShare(ctx, q.Shares[1])
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := make([]byte, len(r0))
+	for i := range rec {
+		rec[i] = r0[i] ^ r1[i]
+	}
+	if !bytes.Equal(rec, db.Record(42)) {
+		t.Fatal("share queries through the scheduler reconstructed the wrong record")
+	}
+}
+
+// TestDrainAndClose: Drain finishes queued work and fences new
+// submissions; Close completes leftovers with ErrClosed.
+func TestDrainAndClose(t *testing.T) {
+	fe := &fakeEngine{queryDelay: 20 * time.Millisecond}
+	s := New(fe, Config{QueueDepth: 16})
+
+	ctx := context.Background()
+	var wg sync.WaitGroup
+	errs := make([]error, 4)
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			_, _, errs[i] = s.Query(ctx, nil)
+		}(i)
+	}
+	time.Sleep(10 * time.Millisecond)
+
+	dctx, cancel := context.WithTimeout(ctx, 5*time.Second)
+	defer cancel()
+	if err := s.Drain(dctx); err != nil {
+		t.Fatalf("Drain: %v", err)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Errorf("pre-drain query %d failed: %v", i, err)
+		}
+	}
+	if _, _, err := s.Query(ctx, nil); !errors.Is(err, ErrClosed) {
+		t.Fatalf("post-drain submission: err = %v, want ErrClosed", err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatalf("second Close: %v", err)
+	}
+}
+
+// TestSoloQueryFasterPathStats: a lone query with a window still works
+// (the gather times out and degenerates to a solo pass).
+func TestSoloQueryWithWindow(t *testing.T) {
+	s0, db := realScheduler(t, Config{CoalesceWindow: 5 * time.Millisecond})
+	k0, _ := keyPair(t, db.Domain(), 9)
+	if _, _, err := s0.Query(context.Background(), k0); err != nil {
+		t.Fatal(err)
+	}
+	stats := s0.Stats()
+	if stats.Passes != 1 || stats.CoalescedPasses != 0 {
+		t.Errorf("solo query stats: %+v", stats)
+	}
+}
+
+// TestPreCancelledSubmission: an already-dead context never enters the
+// queue.
+func TestPreCancelledSubmission(t *testing.T) {
+	s := New(&fakeEngine{}, Config{})
+	defer s.Close()
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, _, err := s.Query(ctx, nil); !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v", err)
+	}
+	if s.Stats().Submitted != 0 {
+		t.Error("pre-cancelled request was admitted")
+	}
+}
+
+// TestBadKeyInCoalescedPassOnlyFailsItsSender: a client feeding an
+// invalid key into a coalesced pass must not fail the other clients'
+// queries gathered into the same pass.
+func TestBadKeyInCoalescedPassOnlyFailsItsSender(t *testing.T) {
+	s0, db := realScheduler(t, Config{CoalesceWindow: 20 * time.Millisecond})
+	ctx := context.Background()
+
+	const good = 6
+	var wg sync.WaitGroup
+	goodErrs := make([]error, good)
+	var badErr error
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		bad, _ := keyPair(t, db.Domain()+3, 0) // wrong domain for this DB
+		_, _, badErr = s0.Query(ctx, bad)
+	}()
+	for i := 0; i < good; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			k0, _ := keyPair(t, db.Domain(), uint64(i*7))
+			_, _, goodErrs[i] = s0.Query(ctx, k0)
+		}(i)
+	}
+	wg.Wait()
+
+	if badErr == nil {
+		t.Error("wrong-domain key was accepted")
+	}
+	for i, err := range goodErrs {
+		if err != nil {
+			t.Errorf("good query %d failed alongside a bad key: %v", i, err)
+		}
+	}
+}
+
+// TestShareBatchIsOneAdmissionUnit: QueryShareBatch returns per-share
+// subresults in order and occupies exactly one queue slot.
+func TestShareBatchIsOneAdmissionUnit(t *testing.T) {
+	s0, db := realScheduler(t, Config{})
+	ctx := context.Background()
+
+	indices := []uint64{4, 90, 250}
+	shares0 := make([]*bitvec.Vector, len(indices))
+	shares1 := make([]*bitvec.Vector, len(indices))
+	for i, idx := range indices {
+		q, err := naivepir.Gen(nil, db.NumRecords(), idx, 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		shares0[i], shares1[i] = q.Shares[0], q.Shares[1]
+	}
+	r0, err := s0.QueryShareBatch(ctx, shares0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r1, err := s0.QueryShareBatch(ctx, shares1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, idx := range indices {
+		rec := make([]byte, len(r0[i]))
+		for j := range rec {
+			rec[j] = r0[i][j] ^ r1[i][j]
+		}
+		if !bytes.Equal(rec, db.Record(int(idx))) {
+			t.Fatalf("share-batch item %d: wrong record", i)
+		}
+	}
+	if stats := s0.Stats(); stats.Submitted != 2 || stats.Passes != 2 {
+		t.Errorf("two share batches should be two admissions/passes: %+v", stats)
+	}
+}

@@ -14,9 +14,8 @@ import (
 	"testing"
 	"time"
 
-	"github.com/impir/impir/internal/cpupir"
-	"github.com/impir/impir/internal/database"
 	"github.com/impir/impir/internal/dpf"
+	"github.com/impir/impir/internal/scheduler"
 )
 
 // selfSignedTLS builds a throwaway server certificate and the matching
@@ -63,22 +62,12 @@ func selfSignedTLS(t *testing.T) (serverCfg, clientCfg *tls.Config) {
 func TestTLSQueryEndToEnd(t *testing.T) {
 	serverCfg, clientCfg := selfSignedTLS(t)
 
-	eng, err := cpupir.New(cpupir.Config{Threads: 2})
-	if err != nil {
-		t.Fatal(err)
-	}
-	db, err := database.GenerateHashDB(256, 8)
-	if err != nil {
-		t.Fatal(err)
-	}
-	if err := eng.LoadDatabase(db); err != nil {
-		t.Fatal(err)
-	}
+	sched, _ := newDispatcher(t, 256, scheduler.Config{})
 	lis, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
 		t.Fatal(err)
 	}
-	srv, err := NewServerTLS(lis, eng, 0, serverCfg, WithLogf(t.Logf))
+	srv, err := NewServerTLS(lis, sched, 0, serverCfg, WithLogf(t.Logf))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -108,16 +97,12 @@ func TestTLSQueryEndToEnd(t *testing.T) {
 
 func TestTLSRejectsPlaintextClient(t *testing.T) {
 	serverCfg, _ := selfSignedTLS(t)
-	eng, _ := cpupir.New(cpupir.Config{Threads: 1})
-	db, _ := database.GenerateHashDB(64, 1)
-	if err := eng.LoadDatabase(db); err != nil {
-		t.Fatal(err)
-	}
+	sched, _ := newDispatcher(t, 64, scheduler.Config{})
 	lis, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
 		t.Fatal(err)
 	}
-	srv, err := NewServerTLS(lis, eng, 0, serverCfg, WithLogf(t.Logf))
+	srv, err := NewServerTLS(lis, sched, 0, serverCfg, WithLogf(t.Logf))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -131,16 +116,12 @@ func TestTLSRejectsPlaintextClient(t *testing.T) {
 
 func TestTLSUntrustedServerRejected(t *testing.T) {
 	serverCfg, _ := selfSignedTLS(t)
-	eng, _ := cpupir.New(cpupir.Config{Threads: 1})
-	db, _ := database.GenerateHashDB(64, 1)
-	if err := eng.LoadDatabase(db); err != nil {
-		t.Fatal(err)
-	}
+	sched, _ := newDispatcher(t, 64, scheduler.Config{})
 	lis, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
 		t.Fatal(err)
 	}
-	srv, err := NewServerTLS(lis, eng, 0, serverCfg, WithLogf(t.Logf))
+	srv, err := NewServerTLS(lis, sched, 0, serverCfg, WithLogf(t.Logf))
 	if err != nil {
 		t.Fatal(err)
 	}

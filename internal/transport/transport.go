@@ -1,9 +1,12 @@
-// Package transport runs PIR server engines behind TCP listeners and
-// provides the matching client side. In a real IM-PIR deployment the two
+// Package transport runs PIR servers behind TCP listeners and provides
+// the matching client side. In a real IM-PIR deployment the two
 // non-colluding servers are operated by independent entities; this
 // package is the network plane of such a deployment (the paper excludes
 // it from benchmarks, and so do we — it exists for the examples and the
-// cmd/ binaries).
+// cmd/ binaries). The transport does not talk to engines directly: it
+// hands every request to a Dispatcher — the request scheduler — which
+// owns admission control, cross-connection batch coalescing, and update
+// quiescing.
 package transport
 
 import (
@@ -21,31 +24,47 @@ import (
 	"github.com/impir/impir/internal/dpf"
 	"github.com/impir/impir/internal/metrics"
 	"github.com/impir/impir/internal/pirproto"
+	"github.com/impir/impir/internal/scheduler"
 )
 
-// Engine is the server-side compute plane: any of the IM-PIR, CPU or GPU
-// engines.
-type Engine interface {
+// Dispatcher is the server-side request path behind the transport —
+// normally a scheduler.Scheduler wrapping one of the IM-PIR, CPU or GPU
+// engines. Every method takes the connection's context: when a client
+// disconnects, requests it still has queued are abandoned, and a
+// Dispatcher returning scheduler.ErrBusy has the rejection reported to
+// the client as a MsgBusy frame.
+type Dispatcher interface {
 	Name() string
 	Database() *database.DB
-	Query(*dpf.Key) ([]byte, metrics.Breakdown, error)
-	QueryBatch([]*dpf.Key) ([][]byte, metrics.BatchStats, error)
+	Query(context.Context, *dpf.Key) ([]byte, metrics.Breakdown, error)
+	QueryBatch(context.Context, []*dpf.Key) ([][]byte, metrics.BatchStats, error)
 	// QueryShare answers the §2.3 naive encoding: an explicit selector
 	// share over every record (n-server deployments use this).
-	QueryShare(*bitvec.Vector) ([]byte, metrics.Breakdown, error)
+	QueryShare(context.Context, *bitvec.Vector) ([]byte, metrics.Breakdown, error)
+	// QueryShareBatch answers a batch of shares as one admitted unit, so
+	// a busy rejection never leaves a batch half-served.
+	QueryShareBatch(context.Context, []*bitvec.Vector) ([][]byte, error)
 }
 
-// Server serves one PIR engine over a listener.
-type Server struct {
-	engine Engine
-	party  uint8
-	lis    net.Listener
-	logf   func(format string, args ...any)
+// ErrServerBusy is returned by client query methods when the server
+// rejected the request with a MsgBusy frame: its admission queue was
+// full. The connection stays usable — retry after a backoff. It is the
+// scheduler's ErrBusy, so the same errors.Is check covers local and
+// remote rejections.
+var ErrServerBusy = scheduler.ErrBusy
 
-	mu     sync.Mutex
-	conns  map[net.Conn]struct{}
-	closed bool
-	done   chan struct{}
+// Server serves one PIR dispatcher over a listener.
+type Server struct {
+	dispatcher Dispatcher
+	party      uint8
+	lis        net.Listener
+	logf       func(format string, args ...any)
+
+	mu       sync.Mutex
+	conns    map[net.Conn]struct{}
+	closed   bool
+	inflight int // dispatches currently executing across all connections
+	done     chan struct{}
 }
 
 // ServerOption customises a Server.
@@ -56,23 +75,23 @@ func WithLogf(f func(format string, args ...any)) ServerOption {
 	return func(s *Server) { s.logf = f }
 }
 
-// NewServer starts serving the engine on the listener. party is this
+// NewServer starts serving the dispatcher on the listener. party is this
 // server's index in the multi-server deployment (0 or 1 for two-server).
 // The returned server owns the listener.
-func NewServer(lis net.Listener, engine Engine, party uint8, opts ...ServerOption) (*Server, error) {
-	if engine == nil {
-		return nil, errors.New("transport: nil engine")
+func NewServer(lis net.Listener, d Dispatcher, party uint8, opts ...ServerOption) (*Server, error) {
+	if d == nil {
+		return nil, errors.New("transport: nil dispatcher")
 	}
-	if engine.Database() == nil {
-		return nil, errors.New("transport: engine has no database loaded")
+	if d.Database() == nil {
+		return nil, errors.New("transport: dispatcher has no database loaded")
 	}
 	s := &Server{
-		engine: engine,
-		party:  party,
-		lis:    lis,
-		logf:   log.Printf,
-		conns:  make(map[net.Conn]struct{}),
-		done:   make(chan struct{}),
+		dispatcher: d,
+		party:      party,
+		lis:        lis,
+		logf:       log.Printf,
+		conns:      make(map[net.Conn]struct{}),
+		done:       make(chan struct{}),
 	}
 	for _, opt := range opts {
 		opt(s)
@@ -85,7 +104,8 @@ func NewServer(lis net.Listener, engine Engine, party uint8, opts ...ServerOptio
 func (s *Server) Addr() net.Addr { return s.lis.Addr() }
 
 // Close stops accepting, closes active connections, and waits for the
-// accept loop to exit.
+// accept loop to exit. In-flight requests are abandoned; use Shutdown
+// for a graceful stop.
 func (s *Server) Close() error {
 	s.mu.Lock()
 	if s.closed {
@@ -98,6 +118,50 @@ func (s *Server) Close() error {
 	}
 	s.mu.Unlock()
 	err := s.lis.Close()
+	<-s.done
+	return err
+}
+
+// Shutdown drains the server gracefully: it stops accepting new
+// connections, waits for requests currently being dispatched (including
+// those queued in the scheduler) to finish and have their responses
+// written, then closes the remaining idle connections. ctx bounds the
+// wait; on expiry the remaining work is abandoned as in Close.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	s.mu.Unlock()
+	err := s.lis.Close()
+
+	tick := time.NewTicker(2 * time.Millisecond)
+	defer tick.Stop()
+wait:
+	for {
+		s.mu.Lock()
+		idle := s.inflight == 0
+		s.mu.Unlock()
+		if idle {
+			break
+		}
+		select {
+		case <-ctx.Done():
+			if err == nil {
+				err = fmt.Errorf("transport: shutdown: %w", ctx.Err())
+			}
+			break wait
+		case <-tick.C:
+		}
+	}
+
+	s.mu.Lock()
+	for c := range s.conns {
+		c.Close()
+	}
+	s.mu.Unlock()
 	<-s.done
 	return err
 }
@@ -136,26 +200,89 @@ func (s *Server) dropConn(conn net.Conn) {
 
 func (s *Server) handle(conn net.Conn) {
 	defer s.dropConn(conn)
-	for {
-		t, payload, err := pirproto.ReadFrame(conn)
-		if err != nil {
-			return // connection closed or broken framing; nothing to salvage
-		}
-		if err := s.dispatch(conn, t, payload); err != nil {
-			if werr := pirproto.WriteFrame(conn, pirproto.MsgError, []byte(err.Error())); werr != nil {
+	// The connection's context is cancelled the moment the connection
+	// drops, so a request this client still has queued in the scheduler
+	// is dequeued instead of costing an engine pass on a dead client. A
+	// dedicated reader goroutine keeps a ReadFrame pending even while a
+	// request is being dispatched — that pending read is what detects the
+	// disconnect.
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+
+	type frame struct {
+		t       pirproto.MsgType
+		payload []byte
+	}
+	frames := make(chan frame)
+	go func() {
+		defer cancel()
+		defer close(frames)
+		for {
+			t, payload, err := pirproto.ReadFrame(conn)
+			if err != nil {
+				return // connection closed or broken framing; nothing to salvage
+			}
+			// Count the request in-flight the moment it is read — in the
+			// same critical section that checks closed, so Shutdown's
+			// "closed, and inflight is zero" observation is final: any
+			// frame read after that is dropped here, never half-served.
+			if !s.beginDispatch() {
+				return
+			}
+			select {
+			case frames <- frame{t, payload}:
+			case <-ctx.Done():
+				s.addInflight(-1)
 				return
 			}
 		}
+	}()
+
+	for f := range frames {
+		err := s.dispatch(ctx, conn, f.t, f.payload)
+		if err != nil {
+			respType, msg := pirproto.MsgError, []byte(err.Error())
+			if errors.Is(err, scheduler.ErrBusy) {
+				respType, msg = pirproto.MsgBusy, nil
+			}
+			werr := pirproto.WriteFrame(conn, respType, msg)
+			s.addInflight(-1)
+			if werr != nil {
+				return
+			}
+			continue
+		}
+		s.addInflight(-1)
 	}
 }
 
-func (s *Server) dispatch(conn net.Conn, t pirproto.MsgType, payload []byte) error {
+func (s *Server) addInflight(d int) {
+	s.mu.Lock()
+	s.inflight += d
+	s.mu.Unlock()
+}
+
+// beginDispatch admits one just-read frame into the in-flight count
+// unless the server has begun closing. The closed check and the
+// increment share one critical section with Shutdown's closed+inflight
+// observation, which makes the drain decision race-free.
+func (s *Server) beginDispatch() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return false
+	}
+	s.inflight++
+	return true
+}
+
+func (s *Server) dispatch(ctx context.Context, conn net.Conn, t pirproto.MsgType, payload []byte) error {
 	switch t {
 	case pirproto.MsgHello:
 		if len(payload) != 1 || payload[0] != pirproto.Version {
 			return fmt.Errorf("unsupported protocol version")
 		}
-		db := s.engine.Database()
+		db := s.dispatcher.Database()
 		info := pirproto.ServerInfo{
 			Party:      s.party,
 			Domain:     uint8(db.Domain()),
@@ -170,7 +297,7 @@ func (s *Server) dispatch(conn net.Conn, t pirproto.MsgType, payload []byte) err
 		if err := key.UnmarshalBinary(payload); err != nil {
 			return fmt.Errorf("bad key: %w", err)
 		}
-		result, _, err := s.engine.Query(&key)
+		result, _, err := s.dispatcher.Query(ctx, &key)
 		if err != nil {
 			return err
 		}
@@ -181,7 +308,7 @@ func (s *Server) dispatch(conn net.Conn, t pirproto.MsgType, payload []byte) err
 		if err := share.UnmarshalBinary(payload); err != nil {
 			return fmt.Errorf("bad share: %w", err)
 		}
-		result, _, err := s.engine.QueryShare(&share)
+		result, _, err := s.dispatcher.QueryShare(ctx, &share)
 		if err != nil {
 			return err
 		}
@@ -195,17 +322,16 @@ func (s *Server) dispatch(conn net.Conn, t pirproto.MsgType, payload []byte) err
 		if len(raw) == 0 {
 			return errors.New("empty share batch")
 		}
-		results := make([][]byte, len(raw))
+		shares := make([]*bitvec.Vector, len(raw))
 		for i, sb := range raw {
-			var share bitvec.Vector
-			if err := share.UnmarshalBinary(sb); err != nil {
+			shares[i] = new(bitvec.Vector)
+			if err := shares[i].UnmarshalBinary(sb); err != nil {
 				return fmt.Errorf("bad share %d: %w", i, err)
 			}
-			result, _, err := s.engine.QueryShare(&share)
-			if err != nil {
-				return err
-			}
-			results[i] = result
+		}
+		results, err := s.dispatcher.QueryShareBatch(ctx, shares)
+		if err != nil {
+			return err
 		}
 		resp, err := pirproto.MarshalBatch(results)
 		if err != nil {
@@ -228,7 +354,7 @@ func (s *Server) dispatch(conn net.Conn, t pirproto.MsgType, payload []byte) err
 				return fmt.Errorf("bad key %d: %w", i, err)
 			}
 		}
-		results, _, err := s.engine.QueryBatch(keys)
+		results, _, err := s.dispatcher.QueryBatch(ctx, keys)
 		if err != nil {
 			return err
 		}
@@ -246,11 +372,11 @@ func (s *Server) dispatch(conn net.Conn, t pirproto.MsgType, payload []byte) err
 // NewServerTLS wraps the listener with TLS before serving — the channel
 // protection a production deployment runs (PIR hides the query from the
 // servers themselves; TLS hides traffic from everyone else).
-func NewServerTLS(lis net.Listener, engine Engine, party uint8, tlsCfg *tls.Config, opts ...ServerOption) (*Server, error) {
+func NewServerTLS(lis net.Listener, d Dispatcher, party uint8, tlsCfg *tls.Config, opts ...ServerOption) (*Server, error) {
 	if tlsCfg == nil {
 		return nil, errors.New("transport: nil TLS config")
 	}
-	return NewServer(tls.NewListener(lis, tlsCfg), engine, party, opts...)
+	return NewServer(tls.NewListener(lis, tlsCfg), d, party, opts...)
 }
 
 // Conn is a client connection to one PIR server. A Conn carries one
@@ -362,7 +488,17 @@ func (c *Conn) roundTrip(ctx context.Context, t pirproto.MsgType, payload []byte
 	if err != nil {
 		// The exchange died part-way; the stream position is unknown and
 		// the connection cannot carry further requests.
-		if cerr := ctx.Err(); cerr != nil {
+		cerr := ctx.Err()
+		if cerr == nil {
+			// The socket deadline is set from the context deadline, so it
+			// can fire a beat before the context's own timer: an expired
+			// deadline is the context's fault even if ctx.Err() has not
+			// flipped yet.
+			if dl, ok := ctx.Deadline(); ok && !time.Now().Before(dl) {
+				cerr = context.DeadlineExceeded
+			}
+		}
+		if cerr != nil {
 			err = cerr
 		}
 		// Deliberately %v: a later call with a healthy context must not
@@ -379,6 +515,8 @@ func queryResp(t pirproto.MsgType, payload []byte) ([]byte, error) {
 	switch t {
 	case pirproto.MsgQueryResp:
 		return payload, nil
+	case pirproto.MsgBusy:
+		return nil, ErrServerBusy
 	case pirproto.MsgError:
 		return nil, fmt.Errorf("transport: server error: %s", payload)
 	default:
@@ -398,6 +536,8 @@ func batchResp(t pirproto.MsgType, payload []byte, want int) ([][]byte, error) {
 			return nil, fmt.Errorf("transport: %d results for %d queries", len(results), want)
 		}
 		return results, nil
+	case pirproto.MsgBusy:
+		return nil, ErrServerBusy
 	case pirproto.MsgError:
 		return nil, fmt.Errorf("transport: server error: %s", payload)
 	default:

@@ -16,9 +16,12 @@ import (
 	"github.com/impir/impir/internal/dpf"
 	"github.com/impir/impir/internal/naivepir"
 	"github.com/impir/impir/internal/pirproto"
+	"github.com/impir/impir/internal/scheduler"
 )
 
-func startServer(t *testing.T, numRecords int, party uint8) (*Server, *database.DB) {
+// newDispatcher builds the standard server-side stack under test: a
+// small CPU engine behind a scheduler.
+func newDispatcher(t *testing.T, numRecords int, cfg scheduler.Config) (*scheduler.Scheduler, *database.DB) {
 	t.Helper()
 	eng, err := cpupir.New(cpupir.Config{Threads: 2})
 	if err != nil {
@@ -31,11 +34,19 @@ func startServer(t *testing.T, numRecords int, party uint8) (*Server, *database.
 	if err := eng.LoadDatabase(db); err != nil {
 		t.Fatal(err)
 	}
+	sched := scheduler.New(eng, cfg)
+	t.Cleanup(func() { sched.Close() })
+	return sched, db
+}
+
+func startServer(t *testing.T, numRecords int, party uint8) (*Server, *database.DB) {
+	t.Helper()
+	sched, db := newDispatcher(t, numRecords, scheduler.Config{})
 	lis, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
 		t.Fatal(err)
 	}
-	srv, err := NewServer(lis, eng, party, WithLogf(t.Logf))
+	srv, err := NewServer(lis, sched, party, WithLogf(t.Logf))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -321,11 +332,13 @@ func TestNewServerValidation(t *testing.T) {
 	}
 	defer lis.Close()
 	if _, err := NewServer(lis, nil, 0); err == nil {
-		t.Error("NewServer accepted nil engine")
+		t.Error("NewServer accepted nil dispatcher")
 	}
 	eng, _ := cpupir.New(cpupir.Config{})
-	if _, err := NewServer(lis, eng, 0); err == nil {
-		t.Error("NewServer accepted engine without database")
+	sched := scheduler.New(eng, scheduler.Config{})
+	defer sched.Close()
+	if _, err := NewServer(lis, sched, 0); err == nil {
+		t.Error("NewServer accepted dispatcher without database")
 	}
 }
 
@@ -465,5 +478,136 @@ func TestDialContextCancellation(t *testing.T) {
 	// A routable-but-never-accepting target would hang without ctx.
 	if _, err := Dial(ctx, "10.255.255.1:9"); err == nil {
 		t.Fatal("Dial succeeded with a cancelled context")
+	}
+}
+
+// TestBusyPropagatesOverWire: a full admission queue must reach the
+// client as ErrServerBusy — promptly, and without poisoning the
+// connection.
+func TestBusyPropagatesOverWire(t *testing.T) {
+	sched, db := newDispatcher(t, 128, scheduler.Config{QueueDepth: 1})
+	lis, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := NewServer(lis, sched, 0, WithLogf(t.Logf))
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { srv.Close() })
+
+	// Saturate the scheduler: occupy the dispatcher and fill the queue
+	// with direct submissions that never complete quickly.
+	k0, _ := genPair(t, db.PadToPowerOfTwo().Domain(), 1)
+	blockCtx, blockCancel := context.WithCancel(context.Background())
+	defer blockCancel()
+	slow := make(chan struct{}, 2)
+	for i := 0; i < 2; i++ {
+		go func() {
+			keys := make([]*dpf.Key, 64)
+			for j := range keys {
+				keys[j] = k0
+			}
+			for {
+				_, _, err := sched.QueryBatch(blockCtx, keys)
+				if blockCtx.Err() != nil {
+					slow <- struct{}{}
+					return
+				}
+				_ = err // the saturators may bounce off the queue themselves
+			}
+		}()
+	}
+
+	conn, err := Dial(context.Background(), srv.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+
+	// With the queue saturated by the two loops above, wire queries must
+	// sooner or later bounce with ErrServerBusy.
+	deadline := time.Now().Add(5 * time.Second)
+	sawBusy := false
+	for time.Now().Before(deadline) {
+		start := time.Now()
+		_, err := conn.Query(context.Background(), k0)
+		if errors.Is(err, ErrServerBusy) {
+			sawBusy = true
+			if elapsed := time.Since(start); elapsed > time.Second {
+				t.Fatalf("busy rejection took %v — not prompt", elapsed)
+			}
+			break
+		}
+		if err != nil {
+			t.Fatalf("unexpected error while hunting for busy: %v", err)
+		}
+	}
+	if !sawBusy {
+		t.Fatal("never saw ErrServerBusy despite a saturated 1-deep queue")
+	}
+
+	// The connection survives the rejection: stop the saturators and
+	// verify a normal query still works on the same conn.
+	blockCancel()
+	<-slow
+	<-slow
+	var ok bool
+	for i := 0; i < 50; i++ {
+		if _, err := conn.Query(context.Background(), k0); err == nil {
+			ok = true
+			break
+		} else if !errors.Is(err, ErrServerBusy) {
+			t.Fatalf("conn unusable after busy: %v", err)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	if !ok {
+		t.Fatal("connection never recovered after busy rejections")
+	}
+}
+
+// TestShutdownDrains: Shutdown must finish the request being dispatched
+// and write its response before closing the connection.
+func TestShutdownDrains(t *testing.T) {
+	sched, db := newDispatcher(t, 256, scheduler.Config{})
+	lis, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := NewServer(lis, sched, 0, WithLogf(t.Logf))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	conn, err := Dial(context.Background(), srv.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+
+	k0, _ := genPair(t, db.PadToPowerOfTwo().Domain(), 42)
+	resCh := make(chan error, 1)
+	go func() {
+		_, err := conn.Query(context.Background(), k0)
+		resCh <- err
+	}()
+	time.Sleep(30 * time.Millisecond) // let the query reach the server
+
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(ctx); err != nil {
+		t.Fatalf("Shutdown: %v", err)
+	}
+	select {
+	case err := <-resCh:
+		if err != nil {
+			t.Fatalf("in-flight query failed during graceful shutdown: %v", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("in-flight query still pending after Shutdown returned")
+	}
+	if _, err := Dial(context.Background(), srv.Addr().String()); err == nil {
+		t.Fatal("Dial succeeded after Shutdown")
 	}
 }

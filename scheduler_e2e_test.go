@@ -1,0 +1,312 @@
+package impir
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"testing"
+	"time"
+
+	"github.com/impir/impir/internal/bitvec"
+	"github.com/impir/impir/internal/cpupir"
+	"github.com/impir/impir/internal/database"
+	"github.com/impir/impir/internal/scheduler"
+	"github.com/impir/impir/internal/transport"
+)
+
+// startShimDeployment serves db through a shimEngine behind a scheduler
+// with the given config, over loopback TCP, and returns the address plus
+// the scheduler for stats inspection.
+func startShimDeployment(t *testing.T, db *database.DB, delay time.Duration,
+	cfg scheduler.Config) (string, *scheduler.Scheduler) {
+	t.Helper()
+	eng, err := cpupir.New(cpupir.Config{Threads: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.LoadDatabase(db); err != nil {
+		t.Fatal(err)
+	}
+	sched := scheduler.New(&shimEngine{Engine: eng, delay: delay}, cfg)
+	t.Cleanup(func() { sched.Close() })
+	lis, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := transport.NewServer(lis, sched, 0, transport.WithLogf(t.Logf))
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { srv.Close() })
+	return srv.Addr().String(), sched
+}
+
+// runConcurrentClients opens one TCP connection per client and has each
+// issue `queries` sequential single queries; it returns the makespan.
+func runConcurrentClients(t *testing.T, addr string, db *database.DB, clients, queries int) time.Duration {
+	t.Helper()
+	ctx := context.Background()
+	conns := make([]*transport.Conn, clients)
+	for i := range conns {
+		conn, err := transport.Dial(ctx, addr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { conn.Close() })
+		conns[i] = conn
+	}
+
+	errs := make([]error, clients)
+	start := time.Now()
+	var wg sync.WaitGroup
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			for q := 0; q < queries; q++ {
+				idx := uint64((c*queries + q) % db.NumRecords())
+				k0, _, err := GenerateKeys(db.NumRecords(), idx)
+				if err != nil {
+					errs[c] = err
+					return
+				}
+				if _, err := conns[c].Query(ctx, k0); err != nil {
+					errs[c] = fmt.Errorf("client %d query %d: %w", c, q, err)
+					return
+				}
+			}
+		}(c)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	for _, err := range errs {
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	return elapsed
+}
+
+// TestCoalescingBeatsSerialOverTCP is the acceptance-criterion
+// throughput test: K concurrent single-query clients against one server
+// complete measurably faster with a coalescing window than with the
+// window set to zero. The shim engine charges a fixed cost per solo
+// query pass, so without coalescing K clients pay K serial passes, while
+// the coalescing window folds concurrent queries into shared batch
+// passes.
+func TestCoalescingBeatsSerialOverTCP(t *testing.T) {
+	db, err := GenerateHashDB(256, 17)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const (
+		clients = 8
+		queries = 4
+		delay   = 25 * time.Millisecond
+	)
+
+	serialAddr, serialSched := startShimDeployment(t, db, delay, scheduler.Config{})
+	serialTime := runConcurrentClients(t, serialAddr, db, clients, queries)
+	if stats := serialSched.Stats(); stats.CoalescedQueries != 0 {
+		t.Fatalf("window=0 server coalesced queries: %+v", stats)
+	}
+
+	coalAddr, coalSched := startShimDeployment(t, db, delay,
+		scheduler.Config{CoalesceWindow: 10 * time.Millisecond})
+	coalescedTime := runConcurrentClients(t, coalAddr, db, clients, queries)
+	stats := coalSched.Stats()
+	if stats.CoalescedQueries == 0 {
+		t.Fatalf("coalescing server merged nothing under %d concurrent clients: %+v", clients, stats)
+	}
+
+	t.Logf("serial: %v, coalesced: %v (%.1f queries/pass, avg wait %v)",
+		serialTime, coalescedTime, stats.AvgCoalesce(), stats.AvgWait())
+	// Serial is ≥ clients*queries*delay ≈ 800ms; coalesced folds each
+	// concurrent wave into few passes. 2× is a conservative margin for a
+	// loaded CI machine.
+	if coalescedTime >= serialTime/2 {
+		t.Fatalf("coalescing did not pay: serial %v vs coalesced %v", serialTime, coalescedTime)
+	}
+}
+
+// TestUpdateUnderConcurrentQueryLoad is the §3.3-meets-scheduler torn
+// read test: many goroutines continuously read one record over TCP (via
+// one-hot selector shares, so a single server returns the record in one
+// pass) while Update concurrently flips that record between two full
+// patterns. Every observed value must be entirely the old or entirely
+// the new pattern — never a mix.
+func TestUpdateUnderConcurrentQueryLoad(t *testing.T) {
+	db, err := GenerateHashDB(256, 23)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := NewServer(ServerConfig{
+		Engine: EnginePIM, DPUs: 8, Tasklets: 4, EvalWorkers: 2,
+		QueueDepth: 1024, CoalesceWindow: time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { srv.Close() })
+	if err := srv.Load(db); err != nil {
+		t.Fatal(err)
+	}
+	lis, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := srv.Serve(lis, 0); err != nil {
+		t.Fatal(err)
+	}
+
+	const (
+		target  = 42
+		readers = 8
+	)
+	recordSize := srv.Database().RecordSize()
+	patA := bytes.Repeat([]byte{0xAA}, recordSize)
+	patB := bytes.Repeat([]byte{0xBB}, recordSize)
+	if err := srv.Update(map[int][]byte{target: patA}); err != nil {
+		t.Fatal(err)
+	}
+
+	onehot := bitvec.New(srv.Database().NumRecords())
+	onehot.Set(target)
+
+	ctx := context.Background()
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	var torn [][]byte
+	for r := 0; r < readers; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			conn, err := transport.Dial(ctx, lis.Addr().String())
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			defer conn.Close()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				rec, err := conn.QueryShare(ctx, onehot)
+				if errors.Is(err, ErrServerBusy) {
+					continue
+				}
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				if !bytes.Equal(rec, patA) && !bytes.Equal(rec, patB) {
+					mu.Lock()
+					torn = append(torn, rec)
+					mu.Unlock()
+				}
+			}
+		}()
+	}
+
+	// Wait until queries are actually flowing, then hammer updates while
+	// the readers run: A→B→A→…, pacing so queries interleave with them.
+	for deadline := time.Now().Add(10 * time.Second); srv.QueueStats().Dispatched == 0; {
+		if time.Now().After(deadline) {
+			t.Fatal("readers never got a query through")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	for i := 0; i < 20; i++ {
+		pat := patA
+		if i%2 == 0 {
+			pat = patB
+		}
+		if err := srv.Update(map[int][]byte{target: pat}); err != nil {
+			t.Fatalf("update %d under query load: %v", i, err)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	close(stop)
+	wg.Wait()
+
+	if len(torn) > 0 {
+		t.Fatalf("%d torn reads; first: %x", len(torn), torn[0][:8])
+	}
+	stats := srv.QueueStats()
+	if stats.Updates != 21 || stats.Epoch != 21 {
+		t.Errorf("updates=%d epoch=%d, want 21", stats.Updates, stats.Epoch)
+	}
+	if stats.Dispatched == 0 {
+		t.Error("no queries dispatched during the update storm")
+	}
+}
+
+// TestQueueFullReturnsBusyOverTCP: with a 1-deep queue and a slow
+// engine, extra concurrent clients must bounce with ErrServerBusy
+// promptly instead of queueing behind the TCP accept loop.
+func TestQueueFullReturnsBusyOverTCP(t *testing.T) {
+	db, err := GenerateHashDB(128, 29)
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr, _ := startShimDeployment(t, db, 400*time.Millisecond, scheduler.Config{QueueDepth: 1})
+
+	const clients = 6
+	ctx := context.Background()
+	type outcome struct {
+		err     error
+		elapsed time.Duration
+	}
+	outcomes := make([]outcome, clients)
+	var wg sync.WaitGroup
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			conn, err := transport.Dial(ctx, addr)
+			if err != nil {
+				outcomes[c].err = err
+				return
+			}
+			defer conn.Close()
+			k0, _, err := GenerateKeys(db.NumRecords(), uint64(c))
+			if err != nil {
+				outcomes[c].err = err
+				return
+			}
+			start := time.Now()
+			_, err = conn.Query(ctx, k0)
+			outcomes[c] = outcome{err: err, elapsed: time.Since(start)}
+		}(c)
+	}
+	wg.Wait()
+
+	var busy, ok int
+	for c, o := range outcomes {
+		switch {
+		case o.err == nil:
+			ok++
+		case errors.Is(o.err, ErrServerBusy):
+			busy++
+			// A busy rejection must not wait for the slow engine pass.
+			if o.elapsed >= 400*time.Millisecond {
+				t.Errorf("client %d: busy rejection took %v — it queued", c, o.elapsed)
+			}
+		default:
+			t.Errorf("client %d: unexpected error %v", c, o.err)
+		}
+	}
+	if busy == 0 {
+		t.Fatalf("no client was rejected busy (%d ok) despite a 1-deep queue", ok)
+	}
+	if ok == 0 {
+		t.Fatal("every client was rejected — the queue admitted nothing")
+	}
+	t.Logf("%d served, %d busy", ok, busy)
+}

@@ -72,6 +72,17 @@ run_benchmarks() {
     echo ""
 
     go test "${PACKAGE}" "${args[@]}"
+
+    # Request-scheduler queue metrics (admission depth, queue wait,
+    # coalesced pass size, busy rejections) — reported as custom benchmark
+    # metrics so the serial-vs-coalesced trajectory is tracked per PR.
+    # Skipped when the caller already targeted the scheduler package.
+    if [[ "${PACKAGE}" != *internal/scheduler* ]]; then
+        echo ""
+        echo "--- Scheduler queue metrics (serial vs coalesced) ---"
+        go test ./internal/scheduler -run='^$' -bench='BenchmarkScheduler' \
+            -benchtime="${BENCHTIME}" -count="${COUNT}"
+    fi
 }
 
 if [[ -n "$OUTPUT" ]]; then

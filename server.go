@@ -5,15 +5,15 @@ import (
 	"errors"
 	"fmt"
 	"net"
+	"time"
 
-	"github.com/impir/impir/internal/bitvec"
 	"github.com/impir/impir/internal/cpupir"
 	"github.com/impir/impir/internal/database"
-	"github.com/impir/impir/internal/dpf"
 	"github.com/impir/impir/internal/gpupir"
 	"github.com/impir/impir/internal/impir"
 	"github.com/impir/impir/internal/metrics"
 	"github.com/impir/impir/internal/pim"
+	"github.com/impir/impir/internal/scheduler"
 	"github.com/impir/impir/internal/transport"
 )
 
@@ -59,7 +59,8 @@ func ParseEngineKind(s string) (EngineKind, error) {
 
 // ServerConfig configures one PIR server. The zero value is the paper's
 // IM-PIR evaluation setup: 2048 DPUs at 350 MHz, 16 tasklets, a single
-// cluster, subtree-parallel host evaluation.
+// cluster, subtree-parallel host evaluation, a 256-deep request queue,
+// and no cross-client coalescing.
 type ServerConfig struct {
 	// Engine selects the compute plane; zero value means EnginePIM.
 	Engine EngineKind
@@ -76,44 +77,73 @@ type ServerConfig struct {
 	EvalWorkers int
 	// Threads is the CPU engine's worker count (CPU engine only; 0 = 32).
 	Threads int
+	// QueueDepth bounds the request scheduler's admission queue; requests
+	// beyond it are rejected with ErrServerBusy (a MsgBusy frame on the
+	// wire) instead of queueing without bound. 0 means 256.
+	QueueDepth int
+	// CoalesceWindow is how long the scheduler holds a single query to
+	// gather concurrent single queries — across client connections — into
+	// one §3.4 batch pipeline pass. 0 disables coalescing.
+	CoalesceWindow time.Duration
+	// MaxCoalesce caps how many single queries one coalesced pass serves.
+	// 0 means 64.
+	MaxCoalesce int
 }
 
-// engine abstracts the three compute planes.
+// engine abstracts the three compute planes: the scheduler-facing query
+// surface plus lifecycle.
 type engine interface {
-	Name() string
-	Database() *database.DB
+	scheduler.Engine
 	LoadDatabase(*database.DB) error
-	Query(*dpf.Key) ([]byte, metrics.Breakdown, error)
-	QueryBatch([]*dpf.Key) ([][]byte, metrics.BatchStats, error)
-	QueryShare(*bitvec.Vector) ([]byte, metrics.Breakdown, error)
-	// ApplyUpdates applies a §3.3 bulk record update to the loaded
-	// replica (every engine supports it, so Server.Update needs no
-	// per-engine dispatch).
-	ApplyUpdates(updates map[int][]byte) error
 	Close() error
 }
 
-// Statically ensure the engines satisfy both the local interface and the
-// transport-facing one.
+// Statically ensure the engines satisfy the scheduler's interface and
+// the scheduler satisfies the transport's.
 var (
-	_ engine           = (*impir.Engine)(nil)
-	_ engine           = (*cpupir.Engine)(nil)
-	_ engine           = (*gpupir.Engine)(nil)
-	_ transport.Engine = (*impir.Engine)(nil)
-	_ transport.Engine = (*cpupir.Engine)(nil)
-	_ transport.Engine = (*gpupir.Engine)(nil)
+	_ engine               = (*impir.Engine)(nil)
+	_ engine               = (*cpupir.Engine)(nil)
+	_ engine               = (*gpupir.Engine)(nil)
+	_ transport.Dispatcher = (*scheduler.Scheduler)(nil)
 )
 
-// Server is one PIR server: an engine plus an optional network listener.
-// In a two-server deployment, run two Servers on independent machines
-// with byte-identical databases.
+// ErrServerBusy reports a server whose admission queue was full: the
+// request was rejected without an engine pass. Retry after a backoff.
+// Returned by Answer/AnswerBatch/AnswerShare locally and by Client
+// retrievals when a remote server responds with a MsgBusy frame.
+var ErrServerBusy = transport.ErrServerBusy
+
+// Server is one PIR server: an engine behind a request scheduler, plus
+// an optional network listener. In a two-server deployment, run two
+// Servers on independent machines with byte-identical databases.
+//
+// All request paths — local Answer* calls and the TCP transport — go
+// through the scheduler, which bounds the admission queue, coalesces
+// concurrent single queries from different clients into batch passes,
+// and quiesces in-flight queries around Update.
 type Server struct {
-	eng engine
-	srv *transport.Server
+	eng   engine
+	sched *scheduler.Scheduler
+	srv   *transport.Server
 }
 
-// NewServer builds a server with the configured engine.
+// NewServer builds a server with the configured engine behind a request
+// scheduler.
 func NewServer(cfg ServerConfig) (*Server, error) {
+	eng, err := newEngine(cfg)
+	if err != nil {
+		return nil, err
+	}
+	sched := scheduler.New(eng, scheduler.Config{
+		QueueDepth:     cfg.QueueDepth,
+		CoalesceWindow: cfg.CoalesceWindow,
+		MaxCoalesce:    cfg.MaxCoalesce,
+	})
+	return &Server{eng: eng, sched: sched}, nil
+}
+
+// newEngine builds the configured compute plane.
+func newEngine(cfg ServerConfig) (engine, error) {
 	kind := cfg.Engine
 	if kind == 0 {
 		kind = EnginePIM
@@ -138,23 +168,11 @@ func NewServer(cfg ServerConfig) (*Server, error) {
 		if cfg.EvalWorkers != 0 {
 			ecfg.EvalWorkers = cfg.EvalWorkers
 		}
-		eng, err := impir.New(ecfg)
-		if err != nil {
-			return nil, err
-		}
-		return &Server{eng: eng}, nil
+		return impir.New(ecfg)
 	case EngineCPU:
-		eng, err := cpupir.New(cpupir.Config{Threads: cfg.Threads})
-		if err != nil {
-			return nil, err
-		}
-		return &Server{eng: eng}, nil
+		return cpupir.New(cpupir.Config{Threads: cfg.Threads})
 	case EngineGPU:
-		eng, err := gpupir.New(gpupir.Config{})
-		if err != nil {
-			return nil, err
-		}
-		return &Server{eng: eng}, nil
+		return gpupir.New(gpupir.Config{})
 	default:
 		return nil, fmt.Errorf("impir: unknown engine kind %d", kind)
 	}
@@ -184,41 +202,51 @@ func (s *Server) EngineName() string { return s.eng.Name() }
 // Database returns the loaded (power-of-two padded) database, or nil.
 func (s *Server) Database() *DB { return s.eng.Database() }
 
-// Answer processes one query key and returns this server's subresult and
-// the phase breakdown. The subresult alone reveals nothing; the client
-// reconstructs the record from both servers' subresults. Cancellation is
-// cooperative at query granularity: a context cancelled before the call
-// aborts it, one cancelled mid-scan does not.
+// Answer processes one query key through the scheduler and returns this
+// server's subresult and the phase breakdown. The subresult alone
+// reveals nothing; the client reconstructs the record from both servers'
+// subresults. A context cancelled while the request waits in the
+// admission queue dequeues it without an engine pass; one cancelled
+// mid-pass does not abort the pass. When the server has a coalescing
+// window, concurrent Answer calls may be served by one shared batch
+// pipeline pass (§3.4); the returned breakdown is then the pass's
+// per-query average.
 func (s *Server) Answer(ctx context.Context, key *Key) ([]byte, Breakdown, error) {
-	if err := ctx.Err(); err != nil {
-		return nil, Breakdown{}, err
-	}
-	return s.eng.Query(key)
+	return s.sched.Query(ctx, key)
 }
 
 // AnswerBatch processes a batch of keys through the engine's batch
 // pipeline (§3.4) and reports throughput statistics. Cancellation is
-// cooperative at batch granularity.
+// cooperative at batch granularity: cancelled while queued dequeues the
+// batch, cancelled mid-pass does not abort it.
 func (s *Server) AnswerBatch(ctx context.Context, keys []*Key) ([][]byte, BatchStats, error) {
-	if err := ctx.Err(); err != nil {
-		return nil, BatchStats{}, err
-	}
-	return s.eng.QueryBatch(keys)
+	return s.sched.QueryBatch(ctx, keys)
 }
 
 // Update applies a bulk record update to the loaded database replica
-// during an idle window (§3.3 of the paper): updates maps record index to
-// its new contents (exactly RecordSize bytes each). For the PIM engine
-// this rewrites the affected DPU MRAM chunks on every cluster. Callers
-// must update every server of a deployment identically, and must not run
-// updates concurrently with queries on the same server.
+// (§3.3 of the paper): updates maps record index to its new contents
+// (exactly RecordSize bytes each). For the PIM engine this rewrites the
+// affected DPU MRAM chunks on every cluster. Callers must update every
+// server of a deployment identically.
+//
+// Update is safe to call while queries are in flight: the scheduler
+// quiesces — it drains the executing engine pass, applies the update
+// atomically, bumps the database epoch, and resumes — so no query ever
+// observes a half-applied update. Concurrent updates serialise.
 //
 // Update deliberately takes no context: an update interrupted part-way
 // would leave this replica diverged from its peers, which a digest check
 // only catches at the next connect. It is atomic per server — validate
 // everything, then apply.
 func (s *Server) Update(updates map[int][]byte) error {
-	return s.eng.ApplyUpdates(updates)
+	return s.sched.Update(updates)
+}
+
+// QueueStats snapshots the request scheduler's admission and coalescing
+// counters — queue depth, waits, coalesced pass sizes, busy rejections,
+// and the database update epoch.
+func (s *Server) QueueStats() metrics.SchedulerStats {
+	return s.sched.Stats()
 }
 
 // Serve exposes the server over a TCP listener using the IM-PIR wire
@@ -228,12 +256,32 @@ func (s *Server) Serve(lis net.Listener, party uint8) error {
 	if s.srv != nil {
 		return errors.New("impir: server already serving")
 	}
-	srv, err := transport.NewServer(lis, s.eng, party)
+	srv, err := transport.NewServer(lis, s.sched, party)
 	if err != nil {
 		return err
 	}
 	s.srv = srv
 	return nil
+}
+
+// Shutdown stops the server gracefully: the listener stops accepting,
+// requests already admitted (queued or executing) complete and have
+// their responses written, then connections close and the engine is
+// released. ctx bounds the drain; on expiry remaining work is abandoned.
+func (s *Server) Shutdown(ctx context.Context) error {
+	var err error
+	if s.srv != nil {
+		err = s.srv.Shutdown(ctx)
+		s.srv = nil
+	}
+	if derr := s.sched.Drain(ctx); err == nil {
+		err = derr
+	}
+	s.sched.Close()
+	if cerr := s.eng.Close(); err == nil {
+		err = cerr
+	}
+	return err
 }
 
 // Addr returns the listening address, or nil when not serving.
@@ -244,13 +292,16 @@ func (s *Server) Addr() net.Addr {
 	return s.srv.Addr()
 }
 
-// Close stops the network listener (if any) and releases the engine.
+// Close stops the network listener (if any), the scheduler, and the
+// engine immediately. Queued requests fail; use Shutdown to drain them
+// first.
 func (s *Server) Close() error {
 	var err error
 	if s.srv != nil {
 		err = s.srv.Close()
 		s.srv = nil
 	}
+	s.sched.Close()
 	if cerr := s.eng.Close(); err == nil {
 		err = cerr
 	}

@@ -74,31 +74,33 @@ func TestThreeServerDeploymentOverTCP(t *testing.T) {
 		addrs[i] = srv.Addr().String()
 	}
 
-	sess, err := ConnectMulti(addrs...)
+	ctx := context.Background()
+	cli, err := Dial(ctx, addrs)
 	if err != nil {
 		t.Fatal(err)
 	}
-	defer sess.Close()
-	if sess.Servers() != 3 {
-		t.Fatalf("Servers() = %d", sess.Servers())
+	defer cli.Close()
+	if cli.Servers() != 3 {
+		t.Fatalf("Servers() = %d", cli.Servers())
 	}
 
 	for _, idx := range []uint64{0, 350, 699} {
-		rec, err := sess.Retrieve(idx)
+		rec, err := cli.Retrieve(ctx, idx)
 		if err != nil {
 			t.Fatalf("Retrieve(%d): %v", idx, err)
 		}
 		if !bytes.Equal(rec, db.Record(int(idx))) {
-			t.Fatalf("index %d: wrong record via 3-server session", idx)
+			t.Fatalf("index %d: wrong record via 3-server client", idx)
 		}
 	}
-	if _, err := sess.Retrieve(1 << 30); err == nil {
+	if _, err := cli.Retrieve(ctx, 1<<30); err == nil {
 		t.Error("out-of-range retrieve accepted")
 	}
 }
 
-func TestConnectMultiValidation(t *testing.T) {
-	if _, err := ConnectMulti("127.0.0.1:1"); err == nil {
+func TestDialMultiServerValidation(t *testing.T) {
+	ctx := context.Background()
+	if _, err := Dial(ctx, []string{"127.0.0.1:1"}); err == nil {
 		t.Error("single server accepted")
 	}
 	// Mismatched replicas across three servers must be rejected.
@@ -121,7 +123,7 @@ func TestConnectMultiValidation(t *testing.T) {
 		}
 		addrs[i] = srv.Addr().String()
 	}
-	if _, err := ConnectMulti(addrs...); err == nil {
+	if _, err := Dial(ctx, addrs); err == nil {
 		t.Fatal("mismatched 3-server replicas accepted")
 	}
 }

@@ -64,7 +64,7 @@ func TestUpdateValidationThroughPublicAPI(t *testing.T) {
 }
 
 // TestUpdateDesynchronisedReplicasDetected: if only one server applies an
-// update, reconstruction silently corrupts — which is exactly why Session
+// update, reconstruction silently corrupts — which is exactly why Dial
 // compares digests at connect time. Verify the digests diverge.
 func TestUpdateDesynchronisedReplicasDetected(t *testing.T) {
 	db, _ := GenerateHashDB(128, 1)
