@@ -46,6 +46,7 @@ func BenchmarkFig12aEngineThroughput(b *testing.B) {
 	benchmarkFigure(b, bench.Fig12a)
 }
 func BenchmarkFig12bEngineLatency(b *testing.B) { benchmarkFigure(b, bench.Fig12b) }
+func BenchmarkShardScaling(b *testing.B)        { benchmarkFigure(b, bench.ShardScaling) }
 
 // --- Functional end-to-end benchmarks on scaled databases ---
 

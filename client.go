@@ -5,6 +5,7 @@ import (
 	"crypto/tls"
 	"errors"
 	"fmt"
+	"sync"
 
 	"github.com/impir/impir/internal/fanout"
 	"github.com/impir/impir/internal/transport"
@@ -24,16 +25,25 @@ import (
 // not be mistaken for a record.
 //
 // A Client may be shared by concurrent goroutines; overlapping
-// retrievals are serialised per server connection. Note that a query
-// abandoned mid-flight — by context cancellation, or because another
-// server's failure cancelled the fan-out — poisons the underlying
-// connection (the wire protocol has no cancellation frame), so after a
-// failed or cancelled retrieval the Client must be discarded.
+// retrievals are serialised per server connection. A query abandoned
+// mid-flight — by context cancellation, or because another server's
+// failure cancelled the fan-out — poisons the underlying connection (the
+// wire protocol has no cancellation frame), but the Client heals itself:
+// the next call transparently redials poisoned connections before
+// fanning out, so a failed or cancelled retrieval does not require
+// discarding the Client. A redialed connection is validated against the
+// geometry learned at Dial time; the full cross-replica digest check
+// runs only at Dial (replica contents may legitimately change between
+// redials via Update).
 type Client struct {
-	conns      []*transport.Conn
+	addrs      []string
+	tlsCfg     *tls.Config
 	coder      queryCoder
 	geom       geometry
 	recordSize int
+
+	mu    sync.Mutex // guards conns replacement on redial
+	conns []*transport.Conn
 }
 
 type clientConfig struct {
@@ -99,7 +109,7 @@ func Dial(ctx context.Context, addrs []string, opts ...ClientOption) (*Client, e
 		})
 	}
 	err = g.Wait()
-	c := &Client{conns: conns, coder: coder}
+	c := &Client{addrs: addrs, tlsCfg: cfg.tlsCfg, conns: conns, coder: coder}
 	if err == nil {
 		err = c.validate()
 	}
@@ -133,8 +143,98 @@ func (c *Client) validate() error {
 	return nil
 }
 
+// dialServer (re)establishes the connection to server i under the
+// Client's dial options.
+func (c *Client) dialServer(ctx context.Context, i int) (*transport.Conn, error) {
+	if c.tlsCfg != nil {
+		return transport.DialTLS(ctx, c.addrs[i], c.tlsCfg)
+	}
+	return transport.Dial(ctx, c.addrs[i])
+}
+
+// liveConns returns a usable connection per server, transparently
+// redialing any connection a previously abandoned exchange poisoned. A
+// fresh connection must present the geometry learned at Dial time; the
+// digest is deliberately not re-checked (Update legitimately changes it
+// between redials — replica agreement is cross-checked at Dial).
+//
+// Dialing happens outside the Client mutex: a slow or unreachable
+// server stalls only the retrieval that needs it, never concurrent
+// retrievals over healthy connections and never Close.
+func (c *Client) liveConns(ctx context.Context) ([]*transport.Conn, error) {
+	c.mu.Lock()
+	if c.conns == nil {
+		c.mu.Unlock()
+		return nil, errors.New("impir: client is closed")
+	}
+	snapshot := make([]*transport.Conn, len(c.conns))
+	copy(snapshot, c.conns)
+	c.mu.Unlock()
+
+	var broken []int
+	for i, conn := range snapshot {
+		if conn == nil || conn.Broken() {
+			broken = append(broken, i)
+		}
+	}
+	if len(broken) == 0 {
+		return snapshot, nil
+	}
+
+	fresh := make([]*transport.Conn, len(snapshot))
+	g, gctx := fanout.WithContext(ctx)
+	for _, i := range broken {
+		g.Go(func() error {
+			conn, err := c.dialServer(gctx, i)
+			if err != nil {
+				return fmt.Errorf("impir: redial server %d: %w", i, err)
+			}
+			info := conn.Info()
+			if info.NumRecords != c.geom.numRecords || int(info.Domain) != c.geom.domain ||
+				int(info.RecordSize) != c.recordSize {
+				conn.Close()
+				return fmt.Errorf("impir: redialed server %d presents a different database geometry", i)
+			}
+			fresh[i] = conn
+			return nil
+		})
+	}
+	err := g.Wait()
+
+	c.mu.Lock()
+	closed := c.conns == nil
+	if err != nil || closed {
+		c.mu.Unlock()
+		for _, conn := range fresh {
+			if conn != nil {
+				conn.Close()
+			}
+		}
+		if closed {
+			return nil, errors.New("impir: client is closed")
+		}
+		return nil, err
+	}
+	for _, i := range broken {
+		// A concurrent liveConns may have healed this slot while we
+		// dialed; keep the existing healthy connection and drop ours.
+		if cur := c.conns[i]; cur != nil && !cur.Broken() {
+			fresh[i].Close()
+			continue
+		}
+		if c.conns[i] != nil {
+			c.conns[i].Close()
+		}
+		c.conns[i] = fresh[i]
+	}
+	out := make([]*transport.Conn, len(c.conns))
+	copy(out, c.conns)
+	c.mu.Unlock()
+	return out, nil
+}
+
 // Servers returns the number of connected servers.
-func (c *Client) Servers() int { return len(c.conns) }
+func (c *Client) Servers() int { return len(c.addrs) }
 
 // NumRecords returns the (power-of-two padded) record count of the
 // deployment.
@@ -153,7 +253,7 @@ func (c *Client) Retrieve(ctx context.Context, index uint64) ([]byte, error) {
 	if index >= c.geom.numRecords {
 		return nil, fmt.Errorf("impir: index %d outside database of %d records", index, c.geom.numRecords)
 	}
-	queries, err := c.coder.encode(c.geom, len(c.conns), index)
+	queries, err := c.coder.encode(c.geom, c.Servers(), index)
 	if err != nil {
 		return nil, err
 	}
@@ -179,7 +279,7 @@ func (c *Client) RetrieveBatch(ctx context.Context, indices []uint64) ([][]byte,
 			return nil, fmt.Errorf("impir: index %d outside database of %d records", idx, c.geom.numRecords)
 		}
 	}
-	queries, err := c.coder.encodeBatch(c.geom, len(c.conns), indices)
+	queries, err := c.coder.encodeBatch(c.geom, c.Servers(), indices)
 	if err != nil {
 		return nil, err
 	}
@@ -208,13 +308,18 @@ func (c *Client) RetrieveBatch(ctx context.Context, indices []uint64) ([][]byte,
 // fanOut issues one pre-encoded query per server, all concurrently, and
 // collects every server's subresults. The first failure cancels the
 // remaining queries and fails the whole retrieval — a lone subresult is
-// never returned.
+// never returned. Connections poisoned by an earlier abandoned exchange
+// are transparently redialed first.
 func (c *Client) fanOut(ctx context.Context, queries []serverQuery) ([][][]byte, error) {
-	subresults := make([][][]byte, len(c.conns))
+	conns, err := c.liveConns(ctx)
+	if err != nil {
+		return nil, err
+	}
+	subresults := make([][][]byte, len(conns))
 	g, gctx := fanout.WithContext(ctx)
-	for i := range c.conns {
+	for i := range conns {
 		g.Go(func() error {
-			rs, err := queries[i].do(gctx, c.conns[i])
+			rs, err := queries[i].do(gctx, conns[i])
 			if err != nil {
 				return fmt.Errorf("impir: server %d: %w", i, err)
 			}
@@ -228,8 +333,59 @@ func (c *Client) fanOut(ctx context.Context, queries []serverQuery) ([][][]byte,
 	return subresults, nil
 }
 
-// Close closes every server connection.
+// Update pushes a §3.3 bulk record update to every server of the
+// deployment: updates maps record index to its new contents (exactly
+// RecordSize bytes each). Updates are an operator/owner action, not a
+// private query — servers learn which records changed, by design — and
+// each server applies the set atomically under its scheduler's epoch
+// quiescing, so concurrent Retrieve calls never observe a torn update.
+// Servers reject wire updates unless started with
+// ServerConfig.AllowWireUpdates; see that field for the threat model.
+//
+// All servers are updated concurrently and the first failure cancels the
+// rest, which can leave replicas diverged (some updated, some not). The
+// caller must then retry the same update until it succeeds everywhere —
+// the per-server application is idempotent — or tear the deployment
+// down; a divergence is also caught by the digest cross-check at the
+// next Dial.
+func (c *Client) Update(ctx context.Context, updates map[uint64][]byte) error {
+	if len(updates) == 0 {
+		return errors.New("impir: empty update set")
+	}
+	wire := make(map[int][]byte, len(updates))
+	for idx, rec := range updates {
+		if idx >= c.geom.numRecords {
+			return fmt.Errorf("impir: update index %d outside database of %d records", idx, c.geom.numRecords)
+		}
+		if len(rec) != c.recordSize {
+			return fmt.Errorf("impir: update for record %d has %d bytes, want the record size %d",
+				idx, len(rec), c.recordSize)
+		}
+		// Safe narrowing: server databases are int-indexed, so the
+		// handshake's record count — which idx is below — fits an int.
+		wire[int(idx)] = rec
+	}
+	conns, err := c.liveConns(ctx)
+	if err != nil {
+		return err
+	}
+	g, gctx := fanout.WithContext(ctx)
+	for i := range conns {
+		g.Go(func() error {
+			if err := conns[i].Update(gctx, wire); err != nil {
+				return fmt.Errorf("impir: update server %d: %w", i, err)
+			}
+			return nil
+		})
+	}
+	return g.Wait()
+}
+
+// Close closes every server connection. A closed Client stays closed:
+// later calls fail rather than redial.
 func (c *Client) Close() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
 	var err error
 	for _, conn := range c.conns {
 		if conn != nil {
@@ -238,5 +394,6 @@ func (c *Client) Close() error {
 			}
 		}
 	}
+	c.conns = nil
 	return err
 }

@@ -1,0 +1,302 @@
+package impir
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/bits"
+	"sync"
+	"time"
+
+	"github.com/impir/impir/internal/cluster"
+	"github.com/impir/impir/internal/fanout"
+	"github.com/impir/impir/internal/metrics"
+)
+
+// Sharded deployments: the topology, planning, and database-carving
+// layer lives in internal/cluster; the root package re-exports it here
+// together with ClusterClient, the network client that drives a sharded
+// deployment.
+
+// ShardManifest describes a sharded deployment's topology: contiguous
+// row-range shards, each served by a cohort of ≥ 2 non-colluding
+// replicas. Manifests round-trip through JSON (ParseManifest /
+// LoadManifest / ShardManifest.JSON) for command-line flags and config
+// files.
+type ShardManifest = cluster.Manifest
+
+// ClusterShard is one row-range shard of a ShardManifest.
+type ClusterShard = cluster.Shard
+
+// ClusterStats is a snapshot of a ClusterClient's per-shard counters.
+type ClusterStats = metrics.ClusterStats
+
+// ParseManifest decodes and validates a JSON shard manifest.
+func ParseManifest(data []byte) (ShardManifest, error) { return cluster.Parse(data) }
+
+// LoadManifest reads and validates a JSON shard manifest file.
+func LoadManifest(path string) (ShardManifest, error) { return cluster.Load(path) }
+
+// UniformManifest builds a manifest splitting numRecords records of
+// recordSize bytes across len(cohorts) shards with sizes differing by
+// at most one (ragged last shard when the division is uneven).
+func UniformManifest(numRecords uint64, recordSize int, cohorts [][]string) (ShardManifest, error) {
+	return cluster.Uniform(numRecords, recordSize, cohorts)
+}
+
+// SplitDB carves a database into shards contiguous row-range replicas
+// (sizes differ by at most one; ragged last shard when N % shards != 0).
+// Load each returned database into every replica of the matching
+// cohort.
+func SplitDB(db *DB, shards int) ([]*DB, error) { return cluster.SplitDB(db, shards) }
+
+// SplitDBByManifest carves a database along a manifest's shard ranges.
+func SplitDBByManifest(db *DB, m ShardManifest) ([]*DB, error) {
+	return cluster.SplitByManifest(db, m)
+}
+
+// ClusterClient is a connection to a sharded PIR deployment: one Client
+// per shard cohort. Every logical retrieval fans one sub-query out to
+// EVERY cohort concurrently — the real one to the owning shard,
+// well-formed dummies elsewhere — so retrieval latency is the slowest
+// shard's round trip and no cohort learns which shard owned the record
+// (each sees an ordinary PIR query against its own shard either way).
+//
+// Like Client, a retrieval aborts as a whole when any shard fails or
+// the context is cancelled: sub-results from the remaining shards are
+// discarded, never returned. Connections poisoned by an abandoned
+// exchange are transparently redialed by the underlying per-cohort
+// clients.
+//
+// A ClusterClient may be shared by concurrent goroutines.
+type ClusterClient struct {
+	manifest ShardManifest
+	shards   []*Client
+
+	mu    sync.Mutex
+	stats metrics.ClusterStats
+}
+
+// DialCluster connects to every cohort of a sharded deployment
+// concurrently — each cohort through Dial, with its replica
+// cross-checks — and validates each cohort's database geometry against
+// the manifest. Options (encoding, TLS) apply to every cohort.
+func DialCluster(ctx context.Context, m ShardManifest, opts ...ClientOption) (*ClusterClient, error) {
+	if err := m.Validate(); err != nil {
+		return nil, err
+	}
+	shards := make([]*Client, len(m.Shards))
+	g, gctx := fanout.WithContext(ctx)
+	for i, shard := range m.Shards {
+		g.Go(func() error {
+			cli, err := Dial(gctx, shard.Replicas, opts...)
+			if err != nil {
+				return fmt.Errorf("impir: shard %d: %w", i, err)
+			}
+			shards[i] = cli
+			return nil
+		})
+	}
+	err := g.Wait()
+	c := &ClusterClient{manifest: m, shards: shards}
+	c.stats.Shards = make([]metrics.ShardStats, len(m.Shards))
+	if err == nil {
+		err = c.validateShards()
+	}
+	if err != nil {
+		c.Close()
+		return nil, err
+	}
+	return c, nil
+}
+
+// validateShards checks every cohort's handshake geometry against the
+// manifest: the agreed record size, and a record count equal to the
+// shard's range padded to the next power of two (the padding servers
+// apply before serving).
+func (c *ClusterClient) validateShards() error {
+	for i, cli := range c.shards {
+		shard := c.manifest.Shards[i]
+		if cli.RecordSize() != c.manifest.RecordSize {
+			return fmt.Errorf("impir: shard %d serves %d-byte records, manifest says %d",
+				i, cli.RecordSize(), c.manifest.RecordSize)
+		}
+		if want := nextPow2(shard.NumRecords); cli.NumRecords() != want {
+			return fmt.Errorf("impir: shard %d serves %d records, manifest range of %d pads to %d",
+				i, cli.NumRecords(), shard.NumRecords, want)
+		}
+	}
+	return nil
+}
+
+func nextPow2(n uint64) uint64 {
+	if n <= 1 {
+		return 1
+	}
+	return 1 << bits.Len64(n-1)
+}
+
+// NumRecords returns the total (unpadded) record count of the cluster.
+func (c *ClusterClient) NumRecords() uint64 { return c.manifest.NumRecords() }
+
+// RecordSize returns the record size in bytes.
+func (c *ClusterClient) RecordSize() int { return c.manifest.RecordSize }
+
+// Shards returns the shard count.
+func (c *ClusterClient) Shards() int { return len(c.shards) }
+
+// Manifest returns the deployment topology the client was dialed with.
+func (c *ClusterClient) Manifest() ShardManifest { return c.manifest }
+
+// Retrieve privately fetches the record at a global index: one
+// well-formed sub-query per shard cohort, all concurrent, the owning
+// shard's reconstruction returned. No cohort learns the index — each
+// sees an ordinary PIR query against its own shard — and no cohort
+// learns whether it was the one that mattered.
+func (c *ClusterClient) Retrieve(ctx context.Context, global uint64) ([]byte, error) {
+	plan, err := c.manifest.PlanQuery(global)
+	if err != nil {
+		return nil, err
+	}
+	recs := make([][]byte, len(c.shards))
+	g, gctx := fanout.WithContext(ctx)
+	for s := range c.shards {
+		g.Go(func() error {
+			start := time.Now()
+			rec, err := c.shards[s].Retrieve(gctx, plan.Locals[s])
+			c.record(s, 1, 0, time.Since(start), err)
+			if err != nil {
+				return fmt.Errorf("impir: shard %d: %w", s, err)
+			}
+			recs[s] = rec
+			return nil
+		})
+	}
+	if err := g.Wait(); err != nil {
+		return nil, err
+	}
+	c.bump(func(st *metrics.ClusterStats) { st.Retrievals++ })
+	return recs[plan.Owner], nil
+}
+
+// RetrieveBatch privately fetches several records by global index in
+// one round trip per cohort. Every cohort receives a batch of exactly
+// len(globals) sub-queries — real where it owns the record, dummies
+// elsewhere — so even the batch shape is identical across shards and
+// leaks nothing about how the targets distribute.
+func (c *ClusterClient) RetrieveBatch(ctx context.Context, globals []uint64) ([][]byte, error) {
+	if len(globals) == 0 {
+		return nil, errors.New("impir: empty batch")
+	}
+	plan, err := c.manifest.PlanBatch(globals)
+	if err != nil {
+		return nil, err
+	}
+	perShard := make([][][]byte, len(c.shards))
+	g, gctx := fanout.WithContext(ctx)
+	for s := range c.shards {
+		g.Go(func() error {
+			start := time.Now()
+			recs, err := c.shards[s].RetrieveBatch(gctx, plan.Locals[s])
+			c.record(s, 0, uint64(len(globals)), time.Since(start), err)
+			if err != nil {
+				return fmt.Errorf("impir: shard %d: %w", s, err)
+			}
+			perShard[s] = recs
+			return nil
+		})
+	}
+	if err := g.Wait(); err != nil {
+		return nil, err
+	}
+	out := make([][]byte, len(globals))
+	for i, owner := range plan.Owners {
+		out[i] = perShard[owner][i]
+	}
+	c.bump(func(st *metrics.ClusterStats) { st.BatchRetrievals++ })
+	return out, nil
+}
+
+// Update routes a bulk record update, keyed by global index, to the
+// owning cohorts only: each dirty row travels to exactly the shard that
+// holds it, and each cohort applies its subset atomically under the
+// server-side epoch quiescing, so live retrievals never observe a torn
+// update. Updates are public operator actions — routing them leaks
+// nothing the cohort would not learn by applying them — and servers
+// reject them unless started with ServerConfig.AllowWireUpdates.
+//
+// Cohorts with no dirty rows are not contacted. The affected cohorts
+// update concurrently; the first failure cancels the rest, which can
+// leave cohorts (or replicas within one) diverged — retry the same
+// update until it succeeds everywhere, as with Client.Update.
+func (c *ClusterClient) Update(ctx context.Context, updates map[uint64][]byte) error {
+	routed, err := c.manifest.RouteUpdate(updates)
+	if err != nil {
+		return err
+	}
+	g, gctx := fanout.WithContext(ctx)
+	for s, sub := range routed {
+		g.Go(func() error {
+			err := c.shards[s].Update(gctx, sub)
+			c.bump(func(st *metrics.ClusterStats) {
+				st.Shards[s].UpdateRows += uint64(len(sub))
+				if err != nil {
+					st.Shards[s].Errors++
+				}
+			})
+			if err != nil {
+				return fmt.Errorf("impir: shard %d: %w", s, err)
+			}
+			return nil
+		})
+	}
+	if err := g.Wait(); err != nil {
+		return err
+	}
+	c.bump(func(st *metrics.ClusterStats) { st.Updates++ })
+	return nil
+}
+
+// Stats snapshots the client-side per-shard counters.
+func (c *ClusterClient) Stats() ClusterStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := c.stats
+	out.Shards = append([]metrics.ShardStats(nil), c.stats.Shards...)
+	return out
+}
+
+// record accumulates one round trip's counters for shard s.
+func (c *ClusterClient) record(s int, queries, batchQueries uint64, d time.Duration, err error) {
+	c.bump(func(st *metrics.ClusterStats) {
+		sh := &st.Shards[s]
+		sh.Queries += queries
+		if batchQueries > 0 {
+			sh.Batches++
+			sh.BatchQueries += batchQueries
+		}
+		sh.TotalTime += d
+		if err != nil {
+			sh.Errors++
+		}
+	})
+}
+
+func (c *ClusterClient) bump(f func(*metrics.ClusterStats)) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	f(&c.stats)
+}
+
+// Close closes every cohort's client.
+func (c *ClusterClient) Close() error {
+	var err error
+	for _, cli := range c.shards {
+		if cli != nil {
+			if cerr := cli.Close(); err == nil {
+				err = cerr
+			}
+		}
+	}
+	return err
+}

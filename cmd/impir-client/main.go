@@ -6,6 +6,12 @@
 //	impir-client -servers 127.0.0.1:7100,127.0.0.1:7101 -index 123
 //	impir-client -servers a:7100,b:7100 -index 5,9,1000     # batched
 //	impir-client -servers a:7100,b:7100,c:7100 -index 123   # 3-server shares
+//
+// Against a sharded deployment, pass the cluster manifest instead of
+// -servers; indices are global, and every shard cohort receives a
+// well-formed sub-query so none learns which shard mattered:
+//
+//	impir-client -manifest cluster.json -index 123
 package main
 
 import (
@@ -31,6 +37,8 @@ func run() error {
 	var (
 		servers = flag.String("servers", "127.0.0.1:7100,127.0.0.1:7101",
 			"comma-separated addresses of the non-colluding servers (≥ 2)")
+		manifestPath = flag.String("manifest", "",
+			"cluster manifest JSON for a sharded deployment (replaces -servers)")
 		indexFlag = flag.String("index", "0", "record index (or comma-separated indices) to retrieve")
 		encoding  = flag.String("encoding", "auto",
 			"query encoding: auto, dpf (2 servers), or shares (any n)")
@@ -38,10 +46,6 @@ func run() error {
 	)
 	flag.Parse()
 
-	addrs := parseAddrs(*servers)
-	if len(addrs) < 2 {
-		return fmt.Errorf("need at least two server addresses, got %d", len(addrs))
-	}
 	indices, err := parseIndices(*indexFlag)
 	if err != nil {
 		return err
@@ -54,24 +58,48 @@ func run() error {
 	ctx, cancel := context.WithTimeout(context.Background(), *timeout)
 	defer cancel()
 
-	cli, err := impir.Dial(ctx, addrs, impir.WithEncoding(enc))
-	if err != nil {
-		return err
+	var retriever interface {
+		Retrieve(context.Context, uint64) ([]byte, error)
+		RetrieveBatch(context.Context, []uint64) ([][]byte, error)
 	}
-	defer cli.Close()
-	fmt.Printf("connected to %d servers: %d records × %d bytes, replicas verified, %s encoding\n",
-		cli.Servers(), cli.NumRecords(), cli.RecordSize(), cli.Encoding())
+	if *manifestPath != "" {
+		m, err := impir.LoadManifest(*manifestPath)
+		if err != nil {
+			return err
+		}
+		cc, err := impir.DialCluster(ctx, m, impir.WithEncoding(enc))
+		if err != nil {
+			return err
+		}
+		defer cc.Close()
+		fmt.Printf("connected to %d shard cohorts: %d records × %d bytes, replicas verified per cohort\n",
+			cc.Shards(), cc.NumRecords(), cc.RecordSize())
+		retriever = cc
+	} else {
+		addrs := parseAddrs(*servers)
+		if len(addrs) < 2 {
+			return fmt.Errorf("need at least two server addresses, got %d", len(addrs))
+		}
+		cli, err := impir.Dial(ctx, addrs, impir.WithEncoding(enc))
+		if err != nil {
+			return err
+		}
+		defer cli.Close()
+		fmt.Printf("connected to %d servers: %d records × %d bytes, replicas verified, %s encoding\n",
+			cli.Servers(), cli.NumRecords(), cli.RecordSize(), cli.Encoding())
+		retriever = cli
+	}
 
 	start := time.Now()
 	var records [][]byte
 	if len(indices) == 1 {
-		rec, err := cli.Retrieve(ctx, indices[0])
+		rec, err := retriever.Retrieve(ctx, indices[0])
 		if err != nil {
 			return err
 		}
 		records = [][]byte{rec}
 	} else {
-		records, err = cli.RetrieveBatch(ctx, indices)
+		records, err = retriever.RetrieveBatch(ctx, indices)
 		if err != nil {
 			return err
 		}

@@ -13,6 +13,16 @@
 //
 // Deployments with more than two servers (the naive share encoding) run
 // one impir-server per party with -party 0..n-1.
+//
+// Sharded deployments pass a cluster manifest and a shard index: the
+// server synthesises the full database, carves out its shard's row
+// range, and serves only that slice — one process per (shard, replica):
+//
+//	impir-server -manifest cluster.json -shard 0 -party 0 -listen 127.0.0.1:7100 &
+//	impir-server -manifest cluster.json -shard 0 -party 1 -listen 127.0.0.1:7101 &
+//	impir-server -manifest cluster.json -shard 1 -party 0 -listen 127.0.0.1:7200 &
+//	impir-server -manifest cluster.json -shard 1 -party 1 -listen 127.0.0.1:7201 &
+//	impir-client -manifest cluster.json -index 123
 package main
 
 import (
@@ -27,6 +37,7 @@ import (
 	"time"
 
 	"github.com/impir/impir"
+	"github.com/impir/impir/internal/cluster"
 )
 
 func main() {
@@ -47,6 +58,13 @@ func run() error {
 		dpus     = flag.Int("dpus", 0, "PIM engine: DPU count (0 = 2048)")
 		clusters = flag.Int("clusters", 0, "PIM engine: DPU clusters (0 = 1)")
 		threads  = flag.Int("threads", 0, "CPU engine: worker threads (0 = 32)")
+
+		manifestPath = flag.String("manifest", "",
+			"cluster manifest JSON; the server carves its shard's row range out of the synthetic database")
+		shard = flag.Int("shard", 0, "this server's shard index in the manifest (with -manifest)")
+
+		allowUpdates = flag.Bool("allow-updates", false,
+			"accept database updates from network clients; enable only where the update path is restricted to the database owner")
 
 		queueDepth = flag.Int("queue-depth", 0,
 			"scheduler admission queue depth; overflow is rejected busy (0 = 256)")
@@ -71,15 +89,22 @@ func run() error {
 	if err != nil {
 		return err
 	}
+	if *manifestPath != "" {
+		db, err = shardDatabase(db, *manifestPath, *shard)
+		if err != nil {
+			return err
+		}
+	}
 
 	srv, err := impir.NewServer(impir.ServerConfig{
-		Engine:         kind,
-		DPUs:           *dpus,
-		Clusters:       *clusters,
-		Threads:        *threads,
-		QueueDepth:     *queueDepth,
-		CoalesceWindow: *coalesceWindow,
-		MaxCoalesce:    *maxCoalesce,
+		Engine:           kind,
+		DPUs:             *dpus,
+		Clusters:         *clusters,
+		Threads:          *threads,
+		QueueDepth:       *queueDepth,
+		CoalesceWindow:   *coalesceWindow,
+		MaxCoalesce:      *maxCoalesce,
+		AllowWireUpdates: *allowUpdates,
 	})
 	if err != nil {
 		return err
@@ -116,6 +141,28 @@ func run() error {
 	}
 	log.Printf("drained cleanly")
 	return nil
+}
+
+// shardDatabase carves shard's row range out of the full database per
+// the manifest, so independently started shard servers with the same
+// -records/-seed flags hold byte-identical cohort replicas.
+func shardDatabase(db *impir.DB, manifestPath string, shard int) (*impir.DB, error) {
+	m, err := cluster.Load(manifestPath)
+	if err != nil {
+		return nil, err
+	}
+	if shard < 0 || shard >= m.NumShards() {
+		return nil, fmt.Errorf("shard %d outside manifest of %d shards", shard, m.NumShards())
+	}
+	// ExtractShard carves only this server's range — no point holding
+	// all S shard copies in memory just to keep one.
+	part, err := cluster.ExtractShard(db, m, shard)
+	if err != nil {
+		return nil, err
+	}
+	log.Printf("serving shard %d/%d: global records [%d,%d)",
+		shard, m.NumShards(), m.Shards[shard].FirstRecord, m.Shards[shard].End())
+	return part, nil
 }
 
 func buildDatabase(workload string, records int, seed int64) (*impir.DB, error) {

@@ -22,7 +22,11 @@ import (
 //
 // EncodingAuto, the Client default, picks DPF for two-server deployments
 // and shares otherwise — the per-deployment bandwidth/generality
-// tradeoff resolved from the server count. The interface is closed;
+// tradeoff resolved from the server count. In a sharded deployment the
+// resolution happens per cohort: each shard's sub-query is encoded
+// against that cohort's replica count and padded record count, so a
+// two-replica cohort uses DPF keys while a three-replica cohort in the
+// same cluster uses selector shares. The interface is closed;
 // deployments choose an encoding, they do not implement new ones.
 type Encoding interface {
 	// String names the encoding ("auto", "dpf", "shares").

@@ -61,8 +61,44 @@
 // ServerConfig's QueueDepth, CoalesceWindow and MaxCoalesce, and
 // Server.QueueStats for the observed queue behaviour.
 //
+// # Sharded deployments
+//
+// A single server pair caps out at one machine's memory bandwidth —
+// all-for-one means every query scans the whole replica. To scale
+// across machines, carve the database into contiguous row-range shards
+// with SplitDB (or SplitDBByManifest), serve each shard from its own
+// cohort of ≥ 2 non-colluding replicas, and describe the topology in a
+// ShardManifest (JSON round-trip via ParseManifest/LoadManifest for
+// flags and config files). DialCluster then connects a ClusterClient to
+// every cohort:
+//
+//	parts, _ := impir.SplitDB(db, 4)            // per-cohort replicas
+//	m, _ := impir.LoadManifest("cluster.json")  // topology
+//	cc, _ := impir.DialCluster(ctx, m)
+//	record, _ := cc.Retrieve(ctx, 123456)       // global index
+//
+// Privacy argument: every retrieval sends one well-formed sub-query to
+// EVERY cohort — the real local index to the owning shard, a random
+// dummy to each other shard — and a PIR query reveals nothing about its
+// index, so no cohort can tell whether it owned the record; batched
+// retrievals send equal-length batches to every cohort so even the
+// batch shape leaks nothing. Per-shard scan work and memory fall by the
+// shard factor while retrieval latency is the slowest cohort's round
+// trip. ClusterClient.Update routes each dirty row to its owning cohort
+// only (updates are public operator actions), riding the per-server
+// epoch quiescing; servers accept wire updates only when started with
+// ServerConfig.AllowWireUpdates, since the query port serves untrusted
+// clients.
+//
+// Shard when one box's memory bandwidth is the bottleneck (scan-bound,
+// large databases); prefer the scheduler's cross-client coalescing when
+// the bottleneck is query arrival rate on a database that still fits
+// one box — coalescing amortises one scan across clients, sharding
+// splits the scan itself, and the two compose.
+//
 // See the examples/ directory for runnable programs, including network
-// deployments over TCP and live updates under load.
+// deployments over TCP, live updates under load, and a sharded
+// deployment (examples/sharded).
 package impir
 
 import (

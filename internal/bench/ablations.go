@@ -384,6 +384,7 @@ func Ablations(opts Options) []*Report {
 		AblationEvalModes(opts),
 		AblationResidentVsBatched(opts),
 		AblationBandwidthScaling(opts),
+		ShardScaling(opts),
 	}
 }
 

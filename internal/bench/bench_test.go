@@ -28,6 +28,21 @@ func TestAllFiguresReproduceShapes(t *testing.T) {
 	}
 }
 
+// TestShardScalingShapes: the cluster scale-out experiment's checks —
+// monotonically falling per-shard cost and a real sharded retrieval at
+// 1/2/4 shards — must all pass.
+func TestShardScalingShapes(t *testing.T) {
+	r := ShardScaling(Options{VerifyRecords: 512})
+	if len(r.Rows) != 4 {
+		t.Fatalf("got %d rows, want 4 shard counts", len(r.Rows))
+	}
+	for _, c := range r.Checks {
+		if !c.OK {
+			t.Errorf("check failed: %s — %s", c.Name, c.Detail)
+		}
+	}
+}
+
 func TestReportPrint(t *testing.T) {
 	r := Fig3a(Options{})
 	var buf bytes.Buffer

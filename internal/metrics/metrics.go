@@ -212,6 +212,70 @@ type SchedulerStats struct {
 	Epoch   uint64
 }
 
+// ShardStats is one shard cohort's cumulative client-side counters, as
+// maintained by the cluster client. Real and dummy sub-queries are
+// counted together — they are indistinguishable by construction, which
+// is the whole privacy argument, so a per-kind split cannot exist here
+// without breaking it on the wire anyway.
+type ShardStats struct {
+	// Queries counts single sub-queries fanned out to the cohort.
+	Queries uint64
+	// Batches counts batched round trips to the cohort; BatchQueries
+	// counts the sub-queries they carried.
+	Batches      uint64
+	BatchQueries uint64
+	// UpdateRows counts dirty records routed to this cohort by update
+	// routing (updates go only to the owning shard; they are public).
+	UpdateRows uint64
+	// Errors counts failed sub-requests against the cohort.
+	Errors uint64
+	// TotalTime accumulates the wall time of the cohort's sub-requests.
+	TotalTime time.Duration
+}
+
+// AvgTime returns the mean wall time per round trip to the cohort (a
+// batch is one round trip however many sub-queries it carries).
+func (s ShardStats) AvgTime() time.Duration {
+	n := s.Queries + s.Batches
+	if n == 0 {
+		return 0
+	}
+	return s.TotalTime / time.Duration(n)
+}
+
+// ClusterStats aggregates a sharded deployment's client-side behaviour:
+// one ShardStats per shard plus whole-cluster retrieval counters.
+type ClusterStats struct {
+	// Retrievals and BatchRetrievals count logical operations against
+	// the cluster (each fans out one sub-query per shard).
+	Retrievals      uint64
+	BatchRetrievals uint64
+	// Updates counts update operations routed through the cluster.
+	Updates uint64
+	// Shards holds the per-cohort counters, indexed by shard.
+	Shards []ShardStats
+}
+
+// TotalSubQueries sums the sub-queries issued across every shard.
+func (c ClusterStats) TotalSubQueries() uint64 {
+	var n uint64
+	for _, s := range c.Shards {
+		n += s.Queries + s.BatchQueries
+	}
+	return n
+}
+
+// String renders the cluster counters compactly for logs and reports.
+func (c ClusterStats) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "retrievals=%d batches=%d updates=%d", c.Retrievals, c.BatchRetrievals, c.Updates)
+	for i, s := range c.Shards {
+		fmt.Fprintf(&sb, " shard%d[q=%d bq=%d rows=%d err=%d avg=%v]",
+			i, s.Queries, s.BatchQueries, s.UpdateRows, s.Errors, s.AvgTime().Round(time.Microsecond))
+	}
+	return sb.String()
+}
+
 // AvgWait returns the mean time a dispatched request spent queued.
 func (s SchedulerStats) AvgWait() time.Duration {
 	if s.Dispatched == 0 {

@@ -140,3 +140,32 @@ func TestSchedulerStats(t *testing.T) {
 		t.Error("zero stats produced nonzero averages")
 	}
 }
+
+func TestClusterStats(t *testing.T) {
+	c := ClusterStats{
+		Retrievals:      4,
+		BatchRetrievals: 1,
+		Updates:         2,
+		Shards: []ShardStats{
+			{Queries: 4, Batches: 1, BatchQueries: 6, TotalTime: 100 * time.Millisecond},
+			{Queries: 4, Batches: 1, BatchQueries: 6, UpdateRows: 3, Errors: 1, TotalTime: 50 * time.Millisecond},
+		},
+	}
+	if got := c.TotalSubQueries(); got != 20 {
+		t.Errorf("TotalSubQueries = %d, want 20", got)
+	}
+	// 4 single round trips + 1 batch round trip (however many
+	// sub-queries it carried) over 100ms → 20ms per round trip.
+	if got := c.Shards[0].AvgTime(); got != 20*time.Millisecond {
+		t.Errorf("AvgTime = %v, want 20ms", got)
+	}
+	for _, want := range []string{"retrievals=4", "updates=2", "shard1[", "rows=3", "err=1"} {
+		if !strings.Contains(c.String(), want) {
+			t.Errorf("String() = %q missing %q", c.String(), want)
+		}
+	}
+	var zero ShardStats
+	if zero.AvgTime() != 0 {
+		t.Error("zero shard stats produced nonzero average")
+	}
+}

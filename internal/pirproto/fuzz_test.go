@@ -58,3 +58,48 @@ func FuzzReadFrame(f *testing.F) {
 		}
 	})
 }
+
+// FuzzParseUpdate hardens the update decoder against adversarial
+// payloads: never panic, never over-allocate, and accepted payloads
+// must round-trip semantically (MarshalUpdate canonicalises entry order
+// to ascending index, so byte equality only holds after one
+// re-marshal).
+func FuzzParseUpdate(f *testing.F) {
+	good, err := MarshalUpdate(map[int][]byte{3: []byte("abc"), 9: {}})
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(good)
+	f.Add([]byte{})
+	f.Add([]byte{0xFF, 0xFF, 0xFF, 0xFF})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		updates, err := ParseUpdate(data)
+		if err != nil {
+			return
+		}
+		back, err := MarshalUpdate(updates)
+		if err != nil {
+			t.Fatalf("accepted update fails re-marshal: %v", err)
+		}
+		again, err := ParseUpdate(back)
+		if err != nil {
+			t.Fatalf("canonical re-marshal fails to parse: %v", err)
+		}
+		if len(again) != len(updates) {
+			t.Fatalf("round trip changed entry count: %d != %d", len(again), len(updates))
+		}
+		for idx, rec := range updates {
+			if !bytes.Equal(again[idx], rec) {
+				t.Fatalf("round trip changed record %d", idx)
+			}
+		}
+		canonical, err := MarshalUpdate(again)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(canonical, back) {
+			t.Fatal("canonical form is not a fixed point of the codec")
+		}
+	})
+}

@@ -11,6 +11,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"sort"
 )
 
 // MsgType identifies a frame's payload.
@@ -44,6 +45,15 @@ const (
 	// payload is empty; the connection remains usable — clients may retry
 	// after a backoff.
 	MsgBusy
+	// MsgUpdate carries a §3.3 bulk record update:
+	// [count u32] then count entries of [index u64][len u32][record].
+	// Updates are an operator/owner action, not a private query — the
+	// server learns which records changed, by design. The server applies
+	// the update atomically under its scheduler's quiescing and replies
+	// MsgUpdateOK (or MsgError).
+	MsgUpdate
+	// MsgUpdateOK acknowledges an applied MsgUpdate. Empty payload.
+	MsgUpdateOK
 )
 
 func (t MsgType) String() string {
@@ -68,6 +78,10 @@ func (t MsgType) String() string {
 		return "share-batch-query"
 	case MsgBusy:
 		return "busy"
+	case MsgUpdate:
+		return "update"
+	case MsgUpdateOK:
+		return "update-ok"
 	default:
 		return fmt.Sprintf("MsgType(%d)", uint8(t))
 	}
@@ -92,6 +106,10 @@ var (
 
 // Frame header: magic(2) type(1) reserved(1) length(4, LE).
 const headerSize = 8
+
+// maxUpdateEntries bounds a MsgUpdate frame's entry count, enforced
+// symmetrically by MarshalUpdate and ParseUpdate.
+const maxUpdateEntries = 1 << 20
 
 // WriteFrame writes one frame.
 func WriteFrame(w io.Writer, t MsgType, payload []byte) error {
@@ -217,4 +235,91 @@ func ParseBatch(b []byte) ([][]byte, error) {
 		return nil, fmt.Errorf("pirproto: %d trailing bytes after batch", len(b))
 	}
 	return items, nil
+}
+
+// MarshalUpdate encodes a bulk record update for a MsgUpdate frame.
+// Entries are emitted in ascending index order so identical update sets
+// marshal identically on every replica.
+func MarshalUpdate(updates map[int][]byte) ([]byte, error) {
+	if len(updates) == 0 {
+		return nil, errors.New("pirproto: empty update set")
+	}
+	if len(updates) > maxUpdateEntries {
+		// Mirror ParseUpdate's cap so an oversized update fails here,
+		// before any bytes ship, instead of server-side after upload.
+		return nil, fmt.Errorf("pirproto: update set of %d entries exceeds the %d-entry limit",
+			len(updates), maxUpdateEntries)
+	}
+	total := 4
+	indices := make([]int, 0, len(updates))
+	for idx, rec := range updates {
+		if idx < 0 {
+			return nil, fmt.Errorf("pirproto: negative update index %d", idx)
+		}
+		indices = append(indices, idx)
+		total += 12 + len(rec)
+	}
+	if total > MaxFrameSize {
+		return nil, ErrFrameTooLarge
+	}
+	sort.Ints(indices)
+	out := make([]byte, 0, total)
+	var tmp [8]byte
+	binary.LittleEndian.PutUint32(tmp[:4], uint32(len(updates)))
+	out = append(out, tmp[:4]...)
+	for _, idx := range indices {
+		rec := updates[idx]
+		binary.LittleEndian.PutUint64(tmp[:], uint64(idx))
+		out = append(out, tmp[:]...)
+		binary.LittleEndian.PutUint32(tmp[:4], uint32(len(rec)))
+		out = append(out, tmp[:4]...)
+		out = append(out, rec...)
+	}
+	return out, nil
+}
+
+// ParseUpdate decodes a MarshalUpdate payload.
+func ParseUpdate(b []byte) (map[int][]byte, error) {
+	if len(b) < 4 {
+		return nil, errors.New("pirproto: update payload too short")
+	}
+	count := binary.LittleEndian.Uint32(b)
+	if count == 0 {
+		return nil, errors.New("pirproto: empty update set")
+	}
+	if count > maxUpdateEntries {
+		return nil, fmt.Errorf("pirproto: implausible update count %d", count)
+	}
+	b = b[4:]
+	// Size the map from the bytes actually present, not the declared
+	// count — a tiny frame claiming 2^20 entries must not allocate for
+	// them before the per-entry checks reject it.
+	hint := count
+	if max := uint32(len(b) / 12); hint > max {
+		hint = max
+	}
+	updates := make(map[int][]byte, hint)
+	for i := uint32(0); i < count; i++ {
+		if len(b) < 12 {
+			return nil, fmt.Errorf("pirproto: update entry %d: missing header", i)
+		}
+		idx := binary.LittleEndian.Uint64(b)
+		if idx > 1<<62 {
+			return nil, fmt.Errorf("pirproto: update entry %d: implausible index %d", i, idx)
+		}
+		n := binary.LittleEndian.Uint32(b[8:])
+		b = b[12:]
+		if uint32(len(b)) < n {
+			return nil, fmt.Errorf("pirproto: update entry %d: truncated (%d of %d bytes)", i, len(b), n)
+		}
+		if _, dup := updates[int(idx)]; dup {
+			return nil, fmt.Errorf("pirproto: duplicate update index %d", idx)
+		}
+		updates[int(idx)] = b[:n:n]
+		b = b[n:]
+	}
+	if len(b) != 0 {
+		return nil, fmt.Errorf("pirproto: %d trailing bytes after update", len(b))
+	}
+	return updates, nil
 }

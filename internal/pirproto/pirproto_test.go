@@ -199,3 +199,50 @@ func TestQuickBatchRoundTrip(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+func TestUpdateRoundTrip(t *testing.T) {
+	in := map[int][]byte{
+		0:    []byte("record zero bytes here 32 long!!"),
+		7:    bytes.Repeat([]byte{0xAB}, 32),
+		1000: bytes.Repeat([]byte{0x01}, 32),
+	}
+	payload, err := MarshalUpdate(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := ParseUpdate(payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != len(in) {
+		t.Fatalf("round trip: %d entries, want %d", len(out), len(in))
+	}
+	for idx, rec := range in {
+		if !bytes.Equal(out[idx], rec) {
+			t.Errorf("record %d changed in round trip", idx)
+		}
+	}
+
+	// Identical sets must marshal identically (ascending index order), so
+	// every replica of a cohort receives byte-identical update frames.
+	again, err := MarshalUpdate(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(payload, again) {
+		t.Error("MarshalUpdate is not deterministic")
+	}
+
+	if _, err := MarshalUpdate(nil); err == nil {
+		t.Error("empty update marshalled")
+	}
+	if _, err := MarshalUpdate(map[int][]byte{-1: {1}}); err == nil {
+		t.Error("negative index marshalled")
+	}
+	if _, err := ParseUpdate([]byte{1}); err == nil {
+		t.Error("truncated update parsed")
+	}
+	if _, err := ParseUpdate(append(payload, 0)); err == nil {
+		t.Error("trailing bytes accepted")
+	}
+}

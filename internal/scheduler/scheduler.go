@@ -272,11 +272,40 @@ func (s *Scheduler) QueryShareBatch(ctx context.Context, shares []*bitvec.Vector
 // atomically while the dispatcher is held off, bumps the epoch, and
 // resumes. Safe to call while queries are in flight; concurrent updates
 // serialise.
+//
+// The whole update set is validated against the loaded database before
+// the quiesce begins: every request path converges here (local Server
+// API and the wire transport), so a malformed update must never be able
+// to drain in-flight passes and stall dispatch just to be rejected by
+// the engine afterwards.
 func (s *Scheduler) Update(updates map[int][]byte) error {
+	if err := validateUpdates(s.eng.Database(), updates); err != nil {
+		return err
+	}
 	s.gate.beginUpdate()
 	err := s.eng.ApplyUpdates(updates)
 	s.gate.endUpdate(err == nil)
 	return err
+}
+
+// validateUpdates rejects malformed update sets before any quiescing.
+func validateUpdates(db *database.DB, updates map[int][]byte) error {
+	if db == nil {
+		return errors.New("scheduler: update before a database is loaded")
+	}
+	if len(updates) == 0 {
+		return errors.New("scheduler: empty update set")
+	}
+	for idx, rec := range updates {
+		if idx < 0 || idx >= db.NumRecords() {
+			return fmt.Errorf("scheduler: update index %d outside database of %d records", idx, db.NumRecords())
+		}
+		if len(rec) != db.RecordSize() {
+			return fmt.Errorf("scheduler: update for record %d has %d bytes, want the database record size %d",
+				idx, len(rec), db.RecordSize())
+		}
+	}
+	return nil
 }
 
 // Stats snapshots the scheduler's queue counters.

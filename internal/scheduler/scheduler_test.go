@@ -31,8 +31,21 @@ type fakeEngine struct {
 	batchPasses atomic.Int64
 }
 
-func (f *fakeEngine) Name() string           { return "fake" }
-func (f *fakeEngine) Database() *database.DB { return nil }
+func (f *fakeEngine) Name() string { return "fake" }
+
+// fakeDB backs Database(): Scheduler.Update validates update sets
+// against the loaded geometry before quiescing, so the fake engine must
+// present one (16 records of 1 byte, matching the {0: {1}} updates the
+// tests send).
+var fakeDB = func() *database.DB {
+	db, err := database.New(16, 1)
+	if err != nil {
+		panic(err)
+	}
+	return db
+}()
+
+func (f *fakeEngine) Database() *database.DB { return fakeDB }
 func (f *fakeEngine) enter()                 { f.passQueries.Add(1) }
 func (f *fakeEngine) leave()                 { f.passQueries.Add(-1) }
 func (f *fakeEngine) checkOverlap() {

@@ -44,6 +44,11 @@ type Dispatcher interface {
 	// QueryShareBatch answers a batch of shares as one admitted unit, so
 	// a busy rejection never leaves a batch half-served.
 	QueryShareBatch(context.Context, []*bitvec.Vector) ([][]byte, error)
+	// Update applies a §3.3 bulk record update atomically (the scheduler
+	// quiesces in-flight passes around it). It deliberately takes no
+	// context — an update abandoned part-way would leave this replica
+	// diverged from its peers.
+	Update(updates map[int][]byte) error
 }
 
 // ErrServerBusy is returned by client query methods when the server
@@ -55,10 +60,11 @@ var ErrServerBusy = scheduler.ErrBusy
 
 // Server serves one PIR dispatcher over a listener.
 type Server struct {
-	dispatcher Dispatcher
-	party      uint8
-	lis        net.Listener
-	logf       func(format string, args ...any)
+	dispatcher   Dispatcher
+	party        uint8
+	lis          net.Listener
+	logf         func(format string, args ...any)
+	allowUpdates bool
 
 	mu       sync.Mutex
 	conns    map[net.Conn]struct{}
@@ -73,6 +79,17 @@ type ServerOption func(*Server)
 // WithLogf directs server logs (default: log.Printf).
 func WithLogf(f func(format string, args ...any)) ServerOption {
 	return func(s *Server) { s.logf = f }
+}
+
+// WithWireUpdates accepts MsgUpdate frames from connected clients.
+// Updates mutate the database, so this is OFF by default: the query
+// port serves untrusted PIR clients, and an unauthorised update would
+// corrupt records or silently desynchronise replicas. Enable it only on
+// deployments where the update path is restricted to the database
+// owner — a separate operator-only listener, network ACLs, or mutual
+// TLS via NewServerTLS with client certificate verification.
+func WithWireUpdates() ServerOption {
+	return func(s *Server) { s.allowUpdates = true }
 }
 
 // NewServer starts serving the dispatcher on the listener. party is this
@@ -339,6 +356,22 @@ func (s *Server) dispatch(ctx context.Context, conn net.Conn, t pirproto.MsgType
 		}
 		return pirproto.WriteFrame(conn, pirproto.MsgBatchResp, resp)
 
+	case pirproto.MsgUpdate:
+		if !s.allowUpdates {
+			return errors.New("updates are not enabled on this server (see WithWireUpdates)")
+		}
+		updates, err := pirproto.ParseUpdate(payload)
+		if err != nil {
+			return err
+		}
+		// Deliberately not bounded by the connection context: once the
+		// update starts applying, abandoning it half-way would desync
+		// this replica from its cohort peers.
+		if err := s.dispatcher.Update(updates); err != nil {
+			return err
+		}
+		return pirproto.WriteFrame(conn, pirproto.MsgUpdateOK, nil)
+
 	case pirproto.MsgBatchQuery:
 		raw, err := pirproto.ParseBatch(payload)
 		if err != nil {
@@ -383,10 +416,15 @@ func NewServerTLS(lis net.Listener, d Dispatcher, party uint8, tlsCfg *tls.Confi
 // request/response at a time; concurrent callers are serialised by an
 // internal mutex, so a single Conn may be shared by the fan-out layer.
 type Conn struct {
-	mu     sync.Mutex // serialises request/response exchanges
-	conn   net.Conn
-	info   pirproto.ServerInfo
-	broken error // set when a cancelled exchange poisons the stream
+	mu   sync.Mutex // serialises request/response exchanges
+	conn net.Conn
+	info pirproto.ServerInfo
+
+	// broken has its own mutex so Broken() answers immediately even
+	// while an exchange holds mu — the client layer probes it to decide
+	// whether to redial, and must not block behind in-flight queries.
+	brokenMu sync.Mutex
+	broken   error // set when a cancelled exchange poisons the stream
 }
 
 // Dial connects to a PIR server and performs the hello handshake. The
@@ -451,8 +489,8 @@ func (c *Conn) Info() pirproto.ServerInfo { return c.info }
 func (c *Conn) roundTrip(ctx context.Context, t pirproto.MsgType, payload []byte) (pirproto.MsgType, []byte, error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	if c.broken != nil {
-		return 0, nil, c.broken
+	if err := c.brokenErr(); err != nil {
+		return 0, nil, err
 	}
 	if err := ctx.Err(); err != nil {
 		return 0, nil, err
@@ -504,7 +542,7 @@ func (c *Conn) roundTrip(ctx context.Context, t pirproto.MsgType, payload []byte
 		// Deliberately %v: a later call with a healthy context must not
 		// see the original call's context error through errors.Is and
 		// misread a dead connection as its own timeout.
-		c.broken = fmt.Errorf("transport: connection unusable after failed exchange: %v", err)
+		c.setBroken(fmt.Errorf("transport: connection unusable after failed exchange: %v", err))
 		return 0, nil, err
 	}
 	return respType, resp, nil
@@ -613,6 +651,50 @@ func (c *Conn) QueryShareBatch(ctx context.Context, shares []*bitvec.Vector) ([]
 		return nil, err
 	}
 	return batchResp(t, resp, len(shares))
+}
+
+// Update pushes a bulk record update to the server and waits for the
+// acknowledgement. Updates are an operator action, not a private query:
+// the server learns which records changed, by design. ctx bounds the
+// exchange; as with every exchange, abandoning it mid-flight poisons the
+// stream.
+func (c *Conn) Update(ctx context.Context, updates map[int][]byte) error {
+	payload, err := pirproto.MarshalUpdate(updates)
+	if err != nil {
+		return err
+	}
+	t, resp, err := c.roundTrip(ctx, pirproto.MsgUpdate, payload)
+	if err != nil {
+		return err
+	}
+	switch t {
+	case pirproto.MsgUpdateOK:
+		return nil
+	case pirproto.MsgBusy:
+		return ErrServerBusy
+	case pirproto.MsgError:
+		return fmt.Errorf("transport: server error: %s", resp)
+	default:
+		return fmt.Errorf("transport: unexpected frame %v", t)
+	}
+}
+
+// Broken reports whether a previously abandoned exchange has poisoned
+// the stream, making every further exchange fail fast. The client layer
+// uses this to transparently redial instead of returning stale errors.
+// Broken never blocks behind an in-flight exchange.
+func (c *Conn) Broken() bool { return c.brokenErr() != nil }
+
+func (c *Conn) brokenErr() error {
+	c.brokenMu.Lock()
+	defer c.brokenMu.Unlock()
+	return c.broken
+}
+
+func (c *Conn) setBroken(err error) {
+	c.brokenMu.Lock()
+	c.broken = err
+	c.brokenMu.Unlock()
 }
 
 // Close closes the connection.

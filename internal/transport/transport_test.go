@@ -39,14 +39,14 @@ func newDispatcher(t *testing.T, numRecords int, cfg scheduler.Config) (*schedul
 	return sched, db
 }
 
-func startServer(t *testing.T, numRecords int, party uint8) (*Server, *database.DB) {
+func startServer(t *testing.T, numRecords int, party uint8, opts ...ServerOption) (*Server, *database.DB) {
 	t.Helper()
 	sched, db := newDispatcher(t, numRecords, scheduler.Config{})
 	lis, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
 		t.Fatal(err)
 	}
-	srv, err := NewServer(lis, sched, party, WithLogf(t.Logf))
+	srv, err := NewServer(lis, sched, party, append([]ServerOption{WithLogf(t.Logf)}, opts...)...)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -609,5 +609,133 @@ func TestShutdownDrains(t *testing.T) {
 	}
 	if _, err := Dial(context.Background(), srv.Addr().String()); err == nil {
 		t.Fatal("Dial succeeded after Shutdown")
+	}
+}
+
+// TestUpdateOverWire: a MsgUpdate frame applies the bulk update through
+// the dispatcher's quiescing path, the client gets MsgUpdateOK, and the
+// new contents are visible to a subsequent query on the same connection.
+func TestUpdateOverWire(t *testing.T) {
+	srv0, db := startServer(t, 256, 0, WithWireUpdates())
+	srv1, _ := startServer(t, 256, 1, WithWireUpdates())
+	c0, err := Dial(context.Background(), srv0.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c0.Close()
+	c1, err := Dial(context.Background(), srv1.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c1.Close()
+
+	const idx = 99
+	newRec := bytes.Repeat([]byte{0xAB}, db.RecordSize())
+	updates := map[int][]byte{idx: newRec}
+	ctx := context.Background()
+	if err := c0.Update(ctx, updates); err != nil {
+		t.Fatalf("update server 0: %v", err)
+	}
+	if err := c1.Update(ctx, updates); err != nil {
+		t.Fatalf("update server 1: %v", err)
+	}
+
+	k0, k1 := genPair(t, db.Domain(), idx)
+	r0, err := c0.Query(ctx, k0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r1, err := c1.Query(ctx, k1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := make([]byte, len(r0))
+	for i := range rec {
+		rec[i] = r0[i] ^ r1[i]
+	}
+	if !bytes.Equal(rec, newRec) {
+		t.Fatal("query after wire update returned stale record")
+	}
+}
+
+// TestUpdateOverWireRejectsBadRecord: a malformed update (wrong record
+// length) is rejected with a server error and leaves the connection
+// usable.
+func TestUpdateOverWireRejectsBadRecord(t *testing.T) {
+	srv, db := startServer(t, 128, 0, WithWireUpdates())
+	conn, err := Dial(context.Background(), srv.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+
+	ctx := context.Background()
+	err = conn.Update(ctx, map[int][]byte{3: []byte("short")})
+	if err == nil || !strings.Contains(err.Error(), "want") {
+		t.Fatalf("wrong-length update: err = %v, want record-size rejection", err)
+	}
+
+	// The connection survived the rejection.
+	k0, k1 := genPair(t, db.Domain(), 3)
+	r0, err := conn.Query(ctx, k0)
+	if err != nil {
+		t.Fatalf("query after rejected update: %v", err)
+	}
+	r1, _, err := newDispatcherFor(t, db).Query(ctx, k1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := make([]byte, len(r0))
+	for i := range rec {
+		rec[i] = r0[i] ^ r1[i]
+	}
+	if !bytes.Equal(rec, db.Record(3)) {
+		t.Fatal("reconstruction broken after rejected update")
+	}
+}
+
+// newDispatcherFor builds a second scheduler over a byte-identical
+// replica of db, playing the second non-colluding server locally.
+func newDispatcherFor(t *testing.T, db *database.DB) *scheduler.Scheduler {
+	t.Helper()
+	eng, err := cpupir.New(cpupir.Config{Threads: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.LoadDatabase(db.Clone()); err != nil {
+		t.Fatal(err)
+	}
+	sched := scheduler.New(eng, scheduler.Config{})
+	t.Cleanup(func() { sched.Close() })
+	return sched
+}
+
+// TestUpdateOverWireDisabledByDefault: a server that did not opt into
+// wire updates must reject MsgUpdate — any connected client could send
+// one, and an unauthorised update would desynchronise replicas. The
+// connection stays usable for queries.
+func TestUpdateOverWireDisabledByDefault(t *testing.T) {
+	srv, db := startServer(t, 128, 0)
+	conn, err := Dial(context.Background(), srv.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+
+	ctx := context.Background()
+	before := append([]byte(nil), db.Record(3)...)
+	err = conn.Update(ctx, map[int][]byte{3: bytes.Repeat([]byte{1}, db.RecordSize())})
+	if err == nil || !strings.Contains(err.Error(), "not enabled") {
+		t.Fatalf("update on a default server: err = %v, want not-enabled rejection", err)
+	}
+	if !bytes.Equal(db.Record(3), before) {
+		t.Fatal("rejected update still modified the database")
+	}
+	if conn.Broken() {
+		t.Fatal("rejection broke the connection")
+	}
+	k0, _ := genPair(t, db.Domain(), 3)
+	if _, err := conn.Query(ctx, k0); err != nil {
+		t.Fatalf("query after rejected update: %v", err)
 	}
 }

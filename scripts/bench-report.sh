@@ -83,6 +83,17 @@ run_benchmarks() {
         go test ./internal/scheduler -run='^$' -bench='BenchmarkScheduler' \
             -benchtime="${BENCHTIME}" -count="${COUNT}"
     fi
+
+    # Shard scaling (internal/cluster): the same total database carved
+    # into 1/2/4/8 row-range shards — per-shard scan time must fall with
+    # the shard count, the cluster layer's whole point. Model layer only
+    # (-verify-records 0). Runs only for whole-repo or root-package
+    # reports; package-scoped runs stay scoped.
+    if [[ "${PACKAGE}" == "./..." || "${PACKAGE}" == "." ]]; then
+        echo ""
+        echo "--- Shard scaling (1 vs 2 vs 4 vs 8 shards, same total DB) ---"
+        go run ./cmd/impir-bench -experiment shards -verify-records 0
+    fi
 }
 
 if [[ -n "$OUTPUT" ]]; then

@@ -88,6 +88,14 @@ type ServerConfig struct {
 	// MaxCoalesce caps how many single queries one coalesced pass serves.
 	// 0 means 64.
 	MaxCoalesce int
+	// AllowWireUpdates accepts MsgUpdate frames from connected network
+	// clients (Client.Update / ClusterClient.Update). OFF by default:
+	// the query port serves untrusted PIR clients, and an unauthorised
+	// update would corrupt records or desynchronise replicas. Enable it
+	// only where the update path is restricted to the database owner
+	// (operator-only listener, network ACLs, or mutual TLS). Local
+	// Server.Update calls are always allowed.
+	AllowWireUpdates bool
 }
 
 // engine abstracts the three compute planes: the scheduler-facing query
@@ -122,9 +130,10 @@ var ErrServerBusy = transport.ErrServerBusy
 // concurrent single queries from different clients into batch passes,
 // and quiesces in-flight queries around Update.
 type Server struct {
-	eng   engine
-	sched *scheduler.Scheduler
-	srv   *transport.Server
+	eng              engine
+	sched            *scheduler.Scheduler
+	srv              *transport.Server
+	allowWireUpdates bool
 }
 
 // NewServer builds a server with the configured engine behind a request
@@ -139,7 +148,7 @@ func NewServer(cfg ServerConfig) (*Server, error) {
 		CoalesceWindow: cfg.CoalesceWindow,
 		MaxCoalesce:    cfg.MaxCoalesce,
 	})
-	return &Server{eng: eng, sched: sched}, nil
+	return &Server{eng: eng, sched: sched, allowWireUpdates: cfg.AllowWireUpdates}, nil
 }
 
 // newEngine builds the configured compute plane.
@@ -239,7 +248,15 @@ func (s *Server) AnswerBatch(ctx context.Context, keys []*Key) ([][]byte, BatchS
 // only catches at the next connect. It is atomic per server — validate
 // everything, then apply.
 func (s *Server) Update(updates map[int][]byte) error {
-	return s.sched.Update(updates)
+	// The scheduler validates the whole update set against the loaded
+	// geometry before its quiesce gate — one source of truth shared with
+	// the wire path — so a wrong-length record or out-of-range index
+	// fails with a clear error before any in-flight pass is drained or
+	// the engine touched.
+	if err := s.sched.Update(updates); err != nil {
+		return fmt.Errorf("impir: %w", err)
+	}
+	return nil
 }
 
 // QueueStats snapshots the request scheduler's admission and coalescing
@@ -256,7 +273,11 @@ func (s *Server) Serve(lis net.Listener, party uint8) error {
 	if s.srv != nil {
 		return errors.New("impir: server already serving")
 	}
-	srv, err := transport.NewServer(lis, s.sched, party)
+	var opts []transport.ServerOption
+	if s.allowWireUpdates {
+		opts = append(opts, transport.WithWireUpdates())
+	}
+	srv, err := transport.NewServer(lis, s.sched, party, opts...)
 	if err != nil {
 		return err
 	}

@@ -3,6 +3,7 @@ package impir
 import (
 	"bytes"
 	"context"
+	"strings"
 	"testing"
 )
 
@@ -60,6 +61,38 @@ func TestUpdateValidationThroughPublicAPI(t *testing.T) {
 	}
 	if err := s0.Update(map[int][]byte{0: make([]byte, 3)}); err == nil {
 		t.Error("short record accepted")
+	}
+}
+
+// TestUpdateValidationBeforeEngine: Server.Update must reject a
+// wrong-length record with a clear error naming the expected record
+// size, before the scheduler quiesces or the engine is touched — the
+// update epoch must not move.
+func TestUpdateValidationBeforeEngine(t *testing.T) {
+	db, _ := GenerateHashDB(64, 1)
+	s0, _ := newPair(t, EngineCPU, db)
+
+	for name, bad := range map[string]map[int][]byte{
+		"short record": {0: make([]byte, 3)},
+		"long record":  {0: make([]byte, 33)},
+		"out of range": {1 << 20: make([]byte, 32)},
+		"negative":     {-1: make([]byte, 32)},
+		"empty set":    {},
+	} {
+		err := s0.Update(bad)
+		if err == nil {
+			t.Fatalf("%s: accepted", name)
+		}
+		if !strings.HasPrefix(err.Error(), "impir:") {
+			t.Errorf("%s: error %q does not come from the validation layer", name, err)
+		}
+	}
+	if err := s0.Update(map[int][]byte{0: make([]byte, 3)}); err == nil ||
+		!strings.Contains(err.Error(), "record size 32") {
+		t.Errorf("short record error %v does not name the expected record size", err)
+	}
+	if got := s0.QueueStats().Updates; got != 0 {
+		t.Errorf("rejected updates moved the epoch: %d updates applied", got)
 	}
 }
 
