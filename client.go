@@ -269,10 +269,13 @@ func (c *Client) Retrieve(ctx context.Context, index uint64) ([]byte, error) {
 }
 
 // RetrieveBatch privately fetches several records in one round trip per
-// server, under either encoding.
+// server, under either encoding. An empty batch is a no-op: it returns
+// an empty (non-nil) slice without touching the network, so callers
+// assembling batches programmatically — like the keyword layer's
+// padded probe plans — need no zero-length special case.
 func (c *Client) RetrieveBatch(ctx context.Context, indices []uint64) ([][]byte, error) {
 	if len(indices) == 0 {
-		return nil, errors.New("impir: empty batch")
+		return [][]byte{}, nil
 	}
 	for _, idx := range indices {
 		if idx >= c.geom.numRecords {

@@ -145,8 +145,12 @@ func TestClientRetrieve(t *testing.T) {
 		if _, err := cli.Retrieve(ctx, 1<<30); err == nil {
 			t.Errorf("%d servers: out-of-range retrieve accepted", n)
 		}
-		if _, err := cli.RetrieveBatch(ctx, nil); err == nil {
-			t.Errorf("%d servers: empty batch accepted", n)
+		empty, err := cli.RetrieveBatch(ctx, nil)
+		if err != nil {
+			t.Errorf("%d servers: empty batch errored: %v", n, err)
+		}
+		if empty == nil || len(empty) != 0 {
+			t.Errorf("%d servers: empty batch returned %v, want empty non-nil slice", n, empty)
 		}
 	}
 }

@@ -2,7 +2,6 @@ package impir
 
 import (
 	"context"
-	"errors"
 	"fmt"
 	"math/bits"
 	"sync"
@@ -183,10 +182,12 @@ func (c *ClusterClient) Retrieve(ctx context.Context, global uint64) ([]byte, er
 // one round trip per cohort. Every cohort receives a batch of exactly
 // len(globals) sub-queries — real where it owns the record, dummies
 // elsewhere — so even the batch shape is identical across shards and
-// leaks nothing about how the targets distribute.
+// leaks nothing about how the targets distribute. An empty batch is a
+// no-op returning an empty (non-nil) slice without touching any
+// cohort, matching Client.RetrieveBatch.
 func (c *ClusterClient) RetrieveBatch(ctx context.Context, globals []uint64) ([][]byte, error) {
 	if len(globals) == 0 {
-		return nil, errors.New("impir: empty batch")
+		return [][]byte{}, nil
 	}
 	plan, err := c.manifest.PlanBatch(globals)
 	if err != nil {

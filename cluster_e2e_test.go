@@ -115,6 +115,12 @@ func TestClusterTwoShardsTwoReplicasE2E(t *testing.T) {
 		}
 	}
 
+	// Empty batch: a no-op, matching Client.RetrieveBatch.
+	empty, err := cc.RetrieveBatch(ctx, nil)
+	if err != nil || empty == nil || len(empty) != 0 {
+		t.Fatalf("empty cluster batch: %v, %v (want empty non-nil slice)", empty, err)
+	}
+
 	// Update routing: a dirty row in shard 1 reaches only shard 1's
 	// cohort and is visible to subsequent retrievals.
 	const target = 100 // shard 1, local 36

@@ -21,27 +21,28 @@ import (
 )
 
 var runners = map[string]func(bench.Options) *bench.Report{
-	"fig3a":  bench.Fig3a,
-	"fig3b":  bench.Fig3b,
-	"fig9a":  bench.Fig9a,
-	"fig9b":  bench.Fig9b,
-	"fig9c":  bench.Fig9c,
-	"fig9d":  bench.Fig9d,
-	"fig10a": bench.Fig10a,
-	"fig10b": bench.Fig10b,
-	"table1": bench.Table1,
-	"fig11a": bench.Fig11a,
-	"fig11b": bench.Fig11b,
-	"fig12a": bench.Fig12a,
-	"fig12b": bench.Fig12b,
-	"a1":     bench.AblationEvalStrategies,
-	"a2":     bench.AblationTasklets,
-	"a3":     bench.AblationCommunication,
-	"a4":     bench.AblationSingleServer,
-	"a5":     bench.AblationEvalModes,
-	"a6":     bench.AblationResidentVsBatched,
-	"a7":     bench.AblationBandwidthScaling,
-	"shards": bench.ShardScaling,
+	"fig3a":   bench.Fig3a,
+	"fig3b":   bench.Fig3b,
+	"fig9a":   bench.Fig9a,
+	"fig9b":   bench.Fig9b,
+	"fig9c":   bench.Fig9c,
+	"fig9d":   bench.Fig9d,
+	"fig10a":  bench.Fig10a,
+	"fig10b":  bench.Fig10b,
+	"table1":  bench.Table1,
+	"fig11a":  bench.Fig11a,
+	"fig11b":  bench.Fig11b,
+	"fig12a":  bench.Fig12a,
+	"fig12b":  bench.Fig12b,
+	"a1":      bench.AblationEvalStrategies,
+	"a2":      bench.AblationTasklets,
+	"a3":      bench.AblationCommunication,
+	"a4":      bench.AblationSingleServer,
+	"a5":      bench.AblationEvalModes,
+	"a6":      bench.AblationResidentVsBatched,
+	"a7":      bench.AblationBandwidthScaling,
+	"shards":  bench.ShardScaling,
+	"keyword": bench.KeywordLookup,
 }
 
 func main() {
@@ -115,6 +116,6 @@ func sortedNames() []string {
 	return []string{
 		"fig3a", "fig3b", "fig9a", "fig9b", "fig9c", "fig9d",
 		"fig10a", "fig10b", "table1", "fig11a", "fig11b", "fig12a", "fig12b",
-		"a1", "a2", "a3", "a4", "a5", "a6", "a7", "shards",
+		"a1", "a2", "a3", "a4", "a5", "a6", "a7", "shards", "keyword",
 	}
 }

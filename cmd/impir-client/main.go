@@ -12,6 +12,14 @@
 // well-formed sub-query so none learns which shard mattered:
 //
 //	impir-client -manifest cluster.json -index 123
+//
+// Against a keyword store (impir-server -kv-manifest), pass the table
+// manifest with -kv and look keys up by name instead of index; the
+// servers see a constant-shape probe batch whether the key exists or
+// not:
+//
+//	impir-client -servers 127.0.0.1:7100,127.0.0.1:7101 -kv table.json get key-00000123
+//	impir-client -manifest cluster.json -kv table.json get key-00000123   # sharded store
 package main
 
 import (
@@ -40,7 +48,9 @@ func run() error {
 		manifestPath = flag.String("manifest", "",
 			"cluster manifest JSON for a sharded deployment (replaces -servers)")
 		indexFlag = flag.String("index", "0", "record index (or comma-separated indices) to retrieve")
-		encoding  = flag.String("encoding", "auto",
+		kvPath    = flag.String("kv", "",
+			"keyword-table manifest JSON; switches to key→value mode: impir-client -kv table.json get <key> [key...]")
+		encoding = flag.String("encoding", "auto",
 			"query encoding: auto, dpf (2 servers), or shares (any n)")
 		timeout = flag.Duration("timeout", 30*time.Second, "overall deadline for connect and retrieval")
 	)
@@ -57,6 +67,10 @@ func run() error {
 
 	ctx, cancel := context.WithTimeout(context.Background(), *timeout)
 	defer cancel()
+
+	if *kvPath != "" {
+		return runKV(ctx, *kvPath, *servers, *manifestPath, enc, flag.Args())
+	}
 
 	var retriever interface {
 		Retrieve(context.Context, uint64) ([]byte, error)
@@ -110,6 +124,73 @@ func run() error {
 		fmt.Printf("record[%d] = %x\n", indices[i], rec)
 	}
 	fmt.Printf("%d record(s) in %v (no server learned which)\n", len(records), elapsed.Round(time.Millisecond))
+	return nil
+}
+
+// runKV executes a keyword-store operation: `get <key> [key...]`
+// against a plain or sharded deployment. A present key prints its
+// value; an absent key is an error — which only the client learns, the
+// servers saw the same constant-shape probe either way.
+func runKV(ctx context.Context, kvPath, servers, manifestPath string, enc impir.Encoding, args []string) error {
+	if len(args) < 2 || args[0] != "get" {
+		return fmt.Errorf("keyword mode usage: impir-client -kv table.json get <key> [key...]")
+	}
+	m, err := impir.LoadKVManifest(kvPath)
+	if err != nil {
+		return err
+	}
+
+	var kv *impir.KVClient
+	if manifestPath != "" {
+		cm, err := impir.LoadManifest(manifestPath)
+		if err != nil {
+			return err
+		}
+		kv, err = impir.DialKVCluster(ctx, cm, m, impir.WithEncoding(enc))
+		if err != nil {
+			return err
+		}
+		fmt.Printf("connected to sharded keyword store: %d buckets (%d-probe lookups)\n",
+			m.TotalBuckets(), kv.ProbesPerKey())
+	} else {
+		addrs := parseAddrs(servers)
+		if len(addrs) < 2 {
+			return fmt.Errorf("need at least two server addresses, got %d", len(addrs))
+		}
+		kv, err = impir.DialKV(ctx, addrs, m, impir.WithEncoding(enc))
+		if err != nil {
+			return err
+		}
+		fmt.Printf("connected to keyword store: %d buckets (%d-probe lookups), replicas verified\n",
+			m.TotalBuckets(), kv.ProbesPerKey())
+	}
+	defer kv.Close()
+
+	keys := make([][]byte, len(args[1:]))
+	for i, a := range args[1:] {
+		keys[i] = []byte(a)
+	}
+	start := time.Now()
+	vals, err := kv.GetBatch(ctx, keys)
+	if err != nil {
+		return err
+	}
+	elapsed := time.Since(start)
+
+	missing := 0
+	for i, v := range vals {
+		if v == nil {
+			fmt.Printf("%s: not found\n", keys[i])
+			missing++
+		} else {
+			fmt.Printf("%s = %x\n", keys[i], v)
+		}
+	}
+	fmt.Printf("%d key(s) in %v (no server learned the keys — or whether they exist)\n",
+		len(keys), elapsed.Round(time.Millisecond))
+	if missing > 0 {
+		return fmt.Errorf("%d of %d key(s) not found", missing, len(keys))
+	}
 	return nil
 }
 

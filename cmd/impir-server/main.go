@@ -23,6 +23,16 @@
 //	impir-server -manifest cluster.json -shard 1 -party 0 -listen 127.0.0.1:7200 &
 //	impir-server -manifest cluster.json -shard 1 -party 1 -listen 127.0.0.1:7201 &
 //	impir-client -manifest cluster.json -index 123
+//
+// Keyword stores serve a cuckoo key→value table instead of an indexed
+// database: with -kv-manifest the server synthesises -records
+// deterministic key→value pairs from -seed, builds the cuckoo table
+// (byte-identical across replicas started with the same flags), serves
+// it, and writes the table manifest JSON to the given path for clients:
+//
+//	impir-server -kv-manifest table.json -records 65536 -seed 7 -party 0 -listen 127.0.0.1:7100 &
+//	impir-server -kv-manifest table.json -records 65536 -seed 7 -party 1 -listen 127.0.0.1:7101 &
+//	impir-client -servers 127.0.0.1:7100,127.0.0.1:7101 -kv table.json get key-00000123
 package main
 
 import (
@@ -38,6 +48,7 @@ import (
 
 	"github.com/impir/impir"
 	"github.com/impir/impir/internal/cluster"
+	"github.com/impir/impir/internal/keyword"
 )
 
 func main() {
@@ -63,6 +74,9 @@ func run() error {
 			"cluster manifest JSON; the server carves its shard's row range out of the synthetic database")
 		shard = flag.Int("shard", 0, "this server's shard index in the manifest (with -manifest)")
 
+		kvManifestPath = flag.String("kv-manifest", "",
+			"serve a keyword (key→value) store: build a cuckoo table from -records synthetic pairs (seeded by -seed, replacing -workload) and write the table manifest JSON to this path")
+
 		allowUpdates = flag.Bool("allow-updates", false,
 			"accept database updates from network clients; enable only where the update path is restricted to the database owner")
 
@@ -85,7 +99,13 @@ func run() error {
 		return err
 	}
 
-	db, err := buildDatabase(*workload, *records, *seed)
+	var db *impir.DB
+	if *kvManifestPath != "" {
+		*workload = "keyword"
+		db, err = buildKVDatabase(*kvManifestPath, *records, *seed)
+	} else {
+		db, err = buildDatabase(*workload, *records, *seed)
+	}
 	if err != nil {
 		return err
 	}
@@ -163,6 +183,41 @@ func shardDatabase(db *impir.DB, manifestPath string, shard int) (*impir.DB, err
 	log.Printf("serving shard %d/%d: global records [%d,%d)",
 		shard, m.NumShards(), m.Shards[shard].FirstRecord, m.Shards[shard].End())
 	return part, nil
+}
+
+// buildKVDatabase synthesises a deterministic keyword corpus, builds
+// its cuckoo table, and writes the table manifest for clients. The
+// build depends only on (records, seed), so independently started
+// replicas serve byte-identical tables — and publish identical
+// manifest files (atomically, via rename: replicas sharing a path and
+// clients polling for it never observe a truncated write).
+func buildKVDatabase(manifestPath string, records int, seed int64) (*impir.DB, error) {
+	pairs := keyword.GeneratePairs(records, seed)
+	table, err := keyword.BuildTable(pairs, keyword.Options{Seed: seed})
+	if err != nil {
+		return nil, err
+	}
+	db, err := table.DB()
+	if err != nil {
+		return nil, err
+	}
+	data, err := table.Manifest.JSON()
+	if err != nil {
+		return nil, err
+	}
+	tmp := fmt.Sprintf("%s.%d.tmp", manifestPath, os.Getpid())
+	if err := os.WriteFile(tmp, data, 0o644); err != nil {
+		return nil, fmt.Errorf("write kv manifest: %w", err)
+	}
+	if err := os.Rename(tmp, manifestPath); err != nil {
+		os.Remove(tmp)
+		return nil, fmt.Errorf("publish kv manifest: %w", err)
+	}
+	m := table.Manifest
+	log.Printf("keyword store: %d pairs in %d+%d buckets (k=%d, capacity %d, load factor %.2f, %d stashed); manifest written to %s",
+		len(pairs), m.NumBuckets, m.StashBuckets, m.Hashes(), m.BucketCapacity,
+		table.LoadFactor(), table.Stashed(), manifestPath)
+	return db, nil
 }
 
 func buildDatabase(workload string, records int, seed int64) (*impir.DB, error) {

@@ -1,6 +1,11 @@
 package main
 
-import "testing"
+import (
+	"path/filepath"
+	"testing"
+
+	"github.com/impir/impir"
+)
 
 func TestBuildDatabaseWorkloads(t *testing.T) {
 	for _, w := range []string{"hash", "ct", "credentials", "blocklist"} {
@@ -31,5 +36,41 @@ func TestBuildDatabaseDeterministicAcrossParties(t *testing.T) {
 func TestBuildDatabaseUnknownWorkload(t *testing.T) {
 	if _, err := buildDatabase("nope", 64, 1); err == nil {
 		t.Fatal("unknown workload accepted")
+	}
+}
+
+// TestBuildKVDatabaseDeterministicAcrossParties: two keyword servers
+// started with the same -records/-seed must serve byte-identical
+// tables and write byte-identical manifests — the replica agreement a
+// KV deployment rests on.
+func TestBuildKVDatabaseDeterministicAcrossParties(t *testing.T) {
+	dir := t.TempDir()
+	pathA, pathB := filepath.Join(dir, "a.json"), filepath.Join(dir, "b.json")
+	a, err := buildKVDatabase(pathA, 200, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := buildKVDatabase(pathB, 200, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Digest() != b.Digest() {
+		t.Fatal("two KV servers with the same flags built different replicas")
+	}
+	ma, err := impir.LoadKVManifest(pathA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mb, err := impir.LoadKVManifest(pathB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ma.NumBuckets != mb.NumBuckets || len(ma.HashSeeds) != len(mb.HashSeeds) ||
+		ma.HashSeeds[0] != mb.HashSeeds[0] {
+		t.Fatal("manifests differ between identically seeded servers")
+	}
+	if uint64(a.NumRecords()) != ma.TotalBuckets() || a.RecordSize() != ma.RecordSize() {
+		t.Fatalf("served DB geometry (%d,%d) does not match the written manifest (%d,%d)",
+			a.NumRecords(), a.RecordSize(), ma.TotalBuckets(), ma.RecordSize())
 	}
 }

@@ -1,21 +1,27 @@
-// Private blocklist lookups — and an engine comparison.
+// Private blocklist lookups with keyword PIR — no shipped directory.
 //
 // A browser checking visited URLs against a malware blocklist leaks its
 // browsing history to the blocklist provider unless lookups are private
-// (the Checklist use case [60], cited in §1 of the paper). This example
-// runs the same private-lookup workload on all three server engines the
-// paper evaluates — CPU-PIR, GPU-PIR, IM-PIR — verifying they agree
-// bit-for-bit and printing each engine's modeled per-query phase
-// breakdown, a miniature of the paper's Figure 10 / Table 1 comparison.
+// (the Checklist use case [60], cited in §1 of the paper). Earlier
+// revisions of this example shipped the browser a plaintext url→index
+// directory and retrieved entries by index; the directory itself both
+// scaled with the blocklist and disclosed the full list of blocked URLs
+// to every client. This version drops it: the provider builds a
+// cuckoo-hashed key→value table keyed by URL hash (value: the threat
+// category), serves it from two non-colluding replicas over TCP, and
+// clients look URLs up with KVClient.Get — a constant-shape probe batch
+// per URL from which the servers learn neither the URL nor whether it
+// was blocklisted at all.
 //
 //	go run ./examples/blocklist
 package main
 
 import (
-	"bytes"
 	"context"
+	"errors"
 	"fmt"
 	"log"
+	"net"
 
 	"github.com/impir/impir"
 )
@@ -32,94 +38,75 @@ func main() {
 }
 
 func run() error {
-	db, urls, err := impir.GenerateBlocklist(blocklistSize, blocklistSeed)
+	// ——— Provider side: blocklist → cuckoo table → two replicas ———
+	_, urls, err := impir.GenerateBlocklist(blocklistSize, blocklistSeed)
+	if err != nil {
+		return err
+	}
+	categories := []string{"malware", "phishing", "c2", "scam"}
+	pairs := make([]impir.KVPair, len(urls))
+	for i, u := range urls {
+		h := impir.CredentialHash(u)
+		pairs[i] = impir.KVPair{
+			Key:   append([]byte(nil), h[:]...),
+			Value: []byte(categories[i%len(categories)]),
+		}
+	}
+	db, manifest, err := impir.BuildKVDB(pairs, impir.KVTableOptions{Seed: blocklistSeed})
 	if err != nil {
 		return err
 	}
 
-	// The browser's local url→index directory (in deployments this is a
-	// compressed map shipped with blocklist updates).
-	directory := make(map[[32]byte]uint64, len(urls))
-	for i, u := range urls {
-		directory[impir.CredentialHash(u)] = uint64(i)
+	addrs := make([]string, 2)
+	for i := range addrs {
+		srv, err := impir.NewServer(impir.ServerConfig{Engine: impir.EnginePIM, DPUs: 16, Tasklets: 8, EvalWorkers: 2})
+		if err != nil {
+			return err
+		}
+		defer srv.Close()
+		if err := srv.Load(db.Clone()); err != nil {
+			return err
+		}
+		lis, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			return err
+		}
+		if err := srv.Serve(lis, uint8(i)); err != nil {
+			return err
+		}
+		addrs[i] = srv.Addr().String()
 	}
+	fmt.Printf("blocklist: %d URLs in %d+%d buckets; clients receive only the table manifest\n",
+		blocklistSize, manifest.NumBuckets, manifest.StashBuckets)
+
+	// ——— Browser side ———
+	ctx := context.Background()
+	kv, err := impir.DialKV(ctx, addrs, manifest)
+	if err != nil {
+		return err
+	}
+	defer kv.Close()
 
 	visited := []string{
 		urls[4321], // malicious
 		"https://example.org/totally-fine",
 		urls[17], // malicious
 	}
-
-	engines := []impir.EngineKind{impir.EngineCPU, impir.EngineGPU, impir.EnginePIM}
-	type serverPair struct{ s0, s1 *impir.Server }
-	pairs := make(map[impir.EngineKind]serverPair)
-	for _, kind := range engines {
-		cfg := impir.ServerConfig{Engine: kind, DPUs: 16, Tasklets: 8, Threads: 2}
-		s0, err := impir.NewServer(cfg)
-		if err != nil {
-			return err
-		}
-		s1, err := impir.NewServer(cfg)
-		if err != nil {
-			return err
-		}
-		defer s0.Close()
-		defer s1.Close()
-		if err := s0.Load(db); err != nil {
-			return err
-		}
-		if err := s1.Load(db); err != nil {
-			return err
-		}
-		pairs[kind] = serverPair{s0, s1}
-	}
-
-	ctx := context.Background()
 	for _, u := range visited {
-		idx, listed := directory[impir.CredentialHash(u)]
-		if !listed {
+		h := impir.CredentialHash(u)
+		category, err := kv.Get(ctx, h[:])
+		switch {
+		case errors.Is(err, impir.ErrNotFound):
 			fmt.Printf("%-45s not blocklisted\n", clip(u))
-			continue
-		}
-
-		k0, k1, err := impir.GenerateKeys(db.NumRecords(), idx)
-		if err != nil {
+		case err != nil:
 			return err
-		}
-
-		// Run the identical query on every engine; all must agree.
-		var reference []byte
-		for _, kind := range engines {
-			p := pairs[kind]
-			r0, bd, err := p.s0.Answer(ctx, k0)
-			if err != nil {
-				return err
-			}
-			r1, _, err := p.s1.Answer(ctx, k1)
-			if err != nil {
-				return err
-			}
-			rec, err := impir.Reconstruct(r0, r1)
-			if err != nil {
-				return err
-			}
-			if reference == nil {
-				reference = rec
-			} else if !bytes.Equal(reference, rec) {
-				return fmt.Errorf("engine %v disagrees with the others", kind)
-			}
-			if kind == impir.EnginePIM {
-				fmt.Printf("%-45s BLOCKED (verified on all engines; IM-PIR phases: %s)\n",
-					clip(u), bd.String())
-			}
-		}
-		want := impir.CredentialHash(u)
-		if !bytes.Equal(reference, want[:]) {
-			return fmt.Errorf("retrieved blocklist entry does not match %q", u)
+		default:
+			fmt.Printf("%-45s BLOCKED (%s)\n", clip(u), category)
 		}
 	}
 
-	fmt.Println("\nno server learned which URLs were visited")
+	fmt.Printf("\nclient counters: %v\n", kv.Stats())
+	fmt.Println("no server learned which URLs were visited — or whether any was blocked")
 	return nil
 }
 

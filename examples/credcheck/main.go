@@ -1,4 +1,5 @@
-// Compromised-credential checking with batched PIR.
+// Compromised-credential checking with keyword PIR — no shipped
+// directory.
 //
 // A password manager wants to warn users whose passwords appear in a
 // breach corpus — without sending password material (or even its hash) to
@@ -7,10 +8,17 @@
 // k-anonymity buckets; PIR gives the exact guarantee (§5.2 of the paper,
 // cf. [43, 53]).
 //
-// The deployment ships clients a public directory mapping credential hash
-// → corpus index (here: a map built from the synthetic corpus). The
-// client looks up candidate indices locally, then retrieves those corpus
-// entries through batched two-server PIR and compares hashes locally.
+// Earlier revisions of this example shipped every client a plaintext
+// hash→index directory and then did PIR by index. That directory is the
+// weak link: it grows linearly with the corpus, must be re-shipped on
+// every update, and hands the full corpus fingerprint to every client.
+// This version drops it. The operator builds a cuckoo-hashed key→value
+// table (impir.BuildKVDB) keyed by credential hash, serves it from two
+// non-colluding replicas over TCP, and publishes only the small table
+// manifest (bucket geometry + hash seeds — no key material). The client
+// then checks all passwords in ONE batched KVClient.GetBatch: a
+// constant-shape probe batch from which the servers learn neither the
+// hashes nor whether any password was actually breached.
 //
 //	go run ./examples/credcheck
 package main
@@ -20,6 +28,7 @@ import (
 	"context"
 	"fmt"
 	"log"
+	"net"
 	"time"
 
 	"github.com/impir/impir"
@@ -37,97 +46,87 @@ func main() {
 }
 
 func run() error {
-	// Breach corpus, replicated on two non-colluding servers (in-process
-	// here; see examples/certtransparency for the TCP variant).
-	db, breached, err := impir.GenerateCredentialDB(corpusSize, corpusSeed)
+	// ——— Operator side: breach corpus → cuckoo table → two replicas ———
+	_, breached, err := impir.GenerateCredentialDB(corpusSize, corpusSeed)
 	if err != nil {
 		return err
 	}
-	cfg := impir.ServerConfig{Engine: impir.EnginePIM, DPUs: 16, Tasklets: 8, EvalWorkers: 2}
-	s0, err := impir.NewServer(cfg)
-	if err != nil {
-		return err
-	}
-	defer s0.Close()
-	s1, err := impir.NewServer(cfg)
-	if err != nil {
-		return err
-	}
-	defer s1.Close()
-	if err := s0.Load(db); err != nil {
-		return err
-	}
-	if err := s1.Load(db); err != nil {
-		return err
-	}
-
-	// Public hash→index directory (shipped to clients out of band).
-	directory := make(map[[32]byte]uint64, corpusSize)
+	pairs := make([]impir.KVPair, len(breached))
 	for i, cred := range breached {
-		directory[impir.CredentialHash(cred)] = uint64(i)
+		h := impir.CredentialHash(cred)
+		// Key: the credential hash. Value: per-entry breach metadata —
+		// here the corpus entry's own digest, standing in for breach
+		// count / first-seen fields a real deployment would store.
+		pairs[i] = impir.KVPair{Key: append([]byte(nil), h[:]...), Value: h[:16]}
+	}
+	db, manifest, err := impir.BuildKVDB(pairs, impir.KVTableOptions{Seed: corpusSeed})
+	if err != nil {
+		return err
 	}
 
-	// The user's passwords to check: two breached, one safe.
-	passwords := []string{breached[1234], "correct horse battery staple", breached[8000]}
-
-	// Build the query batch. Passwords not in the directory cannot be
-	// breached; for the ones that are, retrieve the corpus entry to
-	// confirm (the directory alone could have false positives in a
-	// bucketed deployment).
-	type candidate struct {
-		password string
-		index    uint64
-	}
-	var candidates []candidate
-	for _, pw := range passwords {
-		if idx, ok := directory[impir.CredentialHash(pw)]; ok {
-			candidates = append(candidates, candidate{password: pw, index: idx})
-		} else {
-			fmt.Printf("%-40q not in directory — safe\n", clip(pw))
-		}
-	}
-	if len(candidates) == 0 {
-		return nil
-	}
-
-	keys0 := make([]*impir.Key, len(candidates))
-	keys1 := make([]*impir.Key, len(candidates))
-	for i, c := range candidates {
-		keys0[i], keys1[i], err = impir.GenerateKeys(db.NumRecords(), c.index)
+	addrs := make([]string, 2)
+	for i := range addrs {
+		srv, err := impir.NewServer(impir.ServerConfig{Engine: impir.EngineCPU, Threads: 2})
 		if err != nil {
 			return err
 		}
+		defer srv.Close()
+		if err := srv.Load(db.Clone()); err != nil {
+			return err
+		}
+		lis, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			return err
+		}
+		if err := srv.Serve(lis, uint8(i)); err != nil {
+			return err
+		}
+		addrs[i] = srv.Addr().String()
 	}
+	fmt.Printf("corpus: %d breached credentials in %d+%d buckets (%d-probe lookups); clients receive only the manifest\n",
+		corpusSize, manifest.NumBuckets, manifest.StashBuckets, manifest.ProbesPerKey())
 
-	// Batched server-side processing (§3.4 pipeline).
+	// ——— Client side: manifest + addresses, nothing else ———
 	ctx := context.Background()
-	start := time.Now()
-	r0, stats, err := s0.AnswerBatch(ctx, keys0)
+	kv, err := impir.DialKV(ctx, addrs, manifest)
 	if err != nil {
 		return err
 	}
-	r1, _, err := s1.AnswerBatch(ctx, keys1)
+	defer kv.Close()
+
+	// The user's passwords to check: two breached, one safe.
+	passwords := []string{breached[1234], "correct horse battery staple", breached[8000]}
+	keys := make([][]byte, len(passwords))
+	for i, pw := range passwords {
+		h := impir.CredentialHash(pw)
+		keys[i] = append([]byte(nil), h[:]...)
+	}
+
+	start := time.Now()
+	values, err := kv.GetBatch(ctx, keys)
 	if err != nil {
 		return err
 	}
 	elapsed := time.Since(start)
 
-	for i, c := range candidates {
-		entry, err := impir.Reconstruct(r0[i], r1[i])
-		if err != nil {
-			return err
-		}
-		hash := impir.CredentialHash(c.password)
-		if bytes.Equal(entry, hash[:]) {
-			fmt.Printf("%-40q BREACHED — rotate this password\n", clip(c.password))
-		} else {
-			fmt.Printf("%-40q directory hit but corpus mismatch — safe\n", clip(c.password))
+	for i, pw := range passwords {
+		h := impir.CredentialHash(pw)
+		switch {
+		case values[i] == nil:
+			fmt.Printf("%-40q not in the corpus — safe\n", clip(pw))
+		case bytes.Equal(values[i], h[:16]):
+			fmt.Printf("%-40q BREACHED — rotate this password\n", clip(pw))
+		default:
+			fmt.Printf("%-40q corpus metadata mismatch — treat as breached\n", clip(pw))
 		}
 	}
 
-	fmt.Printf("\nchecked %d credentials in %v wall (modeled server throughput: %.0f queries/s)\n",
-		len(candidates), elapsed.Round(time.Millisecond), stats.ModeledQPS())
-	fmt.Println("the corpus operators never saw a password, a hash, or which entries were read")
+	st := kv.Stats()
+	fmt.Printf("\nchecked %d credentials in %v (one %d-bucket probe batch per server)\n",
+		len(passwords), elapsed.Round(time.Millisecond),
+		len(passwords)*manifest.Hashes()+int(manifest.StashBuckets))
+	fmt.Printf("client counters: %v\n", st)
+	fmt.Println("the corpus operators never saw a password, a hash, which entries were read — or whether anything matched")
 	return nil
 }
 

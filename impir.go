@@ -96,9 +96,41 @@
 // one box — coalescing amortises one scan across clients, sharding
 // splits the scan itself, and the two compose.
 //
+// # Keyword retrieval
+//
+// Index-PIR answers "record i"; real workloads ask "the value for key
+// K". Publishing a key→index directory to bridge the gap defeats the
+// purpose: the directory grows with the corpus, must be re-shipped on
+// every update, and hands the full corpus fingerprint to every client.
+// The keyword layer stores pairs in a deterministic seeded k-ary
+// cuckoo hash table instead — each key lives in one of k candidate
+// buckets derived from public hash seeds, overflow spills into a
+// small constant-size stash of tail buckets — serialised into an
+// ordinary DB (one bucket = one record), built with BuildKVDB and
+// described by a KVManifest:
+//
+//	db, manifest, _ := impir.BuildKVDB(pairs, impir.KVTableOptions{})
+//	// … load db into ≥ 2 replicas, serve …
+//	kv, _ := impir.DialKV(ctx, addrs, manifest)
+//	value, err := kv.Get(ctx, key) // ErrNotFound when absent
+//
+// Privacy argument: every lookup retrieves the key's k candidate
+// buckets plus the whole stash in one RetrieveBatch. The probe count
+// k+S is a public constant of the manifest — independent of the key
+// bytes and of whether the key is present — and each PIR sub-query
+// hides which bucket it read, so the servers learn neither the key
+// nor hit/miss; a Get that returns ErrNotFound produced byte-identical
+// wire traffic to a hit. GetBatch fetches n keys as n·k candidate
+// probes plus one shared stash scan, again a shape fixed by public
+// parameters alone. Put and Delete probe with the same constant shape
+// and then rewrite the one affected bucket via the wire-update path
+// (public operator actions, like all updates). DialKVCluster runs the
+// identical probes through a ClusterClient for sharded keyword stores.
+//
 // See the examples/ directory for runnable programs, including network
-// deployments over TCP, live updates under load, and a sharded
-// deployment (examples/sharded).
+// deployments over TCP, live updates under load, a sharded deployment
+// (examples/sharded), and directory-free keyword workloads
+// (examples/credcheck, examples/blocklist).
 package impir
 
 import (

@@ -230,8 +230,12 @@ func TestNetworkDeployment(t *testing.T) {
 	if _, err := cli.Retrieve(ctx, 1<<40); err == nil {
 		t.Error("Retrieve accepted out-of-range index")
 	}
-	if _, err := cli.RetrieveBatch(ctx, nil); err == nil {
-		t.Error("RetrieveBatch accepted empty batch")
+	empty, err := cli.RetrieveBatch(ctx, nil)
+	if err != nil {
+		t.Errorf("empty batch errored: %v", err)
+	}
+	if empty == nil || len(empty) != 0 {
+		t.Errorf("empty batch returned %v, want empty non-nil slice", empty)
 	}
 }
 

@@ -385,6 +385,7 @@ func Ablations(opts Options) []*Report {
 		AblationResidentVsBatched(opts),
 		AblationBandwidthScaling(opts),
 		ShardScaling(opts),
+		KeywordLookup(opts),
 	}
 }
 

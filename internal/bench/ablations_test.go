@@ -4,8 +4,8 @@ import "testing"
 
 func TestAblationsPass(t *testing.T) {
 	reports := Ablations(Options{})
-	if len(reports) != 8 {
-		t.Fatalf("got %d ablation reports, want 8 (7 paper ablations + shard scaling)", len(reports))
+	if len(reports) != 9 {
+		t.Fatalf("got %d ablation reports, want 9 (7 paper ablations + shard scaling + keyword lookup)", len(reports))
 	}
 	for _, r := range reports {
 		if len(r.Rows) == 0 {

@@ -43,6 +43,31 @@ func TestShardScalingShapes(t *testing.T) {
 	}
 }
 
+// TestKeywordLookupShapes: the keyword-retrieval experiment's checks —
+// a held load-factor target, a negligible constant stash, a constant
+// per-key probe count, and a real hit/miss verification through an
+// engine pair — must all pass.
+func TestKeywordLookupShapes(t *testing.T) {
+	r := KeywordLookup(Options{VerifyRecords: 512})
+	if len(r.Rows) != 4 {
+		t.Fatalf("got %d rows, want 4 table sizes", len(r.Rows))
+	}
+	for _, c := range r.Checks {
+		if !c.OK {
+			t.Errorf("check failed: %s — %s", c.Name, c.Detail)
+		}
+	}
+	hitChecked := false
+	for _, c := range r.Checks {
+		if strings.Contains(c.Name, "hit") {
+			hitChecked = true
+		}
+	}
+	if !hitChecked {
+		t.Error("functional hit verification missing from the report")
+	}
+}
+
 func TestReportPrint(t *testing.T) {
 	r := Fig3a(Options{})
 	var buf bytes.Buffer

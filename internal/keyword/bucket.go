@@ -1,0 +1,140 @@
+package keyword
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+)
+
+// Slot is one key/value cell of a bucket record. A zero Slot (Occupied
+// false, nil key and value) is an empty cell.
+type Slot struct {
+	Occupied bool
+	Key      []byte
+	Value    []byte
+}
+
+// Bucket record wire layout — BucketCapacity slots back to back, each:
+//
+//	[1]  occupancy flag: 0 empty, 1 occupied
+//	[2]  key length, little-endian (≤ KeySize)
+//	[K]  key bytes, zero-padded to KeySize
+//	[2]  value length, little-endian (≤ ValueSize)
+//	[V]  value bytes, zero-padded to ValueSize
+//
+// The record tail is zero-padded up to Manifest.RecordSize()'s 8-byte
+// alignment. The encoding is canonical: empty slots are all-zero and
+// padding beyond the stored lengths is zero, so Decode∘Encode is the
+// identity and Encode∘Decode accepts exactly the fixed points (the
+// property the fuzz harness checks). An all-zero record — the natural
+// state of a freshly allocated PIR database — decodes as an empty
+// bucket.
+
+// EncodeBucket serialises capacity slots into one bucket record of
+// m.RecordSize() bytes. Slots beyond len(slots) encode empty.
+func (m Manifest) EncodeBucket(slots []Slot) ([]byte, error) {
+	if len(slots) > m.BucketCapacity {
+		return nil, fmt.Errorf("keyword: %d slots exceed bucket capacity %d", len(slots), m.BucketCapacity)
+	}
+	rec := make([]byte, m.RecordSize())
+	for i, s := range slots {
+		if !s.Occupied {
+			if len(s.Key) != 0 || len(s.Value) != 0 {
+				return nil, fmt.Errorf("keyword: slot %d is empty but carries key/value bytes", i)
+			}
+			continue
+		}
+		if err := m.CheckKey(s.Key); err != nil {
+			return nil, fmt.Errorf("keyword: slot %d: %w", i, err)
+		}
+		if err := m.CheckValue(s.Value); err != nil {
+			return nil, fmt.Errorf("keyword: slot %d: %w", i, err)
+		}
+		off := i * m.SlotSize()
+		rec[off] = 1
+		binary.LittleEndian.PutUint16(rec[off+1:], uint16(len(s.Key)))
+		copy(rec[off+3:], s.Key)
+		voff := off + 3 + m.KeySize
+		binary.LittleEndian.PutUint16(rec[voff:], uint16(len(s.Value)))
+		copy(rec[voff+2:], s.Value)
+	}
+	return rec, nil
+}
+
+// DecodeBucket parses one bucket record into its BucketCapacity slots.
+// It rejects malformed records — wrong length, unknown occupancy flag,
+// over-long stored lengths, nonzero padding, or a nonzero empty slot —
+// rather than guessing, so a corrupted or adversarial record never
+// yields a phantom key.
+func (m Manifest) DecodeBucket(rec []byte) ([]Slot, error) {
+	if len(rec) != m.RecordSize() {
+		return nil, fmt.Errorf("keyword: bucket record has %d bytes, want %d", len(rec), m.RecordSize())
+	}
+	if !allZero(rec[m.BucketCapacity*m.SlotSize():]) {
+		return nil, fmt.Errorf("keyword: bucket record alignment padding not zeroed")
+	}
+	slots := make([]Slot, m.BucketCapacity)
+	for i := range slots {
+		off := i * m.SlotSize()
+		cell := rec[off : off+m.SlotSize()]
+		switch cell[0] {
+		case 0:
+			if !allZero(cell[1:]) {
+				return nil, fmt.Errorf("keyword: slot %d marked empty but not zeroed", i)
+			}
+		case 1:
+			keyLen := int(binary.LittleEndian.Uint16(cell[1:]))
+			if keyLen < 1 || keyLen > m.KeySize {
+				return nil, fmt.Errorf("keyword: slot %d key length %d outside [1,%d]", i, keyLen, m.KeySize)
+			}
+			key := cell[3 : 3+m.KeySize]
+			if !allZero(key[keyLen:]) {
+				return nil, fmt.Errorf("keyword: slot %d key padding not zeroed", i)
+			}
+			voff := 3 + m.KeySize
+			valLen := int(binary.LittleEndian.Uint16(cell[voff:]))
+			if valLen > m.ValueSize {
+				return nil, fmt.Errorf("keyword: slot %d value length %d exceeds %d", i, valLen, m.ValueSize)
+			}
+			val := cell[voff+2 : voff+2+m.ValueSize]
+			if !allZero(val[valLen:]) {
+				return nil, fmt.Errorf("keyword: slot %d value padding not zeroed", i)
+			}
+			// Value is non-nil even at length zero: callers use nil as
+			// their not-found sentinel, and an empty stored value is a
+			// legitimate hit (membership-set tables).
+			slots[i] = Slot{
+				Occupied: true,
+				Key:      append([]byte(nil), key[:keyLen]...),
+				Value:    append([]byte{}, val[:valLen]...),
+			}
+		default:
+			return nil, fmt.Errorf("keyword: slot %d has occupancy flag %d", i, cell[0])
+		}
+	}
+	return slots, nil
+}
+
+// FindInBucket decodes one bucket record and returns the value stored
+// for key, or (nil, false) when the bucket does not hold it.
+func (m Manifest) FindInBucket(rec, key []byte) (value []byte, found bool, err error) {
+	slots, err := m.DecodeBucket(rec)
+	if err != nil {
+		return nil, false, err
+	}
+	for _, s := range slots {
+		if s.Occupied && bytes.Equal(s.Key, key) {
+			return s.Value, true, nil
+		}
+	}
+	return nil, false, nil
+}
+
+func allZero(b []byte) bool {
+	for _, v := range b {
+		if v != 0 {
+			return false
+		}
+	}
+	return true
+}

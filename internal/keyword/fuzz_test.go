@@ -1,0 +1,104 @@
+package keyword
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzParseManifest hardens the manifest decoder against adversarial
+// JSON: malformed manifests must error — never panic, never validate a
+// geometry outside the package caps (which downstream code sizes
+// allocations from) — and accepted manifests must round-trip through
+// JSON() semantically.
+func FuzzParseManifest(f *testing.F) {
+	good, err := validManifest().JSON()
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(good)
+	f.Add([]byte(`{}`))
+	f.Add([]byte(`{"num_buckets":-1}`))
+	f.Add([]byte(`{"num_buckets":1,"bucket_capacity":1,"key_size":1,"value_size":1,"hash_seeds":[1,2]}`))
+	f.Add([]byte(`{"num_buckets":1099511627776,"stash_buckets":1099511627776}`))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		m, err := Parse(data)
+		if err != nil {
+			return
+		}
+		// Accepted manifests sit inside every allocation cap.
+		if m.RecordSize() > MaxRecordSize || m.RecordSize() < 1 {
+			t.Fatalf("accepted manifest has record size %d", m.RecordSize())
+		}
+		if m.TotalBuckets() > MaxBuckets || m.TotalBuckets() < 1 {
+			t.Fatalf("accepted manifest has %d buckets", m.TotalBuckets())
+		}
+		if m.StashBuckets > MaxStashBuckets {
+			t.Fatalf("accepted manifest has %d stash buckets (probed per lookup)", m.StashBuckets)
+		}
+		if m.ProbesPerKey() < MinHashes {
+			t.Fatalf("accepted manifest probes %d buckets per key", m.ProbesPerKey())
+		}
+		// And round-trip: JSON() must re-validate and Parse back equal.
+		out, err := m.JSON()
+		if err != nil {
+			t.Fatalf("accepted manifest fails re-encode: %v", err)
+		}
+		back, err := Parse(out)
+		if err != nil {
+			t.Fatalf("re-encoded manifest fails to parse: %v", err)
+		}
+		if back.NumBuckets != m.NumBuckets || back.StashBuckets != m.StashBuckets ||
+			back.BucketCapacity != m.BucketCapacity || back.KeySize != m.KeySize ||
+			back.ValueSize != m.ValueSize || len(back.HashSeeds) != len(m.HashSeeds) {
+			t.Fatal("manifest JSON round trip changed fields")
+		}
+	})
+}
+
+// FuzzDecodeBucket hardens the bucket record decoder: arbitrary bytes
+// must never panic, and accepted records must be fixed points of the
+// canonical codec (decode ∘ encode is the identity on accepted input).
+func FuzzDecodeBucket(f *testing.F) {
+	m := Manifest{
+		NumBuckets:     8,
+		StashBuckets:   1,
+		BucketCapacity: 2,
+		KeySize:        8,
+		ValueSize:      4,
+		HashSeeds:      []uint64{1, 2},
+	}
+	good, err := m.EncodeBucket([]Slot{{Occupied: true, Key: []byte("k"), Value: []byte("v")}})
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(good)
+	f.Add(make([]byte, m.RecordSize()))
+	f.Add([]byte{})
+	f.Add(bytes.Repeat([]byte{0xFF}, m.RecordSize()))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		slots, err := m.DecodeBucket(data)
+		if err != nil {
+			return
+		}
+		back, err := m.EncodeBucket(slots)
+		if err != nil {
+			t.Fatalf("accepted record fails re-encode: %v", err)
+		}
+		if !bytes.Equal(back, data) {
+			t.Fatal("accepted record is not a fixed point of the codec")
+		}
+		// FindInBucket must agree with the decoded slots and never error
+		// on an accepted record.
+		for _, s := range slots {
+			if !s.Occupied {
+				continue
+			}
+			v, ok, err := m.FindInBucket(data, s.Key)
+			if err != nil || !ok || !bytes.Equal(v, s.Value) {
+				t.Fatalf("FindInBucket disagrees with DecodeBucket for %q", s.Key)
+			}
+		}
+	})
+}

@@ -1,0 +1,290 @@
+package keyword
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"testing"
+)
+
+func TestBucketCodecRoundTrip(t *testing.T) {
+	m := validManifest()
+	slots := []Slot{
+		{Occupied: true, Key: []byte("alpha"), Value: []byte("first value")},
+		{}, // empty cell
+	}
+	rec, err := m.EncodeBucket(slots)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rec) != m.RecordSize() {
+		t.Fatalf("record has %d bytes, want %d", len(rec), m.RecordSize())
+	}
+	back, err := m.DecodeBucket(rec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back) != m.BucketCapacity {
+		t.Fatalf("decoded %d slots, want %d", len(back), m.BucketCapacity)
+	}
+	if !back[0].Occupied || !bytes.Equal(back[0].Key, []byte("alpha")) ||
+		!bytes.Equal(back[0].Value, []byte("first value")) {
+		t.Fatalf("slot 0 round trip: %+v", back[0])
+	}
+	if back[1].Occupied {
+		t.Fatal("empty slot decoded as occupied")
+	}
+
+	// A zero record — fresh PIR database storage — is an empty bucket.
+	zero, err := m.DecodeBucket(make([]byte, m.RecordSize()))
+	if err != nil {
+		t.Fatalf("all-zero record rejected: %v", err)
+	}
+	for _, s := range zero {
+		if s.Occupied {
+			t.Fatal("zero record decoded with occupied slots")
+		}
+	}
+
+	// FindInBucket hits and misses.
+	if v, ok, err := m.FindInBucket(rec, []byte("alpha")); err != nil || !ok || !bytes.Equal(v, []byte("first value")) {
+		t.Fatalf("FindInBucket hit: %q %v %v", v, ok, err)
+	}
+	if _, ok, err := m.FindInBucket(rec, []byte("beta")); err != nil || ok {
+		t.Fatalf("FindInBucket miss: %v %v", ok, err)
+	}
+}
+
+func TestBucketCodecRejectsMalformed(t *testing.T) {
+	m := validManifest()
+	good, err := m.EncodeBucket([]Slot{{Occupied: true, Key: []byte("k"), Value: []byte("v")}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	corrupt := func(mutate func([]byte)) []byte {
+		rec := append([]byte(nil), good...)
+		mutate(rec)
+		return rec
+	}
+	cases := map[string][]byte{
+		"short record":       good[:len(good)-1],
+		"long record":        append(append([]byte(nil), good...), 0),
+		"bad flag":           corrupt(func(r []byte) { r[0] = 7 }),
+		"zero key length":    corrupt(func(r []byte) { r[1], r[2] = 0, 0 }),
+		"huge key length":    corrupt(func(r []byte) { r[1], r[2] = 0xFF, 0xFF }),
+		"dirty key padding":  corrupt(func(r []byte) { r[3+5] = 1 }), // beyond 1-byte key, inside key field
+		"huge value length":  corrupt(func(r []byte) { r[3+m.KeySize] = 0xFF; r[4+m.KeySize] = 0xFF }),
+		"dirty empty slot":   corrupt(func(r []byte) { r[m.SlotSize()+2] = 9 }), // slot 1 flagged empty
+		"dirty val padding":  corrupt(func(r []byte) { r[3+m.KeySize+2+10] = 3 }),
+		"flagged-empty data": corrupt(func(r []byte) { r[0] = 0 }), // key bytes remain under a 0 flag
+	}
+	for name, rec := range cases {
+		if _, err := m.DecodeBucket(rec); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+
+	// Encoder input validation.
+	if _, err := m.EncodeBucket(make([]Slot, m.BucketCapacity+1)); err == nil {
+		t.Error("over-capacity slot list accepted")
+	}
+	if _, err := m.EncodeBucket([]Slot{{Occupied: true, Key: bytes.Repeat([]byte{1}, m.KeySize+1)}}); err == nil {
+		t.Error("over-long key accepted")
+	}
+	if _, err := m.EncodeBucket([]Slot{{Key: []byte("ghost")}}); err == nil {
+		t.Error("unoccupied slot with key bytes accepted")
+	}
+}
+
+func TestBuildTableAndLookup(t *testing.T) {
+	pairs := GeneratePairs(500, 42)
+	table, err := BuildTable(pairs, Options{Seed: 42})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if table.Pairs() != len(pairs) {
+		t.Fatalf("stored %d pairs, want %d", table.Pairs(), len(pairs))
+	}
+	for _, p := range pairs {
+		v, err := table.Lookup(p.Key)
+		if err != nil {
+			t.Fatalf("Lookup(%q): %v", p.Key, err)
+		}
+		if !bytes.Equal(v, p.Value) {
+			t.Fatalf("Lookup(%q) returned the wrong value", p.Key)
+		}
+	}
+	if _, err := table.Lookup([]byte("absent")); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("absent key: %v, want ErrNotFound", err)
+	}
+
+	// Achieved load factor should be near the 0.85 default target (the
+	// stash absorbs any shortfall; with defaults almost nothing spills).
+	if lf := table.LoadFactor(); lf < 0.75 {
+		t.Fatalf("load factor %.2f below 0.75", lf)
+	}
+
+	// The serialised DB round-trips through the bucket codec.
+	db, err := table.DB()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if db.NumRecords() != int(table.Manifest.TotalBuckets()) || db.RecordSize() != table.Manifest.RecordSize() {
+		t.Fatalf("DB geometry %dx%d != manifest %dx%d",
+			db.NumRecords(), db.RecordSize(), table.Manifest.TotalBuckets(), table.Manifest.RecordSize())
+	}
+	for _, p := range pairs[:20] {
+		found := false
+		for _, b := range table.Manifest.ProbeIndices(p.Key) {
+			v, ok, err := table.Manifest.FindInBucket(db.Record(int(b)), p.Key)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if ok {
+				if !bytes.Equal(v, p.Value) {
+					t.Fatalf("DB probe for %q returned the wrong value", p.Key)
+				}
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Fatalf("key %q not reachable through its probe plan", p.Key)
+		}
+	}
+}
+
+func TestBuildTableDeterministic(t *testing.T) {
+	pairs := GeneratePairs(300, 7)
+	a, err := BuildTable(pairs, Options{Seed: 99})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := BuildTable(GeneratePairs(300, 7), Options{Seed: 99})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dbA, err := a.DB()
+	if err != nil {
+		t.Fatal(err)
+	}
+	dbB, err := b.DB()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dbA.Digest() != dbB.Digest() {
+		t.Fatal("two builds with identical inputs produced different tables")
+	}
+	c, err := BuildTable(pairs, Options{Seed: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dbC, err := c.DB()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dbC.Digest() == dbA.Digest() {
+		t.Fatal("different seeds produced identical tables")
+	}
+}
+
+func TestBuildTableRejectsDuplicates(t *testing.T) {
+	pairs := []Pair{
+		{Key: []byte("same"), Value: []byte("one")},
+		{Key: []byte("other"), Value: []byte("two")},
+		{Key: []byte("same"), Value: []byte("three")},
+	}
+	if _, err := BuildTable(pairs, Options{}); !errors.Is(err, ErrDuplicateKey) {
+		t.Fatalf("duplicate keys: %v, want ErrDuplicateKey", err)
+	}
+}
+
+func TestBuildTableRejectsOversizedFields(t *testing.T) {
+	pairs := []Pair{
+		{Key: []byte("short"), Value: []byte("v")},
+		{Key: bytes.Repeat([]byte{'k'}, 20), Value: []byte("v")},
+	}
+	if _, err := BuildTable(pairs, Options{KeySize: 8}); !errors.Is(err, ErrKeyTooLong) {
+		t.Fatalf("over-long key: %v, want ErrKeyTooLong", err)
+	}
+	if _, err := BuildTable(pairs, Options{ValueSize: 0}); err != nil {
+		t.Fatalf("derived sizes rejected: %v", err)
+	}
+	long := []Pair{{Key: []byte("k"), Value: bytes.Repeat([]byte{'v'}, 9)}}
+	if _, err := BuildTable(long, Options{ValueSize: 4}); !errors.Is(err, ErrValueTooLong) {
+		t.Fatalf("over-long value: %v, want ErrValueTooLong", err)
+	}
+	if _, err := BuildTable(nil, Options{}); err == nil {
+		t.Fatal("empty pair set accepted")
+	}
+}
+
+// TestStashSpill forces eviction failure by squeezing many pairs into
+// a deliberately undersized bucket array: the overflow must land in
+// the stash and remain findable.
+func TestStashSpill(t *testing.T) {
+	pairs := GeneratePairs(16, 3)
+	table, err := BuildTable(pairs, Options{
+		NumBuckets:     6,
+		BucketCapacity: 2,
+		Hashes:         2,
+		StashBuckets:   4,
+		MaxKicks:       8,
+		Seed:           3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 16 pairs into 12 hash slots: at least 4 must have spilled.
+	if table.Stashed() < 4 {
+		t.Fatalf("stashed %d pairs, expected ≥ 4", table.Stashed())
+	}
+	for _, p := range pairs {
+		v, err := table.Lookup(p.Key)
+		if err != nil {
+			t.Fatalf("Lookup(%q) after stash spill: %v", p.Key, err)
+		}
+		if !bytes.Equal(v, p.Value) {
+			t.Fatalf("Lookup(%q) wrong value after stash spill", p.Key)
+		}
+	}
+}
+
+// TestTableFull: pairs exceeding hash slots + stash slots must fail
+// with ErrTableFull, not loop or silently drop entries.
+func TestTableFull(t *testing.T) {
+	pairs := GeneratePairs(20, 5)
+	_, err := BuildTable(pairs, Options{
+		NumBuckets:     4,
+		BucketCapacity: 2,
+		Hashes:         2,
+		StashBuckets:   2,
+		MaxKicks:       8,
+		Seed:           5,
+	})
+	if !errors.Is(err, ErrTableFull) {
+		t.Fatalf("overfull table: %v, want ErrTableFull", err)
+	}
+}
+
+func TestGeneratePairsDeterministic(t *testing.T) {
+	a, b := GeneratePairs(50, 9), GeneratePairs(50, 9)
+	for i := range a {
+		if !bytes.Equal(a[i].Key, b[i].Key) || !bytes.Equal(a[i].Value, b[i].Value) {
+			t.Fatalf("pair %d differs between identical generations", i)
+		}
+	}
+	c := GeneratePairs(50, 10)
+	same := 0
+	for i := range a {
+		if bytes.Equal(a[i].Value, c[i].Value) {
+			same++
+		}
+	}
+	if same == len(a) {
+		t.Fatal("different seeds produced identical values")
+	}
+	if want := fmt.Sprintf("key-%08d", 7); string(a[7].Key) != want {
+		t.Fatalf("key 7 is %q, want %q", a[7].Key, want)
+	}
+}

@@ -1,0 +1,175 @@
+package keyword
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func validManifest() Manifest {
+	return Manifest{
+		NumBuckets:     64,
+		StashBuckets:   2,
+		BucketCapacity: 2,
+		KeySize:        16,
+		ValueSize:      32,
+		HashSeeds:      []uint64{11, 22, 33},
+	}
+}
+
+func TestManifestValidate(t *testing.T) {
+	if err := validManifest().Validate(); err != nil {
+		t.Fatalf("valid manifest rejected: %v", err)
+	}
+	cases := []struct {
+		name   string
+		mutate func(*Manifest)
+		want   string
+	}{
+		{"zero buckets", func(m *Manifest) { m.NumBuckets = 0 }, "bucket count"},
+		{"zero capacity", func(m *Manifest) { m.BucketCapacity = 0 }, "capacity"},
+		{"huge capacity", func(m *Manifest) { m.BucketCapacity = MaxBucketCapacity + 1 }, "capacity"},
+		{"zero key size", func(m *Manifest) { m.KeySize = 0 }, "key size"},
+		{"huge key size", func(m *Manifest) { m.KeySize = MaxKeySize + 1 }, "key size"},
+		{"zero value size", func(m *Manifest) { m.ValueSize = 0 }, "value size"},
+		{"huge value size", func(m *Manifest) { m.ValueSize = MaxValueSize + 1 }, "value size"},
+		{"one seed", func(m *Manifest) { m.HashSeeds = m.HashSeeds[:1] }, "hash seeds"},
+		{"nine seeds", func(m *Manifest) { m.HashSeeds = make([]uint64, 9) }, "hash seeds"},
+		{"duplicate seeds", func(m *Manifest) { m.HashSeeds = []uint64{5, 5} }, "repeats"},
+		{"record too big", func(m *Manifest) {
+			m.BucketCapacity = MaxBucketCapacity
+			m.KeySize = MaxKeySize
+			m.ValueSize = MaxValueSize
+		}, "record size"},
+		{"bucket overflow", func(m *Manifest) {
+			m.NumBuckets = MaxBuckets
+			m.StashBuckets = 1
+		}, "cap"},
+		{"huge stash", func(m *Manifest) { m.StashBuckets = MaxStashBuckets + 1 }, "stash"},
+	}
+	for _, tc := range cases {
+		m := validManifest()
+		tc.mutate(&m)
+		err := m.Validate()
+		if err == nil {
+			t.Errorf("%s: accepted", tc.name)
+			continue
+		}
+		if !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%s: error %q does not mention %q", tc.name, err, tc.want)
+		}
+	}
+}
+
+func TestManifestJSONRoundTrip(t *testing.T) {
+	m := validManifest()
+	data, err := m.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := Parse(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.NumBuckets != m.NumBuckets || back.StashBuckets != m.StashBuckets ||
+		back.BucketCapacity != m.BucketCapacity || back.KeySize != m.KeySize ||
+		back.ValueSize != m.ValueSize || len(back.HashSeeds) != len(m.HashSeeds) {
+		t.Fatalf("round trip changed the manifest: %+v != %+v", back, m)
+	}
+	for i := range m.HashSeeds {
+		if back.HashSeeds[i] != m.HashSeeds[i] {
+			t.Fatalf("seed %d changed in round trip", i)
+		}
+	}
+
+	path := filepath.Join(t.TempDir(), "kv.json")
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.NumBuckets != m.NumBuckets {
+		t.Fatal("Load disagrees with Parse")
+	}
+	if _, err := Load(filepath.Join(t.TempDir(), "missing.json")); err == nil {
+		t.Fatal("missing manifest file accepted")
+	}
+}
+
+func TestManifestParseRejectsInvalid(t *testing.T) {
+	for _, bad := range []string{
+		"",                      // empty
+		"{",                     // truncated
+		"[]",                    // wrong shape
+		`{"num_buckets": 0}`,    // fails validation
+		`{"num_buckets": "ha"}`, // wrong type
+	} {
+		if _, err := Parse([]byte(bad)); err == nil {
+			t.Errorf("Parse(%q) accepted", bad)
+		}
+	}
+	if _, err := validManifest().JSON(); err != nil {
+		t.Fatal(err)
+	}
+	bad := validManifest()
+	bad.NumBuckets = 0
+	if _, err := bad.JSON(); err == nil {
+		t.Fatal("JSON() encoded an invalid manifest")
+	}
+}
+
+func TestProbeShapeIsConstant(t *testing.T) {
+	m := validManifest()
+	keys := [][]byte{[]byte("a"), []byte("another key!"), bytes.Repeat([]byte{0xFF}, 16)}
+	want := m.ProbesPerKey()
+	if want != m.Hashes()+int(m.StashBuckets) {
+		t.Fatalf("ProbesPerKey %d != k+stash %d", want, m.Hashes()+int(m.StashBuckets))
+	}
+	for _, key := range keys {
+		probes := m.ProbeIndices(key)
+		if len(probes) != want {
+			t.Fatalf("key %q probes %d buckets, want %d", key, len(probes), want)
+		}
+		for _, b := range probes {
+			if b >= m.TotalBuckets() {
+				t.Fatalf("key %q probe %d outside table of %d buckets", key, b, m.TotalBuckets())
+			}
+		}
+		// Deterministic: same key, same probes.
+		again := m.ProbeIndices(key)
+		for i := range probes {
+			if probes[i] != again[i] {
+				t.Fatalf("key %q probe plan not deterministic", key)
+			}
+		}
+		// Stash tail is identical across keys.
+		for i, s := range m.StashIndices() {
+			if probes[m.Hashes()+i] != s {
+				t.Fatalf("key %q stash probe %d is %d, want %d", key, i, probes[m.Hashes()+i], s)
+			}
+		}
+	}
+}
+
+func TestCheckKeyAndValue(t *testing.T) {
+	m := validManifest()
+	if err := m.CheckKey(nil); err == nil {
+		t.Error("empty key accepted")
+	}
+	if err := m.CheckKey(bytes.Repeat([]byte{1}, m.KeySize+1)); err == nil {
+		t.Error("over-long key accepted")
+	}
+	if err := m.CheckKey(bytes.Repeat([]byte{1}, m.KeySize)); err != nil {
+		t.Errorf("exact-size key rejected: %v", err)
+	}
+	if err := m.CheckValue(bytes.Repeat([]byte{1}, m.ValueSize+1)); err == nil {
+		t.Error("over-long value accepted")
+	}
+	if err := m.CheckValue(nil); err != nil {
+		t.Errorf("empty value rejected: %v", err)
+	}
+}

@@ -1,0 +1,313 @@
+package keyword
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"fmt"
+	"math"
+	"math/rand"
+
+	"github.com/impir/impir/internal/database"
+)
+
+// Pair is one key→value entry of a keyword store.
+type Pair struct {
+	Key   []byte
+	Value []byte
+}
+
+// Options tunes BuildTable. The zero value derives everything from the
+// input pairs: 3 hashes, 2 slots per bucket, an 0.85 target load
+// factor, key/value sizes sized to the longest input, a stash of
+// ~TotalSlots/128 (min 1) buckets, and seed 1.
+type Options struct {
+	// Hashes is k, the candidate buckets per key (0 = 3).
+	Hashes int
+	// BucketCapacity is the slots per bucket (0 = 2).
+	BucketCapacity int
+	// KeySize fixes the per-slot key field (0 = longest input key).
+	KeySize int
+	// ValueSize fixes the per-slot value field (0 = longest input
+	// value, min 1).
+	ValueSize int
+	// LoadFactor is the target fill fraction sizing the table:
+	// NumBuckets = ⌈pairs / (BucketCapacity · LoadFactor)⌉ (0 = 0.85).
+	// Ignored when NumBuckets is set.
+	LoadFactor float64
+	// NumBuckets fixes the hash-bucket count directly (0 = derive from
+	// LoadFactor).
+	NumBuckets uint64
+	// StashBuckets fixes the reserved tail bucket count (0 = 4). The
+	// stash is deliberately CONSTANT-size, not proportional to the
+	// table: clients probe every stash bucket on every lookup, so the
+	// stash directly prices the probe batch. Cuckoo theory puts the
+	// expected overflow at O(1)–O(log n) items; if a build overflows
+	// the stash (ErrTableFull), lower LoadFactor or raise MaxKicks
+	// rather than growing the stash. Use -1 for no stash.
+	StashBuckets int
+	// Seed makes the build deterministic: it derives the k hash seeds
+	// and drives the eviction walk. Two builds with identical pairs and
+	// options produce byte-identical tables (0 = 1).
+	Seed int64
+	// MaxKicks bounds one insertion's cuckoo eviction walk before the
+	// pair spills to the stash (0 = 512).
+	MaxKicks int
+}
+
+func (o Options) withDefaults(pairs []Pair) (Options, error) {
+	if o.Hashes == 0 {
+		o.Hashes = 3
+	}
+	if o.BucketCapacity == 0 {
+		o.BucketCapacity = 2
+	}
+	if o.LoadFactor == 0 {
+		o.LoadFactor = 0.85
+	}
+	if o.LoadFactor < 0.05 || o.LoadFactor > 1 {
+		return o, fmt.Errorf("keyword: load factor %g outside (0.05,1]", o.LoadFactor)
+	}
+	if o.Seed == 0 {
+		o.Seed = 1
+	}
+	if o.MaxKicks == 0 {
+		o.MaxKicks = 512
+	}
+	maxKey, maxVal := 0, 0
+	for _, p := range pairs {
+		if len(p.Key) > maxKey {
+			maxKey = len(p.Key)
+		}
+		if len(p.Value) > maxVal {
+			maxVal = len(p.Value)
+		}
+	}
+	if o.KeySize == 0 {
+		o.KeySize = maxKey
+	}
+	if o.ValueSize == 0 {
+		o.ValueSize = maxVal
+	}
+	if o.ValueSize == 0 {
+		o.ValueSize = 1 // value-less sets (membership tests) still need a field
+	}
+	if o.NumBuckets == 0 {
+		need := float64(len(pairs)) / (float64(o.BucketCapacity) * o.LoadFactor)
+		o.NumBuckets = uint64(math.Ceil(need))
+		if o.NumBuckets < 1 {
+			o.NumBuckets = 1
+		}
+	}
+	if o.StashBuckets == 0 {
+		o.StashBuckets = 4
+	}
+	if o.StashBuckets < 0 {
+		o.StashBuckets = 0
+	}
+	return o, nil
+}
+
+// deriveSeeds expands the build seed into k distinct hash seeds via
+// SHA-256, retrying on the (astronomically unlikely) collision so the
+// manifest always validates.
+func deriveSeeds(seed int64, k int) []uint64 {
+	out := make([]uint64, 0, k)
+	seen := make(map[uint64]struct{}, k)
+	for i := 0; len(out) < k; i++ {
+		var buf [20]byte
+		copy(buf[:4], "impr")
+		binary.LittleEndian.PutUint64(buf[4:], uint64(seed))
+		binary.LittleEndian.PutUint64(buf[12:], uint64(i))
+		sum := sha256.Sum256(buf[:])
+		s := binary.LittleEndian.Uint64(sum[:8])
+		if _, dup := seen[s]; dup {
+			continue
+		}
+		seen[s] = struct{}{}
+		out = append(out, s)
+	}
+	return out
+}
+
+// Table is a built cuckoo table: the manifest plus the slot contents
+// of every bucket (hash buckets first, then the stash tail).
+type Table struct {
+	Manifest Manifest
+
+	buckets [][]Slot // TotalBuckets() entries of BucketCapacity slots
+	pairs   int      // stored pairs
+	stashed int      // pairs that spilled to the stash
+}
+
+// BuildTable places pairs into a k-ary cuckoo table. The build is
+// deterministic in (pairs order, Options): candidate buckets come from
+// seeded hashes, eviction walks from a seeded PRNG, so independently
+// built replicas are byte-identical — the property replicated PIR
+// servers need. Duplicate keys are rejected with ErrDuplicateKey, keys
+// and values longer than the (configured or derived) field sizes with
+// ErrKeyTooLong / ErrValueTooLong, and a table whose eviction walks and
+// stash are both exhausted with ErrTableFull.
+func BuildTable(pairs []Pair, opts Options) (*Table, error) {
+	if len(pairs) == 0 {
+		return nil, fmt.Errorf("keyword: no pairs")
+	}
+	opts, err := opts.withDefaults(pairs)
+	if err != nil {
+		return nil, err
+	}
+	m := Manifest{
+		NumBuckets:     opts.NumBuckets,
+		StashBuckets:   uint64(opts.StashBuckets),
+		BucketCapacity: opts.BucketCapacity,
+		KeySize:        opts.KeySize,
+		ValueSize:      opts.ValueSize,
+		HashSeeds:      deriveSeeds(opts.Seed, opts.Hashes),
+	}
+	if err := m.Validate(); err != nil {
+		return nil, err
+	}
+
+	t := &Table{Manifest: m, buckets: make([][]Slot, m.TotalBuckets())}
+	for i := range t.buckets {
+		t.buckets[i] = make([]Slot, m.BucketCapacity)
+	}
+	seen := make(map[string]struct{}, len(pairs))
+	rng := rand.New(rand.NewSource(opts.Seed))
+	for i, p := range pairs {
+		if err := m.CheckKey(p.Key); err != nil {
+			return nil, fmt.Errorf("keyword: pair %d: %w", i, err)
+		}
+		if err := m.CheckValue(p.Value); err != nil {
+			return nil, fmt.Errorf("keyword: pair %d: %w", i, err)
+		}
+		if _, dup := seen[string(p.Key)]; dup {
+			return nil, fmt.Errorf("keyword: pair %d: %w: %q", i, ErrDuplicateKey, p.Key)
+		}
+		seen[string(p.Key)] = struct{}{}
+		if err := t.insert(p, rng, opts.MaxKicks); err != nil {
+			return nil, fmt.Errorf("keyword: pair %d: %w", i, err)
+		}
+	}
+	return t, nil
+}
+
+// insert places one pair: direct placement into a free candidate slot
+// when possible, otherwise a bounded random-walk cuckoo eviction, and
+// finally the stash.
+func (t *Table) insert(p Pair, rng *rand.Rand, maxKicks int) error {
+	cur := Slot{Occupied: true, Key: p.Key, Value: p.Value}
+	for kick := 0; kick <= maxKicks; kick++ {
+		cands := t.Manifest.Candidates(cur.Key)
+		for _, b := range cands {
+			if i := freeSlot(t.buckets[b]); i >= 0 {
+				t.buckets[b][i] = cur
+				t.pairs++
+				return nil
+			}
+		}
+		// All candidates full: evict a random slot of a random candidate
+		// and walk the victim.
+		b := cands[rng.Intn(len(cands))]
+		s := rng.Intn(t.Manifest.BucketCapacity)
+		t.buckets[b][s], cur = cur, t.buckets[b][s]
+	}
+	// Walk exhausted: the displaced pair spills into the stash tail.
+	for _, b := range t.Manifest.StashIndices() {
+		if i := freeSlot(t.buckets[b]); i >= 0 {
+			t.buckets[b][i] = cur
+			t.pairs++
+			t.stashed++
+			return nil
+		}
+	}
+	return ErrTableFull
+}
+
+func freeSlot(slots []Slot) int {
+	for i, s := range slots {
+		if !s.Occupied {
+			return i
+		}
+	}
+	return -1
+}
+
+// Pairs returns the number of stored pairs.
+func (t *Table) Pairs() int { return t.pairs }
+
+// Stashed returns how many pairs spilled into the stash tail.
+func (t *Table) Stashed() int { return t.stashed }
+
+// LoadFactor returns the achieved fill fraction over the hash buckets
+// (stored non-stash pairs / hash slots) — the "effective load factor"
+// the bench harness tracks.
+func (t *Table) LoadFactor() float64 {
+	slots := float64(t.Manifest.NumBuckets) * float64(t.Manifest.BucketCapacity)
+	return float64(t.pairs-t.stashed) / slots
+}
+
+// Lookup finds a key in the built table in memory (no PIR) — the
+// builder-side reference the network client's probe path is tested
+// against. Returns ErrNotFound for absent keys.
+func (t *Table) Lookup(key []byte) ([]byte, error) {
+	if err := t.Manifest.CheckKey(key); err != nil {
+		return nil, err
+	}
+	for _, b := range t.Manifest.Candidates(key) {
+		if v, ok := findSlot(t.buckets[b], key); ok {
+			return v, nil
+		}
+	}
+	for _, b := range t.Manifest.StashIndices() {
+		if v, ok := findSlot(t.buckets[b], key); ok {
+			return v, nil
+		}
+	}
+	return nil, ErrNotFound
+}
+
+func findSlot(slots []Slot, key []byte) ([]byte, bool) {
+	for _, s := range slots {
+		if s.Occupied && string(s.Key) == string(key) {
+			return s.Value, true
+		}
+	}
+	return nil, false
+}
+
+// DB serialises the table into an ordinary PIR database: record i is
+// bucket i's canonical encoding (hash buckets, then the stash tail).
+// Everything above the database — engines, scheduling, sharding —
+// works on it unchanged.
+func (t *Table) DB() (*database.DB, error) {
+	db, err := database.New(int(t.Manifest.TotalBuckets()), t.Manifest.RecordSize())
+	if err != nil {
+		return nil, err
+	}
+	for i, slots := range t.buckets {
+		rec, err := t.Manifest.EncodeBucket(slots)
+		if err != nil {
+			return nil, fmt.Errorf("keyword: bucket %d: %w", i, err)
+		}
+		if err := db.SetRecord(i, rec); err != nil {
+			return nil, err
+		}
+	}
+	return db, nil
+}
+
+// GeneratePairs synthesises a deterministic keyword corpus for tests,
+// benchmarks, and the impir-server -kv-manifest workload: n pairs with
+// sequential printable keys ("key-00000042") and pseudorandom 32-byte
+// values, deterministic in seed. Two servers started with the same
+// (n, seed) build byte-identical tables.
+func GeneratePairs(n int, seed int64) []Pair {
+	rng := rand.New(rand.NewSource(seed))
+	out := make([]Pair, n)
+	for i := range out {
+		val := make([]byte, 32)
+		rng.Read(val)
+		out[i] = Pair{Key: []byte(fmt.Sprintf("key-%08d", i)), Value: val}
+	}
+	return out
+}

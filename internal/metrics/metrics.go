@@ -276,6 +276,35 @@ func (c ClusterStats) String() string {
 	return sb.String()
 }
 
+// KVStats is a snapshot of a keyword client's cumulative counters.
+// Hits and Misses are client-side outcomes only — on the wire a hit
+// and a miss are indistinguishable by construction (identical probe
+// batches), so these counters exist nowhere a server could read.
+type KVStats struct {
+	// Gets counts single-key lookups; BatchGets counts batched lookup
+	// round trips and BatchKeys the keys they carried.
+	Gets      uint64
+	BatchGets uint64
+	BatchKeys uint64
+	// Hits and Misses split lookups by outcome (client-side only).
+	Hits   uint64
+	Misses uint64
+	// Puts and Deletes count mutations pushed through the update path.
+	Puts    uint64
+	Deletes uint64
+	// ProbedBuckets counts bucket records privately retrieved across
+	// all operations (k candidates + stash per lookup shape).
+	ProbedBuckets uint64
+	// Errors counts failed operations.
+	Errors uint64
+}
+
+// String renders the counters compactly for logs and reports.
+func (s KVStats) String() string {
+	return fmt.Sprintf("gets=%d batch-gets=%d(%d keys) hits=%d misses=%d puts=%d deletes=%d probes=%d errors=%d",
+		s.Gets, s.BatchGets, s.BatchKeys, s.Hits, s.Misses, s.Puts, s.Deletes, s.ProbedBuckets, s.Errors)
+}
+
 // AvgWait returns the mean time a dispatched request spent queued.
 func (s SchedulerStats) AvgWait() time.Duration {
 	if s.Dispatched == 0 {

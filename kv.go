@@ -1,0 +1,416 @@
+package impir
+
+import (
+	"context"
+	"fmt"
+	"sync"
+
+	"github.com/impir/impir/internal/keyword"
+	"github.com/impir/impir/internal/metrics"
+)
+
+// Keyword retrieval: the cuckoo-table layer lives in internal/keyword;
+// the root package re-exports it here together with KVClient, the
+// network client that privately looks keys up against any deployment —
+// a plain server pair (DialKV) or a sharded cluster (DialKVCluster).
+
+// KVManifest describes a keyword table's geometry and hashing: bucket
+// count and capacity, the reserved stash tail, key/value field sizes,
+// and the k candidate-hash seeds. It is public data — a client needs
+// it to compute probe indices, and it reveals nothing about the stored
+// keys. Manifests round-trip through JSON (ParseKVManifest /
+// LoadKVManifest / KVManifest.JSON) for flags and config files.
+type KVManifest = keyword.Manifest
+
+// KVPair is one key→value entry for BuildKVDB.
+type KVPair = keyword.Pair
+
+// KVTableOptions tunes the cuckoo table builder; the zero value
+// derives everything from the input pairs. See keyword.Options.
+type KVTableOptions = keyword.Options
+
+// KVStats is a snapshot of a KVClient's cumulative counters.
+type KVStats = metrics.KVStats
+
+// ErrNotFound reports a key absent from a keyword store. A lookup for
+// an absent key issues exactly the same wire traffic as a hit — the
+// servers cannot tell the difference; only the client learns it.
+var ErrNotFound = keyword.ErrNotFound
+
+// ErrKVFull reports a keyword table whose candidate buckets and stash
+// are exhausted — for Put, pick a larger table at the next rebuild.
+var ErrKVFull = keyword.ErrTableFull
+
+// ParseKVManifest decodes and validates a JSON keyword-table manifest.
+func ParseKVManifest(data []byte) (KVManifest, error) { return keyword.Parse(data) }
+
+// LoadKVManifest reads and validates a JSON keyword-table manifest file.
+func LoadKVManifest(path string) (KVManifest, error) { return keyword.Load(path) }
+
+// BuildKVDB builds a cuckoo table from key→value pairs and serialises
+// it into an ordinary PIR database: record i is bucket i. Load the
+// database into every replica (or SplitDB it across shard cohorts) and
+// hand clients the returned manifest; the build is deterministic in
+// (pairs, options), so independently building servers agree
+// byte-for-byte.
+func BuildKVDB(pairs []KVPair, opts KVTableOptions) (*DB, KVManifest, error) {
+	t, err := keyword.BuildTable(pairs, opts)
+	if err != nil {
+		return nil, KVManifest{}, err
+	}
+	db, err := t.DB()
+	if err != nil {
+		return nil, KVManifest{}, err
+	}
+	return db, t.Manifest, nil
+}
+
+// kvStore is the retrieval deployment a KVClient probes through —
+// satisfied by both *Client and *ClusterClient, so keyword stores
+// compose with sharding for free.
+type kvStore interface {
+	RetrieveBatch(ctx context.Context, indices []uint64) ([][]byte, error)
+	Update(ctx context.Context, updates map[uint64][]byte) error
+	NumRecords() uint64
+	RecordSize() int
+	Close() error
+}
+
+var (
+	_ kvStore = (*Client)(nil)
+	_ kvStore = (*ClusterClient)(nil)
+)
+
+// KVClient privately looks keys up against a keyword store. Every
+// lookup retrieves the key's k candidate buckets plus the whole stash
+// tail in ONE RetrieveBatch — a constant, padded batch shape that
+// depends only on the manifest and the key count, never on the key
+// bytes or on whether the key exists — so the servers learn neither
+// the key nor hit/miss (and each PIR sub-query already hides which
+// bucket was read). Put and Delete ride the wire-update path with
+// cuckoo-aware bucket rewrites; like all updates they are public
+// operator actions (the touched bucket index is visible, the key and
+// value bytes inside the fixed-size record are not inferable from the
+// index alone, but treat mutations as non-private).
+//
+// A KVClient may be shared by concurrent goroutines for lookups.
+// Concurrent mutations of the same bucket race at read-modify-write
+// granularity — serialise Put/Delete externally, as with any
+// replicated-update deployment.
+type KVClient struct {
+	store kvStore
+	m     KVManifest
+
+	mu    sync.Mutex
+	stats metrics.KVStats
+}
+
+// DialKV connects to the ≥ 2 non-colluding replicas of a keyword store
+// (through Dial, with its replica cross-checks) and validates the
+// served database against the table manifest.
+func DialKV(ctx context.Context, addrs []string, m KVManifest, opts ...ClientOption) (*KVClient, error) {
+	if err := m.Validate(); err != nil {
+		return nil, err
+	}
+	cli, err := Dial(ctx, addrs, opts...)
+	if err != nil {
+		return nil, err
+	}
+	kv, err := newKVClient(cli, m)
+	if err != nil {
+		cli.Close()
+		return nil, err
+	}
+	return kv, nil
+}
+
+// DialKVCluster connects to a sharded keyword store: the cuckoo table
+// database carved across the shard cohorts of cm (via SplitDB /
+// SplitDBByManifest). Probes fan out through a ClusterClient, so every
+// cohort receives a well-formed equal-length sub-batch whether or not
+// it owns any probed bucket — sharding adds no leak on top of the
+// constant probe shape.
+func DialKVCluster(ctx context.Context, cm ShardManifest, m KVManifest, opts ...ClientOption) (*KVClient, error) {
+	if err := m.Validate(); err != nil {
+		return nil, err
+	}
+	cc, err := DialCluster(ctx, cm, opts...)
+	if err != nil {
+		return nil, err
+	}
+	kv, err := newKVClient(cc, m)
+	if err != nil {
+		cc.Close()
+		return nil, err
+	}
+	return kv, nil
+}
+
+// newKVClient validates the dialed deployment's geometry against the
+// table manifest: the record size must match the bucket encoding
+// exactly, and the deployment must hold at least every bucket (servers
+// pad record counts to powers of two, so ≥, not ==).
+func newKVClient(store kvStore, m KVManifest) (*KVClient, error) {
+	if store.RecordSize() != m.RecordSize() {
+		return nil, fmt.Errorf("impir: deployment serves %d-byte records, keyword manifest's bucket encoding needs %d",
+			store.RecordSize(), m.RecordSize())
+	}
+	if store.NumRecords() < m.TotalBuckets() {
+		return nil, fmt.Errorf("impir: deployment serves %d records, keyword manifest needs %d buckets",
+			store.NumRecords(), m.TotalBuckets())
+	}
+	return &KVClient{store: store, m: m}, nil
+}
+
+// Manifest returns the table manifest the client probes with.
+func (c *KVClient) Manifest() KVManifest { return c.m }
+
+// ProbesPerKey returns the constant bucket count retrieved per key —
+// the k candidates plus the stash tail.
+func (c *KVClient) ProbesPerKey() int { return c.m.ProbesPerKey() }
+
+// Get privately fetches the value stored for key. Absent keys return
+// ErrNotFound — after issuing exactly the same probe batch a hit
+// issues, so the outcome is invisible to the servers.
+func (c *KVClient) Get(ctx context.Context, key []byte) ([]byte, error) {
+	vals, err := c.getBatch(ctx, [][]byte{key}, false)
+	if err != nil {
+		c.bump(func(s *metrics.KVStats) { s.Gets++; s.Errors++ })
+		return nil, err
+	}
+	hit := vals[0] != nil
+	c.bump(func(s *metrics.KVStats) {
+		s.Gets++
+		s.ProbedBuckets += uint64(c.m.ProbesPerKey())
+		if hit {
+			s.Hits++
+		} else {
+			s.Misses++
+		}
+	})
+	if !hit {
+		return nil, ErrNotFound
+	}
+	return vals[0], nil
+}
+
+// GetBatch privately fetches several keys in one batched round trip
+// per server: len(keys)·k candidate probes plus one shared stash scan,
+// a shape fixed by the manifest and the key count alone. The returned
+// slice aligns with keys; absent keys yield a nil entry (no error), so
+// mixed hit/miss batches — the common case for credential checking —
+// need no special-casing. A present key whose stored value is empty
+// yields a non-nil empty slice, distinguishable from a miss. GetBatch
+// with no keys returns an empty slice.
+func (c *KVClient) GetBatch(ctx context.Context, keys [][]byte) ([][]byte, error) {
+	if len(keys) == 0 {
+		return [][]byte{}, nil
+	}
+	vals, err := c.getBatch(ctx, keys, false)
+	if err != nil {
+		c.bump(func(s *metrics.KVStats) { s.BatchGets++; s.Errors++ })
+		return nil, err
+	}
+	c.bump(func(s *metrics.KVStats) {
+		s.BatchGets++
+		s.BatchKeys += uint64(len(keys))
+		s.ProbedBuckets += uint64(len(keys)*c.m.Hashes()) + c.m.StashBuckets
+		for _, v := range vals {
+			if v != nil {
+				s.Hits++
+			} else {
+				s.Misses++
+			}
+		}
+	})
+	return vals, nil
+}
+
+// getBatch runs the constant-shape probe: every key's k candidate
+// buckets, then the stash tail once, all in one RetrieveBatch. With
+// raw true it returns the probed bucket records themselves (Put and
+// Delete rewrite them); otherwise the per-key values, nil for misses.
+func (c *KVClient) getBatch(ctx context.Context, keys [][]byte, raw bool) ([][]byte, error) {
+	k := c.m.Hashes()
+	indices := make([]uint64, 0, len(keys)*k+int(c.m.StashBuckets))
+	for i, key := range keys {
+		if err := c.m.CheckKey(key); err != nil {
+			return nil, fmt.Errorf("impir: key %d: %w", i, err)
+		}
+		indices = append(indices, c.m.Candidates(key)...)
+	}
+	indices = append(indices, c.m.StashIndices()...)
+	recs, err := c.store.RetrieveBatch(ctx, indices)
+	if err != nil {
+		return nil, err
+	}
+	if raw {
+		return recs, nil
+	}
+	// Decode the shared stash records once, not once per key.
+	stash := make([][]keyword.Slot, int(c.m.StashBuckets))
+	for i, rec := range recs[len(keys)*k:] {
+		slots, err := c.m.DecodeBucket(rec)
+		if err != nil {
+			return nil, fmt.Errorf("impir: corrupt stash record: %w", err)
+		}
+		stash[i] = slots
+	}
+	out := make([][]byte, len(keys))
+	for i, key := range keys {
+		val, found, err := c.findIn(recs[i*k:(i+1)*k], stash, key)
+		if err != nil {
+			return nil, err
+		}
+		if found {
+			out[i] = val
+		}
+	}
+	return out, nil
+}
+
+// findIn searches a key's candidate records, then the pre-decoded
+// stash slots.
+func (c *KVClient) findIn(cands [][]byte, stash [][]keyword.Slot, key []byte) ([]byte, bool, error) {
+	for _, rec := range cands {
+		if v, ok, err := c.m.FindInBucket(rec, key); err != nil {
+			return nil, false, fmt.Errorf("impir: corrupt bucket record: %w", err)
+		} else if ok {
+			return v, true, nil
+		}
+	}
+	for _, slots := range stash {
+		for _, s := range slots {
+			if s.Occupied && string(s.Key) == string(key) {
+				return s.Value, true, nil
+			}
+		}
+	}
+	return nil, false, nil
+}
+
+// Put stores (or overwrites) key→value through the wire-update path:
+// it privately probes the key's buckets with the standard
+// constant-shape batch, rewrites the holding bucket (overwrite), or
+// places the pair into the first candidate bucket with a free slot,
+// falling back to the stash tail, and pushes the single rewritten
+// bucket record to every replica. Returns ErrKVFull when candidates
+// and stash are all occupied (Put does not run eviction walks online —
+// rebuild the table with BuildKVDB for bulk growth). Like every
+// update, the rewritten bucket index is visible to the servers; the
+// probe that preceded it is not attributable to a key. Servers must be
+// started with ServerConfig.AllowWireUpdates.
+func (c *KVClient) Put(ctx context.Context, key, value []byte) error {
+	err := c.put(ctx, key, value)
+	c.bump(func(s *metrics.KVStats) {
+		s.Puts++
+		s.ProbedBuckets += uint64(c.m.ProbesPerKey())
+		if err != nil {
+			s.Errors++
+		}
+	})
+	return err
+}
+
+func (c *KVClient) put(ctx context.Context, key, value []byte) error {
+	if err := c.m.CheckValue(value); err != nil {
+		return fmt.Errorf("impir: %w", err)
+	}
+	recs, err := c.getBatch(ctx, [][]byte{key}, true)
+	if err != nil {
+		return err
+	}
+	indices := c.m.ProbeIndices(key) // same order getBatch probed
+
+	// Pass 1: the key may already live in one of its buckets — overwrite
+	// in place, keeping the table canonical (one slot per key).
+	type located struct {
+		bucket uint64
+		slots  []keyword.Slot
+		slot   int
+	}
+	var free *located
+	for p, rec := range recs {
+		slots, err := c.m.DecodeBucket(rec)
+		if err != nil {
+			return fmt.Errorf("impir: corrupt bucket record %d: %w", indices[p], err)
+		}
+		for si, s := range slots {
+			if s.Occupied && string(s.Key) == string(key) {
+				slots[si].Value = value
+				return c.rewrite(ctx, indices[p], slots)
+			}
+			if !s.Occupied && free == nil {
+				free = &located{bucket: indices[p], slots: slots, slot: si}
+			}
+		}
+	}
+	// Pass 2: first free slot in probe order (candidates before stash).
+	if free == nil {
+		return fmt.Errorf("impir: %w", ErrKVFull)
+	}
+	free.slots[free.slot] = keyword.Slot{Occupied: true, Key: append([]byte(nil), key...), Value: value}
+	return c.rewrite(ctx, free.bucket, free.slots)
+}
+
+// Delete removes key from the store through the wire-update path. The
+// probe is the standard constant-shape batch; absent keys return
+// ErrNotFound without any update.
+func (c *KVClient) Delete(ctx context.Context, key []byte) error {
+	err := c.delete(ctx, key)
+	c.bump(func(s *metrics.KVStats) {
+		s.Deletes++
+		s.ProbedBuckets += uint64(c.m.ProbesPerKey())
+		if err != nil {
+			s.Errors++
+		}
+	})
+	return err
+}
+
+func (c *KVClient) delete(ctx context.Context, key []byte) error {
+	recs, err := c.getBatch(ctx, [][]byte{key}, true)
+	if err != nil {
+		return err
+	}
+	indices := c.m.ProbeIndices(key) // same order getBatch probed
+	for p, rec := range recs {
+		slots, err := c.m.DecodeBucket(rec)
+		if err != nil {
+			return fmt.Errorf("impir: corrupt bucket record %d: %w", indices[p], err)
+		}
+		for si, s := range slots {
+			if s.Occupied && string(s.Key) == string(key) {
+				slots[si] = keyword.Slot{}
+				return c.rewrite(ctx, indices[p], slots)
+			}
+		}
+	}
+	return ErrNotFound
+}
+
+// rewrite encodes one bucket's slots and pushes it to every replica
+// (or, through a ClusterClient, to the owning cohort only).
+func (c *KVClient) rewrite(ctx context.Context, bucket uint64, slots []keyword.Slot) error {
+	rec, err := c.m.EncodeBucket(slots)
+	if err != nil {
+		return fmt.Errorf("impir: re-encode bucket %d: %w", bucket, err)
+	}
+	return c.store.Update(ctx, map[uint64][]byte{bucket: rec})
+}
+
+// Stats snapshots the client-side keyword counters.
+func (c *KVClient) Stats() KVStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.stats
+}
+
+func (c *KVClient) bump(f func(*metrics.KVStats)) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	f(&c.stats)
+}
+
+// Close closes the underlying deployment client.
+func (c *KVClient) Close() error { return c.store.Close() }

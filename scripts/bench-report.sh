@@ -94,6 +94,18 @@ run_benchmarks() {
         echo "--- Shard scaling (1 vs 2 vs 4 vs 8 shards, same total DB) ---"
         go run ./cmd/impir-bench -experiment shards -verify-records 0
     fi
+
+    # Keyword retrieval (internal/keyword): real cuckoo tables at
+    # growing pair counts — the effective load factor must hold its
+    # 0.85 target, the stash must stay negligible and constant, and the
+    # modeled k-probe lookup cost is tracked against plain index-PIR so
+    # keyword overhead is visible per PR. Includes a small functional
+    # hit/miss verification through a real engine pair.
+    if [[ "${PACKAGE}" == "./..." || "${PACKAGE}" == "." ]]; then
+        echo ""
+        echo "--- Keyword retrieval (load factor + k-probe lookup cost) ---"
+        go run ./cmd/impir-bench -experiment keyword -verify-records 2048
+    fi
 }
 
 if [[ -n "$OUTPUT" ]]; then
