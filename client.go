@@ -5,57 +5,93 @@ import (
 	"crypto/tls"
 	"errors"
 	"fmt"
+	"slices"
 	"sync"
+	"time"
 
 	"github.com/impir/impir/internal/fanout"
+	"github.com/impir/impir/internal/metrics"
 	"github.com/impir/impir/internal/transport"
 )
 
-// Client is a connection to a multi-server PIR deployment — two servers
-// under the DPF encoding, or any n ≥ 2 under the naive share encoding.
-// Dial validates on connect that every server presents a byte-identical
-// database replica (a replica mismatch silently breaks reconstruction);
-// Retrieve and RetrieveBatch then fetch records privately, querying all
-// servers concurrently so retrieval latency is the slowest server's
-// round trip, not the sum.
+// Client is a connection to one cohort of a PIR deployment: ≥ 2
+// mutually non-colluding parties, each running one or more
+// interchangeable replicas. Open returns a *Client for single-shard
+// deployments; the historical Dial entry point wraps Open's flat path.
 //
-// A retrieval aborts as a whole when any server fails or the context is
-// cancelled: subresults from the remaining servers are discarded, never
-// returned — a proper subset of subresults is uniformly random and must
-// not be mistaken for a record.
+// Every retrieval encodes one query share per PARTY and sends each
+// share to that party's fastest-known replica, hedging to the
+// next-fastest replicas when the primary lags (first valid answer per
+// party wins, losers are cancelled) — replicas of one party form one
+// trust domain holding identical data, so hedging trades duplicate work
+// for tail latency without touching the privacy argument. Parties are
+// queried concurrently and a retrieval aborts as a whole when any PARTY
+// fails (all of its replicas) or the context is cancelled: a proper
+// subset of subresults is uniformly random and must never be mistaken
+// for a record.
 //
 // A Client may be shared by concurrent goroutines; overlapping
 // retrievals are serialised per server connection. A query abandoned
-// mid-flight — by context cancellation, or because another server's
-// failure cancelled the fan-out — poisons the underlying connection (the
-// wire protocol has no cancellation frame), but the Client heals itself:
-// the next call transparently redials poisoned connections before
-// fanning out, so a failed or cancelled retrieval does not require
-// discarding the Client. A redialed connection is validated against the
-// geometry learned at Dial time; the full cross-replica digest check
-// runs only at Dial (replica contents may legitimately change between
-// redials via Update).
+// mid-flight — by cancellation, a losing hedge, or a peer failure —
+// poisons its connection (the wire protocol has no cancellation frame),
+// but the Client heals itself: the next call transparently redials
+// poisoned connections before fanning out. A replica that stays dead
+// only degrades its party to the surviving replicas; calls keep
+// succeeding as long as every party retains one live replica. A
+// redialed connection is validated against the geometry learned at
+// connect time; the full cross-replica digest check runs only at
+// connect (replica contents may legitimately change between redials via
+// Update).
 type Client struct {
-	addrs      []string
+	parties    [][]string // party → replica addresses
 	tlsCfg     *tls.Config
 	coder      queryCoder
 	geom       geometry
 	recordSize int
+	policy     policy
 
-	mu    sync.Mutex // guards conns replacement on redial
-	conns []*transport.Conn
+	mu    sync.Mutex    // guards conns replacement on redial and ewma
+	conns [][]*transport.Conn
+	ewma  [][]float64 // observed replica latency, EWMA, nanoseconds; 0 = unknown
+
+	statsMu sync.Mutex
+	stats   metrics.StoreStats
 }
 
 type clientConfig struct {
 	encoding Encoding
 	tlsCfg   *tls.Config
+	unary    []UnaryInterceptor
+	batch    []BatchInterceptor
+	defaults callOptions
 }
 
-// ClientOption customises Dial.
+func resolveClientConfig(opts []ClientOption) clientConfig {
+	cfg := clientConfig{encoding: EncodingAuto, defaults: defaultCallOptions()}
+	for _, opt := range opts {
+		opt(&cfg)
+	}
+	return cfg
+}
+
+// newPolicy builds the store's call engine from its config, wiring the
+// retry counter to the owning client's stats.
+func (cfg clientConfig) newPolicy(onRetry func()) policy {
+	return policy{unary: cfg.unary, batch: cfg.batch, defaults: cfg.defaults, onRetry: onRetry}
+}
+
+// shardConfig strips the interceptor chain for per-shard sub-clients of
+// a cluster: interceptors run once per logical operation at the top.
+func (cfg clientConfig) shardConfig() clientConfig {
+	cfg.unary, cfg.batch = nil, nil
+	return cfg
+}
+
+// ClientOption customises Open (and the deprecated Dial* wrappers).
 type ClientOption func(*clientConfig)
 
 // WithEncoding overrides the query encoding. The default, EncodingAuto,
-// picks the DPF encoding for two-server deployments and the naive share
+// picks the DPF encoding for two-party deployments and the naive share
 // encoding for larger ones.
 func WithEncoding(e Encoding) ClientOption {
 	return func(cfg *clientConfig) { cfg.encoding = e }
@@ -68,173 +104,311 @@ func WithTLS(tlsCfg *tls.Config) ClientOption {
 	return func(cfg *clientConfig) { cfg.tlsCfg = tlsCfg }
 }
 
-// Dial connects to every server of a PIR deployment concurrently,
-// cross-checks their database replicas, and resolves the query encoding
-// against the deployment size. The context bounds connection
-// establishment and the handshakes.
-func Dial(ctx context.Context, addrs []string, opts ...ClientOption) (*Client, error) {
-	cfg := clientConfig{encoding: EncodingAuto}
-	for _, opt := range opts {
-		opt(&cfg)
+// WithUnaryInterceptor appends interceptors to the store's Retrieve
+// chain; they run in registration order, first outermost.
+func WithUnaryInterceptor(is ...UnaryInterceptor) ClientOption {
+	return func(cfg *clientConfig) { cfg.unary = append(cfg.unary, is...) }
+}
+
+// WithBatchInterceptor appends interceptors to the store's
+// RetrieveBatch chain; they run in registration order, first outermost.
+func WithBatchInterceptor(is ...BatchInterceptor) ClientOption {
+	return func(cfg *clientConfig) { cfg.batch = append(cfg.batch, is...) }
+}
+
+// WithDefaultCallOptions installs store-level defaults applied to every
+// call; per-call CallOptions override them.
+func WithDefaultCallOptions(opts ...CallOption) ClientOption {
+	return func(cfg *clientConfig) {
+		for _, o := range opts {
+			o(&cfg.defaults)
+		}
 	}
+}
+
+// Dial connects to every server of a flat PIR deployment — one
+// single-replica party per address.
+//
+// Deprecated: use Open with a Deployment (FlatDeployment(addrs...) for
+// this exact topology); Open adds replica sets, hedging, per-call
+// policy, and the interceptor chain, and returns the same *Client for
+// single-shard deployments.
+func Dial(ctx context.Context, addrs []string, opts ...ClientOption) (*Client, error) {
+	cfg := resolveClientConfig(opts)
 	if cfg.encoding == nil {
 		return nil, errors.New("impir: nil encoding")
 	}
 	if len(addrs) < 2 {
 		return nil, fmt.Errorf("impir: a PIR deployment needs ≥ 2 non-colluding servers, got %d address(es)", len(addrs))
 	}
-	coder, err := cfg.encoding.resolve(len(addrs))
+	return openFlat(ctx, FlatDeployment(addrs...).Shards[0], 0, cfg)
+}
+
+// openFlat connects one cohort: every replica of every party, with
+// cross-replica validation and — when the manifest declares geometry —
+// a handshake check against it.
+func openFlat(ctx context.Context, shard DeploymentShard, recordSize int, cfg clientConfig) (*Client, error) {
+	parties := shard.cohorts()
+	if len(parties) < 2 {
+		return nil, fmt.Errorf("impir: a PIR cohort needs ≥ 2 non-colluding parties, got %d", len(parties))
+	}
+	coder, err := cfg.encoding.resolve(len(parties))
 	if err != nil {
 		return nil, err
 	}
 
-	conns := make([]*transport.Conn, len(addrs))
-	g, gctx := fanout.WithContext(ctx)
-	for i, addr := range addrs {
-		g.Go(func() error {
-			var (
-				c   *transport.Conn
-				err error
-			)
-			if cfg.tlsCfg != nil {
-				c, err = transport.DialTLS(gctx, addr, cfg.tlsCfg)
-			} else {
-				c, err = transport.Dial(gctx, addr)
-			}
-			if err != nil {
-				return fmt.Errorf("impir: server %d: %w", i, err)
-			}
-			conns[i] = c
-			return nil
-		})
+	c := &Client{parties: parties, tlsCfg: cfg.tlsCfg, coder: coder}
+	c.policy = cfg.newPolicy(func() {
+		c.bump(func(st *metrics.StoreStats) { st.Retries++ })
+	})
+	c.stats.Shards = make([]metrics.ShardStats, 1)
+
+	// Dial every replica of every party concurrently. A party tolerates
+	// dead replicas at open as it does later: it needs one live replica,
+	// and the dead ones are retried transparently on each call.
+	conns := make([][]*transport.Conn, len(parties))
+	dialErrs := make([][]error, len(parties))
+	c.ewma = make([][]float64, len(parties))
+	var wg sync.WaitGroup
+	for p, replicas := range parties {
+		conns[p] = make([]*transport.Conn, len(replicas))
+		dialErrs[p] = make([]error, len(replicas))
+		c.ewma[p] = make([]float64, len(replicas))
+		for r := range replicas {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				conns[p][r], dialErrs[p][r] = c.dialReplica(ctx, p, r)
+			}()
+		}
 	}
-	err = g.Wait()
-	c := &Client{addrs: addrs, tlsCfg: cfg.tlsCfg, conns: conns, coder: coder}
+	wg.Wait()
+	c.conns = conns
+
+	for p := range conns {
+		alive := 0
+		for _, conn := range conns[p] {
+			if conn != nil {
+				alive++
+			}
+		}
+		if alive == 0 {
+			err = fmt.Errorf("impir: %s unreachable: %w", fmtParty(p, len(parties[p])), firstNonNil(dialErrs[p]))
+			break
+		}
+	}
 	if err == nil {
 		err = c.validate()
+	}
+	if err == nil && recordSize > 0 && c.recordSize != recordSize {
+		err = fmt.Errorf("impir: servers serve %d-byte records, manifest says %d", c.recordSize, recordSize)
+	}
+	if err == nil && shard.NumRecords > 0 {
+		if want := nextPow2(shard.NumRecords); c.geom.numRecords != want {
+			err = fmt.Errorf("impir: servers serve %d records, manifest range of %d pads to %d",
+				c.geom.numRecords, shard.NumRecords, want)
+		}
 	}
 	if err != nil {
 		c.Close()
 		return nil, err
 	}
-	info := conns[0].Info()
-	c.geom = geometry{domain: int(info.Domain), numRecords: info.NumRecords}
-	c.recordSize = int(info.RecordSize)
 	return c, nil
 }
 
-// validate cross-checks the replicas every server presented during its
-// handshake: identical digests and geometry, non-empty database.
+func firstNonNil(errs []error) error {
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return errors.New("no replicas")
+}
+
+// validate cross-checks the replicas every connected server presented
+// during its handshake: identical digests and geometry, non-empty
+// database — across parties AND within each party's replica set (a flat
+// cohort serves one database; a replica mismatch silently breaks
+// reconstruction). It also learns the cohort geometry.
 func (c *Client) validate() error {
-	first := c.conns[0].Info()
-	if first.NumRecords == 0 {
+	var first *transport.Conn
+	for p, reps := range c.conns {
+		for r, conn := range reps {
+			if conn == nil {
+				continue
+			}
+			if first == nil {
+				first = conn
+				continue
+			}
+			info, finfo := conn.Info(), first.Info()
+			if info.Digest != finfo.Digest {
+				return fmt.Errorf("impir: party %d replica %d holds a different database replica (digest mismatch)", p, r)
+			}
+			if info.NumRecords != finfo.NumRecords || info.RecordSize != finfo.RecordSize ||
+				info.Domain != finfo.Domain {
+				return fmt.Errorf("impir: party %d replica %d disagrees on database geometry", p, r)
+			}
+		}
+	}
+	if first == nil {
+		return errors.New("impir: no server connections")
+	}
+	info := first.Info()
+	if info.NumRecords == 0 {
 		return errors.New("impir: servers report an empty database")
 	}
-	for i, conn := range c.conns[1:] {
-		info := conn.Info()
-		if info.Digest != first.Digest {
-			return fmt.Errorf("impir: server %d holds a different database replica (digest mismatch)", i+1)
-		}
-		if info.NumRecords != first.NumRecords || info.RecordSize != first.RecordSize ||
-			info.Domain != first.Domain {
-			return fmt.Errorf("impir: server %d disagrees on database geometry", i+1)
-		}
-	}
+	c.geom = geometry{domain: int(info.Domain), numRecords: info.NumRecords}
+	c.recordSize = int(info.RecordSize)
 	return nil
 }
 
-// dialServer (re)establishes the connection to server i under the
-// Client's dial options.
-func (c *Client) dialServer(ctx context.Context, i int) (*transport.Conn, error) {
+// dialReplica (re)establishes the connection to party p's replica r
+// under the Client's dial options.
+func (c *Client) dialReplica(ctx context.Context, p, r int) (*transport.Conn, error) {
+	addr := c.parties[p][r]
 	if c.tlsCfg != nil {
-		return transport.DialTLS(ctx, c.addrs[i], c.tlsCfg)
+		return transport.DialTLS(ctx, addr, c.tlsCfg)
 	}
-	return transport.Dial(ctx, c.addrs[i])
+	return transport.Dial(ctx, addr)
 }
 
-// liveConns returns a usable connection per server, transparently
-// redialing any connection a previously abandoned exchange poisoned. A
-// fresh connection must present the geometry learned at Dial time; the
-// digest is deliberately not re-checked (Update legitimately changes it
-// between redials — replica agreement is cross-checked at Dial).
+// liveConns returns a usable connection snapshot, transparently
+// redialing connections a previously abandoned exchange poisoned (or
+// that never came up). With needAll false — the retrieval path — a
+// replica that stays dead leaves a nil slot and only its PARTY must
+// retain a live replica; with needAll true — the update path — every
+// replica must be reachable, because an update must land on all of
+// them. A fresh connection must present the geometry learned at connect
+// time; the digest is deliberately not re-checked (Update legitimately
+// changes it — replica agreement is cross-checked at connect).
 //
 // Dialing happens outside the Client mutex: a slow or unreachable
-// server stalls only the retrieval that needs it, never concurrent
-// retrievals over healthy connections and never Close.
-func (c *Client) liveConns(ctx context.Context) ([]*transport.Conn, error) {
+// server stalls only the call that needs it, never concurrent calls
+// over healthy connections and never Close.
+func (c *Client) liveConns(ctx context.Context, needAll bool) ([][]*transport.Conn, error) {
 	c.mu.Lock()
 	if c.conns == nil {
 		c.mu.Unlock()
 		return nil, errors.New("impir: client is closed")
 	}
-	snapshot := make([]*transport.Conn, len(c.conns))
-	copy(snapshot, c.conns)
+	snapshot := snapshotConns(c.conns)
 	c.mu.Unlock()
 
-	var broken []int
-	for i, conn := range snapshot {
-		if conn == nil || conn.Broken() {
-			broken = append(broken, i)
+	var broken []connSlot
+	for p, reps := range snapshot {
+		for r, conn := range reps {
+			if conn == nil || conn.Broken() {
+				broken = append(broken, connSlot{p, r})
+			}
 		}
 	}
 	if len(broken) == 0 {
 		return snapshot, nil
 	}
 
-	fresh := make([]*transport.Conn, len(snapshot))
-	g, gctx := fanout.WithContext(ctx)
-	for _, i := range broken {
-		g.Go(func() error {
-			conn, err := c.dialServer(gctx, i)
+	fresh := make([]*transport.Conn, len(broken))
+	dialErrs := make([]error, len(broken))
+	var wg sync.WaitGroup
+	for i, s := range broken {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			conn, err := c.dialReplica(ctx, s.p, s.r)
 			if err != nil {
-				return fmt.Errorf("impir: redial server %d: %w", i, err)
+				dialErrs[i] = fmt.Errorf("impir: redial %s replica %d: %w", fmtParty(s.p, len(c.parties[s.p])), s.r, err)
+				return
 			}
 			info := conn.Info()
 			if info.NumRecords != c.geom.numRecords || int(info.Domain) != c.geom.domain ||
 				int(info.RecordSize) != c.recordSize {
 				conn.Close()
-				return fmt.Errorf("impir: redialed server %d presents a different database geometry", i)
+				dialErrs[i] = fmt.Errorf("impir: redialed party %d replica %d presents a different database geometry", s.p, s.r)
+				return
 			}
 			fresh[i] = conn
-			return nil
-		})
+		}()
 	}
-	err := g.Wait()
+	wg.Wait()
 
 	c.mu.Lock()
-	closed := c.conns == nil
-	if err != nil || closed {
+	if c.conns == nil {
 		c.mu.Unlock()
 		for _, conn := range fresh {
 			if conn != nil {
 				conn.Close()
 			}
 		}
-		if closed {
-			return nil, errors.New("impir: client is closed")
-		}
-		return nil, err
+		return nil, errors.New("impir: client is closed")
 	}
-	for _, i := range broken {
+	for i, s := range broken {
 		// A concurrent liveConns may have healed this slot while we
 		// dialed; keep the existing healthy connection and drop ours.
-		if cur := c.conns[i]; cur != nil && !cur.Broken() {
-			fresh[i].Close()
+		if cur := c.conns[s.p][s.r]; cur != nil && !cur.Broken() {
+			if fresh[i] != nil {
+				fresh[i].Close()
+			}
 			continue
 		}
-		if c.conns[i] != nil {
-			c.conns[i].Close()
+		if cur := c.conns[s.p][s.r]; cur != nil {
+			cur.Close()
 		}
-		c.conns[i] = fresh[i]
+		c.conns[s.p][s.r] = fresh[i] // possibly nil: replica stays down
 	}
-	out := make([]*transport.Conn, len(c.conns))
-	copy(out, c.conns)
+	out := snapshotConns(c.conns)
 	c.mu.Unlock()
+
+	for p, reps := range out {
+		alive := 0
+		for _, conn := range reps {
+			if conn != nil && !conn.Broken() {
+				alive++
+			}
+		}
+		if needAll && alive < len(reps) {
+			return nil, fmt.Errorf("impir: not every replica of %s is reachable (updates must land on all replicas): %w",
+				fmtParty(p, len(reps)), firstSlotErr(dialErrs, broken, p))
+		}
+		if alive == 0 {
+			return nil, fmt.Errorf("impir: %s has no live replicas: %w",
+				fmtParty(p, len(reps)), firstSlotErr(dialErrs, broken, p))
+		}
+	}
 	return out, nil
 }
 
-// Servers returns the number of connected servers.
-func (c *Client) Servers() int { return len(c.addrs) }
+func snapshotConns(conns [][]*transport.Conn) [][]*transport.Conn {
+	out := make([][]*transport.Conn, len(conns))
+	for p, reps := range conns {
+		out[p] = append([]*transport.Conn(nil), reps...)
+	}
+	return out
+}
+
+// connSlot addresses one replica connection by (party, replica) index.
+type connSlot struct{ p, r int }
+
+func firstSlotErr(errs []error, broken []connSlot, party int) error {
+	for i, s := range broken {
+		if s.p == party && errs[i] != nil {
+			return errs[i]
+		}
+	}
+	return errors.New("replica down")
+}
+
+// Servers returns the number of non-colluding parties of the cohort
+// (the historical name: with single-replica parties, parties == servers).
+func (c *Client) Servers() int { return len(c.parties) }
+
+// Replicas returns the total replica count across all parties.
+func (c *Client) Replicas() int {
+	n := 0
+	for _, reps := range c.parties {
+		n += len(reps)
+	}
+	return n
+}
 
 // NumRecords returns the (power-of-two padded) record count of the
 // deployment.
@@ -246,18 +420,55 @@ func (c *Client) RecordSize() int { return c.recordSize }
 // Encoding reports the resolved query encoding ("dpf" or "shares").
 func (c *Client) Encoding() string { return c.coder.name() }
 
-// Retrieve privately fetches record index: one query message per server,
-// issued to all servers concurrently, XOR of all subresults. No server
-// learns the index; each sees only its pseudorandom message.
-func (c *Client) Retrieve(ctx context.Context, index uint64) ([]byte, error) {
+// Stats snapshots the client-side counters.
+func (c *Client) Stats() StoreStats {
+	c.statsMu.Lock()
+	defer c.statsMu.Unlock()
+	out := c.stats
+	out.Shards = append([]metrics.ShardStats(nil), c.stats.Shards...)
+	return out
+}
+
+func (c *Client) bump(f func(*metrics.StoreStats)) {
+	c.statsMu.Lock()
+	defer c.statsMu.Unlock()
+	f(&c.stats)
+}
+
+// Retrieve privately fetches record index: one query share per party,
+// issued to all parties concurrently (hedged across each party's
+// replicas), XOR of all subresults. No party learns the index; each
+// sees only its pseudorandom share.
+func (c *Client) Retrieve(ctx context.Context, index uint64, opts ...CallOption) ([]byte, error) {
 	if index >= c.geom.numRecords {
 		return nil, fmt.Errorf("impir: index %d outside database of %d records", index, c.geom.numRecords)
 	}
-	queries, err := c.coder.encode(c.geom, c.Servers(), index)
+	co := c.policy.resolve(opts)
+	rec, err := c.policy.doUnary(ctx, co, index, func(ctx context.Context, index uint64) ([]byte, error) {
+		return c.retrieve(ctx, co, index)
+	})
+	c.bump(func(st *metrics.StoreStats) {
+		if err == nil {
+			st.Retrievals++
+		} else {
+			st.Errors++
+		}
+	})
+	return rec, err
+}
+
+// retrieve is the core operation under the policy engine: encode, fan
+// out, reconstruct. Shard clients of a ClusterClient are driven here
+// directly with the cluster's resolved options, bypassing their own
+// policy.
+func (c *Client) retrieve(ctx context.Context, co callOptions, index uint64) ([]byte, error) {
+	queries, err := c.coder.encode(c.geom, len(c.parties), index)
 	if err != nil {
 		return nil, err
 	}
-	subresults, err := c.fanOut(ctx, queries)
+	start := time.Now()
+	subresults, err := c.fanOut(ctx, co, queries)
+	c.record(1, 0, time.Since(start), err)
 	if err != nil {
 		return nil, err
 	}
@@ -269,11 +480,11 @@ func (c *Client) Retrieve(ctx context.Context, index uint64) ([]byte, error) {
 }
 
 // RetrieveBatch privately fetches several records in one round trip per
-// server, under either encoding. An empty batch is a no-op: it returns
+// party, under either encoding. An empty batch is a no-op: it returns
 // an empty (non-nil) slice without touching the network, so callers
-// assembling batches programmatically — like the keyword layer's
-// padded probe plans — need no zero-length special case.
-func (c *Client) RetrieveBatch(ctx context.Context, indices []uint64) ([][]byte, error) {
+// assembling batches programmatically — like the keyword layer's padded
+// probe plans — need no zero-length special case.
+func (c *Client) RetrieveBatch(ctx context.Context, indices []uint64, opts ...CallOption) ([][]byte, error) {
 	if len(indices) == 0 {
 		return [][]byte{}, nil
 	}
@@ -282,11 +493,29 @@ func (c *Client) RetrieveBatch(ctx context.Context, indices []uint64) ([][]byte,
 			return nil, fmt.Errorf("impir: index %d outside database of %d records", idx, c.geom.numRecords)
 		}
 	}
-	queries, err := c.coder.encodeBatch(c.geom, c.Servers(), indices)
+	co := c.policy.resolve(opts)
+	recs, err := c.policy.doBatch(ctx, co, indices, func(ctx context.Context, indices []uint64) ([][]byte, error) {
+		return c.retrieveBatch(ctx, co, indices)
+	})
+	c.bump(func(st *metrics.StoreStats) {
+		if err == nil {
+			st.BatchRetrievals++
+		} else {
+			st.Errors++
+		}
+	})
+	return recs, err
+}
+
+// retrieveBatch is RetrieveBatch's core operation; see retrieve.
+func (c *Client) retrieveBatch(ctx context.Context, co callOptions, indices []uint64) ([][]byte, error) {
+	queries, err := c.coder.encodeBatch(c.geom, len(c.parties), indices)
 	if err != nil {
 		return nil, err
 	}
-	subresults, err := c.fanOut(ctx, queries)
+	start := time.Now()
+	subresults, err := c.fanOut(ctx, co, queries)
+	c.record(0, uint64(len(indices)), time.Since(start), err)
 	if err != nil {
 		return nil, err
 	}
@@ -295,7 +524,7 @@ func (c *Client) RetrieveBatch(ctx context.Context, indices []uint64) ([][]byte,
 		recs := make([][]byte, len(subresults))
 		for s, rs := range subresults {
 			if i >= len(rs) {
-				return nil, fmt.Errorf("impir: server %d returned %d of %d batch subresults", s, len(rs), len(indices))
+				return nil, fmt.Errorf("impir: party %d returned %d of %d batch subresults", s, len(rs), len(indices))
 			}
 			recs[s] = rs[i]
 		}
@@ -308,25 +537,42 @@ func (c *Client) RetrieveBatch(ctx context.Context, indices []uint64) ([][]byte,
 	return out, nil
 }
 
-// fanOut issues one pre-encoded query per server, all concurrently, and
-// collects every server's subresults. The first failure cancels the
-// remaining queries and fails the whole retrieval — a lone subresult is
-// never returned. Connections poisoned by an earlier abandoned exchange
-// are transparently redialed first.
-func (c *Client) fanOut(ctx context.Context, queries []serverQuery) ([][][]byte, error) {
-	conns, err := c.liveConns(ctx)
+// record accumulates one round trip's cohort counters.
+func (c *Client) record(queries, batchQueries uint64, d time.Duration, err error) {
+	c.bump(func(st *metrics.StoreStats) {
+		sh := &st.Shards[0]
+		sh.Queries += queries
+		if batchQueries > 0 {
+			sh.Batches++
+			sh.BatchQueries += batchQueries
+		}
+		sh.TotalTime += d
+		if err != nil {
+			sh.Errors++
+		}
+	})
+}
+
+// fanOut issues one pre-encoded query share per party, all parties
+// concurrent, each share hedged across its party's replicas, and
+// collects every party's subresults. The first PARTY failure cancels
+// the remaining queries and fails the whole retrieval — a lone
+// subresult is never returned. Connections poisoned by an earlier
+// abandoned exchange are transparently redialed first.
+func (c *Client) fanOut(ctx context.Context, co callOptions, queries []serverQuery) ([][][]byte, error) {
+	conns, err := c.liveConns(ctx, false)
 	if err != nil {
 		return nil, err
 	}
 	subresults := make([][][]byte, len(conns))
 	g, gctx := fanout.WithContext(ctx)
-	for i := range conns {
+	for p := range conns {
 		g.Go(func() error {
-			rs, err := queries[i].do(gctx, conns[i])
+			rs, err := c.partyDo(gctx, co, p, conns[p], queries[p])
 			if err != nil {
-				return fmt.Errorf("impir: server %d: %w", i, err)
+				return fmt.Errorf("impir: %s: %w", fmtParty(p, len(conns[p])), err)
 			}
-			subresults[i] = rs
+			subresults[p] = rs
 			return nil
 		})
 	}
@@ -336,26 +582,144 @@ func (c *Client) fanOut(ctx context.Context, queries []serverQuery) ([][][]byte,
 	return subresults, nil
 }
 
-// Update pushes a §3.3 bulk record update to every server of the
-// deployment: updates maps record index to its new contents (exactly
+// partyDo executes one party's share against its replica set:
+// fastest-first by observed latency, hedging to the next replica when
+// the primary lags (or immediately when it fails), first valid answer
+// wins, losers cancelled. Single-replica parties — and calls with
+// hedging off — use the primary alone.
+func (c *Client) partyDo(ctx context.Context, co callOptions, p int, conns []*transport.Conn, q serverQuery) ([][]byte, error) {
+	order, primaryEWMA := c.replicaOrder(p, conns)
+	if len(order) == 0 {
+		return nil, errors.New("no live replicas")
+	}
+	n := 1
+	if co.hedge {
+		n = len(order)
+	}
+	if n == 1 {
+		start := time.Now()
+		rs, err := q.do(ctx, conns[order[0]])
+		if err == nil {
+			c.observeLatency(p, order[0], time.Since(start), false)
+		}
+		return rs, err
+	}
+
+	delay := co.hedgeDelay
+	if delay <= 0 {
+		delay = defaultHedgeDelay
+	}
+	// Adapt upward: hedge when the primary takes twice its usual time,
+	// not merely longer than a fixed floor tuned for someone else's
+	// deployment.
+	if adaptive := 2 * time.Duration(primaryEWMA); adaptive > delay {
+		delay = adaptive
+	}
+
+	rs, winner, err := fanout.Hedge(ctx, n, delay, func(ctx context.Context, i int) ([][]byte, error) {
+		if i > 0 {
+			c.bump(func(st *metrics.StoreStats) { st.Hedges++ })
+		}
+		start := time.Now()
+		rs, err := q.do(ctx, conns[order[i]])
+		if err == nil {
+			c.observeLatency(p, order[i], time.Since(start), false)
+		} else if ctx.Err() != nil {
+			// A cancelled exchange only tells us the replica took AT
+			// LEAST this long — it lost the race, or the whole call was
+			// abandoned early. Feed it in as a lower bound (it can raise
+			// the estimate, never drag it down), which demotes
+			// chronically slow replicas from primary without letting an
+			// early external cancellation make a slow replica look fast.
+			c.observeLatency(p, order[i], time.Since(start), true)
+		}
+		return rs, err
+	})
+	if err != nil {
+		return nil, err
+	}
+	if winner > 0 {
+		c.bump(func(st *metrics.StoreStats) { st.HedgeWins++ })
+	}
+	return rs, nil
+}
+
+// replicaOrder returns party p's live replica indices fastest-first by
+// EWMA latency — unmeasured replicas first in listed order (they may
+// well be fast; the first call finds out) — plus the chosen primary's
+// EWMA (0 when unmeasured) for the adaptive hedge delay.
+func (c *Client) replicaOrder(p int, conns []*transport.Conn) ([]int, float64) {
+	c.mu.Lock()
+	ewma := append([]float64(nil), c.ewma[p]...)
+	c.mu.Unlock()
+	order := make([]int, 0, len(conns))
+	for r, conn := range conns {
+		if conn != nil {
+			order = append(order, r)
+		}
+	}
+	slices.SortStableFunc(order, func(a, b int) int {
+		switch {
+		case ewma[a] < ewma[b]:
+			return -1
+		case ewma[a] > ewma[b]:
+			return 1
+		default:
+			return 0
+		}
+	})
+	if len(order) == 0 {
+		return nil, 0
+	}
+	return order, ewma[order[0]]
+}
+
+// ewmaAlpha weights the latest latency observation; ~1/3 keeps the
+// estimate responsive to mode shifts without thrashing on one outlier.
+const ewmaAlpha = 0.3
+
+// observeLatency folds one latency sample into party p replica r's
+// estimate. A lowerBound sample (from a cancelled exchange, whose true
+// duration is unknown but at least d) may only raise the estimate.
+func (c *Client) observeLatency(p, r int, d time.Duration, lowerBound bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.ewma == nil || p >= len(c.ewma) || r >= len(c.ewma[p]) {
+		return
+	}
+	cur := c.ewma[p][r]
+	if lowerBound && cur != 0 && float64(d) <= cur {
+		return
+	}
+	if cur == 0 {
+		c.ewma[p][r] = float64(d)
+	} else {
+		c.ewma[p][r] = (1-ewmaAlpha)*cur + ewmaAlpha*float64(d)
+	}
+}
+
+// Update pushes a §3.3 bulk record update to EVERY replica of every
+// party: updates maps record index to its new contents (exactly
 // RecordSize bytes each). Updates are an operator/owner action, not a
 // private query — servers learn which records changed, by design — and
 // each server applies the set atomically under its scheduler's epoch
 // quiescing, so concurrent Retrieve calls never observe a torn update.
-// Servers reject wire updates unless started with
+// Updates are never hedged, and require every replica reachable: a
+// replica skipped by an update would serve stale records as if they
+// were current. Servers reject wire updates unless started with
 // ServerConfig.AllowWireUpdates; see that field for the threat model.
 //
-// All servers are updated concurrently and the first failure cancels the
-// rest, which can leave replicas diverged (some updated, some not). The
-// caller must then retry the same update until it succeeds everywhere —
-// the per-server application is idempotent — or tear the deployment
-// down; a divergence is also caught by the digest cross-check at the
-// next Dial.
-func (c *Client) Update(ctx context.Context, updates map[uint64][]byte) error {
+// All replicas are updated concurrently and the first failure cancels
+// the rest, which can leave replicas diverged (some updated, some not).
+// The caller must then retry the same update until it succeeds
+// everywhere — the per-server application is idempotent, and a retry
+// budget (WithRetries) spends itself on exactly this — or tear the
+// deployment down; a divergence is also caught by the digest
+// cross-check at the next connect.
+func (c *Client) Update(ctx context.Context, updates map[uint64][]byte, opts ...CallOption) error {
 	if len(updates) == 0 {
 		return errors.New("impir: empty update set")
 	}
-	wire := make(map[int][]byte, len(updates))
 	for idx, rec := range updates {
 		if idx >= c.geom.numRecords {
 			return fmt.Errorf("impir: update index %d outside database of %d records", idx, c.geom.numRecords)
@@ -364,22 +728,39 @@ func (c *Client) Update(ctx context.Context, updates map[uint64][]byte) error {
 			return fmt.Errorf("impir: update for record %d has %d bytes, want the record size %d",
 				idx, len(rec), c.recordSize)
 		}
-		// Safe narrowing: server databases are int-indexed, so the
-		// handshake's record count — which idx is below — fits an int.
-		wire[int(idx)] = rec
 	}
-	conns, err := c.liveConns(ctx)
+	co := c.policy.resolve(opts)
+	err := c.policy.doUpdate(ctx, co, func(ctx context.Context) error {
+		return c.updateCore(ctx, updates)
+	})
+	c.bump(func(st *metrics.StoreStats) {
+		if err == nil {
+			st.Updates++
+		} else {
+			st.Errors++
+		}
+		st.Shards[0].UpdateRows += uint64(len(updates))
+	})
+	return err
+}
+
+// updateCore pushes one validated update set to every replica.
+func (c *Client) updateCore(ctx context.Context, updates map[uint64][]byte) error {
+	conns, err := c.liveConns(ctx, true)
 	if err != nil {
 		return err
 	}
 	g, gctx := fanout.WithContext(ctx)
-	for i := range conns {
-		g.Go(func() error {
-			if err := conns[i].Update(gctx, wire); err != nil {
-				return fmt.Errorf("impir: update server %d: %w", i, err)
-			}
-			return nil
-		})
+	for p := range conns {
+		for r := range conns[p] {
+			conn := conns[p][r]
+			g.Go(func() error {
+				if err := conn.Update(gctx, updates); err != nil {
+					return fmt.Errorf("impir: update party %d replica %d: %w", p, r, err)
+				}
+				return nil
+			})
+		}
 	}
 	return g.Wait()
 }
@@ -390,10 +771,12 @@ func (c *Client) Close() error {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	var err error
-	for _, conn := range c.conns {
-		if conn != nil {
-			if cerr := conn.Close(); err == nil {
-				err = cerr
+	for _, reps := range c.conns {
+		for _, conn := range reps {
+			if conn != nil {
+				if cerr := conn.Close(); err == nil {
+					err = cerr
+				}
 			}
 		}
 	}

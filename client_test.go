@@ -268,8 +268,8 @@ func TestClientOneServerDownAborts(t *testing.T) {
 	if rec != nil {
 		t.Fatal("failing retrieval returned data — a lone subresult leaked")
 	}
-	if !strings.Contains(err.Error(), "server 1") {
-		t.Errorf("error %q does not identify the failing server", err)
+	if !strings.Contains(err.Error(), "party 1") {
+		t.Errorf("error %q does not identify the failing party", err)
 	}
 }
 

@@ -15,13 +15,19 @@ import (
 // Sharded deployments: the topology, planning, and database-carving
 // layer lives in internal/cluster; the root package re-exports it here
 // together with ClusterClient, the network client that drives a sharded
-// deployment.
+// deployment. Open returns a *ClusterClient for multi-shard deployment
+// manifests.
 
 // ShardManifest describes a sharded deployment's topology: contiguous
 // row-range shards, each served by a cohort of ≥ 2 non-colluding
 // replicas. Manifests round-trip through JSON (ParseManifest /
 // LoadManifest / ShardManifest.JSON) for command-line flags and config
 // files.
+//
+// ShardManifest predates the unified Deployment manifest, which
+// additionally expresses replica sets per party and keyword tables;
+// every ShardManifest lifts losslessly via DeploymentFromManifest, and
+// ParseDeployment accepts shard-manifest JSON directly.
 type ShardManifest = cluster.Manifest
 
 // ClusterShard is one row-range shard of a ShardManifest.
@@ -55,11 +61,13 @@ func SplitDBByManifest(db *DB, m ShardManifest) ([]*DB, error) {
 }
 
 // ClusterClient is a connection to a sharded PIR deployment: one Client
-// per shard cohort. Every logical retrieval fans one sub-query out to
-// EVERY cohort concurrently — the real one to the owning shard,
-// well-formed dummies elsewhere — so retrieval latency is the slowest
-// shard's round trip and no cohort learns which shard owned the record
-// (each sees an ordinary PIR query against its own shard either way).
+// per shard cohort, behind one policy engine. Every logical retrieval
+// fans one sub-query out to EVERY cohort concurrently — the real one to
+// the owning shard, well-formed dummies elsewhere — so retrieval
+// latency is the slowest shard's round trip and no cohort learns which
+// shard owned the record (each sees an ordinary PIR query against its
+// own shard either way). Within each cohort, each party's share is
+// hedged across that party's replica set exactly as in a flat Client.
 //
 // Like Client, a retrieval aborts as a whole when any shard fails or
 // the context is cancelled: sub-results from the remaining shards are
@@ -67,65 +75,66 @@ func SplitDBByManifest(db *DB, m ShardManifest) ([]*DB, error) {
 // exchange are transparently redialed by the underlying per-cohort
 // clients.
 //
+// Interceptors, per-call options, and retry budgets apply to the
+// LOGICAL operation: one Retrieve through a ClusterClient runs its
+// interceptor chain once and counts one retry per whole-cluster
+// re-fan-out, however many shards it spans.
+//
 // A ClusterClient may be shared by concurrent goroutines.
 type ClusterClient struct {
-	manifest ShardManifest
-	shards   []*Client
+	deployment Deployment
+	plan       ShardManifest // planner view: ranges + one address per party
+	shards     []*Client
+	policy     policy
 
 	mu    sync.Mutex
-	stats metrics.ClusterStats
+	stats metrics.StoreStats
 }
 
-// DialCluster connects to every cohort of a sharded deployment
-// concurrently — each cohort through Dial, with its replica
-// cross-checks — and validates each cohort's database geometry against
-// the manifest. Options (encoding, TLS) apply to every cohort.
+// DialCluster connects to every cohort of a sharded deployment.
+//
+// Deprecated: use Open with a Deployment (DeploymentFromManifest(m) for
+// this exact topology); Open adds replica sets, hedging, per-call
+// policy, and the interceptor chain, and returns the same
+// *ClusterClient for multi-shard deployments.
 func DialCluster(ctx context.Context, m ShardManifest, opts ...ClientOption) (*ClusterClient, error) {
 	if err := m.Validate(); err != nil {
 		return nil, err
 	}
-	shards := make([]*Client, len(m.Shards))
+	return openCluster(ctx, DeploymentFromManifest(m), resolveClientConfig(opts))
+}
+
+// openCluster connects to every cohort of a multi-shard deployment
+// concurrently — each cohort through the flat open path, with its
+// replica cross-checks and manifest geometry validation.
+func openCluster(ctx context.Context, d Deployment, cfg clientConfig) (*ClusterClient, error) {
+	plan, err := d.ShardManifest()
+	if err != nil {
+		return nil, err
+	}
+	c := &ClusterClient{deployment: d, plan: plan, shards: make([]*Client, len(d.Shards))}
+	c.policy = cfg.newPolicy(func() {
+		c.bump(func(st *metrics.StoreStats) { st.Retries++ })
+	})
+	c.stats.Shards = make([]metrics.ShardStats, len(d.Shards))
+
+	shardCfg := cfg.shardConfig()
 	g, gctx := fanout.WithContext(ctx)
-	for i, shard := range m.Shards {
+	for i, shard := range d.Shards {
 		g.Go(func() error {
-			cli, err := Dial(gctx, shard.Replicas, opts...)
+			cli, err := openFlat(gctx, shard, d.RecordSize, shardCfg)
 			if err != nil {
 				return fmt.Errorf("impir: shard %d: %w", i, err)
 			}
-			shards[i] = cli
+			c.shards[i] = cli
 			return nil
 		})
 	}
-	err := g.Wait()
-	c := &ClusterClient{manifest: m, shards: shards}
-	c.stats.Shards = make([]metrics.ShardStats, len(m.Shards))
-	if err == nil {
-		err = c.validateShards()
-	}
-	if err != nil {
+	if err := g.Wait(); err != nil {
 		c.Close()
 		return nil, err
 	}
 	return c, nil
-}
-
-// validateShards checks every cohort's handshake geometry against the
-// manifest: the agreed record size, and a record count equal to the
-// shard's range padded to the next power of two (the padding servers
-// apply before serving).
-func (c *ClusterClient) validateShards() error {
-	for i, cli := range c.shards {
-		shard := c.manifest.Shards[i]
-		if cli.RecordSize() != c.manifest.RecordSize {
-			return fmt.Errorf("impir: shard %d serves %d-byte records, manifest says %d",
-				i, cli.RecordSize(), c.manifest.RecordSize)
-		}
-		if want := nextPow2(shard.NumRecords); cli.NumRecords() != want {
-			return fmt.Errorf("impir: shard %d serves %d records, manifest range of %d pads to %d",
-				i, cli.NumRecords(), shard.NumRecords, want)
-		}
-	}
-	return nil
 }
 
 func nextPow2(n uint64) uint64 {
@@ -136,24 +145,48 @@ func nextPow2(n uint64) uint64 {
 }
 
 // NumRecords returns the total (unpadded) record count of the cluster.
-func (c *ClusterClient) NumRecords() uint64 { return c.manifest.NumRecords() }
+func (c *ClusterClient) NumRecords() uint64 { return c.deployment.NumRecords() }
 
 // RecordSize returns the record size in bytes.
-func (c *ClusterClient) RecordSize() int { return c.manifest.RecordSize }
+func (c *ClusterClient) RecordSize() int { return c.deployment.RecordSize }
 
 // Shards returns the shard count.
 func (c *ClusterClient) Shards() int { return len(c.shards) }
 
-// Manifest returns the deployment topology the client was dialed with.
-func (c *ClusterClient) Manifest() ShardManifest { return c.manifest }
+// Manifest returns the deployment topology as a shard manifest (one
+// representative address per party; see Deployment for the full
+// replica-set view).
+func (c *ClusterClient) Manifest() ShardManifest { return c.plan }
+
+// Deployment returns the full deployment manifest the client was
+// opened with.
+func (c *ClusterClient) Deployment() Deployment { return c.deployment }
 
 // Retrieve privately fetches the record at a global index: one
 // well-formed sub-query per shard cohort, all concurrent, the owning
 // shard's reconstruction returned. No cohort learns the index — each
 // sees an ordinary PIR query against its own shard — and no cohort
 // learns whether it was the one that mattered.
-func (c *ClusterClient) Retrieve(ctx context.Context, global uint64) ([]byte, error) {
-	plan, err := c.manifest.PlanQuery(global)
+func (c *ClusterClient) Retrieve(ctx context.Context, global uint64, opts ...CallOption) ([]byte, error) {
+	co := c.policy.resolve(opts)
+	if _, _, err := c.plan.Locate(global); err != nil {
+		return nil, err
+	}
+	rec, err := c.policy.doUnary(ctx, co, global, func(ctx context.Context, global uint64) ([]byte, error) {
+		return c.retrieve(ctx, co, global)
+	})
+	c.bump(func(st *metrics.StoreStats) {
+		if err == nil {
+			st.Retrievals++
+		} else {
+			st.Errors++
+		}
+	})
+	return rec, err
+}
+
+func (c *ClusterClient) retrieve(ctx context.Context, co callOptions, global uint64) ([]byte, error) {
+	plan, err := c.plan.PlanQuery(global)
 	if err != nil {
 		return nil, err
 	}
@@ -162,7 +195,7 @@ func (c *ClusterClient) Retrieve(ctx context.Context, global uint64) ([]byte, er
 	for s := range c.shards {
 		g.Go(func() error {
 			start := time.Now()
-			rec, err := c.shards[s].Retrieve(gctx, plan.Locals[s])
+			rec, err := c.shards[s].retrieve(gctx, co, plan.Locals[s])
 			c.record(s, 1, 0, time.Since(start), err)
 			if err != nil {
 				return fmt.Errorf("impir: shard %d: %w", s, err)
@@ -174,7 +207,6 @@ func (c *ClusterClient) Retrieve(ctx context.Context, global uint64) ([]byte, er
 	if err := g.Wait(); err != nil {
 		return nil, err
 	}
-	c.bump(func(st *metrics.ClusterStats) { st.Retrievals++ })
 	return recs[plan.Owner], nil
 }
 
@@ -185,11 +217,31 @@ func (c *ClusterClient) Retrieve(ctx context.Context, global uint64) ([]byte, er
 // leaks nothing about how the targets distribute. An empty batch is a
 // no-op returning an empty (non-nil) slice without touching any
 // cohort, matching Client.RetrieveBatch.
-func (c *ClusterClient) RetrieveBatch(ctx context.Context, globals []uint64) ([][]byte, error) {
+func (c *ClusterClient) RetrieveBatch(ctx context.Context, globals []uint64, opts ...CallOption) ([][]byte, error) {
 	if len(globals) == 0 {
 		return [][]byte{}, nil
 	}
-	plan, err := c.manifest.PlanBatch(globals)
+	co := c.policy.resolve(opts)
+	for _, g := range globals {
+		if _, _, err := c.plan.Locate(g); err != nil {
+			return nil, err
+		}
+	}
+	recs, err := c.policy.doBatch(ctx, co, globals, func(ctx context.Context, globals []uint64) ([][]byte, error) {
+		return c.retrieveBatch(ctx, co, globals)
+	})
+	c.bump(func(st *metrics.StoreStats) {
+		if err == nil {
+			st.BatchRetrievals++
+		} else {
+			st.Errors++
+		}
+	})
+	return recs, err
+}
+
+func (c *ClusterClient) retrieveBatch(ctx context.Context, co callOptions, globals []uint64) ([][]byte, error) {
+	plan, err := c.plan.PlanBatch(globals)
 	if err != nil {
 		return nil, err
 	}
@@ -198,7 +250,7 @@ func (c *ClusterClient) RetrieveBatch(ctx context.Context, globals []uint64) ([]
 	for s := range c.shards {
 		g.Go(func() error {
 			start := time.Now()
-			recs, err := c.shards[s].RetrieveBatch(gctx, plan.Locals[s])
+			recs, err := c.shards[s].retrieveBatch(gctx, co, plan.Locals[s])
 			c.record(s, 0, uint64(len(globals)), time.Since(start), err)
 			if err != nil {
 				return fmt.Errorf("impir: shard %d: %w", s, err)
@@ -214,62 +266,81 @@ func (c *ClusterClient) RetrieveBatch(ctx context.Context, globals []uint64) ([]
 	for i, owner := range plan.Owners {
 		out[i] = perShard[owner][i]
 	}
-	c.bump(func(st *metrics.ClusterStats) { st.BatchRetrievals++ })
 	return out, nil
 }
 
 // Update routes a bulk record update, keyed by global index, to the
 // owning cohorts only: each dirty row travels to exactly the shard that
-// holds it, and each cohort applies its subset atomically under the
-// server-side epoch quiescing, so live retrievals never observe a torn
-// update. Updates are public operator actions — routing them leaks
-// nothing the cohort would not learn by applying them — and servers
-// reject them unless started with ServerConfig.AllowWireUpdates.
+// holds it — and there to EVERY replica of every party — and each
+// cohort applies its subset atomically under the server-side epoch
+// quiescing, so live retrievals never observe a torn update. Updates
+// are public operator actions — routing them leaks nothing the cohort
+// would not learn by applying them — and servers reject them unless
+// started with ServerConfig.AllowWireUpdates.
 //
 // Cohorts with no dirty rows are not contacted. The affected cohorts
 // update concurrently; the first failure cancels the rest, which can
 // leave cohorts (or replicas within one) diverged — retry the same
-// update until it succeeds everywhere, as with Client.Update.
-func (c *ClusterClient) Update(ctx context.Context, updates map[uint64][]byte) error {
-	routed, err := c.manifest.RouteUpdate(updates)
+// update until it succeeds everywhere, as with Client.Update (a
+// WithRetries budget does this transparently for transient failures).
+func (c *ClusterClient) Update(ctx context.Context, updates map[uint64][]byte, opts ...CallOption) error {
+	routed, err := c.plan.RouteUpdate(updates)
 	if err != nil {
 		return err
 	}
-	g, gctx := fanout.WithContext(ctx)
-	for s, sub := range routed {
-		g.Go(func() error {
-			err := c.shards[s].Update(gctx, sub)
-			c.bump(func(st *metrics.ClusterStats) {
-				st.Shards[s].UpdateRows += uint64(len(sub))
-				if err != nil {
-					st.Shards[s].Errors++
+	co := c.policy.resolve(opts)
+	err = c.policy.doUpdate(ctx, co, func(ctx context.Context) error {
+		g, gctx := fanout.WithContext(ctx)
+		for s, sub := range routed {
+			g.Go(func() error {
+				if err := c.shards[s].updateCore(gctx, sub); err != nil {
+					// Failed sub-attempts count per attempt (retries
+					// included) — they are real wire traffic.
+					c.bump(func(st *metrics.StoreStats) { st.Shards[s].Errors++ })
+					return fmt.Errorf("impir: shard %d: %w", s, err)
 				}
+				return nil
 			})
-			if err != nil {
-				return fmt.Errorf("impir: shard %d: %w", s, err)
-			}
-			return nil
-		})
-	}
-	if err := g.Wait(); err != nil {
-		return err
-	}
-	c.bump(func(st *metrics.ClusterStats) { st.Updates++ })
-	return nil
+		}
+		return g.Wait()
+	})
+	// Routed-row counters are per LOGICAL update, however many retry
+	// attempts it took (matching Client.Update's accounting).
+	c.bump(func(st *metrics.StoreStats) {
+		for s, sub := range routed {
+			st.Shards[s].UpdateRows += uint64(len(sub))
+		}
+		if err == nil {
+			st.Updates++
+		} else {
+			st.Errors++
+		}
+	})
+	return err
 }
 
-// Stats snapshots the client-side per-shard counters.
+// Stats snapshots the client-side counters: the cluster's own logical
+// and per-shard counters, plus the hedging activity accumulated inside
+// the per-cohort clients.
 func (c *ClusterClient) Stats() ClusterStats {
 	c.mu.Lock()
-	defer c.mu.Unlock()
 	out := c.stats
 	out.Shards = append([]metrics.ShardStats(nil), c.stats.Shards...)
+	c.mu.Unlock()
+	for _, cli := range c.shards {
+		if cli == nil {
+			continue
+		}
+		st := cli.Stats()
+		out.Hedges += st.Hedges
+		out.HedgeWins += st.HedgeWins
+	}
 	return out
 }
 
 // record accumulates one round trip's counters for shard s.
 func (c *ClusterClient) record(s int, queries, batchQueries uint64, d time.Duration, err error) {
-	c.bump(func(st *metrics.ClusterStats) {
+	c.bump(func(st *metrics.StoreStats) {
 		sh := &st.Shards[s]
 		sh.Queries += queries
 		if batchQueries > 0 {
@@ -283,7 +354,7 @@ func (c *ClusterClient) record(s int, queries, batchQueries uint64, d time.Durat
 	})
 }
 
-func (c *ClusterClient) bump(f func(*metrics.ClusterStats)) {
+func (c *ClusterClient) bump(f func(*metrics.StoreStats)) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	f(&c.stats)

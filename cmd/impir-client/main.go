@@ -1,25 +1,24 @@
-// Command impir-client privately retrieves records from a multi-server
-// IM-PIR deployment — two servers under the DPF encoding, or any n ≥ 2
-// under the naive share encoding (selected automatically from the server
-// count, or forced with -encoding).
+// Command impir-client privately retrieves records from an IM-PIR
+// deployment. The unified entry point is a deployment manifest — one
+// JSON file describing any topology (flat pairs, shards, replica sets
+// per party, keyword tables), driven through impir.Open:
+//
+//	impir-client -deployment deployment.json -index 123
+//	impir-client -deployment deployment.json -index 5,9,1000        # batched
+//	impir-client -deployment kv-deployment.json get key-00000123    # keyword section
+//
+// Hedging across each party's replica set is on by default (first
+// valid answer per party wins); -no-hedge disables it and -retries
+// grants a transient-failure retry budget.
+//
+// The pre-manifest flags remain for quick experiments: -servers for a
+// flat deployment, -manifest for a sharded one, -kv for a keyword
+// table — each equivalent to the corresponding deployment manifest:
 //
 //	impir-client -servers 127.0.0.1:7100,127.0.0.1:7101 -index 123
-//	impir-client -servers a:7100,b:7100 -index 5,9,1000     # batched
 //	impir-client -servers a:7100,b:7100,c:7100 -index 123   # 3-server shares
-//
-// Against a sharded deployment, pass the cluster manifest instead of
-// -servers; indices are global, and every shard cohort receives a
-// well-formed sub-query so none learns which shard mattered:
-//
 //	impir-client -manifest cluster.json -index 123
-//
-// Against a keyword store (impir-server -kv-manifest), pass the table
-// manifest with -kv and look keys up by name instead of index; the
-// servers see a constant-shape probe batch whether the key exists or
-// not:
-//
-//	impir-client -servers 127.0.0.1:7100,127.0.0.1:7101 -kv table.json get key-00000123
-//	impir-client -manifest cluster.json -kv table.json get key-00000123   # sharded store
+//	impir-client -servers a:7100,b:7100 -kv table.json get key-00000123
 package main
 
 import (
@@ -43,6 +42,8 @@ func main() {
 
 func run() error {
 	var (
+		deploymentPath = flag.String("deployment", "",
+			"unified deployment manifest JSON; drives any topology (replaces -servers/-manifest/-kv)")
 		servers = flag.String("servers", "127.0.0.1:7100,127.0.0.1:7101",
 			"comma-separated addresses of the non-colluding servers (≥ 2)")
 		manifestPath = flag.String("manifest", "",
@@ -53,13 +54,11 @@ func run() error {
 		encoding = flag.String("encoding", "auto",
 			"query encoding: auto, dpf (2 servers), or shares (any n)")
 		timeout = flag.Duration("timeout", 30*time.Second, "overall deadline for connect and retrieval")
+		retries = flag.Int("retries", 0, "extra whole-operation attempts after transient failures")
+		noHedge = flag.Bool("no-hedge", false, "disable hedged fan-out across replica sets")
 	)
 	flag.Parse()
 
-	indices, err := parseIndices(*indexFlag)
-	if err != nil {
-		return err
-	}
 	enc, err := impir.ParseEncoding(*encoding)
 	if err != nil {
 		return err
@@ -68,52 +67,69 @@ func run() error {
 	ctx, cancel := context.WithTimeout(context.Background(), *timeout)
 	defer cancel()
 
-	if *kvPath != "" {
-		return runKV(ctx, *kvPath, *servers, *manifestPath, enc, flag.Args())
+	opts := []impir.ClientOption{
+		impir.WithEncoding(enc),
+		impir.WithDefaultCallOptions(
+			impir.WithRetries(*retries),
+			impir.WithHedging(!*noHedge),
+		),
 	}
 
-	var retriever interface {
-		Retrieve(context.Context, uint64) ([]byte, error)
-		RetrieveBatch(context.Context, []uint64) ([][]byte, error)
-	}
-	if *manifestPath != "" {
+	// Resolve whatever flags were given into one deployment manifest —
+	// the unified path every topology goes through.
+	var d impir.Deployment
+	switch {
+	case *deploymentPath != "":
+		if d, err = impir.LoadDeployment(*deploymentPath); err != nil {
+			return err
+		}
+	case *manifestPath != "":
 		m, err := impir.LoadManifest(*manifestPath)
 		if err != nil {
 			return err
 		}
-		cc, err := impir.DialCluster(ctx, m, impir.WithEncoding(enc))
-		if err != nil {
-			return err
-		}
-		defer cc.Close()
-		fmt.Printf("connected to %d shard cohorts: %d records × %d bytes, replicas verified per cohort\n",
-			cc.Shards(), cc.NumRecords(), cc.RecordSize())
-		retriever = cc
-	} else {
+		d = impir.DeploymentFromManifest(m)
+	default:
 		addrs := parseAddrs(*servers)
 		if len(addrs) < 2 {
 			return fmt.Errorf("need at least two server addresses, got %d", len(addrs))
 		}
-		cli, err := impir.Dial(ctx, addrs, impir.WithEncoding(enc))
+		d = impir.FlatDeployment(addrs...)
+	}
+	if *kvPath != "" {
+		m, err := impir.LoadKVManifest(*kvPath)
 		if err != nil {
 			return err
 		}
-		defer cli.Close()
-		fmt.Printf("connected to %d servers: %d records × %d bytes, replicas verified, %s encoding\n",
-			cli.Servers(), cli.NumRecords(), cli.RecordSize(), cli.Encoding())
-		retriever = cli
+		d = d.WithKeyword(m)
 	}
+
+	if d.Keyword != nil {
+		return runKV(ctx, d, opts, flag.Args())
+	}
+
+	indices, err := parseIndices(*indexFlag)
+	if err != nil {
+		return err
+	}
+	store, err := impir.Open(ctx, d, opts...)
+	if err != nil {
+		return err
+	}
+	defer store.Close()
+	fmt.Printf("connected: %d shard(s), %d records × %d bytes, replicas verified per cohort\n",
+		d.NumShards(), store.NumRecords(), store.RecordSize())
 
 	start := time.Now()
 	var records [][]byte
 	if len(indices) == 1 {
-		rec, err := retriever.Retrieve(ctx, indices[0])
+		rec, err := store.Retrieve(ctx, indices[0])
 		if err != nil {
 			return err
 		}
 		records = [][]byte{rec}
 	} else {
-		records, err = retriever.RetrieveBatch(ctx, indices)
+		records, err = store.RetrieveBatch(ctx, indices)
 		if err != nil {
 			return err
 		}
@@ -124,47 +140,27 @@ func run() error {
 		fmt.Printf("record[%d] = %x\n", indices[i], rec)
 	}
 	fmt.Printf("%d record(s) in %v (no server learned which)\n", len(records), elapsed.Round(time.Millisecond))
+	if st := store.Stats(); st.Hedges > 0 {
+		fmt.Printf("hedging: %d hedge(s), %d won\n", st.Hedges, st.HedgeWins)
+	}
 	return nil
 }
 
 // runKV executes a keyword-store operation: `get <key> [key...]`
-// against a plain or sharded deployment. A present key prints its
+// against the deployment's keyword table. A present key prints its
 // value; an absent key is an error — which only the client learns, the
 // servers saw the same constant-shape probe either way.
-func runKV(ctx context.Context, kvPath, servers, manifestPath string, enc impir.Encoding, args []string) error {
+func runKV(ctx context.Context, d impir.Deployment, opts []impir.ClientOption, args []string) error {
 	if len(args) < 2 || args[0] != "get" {
-		return fmt.Errorf("keyword mode usage: impir-client -kv table.json get <key> [key...]")
+		return fmt.Errorf("keyword mode usage: impir-client -deployment kv-deployment.json get <key> [key...]")
 	}
-	m, err := impir.LoadKVManifest(kvPath)
+	kv, err := impir.OpenKV(ctx, d, opts...)
 	if err != nil {
 		return err
 	}
-
-	var kv *impir.KVClient
-	if manifestPath != "" {
-		cm, err := impir.LoadManifest(manifestPath)
-		if err != nil {
-			return err
-		}
-		kv, err = impir.DialKVCluster(ctx, cm, m, impir.WithEncoding(enc))
-		if err != nil {
-			return err
-		}
-		fmt.Printf("connected to sharded keyword store: %d buckets (%d-probe lookups)\n",
-			m.TotalBuckets(), kv.ProbesPerKey())
-	} else {
-		addrs := parseAddrs(servers)
-		if len(addrs) < 2 {
-			return fmt.Errorf("need at least two server addresses, got %d", len(addrs))
-		}
-		kv, err = impir.DialKV(ctx, addrs, m, impir.WithEncoding(enc))
-		if err != nil {
-			return err
-		}
-		fmt.Printf("connected to keyword store: %d buckets (%d-probe lookups), replicas verified\n",
-			m.TotalBuckets(), kv.ProbesPerKey())
-	}
 	defer kv.Close()
+	fmt.Printf("connected to keyword store: %d shard(s), %d buckets (%d-probe lookups)\n",
+		d.NumShards(), d.Keyword.TotalBuckets(), kv.ProbesPerKey())
 
 	keys := make([][]byte, len(args[1:]))
 	for i, a := range args[1:] {

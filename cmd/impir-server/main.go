@@ -33,6 +33,20 @@
 //	impir-server -kv-manifest table.json -records 65536 -seed 7 -party 0 -listen 127.0.0.1:7100 &
 //	impir-server -kv-manifest table.json -records 65536 -seed 7 -party 1 -listen 127.0.0.1:7101 &
 //	impir-client -servers 127.0.0.1:7100,127.0.0.1:7101 -kv table.json get key-00000123
+//
+// The unified deployment manifest drives every topology through ONE
+// flag pair: -deployment names the deployment.json (flat, sharded,
+// replica sets per party, keyword tables — any combination) and -shard
+// names this server's shard. The server synthesises the database (or,
+// with a keyword section, the cuckoo table), carves its shard's row
+// range, and serves it; replicas of one party run identical flags on
+// different machines:
+//
+//	impir-server -deployment deployment.json -shard 0 -party 0 -listen 127.0.0.1:7100 &
+//	impir-server -deployment deployment.json -shard 0 -party 1 -listen 127.0.0.1:7101 &
+//	impir-server -deployment deployment.json -shard 1 -party 0 -listen 127.0.0.1:7200 &
+//	impir-server -deployment deployment.json -shard 1 -party 1 -listen 127.0.0.1:7201 &
+//	impir-client -deployment deployment.json -index 123
 package main
 
 import (
@@ -43,6 +57,7 @@ import (
 	"net"
 	"os"
 	"os/signal"
+	"reflect"
 	"syscall"
 	"time"
 
@@ -70,9 +85,11 @@ func run() error {
 		clusters = flag.Int("clusters", 0, "PIM engine: DPU clusters (0 = 1)")
 		threads  = flag.Int("threads", 0, "CPU engine: worker threads (0 = 32)")
 
+		deploymentPath = flag.String("deployment", "",
+			"unified deployment manifest JSON (deployment.json); the server carves its -shard row range and, with a keyword section, serves the cuckoo table")
 		manifestPath = flag.String("manifest", "",
-			"cluster manifest JSON; the server carves its shard's row range out of the synthetic database")
-		shard = flag.Int("shard", 0, "this server's shard index in the manifest (with -manifest)")
+			"cluster manifest JSON; the server carves its shard's row range out of the synthetic database (deprecated: use -deployment)")
+		shard = flag.Int("shard", 0, "this server's shard index in the manifest (with -deployment or -manifest)")
 
 		kvManifestPath = flag.String("kv-manifest", "",
 			"serve a keyword (key→value) store: build a cuckoo table from -records synthetic pairs (seeded by -seed, replacing -workload) and write the table manifest JSON to this path")
@@ -99,11 +116,18 @@ func run() error {
 		return err
 	}
 
+	if *deploymentPath != "" && *manifestPath != "" {
+		return fmt.Errorf("-deployment replaces -manifest; pass one")
+	}
+
 	var db *impir.DB
-	if *kvManifestPath != "" {
+	switch {
+	case *deploymentPath != "":
+		db, err = buildDeploymentDatabase(*deploymentPath, *shard, *workload, *records, *seed)
+	case *kvManifestPath != "":
 		*workload = "keyword"
 		db, err = buildKVDatabase(*kvManifestPath, *records, *seed)
-	} else {
+	default:
 		db, err = buildDatabase(*workload, *records, *seed)
 	}
 	if err != nil {
@@ -161,6 +185,60 @@ func run() error {
 	}
 	log.Printf("drained cleanly")
 	return nil
+}
+
+// buildDeploymentDatabase synthesises the database a unified deployment
+// manifest describes and carves this server's shard out of it. With a
+// keyword section the cuckoo table is rebuilt from (-records, -seed)
+// and must reproduce the manifest's geometry exactly — catching a
+// deployment.json that drifted from the data it was generated for
+// before a single query is served.
+func buildDeploymentDatabase(path string, shard int, workload string, records int, seed int64) (*impir.DB, error) {
+	d, err := impir.LoadDeployment(path)
+	if err != nil {
+		return nil, err
+	}
+	var db *impir.DB
+	if d.Keyword != nil {
+		pairs := keyword.GeneratePairs(records, seed)
+		table, err := keyword.BuildTable(pairs, keyword.Options{Seed: seed})
+		if err != nil {
+			return nil, err
+		}
+		if !reflect.DeepEqual(table.Manifest, *d.Keyword) {
+			return nil, fmt.Errorf("rebuilt keyword table does not match the deployment's keyword section (were -records/-seed %d/%d the values deployment.json was generated with?)", records, seed)
+		}
+		if db, err = table.DB(); err != nil {
+			return nil, err
+		}
+		log.Printf("keyword store: %d pairs in %d+%d buckets (load factor %.2f)",
+			len(pairs), table.Manifest.NumBuckets, table.Manifest.StashBuckets, table.LoadFactor())
+	} else if db, err = buildDatabase(workload, records, seed); err != nil {
+		return nil, err
+	}
+	if d.RecordSize > 0 && db.RecordSize() != d.RecordSize {
+		return nil, fmt.Errorf("synthetic database has %d-byte records, deployment declares %d", db.RecordSize(), d.RecordSize)
+	}
+	if d.NumShards() == 1 {
+		if want := d.Shards[0].NumRecords; want > 0 && uint64(db.NumRecords()) != want {
+			return nil, fmt.Errorf("synthetic database has %d records, deployment declares %d", db.NumRecords(), want)
+		}
+		return db, nil
+	}
+	if shard < 0 || shard >= d.NumShards() {
+		return nil, fmt.Errorf("shard %d outside deployment of %d shards", shard, d.NumShards())
+	}
+	m, err := d.ShardManifest()
+	if err != nil {
+		return nil, err
+	}
+	part, err := cluster.ExtractShard(db, m, shard)
+	if err != nil {
+		return nil, err
+	}
+	log.Printf("serving shard %d/%d: global records [%d,%d)",
+		shard, d.NumShards(), d.Shards[shard].FirstRecord, d.Shards[shard].End())
+	return part, nil
 }
 
 // shardDatabase carves shard's row range out of the full database per

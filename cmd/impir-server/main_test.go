@@ -1,10 +1,12 @@
 package main
 
 import (
+	"os"
 	"path/filepath"
 	"testing"
 
 	"github.com/impir/impir"
+	"github.com/impir/impir/internal/keyword"
 )
 
 func TestBuildDatabaseWorkloads(t *testing.T) {
@@ -72,5 +74,90 @@ func TestBuildKVDatabaseDeterministicAcrossParties(t *testing.T) {
 	if uint64(a.NumRecords()) != ma.TotalBuckets() || a.RecordSize() != ma.RecordSize() {
 		t.Fatalf("served DB geometry (%d,%d) does not match the written manifest (%d,%d)",
 			a.NumRecords(), a.RecordSize(), ma.TotalBuckets(), ma.RecordSize())
+	}
+}
+
+// TestBuildDeploymentDatabaseShards: servers of different shards started
+// from one deployment.json carve disjoint, correctly sized slices of the
+// same synthetic database.
+func TestBuildDeploymentDatabaseShards(t *testing.T) {
+	dir := t.TempDir()
+	d := impir.Deployment{RecordSize: 32, Shards: []impir.DeploymentShard{
+		{FirstRecord: 0, NumRecords: 40, Parties: []impir.Party{
+			{Replicas: []string{"a:1", "a:2"}}, {Replicas: []string{"b:1"}},
+		}},
+		{FirstRecord: 40, NumRecords: 24, Parties: []impir.Party{
+			{Replicas: []string{"c:1"}}, {Replicas: []string{"d:1"}},
+		}},
+	}}
+	data, err := d.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, "deployment.json")
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	full, err := buildDatabase("hash", 64, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s0, err := buildDeploymentDatabase(path, 0, "hash", 64, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s1, err := buildDeploymentDatabase(path, 1, "hash", 64, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s0.NumRecords() != 40 || s1.NumRecords() != 24 {
+		t.Fatalf("shard sizes (%d,%d), want (40,24)", s0.NumRecords(), s1.NumRecords())
+	}
+	if string(s0.Record(3)) != string(full.Record(3)) || string(s1.Record(5)) != string(full.Record(45)) {
+		t.Fatal("shard rows do not match the full database")
+	}
+	if _, err := buildDeploymentDatabase(path, 2, "hash", 64, 7); err == nil {
+		t.Fatal("out-of-range shard accepted")
+	}
+	if _, err := buildDeploymentDatabase(path, 0, "hash", 128, 7); err == nil {
+		t.Fatal("record-count mismatch against the manifest accepted")
+	}
+}
+
+// TestBuildDeploymentDatabaseKeywordMismatch: a deployment.json whose
+// keyword section does not match the locally rebuilt table must be
+// rejected before serving.
+func TestBuildDeploymentDatabaseKeyword(t *testing.T) {
+	dir := t.TempDir()
+	pairs := keyword.GeneratePairs(100, 3)
+	table, err := keyword.BuildTable(pairs, keyword.Options{Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := impir.FlatDeployment("a:1", "b:1").WithKeyword(table.Manifest)
+	data, err := d.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, "kv-deployment.json")
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	db, err := buildDeploymentDatabase(path, 0, "hash", 100, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := table.DB()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if db.Digest() != want.Digest() {
+		t.Fatal("rebuilt keyword database differs from the manifest's table")
+	}
+	// Wrong seed → different table → must be rejected, not served.
+	if _, err := buildDeploymentDatabase(path, 0, "hash", 100, 4); err == nil {
+		t.Fatal("keyword drift between deployment.json and rebuilt table accepted")
 	}
 }

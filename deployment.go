@@ -1,0 +1,292 @@
+package impir
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+
+	"github.com/impir/impir/internal/cluster"
+)
+
+// The unified deployment manifest: one JSON document (deployment.json)
+// describing everything impir.Open needs to drive a whole IM-PIR
+// deployment as a single logical Store — flat server pairs, sharded
+// topologies, replica sets per party, and keyword tables atop either.
+//
+// The composition model:
+//
+//	Deployment
+//	└── Shards: contiguous row ranges tiling the record space
+//	    └── Parties: ≥ 2 mutually NON-COLLUDING query recipients;
+//	        each party receives exactly one share of every query
+//	        └── Replicas: ≥ 1 interchangeable servers run by that
+//	            SAME party, holding byte-identical data — hedging
+//	            and failover targets, not a privacy boundary
+//	└── Keyword: optional cuckoo-table manifest layered on the records
+//
+// Privacy note on replicas: all replicas of one party belong to one
+// trust domain. A query's share for that party may be sent to any or
+// all of them — they could share it among themselves anyway — so hedged
+// fan-out across a party's replicas leaks nothing beyond what sending
+// to one replica already does. Replicas must never be listed under a
+// party they do not trust: that would hand two shares to one colluding
+// operator.
+
+// Deployment size caps, enforced by Validate so an adversarial manifest
+// cannot make a client allocate or dial without bound.
+const (
+	maxDeploymentShards = 4096
+	maxPartiesPerShard  = 64
+	maxReplicasPerParty = 16
+	maxReplicaAddrLen   = 256
+)
+
+// Party is one non-colluding member of a shard cohort: a single trust
+// domain running one or more interchangeable replicas of the shard.
+type Party struct {
+	// Replicas are the party's server addresses (≥ 1). All hold
+	// byte-identical data; the client sends the party's share to the
+	// fastest-first of them, hedging across the rest.
+	Replicas []string `json:"replicas"`
+}
+
+// DeploymentShard is one contiguous row range of a deployment, served
+// by a cohort of ≥ 2 non-colluding parties.
+type DeploymentShard struct {
+	// FirstRecord is the global index of the shard's first record.
+	FirstRecord uint64 `json:"first_record"`
+	// NumRecords is the number of records the shard holds. In a
+	// single-shard deployment it may be 0: the geometry is then learned
+	// from the server handshake, exactly as with a direct Dial.
+	NumRecords uint64 `json:"num_records"`
+	// Parties are the shard's non-colluding cohort members.
+	Parties []Party `json:"parties"`
+}
+
+// End returns the exclusive global upper bound of the shard's range.
+func (s DeploymentShard) End() uint64 { return s.FirstRecord + s.NumRecords }
+
+// UnmarshalJSON accepts both the native form ("parties": [{"replicas":
+// [...]}, ...]) and the older cluster-manifest shorthand ("replicas":
+// ["a", "b"]), which reads as one single-replica party per address — so
+// every existing cluster.json is a valid deployment.json.
+func (s *DeploymentShard) UnmarshalJSON(data []byte) error {
+	var raw struct {
+		FirstRecord uint64   `json:"first_record"`
+		NumRecords  uint64   `json:"num_records"`
+		Parties     []Party  `json:"parties"`
+		Replicas    []string `json:"replicas"`
+	}
+	if err := json.Unmarshal(data, &raw); err != nil {
+		return err
+	}
+	if len(raw.Parties) > 0 && len(raw.Replicas) > 0 {
+		return fmt.Errorf("impir: shard lists both \"parties\" and the legacy \"replicas\" shorthand; use one")
+	}
+	s.FirstRecord = raw.FirstRecord
+	s.NumRecords = raw.NumRecords
+	s.Parties = raw.Parties
+	for _, addr := range raw.Replicas {
+		s.Parties = append(s.Parties, Party{Replicas: []string{addr}})
+	}
+	return nil
+}
+
+// Deployment is the unified manifest impir.Open drives: the topology of
+// a whole PIR deployment as one logical store. It round-trips through
+// JSON (ParseDeployment / LoadDeployment / Deployment.JSON) for the
+// -deployment command-line flag and config files.
+type Deployment struct {
+	// RecordSize is the record size in bytes, identical across shards.
+	// Required for multi-shard deployments; a single-shard deployment
+	// may leave it 0 and learn the geometry from the server handshake.
+	RecordSize int `json:"record_size,omitempty"`
+	// Shards lists the row-range shards in ascending global order; with
+	// more than one, they must tile [0, NumRecords()) exactly.
+	Shards []DeploymentShard `json:"shards"`
+	// Keyword optionally layers a cuckoo key→value table over the
+	// records (one bucket per record, built with BuildKVDB). The
+	// manifest is public data: it reveals bucket geometry and hash
+	// seeds, never the stored keys.
+	Keyword *KVManifest `json:"keyword,omitempty"`
+}
+
+// FlatDeployment describes the simplest topology: one shard served by
+// len(addrs) single-replica parties — the classic "dial these ≥ 2
+// non-colluding servers" deployment, with geometry learned from the
+// handshake.
+func FlatDeployment(addrs ...string) Deployment {
+	parties := make([]Party, len(addrs))
+	for i, a := range addrs {
+		parties[i] = Party{Replicas: []string{a}}
+	}
+	return Deployment{Shards: []DeploymentShard{{Parties: parties}}}
+}
+
+// ReplicatedDeployment describes one shard served by len(parties)
+// non-colluding parties, each running its own replica set. Replicas
+// within one inner slice belong to ONE trust domain — hedging targets,
+// not a privacy boundary.
+func ReplicatedDeployment(parties ...[]string) Deployment {
+	ps := make([]Party, len(parties))
+	for i, replicas := range parties {
+		ps[i] = Party{Replicas: append([]string(nil), replicas...)}
+	}
+	return Deployment{Shards: []DeploymentShard{{Parties: ps}}}
+}
+
+// DeploymentFromManifest lifts a cluster shard manifest into the
+// unified form: each cohort address becomes a single-replica party.
+func DeploymentFromManifest(m ShardManifest) Deployment {
+	d := Deployment{RecordSize: m.RecordSize, Shards: make([]DeploymentShard, len(m.Shards))}
+	for i, s := range m.Shards {
+		parties := make([]Party, len(s.Replicas))
+		for p, addr := range s.Replicas {
+			parties[p] = Party{Replicas: []string{addr}}
+		}
+		d.Shards[i] = DeploymentShard{FirstRecord: s.FirstRecord, NumRecords: s.NumRecords, Parties: parties}
+	}
+	return d
+}
+
+// WithKeyword returns a copy of the deployment carrying the keyword
+// table manifest, so kv topologies compose as data: FlatDeployment(
+// addrs...).WithKeyword(m) is a keyword store over a server pair.
+func (d Deployment) WithKeyword(m KVManifest) Deployment {
+	d.Keyword = &m
+	return d
+}
+
+// NumShards returns the shard count.
+func (d Deployment) NumShards() int { return len(d.Shards) }
+
+// NumRecords returns the total record count across shards — 0 when a
+// single-shard deployment leaves the geometry to the handshake.
+func (d Deployment) NumRecords() uint64 {
+	if len(d.Shards) == 0 {
+		return 0
+	}
+	return d.Shards[len(d.Shards)-1].End()
+}
+
+// Validate checks the topology: shards tiling the record space, ≥ 2
+// non-colluding parties per shard, ≥ 1 replica per party, non-empty
+// addresses, the size caps, and — when present — the keyword manifest.
+func (d Deployment) Validate() error {
+	if len(d.Shards) == 0 {
+		return fmt.Errorf("impir: deployment has no shards")
+	}
+	if len(d.Shards) > maxDeploymentShards {
+		return fmt.Errorf("impir: deployment has %d shards, the cap is %d", len(d.Shards), maxDeploymentShards)
+	}
+	if d.RecordSize < 0 {
+		return fmt.Errorf("impir: negative record size %d", d.RecordSize)
+	}
+	multi := len(d.Shards) > 1
+	if multi && d.RecordSize == 0 {
+		return fmt.Errorf("impir: a multi-shard deployment must declare record_size")
+	}
+	var next uint64
+	for i, s := range d.Shards {
+		if multi && s.NumRecords < 1 {
+			return fmt.Errorf("impir: shard %d holds no records", i)
+		}
+		if s.FirstRecord != next {
+			return fmt.Errorf("impir: shard %d starts at record %d, want %d (shards must tile the record space contiguously)",
+				i, s.FirstRecord, next)
+		}
+		if s.NumRecords > 0 && d.RecordSize == 0 {
+			return fmt.Errorf("impir: shard %d declares num_records without a deployment record_size", i)
+		}
+		if len(s.Parties) < 2 {
+			return fmt.Errorf("impir: shard %d has %d part(y/ies); a PIR cohort needs ≥ 2 non-colluding parties",
+				i, len(s.Parties))
+		}
+		if len(s.Parties) > maxPartiesPerShard {
+			return fmt.Errorf("impir: shard %d has %d parties, the cap is %d", i, len(s.Parties), maxPartiesPerShard)
+		}
+		for p, party := range s.Parties {
+			if len(party.Replicas) < 1 {
+				return fmt.Errorf("impir: shard %d party %d has no replicas", i, p)
+			}
+			if len(party.Replicas) > maxReplicasPerParty {
+				return fmt.Errorf("impir: shard %d party %d has %d replicas, the cap is %d",
+					i, p, len(party.Replicas), maxReplicasPerParty)
+			}
+			for r, addr := range party.Replicas {
+				if addr == "" {
+					return fmt.Errorf("impir: shard %d party %d replica %d has an empty address", i, p, r)
+				}
+				if len(addr) > maxReplicaAddrLen {
+					return fmt.Errorf("impir: shard %d party %d replica %d address exceeds %d bytes",
+						i, p, r, maxReplicaAddrLen)
+				}
+			}
+		}
+		next = s.End()
+	}
+	if d.Keyword != nil {
+		if err := d.Keyword.Validate(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ParseDeployment decodes and validates a JSON deployment manifest. It
+// also accepts any valid cluster shard manifest (the per-shard
+// "replicas" shorthand), so existing cluster.json files keep working.
+func ParseDeployment(data []byte) (Deployment, error) {
+	var d Deployment
+	if err := json.Unmarshal(data, &d); err != nil {
+		return Deployment{}, fmt.Errorf("impir: parse deployment: %w", err)
+	}
+	return d, d.Validate()
+}
+
+// LoadDeployment reads and validates a JSON deployment manifest file
+// (the -deployment flag).
+func LoadDeployment(path string) (Deployment, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return Deployment{}, fmt.Errorf("impir: load deployment: %w", err)
+	}
+	return ParseDeployment(data)
+}
+
+// JSON encodes the deployment for config files; ParseDeployment
+// round-trips it.
+func (d Deployment) JSON() ([]byte, error) {
+	if err := d.Validate(); err != nil {
+		return nil, err
+	}
+	return json.MarshalIndent(d, "", "  ")
+}
+
+// ShardManifest derives the shard-manifest view the query planner (and
+// the server-side shard carving) works over: the shard ranges plus one
+// representative address per party. Replica sets are deliberately
+// dropped — routing is by row range, and replica choice happens in the
+// fan-out layer. Only meaningful for deployments with explicit
+// geometry (every multi-shard deployment; a single-shard deployment
+// that declared record_size and num_records).
+func (d Deployment) ShardManifest() (ShardManifest, error) {
+	m := cluster.Manifest{RecordSize: d.RecordSize, Shards: make([]cluster.Shard, len(d.Shards))}
+	for i, s := range d.Shards {
+		reps := make([]string, len(s.Parties))
+		for p, party := range s.Parties {
+			reps[p] = party.Replicas[0]
+		}
+		m.Shards[i] = cluster.Shard{FirstRecord: s.FirstRecord, NumRecords: s.NumRecords, Replicas: reps}
+	}
+	return m, m.Validate()
+}
+
+// cohorts returns the shard's party → replica-address lists.
+func (s DeploymentShard) cohorts() [][]string {
+	out := make([][]string, len(s.Parties))
+	for p, party := range s.Parties {
+		out[p] = party.Replicas
+	}
+	return out
+}

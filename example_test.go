@@ -30,11 +30,11 @@ func Example() {
 	// Output: true
 }
 
-// A network deployment through the Client API: serve two replicas over
-// TCP, dial both, retrieve privately. Dial validates the replicas and
-// picks the DPF encoding from the server count; Retrieve queries both
-// servers concurrently.
-func ExampleClient() {
+// A network deployment through the unified Store API: serve two
+// replicas over TCP, Open the deployment, retrieve privately. Open
+// validates the replicas and picks the DPF encoding from the party
+// count; Retrieve queries both parties concurrently.
+func ExampleOpen() {
 	ctx := context.Background()
 	db, _ := impir.GenerateHashDB(1024, 7)
 	addrs := make([]string, 2)
@@ -47,22 +47,22 @@ func ExampleClient() {
 		addrs[i] = srv.Addr().String()
 	}
 
-	cli, err := impir.Dial(ctx, addrs)
+	store, err := impir.Open(ctx, impir.FlatDeployment(addrs...))
 	if err != nil {
 		fmt.Println(err)
 		return
 	}
-	defer cli.Close()
+	defer store.Close()
 
-	record, _ := cli.Retrieve(ctx, 42)
-	fmt.Println(cli.Encoding(), bytes.Equal(record, db.Record(42)))
+	record, _ := store.Retrieve(ctx, 42)
+	fmt.Println(store.(*impir.Client).Encoding(), bytes.Equal(record, db.Record(42)))
 	// Output: dpf true
 }
 
 // Deployments with more than two servers use the naive share encoding —
 // EncodingAuto selects it from the server count, and RetrieveBatch
 // fetches several records in one round trip per server.
-func ExampleClient_threeServers() {
+func ExampleOpen_threeServers() {
 	ctx := context.Background()
 	db, _ := impir.GenerateHashDB(512, 3)
 	addrs := make([]string, 3)
@@ -75,15 +75,15 @@ func ExampleClient_threeServers() {
 		addrs[i] = srv.Addr().String()
 	}
 
-	cli, err := impir.Dial(ctx, addrs)
+	store, err := impir.Open(ctx, impir.FlatDeployment(addrs...))
 	if err != nil {
 		fmt.Println(err)
 		return
 	}
-	defer cli.Close()
+	defer store.Close()
 
-	records, _ := cli.RetrieveBatch(ctx, []uint64{99, 300})
-	fmt.Println(cli.Encoding(),
+	records, _ := store.RetrieveBatch(ctx, []uint64{99, 300})
+	fmt.Println(store.(*impir.Client).Encoding(),
 		bytes.Equal(records[0], db.Record(99)),
 		bytes.Equal(records[1], db.Record(300)))
 	// Output: shares true true

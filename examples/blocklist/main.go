@@ -79,9 +79,9 @@ func run() error {
 	fmt.Printf("blocklist: %d URLs in %d+%d buckets; clients receive only the table manifest\n",
 		blocklistSize, manifest.NumBuckets, manifest.StashBuckets)
 
-	// ——— Browser side ———
+	// ——— Browser side: one deployment manifest is all a browser ships ———
 	ctx := context.Background()
-	kv, err := impir.DialKV(ctx, addrs, manifest)
+	kv, err := impir.OpenKV(ctx, impir.FlatDeployment(addrs...).WithKeyword(manifest))
 	if err != nil {
 		return err
 	}

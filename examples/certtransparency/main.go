@@ -57,13 +57,15 @@ func run() error {
 	}
 
 	ctx := context.Background()
-	cli, err := impir.Dial(ctx, []string{addr0, addr1})
+	// One deployment manifest names both non-colluding mirrors; Open
+	// returns the unified Store surface over it.
+	cli, err := impir.Open(ctx, impir.FlatDeployment(addr0, addr1))
 	if err != nil {
 		return err
 	}
 	defer cli.Close()
-	fmt.Printf("connected to both log mirrors: %d entries, replicas verified (%s encoding)\n\n",
-		cli.NumRecords(), cli.Encoding())
+	fmt.Printf("connected to both log mirrors: %d entries, replicas verified\n\n",
+		cli.NumRecords())
 
 	// Audit 1: an honest certificate.
 	const honestIdx = 4242

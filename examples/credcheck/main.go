@@ -86,9 +86,9 @@ func run() error {
 	fmt.Printf("corpus: %d breached credentials in %d+%d buckets (%d-probe lookups); clients receive only the manifest\n",
 		corpusSize, manifest.NumBuckets, manifest.StashBuckets, manifest.ProbesPerKey())
 
-	// ——— Client side: manifest + addresses, nothing else ———
+	// ——— Client side: one deployment manifest, nothing else ———
 	ctx := context.Background()
-	kv, err := impir.DialKV(ctx, addrs, manifest)
+	kv, err := impir.OpenKV(ctx, impir.FlatDeployment(addrs...).WithKeyword(manifest))
 	if err != nil {
 		return err
 	}

@@ -95,7 +95,7 @@ func run() error {
 	versionA := bytes.Repeat([]byte{0xA1}, recordSize)
 	versionB := bytes.Repeat([]byte{0xB2}, recordSize)
 	for _, srv := range servers {
-		if err := srv.Update(map[int][]byte{hotRecord: versionA}); err != nil {
+		if err := srv.Update(map[uint64][]byte{hotRecord: versionA}); err != nil {
 			return err
 		}
 	}
@@ -108,7 +108,7 @@ func run() error {
 		wg.Add(1)
 		go func(c int) {
 			defer wg.Done()
-			cli, err := impir.Dial(ctx, addrs)
+			cli, err := impir.Open(ctx, impir.FlatDeployment(addrs...))
 			if err != nil {
 				log.Printf("client %d: %v", c, err)
 				return
@@ -144,7 +144,7 @@ func run() error {
 			version = versionB
 		}
 		for _, srv := range servers {
-			if err := srv.Update(map[int][]byte{hotRecord: version}); err != nil {
+			if err := srv.Update(map[uint64][]byte{hotRecord: version}); err != nil {
 				return err
 			}
 		}

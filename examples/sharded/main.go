@@ -87,11 +87,14 @@ func run() error {
 	if err != nil {
 		return err
 	}
-	cc, err := impir.DialCluster(ctx, m)
+	// Lift the shard manifest into the unified deployment manifest and
+	// open the whole cluster as one logical Store.
+	store, err := impir.Open(ctx, impir.DeploymentFromManifest(m))
 	if err != nil {
 		return err
 	}
-	defer cc.Close()
+	defer store.Close()
+	cc := store.(*impir.ClusterClient)
 	fmt.Printf("cluster: %d shards, %d records × %d bytes\n\n", cc.Shards(), cc.NumRecords(), cc.RecordSize())
 
 	// Retrieve one record from each shard: every cohort receives a
@@ -139,10 +142,10 @@ func run() error {
 
 	fmt.Printf("per-shard stats: %v\n\n", cc.Stats())
 
-	manifestJSON, err := m.JSON()
+	deploymentJSON, err := impir.DeploymentFromManifest(m).JSON()
 	if err != nil {
 		return err
 	}
-	fmt.Printf("manifest (for impir-server -manifest / impir-client -manifest):\n%s\n", manifestJSON)
+	fmt.Printf("deployment.json (for impir-server/impir-client -deployment):\n%s\n", deploymentJSON)
 	return nil
 }

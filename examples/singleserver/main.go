@@ -8,6 +8,11 @@
 // cost per record — the quantitative basis for the paper's Take-away 1
 // (multi-server PIR fits PIM; FHE-style PIR does not).
 //
+// The multi-server scheme this example motivates is what the rest of
+// the module deploys: impir.Open drives any multi-server topology (a
+// flat pair, shards, replica sets per party) from one deployment
+// manifest — see examples/quickstart and examples/sharded.
+//
 //	go run ./examples/singleserver
 package main
 

@@ -77,11 +77,12 @@ func run() error {
 	// EncodingAuto resolves to the share encoding for 3+ servers; the
 	// explicit option below just makes the choice visible.
 	ctx := context.Background()
-	cli, err := impir.Dial(ctx, addrs, impir.WithEncoding(impir.EncodingShares))
+	store, err := impir.Open(ctx, impir.FlatDeployment(addrs...), impir.WithEncoding(impir.EncodingShares))
 	if err != nil {
 		return err
 	}
-	defer cli.Close()
+	defer store.Close()
+	cli := store.(*impir.Client) // flat deployments open as *Client
 	fmt.Printf("\nconnected to %d servers, replicas verified (%d records × %d B, %s encoding)\n",
 		cli.Servers(), cli.NumRecords(), cli.RecordSize(), cli.Encoding())
 

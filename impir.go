@@ -35,20 +35,68 @@
 //	r1, _, _ := s1.Answer(ctx, k1)
 //	record, _ := impir.Reconstruct(r0, r1) // == db.Record(42)
 //
-// # Client
+// # Unified Store API
 //
-// Network deployments use Client: Dial connects to every server of a
-// 2..n-server deployment concurrently and cross-checks the replicas;
-// Retrieve and RetrieveBatch encode the query under a pluggable Encoding
-// (DPF key pairs for two servers, naive §2.3 selector shares for n —
-// selected automatically from the server count, or forced with
-// WithEncoding) and fan it out to all servers in parallel, so retrieval
-// latency is the slowest server rather than the sum. Contexts bound and
-// cancel every network operation.
+// Network deployments go through one entry point: Open, over a unified
+// deployment manifest (deployment.json), returns a Store — Retrieve,
+// RetrieveBatch, Update, Stats, Close — whatever topology the manifest
+// describes. The manifest composes every deployment dimension:
 //
-//	cli, _ := impir.Dial(ctx, []string{addr0, addr1})
-//	defer cli.Close()
-//	record, _ := cli.Retrieve(ctx, 42)
+//	Deployment (deployment.json)
+//	└── Shards        contiguous row ranges tiling the record space
+//	    └── Parties   ≥ 2 mutually NON-COLLUDING query recipients;
+//	        │         each receives exactly one share per query
+//	        └── Replicas  ≥ 1 interchangeable servers of ONE party —
+//	                      identical data, hedging/failover targets
+//	└── Keyword       optional cuckoo key→value table over the records
+//
+//	d, _ := impir.LoadDeployment("deployment.json")
+//	store, _ := impir.Open(ctx, d)
+//	defer store.Close()
+//	record, _ := store.Retrieve(ctx, 42)
+//
+// A single-shard deployment opens as *Client, a multi-shard one as
+// *ClusterClient, and OpenKV returns the key→value view when the
+// manifest carries a keyword table. Queries encode under a pluggable
+// Encoding (DPF key pairs for two parties, naive §2.3 selector shares
+// for n — selected automatically, or forced with WithEncoding) and fan
+// out to all parties in parallel, so retrieval latency is the slowest
+// party rather than the sum. Contexts bound and cancel every network
+// operation. The historical Dial/DialCluster/DialKV/DialKVCluster
+// entry points survive as deprecated wrappers over Open.
+//
+// Open installs store-level policy that every call may override:
+// WithCallTimeout bounds a whole operation, WithRetries grants a
+// transient-failure budget whose attempts transparently redial
+// poisoned connections, and WithHedging/WithHedgeDelay control hedged
+// replica fan-out. WithUnaryInterceptor and WithBatchInterceptor
+// install a gRPC-style interceptor chain — logging, metrics, tracing,
+// caching — running once per logical operation, however many shards,
+// replicas, hedges and retries it spans.
+//
+// # Hedged replica fan-out
+//
+// A party may run several interchangeable replicas. Each query share
+// goes to the party's fastest-known replica (EWMA-ordered); when the
+// primary lags past the hedge delay — adapted upward to 2× its usual
+// latency — or fails outright, the SAME share goes to the party's next
+// replica, the first valid answer wins, and the losers are cancelled.
+// Tail stalls (a GC pause, CPU contention, an update quiesce) are
+// thereby evicted from the critical path: p99 collapses toward p50
+// while healthy-path traffic is unchanged (impir-bench -experiment
+// hedging prices this). A replica that dies degrades its party to the
+// survivors instead of taking retrievals down; updates still require
+// every replica, so a dead replica can never silently serve stale
+// records as current.
+//
+// Privacy argument: all replicas of one party form ONE trust domain
+// holding identical data, and a hedged attempt carries exactly the
+// share that party was sent anyway — anything its replicas observe,
+// the party could assemble regardless — so hedging cuts tail latency
+// without adding leakage. The manifest's party/replica distinction is
+// the privacy boundary: never list a server under a party it does not
+// trust, as that would hand two shares of the same query to one
+// operator.
 //
 // # Server-side scheduling
 //

@@ -386,6 +386,7 @@ func Ablations(opts Options) []*Report {
 		AblationBandwidthScaling(opts),
 		ShardScaling(opts),
 		KeywordLookup(opts),
+		HedgingTail(opts),
 	}
 }
 

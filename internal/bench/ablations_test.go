@@ -4,8 +4,8 @@ import "testing"
 
 func TestAblationsPass(t *testing.T) {
 	reports := Ablations(Options{})
-	if len(reports) != 9 {
-		t.Fatalf("got %d ablation reports, want 9 (7 paper ablations + shard scaling + keyword lookup)", len(reports))
+	if len(reports) != 10 {
+		t.Fatalf("got %d ablation reports, want 10 (7 paper ablations + shard scaling + keyword lookup + hedging tail)", len(reports))
 	}
 	for _, r := range reports {
 		if len(r.Rows) == 0 {

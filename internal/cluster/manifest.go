@@ -67,16 +67,29 @@ func (m Manifest) NumRecords() uint64 {
 // NumShards returns the shard count.
 func (m Manifest) NumShards() int { return len(m.Shards) }
 
+// Manifest size caps, enforced by Validate so an adversarial manifest
+// cannot make a client allocate or dial without bound. They mirror the
+// unified deployment manifest's caps (a cohort member here is a party
+// there).
+const (
+	maxShards         = 4096
+	maxCohortReplicas = 64
+	maxReplicaAddrLen = 256
+)
+
 // Validate checks the topology: a positive record size, at least one
 // shard, shards tiling the global record space contiguously from 0 with
-// no gaps or overlaps, at least one record per shard, and at least two
-// replica addresses per cohort.
+// no gaps or overlaps, at least one record per shard, at least two
+// replica addresses per cohort, and the size caps.
 func (m Manifest) Validate() error {
 	if m.RecordSize < 1 {
 		return fmt.Errorf("cluster: record size %d must be ≥ 1", m.RecordSize)
 	}
 	if len(m.Shards) == 0 {
 		return fmt.Errorf("cluster: manifest has no shards")
+	}
+	if len(m.Shards) > maxShards {
+		return fmt.Errorf("cluster: manifest has %d shards, the cap is %d", len(m.Shards), maxShards)
 	}
 	var next uint64
 	for i, s := range m.Shards {
@@ -90,6 +103,17 @@ func (m Manifest) Validate() error {
 		if len(s.Replicas) < 2 {
 			return fmt.Errorf("cluster: shard %d has %d replica(s); a PIR cohort needs ≥ 2 non-colluding servers",
 				i, len(s.Replicas))
+		}
+		if len(s.Replicas) > maxCohortReplicas {
+			return fmt.Errorf("cluster: shard %d has %d replicas, the cap is %d", i, len(s.Replicas), maxCohortReplicas)
+		}
+		for r, addr := range s.Replicas {
+			if addr == "" {
+				return fmt.Errorf("cluster: shard %d replica %d has an empty address", i, r)
+			}
+			if len(addr) > maxReplicaAddrLen {
+				return fmt.Errorf("cluster: shard %d replica %d address exceeds %d bytes", i, r, maxReplicaAddrLen)
+			}
 		}
 		next = s.End()
 	}

@@ -148,3 +148,35 @@ func TestUniformManifest(t *testing.T) {
 		}
 	}
 }
+
+func TestManifestValidateCaps(t *testing.T) {
+	base := Manifest{RecordSize: 32, Shards: []Shard{
+		{FirstRecord: 0, NumRecords: 8, Replicas: []string{"a:1", "b:1"}},
+	}}
+	if err := base.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	overReplicated := base
+	reps := make([]string, maxCohortReplicas+1)
+	for i := range reps {
+		reps[i] = "r:1"
+	}
+	overReplicated.Shards = []Shard{{FirstRecord: 0, NumRecords: 8, Replicas: reps}}
+	if err := overReplicated.Validate(); err == nil {
+		t.Error("replica cap not enforced")
+	}
+	emptyAddr := base
+	emptyAddr.Shards = []Shard{{FirstRecord: 0, NumRecords: 8, Replicas: []string{"a:1", ""}}}
+	if err := emptyAddr.Validate(); err == nil {
+		t.Error("empty replica address accepted")
+	}
+	huge := Manifest{RecordSize: 32, Shards: make([]Shard, maxShards+1)}
+	var next uint64
+	for i := range huge.Shards {
+		huge.Shards[i] = Shard{FirstRecord: next, NumRecords: 1, Replicas: []string{"a:1", "b:1"}}
+		next++
+	}
+	if err := huge.Validate(); err == nil {
+		t.Error("shard cap not enforced")
+	}
+}

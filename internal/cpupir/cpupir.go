@@ -252,7 +252,7 @@ func (e *Engine) QueryShare(share *bitvec.Vector) ([]byte, metrics.Breakdown, er
 }
 
 // ApplyUpdates is the uniform update entry point shared by every engine.
-func (e *Engine) ApplyUpdates(updates map[int][]byte) error {
+func (e *Engine) ApplyUpdates(updates map[uint64][]byte) error {
 	return e.UpdateRecords(updates)
 }
 
@@ -260,7 +260,7 @@ func (e *Engine) ApplyUpdates(updates map[int][]byte) error {
 // §3.3 update discipline. For the CPU baseline the database lives in host
 // DRAM, so the update is an in-place rewrite. Must not run concurrently
 // with queries.
-func (e *Engine) UpdateRecords(updates map[int][]byte) error {
+func (e *Engine) UpdateRecords(updates map[uint64][]byte) error {
 	if e.db == nil {
 		return errors.New("cpupir: no database loaded")
 	}
@@ -268,7 +268,7 @@ func (e *Engine) UpdateRecords(updates map[int][]byte) error {
 		return errors.New("cpupir: empty update set")
 	}
 	for idx, rec := range updates {
-		if idx < 0 || idx >= e.db.NumRecords() {
+		if idx >= uint64(e.db.NumRecords()) {
 			return fmt.Errorf("cpupir: update index %d outside [0,%d)", idx, e.db.NumRecords())
 		}
 		if len(rec) != e.db.RecordSize() {
@@ -277,7 +277,7 @@ func (e *Engine) UpdateRecords(updates map[int][]byte) error {
 		}
 	}
 	for idx, rec := range updates {
-		if err := e.db.SetRecord(idx, rec); err != nil {
+		if err := e.db.SetRecord(int(idx), rec); err != nil {
 			return err
 		}
 	}

@@ -56,7 +56,7 @@ func TestQueryShareValidation(t *testing.T) {
 func TestUpdateRecordsDirect(t *testing.T) {
 	e0, _ := newLoaded(t, 128)
 	rec := bytes.Repeat([]byte{0x11}, 32)
-	if err := e0.UpdateRecords(map[int][]byte{5: rec}); err != nil {
+	if err := e0.UpdateRecords(map[uint64][]byte{5: rec}); err != nil {
 		t.Fatal(err)
 	}
 	if !bytes.Equal(e0.Database().Record(5), rec) {
@@ -65,14 +65,14 @@ func TestUpdateRecordsDirect(t *testing.T) {
 	if err := e0.UpdateRecords(nil); err == nil {
 		t.Error("empty update accepted")
 	}
-	if err := e0.UpdateRecords(map[int][]byte{-1: rec}); err == nil {
-		t.Error("negative index accepted")
+	if err := e0.UpdateRecords(map[uint64][]byte{^uint64(0): rec}); err == nil {
+		t.Error("out-of-range index accepted")
 	}
-	if err := e0.UpdateRecords(map[int][]byte{0: rec[:4]}); err == nil {
+	if err := e0.UpdateRecords(map[uint64][]byte{0: rec[:4]}); err == nil {
 		t.Error("short record accepted")
 	}
 	unloaded, _ := New(Config{Threads: 1})
-	if err := unloaded.UpdateRecords(map[int][]byte{0: rec}); err == nil {
+	if err := unloaded.UpdateRecords(map[uint64][]byte{0: rec}); err == nil {
 		t.Error("update before load accepted")
 	}
 }

@@ -1,0 +1,137 @@
+package fanout
+
+import (
+	"context"
+	"errors"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestHedgePrimaryWinsWithoutHedging(t *testing.T) {
+	var launches atomic.Int32
+	v, i, err := Hedge(context.Background(), 3, 50*time.Millisecond,
+		func(ctx context.Context, i int) (string, error) {
+			launches.Add(1)
+			return "primary", nil
+		})
+	if err != nil || v != "primary" || i != 0 {
+		t.Fatalf("got (%q, %d, %v)", v, i, err)
+	}
+	if n := launches.Load(); n != 1 {
+		t.Fatalf("fast primary still launched %d attempts", n)
+	}
+}
+
+func TestHedgeSecondaryWinsOverSlowPrimary(t *testing.T) {
+	primaryCancelled := make(chan struct{})
+	v, i, err := Hedge(context.Background(), 2, 5*time.Millisecond,
+		func(ctx context.Context, i int) (string, error) {
+			if i == 0 {
+				<-ctx.Done() // stuck replica; must be cancelled by the winner
+				close(primaryCancelled)
+				return "", ctx.Err()
+			}
+			return "hedge", nil
+		})
+	if err != nil || v != "hedge" || i != 1 {
+		t.Fatalf("got (%q, %d, %v)", v, i, err)
+	}
+	select {
+	case <-primaryCancelled:
+	case <-time.After(5 * time.Second):
+		t.Fatal("losing attempt was not cancelled")
+	}
+}
+
+func TestHedgeFailureLaunchesNextImmediately(t *testing.T) {
+	// Delay is huge; only the failure path can reach attempt 1 in time.
+	start := time.Now()
+	v, i, err := Hedge(context.Background(), 2, time.Hour,
+		func(ctx context.Context, i int) (int, error) {
+			if i == 0 {
+				return 0, errors.New("replica down")
+			}
+			return 42, nil
+		})
+	if err != nil || v != 42 || i != 1 {
+		t.Fatalf("got (%d, %d, %v)", v, i, err)
+	}
+	if e := time.Since(start); e > 10*time.Second {
+		t.Fatalf("failure did not shortcut the hedge delay (%v)", e)
+	}
+}
+
+func TestHedgeAllFailReturnsFirstError(t *testing.T) {
+	// A huge delay means attempts only cascade through the
+	// failure-shortcut path, so they fail strictly in order.
+	first := errors.New("first")
+	_, _, err := Hedge(context.Background(), 3, time.Hour,
+		func(ctx context.Context, i int) (int, error) {
+			if i == 0 {
+				return 0, first
+			}
+			return 0, errors.New("later")
+		})
+	if !errors.Is(err, first) {
+		t.Fatalf("want first error, got %v", err)
+	}
+}
+
+func TestHedgeContextCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() {
+		_, _, err := Hedge(ctx, 2, time.Hour,
+			func(ctx context.Context, i int) (int, error) {
+				<-ctx.Done()
+				return 0, ctx.Err()
+			})
+		done <- err
+	}()
+	cancel()
+	select {
+	case err := <-done:
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("want context.Canceled, got %v", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("Hedge did not observe cancellation")
+	}
+}
+
+func TestHedgeZeroDelayRacesAll(t *testing.T) {
+	var launches atomic.Int32
+	release := make(chan struct{})
+	go func() {
+		// Wait until all three attempts are in flight, then let one win.
+		for launches.Load() < 3 {
+			time.Sleep(time.Millisecond)
+		}
+		close(release)
+	}()
+	_, _, err := Hedge(context.Background(), 3, 0,
+		func(ctx context.Context, i int) (int, error) {
+			launches.Add(1)
+			select {
+			case <-release:
+				return i, nil
+			case <-ctx.Done():
+				return 0, ctx.Err()
+			}
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if launches.Load() != 3 {
+		t.Fatalf("zero delay launched %d of 3 attempts", launches.Load())
+	}
+}
+
+func TestHedgeNoAttempts(t *testing.T) {
+	if _, _, err := Hedge(context.Background(), 0, 0, func(ctx context.Context, i int) (int, error) {
+		return 0, nil
+	}); err == nil {
+		t.Fatal("n=0 accepted")
+	}
+}

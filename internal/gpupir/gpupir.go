@@ -348,14 +348,14 @@ func (e *Engine) QueryBatch(keys []*dpf.Key) ([][]byte, metrics.BatchStats, erro
 }
 
 // ApplyUpdates is the uniform update entry point shared by every engine.
-func (e *Engine) ApplyUpdates(updates map[int][]byte) error {
+func (e *Engine) ApplyUpdates(updates map[uint64][]byte) error {
 	return e.UpdateRecords(updates)
 }
 
 // UpdateRecords applies a bulk database update between query batches: the
 // host rewrites its copy and (in a real deployment) re-uploads the dirty
 // records over PCIe. Must not run concurrently with queries.
-func (e *Engine) UpdateRecords(updates map[int][]byte) error {
+func (e *Engine) UpdateRecords(updates map[uint64][]byte) error {
 	if e.db == nil {
 		return errors.New("gpupir: no database loaded")
 	}
@@ -363,7 +363,7 @@ func (e *Engine) UpdateRecords(updates map[int][]byte) error {
 		return errors.New("gpupir: empty update set")
 	}
 	for idx, rec := range updates {
-		if idx < 0 || idx >= e.db.NumRecords() {
+		if idx >= uint64(e.db.NumRecords()) {
 			return fmt.Errorf("gpupir: update index %d outside [0,%d)", idx, e.db.NumRecords())
 		}
 		if len(rec) != e.db.RecordSize() {
@@ -372,7 +372,7 @@ func (e *Engine) UpdateRecords(updates map[int][]byte) error {
 		}
 	}
 	for idx, rec := range updates {
-		if err := e.db.SetRecord(idx, rec); err != nil {
+		if err := e.db.SetRecord(int(idx), rec); err != nil {
 			return err
 		}
 	}

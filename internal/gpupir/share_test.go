@@ -61,7 +61,7 @@ func TestQueryShareValidation(t *testing.T) {
 func TestUpdateRecordsDirect(t *testing.T) {
 	e0, _ := newLoaded(t, 128, Config{})
 	rec := bytes.Repeat([]byte{0x22}, 32)
-	if err := e0.UpdateRecords(map[int][]byte{9: rec}); err != nil {
+	if err := e0.UpdateRecords(map[uint64][]byte{9: rec}); err != nil {
 		t.Fatal(err)
 	}
 	if !bytes.Equal(e0.Database().Record(9), rec) {
@@ -70,14 +70,14 @@ func TestUpdateRecordsDirect(t *testing.T) {
 	if err := e0.UpdateRecords(nil); err == nil {
 		t.Error("empty update accepted")
 	}
-	if err := e0.UpdateRecords(map[int][]byte{1 << 20: rec}); err == nil {
+	if err := e0.UpdateRecords(map[uint64][]byte{1 << 20: rec}); err == nil {
 		t.Error("out-of-range index accepted")
 	}
-	if err := e0.UpdateRecords(map[int][]byte{0: rec[:4]}); err == nil {
+	if err := e0.UpdateRecords(map[uint64][]byte{0: rec[:4]}); err == nil {
 		t.Error("short record accepted")
 	}
 	unloaded, _ := New(Config{})
-	if err := unloaded.UpdateRecords(map[int][]byte{0: rec}); err == nil {
+	if err := unloaded.UpdateRecords(map[uint64][]byte{0: rec}); err == nil {
 		t.Error("update before load accepted")
 	}
 }

@@ -99,7 +99,7 @@ func TestBatchedModeUpdates(t *testing.T) {
 	e1, _ := newLoadedEngine(t, batchedConfig(), 2048)
 	newRec := bytes.Repeat([]byte{0xEE}, 32)
 	for _, e := range []*Engine{e0, e1} {
-		if _, err := e.UpdateRecords(map[int][]byte{321: newRec}); err != nil {
+		if _, err := e.UpdateRecords(map[uint64][]byte{321: newRec}); err != nil {
 			t.Fatal(err)
 		}
 	}

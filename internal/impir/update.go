@@ -3,7 +3,7 @@ package impir
 import (
 	"errors"
 	"fmt"
-	"sort"
+	"slices"
 
 	"github.com/impir/impir/internal/pim"
 )
@@ -20,7 +20,7 @@ import (
 // discipline the paper prescribes. Callers above the engine get this
 // for free: the request scheduler (internal/scheduler) quiesces
 // in-flight query passes around every update.
-func (e *Engine) UpdateRecords(updates map[int][]byte) (pim.Cost, error) {
+func (e *Engine) UpdateRecords(updates map[uint64][]byte) (pim.Cost, error) {
 	if e.db == nil {
 		return pim.Cost{}, errors.New("impir: no database loaded")
 	}
@@ -31,9 +31,9 @@ func (e *Engine) UpdateRecords(updates map[int][]byte) (pim.Cost, error) {
 
 	// Validate everything before mutating anything, so a bad entry can
 	// not leave replicas diverged.
-	indices := make([]int, 0, len(updates))
+	indices := make([]uint64, 0, len(updates))
 	for idx, rec := range updates {
-		if idx < 0 || idx >= e.db.NumRecords() {
+		if idx >= uint64(e.db.NumRecords()) {
 			return pim.Cost{}, fmt.Errorf("impir: update index %d outside [0,%d)", idx, e.db.NumRecords())
 		}
 		if len(rec) != recordSize {
@@ -42,12 +42,14 @@ func (e *Engine) UpdateRecords(updates map[int][]byte) (pim.Cost, error) {
 		}
 		indices = append(indices, idx)
 	}
-	sort.Ints(indices)
+	slices.Sort(indices)
 
 	ranksTouched := make(map[int]struct{})
 	var totalBytes int64
-	for _, idx := range indices {
-		rec := updates[idx]
+	for _, uidx := range indices {
+		rec := updates[uidx]
+		// Safe narrowing: validated above against the int record count.
+		idx := int(uidx)
 		if err := e.db.SetRecord(idx, rec); err != nil {
 			return pim.Cost{}, err
 		}
@@ -82,7 +84,7 @@ func (e *Engine) UpdateRecords(updates map[int][]byte) (pim.Cost, error) {
 // ApplyUpdates is UpdateRecords without the cost report — the uniform
 // update entry point shared by every engine. The same concurrency
 // discipline applies.
-func (e *Engine) ApplyUpdates(updates map[int][]byte) error {
+func (e *Engine) ApplyUpdates(updates map[uint64][]byte) error {
 	_, err := e.UpdateRecords(updates)
 	return err
 }

@@ -11,7 +11,7 @@ func TestUpdateRecordsVisibleToQueries(t *testing.T) {
 		e1, _ := newLoadedEngine(t, testConfig(clusters), 512)
 
 		newRec := bytes.Repeat([]byte{0xAB}, 32)
-		updates := map[int][]byte{137: newRec}
+		updates := map[uint64][]byte{137: newRec}
 		cost0, err := e0.UpdateRecords(updates)
 		if err != nil {
 			t.Fatalf("UpdateRecords: %v", err)
@@ -38,10 +38,10 @@ func TestUpdateRecordsVisibleToQueries(t *testing.T) {
 func TestUpdateRecordsBulk(t *testing.T) {
 	e0, db := newLoadedEngine(t, testConfig(2), 512)
 	e1, _ := newLoadedEngine(t, testConfig(2), 512)
-	updates := make(map[int][]byte)
+	updates := make(map[uint64][]byte)
 	for i := 0; i < 50; i++ {
 		rec := bytes.Repeat([]byte{byte(i + 1)}, 32)
-		updates[i*10] = rec
+		updates[uint64(i*10)] = rec
 	}
 	if _, err := e0.UpdateRecords(updates); err != nil {
 		t.Fatal(err)
@@ -63,19 +63,19 @@ func TestUpdateRecordsValidation(t *testing.T) {
 	if _, err := e0.UpdateRecords(nil); err == nil {
 		t.Error("empty update set accepted")
 	}
-	if _, err := e0.UpdateRecords(map[int][]byte{-1: make([]byte, 32)}); err == nil {
-		t.Error("negative index accepted")
-	}
-	if _, err := e0.UpdateRecords(map[int][]byte{1 << 20: make([]byte, 32)}); err == nil {
+	if _, err := e0.UpdateRecords(map[uint64][]byte{^uint64(0): make([]byte, 32)}); err == nil {
 		t.Error("out-of-range index accepted")
 	}
-	if _, err := e0.UpdateRecords(map[int][]byte{0: make([]byte, 16)}); err == nil {
+	if _, err := e0.UpdateRecords(map[uint64][]byte{1 << 20: make([]byte, 32)}); err == nil {
+		t.Error("out-of-range index accepted")
+	}
+	if _, err := e0.UpdateRecords(map[uint64][]byte{0: make([]byte, 16)}); err == nil {
 		t.Error("short record accepted")
 	}
 
 	// A bad entry in a batch must not partially apply.
 	orig := append([]byte(nil), e0.Database().Record(5)...)
-	bad := map[int][]byte{
+	bad := map[uint64][]byte{
 		5:       bytes.Repeat([]byte{0xFF}, 32),
 		1 << 20: make([]byte, 32),
 	}
@@ -90,7 +90,7 @@ func TestUpdateRecordsValidation(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := unloaded.UpdateRecords(map[int][]byte{0: make([]byte, 32)}); err == nil {
+	if _, err := unloaded.UpdateRecords(map[uint64][]byte{0: make([]byte, 32)}); err == nil {
 		t.Error("update before load accepted")
 	}
 }

@@ -243,21 +243,41 @@ func (s ShardStats) AvgTime() time.Duration {
 	return s.TotalTime / time.Duration(n)
 }
 
-// ClusterStats aggregates a sharded deployment's client-side behaviour:
-// one ShardStats per shard plus whole-cluster retrieval counters.
-type ClusterStats struct {
+// StoreStats aggregates a store's client-side behaviour — flat replica
+// pairs and sharded clusters alike: per-cohort counters plus logical
+// operation, retry and hedging totals. Hedging counters are client-side
+// only: every hedged attempt carries the SAME share its party would have
+// received anyway, so nothing here corresponds to extra information on
+// any server's wire.
+type StoreStats struct {
 	// Retrievals and BatchRetrievals count logical operations against
-	// the cluster (each fans out one sub-query per shard).
+	// the store (each fans out one sub-query per cohort).
 	Retrievals      uint64
 	BatchRetrievals uint64
-	// Updates counts update operations routed through the cluster.
+	// Updates counts update operations routed through the store.
 	Updates uint64
-	// Shards holds the per-cohort counters, indexed by shard.
+	// Errors counts logical operations that failed after exhausting
+	// their retry budget.
+	Errors uint64
+	// Retries counts extra whole-operation attempts spent from per-call
+	// retry budgets (transparent redial of poisoned connections included).
+	Retries uint64
+	// Hedges counts hedge attempts launched beyond a party's primary
+	// replica; HedgeWins counts party sub-requests won by a non-primary
+	// replica — the tail-latency rescues.
+	Hedges    uint64
+	HedgeWins uint64
+	// Shards holds the per-cohort counters, indexed by shard (a flat
+	// deployment is one cohort, so one entry).
 	Shards []ShardStats
 }
 
+// ClusterStats is the sharded-deployment name StoreStats grew out of.
+// It remains as an alias: every cluster is a store.
+type ClusterStats = StoreStats
+
 // TotalSubQueries sums the sub-queries issued across every shard.
-func (c ClusterStats) TotalSubQueries() uint64 {
+func (c StoreStats) TotalSubQueries() uint64 {
 	var n uint64
 	for _, s := range c.Shards {
 		n += s.Queries + s.BatchQueries
@@ -265,10 +285,16 @@ func (c ClusterStats) TotalSubQueries() uint64 {
 	return n
 }
 
-// String renders the cluster counters compactly for logs and reports.
-func (c ClusterStats) String() string {
+// String renders the store counters compactly for logs and reports.
+func (c StoreStats) String() string {
 	var sb strings.Builder
 	fmt.Fprintf(&sb, "retrievals=%d batches=%d updates=%d", c.Retrievals, c.BatchRetrievals, c.Updates)
+	if c.Errors > 0 || c.Retries > 0 {
+		fmt.Fprintf(&sb, " errors=%d retries=%d", c.Errors, c.Retries)
+	}
+	if c.Hedges > 0 || c.HedgeWins > 0 {
+		fmt.Fprintf(&sb, " hedges=%d hedge-wins=%d", c.Hedges, c.HedgeWins)
+	}
 	for i, s := range c.Shards {
 		fmt.Fprintf(&sb, " shard%d[q=%d bq=%d rows=%d err=%d avg=%v]",
 			i, s.Queries, s.BatchQueries, s.UpdateRows, s.Errors, s.AvgTime().Round(time.Microsecond))

@@ -65,7 +65,7 @@ func FuzzReadFrame(f *testing.F) {
 // to ascending index, so byte equality only holds after one
 // re-marshal).
 func FuzzParseUpdate(f *testing.F) {
-	good, err := MarshalUpdate(map[int][]byte{3: []byte("abc"), 9: {}})
+	good, err := MarshalUpdate(map[uint64][]byte{3: []byte("abc"), 9: {}})
 	if err != nil {
 		f.Fatal(err)
 	}

@@ -11,7 +11,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
-	"sort"
+	"slices"
 )
 
 // MsgType identifies a frame's payload.
@@ -240,7 +240,7 @@ func ParseBatch(b []byte) ([][]byte, error) {
 // MarshalUpdate encodes a bulk record update for a MsgUpdate frame.
 // Entries are emitted in ascending index order so identical update sets
 // marshal identically on every replica.
-func MarshalUpdate(updates map[int][]byte) ([]byte, error) {
+func MarshalUpdate(updates map[uint64][]byte) ([]byte, error) {
 	if len(updates) == 0 {
 		return nil, errors.New("pirproto: empty update set")
 	}
@@ -251,10 +251,11 @@ func MarshalUpdate(updates map[int][]byte) ([]byte, error) {
 			len(updates), maxUpdateEntries)
 	}
 	total := 4
-	indices := make([]int, 0, len(updates))
+	indices := make([]uint64, 0, len(updates))
 	for idx, rec := range updates {
-		if idx < 0 {
-			return nil, fmt.Errorf("pirproto: negative update index %d", idx)
+		if idx > 1<<62 {
+			// Mirror ParseUpdate's plausibility bound for the same reason.
+			return nil, fmt.Errorf("pirproto: implausible update index %d", idx)
 		}
 		indices = append(indices, idx)
 		total += 12 + len(rec)
@@ -262,14 +263,14 @@ func MarshalUpdate(updates map[int][]byte) ([]byte, error) {
 	if total > MaxFrameSize {
 		return nil, ErrFrameTooLarge
 	}
-	sort.Ints(indices)
+	slices.Sort(indices)
 	out := make([]byte, 0, total)
 	var tmp [8]byte
 	binary.LittleEndian.PutUint32(tmp[:4], uint32(len(updates)))
 	out = append(out, tmp[:4]...)
 	for _, idx := range indices {
 		rec := updates[idx]
-		binary.LittleEndian.PutUint64(tmp[:], uint64(idx))
+		binary.LittleEndian.PutUint64(tmp[:], idx)
 		out = append(out, tmp[:]...)
 		binary.LittleEndian.PutUint32(tmp[:4], uint32(len(rec)))
 		out = append(out, tmp[:4]...)
@@ -279,7 +280,7 @@ func MarshalUpdate(updates map[int][]byte) ([]byte, error) {
 }
 
 // ParseUpdate decodes a MarshalUpdate payload.
-func ParseUpdate(b []byte) (map[int][]byte, error) {
+func ParseUpdate(b []byte) (map[uint64][]byte, error) {
 	if len(b) < 4 {
 		return nil, errors.New("pirproto: update payload too short")
 	}
@@ -298,7 +299,7 @@ func ParseUpdate(b []byte) (map[int][]byte, error) {
 	if max := uint32(len(b) / 12); hint > max {
 		hint = max
 	}
-	updates := make(map[int][]byte, hint)
+	updates := make(map[uint64][]byte, hint)
 	for i := uint32(0); i < count; i++ {
 		if len(b) < 12 {
 			return nil, fmt.Errorf("pirproto: update entry %d: missing header", i)
@@ -312,10 +313,10 @@ func ParseUpdate(b []byte) (map[int][]byte, error) {
 		if uint32(len(b)) < n {
 			return nil, fmt.Errorf("pirproto: update entry %d: truncated (%d of %d bytes)", i, len(b), n)
 		}
-		if _, dup := updates[int(idx)]; dup {
+		if _, dup := updates[idx]; dup {
 			return nil, fmt.Errorf("pirproto: duplicate update index %d", idx)
 		}
-		updates[int(idx)] = b[:n:n]
+		updates[idx] = b[:n:n]
 		b = b[n:]
 	}
 	if len(b) != 0 {

@@ -201,7 +201,7 @@ func TestQuickBatchRoundTrip(t *testing.T) {
 }
 
 func TestUpdateRoundTrip(t *testing.T) {
-	in := map[int][]byte{
+	in := map[uint64][]byte{
 		0:    []byte("record zero bytes here 32 long!!"),
 		7:    bytes.Repeat([]byte{0xAB}, 32),
 		1000: bytes.Repeat([]byte{0x01}, 32),
@@ -236,8 +236,8 @@ func TestUpdateRoundTrip(t *testing.T) {
 	if _, err := MarshalUpdate(nil); err == nil {
 		t.Error("empty update marshalled")
 	}
-	if _, err := MarshalUpdate(map[int][]byte{-1: {1}}); err == nil {
-		t.Error("negative index marshalled")
+	if _, err := MarshalUpdate(map[uint64][]byte{1 << 63: {1}}); err == nil {
+		t.Error("implausible index marshalled")
 	}
 	if _, err := ParseUpdate([]byte{1}); err == nil {
 		t.Error("truncated update parsed")

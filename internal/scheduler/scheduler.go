@@ -46,7 +46,7 @@ type Engine interface {
 	Query(*dpf.Key) ([]byte, metrics.Breakdown, error)
 	QueryBatch([]*dpf.Key) ([][]byte, metrics.BatchStats, error)
 	QueryShare(*bitvec.Vector) ([]byte, metrics.Breakdown, error)
-	ApplyUpdates(updates map[int][]byte) error
+	ApplyUpdates(updates map[uint64][]byte) error
 }
 
 var (
@@ -278,7 +278,7 @@ func (s *Scheduler) QueryShareBatch(ctx context.Context, shares []*bitvec.Vector
 // API and the wire transport), so a malformed update must never be able
 // to drain in-flight passes and stall dispatch just to be rejected by
 // the engine afterwards.
-func (s *Scheduler) Update(updates map[int][]byte) error {
+func (s *Scheduler) Update(updates map[uint64][]byte) error {
 	if err := validateUpdates(s.eng.Database(), updates); err != nil {
 		return err
 	}
@@ -289,7 +289,7 @@ func (s *Scheduler) Update(updates map[int][]byte) error {
 }
 
 // validateUpdates rejects malformed update sets before any quiescing.
-func validateUpdates(db *database.DB, updates map[int][]byte) error {
+func validateUpdates(db *database.DB, updates map[uint64][]byte) error {
 	if db == nil {
 		return errors.New("scheduler: update before a database is loaded")
 	}
@@ -297,7 +297,7 @@ func validateUpdates(db *database.DB, updates map[int][]byte) error {
 		return errors.New("scheduler: empty update set")
 	}
 	for idx, rec := range updates {
-		if idx < 0 || idx >= db.NumRecords() {
+		if idx >= uint64(db.NumRecords()) {
 			return fmt.Errorf("scheduler: update index %d outside database of %d records", idx, db.NumRecords())
 		}
 		if len(rec) != db.RecordSize() {

@@ -84,7 +84,7 @@ func (f *fakeEngine) QueryShare(sh *bitvec.Vector) ([]byte, metrics.Breakdown, e
 	return []byte{2}, metrics.Breakdown{}, nil
 }
 
-func (f *fakeEngine) ApplyUpdates(updates map[int][]byte) error {
+func (f *fakeEngine) ApplyUpdates(updates map[uint64][]byte) error {
 	f.updates.Add(1)
 	defer f.updates.Add(-1)
 	if f.passQueries.Load() > 0 {
@@ -308,7 +308,7 @@ func TestUpdateQuiescesInFlightQueries(t *testing.T) {
 	}
 	const updates = 10
 	for i := 0; i < updates; i++ {
-		if err := s.Update(map[int][]byte{0: {1}}); err != nil {
+		if err := s.Update(map[uint64][]byte{0: {1}}); err != nil {
 			t.Fatal(err)
 		}
 	}

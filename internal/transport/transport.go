@@ -48,7 +48,7 @@ type Dispatcher interface {
 	// quiesces in-flight passes around it). It deliberately takes no
 	// context — an update abandoned part-way would leave this replica
 	// diverged from its peers.
-	Update(updates map[int][]byte) error
+	Update(updates map[uint64][]byte) error
 }
 
 // ErrServerBusy is returned by client query methods when the server
@@ -658,7 +658,7 @@ func (c *Conn) QueryShareBatch(ctx context.Context, shares []*bitvec.Vector) ([]
 // the server learns which records changed, by design. ctx bounds the
 // exchange; as with every exchange, abandoning it mid-flight poisons the
 // stream.
-func (c *Conn) Update(ctx context.Context, updates map[int][]byte) error {
+func (c *Conn) Update(ctx context.Context, updates map[uint64][]byte) error {
 	payload, err := pirproto.MarshalUpdate(updates)
 	if err != nil {
 		return err

@@ -631,7 +631,7 @@ func TestUpdateOverWire(t *testing.T) {
 
 	const idx = 99
 	newRec := bytes.Repeat([]byte{0xAB}, db.RecordSize())
-	updates := map[int][]byte{idx: newRec}
+	updates := map[uint64][]byte{idx: newRec}
 	ctx := context.Background()
 	if err := c0.Update(ctx, updates); err != nil {
 		t.Fatalf("update server 0: %v", err)
@@ -670,7 +670,7 @@ func TestUpdateOverWireRejectsBadRecord(t *testing.T) {
 	defer conn.Close()
 
 	ctx := context.Background()
-	err = conn.Update(ctx, map[int][]byte{3: []byte("short")})
+	err = conn.Update(ctx, map[uint64][]byte{3: []byte("short")})
 	if err == nil || !strings.Contains(err.Error(), "want") {
 		t.Fatalf("wrong-length update: err = %v, want record-size rejection", err)
 	}
@@ -724,7 +724,7 @@ func TestUpdateOverWireDisabledByDefault(t *testing.T) {
 
 	ctx := context.Background()
 	before := append([]byte(nil), db.Record(3)...)
-	err = conn.Update(ctx, map[int][]byte{3: bytes.Repeat([]byte{1}, db.RecordSize())})
+	err = conn.Update(ctx, map[uint64][]byte{3: bytes.Repeat([]byte{1}, db.RecordSize())})
 	if err == nil || !strings.Contains(err.Error(), "not enabled") {
 		t.Fatalf("update on a default server: err = %v, want not-enabled rejection", err)
 	}

@@ -65,22 +65,6 @@ func BuildKVDB(pairs []KVPair, opts KVTableOptions) (*DB, KVManifest, error) {
 	return db, t.Manifest, nil
 }
 
-// kvStore is the retrieval deployment a KVClient probes through —
-// satisfied by both *Client and *ClusterClient, so keyword stores
-// compose with sharding for free.
-type kvStore interface {
-	RetrieveBatch(ctx context.Context, indices []uint64) ([][]byte, error)
-	Update(ctx context.Context, updates map[uint64][]byte) error
-	NumRecords() uint64
-	RecordSize() int
-	Close() error
-}
-
-var (
-	_ kvStore = (*Client)(nil)
-	_ kvStore = (*ClusterClient)(nil)
-)
-
 // KVClient privately looks keys up against a keyword store. Every
 // lookup retrieves the key's k candidate buckets plus the whole stash
 // tail in ONE RetrieveBatch — a constant, padded batch shape that
@@ -98,30 +82,21 @@ var (
 // granularity — serialise Put/Delete externally, as with any
 // replicated-update deployment.
 type KVClient struct {
-	store kvStore
+	store Store
 	m     KVManifest
 
 	mu    sync.Mutex
 	stats metrics.KVStats
 }
 
-// DialKV connects to the ≥ 2 non-colluding replicas of a keyword store
-// (through Dial, with its replica cross-checks) and validates the
-// served database against the table manifest.
+// DialKV connects to the ≥ 2 non-colluding servers of a keyword store
+// and validates the served database against the table manifest.
+//
+// Deprecated: use OpenKV with FlatDeployment(addrs...).WithKeyword(m);
+// OpenKV adds replica sets, hedging, per-call policy, and the
+// interceptor chain.
 func DialKV(ctx context.Context, addrs []string, m KVManifest, opts ...ClientOption) (*KVClient, error) {
-	if err := m.Validate(); err != nil {
-		return nil, err
-	}
-	cli, err := Dial(ctx, addrs, opts...)
-	if err != nil {
-		return nil, err
-	}
-	kv, err := newKVClient(cli, m)
-	if err != nil {
-		cli.Close()
-		return nil, err
-	}
-	return kv, nil
+	return OpenKV(ctx, FlatDeployment(addrs...).WithKeyword(m), opts...)
 }
 
 // DialKVCluster connects to a sharded keyword store: the cuckoo table
@@ -130,27 +105,19 @@ func DialKV(ctx context.Context, addrs []string, m KVManifest, opts ...ClientOpt
 // cohort receives a well-formed equal-length sub-batch whether or not
 // it owns any probed bucket — sharding adds no leak on top of the
 // constant probe shape.
+//
+// Deprecated: use OpenKV with DeploymentFromManifest(cm).WithKeyword(m);
+// OpenKV adds replica sets, hedging, per-call policy, and the
+// interceptor chain.
 func DialKVCluster(ctx context.Context, cm ShardManifest, m KVManifest, opts ...ClientOption) (*KVClient, error) {
-	if err := m.Validate(); err != nil {
-		return nil, err
-	}
-	cc, err := DialCluster(ctx, cm, opts...)
-	if err != nil {
-		return nil, err
-	}
-	kv, err := newKVClient(cc, m)
-	if err != nil {
-		cc.Close()
-		return nil, err
-	}
-	return kv, nil
+	return OpenKV(ctx, DeploymentFromManifest(cm).WithKeyword(m), opts...)
 }
 
 // newKVClient validates the dialed deployment's geometry against the
 // table manifest: the record size must match the bucket encoding
 // exactly, and the deployment must hold at least every bucket (servers
 // pad record counts to powers of two, so ≥, not ==).
-func newKVClient(store kvStore, m KVManifest) (*KVClient, error) {
+func newKVClient(store Store, m KVManifest) (*KVClient, error) {
 	if store.RecordSize() != m.RecordSize() {
 		return nil, fmt.Errorf("impir: deployment serves %d-byte records, keyword manifest's bucket encoding needs %d",
 			store.RecordSize(), m.RecordSize())
@@ -172,8 +139,8 @@ func (c *KVClient) ProbesPerKey() int { return c.m.ProbesPerKey() }
 // Get privately fetches the value stored for key. Absent keys return
 // ErrNotFound — after issuing exactly the same probe batch a hit
 // issues, so the outcome is invisible to the servers.
-func (c *KVClient) Get(ctx context.Context, key []byte) ([]byte, error) {
-	vals, err := c.getBatch(ctx, [][]byte{key}, false)
+func (c *KVClient) Get(ctx context.Context, key []byte, opts ...CallOption) ([]byte, error) {
+	vals, err := c.getBatch(ctx, [][]byte{key}, false, opts)
 	if err != nil {
 		c.bump(func(s *metrics.KVStats) { s.Gets++; s.Errors++ })
 		return nil, err
@@ -202,11 +169,11 @@ func (c *KVClient) Get(ctx context.Context, key []byte) ([]byte, error) {
 // need no special-casing. A present key whose stored value is empty
 // yields a non-nil empty slice, distinguishable from a miss. GetBatch
 // with no keys returns an empty slice.
-func (c *KVClient) GetBatch(ctx context.Context, keys [][]byte) ([][]byte, error) {
+func (c *KVClient) GetBatch(ctx context.Context, keys [][]byte, opts ...CallOption) ([][]byte, error) {
 	if len(keys) == 0 {
 		return [][]byte{}, nil
 	}
-	vals, err := c.getBatch(ctx, keys, false)
+	vals, err := c.getBatch(ctx, keys, false, opts)
 	if err != nil {
 		c.bump(func(s *metrics.KVStats) { s.BatchGets++; s.Errors++ })
 		return nil, err
@@ -230,7 +197,7 @@ func (c *KVClient) GetBatch(ctx context.Context, keys [][]byte) ([][]byte, error
 // buckets, then the stash tail once, all in one RetrieveBatch. With
 // raw true it returns the probed bucket records themselves (Put and
 // Delete rewrite them); otherwise the per-key values, nil for misses.
-func (c *KVClient) getBatch(ctx context.Context, keys [][]byte, raw bool) ([][]byte, error) {
+func (c *KVClient) getBatch(ctx context.Context, keys [][]byte, raw bool, opts []CallOption) ([][]byte, error) {
 	k := c.m.Hashes()
 	indices := make([]uint64, 0, len(keys)*k+int(c.m.StashBuckets))
 	for i, key := range keys {
@@ -240,7 +207,7 @@ func (c *KVClient) getBatch(ctx context.Context, keys [][]byte, raw bool) ([][]b
 		indices = append(indices, c.m.Candidates(key)...)
 	}
 	indices = append(indices, c.m.StashIndices()...)
-	recs, err := c.store.RetrieveBatch(ctx, indices)
+	recs, err := c.store.RetrieveBatch(ctx, indices, opts...)
 	if err != nil {
 		return nil, err
 	}
@@ -300,8 +267,8 @@ func (c *KVClient) findIn(cands [][]byte, stash [][]keyword.Slot, key []byte) ([
 // update, the rewritten bucket index is visible to the servers; the
 // probe that preceded it is not attributable to a key. Servers must be
 // started with ServerConfig.AllowWireUpdates.
-func (c *KVClient) Put(ctx context.Context, key, value []byte) error {
-	err := c.put(ctx, key, value)
+func (c *KVClient) Put(ctx context.Context, key, value []byte, opts ...CallOption) error {
+	err := c.put(ctx, key, value, opts)
 	c.bump(func(s *metrics.KVStats) {
 		s.Puts++
 		s.ProbedBuckets += uint64(c.m.ProbesPerKey())
@@ -312,11 +279,11 @@ func (c *KVClient) Put(ctx context.Context, key, value []byte) error {
 	return err
 }
 
-func (c *KVClient) put(ctx context.Context, key, value []byte) error {
+func (c *KVClient) put(ctx context.Context, key, value []byte, opts []CallOption) error {
 	if err := c.m.CheckValue(value); err != nil {
 		return fmt.Errorf("impir: %w", err)
 	}
-	recs, err := c.getBatch(ctx, [][]byte{key}, true)
+	recs, err := c.getBatch(ctx, [][]byte{key}, true, opts)
 	if err != nil {
 		return err
 	}
@@ -338,7 +305,7 @@ func (c *KVClient) put(ctx context.Context, key, value []byte) error {
 		for si, s := range slots {
 			if s.Occupied && string(s.Key) == string(key) {
 				slots[si].Value = value
-				return c.rewrite(ctx, indices[p], slots)
+				return c.rewrite(ctx, indices[p], slots, opts)
 			}
 			if !s.Occupied && free == nil {
 				free = &located{bucket: indices[p], slots: slots, slot: si}
@@ -350,14 +317,14 @@ func (c *KVClient) put(ctx context.Context, key, value []byte) error {
 		return fmt.Errorf("impir: %w", ErrKVFull)
 	}
 	free.slots[free.slot] = keyword.Slot{Occupied: true, Key: append([]byte(nil), key...), Value: value}
-	return c.rewrite(ctx, free.bucket, free.slots)
+	return c.rewrite(ctx, free.bucket, free.slots, opts)
 }
 
 // Delete removes key from the store through the wire-update path. The
 // probe is the standard constant-shape batch; absent keys return
 // ErrNotFound without any update.
-func (c *KVClient) Delete(ctx context.Context, key []byte) error {
-	err := c.delete(ctx, key)
+func (c *KVClient) Delete(ctx context.Context, key []byte, opts ...CallOption) error {
+	err := c.delete(ctx, key, opts)
 	c.bump(func(s *metrics.KVStats) {
 		s.Deletes++
 		s.ProbedBuckets += uint64(c.m.ProbesPerKey())
@@ -368,8 +335,8 @@ func (c *KVClient) Delete(ctx context.Context, key []byte) error {
 	return err
 }
 
-func (c *KVClient) delete(ctx context.Context, key []byte) error {
-	recs, err := c.getBatch(ctx, [][]byte{key}, true)
+func (c *KVClient) delete(ctx context.Context, key []byte, opts []CallOption) error {
+	recs, err := c.getBatch(ctx, [][]byte{key}, true, opts)
 	if err != nil {
 		return err
 	}
@@ -382,7 +349,7 @@ func (c *KVClient) delete(ctx context.Context, key []byte) error {
 		for si, s := range slots {
 			if s.Occupied && string(s.Key) == string(key) {
 				slots[si] = keyword.Slot{}
-				return c.rewrite(ctx, indices[p], slots)
+				return c.rewrite(ctx, indices[p], slots, opts)
 			}
 		}
 	}
@@ -391,12 +358,12 @@ func (c *KVClient) delete(ctx context.Context, key []byte) error {
 
 // rewrite encodes one bucket's slots and pushes it to every replica
 // (or, through a ClusterClient, to the owning cohort only).
-func (c *KVClient) rewrite(ctx context.Context, bucket uint64, slots []keyword.Slot) error {
+func (c *KVClient) rewrite(ctx context.Context, bucket uint64, slots []keyword.Slot, opts []CallOption) error {
 	rec, err := c.m.EncodeBucket(slots)
 	if err != nil {
 		return fmt.Errorf("impir: re-encode bucket %d: %w", bucket, err)
 	}
-	return c.store.Update(ctx, map[uint64][]byte{bucket: rec})
+	return c.store.Update(ctx, map[uint64][]byte{bucket: rec}, opts...)
 }
 
 // Stats snapshots the client-side keyword counters.

@@ -20,7 +20,15 @@ type fakeKVStore struct {
 	failGet bool
 }
 
-func (f *fakeKVStore) RetrieveBatch(_ context.Context, indices []uint64) ([][]byte, error) {
+func (f *fakeKVStore) Retrieve(ctx context.Context, index uint64, opts ...CallOption) ([]byte, error) {
+	recs, err := f.RetrieveBatch(ctx, []uint64{index}, opts...)
+	if err != nil {
+		return nil, err
+	}
+	return recs[0], nil
+}
+
+func (f *fakeKVStore) RetrieveBatch(_ context.Context, indices []uint64, _ ...CallOption) ([][]byte, error) {
 	f.batches = append(f.batches, append([]uint64(nil), indices...))
 	if f.failGet {
 		return nil, errors.New("fake: retrieval failed")
@@ -35,7 +43,7 @@ func (f *fakeKVStore) RetrieveBatch(_ context.Context, indices []uint64) ([][]by
 	return out, nil
 }
 
-func (f *fakeKVStore) Update(_ context.Context, updates map[uint64][]byte) error {
+func (f *fakeKVStore) Update(_ context.Context, updates map[uint64][]byte, _ ...CallOption) error {
 	f.updates = append(f.updates, updates)
 	for idx, rec := range updates {
 		if err := f.db.SetRecord(int(idx), rec); err != nil {
@@ -47,6 +55,7 @@ func (f *fakeKVStore) Update(_ context.Context, updates map[uint64][]byte) error
 
 func (f *fakeKVStore) NumRecords() uint64 { return uint64(f.db.NumRecords()) }
 func (f *fakeKVStore) RecordSize() int    { return f.db.RecordSize() }
+func (f *fakeKVStore) Stats() StoreStats  { return StoreStats{} }
 func (f *fakeKVStore) Close() error       { return nil }
 
 func newTestKV(t *testing.T, n int, seed int64) (*KVClient, *fakeKVStore, []KVPair) {

@@ -169,7 +169,7 @@ func TestUpdateUnderConcurrentQueryLoad(t *testing.T) {
 	recordSize := srv.Database().RecordSize()
 	patA := bytes.Repeat([]byte{0xAA}, recordSize)
 	patB := bytes.Repeat([]byte{0xBB}, recordSize)
-	if err := srv.Update(map[int][]byte{target: patA}); err != nil {
+	if err := srv.Update(map[uint64][]byte{target: patA}); err != nil {
 		t.Fatal(err)
 	}
 
@@ -227,7 +227,7 @@ func TestUpdateUnderConcurrentQueryLoad(t *testing.T) {
 		if i%2 == 0 {
 			pat = patB
 		}
-		if err := srv.Update(map[int][]byte{target: pat}); err != nil {
+		if err := srv.Update(map[uint64][]byte{target: pat}); err != nil {
 			t.Fatalf("update %d under query load: %v", i, err)
 		}
 		time.Sleep(5 * time.Millisecond)

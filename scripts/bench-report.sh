@@ -95,6 +95,16 @@ run_benchmarks() {
         go run ./cmd/impir-bench -experiment shards -verify-records 0
     fi
 
+    # Hedged replica fan-out: tail-latency model (p50/p99 vs stall
+    # probability, 2 replicas per party) plus a functional race through
+    # fanout.Hedge — the unified Store API's availability layer. The
+    # hedged p99 must collapse the stall tail toward p50.
+    if [[ "${PACKAGE}" == "./..." || "${PACKAGE}" == "." ]]; then
+        echo ""
+        echo "--- Hedging tail latency (unhedged vs hedged p99) ---"
+        go run ./cmd/impir-bench -experiment hedging -verify-records 2048
+    fi
+
     # Keyword retrieval (internal/keyword): real cuckoo tables at
     # growing pair counts — the effective load factor must hold its
     # 0.85 target, the stash must stay negligible and constant, and the

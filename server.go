@@ -247,7 +247,7 @@ func (s *Server) AnswerBatch(ctx context.Context, keys []*Key) ([][]byte, BatchS
 // would leave this replica diverged from its peers, which a digest check
 // only catches at the next connect. It is atomic per server — validate
 // everything, then apply.
-func (s *Server) Update(updates map[int][]byte) error {
+func (s *Server) Update(updates map[uint64][]byte) error {
 	// The scheduler validates the whole update set against the loaded
 	// geometry before its quiesce gate — one source of truth shared with
 	// the wire path — so a wrong-length record or out-of-range index

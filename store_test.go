@@ -1,0 +1,332 @@
+package impir
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"github.com/impir/impir/internal/bitvec"
+	"github.com/impir/impir/internal/cpupir"
+	"github.com/impir/impir/internal/dpf"
+	"github.com/impir/impir/internal/metrics"
+	"github.com/impir/impir/internal/scheduler"
+	"github.com/impir/impir/internal/transport"
+)
+
+// startEngineServer serves an engine (behind a scheduler, like the real
+// stack) over loopback TCP and returns its address.
+func startEngineServer(t *testing.T, eng scheduler.Engine) string {
+	t.Helper()
+	lis, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sched := scheduler.New(eng, scheduler.Config{})
+	t.Cleanup(func() { sched.Close() })
+	srv, err := transport.NewServer(lis, sched, 0, transport.WithLogf(t.Logf))
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { srv.Close() })
+	return srv.Addr().String()
+}
+
+// TestInterceptorOrdering: interceptors run in registration order,
+// first outermost — before-invoke hooks fire first-to-last, after-invoke
+// hooks unwind last-to-first — and both see the logical call's index.
+func TestInterceptorOrdering(t *testing.T) {
+	db, _ := GenerateHashDB(256, 5)
+	addrs := startDeployment(t, db, 2)
+	ctx := context.Background()
+
+	var mu sync.Mutex
+	var log []string
+	step := func(s string) {
+		mu.Lock()
+		log = append(log, s)
+		mu.Unlock()
+	}
+	mk := func(name string) UnaryInterceptor {
+		return func(ctx context.Context, index uint64, invoke UnaryInvoker) ([]byte, error) {
+			if index != 42 {
+				t.Errorf("interceptor %s saw index %d", name, index)
+			}
+			step(name + ":before")
+			rec, err := invoke(ctx, index)
+			step(name + ":after")
+			return rec, err
+		}
+	}
+	store, err := Open(ctx, FlatDeployment(addrs...),
+		WithUnaryInterceptor(mk("outer")),
+		WithUnaryInterceptor(mk("inner")))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer store.Close()
+
+	rec, err := store.Retrieve(ctx, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(rec, db.Record(42)) {
+		t.Fatal("interceptors corrupted the record")
+	}
+	want := []string{"outer:before", "inner:before", "inner:after", "outer:after"}
+	if strings.Join(log, ",") != strings.Join(want, ",") {
+		t.Fatalf("interceptor order %v, want %v", log, want)
+	}
+}
+
+// TestInterceptorShortCircuit: an interceptor that returns without
+// invoking stops the chain — inner interceptors never run and nothing
+// reaches the wire.
+func TestInterceptorShortCircuit(t *testing.T) {
+	db, _ := GenerateHashDB(256, 6)
+	addrs := startDeployment(t, db, 2)
+	ctx := context.Background()
+
+	canned := []byte("cached-record")
+	innerRan := false
+	store, err := Open(ctx, FlatDeployment(addrs...),
+		WithUnaryInterceptor(func(ctx context.Context, index uint64, invoke UnaryInvoker) ([]byte, error) {
+			return canned, nil // e.g. a client-side cache hit
+		}),
+		WithUnaryInterceptor(func(ctx context.Context, index uint64, invoke UnaryInvoker) ([]byte, error) {
+			innerRan = true
+			return invoke(ctx, index)
+		}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer store.Close()
+
+	rec, err := store.Retrieve(ctx, 7)
+	if err != nil || !bytes.Equal(rec, canned) {
+		t.Fatalf("short-circuit returned (%q, %v)", rec, err)
+	}
+	if innerRan {
+		t.Fatal("inner interceptor ran after the outer short-circuited")
+	}
+	if st := store.Stats(); st.Shards[0].Queries != 0 {
+		t.Fatalf("short-circuited call still reached the wire: %+v", st.Shards[0])
+	}
+
+	boom := errors.New("quota exhausted")
+	store2, err := Open(ctx, FlatDeployment(addrs...),
+		WithUnaryInterceptor(func(ctx context.Context, index uint64, invoke UnaryInvoker) ([]byte, error) {
+			return nil, boom
+		}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer store2.Close()
+	if _, err := store2.Retrieve(ctx, 7); !errors.Is(err, boom) {
+		t.Fatalf("error short-circuit returned %v", err)
+	}
+}
+
+// TestBatchInterceptor: the batch chain mirrors the unary chain.
+func TestBatchInterceptor(t *testing.T) {
+	db, _ := GenerateHashDB(256, 7)
+	addrs := startDeployment(t, db, 2)
+	ctx := context.Background()
+
+	var seen [][]uint64
+	store, err := Open(ctx, FlatDeployment(addrs...),
+		WithBatchInterceptor(func(ctx context.Context, indices []uint64, invoke BatchInvoker) ([][]byte, error) {
+			seen = append(seen, append([]uint64(nil), indices...))
+			return invoke(ctx, indices)
+		}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer store.Close()
+
+	recs, err := store.RetrieveBatch(ctx, []uint64{1, 99, 200})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, idx := range []uint64{1, 99, 200} {
+		if !bytes.Equal(recs[i], db.Record(int(idx))) {
+			t.Fatalf("batch item %d wrong", i)
+		}
+	}
+	if len(seen) != 1 || len(seen[0]) != 3 {
+		t.Fatalf("batch interceptor saw %v", seen)
+	}
+}
+
+// TestPerCallOptionsOverrideDefaults: a CallOption on one operation
+// overrides the Open-level default for that operation only.
+func TestPerCallOptionsOverrideDefaults(t *testing.T) {
+	db, _ := GenerateHashDB(256, 8)
+	addrs := startDeployment(t, db, 2)
+	ctx := context.Background()
+
+	// Open-level default: an unmeetable deadline.
+	store, err := Open(ctx, FlatDeployment(addrs...),
+		WithDefaultCallOptions(WithCallTimeout(time.Nanosecond)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer store.Close()
+
+	if _, err := store.Retrieve(ctx, 3); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("default timeout not applied: %v", err)
+	}
+	// The per-call override must win.
+	rec, err := store.Retrieve(ctx, 3, WithCallTimeout(30*time.Second))
+	if err != nil {
+		t.Fatalf("per-call timeout did not override the default: %v", err)
+	}
+	if !bytes.Equal(rec, db.Record(3)) {
+		t.Fatal("wrong record")
+	}
+	// …for that call only: the default still governs the next one.
+	if _, err := store.Retrieve(ctx, 3); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("override leaked into the defaults: %v", err)
+	}
+}
+
+// flakyEngine fails the first failN query passes, then recovers —
+// the transient-failure shape a retry budget exists for.
+type flakyEngine struct {
+	*cpupir.Engine
+	mu    sync.Mutex
+	failN int
+	calls int
+}
+
+func (e *flakyEngine) fail() error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.calls++
+	if e.calls <= e.failN {
+		return fmt.Errorf("transient outage %d", e.calls)
+	}
+	return nil
+}
+
+func (e *flakyEngine) Query(k *dpf.Key) ([]byte, metrics.Breakdown, error) {
+	if err := e.fail(); err != nil {
+		return nil, metrics.Breakdown{}, err
+	}
+	return e.Engine.Query(k)
+}
+
+func (e *flakyEngine) QueryShare(sh *bitvec.Vector) ([]byte, metrics.Breakdown, error) {
+	if err := e.fail(); err != nil {
+		return nil, metrics.Breakdown{}, err
+	}
+	return e.Engine.QueryShare(sh)
+}
+
+// TestRetryBudget: a WithRetries budget retries transient failures and
+// counts them; without a budget the first failure is final. Context
+// expiry is never retried.
+func TestRetryBudget(t *testing.T) {
+	db, _ := GenerateHashDB(256, 9)
+	ctx := context.Background()
+
+	start := func(failN int) []string {
+		eng, err := cpupir.New(cpupir.Config{Threads: 2})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := eng.LoadDatabase(db); err != nil {
+			t.Fatal(err)
+		}
+		flaky := startEngineServer(t, &flakyEngine{Engine: eng, failN: failN})
+		healthy := startDeployment(t, db, 2)
+		return []string{flaky, healthy[0]}
+	}
+
+	// Budget of 2 covers 2 transient failures.
+	store, err := Open(ctx, FlatDeployment(start(2)...), WithDefaultCallOptions(WithRetries(2)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer store.Close()
+	rec, err := store.Retrieve(ctx, 11)
+	if err != nil {
+		t.Fatalf("retries exhausted unexpectedly: %v", err)
+	}
+	if !bytes.Equal(rec, db.Record(11)) {
+		t.Fatal("wrong record after retries")
+	}
+	if st := store.Stats(); st.Retries == 0 {
+		t.Fatalf("no retries counted: %+v", st)
+	}
+
+	// No budget: the same failure is final.
+	store2, err := Open(ctx, FlatDeployment(start(2)...))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer store2.Close()
+	if _, err := store2.Retrieve(ctx, 11); err == nil {
+		t.Fatal("transient failure retried without a budget")
+	}
+
+	// Cancellation is never retried, whatever the budget.
+	store3, err := Open(ctx, FlatDeployment(start(1000)...), WithDefaultCallOptions(WithRetries(1000)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer store3.Close()
+	cctx, cancel := context.WithCancel(ctx)
+	cancel()
+	if _, err := store3.Retrieve(cctx, 11); !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled call returned %v", err)
+	}
+	if st := store3.Stats(); st.Retries > 0 {
+		t.Fatalf("cancellation consumed retry budget: %+v", st)
+	}
+}
+
+// TestClusterInterceptorsRunOncePerLogicalOp: through a ClusterClient
+// the interceptor chain and retry accounting wrap the LOGICAL operation
+// — once per Retrieve, not once per shard.
+func TestClusterInterceptorsRunOncePerLogicalOp(t *testing.T) {
+	db, _ := GenerateHashDB(512, 10)
+	m, _ := startCluster(t, db, 2)
+	ctx := context.Background()
+
+	var mu sync.Mutex
+	calls := 0
+	d := DeploymentFromManifest(m)
+	store, err := Open(ctx, d,
+		WithUnaryInterceptor(func(ctx context.Context, index uint64, invoke UnaryInvoker) ([]byte, error) {
+			mu.Lock()
+			calls++
+			mu.Unlock()
+			return invoke(ctx, index)
+		}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer store.Close()
+
+	if _, ok := store.(*ClusterClient); !ok {
+		t.Fatalf("multi-shard deployment opened as %T", store)
+	}
+	for _, idx := range []uint64{3, 300, 511} {
+		rec, err := store.Retrieve(ctx, idx)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(rec, db.Record(int(idx))) {
+			t.Fatalf("record %d wrong through cluster", idx)
+		}
+	}
+	if calls != 3 {
+		t.Fatalf("interceptor ran %d times for 3 logical retrievals", calls)
+	}
+}

@@ -19,7 +19,7 @@ func TestUpdateAcrossEngines(t *testing.T) {
 			s0, s1 := newPair(t, kind, db)
 
 			newRec := bytes.Repeat([]byte{0x5C}, 32)
-			updates := map[int][]byte{99: newRec}
+			updates := map[uint64][]byte{99: newRec}
 			if err := s0.Update(updates); err != nil {
 				t.Fatalf("Update server 0: %v", err)
 			}
@@ -56,10 +56,10 @@ func TestUpdateValidationThroughPublicAPI(t *testing.T) {
 	if err := s0.Update(nil); err == nil {
 		t.Error("empty update accepted")
 	}
-	if err := s0.Update(map[int][]byte{1000: make([]byte, 32)}); err == nil {
+	if err := s0.Update(map[uint64][]byte{1000: make([]byte, 32)}); err == nil {
 		t.Error("out-of-range update accepted")
 	}
-	if err := s0.Update(map[int][]byte{0: make([]byte, 3)}); err == nil {
+	if err := s0.Update(map[uint64][]byte{0: make([]byte, 3)}); err == nil {
 		t.Error("short record accepted")
 	}
 }
@@ -72,11 +72,11 @@ func TestUpdateValidationBeforeEngine(t *testing.T) {
 	db, _ := GenerateHashDB(64, 1)
 	s0, _ := newPair(t, EngineCPU, db)
 
-	for name, bad := range map[string]map[int][]byte{
+	for name, bad := range map[string]map[uint64][]byte{
 		"short record": {0: make([]byte, 3)},
 		"long record":  {0: make([]byte, 33)},
 		"out of range": {1 << 20: make([]byte, 32)},
-		"negative":     {-1: make([]byte, 32)},
+		"huge index":   {^uint64(0): make([]byte, 32)},
 		"empty set":    {},
 	} {
 		err := s0.Update(bad)
@@ -87,7 +87,7 @@ func TestUpdateValidationBeforeEngine(t *testing.T) {
 			t.Errorf("%s: error %q does not come from the validation layer", name, err)
 		}
 	}
-	if err := s0.Update(map[int][]byte{0: make([]byte, 3)}); err == nil ||
+	if err := s0.Update(map[uint64][]byte{0: make([]byte, 3)}); err == nil ||
 		!strings.Contains(err.Error(), "record size 32") {
 		t.Errorf("short record error %v does not name the expected record size", err)
 	}
@@ -102,7 +102,7 @@ func TestUpdateValidationBeforeEngine(t *testing.T) {
 func TestUpdateDesynchronisedReplicasDetected(t *testing.T) {
 	db, _ := GenerateHashDB(128, 1)
 	s0, s1 := newPair(t, EngineCPU, db.Clone())
-	if err := s0.Update(map[int][]byte{5: bytes.Repeat([]byte{1}, 32)}); err != nil {
+	if err := s0.Update(map[uint64][]byte{5: bytes.Repeat([]byte{1}, 32)}); err != nil {
 		t.Fatal(err)
 	}
 	if s0.Database().Digest() == s1.Database().Digest() {
