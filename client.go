@@ -451,7 +451,7 @@ func (c *Client) Retrieve(ctx context.Context, index uint64, opts ...CallOption)
 		if err == nil {
 			st.Retrievals++
 		} else {
-			st.Errors++
+			countFailure(st, err)
 		}
 	})
 	return rec, err
@@ -501,7 +501,7 @@ func (c *Client) RetrieveBatch(ctx context.Context, indices []uint64, opts ...Ca
 		if err == nil {
 			st.BatchRetrievals++
 		} else {
-			st.Errors++
+			countFailure(st, err)
 		}
 	})
 	return recs, err
@@ -737,7 +737,7 @@ func (c *Client) Update(ctx context.Context, updates map[uint64][]byte, opts ...
 		if err == nil {
 			st.Updates++
 		} else {
-			st.Errors++
+			countFailure(st, err)
 		}
 		st.Shards[0].UpdateRows += uint64(len(updates))
 	})

@@ -179,7 +179,7 @@ func (c *ClusterClient) Retrieve(ctx context.Context, global uint64, opts ...Cal
 		if err == nil {
 			st.Retrievals++
 		} else {
-			st.Errors++
+			countFailure(st, err)
 		}
 	})
 	return rec, err
@@ -234,7 +234,7 @@ func (c *ClusterClient) RetrieveBatch(ctx context.Context, globals []uint64, opt
 		if err == nil {
 			st.BatchRetrievals++
 		} else {
-			st.Errors++
+			countFailure(st, err)
 		}
 	})
 	return recs, err
@@ -313,7 +313,7 @@ func (c *ClusterClient) Update(ctx context.Context, updates map[uint64][]byte, o
 		if err == nil {
 			st.Updates++
 		} else {
-			st.Errors++
+			countFailure(st, err)
 		}
 	})
 	return err

@@ -11,6 +11,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -61,6 +62,8 @@ func run(args []string) error {
 		"records in the scaled functional verification database (0 to skip)")
 	csvDir := fs.String("csv", "",
 		"directory to also write each experiment's data series as CSV")
+	jsonOut := fs.Bool("json", false,
+		"write the reports as a JSON array to stdout instead of text tables")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -81,7 +84,9 @@ func run(args []string) error {
 
 	failures := 0
 	for _, r := range reports {
-		r.Print(os.Stdout)
+		if !*jsonOut {
+			r.Print(os.Stdout)
+		}
 		if !r.AllChecksPass() {
 			failures++
 		}
@@ -89,6 +94,13 @@ func run(args []string) error {
 			if err := writeCSV(*csvDir, r); err != nil {
 				return err
 			}
+		}
+	}
+	if *jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(reports); err != nil {
+			return err
 		}
 	}
 	if failures > 0 {

@@ -1,9 +1,13 @@
 package main
 
 import (
+	"encoding/json"
+	"io"
 	"os"
 	"strings"
 	"testing"
+
+	"github.com/impir/impir/internal/bench"
 )
 
 func TestRunSingleExperiment(t *testing.T) {
@@ -47,5 +51,52 @@ func TestRunWritesCSV(t *testing.T) {
 	}
 	if !strings.Contains(string(data), "dpXOR") {
 		t.Fatalf("csv missing expected column: %s", data)
+	}
+}
+
+func TestRunJSONReports(t *testing.T) {
+	// -json must emit one parseable array of schema-tagged reports on
+	// stdout and suppress the text tables.
+	old := os.Stdout
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdout = w
+	runErr := run([]string{"-experiment", "table1", "-verify-records", "0", "-json"})
+	w.Close()
+	os.Stdout = old
+	if runErr != nil {
+		t.Fatal(runErr)
+	}
+	data, err := io.ReadAll(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var reports []struct {
+		Schema  string     `json:"schema"`
+		ID      string     `json:"id"`
+		Columns []string   `json:"columns"`
+		Rows    [][]string `json:"rows"`
+		AllPass bool       `json:"all_checks_pass"`
+	}
+	if err := json.Unmarshal(data, &reports); err != nil {
+		t.Fatalf("stdout is not a JSON report array: %v\n%s", err, data)
+	}
+	if len(reports) != 1 {
+		t.Fatalf("got %d reports, want 1", len(reports))
+	}
+	rep := reports[0]
+	if rep.Schema != bench.ReportSchema {
+		t.Errorf("schema %q, want %q", rep.Schema, bench.ReportSchema)
+	}
+	if rep.ID != "Table 1" || len(rep.Columns) == 0 || len(rep.Rows) == 0 {
+		t.Errorf("report content missing: %+v", rep)
+	}
+	if !rep.AllPass {
+		t.Error("table1 model-layer checks failed in JSON run")
+	}
+	if strings.Contains(string(data), "== Table 1") {
+		t.Error("-json also printed the text table to stdout")
 	}
 }

@@ -1,0 +1,99 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"github.com/impir/impir/internal/loadgen"
+)
+
+// shortProfile is a sub-second selfserve run for CLI tests.
+func shortProfile(extra ...string) []string {
+	args := []string{
+		"-selfserve", "-records", "512", "-engine", "cpu",
+		"-qps", "150", "-duration", "800ms", "-warmup", "200ms",
+		"-interval", "0", "-clients", "8", "-workers", "16", "-conns", "2",
+		"-seed", "7",
+	}
+	return append(args, extra...)
+}
+
+// TestSelfserveJSONArtifact: one selfserve run must emit a parseable
+// artifact carrying the schema tag, the full fingerprint, the load
+// accounting, and — because selfserve runs the servers in-process — the
+// per-server scheduler deltas.
+func TestSelfserveJSONArtifact(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if code := run(shortProfile("-json"), &stdout, &stderr); code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, stderr.String())
+	}
+	var res loadgen.Result
+	if err := json.Unmarshal(stdout.Bytes(), &res); err != nil {
+		t.Fatalf("artifact not parseable: %v\n%s", err, stdout.String())
+	}
+	if res.Schema != loadgen.ResultSchema {
+		t.Errorf("schema %q", res.Schema)
+	}
+	fp := res.Fingerprint
+	if fp.Workload != "index" || fp.QPS != 150 || fp.Clients != 8 || fp.Conns != 2 || fp.Records == 0 {
+		t.Errorf("fingerprint incomplete: %+v", fp)
+	}
+	if res.Counts.Offered == 0 || res.Counts.OK == 0 {
+		t.Errorf("no load recorded: %+v", res.Counts)
+	}
+	if res.Latency.P99 <= 0 {
+		t.Errorf("no latency distribution: %+v", res.Latency)
+	}
+	if res.Servers == nil || len(res.Servers.PerServer) != 5 {
+		t.Fatalf("selfserve artifact missing the 5 per-server scheduler deltas: %+v", res.Servers)
+	}
+	if res.Servers.Aggregate.Submitted == 0 {
+		t.Errorf("server-side scheduler deltas empty: %+v", res.Servers.Aggregate)
+	}
+}
+
+// TestGateSaveCompareRefuse: -save cuts a baseline, an identical profile
+// passes the gate, and a profile with a different fingerprint is refused
+// (exit 1), not silently compared.
+func TestGateSaveCompareRefuse(t *testing.T) {
+	base := filepath.Join(t.TempDir(), "BENCH_loadgen.json")
+
+	var stderr bytes.Buffer
+	if code := run(shortProfile("-json", "-save", base), &bytes.Buffer{}, &stderr); code != 0 {
+		t.Fatalf("save run exit %d: %s", code, stderr.String())
+	}
+
+	// Same profile, generous threshold: the gate must pass.
+	stderr.Reset()
+	if code := run(shortProfile("-json", "-baseline", base, "-threshold", "10000"), &bytes.Buffer{}, &stderr); code != 0 {
+		t.Fatalf("same-profile gate failed (exit %d): %s", code, stderr.String())
+	}
+	if !strings.Contains(stderr.String(), "verdict: ok") {
+		t.Errorf("gate report missing verdict: %s", stderr.String())
+	}
+
+	// Different fingerprint (different QPS): the gate must refuse.
+	stderr.Reset()
+	if code := run(shortProfile("-json", "-baseline", base, "-qps", "275"), &bytes.Buffer{}, &stderr); code != 1 {
+		t.Fatalf("fingerprint mismatch exited %d, want 1: %s", code, stderr.String())
+	}
+	if !strings.Contains(stderr.String(), "fingerprint") {
+		t.Errorf("refusal did not name the fingerprint: %s", stderr.String())
+	}
+}
+
+func TestBadInvocations(t *testing.T) {
+	var out, errOut bytes.Buffer
+	if code := run([]string{"-workload", "nonsense", "-selfserve"}, &out, &errOut); code != 2 {
+		t.Errorf("unknown workload exited %d, want 2", code)
+	}
+	if code := run([]string{"-qps", "100"}, &out, &errOut); code != 2 {
+		t.Errorf("missing deployment exited %d, want 2", code)
+	}
+	if code := run([]string{"-no-such-flag"}, &out, &errOut); code != 2 {
+		t.Errorf("bad flag exited %d, want 2", code)
+	}
+}

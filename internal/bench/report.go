@@ -20,6 +20,7 @@ package bench
 
 import (
 	"encoding/csv"
+	"encoding/json"
 	"fmt"
 	"io"
 	"strings"
@@ -85,6 +86,54 @@ func (r *Report) WriteCSV(w io.Writer) error {
 	}
 	cw.Flush()
 	return cw.Error()
+}
+
+// ReportSchema versions the machine-readable report form emitted by
+// WriteJSON / impir-bench -json.
+const ReportSchema = "impir-bench/1"
+
+// reportJSON is the wire shape of one report: the same fields Print
+// renders, with stable lower-case keys and an explicit schema tag so
+// downstream tooling can detect format drift.
+type reportJSON struct {
+	Schema  string      `json:"schema"`
+	ID      string      `json:"id"`
+	Title   string      `json:"title"`
+	Columns []string    `json:"columns"`
+	Rows    [][]string  `json:"rows"`
+	Checks  []checkJSON `json:"checks,omitempty"`
+	Notes   []string    `json:"notes,omitempty"`
+	AllPass bool        `json:"all_checks_pass"`
+}
+
+type checkJSON struct {
+	Name   string `json:"name"`
+	OK     bool   `json:"ok"`
+	Detail string `json:"detail"`
+}
+
+// MarshalJSON emits the report in its versioned machine-readable form.
+func (r *Report) MarshalJSON() ([]byte, error) {
+	out := reportJSON{
+		Schema:  ReportSchema,
+		ID:      r.ID,
+		Title:   r.Title,
+		Columns: r.Columns,
+		Rows:    r.Rows,
+		Notes:   r.Notes,
+		AllPass: r.AllChecksPass(),
+	}
+	for _, c := range r.Checks {
+		out.Checks = append(out.Checks, checkJSON(c))
+	}
+	return json.Marshal(out)
+}
+
+// WriteJSON emits the report as indented JSON.
+func (r *Report) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
 }
 
 // FileStem returns a filesystem-friendly name for the report

@@ -1,0 +1,162 @@
+package loadgen
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+)
+
+// Baseline is the committed perf-gate reference: the metric set of one
+// fingerprinted configuration (BENCH_loadgen.json in the repo root).
+// Refresh it deliberately with -save after a change that legitimately
+// moves the numbers; the gate refuses to compare anything else.
+type Baseline struct {
+	Schema      string             `json:"schema"`
+	Fingerprint Fingerprint        `json:"fingerprint"`
+	Metrics     map[string]float64 `json:"metrics"`
+	// Note is free-form provenance (when/why the baseline was cut).
+	Note string `json:"note,omitempty"`
+}
+
+// NewBaseline projects a run into a committable baseline.
+func NewBaseline(r *Result, note string) *Baseline {
+	return &Baseline{
+		Schema:      r.Schema,
+		Fingerprint: r.Fingerprint,
+		Metrics:     r.BaselineMetrics(),
+		Note:        note,
+	}
+}
+
+// LoadBaseline reads a committed baseline file.
+func LoadBaseline(path string) (*Baseline, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("loadgen: read baseline: %w", err)
+	}
+	var b Baseline
+	if err := json.Unmarshal(raw, &b); err != nil {
+		return nil, fmt.Errorf("loadgen: parse baseline %s: %w", path, err)
+	}
+	return &b, nil
+}
+
+// Save writes the baseline as stable, diff-friendly JSON.
+func (b *Baseline) Save(path string) error {
+	raw, err := json.MarshalIndent(b, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(raw, '\n'), 0o644)
+}
+
+// Comparison is the perf gate's verdict for one run against a baseline.
+type Comparison struct {
+	// ThresholdPct is the allowed regression in percent.
+	ThresholdPct float64 `json:"threshold_pct"`
+	// Lines spells out every metric's verdict, regressions first.
+	Lines []ComparisonLine `json:"lines"`
+	// Regressed is true when any metric broke the threshold.
+	Regressed bool `json:"regressed"`
+}
+
+// ComparisonLine is one metric's verdict.
+type ComparisonLine struct {
+	Metric    string  `json:"metric"`
+	Baseline  float64 `json:"baseline"`
+	Current   float64 `json:"current"`
+	// DeltaPct is the relative change in percent, signed so that
+	// positive always means WORSE for the metric's direction.
+	DeltaPct  float64 `json:"delta_pct"`
+	Regressed bool    `json:"regressed"`
+}
+
+func (l ComparisonLine) String() string {
+	verdict := "ok"
+	if l.Regressed {
+		verdict = "REGRESSED"
+	}
+	return fmt.Sprintf("%-14s base=%-12.4g cur=%-12.4g worse=%+.1f%% %s",
+		l.Metric, l.Baseline, l.Current, l.DeltaPct, verdict)
+}
+
+// Compare gates the run against the baseline with a per-metric
+// regression threshold (percent). It refuses — with an error, not a
+// verdict — when the schema or fingerprint differ: numbers from
+// different configurations are incomparable, and silently comparing
+// them is how perf gates rot.
+//
+// Direction is per metric: achieved_qps regresses downward, latency
+// metrics regress upward, and *_rate metrics are compared absolutely
+// (a rate moving from 0 to threshold/100 regresses — relative change
+// against a zero baseline is meaningless).
+func Compare(b *Baseline, r *Result, thresholdPct float64) (*Comparison, error) {
+	if thresholdPct <= 0 {
+		return nil, fmt.Errorf("loadgen: threshold must be positive percent, got %g", thresholdPct)
+	}
+	if b.Schema != r.Schema {
+		return nil, fmt.Errorf("loadgen: baseline schema %q does not match run schema %q — regenerate the baseline",
+			b.Schema, r.Schema)
+	}
+	if b.Fingerprint != r.Fingerprint {
+		return nil, fmt.Errorf("loadgen: baseline fingerprint does not match the run's configuration — refusing to compare\n  baseline: %+v\n  run:      %+v",
+			b.Fingerprint, r.Fingerprint)
+	}
+	cur := r.BaselineMetrics()
+	cmp := &Comparison{ThresholdPct: thresholdPct}
+	names := make([]string, 0, len(b.Metrics))
+	for name := range b.Metrics {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		base := b.Metrics[name]
+		c, ok := cur[name]
+		if !ok {
+			return nil, fmt.Errorf("loadgen: baseline metric %q is unknown to this build — regenerate the baseline", name)
+		}
+		line := ComparisonLine{Metric: name, Baseline: base, Current: c}
+		switch {
+		case strings.HasSuffix(name, "_rate"):
+			// Absolute comparison: threshold percent reads as percentage
+			// points of the rate.
+			line.DeltaPct = 100 * (c - base)
+			line.Regressed = c > base+thresholdPct/100
+		case name == "achieved_qps":
+			// Higher is better.
+			if base > 0 {
+				line.DeltaPct = 100 * (base - c) / base
+			}
+			line.Regressed = base > 0 && c < base*(1-thresholdPct/100)
+		default:
+			// Latency: lower is better.
+			if base > 0 {
+				line.DeltaPct = 100 * (c - base) / base
+			}
+			line.Regressed = base > 0 && c > base*(1+thresholdPct/100)
+		}
+		cmp.Lines = append(cmp.Lines, line)
+		cmp.Regressed = cmp.Regressed || line.Regressed
+	}
+	sort.SliceStable(cmp.Lines, func(i, j int) bool {
+		return cmp.Lines[i].Regressed && !cmp.Lines[j].Regressed
+	})
+	return cmp, nil
+}
+
+// String renders the verdict as text.
+func (c *Comparison) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "== perf gate (threshold %.0f%%) ==\n", c.ThresholdPct)
+	for _, l := range c.Lines {
+		fmt.Fprintf(&sb, "  %s\n", l)
+	}
+	if c.Regressed {
+		sb.WriteString("  verdict: REGRESSION\n")
+	} else {
+		sb.WriteString("  verdict: ok\n")
+	}
+	return sb.String()
+}

@@ -1,0 +1,150 @@
+package loadgen
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func gateFixtures() (*Baseline, *Result) {
+	fp := Fingerprint{
+		Workload: "index", QPS: 200, Clients: 32, Workers: 32, Batch: 1,
+		DurationS: 10, WarmupS: 2, Records: 4096, RecordLen: 32,
+		Topology: "selfserve/cpu", Seed: 1,
+	}
+	res := &Result{
+		Schema:      ResultSchema,
+		Fingerprint: fp,
+		AchievedQPS: 200,
+		Counts:      Counts{Offered: 2000, OK: 2000},
+		Latency:     Quantiles{P50: 1000, P99: 2000, P999: 3000},
+	}
+	base := NewBaseline(res, "test fixture")
+	return base, res
+}
+
+// TestCompareRegressionFails: a metric past the threshold must fail the
+// gate, and the regressed line must lead the report.
+func TestCompareRegressionFails(t *testing.T) {
+	base, res := gateFixtures()
+	res.Latency.P50 = 1000 * 1.40 // 40% worse than baseline
+
+	cmp, err := Compare(base, res, 25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !cmp.Regressed {
+		t.Fatal("40% p50 regression passed a 25% gate")
+	}
+	if first := cmp.Lines[0]; first.Metric != "p50_us" || !first.Regressed {
+		t.Errorf("regressed metric not ranked first: %+v", cmp.Lines)
+	}
+	if !strings.Contains(cmp.String(), "REGRESSION") {
+		t.Errorf("report missing verdict: %s", cmp.String())
+	}
+}
+
+// TestCompareImprovementPasses: metrics moving in the good direction —
+// lower latency, higher throughput — must pass however far they move.
+func TestCompareImprovementPasses(t *testing.T) {
+	base, res := gateFixtures()
+	res.Latency.P50 = 10    // 100× better
+	res.Latency.P99 = 20
+	res.Latency.P999 = 30
+	res.AchievedQPS = 2000 // 10× better
+
+	cmp, err := Compare(base, res, 25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cmp.Regressed {
+		t.Fatalf("improvement failed the gate: %s", cmp.String())
+	}
+}
+
+// TestCompareThroughputDirection: achieved_qps regresses downward, not
+// upward.
+func TestCompareThroughputDirection(t *testing.T) {
+	base, res := gateFixtures()
+	res.AchievedQPS = 200 * 0.60 // 40% below baseline
+
+	cmp, err := Compare(base, res, 25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !cmp.Regressed {
+		t.Fatal("40% throughput drop passed a 25% gate")
+	}
+}
+
+// TestCompareRatesAreAbsolute: a failure rate is compared in percentage
+// points, so a 0 → 0.5% move stays within a 25% gate while 0 → 30%
+// breaks it — relative change against a zero baseline is meaningless.
+func TestCompareRatesAreAbsolute(t *testing.T) {
+	base, res := gateFixtures()
+	res.Counts.Busy = 10 // 0.5% of 2000 offered
+
+	cmp, err := Compare(base, res, 25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cmp.Regressed {
+		t.Fatalf("0.5%% busy rate broke a 25-point gate: %s", cmp.String())
+	}
+
+	res.Counts.Busy = 600 // 30% of offered
+	cmp, err = Compare(base, res, 25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !cmp.Regressed {
+		t.Fatal("30% busy rate passed a 25-point gate")
+	}
+}
+
+// TestCompareFingerprintMismatchRefuses: different configurations must
+// refuse with an error, never produce a verdict.
+func TestCompareFingerprintMismatchRefuses(t *testing.T) {
+	base, res := gateFixtures()
+	res.Fingerprint.QPS = 500
+
+	if _, err := Compare(base, res, 25); err == nil {
+		t.Fatal("fingerprint mismatch produced a verdict instead of refusing")
+	}
+
+	base, res = gateFixtures()
+	res.Schema = "impir-loadgen/999"
+	if _, err := Compare(base, res, 25); err == nil {
+		t.Fatal("schema mismatch produced a verdict instead of refusing")
+	}
+
+	base, res = gateFixtures()
+	base.Metrics["p42_us"] = 1
+	if _, err := Compare(base, res, 25); err == nil {
+		t.Fatal("unknown baseline metric produced a verdict instead of refusing")
+	}
+}
+
+// TestBaselineRoundTrip: Save → LoadBaseline → Compare against the very
+// run it came from must pass cleanly.
+func TestBaselineRoundTrip(t *testing.T) {
+	base, res := gateFixtures()
+	path := filepath.Join(t.TempDir(), "BENCH_loadgen.json")
+	if err := base.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := LoadBaseline(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.Note != "test fixture" {
+		t.Errorf("note lost in round trip: %q", loaded.Note)
+	}
+	cmp, err := Compare(loaded, res, 25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cmp.Regressed {
+		t.Fatalf("self-comparison regressed: %s", cmp.String())
+	}
+}

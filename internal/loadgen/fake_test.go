@@ -1,0 +1,86 @@
+package loadgen
+
+import (
+	"context"
+	"sync/atomic"
+	"time"
+
+	"github.com/impir/impir"
+	"github.com/impir/impir/internal/metrics"
+)
+
+// fakeStore is an in-memory impir.Store for runner tests: configurable
+// per-op delay and error, counting concurrently like the real clients.
+type fakeStore struct {
+	records    uint64
+	recordSize int
+	delay      time.Duration
+	fail       error // returned by every op when set
+
+	retrievals atomic.Uint64
+	batches    atomic.Uint64
+	errs       atomic.Uint64
+	busy       atomic.Uint64
+}
+
+func newFakeStore(records uint64, recordSize int) *fakeStore {
+	return &fakeStore{records: records, recordSize: recordSize}
+}
+
+func (f *fakeStore) op(ctx context.Context) error {
+	if f.delay > 0 {
+		select {
+		case <-time.After(f.delay):
+		case <-ctx.Done():
+			f.errs.Add(1)
+			return ctx.Err()
+		}
+	}
+	if f.fail != nil {
+		f.errs.Add(1)
+		if ctx.Err() == nil && f.fail == impir.ErrServerBusy {
+			f.busy.Add(1)
+		}
+		return f.fail
+	}
+	return nil
+}
+
+func (f *fakeStore) Retrieve(ctx context.Context, index uint64, opts ...impir.CallOption) ([]byte, error) {
+	f.retrievals.Add(1)
+	if err := f.op(ctx); err != nil {
+		return nil, err
+	}
+	return make([]byte, f.recordSize), nil
+}
+
+func (f *fakeStore) RetrieveBatch(ctx context.Context, indices []uint64, opts ...impir.CallOption) ([][]byte, error) {
+	f.batches.Add(1)
+	if err := f.op(ctx); err != nil {
+		return nil, err
+	}
+	out := make([][]byte, len(indices))
+	for i := range out {
+		out[i] = make([]byte, f.recordSize)
+	}
+	return out, nil
+}
+
+func (f *fakeStore) Update(ctx context.Context, updates map[uint64][]byte, opts ...impir.CallOption) error {
+	return f.op(ctx)
+}
+
+func (f *fakeStore) NumRecords() uint64 { return f.records }
+func (f *fakeStore) RecordSize() int    { return f.recordSize }
+func (f *fakeStore) Close() error       { return nil }
+
+func (f *fakeStore) Stats() metrics.StoreStats {
+	return metrics.StoreStats{
+		Retrievals:      f.retrievals.Load(),
+		BatchRetrievals: f.batches.Load(),
+		Errors:          f.errs.Load(),
+		Busy:            f.busy.Load(),
+	}
+}
+
+var _ impir.Store = (*fakeStore)(nil)

@@ -1,0 +1,66 @@
+package loadgen
+
+import (
+	"context"
+	"time"
+)
+
+// Pacer emits the open-loop arrival schedule: the i-th request is due
+// at start + i/qps, computed from i directly so float accumulation
+// never drifts the schedule. The schedule is independent of how the
+// system under test is doing — a stalled server does not slow the
+// offered load down, it piles it up. That is the property that makes
+// the recorded latencies coordinated-omission-free: each request's
+// latency is measured from the time it was DUE, not from whenever a
+// worker got around to sending it.
+type Pacer struct {
+	start    time.Time
+	perSec   float64
+	n        int64 // arrivals handed out
+	deadline time.Time
+}
+
+// NewPacer schedules qps arrivals per second for the given duration
+// starting at start. qps must be positive.
+func NewPacer(start time.Time, qps float64, duration time.Duration) *Pacer {
+	return &Pacer{start: start, perSec: qps, deadline: start.Add(duration)}
+}
+
+// Next returns the due time of the next arrival and whether the
+// schedule still runs (false once the duration is exhausted).
+func (p *Pacer) Next() (time.Time, bool) {
+	due := p.start.Add(time.Duration(float64(p.n) * float64(time.Second) / p.perSec))
+	if !due.Before(p.deadline) {
+		return time.Time{}, false
+	}
+	p.n++
+	return due, true
+}
+
+// Offered returns how many arrivals the pacer has emitted.
+func (p *Pacer) Offered() int64 { return p.n }
+
+// sleepUntil blocks until t or until the context dies, whichever is
+// first; it returns false on context death. Past-due times return
+// immediately — arrivals behind schedule fire in a burst, which is
+// exactly what an open-loop generator owes its schedule.
+func sleepUntil(ctx context.Context, t time.Time) bool {
+	d := time.Until(t)
+	if d <= 0 {
+		// Still observe cancellation between burst arrivals.
+		select {
+		case <-ctx.Done():
+			return false
+		default:
+			return true
+		}
+	}
+	timer := time.NewTimer(d)
+	defer timer.Stop()
+	select {
+	case <-timer.C:
+		return true
+	case <-ctx.Done():
+		return false
+	}
+}

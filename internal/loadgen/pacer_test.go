@@ -1,0 +1,120 @@
+package loadgen
+
+import (
+	"context"
+	"testing"
+	"time"
+)
+
+// TestPacerSchedule: due times must follow start + i/qps exactly, with
+// no cumulative drift, and the schedule must stop at the deadline.
+func TestPacerSchedule(t *testing.T) {
+	start := time.Unix(1000, 0)
+	p := NewPacer(start, 250, 2*time.Second)
+	var n int64
+	for {
+		due, ok := p.Next()
+		if !ok {
+			break
+		}
+		want := start.Add(time.Duration(n) * time.Second / 250)
+		if due != want {
+			t.Fatalf("arrival %d due %v, want %v", n, due, want)
+		}
+		n++
+	}
+	if n != 500 {
+		t.Fatalf("schedule emitted %d arrivals, want 500 (250 QPS × 2s)", n)
+	}
+	if p.Offered() != 500 {
+		t.Fatalf("Offered = %d", p.Offered())
+	}
+}
+
+// TestPacerNoDriftAtHighRate: at rates where the per-arrival gap is not
+// a whole nanosecond count, arrival N's due time must still be computed
+// from N directly — the millionth arrival at 300k QPS lands within a
+// microsecond of the ideal point, not a millionth of accumulated error.
+func TestPacerNoDriftAtHighRate(t *testing.T) {
+	start := time.Unix(0, 0)
+	const qps = 300_000
+	p := NewPacer(start, qps, time.Hour)
+	var due time.Time
+	for i := 0; i < 1_000_000; i++ {
+		due, _ = p.Next()
+	}
+	ideal := start.Add(time.Duration(float64(999_999) * float64(time.Second) / qps))
+	if diff := due.Sub(ideal); diff < -time.Microsecond || diff > time.Microsecond {
+		t.Fatalf("arrival 999999 drifted %v from the ideal schedule", diff)
+	}
+}
+
+// TestOpenLoopScheduleUnderStall: a stalled consumer must not slow the
+// schedule down. The run uses a worker pool of 1 whose operations each
+// take far longer than the arrival gap; the pacer must still offer the
+// full schedule, and the arrivals the pool cannot absorb must surface
+// as Lost — not silently vanish, not stretch the run.
+func TestOpenLoopScheduleUnderStall(t *testing.T) {
+	stall := 50 * time.Millisecond
+	st := newFakeStore(1024, 32)
+	st.delay = stall
+	target := Target{Store: st}
+
+	startAt := time.Now()
+	res, err := Run(context.Background(), target, Config{
+		QPS:      200,
+		Duration: time.Second,
+		Clients:  4,
+		Workers:  1,
+		Seed:     1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	elapsed := time.Since(startAt)
+
+	if res.Counts.Offered != 200 {
+		t.Errorf("offered %d arrivals, want the full 200-arrival schedule", res.Counts.Offered)
+	}
+	if res.Counts.Lost == 0 {
+		t.Error("stalled pool lost no arrivals — offered load was silenced")
+	}
+	// One worker at 50ms/op absorbs ~20 ops/s; the rest must be Lost.
+	// Everything offered is accounted for.
+	total := res.Counts.OK + res.Counts.Busy + res.Counts.Timeouts + res.Counts.Errors + res.Counts.Lost
+	if total != res.Counts.Offered {
+		t.Errorf("accounting leak: ok+busy+timeout+err+lost = %d, offered = %d", total, res.Counts.Offered)
+	}
+	// The schedule must not stretch: the run ends within the duration
+	// plus the drain of in-flight ops and scheduling slop.
+	if elapsed > time.Second+stall+500*time.Millisecond {
+		t.Errorf("run stretched to %v — the schedule slowed down for the stall", elapsed)
+	}
+}
+
+// TestRunLatencyFromDueTime: latency is measured from the scheduled due
+// time. With a backlog (workers=1, op time ≫ gap), later operations'
+// recorded latency must include their queueing delay — the p99 must be
+// well above the raw op time.
+func TestRunLatencyFromDueTime(t *testing.T) {
+	st := newFakeStore(1024, 32)
+	st.delay = 10 * time.Millisecond
+	res, err := Run(context.Background(), Target{Store: st}, Config{
+		QPS:      100, // 10ms gap == op time: the single worker runs hot
+		Duration: time.Second,
+		Clients:  4,
+		Workers:  1,
+		Seed:     1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Counts.OK == 0 {
+		t.Fatal("no ops completed")
+	}
+	// An op's service time is 10ms; with the pool saturated the due-time
+	// wait dominates. Coordinated omission would report ≈10ms here.
+	if p99 := time.Duration(res.Latency.P99 * float64(time.Microsecond)); p99 < 15*time.Millisecond {
+		t.Errorf("p99 %v barely above service time — latency not measured from due time", p99)
+	}
+}

@@ -1,0 +1,169 @@
+package loadgen
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"time"
+)
+
+// SLO is the pass condition a ramp step is judged against.
+type SLO struct {
+	// MaxP99 fails a step whose p99 latency exceeds it; 0 leaves latency
+	// unchecked.
+	MaxP99 time.Duration
+	// MaxFailureRate fails a step whose busy+timeout+error+lost fraction
+	// of offered load exceeds it.
+	MaxFailureRate float64
+}
+
+func (s SLO) String() string {
+	if s.MaxP99 > 0 {
+		return fmt.Sprintf("p99 ≤ %v, failures ≤ %.2f%%", s.MaxP99, 100*s.MaxFailureRate)
+	}
+	return fmt.Sprintf("failures ≤ %.2f%%", 100*s.MaxFailureRate)
+}
+
+// RampConfig shapes a saturation search: offered QPS steps up
+// geometrically until the SLO breaks or MaxQPS is cleared.
+type RampConfig struct {
+	// StartQPS is the first step's offered rate. Required.
+	StartQPS float64
+	// MaxQPS stops the search once cleared. 0 means 64 × StartQPS.
+	MaxQPS float64
+	// StepFactor multiplies the offered rate between steps. 0 means 1.5.
+	StepFactor float64
+	// StepDuration is each step's measured window. 0 means 3s.
+	StepDuration time.Duration
+	// StepWarmup precedes each step's measurement. 0 means 500ms.
+	StepWarmup time.Duration
+	// SLO judges each step. A zero MaxFailureRate means 1%.
+	SLO SLO
+}
+
+func (rc RampConfig) withDefaults() (RampConfig, error) {
+	if rc.StartQPS <= 0 {
+		return rc, fmt.Errorf("loadgen: ramp start QPS must be positive, got %g", rc.StartQPS)
+	}
+	if rc.MaxQPS == 0 {
+		rc.MaxQPS = 64 * rc.StartQPS
+	}
+	if rc.StepFactor == 0 {
+		rc.StepFactor = 1.5
+	}
+	if rc.StepFactor <= 1 {
+		return rc, fmt.Errorf("loadgen: ramp step factor must exceed 1, got %g", rc.StepFactor)
+	}
+	if rc.StepDuration == 0 {
+		rc.StepDuration = 3 * time.Second
+	}
+	if rc.StepWarmup == 0 {
+		rc.StepWarmup = 500 * time.Millisecond
+	}
+	if rc.SLO.MaxFailureRate == 0 {
+		rc.SLO.MaxFailureRate = 0.01
+	}
+	return rc, nil
+}
+
+// RampStep is one rung of the search.
+type RampStep struct {
+	QPS         float64   `json:"qps"`
+	AchievedQPS float64   `json:"achieved_qps"`
+	Counts      Counts    `json:"counts"`
+	Latency     Quantiles `json:"latency"`
+	Pass        bool      `json:"pass"`
+	// Violation names the SLO term that failed, empty on pass.
+	Violation string `json:"violation,omitempty"`
+}
+
+// RampResult is the saturation search's outcome.
+type RampResult struct {
+	SLO string `json:"slo"`
+	// Steps records every rung in order.
+	Steps []RampStep `json:"steps"`
+	// MaxGoodQPS is the highest offered rate that met the SLO; 0 when
+	// even the first step failed.
+	MaxGoodQPS float64 `json:"max_good_qps"`
+	// SaturatedAt is the first offered rate that broke the SLO; 0 when
+	// the search cleared MaxQPS without breaking it.
+	SaturatedAt float64 `json:"saturated_at,omitempty"`
+}
+
+// judge evaluates one step's result against the SLO.
+func (s SLO) judge(r *Result) (bool, string) {
+	if fr := r.Counts.FailureRate(); fr > s.MaxFailureRate {
+		return false, fmt.Sprintf("failure rate %.2f%% > %.2f%%", 100*fr, 100*s.MaxFailureRate)
+	}
+	if s.MaxP99 > 0 {
+		p99 := time.Duration(r.Latency.P99 * float64(time.Microsecond))
+		if p99 > s.MaxP99 {
+			return false, fmt.Sprintf("p99 %v > %v", p99.Round(time.Microsecond), s.MaxP99)
+		}
+	}
+	return true, ""
+}
+
+// Saturate ramps the offered QPS geometrically over the target until
+// the SLO breaks, and reports the knee. base supplies everything but
+// QPS, Duration, and Warmup, which the ramp owns per step.
+func Saturate(ctx context.Context, t Target, base Config, rc RampConfig) (*RampResult, error) {
+	rc, err := rc.withDefaults()
+	if err != nil {
+		return nil, err
+	}
+	res := &RampResult{SLO: rc.SLO.String()}
+	for qps := rc.StartQPS; ; qps *= rc.StepFactor {
+		if qps > rc.MaxQPS {
+			qps = rc.MaxQPS
+		}
+		cfg := base
+		cfg.QPS = qps
+		cfg.Duration = rc.StepDuration
+		cfg.Warmup = rc.StepWarmup
+		r, err := Run(ctx, t, cfg)
+		if err != nil {
+			return res, err
+		}
+		pass, why := rc.SLO.judge(r)
+		res.Steps = append(res.Steps, RampStep{
+			QPS:         qps,
+			AchievedQPS: r.AchievedQPS,
+			Counts:      r.Counts,
+			Latency:     r.Latency,
+			Pass:        pass,
+			Violation:   why,
+		})
+		if !pass {
+			res.SaturatedAt = qps
+			return res, nil
+		}
+		res.MaxGoodQPS = qps
+		if qps >= rc.MaxQPS {
+			return res, nil
+		}
+	}
+}
+
+// PrintHuman renders the search as text.
+func (r *RampResult) PrintHuman(w io.Writer) {
+	fmt.Fprintf(w, "== saturation search (SLO: %s) ==\n", r.SLO)
+	for _, s := range r.Steps {
+		status := "PASS"
+		if !s.Pass {
+			status = "FAIL (" + s.Violation + ")"
+		}
+		fmt.Fprintf(w, "  offered %8.1f QPS: achieved %8.1f, p99 %v — %s\n",
+			s.QPS, s.AchievedQPS,
+			time.Duration(s.Latency.P99*float64(time.Microsecond)).Round(10*time.Microsecond),
+			status)
+	}
+	switch {
+	case r.SaturatedAt > 0 && r.MaxGoodQPS > 0:
+		fmt.Fprintf(w, "  knee between %.1f and %.1f QPS\n", r.MaxGoodQPS, r.SaturatedAt)
+	case r.SaturatedAt > 0:
+		fmt.Fprintf(w, "  saturated already at the first step (%.1f QPS)\n", r.SaturatedAt)
+	default:
+		fmt.Fprintf(w, "  SLO held up to the search ceiling (%.1f QPS)\n", r.MaxGoodQPS)
+	}
+}

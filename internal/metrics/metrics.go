@@ -11,6 +11,7 @@ package metrics
 
 import (
 	"fmt"
+	"math/bits"
 	"strings"
 	"time"
 )
@@ -177,6 +178,38 @@ func (s BatchStats) WallQPS() float64 {
 	return float64(s.Queries) / s.WallLatency.Seconds()
 }
 
+// NumWidthBuckets is the number of coalesce-width histogram buckets in
+// SchedulerStats.PassWidths: powers of two up to 64 plus an overflow
+// bucket (1, 2, 3–4, 5–8, 9–16, 17–32, 33–64, 65+).
+const NumWidthBuckets = 8
+
+// WidthBucket maps a single-query pass width (requests served by one
+// engine pass) to its PassWidths bucket index.
+func WidthBucket(width int) int {
+	if width <= 1 {
+		return 0
+	}
+	b := bits.Len(uint(width - 1))
+	if b >= NumWidthBuckets {
+		b = NumWidthBuckets - 1
+	}
+	return b
+}
+
+// WidthBucketLabel names a PassWidths bucket for reports.
+func WidthBucketLabel(i int) string {
+	switch {
+	case i <= 0:
+		return "1"
+	case i == 1:
+		return "2"
+	case i < NumWidthBuckets-1:
+		return fmt.Sprintf("%d-%d", 1<<(i-1)+1, 1<<i)
+	default:
+		return fmt.Sprintf("%d+", 1<<(NumWidthBuckets-2)+1)
+	}
+}
+
 // SchedulerStats is a snapshot of a server-side request scheduler: the
 // admission queue, the cross-client coalescing behaviour, and the update
 // epochs. All counters are cumulative since the scheduler started.
@@ -200,6 +233,11 @@ type SchedulerStats struct {
 	// CoalescedQueries counts single queries served through a coalesced
 	// pass rather than a solo engine pass.
 	CoalescedQueries uint64
+	// PassWidths is a histogram of single-query pass widths: how many
+	// requests each engine pass served, bucketed by WidthBucket. Solo
+	// passes land in bucket 0; a healthy coalescing server under
+	// concurrent load shifts mass rightward.
+	PassWidths [NumWidthBuckets]uint64
 	// MaxDepth is the deepest the admission queue has been.
 	MaxDepth int
 	// Depth is the queue depth at snapshot time.
@@ -259,6 +297,11 @@ type StoreStats struct {
 	// Errors counts logical operations that failed after exhausting
 	// their retry budget.
 	Errors uint64
+	// Busy counts logical operations that failed because a server
+	// rejected the request with a MsgBusy frame (admission queue full) —
+	// the client-side view of server-side backpressure. Every Busy is
+	// also an Error.
+	Busy uint64
 	// Retries counts extra whole-operation attempts spent from per-call
 	// retry budgets (transparent redial of poisoned connections included).
 	Retries uint64
@@ -291,6 +334,9 @@ func (c StoreStats) String() string {
 	fmt.Fprintf(&sb, "retrievals=%d batches=%d updates=%d", c.Retrievals, c.BatchRetrievals, c.Updates)
 	if c.Errors > 0 || c.Retries > 0 {
 		fmt.Fprintf(&sb, " errors=%d retries=%d", c.Errors, c.Retries)
+	}
+	if c.Busy > 0 {
+		fmt.Fprintf(&sb, " busy=%d", c.Busy)
 	}
 	if c.Hedges > 0 || c.HedgeWins > 0 {
 		fmt.Fprintf(&sb, " hedges=%d hedge-wins=%d", c.Hedges, c.HedgeWins)
@@ -346,6 +392,65 @@ func (s SchedulerStats) AvgCoalesce() float64 {
 		return 0
 	}
 	return float64(s.Dispatched) / float64(s.Passes)
+}
+
+// Delta returns the scheduler activity between two snapshots of the
+// SAME scheduler: cumulative counters subtract (cur - prev), while the
+// gauges — Depth, MaxDepth, Epoch — keep their current value, since a
+// high-water mark or version has no meaningful difference. Interval
+// reporters (loadgen, bench-report) share this one definition so their
+// per-interval numbers agree.
+func Delta(cur, prev SchedulerStats) SchedulerStats {
+	d := SchedulerStats{
+		Submitted:        cur.Submitted - prev.Submitted,
+		Rejected:         cur.Rejected - prev.Rejected,
+		Cancelled:        cur.Cancelled - prev.Cancelled,
+		Dispatched:       cur.Dispatched - prev.Dispatched,
+		Passes:           cur.Passes - prev.Passes,
+		CoalescedPasses:  cur.CoalescedPasses - prev.CoalescedPasses,
+		CoalescedQueries: cur.CoalescedQueries - prev.CoalescedQueries,
+		MaxDepth:         cur.MaxDepth,
+		Depth:            cur.Depth,
+		TotalWait:        cur.TotalWait - prev.TotalWait,
+		Updates:          cur.Updates - prev.Updates,
+		Epoch:            cur.Epoch,
+	}
+	for i := range d.PassWidths {
+		d.PassWidths[i] = cur.PassWidths[i] - prev.PassWidths[i]
+	}
+	return d
+}
+
+// DeltaStore returns the client activity between two snapshots of the
+// SAME store: every counter subtracts (cur - prev), including the
+// per-shard counters (missing prev shards subtract zero).
+func DeltaStore(cur, prev StoreStats) StoreStats {
+	d := StoreStats{
+		Retrievals:      cur.Retrievals - prev.Retrievals,
+		BatchRetrievals: cur.BatchRetrievals - prev.BatchRetrievals,
+		Updates:         cur.Updates - prev.Updates,
+		Errors:          cur.Errors - prev.Errors,
+		Busy:            cur.Busy - prev.Busy,
+		Retries:         cur.Retries - prev.Retries,
+		Hedges:          cur.Hedges - prev.Hedges,
+		HedgeWins:       cur.HedgeWins - prev.HedgeWins,
+		Shards:          make([]ShardStats, len(cur.Shards)),
+	}
+	for i, s := range cur.Shards {
+		var p ShardStats
+		if i < len(prev.Shards) {
+			p = prev.Shards[i]
+		}
+		d.Shards[i] = ShardStats{
+			Queries:      s.Queries - p.Queries,
+			Batches:      s.Batches - p.Batches,
+			BatchQueries: s.BatchQueries - p.BatchQueries,
+			UpdateRows:   s.UpdateRows - p.UpdateRows,
+			Errors:       s.Errors - p.Errors,
+			TotalTime:    s.TotalTime - p.TotalTime,
+		}
+	}
+	return d
 }
 
 // String renders the queue counters compactly for logs and reports.

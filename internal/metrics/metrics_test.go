@@ -169,3 +169,101 @@ func TestClusterStats(t *testing.T) {
 		t.Error("zero shard stats produced nonzero average")
 	}
 }
+
+func TestWidthBucket(t *testing.T) {
+	cases := []struct {
+		width, bucket int
+	}{
+		{0, 0}, {1, 0}, {2, 1}, {3, 2}, {4, 2}, {5, 3}, {8, 3},
+		{9, 4}, {16, 4}, {17, 5}, {32, 5}, {33, 6}, {64, 6},
+		{65, 7}, {1000, 7},
+	}
+	for _, c := range cases {
+		if got := WidthBucket(c.width); got != c.bucket {
+			t.Errorf("WidthBucket(%d) = %d, want %d", c.width, got, c.bucket)
+		}
+	}
+	// Every bucket has a label, and the top one is open-ended.
+	for i := 0; i < NumWidthBuckets; i++ {
+		if WidthBucketLabel(i) == "" {
+			t.Errorf("bucket %d has no label", i)
+		}
+	}
+	if got := WidthBucketLabel(NumWidthBuckets - 1); !strings.HasSuffix(got, "+") {
+		t.Errorf("top bucket label %q is not open-ended", got)
+	}
+}
+
+func TestSchedulerStatsDelta(t *testing.T) {
+	prev := SchedulerStats{
+		Submitted: 100, Rejected: 5, Cancelled: 1, Dispatched: 90,
+		Passes: 30, CoalescedPasses: 20, CoalescedQueries: 80,
+		TotalWait: 900 * time.Millisecond, MaxDepth: 12, Depth: 3, Epoch: 3,
+	}
+	prev.PassWidths[0] = 10
+	cur := SchedulerStats{
+		Submitted: 150, Rejected: 9, Cancelled: 2, Dispatched: 130,
+		Passes: 45, CoalescedPasses: 28, CoalescedQueries: 110,
+		TotalWait: 1200 * time.Millisecond, MaxDepth: 15, Depth: 1, Epoch: 4,
+	}
+	cur.PassWidths[0] = 25
+	cur.PassWidths[3] = 7
+
+	d := Delta(cur, prev)
+	if d.Submitted != 50 || d.Rejected != 4 || d.Cancelled != 1 || d.Dispatched != 40 {
+		t.Errorf("counter deltas wrong: %+v", d)
+	}
+	if d.Passes != 15 || d.CoalescedPasses != 8 || d.CoalescedQueries != 30 {
+		t.Errorf("pass deltas wrong: %+v", d)
+	}
+	if d.TotalWait != 300*time.Millisecond {
+		t.Errorf("TotalWait delta = %v, want 300ms", d.TotalWait)
+	}
+	if d.PassWidths[0] != 15 || d.PassWidths[3] != 7 {
+		t.Errorf("PassWidths delta wrong: %v", d.PassWidths)
+	}
+	// Gauges keep the current value rather than subtracting.
+	if d.MaxDepth != 15 || d.Depth != 1 || d.Epoch != 4 {
+		t.Errorf("gauges not preserved: MaxDepth=%d Depth=%d Epoch=%d", d.MaxDepth, d.Depth, d.Epoch)
+	}
+}
+
+func TestDeltaStore(t *testing.T) {
+	prev := StoreStats{
+		Retrievals: 10, BatchRetrievals: 2, Updates: 1,
+		Errors: 3, Busy: 2, Retries: 4, Hedges: 5, HedgeWins: 1,
+		Shards: []ShardStats{{Queries: 10, TotalTime: time.Second}},
+	}
+	cur := StoreStats{
+		Retrievals: 30, BatchRetrievals: 6, Updates: 2,
+		Errors: 5, Busy: 4, Retries: 6, Hedges: 9, HedgeWins: 2,
+		Shards: []ShardStats{
+			{Queries: 40, Batches: 3, TotalTime: 3 * time.Second},
+			{Queries: 7, Errors: 1},
+		},
+	}
+	d := DeltaStore(cur, prev)
+	if d.Retrievals != 20 || d.BatchRetrievals != 4 || d.Updates != 1 {
+		t.Errorf("op deltas wrong: %+v", d)
+	}
+	if d.Errors != 2 || d.Busy != 2 || d.Retries != 2 || d.Hedges != 4 || d.HedgeWins != 1 {
+		t.Errorf("failure deltas wrong: %+v", d)
+	}
+	if len(d.Shards) != 2 {
+		t.Fatalf("shard count = %d, want 2", len(d.Shards))
+	}
+	if d.Shards[0].Queries != 30 || d.Shards[0].Batches != 3 || d.Shards[0].TotalTime != 2*time.Second {
+		t.Errorf("shard 0 delta wrong: %+v", d.Shards[0])
+	}
+	// A shard unseen in prev (grown topology) deltas against zero.
+	if d.Shards[1].Queries != 7 || d.Shards[1].Errors != 1 {
+		t.Errorf("shard 1 delta wrong: %+v", d.Shards[1])
+	}
+}
+
+func TestStoreStatsBusyInString(t *testing.T) {
+	s := StoreStats{Errors: 3, Busy: 2}
+	if !strings.Contains(s.String(), "busy=2") {
+		t.Errorf("String() = %q missing busy count", s.String())
+	}
+}

@@ -141,6 +141,7 @@ type Scheduler struct {
 	coalescedQueries atomic.Uint64
 	totalWaitNanos   atomic.Int64
 	maxDepth         atomic.Int64
+	passWidths       [metrics.NumWidthBuckets]atomic.Uint64
 }
 
 // New wraps an engine in a scheduler and starts its dispatch loop.
@@ -311,7 +312,7 @@ func validateUpdates(db *database.DB, updates map[uint64][]byte) error {
 // Stats snapshots the scheduler's queue counters.
 func (s *Scheduler) Stats() metrics.SchedulerStats {
 	updates, epoch := s.gate.epochs()
-	return metrics.SchedulerStats{
+	st := metrics.SchedulerStats{
 		Submitted:        s.submitted.Load(),
 		Rejected:         s.rejected.Load(),
 		Cancelled:        s.cancelled.Load(),
@@ -325,6 +326,10 @@ func (s *Scheduler) Stats() metrics.SchedulerStats {
 		Updates:          updates,
 		Epoch:            epoch,
 	}
+	for i := range st.PassWidths {
+		st.PassWidths[i] = s.passWidths[i].Load()
+	}
+	return st
 }
 
 // Drain stops admitting work and waits until the queue is empty and the
@@ -501,6 +506,7 @@ func (s *Scheduler) runCoalesced(batch []*request) {
 	}
 	s.coalescedPasses.Add(1)
 	s.coalescedQueries.Add(uint64(len(batch)))
+	s.passWidths[metrics.WidthBucket(len(batch))].Add(1)
 	perQuery := stats.PerQuery
 	for i, r := range batch {
 		r.results = [][]byte{results[i]}
@@ -515,6 +521,7 @@ func (s *Scheduler) runSolo(req *request) {
 	defer s.endPass()
 	switch req.kind {
 	case reqQuery:
+		s.passWidths[metrics.WidthBucket(1)].Add(1)
 		result, bd, err := s.eng.Query(req.key)
 		if err != nil {
 			s.finish(req, err)

@@ -509,3 +509,57 @@ func TestShareBatchIsOneAdmissionUnit(t *testing.T) {
 		t.Errorf("two share batches should be two admissions/passes: %+v", stats)
 	}
 }
+
+// TestPassWidthHistogram: the scheduler's pass-width histogram must put
+// solo passes in bucket 0 and coalesced passes in the bucket of their
+// width, and the buckets must sum to the pass count.
+func TestPassWidthHistogram(t *testing.T) {
+	fe := &fakeEngine{batchDelay: time.Millisecond}
+	s := New(fe, Config{CoalesceWindow: 30 * time.Millisecond, MaxCoalesce: 64})
+	defer s.Close()
+	ctx := context.Background()
+
+	// A burst of concurrent single queries inside one window coalesces
+	// into wide passes.
+	const burst = 24
+	var wg sync.WaitGroup
+	for i := 0; i < burst; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			k0, _ := keyPair(t, 4, 1)
+			if _, _, err := s.Query(ctx, k0); err != nil {
+				t.Error(err)
+			}
+		}()
+	}
+	wg.Wait()
+
+	st := s.Stats()
+	var widthSum uint64
+	for _, n := range st.PassWidths {
+		widthSum += n
+	}
+	if widthSum != st.Passes {
+		t.Errorf("PassWidths sum %d != Passes %d (%v)", widthSum, st.Passes, st.PassWidths)
+	}
+	var beyondSolo uint64
+	for b := 1; b < metrics.NumWidthBuckets; b++ {
+		beyondSolo += st.PassWidths[b]
+	}
+	if st.CoalescedPasses > 0 && beyondSolo == 0 {
+		t.Errorf("coalesced passes ran but no width bucket beyond solo filled: %v", st.PassWidths)
+	}
+
+	// A solo query with no window lands in bucket 0.
+	fe2 := &fakeEngine{}
+	s2 := New(fe2, Config{})
+	defer s2.Close()
+	k0, _ := keyPair(t, 4, 2)
+	if _, _, err := s2.Query(ctx, k0); err != nil {
+		t.Fatal(err)
+	}
+	if st2 := s2.Stats(); st2.PassWidths[0] != 1 {
+		t.Errorf("solo query width histogram = %v, want bucket 0 = 1", st2.PassWidths)
+	}
+}

@@ -11,6 +11,9 @@
 #   -p PACKAGE     Restrict to a specific package path (default: ./...)
 #   -r REGEXP      Benchmark filter regexp (default: .)
 #   -o OUTPUT      Write raw output to this file (default: stdout only)
+#   -j JSONFILE    Also write the impir-bench experiment reports as a
+#                  machine-readable JSON array (impir-bench -json) to
+#                  this file, for downstream tooling and CI artifacts
 #   -h             Show this help message
 
 set -euo pipefail
@@ -22,19 +25,21 @@ COUNT="${COUNT:-1}"
 PACKAGE="${PACKAGE:-./...}"
 REGEXP="${REGEXP:-.}"
 OUTPUT=""
+JSONFILE=""
 
 usage() {
     grep '^#' "$0" | sed 's/^# \?//'
     exit 0
 }
 
-while getopts "t:c:p:r:o:h" opt; do
+while getopts "t:c:p:r:o:j:h" opt; do
     case "$opt" in
         t) BENCHTIME="$OPTARG" ;;
         c) COUNT="$OPTARG"     ;;
         p) PACKAGE="$OPTARG"   ;;
         r) REGEXP="$OPTARG"    ;;
         o) OUTPUT="$OPTARG"    ;;
+        j) JSONFILE="$OPTARG"  ;;
         h) usage               ;;
         *) usage               ;;
     esac
@@ -118,6 +123,16 @@ run_benchmarks() {
     fi
 }
 
+# Machine-readable experiment reports: the model-layer experiments as
+# one JSON array (schema impir-bench/1), alongside the human report.
+write_json_reports() {
+    if [[ -n "$JSONFILE" ]]; then
+        echo ""
+        echo "Writing machine-readable experiment reports to: ${JSONFILE}"
+        go run ./cmd/impir-bench -verify-records 0 -json > "$JSONFILE"
+    fi
+}
+
 if [[ -n "$OUTPUT" ]]; then
     {
         header
@@ -129,3 +144,4 @@ else
     header
     run_benchmarks
 fi
+write_json_reports

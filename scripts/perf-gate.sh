@@ -1,0 +1,86 @@
+#!/usr/bin/env bash
+# perf-gate.sh -- CI performance regression gate.
+#
+# Runs the canonical short load profile against an in-process selfserve
+# deployment (2 shards, replicated party, real loopback TCP) and
+# compares the result against the committed baseline BENCH_loadgen.json.
+# A gated metric regressing past the threshold fails the build.
+#
+# Usage:
+#   ./scripts/perf-gate.sh            # gate: compare against baseline
+#   ./scripts/perf-gate.sh refresh    # refresh: rewrite the baseline
+#
+# Environment:
+#   BASELINE    Baseline path        (default: BENCH_loadgen.json)
+#   THRESHOLD   Allowed regression % (default: 25)
+#   ARTIFACT    Where to write the run's JSON artifact
+#               (default: loadgen-run.json, git-ignored)
+#
+# The profile below IS the baseline's fingerprint: every flag that
+# shapes the load is pinned (including -workers, whose default would
+# otherwise follow the machine's core count). Change a flag here and the
+# gate will refuse to compare until the baseline is refreshed — that is
+# the fingerprint doing its job.
+#
+# Refresh the baseline deliberately, on a quiet machine of the hardware
+# class CI uses, after a change that legitimately moves the numbers:
+#   ./scripts/perf-gate.sh refresh && git add BENCH_loadgen.json
+
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+BASELINE="${BASELINE:-BENCH_loadgen.json}"
+THRESHOLD="${THRESHOLD:-25}"
+ARTIFACT="${ARTIFACT:-loadgen-run.json}"
+MODE="${1:-gate}"
+
+# The canonical gate profile: ~12s of load, well under the CI budget,
+# long enough (2000 measured ops) for stable p50/p99.
+PROFILE=(
+    -selfserve
+    -engine cpu
+    -records 4096
+    -workload index
+    -qps 200
+    -duration 10s
+    -warmup 2s
+    -clients 32
+    -workers 32
+    -conns 8
+    -batch 1
+    -timeout 5s
+    -seed 1
+    -interval 5s
+    -json
+)
+
+case "$MODE" in
+    gate)
+        echo "perf-gate: running the canonical profile against $BASELINE (threshold ${THRESHOLD}%)"
+        # One retry on failure: a shared runner's scheduling hiccup can
+        # push a tail metric past the threshold on a healthy build. A
+        # real regression fails both runs; a flake failing twice in a
+        # row is quadratically unlikely.
+        if go run ./cmd/impir-loadgen "${PROFILE[@]}" \
+            -baseline "$BASELINE" -threshold "$THRESHOLD" > "$ARTIFACT"; then
+            echo "perf-gate: ok (artifact: $ARTIFACT)"
+        else
+            echo "perf-gate: first run regressed; retrying once to rule out a noisy-neighbour flake"
+            go run ./cmd/impir-loadgen "${PROFILE[@]}" \
+                -baseline "$BASELINE" -threshold "$THRESHOLD" > "$ARTIFACT"
+            echo "perf-gate: ok on retry (artifact: $ARTIFACT)"
+        fi
+        ;;
+    refresh)
+        NOTE="refreshed $(date -u '+%Y-%m-%dT%H:%M:%SZ') at $(git rev-parse --short HEAD 2>/dev/null || echo unknown)"
+        echo "perf-gate: refreshing $BASELINE"
+        go run ./cmd/impir-loadgen "${PROFILE[@]}" \
+            -save "$BASELINE" -note "$NOTE" > "$ARTIFACT"
+        echo "perf-gate: baseline rewritten; review and commit $BASELINE"
+        ;;
+    *)
+        echo "perf-gate: unknown mode '$MODE' (want 'gate' or 'refresh')" >&2
+        exit 2
+        ;;
+esac

@@ -293,6 +293,17 @@ func (p *policy) doUpdate(ctx context.Context, co callOptions, core func(ctx con
 	return p.withBudget(ctx, co, core)
 }
 
+// countFailure classifies a failed logical operation into a store's
+// error counters: every failure is an Error; one caused by server-side
+// backpressure (a MsgBusy admission reject) is also a Busy, so load
+// generators and operators can tell overload apart from breakage.
+func countFailure(st *metrics.StoreStats, err error) {
+	st.Errors++
+	if errors.Is(err, ErrServerBusy) {
+		st.Busy++
+	}
+}
+
 // fmtParty names a party for error messages, with its replica count
 // when hedging makes "which replica" ambiguous.
 func fmtParty(p, replicas int) string {
