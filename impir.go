@@ -109,6 +109,35 @@
 // ServerConfig's QueueDepth, CoalesceWindow and MaxCoalesce, and
 // Server.QueueStats for the observed queue behaviour.
 //
+// # Batched execution
+//
+// A batch pass — a client's explicit RetrieveBatch, or single queries
+// the scheduler coalesced across connections — executes FUSED in every
+// engine: all B selector shares are expanded first, then the database
+// streams through the scan hardware once while B XOR accumulators fill
+// in parallel. One pass's memory traffic serves the whole batch, so in
+// the memory-bound regime the per-query dpXOR cost falls toward 1/B of
+// a solo scan (on the PIM engine, each MRAM chunk crosses the DMA bus
+// once per pass instead of once per query; `impir-bench -experiment
+// batchfuse` measures the slope). SchedulerStats.FusedPasses counts the
+// passes that took the fused path.
+//
+// Privacy argument: fusion changes only the order in which the server
+// combines work it was already sent. Each query in the fused pass
+// contributes exactly the selector share the server would have received
+// and expanded anyway; every share still touches every record (the
+// all-for-one scan), the per-query subresults are computed and returned
+// individually, and no cross-query state outlives the pass. A server
+// that fuses observes precisely what a server that loops observes, so
+// batching leaks nothing beyond what the unbatched protocol already
+// reveals — the arrival times and count of the queries, which the
+// coalescing window exposed regardless. Choosing between sharding
+// (split the scan), coalescing (share the pass across clients) and
+// fusion (share the memory traffic within a pass): they compose —
+// shards bound single-query latency, coalescing fills passes under
+// concurrent load, and fusion makes wide passes nearly free until the
+// scan turns ALU-bound.
+//
 // # Sharded deployments
 //
 // A single server pair caps out at one machine's memory bandwidth —

@@ -1,0 +1,245 @@
+package bench
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"runtime"
+	"time"
+
+	"github.com/impir/impir/internal/cpupir"
+	"github.com/impir/impir/internal/database"
+	"github.com/impir/impir/internal/dpf"
+	"github.com/impir/impir/internal/gpupir"
+	"github.com/impir/impir/internal/impir"
+	"github.com/impir/impir/internal/pimkernel"
+	"github.com/impir/impir/internal/xorop"
+)
+
+// batchFuseSizes are the fused batch widths measured, matching the B
+// axis of the paper's Fig. 9b batch experiments.
+var batchFuseSizes = []int{1, 2, 4, 8, 16, 32}
+
+// BatchFuse measures the fused one-pass batch dpXOR kernel against B
+// independent scans, on a database deliberately larger than any LLC so
+// the scan is memory-bound — the regime where fusion pays: one pass
+// streams the database once and amortises its memory traffic across all
+// B selector streams, so per-query cost falls toward the pure XOR ALU
+// cost while aggregate useful bandwidth rises with B.
+//
+// Both sides get identical parallelism (one fused multi-selector pass
+// vs B single-selector passes, same worker count), so the measured gap
+// is the fusion, not threading.
+func BatchFuse(opts Options) *Report {
+	r := &Report{
+		ID:    "Batch fusion",
+		Title: "Fused one-pass batch dpXOR vs per-query scans (measured, memory-bound DB)",
+		Columns: []string{"Batch B", "Fused/query (ms)", "Unfused/query (ms)",
+			"Speedup", "Effective scan GB/s"},
+	}
+
+	// 2^21 records × 32 B = 64 MiB: several times any L3 slice, so each
+	// pass streams from DRAM.
+	const (
+		numRecords = 1 << 21
+		recSize    = recordSize
+	)
+	db := make([]byte, numRecords*recSize)
+	rng := rand.New(rand.NewSource(2027))
+	rng.Read(db)
+
+	maxB := batchFuseSizes[len(batchFuseSizes)-1]
+	sels := make([][]uint64, maxB)
+	for q := range sels {
+		sels[q] = make([]uint64, numRecords/64)
+		for i := range sels[q] {
+			sels[q][i] = rng.Uint64()
+		}
+	}
+	workers := runtime.GOMAXPROCS(0)
+	dbGiB := float64(len(db)) / gib
+
+	var perQueryFused, perQueryUnfused []time.Duration
+	var effGBps []float64
+	for _, b := range batchFuseSizes {
+		accs := make([][]byte, b)
+		for q := range accs {
+			accs[q] = make([]byte, recSize)
+		}
+
+		fused := measureBest(3, func() error {
+			return xorop.AccumulateBatchWorkers(accs, db, recSize, sels[:b], workers)
+		})
+		unfused := measureBest(3, func() error {
+			for q := 0; q < b; q++ {
+				if err := xorop.AccumulateBatchWorkers(accs[q:q+1], db, recSize, sels[q:q+1], workers); err != nil {
+					return err
+				}
+			}
+			return nil
+		})
+		if fused < 0 || unfused < 0 {
+			r.AddCheck("measured fused kernel runs", false, "kernel error at B=%d", b)
+			return r
+		}
+
+		fq := fused / time.Duration(b)
+		uq := unfused / time.Duration(b)
+		gbps := float64(b) * dbGiB / fused.Seconds()
+		perQueryFused = append(perQueryFused, fq)
+		perQueryUnfused = append(perQueryUnfused, uq)
+		effGBps = append(effGBps, gbps)
+		r.Rows = append(r.Rows, []string{
+			fmt.Sprintf("%d", b), fmtMS(fq), fmtMS(uq),
+			fmt.Sprintf("%.2fx", float64(uq)/float64(fq)),
+			fmt.Sprintf("%.1f", gbps),
+		})
+	}
+
+	// Paper-shape checks. At B=8 the fused pass pays one memory stream
+	// instead of eight, so per-query time must at least halve.
+	idx8 := indexOf(batchFuseSizes, 8)
+	r.AddCheck("fused per-query scan at B=8 is ≤ 0.5× the unfused scan",
+		perQueryFused[idx8]*2 <= perQueryUnfused[idx8],
+		"fused %v vs unfused %v per query",
+		perQueryFused[idx8].Round(10*time.Microsecond), perQueryUnfused[idx8].Round(10*time.Microsecond))
+	flatToRising := true
+	for i := 1; i < len(effGBps); i++ {
+		if effGBps[i] < effGBps[i-1]*0.85 {
+			flatToRising = false
+		}
+	}
+	r.AddCheck("effective scan bandwidth is flat-to-rising in B", flatToRising,
+		"B=1 %.1f GB/s → B=%d %.1f GB/s", effGBps[0], maxB, effGBps[len(effGBps)-1])
+	r.AddNote("measured: %d × %d B database (%.0f MiB), %d workers, best of 3; unfused = B single-selector passes at the same parallelism",
+		numRecords, recSize, float64(len(db))/(1<<20), workers)
+
+	// Modeled engine cross-checks at B=8 on the paper's configurations.
+	const modelGiB = 8.0
+	n := recordsFor(modelGiB)
+	cpuHost := paperCPU().Host
+	cpuFused := cpuHost.FusedScanDuration(dbBytes(n), 8, cpuHost.Threads)
+	cpuUnfused := 8 * cpuHost.ScanDuration(dbBytes(n), 1)
+	r.AddCheck("modeled CPU fused scan at B=8 beats 8 per-query scans",
+		cpuFused < cpuUnfused, "%v vs %v", cpuFused.Round(time.Millisecond), cpuUnfused.Round(time.Millisecond))
+	gpu := paperGPU().GPU
+	gpuFused := gpu.ScanBatchDuration(dbBytes(n), 8)
+	gpuUnfused := 8 * gpu.ScanDuration(dbBytes(n))
+	r.AddCheck("modeled GPU fused grid scan at B=8 beats 8 per-query scans",
+		gpuFused < gpuUnfused, "%v vs %v", gpuFused.Round(time.Millisecond), gpuUnfused.Round(time.Millisecond))
+	pimCfg := paperPIM()
+	recordsPerDPU := (n/pimCfg.DPUs + 63) / 64 * 64
+	_, dma1 := pimkernel.ModelCost(recordsPerDPU, recSize, pimCfg.PIM.TaskletsPerDPU)
+	_, dmaB := pimkernel.ModelCostBatch(recordsPerDPU, recSize, pimCfg.PIM.TaskletsPerDPU, 8)
+	r.AddCheck("modeled PIM fused launch at B=8 amortises per-DPU DMA",
+		dmaB < 8*dma1, "fused %d bytes vs %d unfused", dmaB, 8*dma1)
+
+	attachBatchFuseVerification(r, opts)
+	return r
+}
+
+// measureBest runs fn reps times and returns the fastest wall time, or
+// a negative duration if fn errors.
+func measureBest(reps int, fn func() error) time.Duration {
+	best := time.Duration(-1)
+	for i := 0; i < reps; i++ {
+		start := time.Now()
+		if err := fn(); err != nil {
+			return -1
+		}
+		if d := time.Since(start); best < 0 || d < best {
+			best = d
+		}
+	}
+	return best
+}
+
+func indexOf(xs []int, want int) int {
+	for i, x := range xs {
+		if x == want {
+			return i
+		}
+	}
+	return 0
+}
+
+// attachBatchFuseVerification proves the fused path is bit-exact with
+// per-query execution on every engine family: the same key batch through
+// a fused engine and a fusion-disabled twin must agree byte for byte.
+func attachBatchFuseVerification(r *Report, opts Options) {
+	if opts.VerifyRecords <= 0 {
+		return
+	}
+	db, err := database.GenerateHashDB(opts.VerifyRecords, 2027)
+	if err != nil {
+		r.AddCheck("functional fused-vs-per-query verification", false, "%v", err)
+		return
+	}
+	const batch = 8
+	keys := make([]*dpf.Key, batch)
+	for i := range keys {
+		k0, _, err := dpf.Gen(dpf.Params{Domain: db.Domain()}, uint64(i*37)%uint64(db.NumRecords()), nil)
+		if err != nil {
+			r.AddCheck("functional fused-vs-per-query verification", false, "%v", err)
+			return
+		}
+		keys[i] = k0
+	}
+
+	check := func(family string, fused, solo [][]byte, errF, errS error) {
+		if errF != nil || errS != nil {
+			r.AddCheck(fmt.Sprintf("functional fused verification (%s)", family), false, "fused=%v solo=%v", errF, errS)
+			return
+		}
+		for i := range fused {
+			if !bytes.Equal(fused[i], solo[i]) {
+				r.AddCheck(fmt.Sprintf("functional fused verification (%s)", family), false,
+					"query %d differs", i)
+				return
+			}
+		}
+		r.AddCheck(fmt.Sprintf("functional fused verification (%s)", family), true,
+			"B=%d bit-exact with per-query passes", batch)
+	}
+
+	{
+		ef, _ := cpupir.New(cpupir.Config{Threads: 4})
+		es, _ := cpupir.New(cpupir.Config{Threads: 4, DisableBatchFusion: true})
+		_ = ef.LoadDatabase(db)
+		_ = es.LoadDatabase(db.Clone())
+		rf, _, errF := ef.QueryBatch(keys)
+		rs, _, errS := es.QueryBatch(keys)
+		check("CPU", rf, rs, errF, errS)
+	}
+	{
+		ef, _ := gpupir.New(gpupir.Config{})
+		es, _ := gpupir.New(gpupir.Config{DisableBatchFusion: true})
+		_ = ef.LoadDatabase(db)
+		_ = es.LoadDatabase(db.Clone())
+		rf, _, errF := ef.QueryBatch(keys)
+		rs, _, errS := es.QueryBatch(keys)
+		check("GPU", rf, rs, errF, errS)
+	}
+	{
+		cfg := impir.DefaultConfig()
+		cfg.DPUs = 8
+		cfg.PIM.Ranks = 2
+		cfg.PIM.DPUsPerRank = 4
+		cfg.PIM.MRAMPerDPU = 4 << 20
+		cfg.PIM.TaskletsPerDPU = 4
+		cfg.EvalWorkers = 2
+		soloCfg := cfg
+		soloCfg.DisableBatchFusion = true
+		ef, errF := impir.New(cfg)
+		es, errS := impir.New(soloCfg)
+		if errF != nil || errS != nil {
+			check("PIM", nil, nil, errF, errS)
+			return
+		}
+		_ = ef.LoadDatabase(db)
+		_ = es.LoadDatabase(db.Clone())
+		rf, _, errF := ef.QueryBatch(keys)
+		rs, _, errS := es.QueryBatch(keys)
+		check("PIM", rf, rs, errF, errS)
+	}
+}

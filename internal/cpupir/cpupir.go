@@ -37,6 +37,11 @@ type Config struct {
 	// Host models the baseline machine. Zero value means
 	// hostmodel.CPUPIRBaseline.
 	Host hostmodel.Model
+	// DisableBatchFusion reverts QueryBatch to the historical
+	// one-thread-per-query execution (B independent scans). Used by the
+	// batchfuse experiment to measure the fusion win; production leaves
+	// it off.
+	DisableBatchFusion bool
 }
 
 // DefaultConfig returns the paper's baseline configuration.
@@ -162,9 +167,15 @@ func (e *Engine) Query(key *dpf.Key) ([]byte, metrics.Breakdown, error) {
 	return e.queryOneThread(key, 1)
 }
 
-// QueryBatch processes a batch with one worker thread per query, up to
-// Threads concurrent workers (§5.1: "The CPU PIR baseline uses a single
-// CPU thread for each query").
+// QueryBatch processes a batch of coalesced queries. The default path is
+// the fused pipeline: every DPF key is expanded in parallel (one thread
+// per key, up to Threads), then ONE streaming pass over the database
+// accumulates all B results at once (xorop.AccumulateBatch). The scan is
+// memory-bound, so the fused pass pays a single scan's memory traffic —
+// B× XOR work — instead of B full scans.
+//
+// With DisableBatchFusion the engine reverts to §5.1's
+// one-thread-per-query execution: B independent scans, W at a time.
 func (e *Engine) QueryBatch(keys []*dpf.Key) ([][]byte, metrics.BatchStats, error) {
 	if len(keys) == 0 {
 		return nil, metrics.BatchStats{}, errors.New("cpupir: empty batch")
@@ -174,7 +185,88 @@ func (e *Engine) QueryBatch(keys []*dpf.Key) ([][]byte, metrics.BatchStats, erro
 			return nil, metrics.BatchStats{}, fmt.Errorf("cpupir: batch key %d: %w", i, err)
 		}
 	}
+	if e.cfg.DisableBatchFusion || len(keys) == 1 {
+		return e.queryBatchUnfused(keys)
+	}
+	return e.queryBatchFused(keys)
+}
 
+// queryBatchFused is the fused hot path: parallel EvalFull of all B
+// keys, then one AccumulateBatch scan across all Threads.
+func (e *Engine) queryBatchFused(keys []*dpf.Key) ([][]byte, metrics.BatchStats, error) {
+	n := uint64(e.db.NumRecords())
+	b := len(keys)
+	workers := e.cfg.Threads
+	if workers > b {
+		workers = b
+	}
+
+	vecs := make([]*bitvec.Vector, b)
+	errs := make([]error, b)
+	keyCh := make(chan int, b)
+	for i := range keys {
+		keyCh <- i
+	}
+	close(keyCh)
+
+	start := time.Now()
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range keyCh {
+				vecs[i], errs[i] = keys[i].EvalFull(dpf.FullEvalOptions{
+					Strategy: e.cfg.EvalStrategy, Workers: 1,
+				})
+			}
+		}()
+	}
+	wg.Wait()
+	evalWall := time.Since(start)
+	for i := range errs {
+		if errs[i] != nil {
+			return nil, metrics.BatchStats{}, fmt.Errorf("cpupir: DPF evaluation %d: %w", i, errs[i])
+		}
+	}
+	// Eval makespan: W keys expand concurrently, each on one thread; the
+	// last round may be partially occupied but eval has no memory
+	// contention, so rounds stack directly.
+	evalRounds := (b + workers - 1) / workers
+	evalModeled := time.Duration(evalRounds) * e.cfg.Host.EvalDuration(n, 1)
+
+	sels := make([][]uint64, b)
+	for i, v := range vecs {
+		sels[i] = v.Words()
+	}
+	results := make([][]byte, b)
+	for i := range results {
+		results[i] = make([]byte, e.db.RecordSize())
+	}
+	start = time.Now()
+	if err := xorop.AccumulateBatchWorkers(results, e.db.Data(), e.db.RecordSize(), sels, e.cfg.Threads); err != nil {
+		return nil, metrics.BatchStats{}, fmt.Errorf("cpupir: fused dpXOR: %w", err)
+	}
+	scanWall := time.Since(start)
+	scanModeled := e.cfg.Host.FusedScanDuration(e.db.SizeBytes(), b, e.cfg.Threads)
+
+	var total metrics.Breakdown
+	total.AddPhase(metrics.PhaseEval, evalWall, evalModeled)
+	total.AddPhase(metrics.PhaseDpXOR, scanWall, scanModeled)
+	stats := metrics.BatchStats{
+		Queries:        b,
+		PerQuery:       total.Scale(b),
+		WallLatency:    evalWall + scanWall,
+		ModeledLatency: evalModeled + scanModeled,
+		Fused:          true,
+	}
+	return results, stats, nil
+}
+
+// queryBatchUnfused is the historical baseline: one worker thread per
+// query, W concurrent scans (§5.1: "The CPU PIR baseline uses a single
+// CPU thread for each query").
+func (e *Engine) queryBatchUnfused(keys []*dpf.Key) ([][]byte, metrics.BatchStats, error) {
 	workers := e.cfg.Threads
 	if workers > len(keys) {
 		workers = len(keys)
@@ -205,24 +297,30 @@ func (e *Engine) QueryBatch(keys []*dpf.Key) ([][]byte, metrics.BatchStats, erro
 	wall := time.Since(start)
 
 	var total metrics.Breakdown
-	var perQueryModeled time.Duration
 	for i := range keys {
 		if errs[i] != nil {
 			return nil, metrics.BatchStats{}, fmt.Errorf("cpupir: query %d: %w", i, errs[i])
 		}
 		total.Add(breakdowns[i])
-		perQueryModeled += breakdowns[i].TotalModeled()
 	}
 
-	// Modeled makespan: ⌈B/W⌉ rounds of W concurrent queries, each round
-	// taking one query's modeled latency under W-way contention.
-	rounds := (len(keys) + workers - 1) / workers
-	avgQuery := perQueryModeled / time.Duration(len(keys))
+	// Modeled makespan: rounds of up to W concurrent queries, each round
+	// costing one query at that round's ACTUAL occupancy — a final round
+	// of 3 queries on a 32-thread machine contends 3 ways, not 32.
+	n := uint64(e.db.NumRecords())
+	var modeled time.Duration
+	for done := 0; done < len(keys); done += workers {
+		occ := len(keys) - done
+		if occ > workers {
+			occ = workers
+		}
+		modeled += e.cfg.Host.EvalDuration(n, 1) + e.cfg.Host.ScanDuration(e.db.SizeBytes(), occ)
+	}
 	stats := metrics.BatchStats{
 		Queries:        len(keys),
 		PerQuery:       total.Scale(len(keys)),
 		WallLatency:    wall,
-		ModeledLatency: time.Duration(rounds) * avgQuery,
+		ModeledLatency: modeled,
 	}
 	return results, stats, nil
 }
@@ -249,6 +347,67 @@ func (e *Engine) QueryShare(share *bitvec.Vector) ([]byte, metrics.Breakdown, er
 	}
 	bd.AddPhase(metrics.PhaseDpXOR, time.Since(start), e.cfg.Host.ScanDuration(e.db.SizeBytes(), 1))
 	return result, bd, nil
+}
+
+// QueryShareBatch processes B raw selector-share queries in ONE fused
+// streaming pass over the database — the n-server analogue of the fused
+// QueryBatch. There is no eval stage: the shares ARE the selectors.
+func (e *Engine) QueryShareBatch(shares []*bitvec.Vector) ([][]byte, metrics.BatchStats, error) {
+	if e.db == nil {
+		return nil, metrics.BatchStats{}, errors.New("cpupir: no database loaded")
+	}
+	if len(shares) == 0 {
+		return nil, metrics.BatchStats{}, errors.New("cpupir: empty share batch")
+	}
+	sels := make([][]uint64, len(shares))
+	for i, sh := range shares {
+		if sh == nil {
+			return nil, metrics.BatchStats{}, fmt.Errorf("cpupir: share %d is nil", i)
+		}
+		if sh.Len() != e.db.NumRecords() {
+			return nil, metrics.BatchStats{}, fmt.Errorf("cpupir: share %d covers %d records, database has %d",
+				i, sh.Len(), e.db.NumRecords())
+		}
+		sels[i] = sh.Words()
+	}
+
+	b := len(shares)
+	results := make([][]byte, b)
+	for i := range results {
+		results[i] = make([]byte, e.db.RecordSize())
+	}
+	start := time.Now()
+	var err error
+	if e.cfg.DisableBatchFusion {
+		for i := range sels {
+			if err = xorop.Accumulate(results[i], e.db.Data(), e.db.RecordSize(), sels[i]); err != nil {
+				break
+			}
+		}
+	} else {
+		err = xorop.AccumulateBatchWorkers(results, e.db.Data(), e.db.RecordSize(), sels, e.cfg.Threads)
+	}
+	if err != nil {
+		return nil, metrics.BatchStats{}, fmt.Errorf("cpupir: fused dpXOR: %w", err)
+	}
+	wall := time.Since(start)
+
+	var modeled time.Duration
+	if e.cfg.DisableBatchFusion {
+		modeled = time.Duration(b) * e.cfg.Host.ScanDuration(e.db.SizeBytes(), 1)
+	} else {
+		modeled = e.cfg.Host.FusedScanDuration(e.db.SizeBytes(), b, e.cfg.Threads)
+	}
+	var total metrics.Breakdown
+	total.AddPhase(metrics.PhaseDpXOR, wall, modeled)
+	stats := metrics.BatchStats{
+		Queries:        b,
+		PerQuery:       total.Scale(b),
+		WallLatency:    wall,
+		ModeledLatency: modeled,
+		Fused:          !e.cfg.DisableBatchFusion,
+	}
+	return results, stats, nil
 }
 
 // ApplyUpdates is the uniform update entry point shared by every engine.

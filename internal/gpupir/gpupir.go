@@ -47,6 +47,10 @@ type Config struct {
 	// KernelOverhead is the fixed per-kernel-launch cost. 0 means 80 µs
 	// (two launches per query: eval grid + reduction grid).
 	KernelOverhead time.Duration
+	// DisableBatchFusion reverts QueryBatch to one grid scan per query
+	// (stream-overlapped). The batchfuse experiment uses it to measure
+	// the fusion win; production leaves it off.
+	DisableBatchFusion bool
 }
 
 // DefaultConfig returns the §5.2 GPU platform model.
@@ -121,6 +125,31 @@ func (c Config) ScanDuration(dbBytes int64) time.Duration {
 		sec = float64(dbBytes) / (c.VRAMBandwidth * c.VRAMEfficiency)
 	} else {
 		sec = float64(dbBytes) / c.PCIeBandwidth
+	}
+	return time.Duration(sec*float64(time.Second)) + c.KernelOverhead
+}
+
+// ScanBatchDuration models a FUSED grid dpXOR: one streaming pass over
+// dbBytes accumulating `batch` results per thread block. Memory traffic
+// is a single stream (the bound at small B); the XOR ALU work scales
+// with the batch and runs at full (underated) VRAM bandwidth out of
+// registers/shared memory, taking over as the bound once B is large.
+func (c Config) ScanBatchDuration(dbBytes int64, batch int) time.Duration {
+	if batch < 1 {
+		batch = 1
+	}
+	var memSec float64
+	if dbBytes <= c.VRAMBytes {
+		memSec = float64(dbBytes) / (c.VRAMBandwidth * c.VRAMEfficiency)
+	} else {
+		memSec = float64(dbBytes) / c.PCIeBandwidth
+	}
+	// Each selector share sets ~half the bits → batch × dbBytes/2 XORed,
+	// out of on-chip storage at peak bandwidth.
+	xorSec := float64(batch) * float64(dbBytes) / 2 / c.VRAMBandwidth
+	sec := memSec
+	if xorSec > sec {
+		sec = xorSec
 	}
 	return time.Duration(sec*float64(time.Second)) + c.KernelOverhead
 }
@@ -279,6 +308,73 @@ func (e *Engine) gridScan(vec *bitvec.Vector) ([]byte, error) {
 	return result, nil
 }
 
+// gridScanBatch runs the FUSED block-partitioned selective XOR: each
+// thread block streams its contiguous DB slice once and accumulates all
+// B selector results from it, so the batch pays one pass of memory
+// traffic. Results are bit-identical to per-query gridScan calls.
+func (e *Engine) gridScanBatch(vecs []*bitvec.Vector) ([][]byte, error) {
+	recordSize := e.db.RecordSize()
+	nq := len(vecs)
+	results := make([][]byte, nq)
+	for q := range results {
+		results[q] = make([]byte, recordSize)
+	}
+	blocks := e.cfg.ThreadBlocks
+	numRecords := e.db.NumRecords()
+	groups := numRecords / 64
+	if groups == 0 {
+		groups = 1
+	}
+	if blocks > groups {
+		blocks = groups
+	}
+	groupsPerBlock := (groups + blocks - 1) / blocks
+	words := make([][]uint64, nq)
+	for q, v := range vecs {
+		words[q] = v.Words()
+	}
+	data := e.db.Data()
+	partials := make([][]byte, nq)
+	buf := make([]byte, nq*recordSize)
+	for q := range partials {
+		partials[q] = buf[q*recordSize : (q+1)*recordSize]
+	}
+	blockSels := make([][]uint64, nq)
+	for b := 0; b < blocks; b++ {
+		loGroup := b * groupsPerBlock
+		hiGroup := loGroup + groupsPerBlock
+		if hiGroup > groups {
+			hiGroup = groups
+		}
+		if loGroup >= hiGroup {
+			break
+		}
+		loRec := loGroup * 64
+		hiRec := hiGroup * 64
+		if hiRec > numRecords {
+			hiRec = numRecords
+		}
+		for i := range buf {
+			buf[i] = 0
+		}
+		for q := range words {
+			blockSels[q] = words[q][loGroup:hiGroup]
+		}
+		// One fused serial pass per block — the block IS the parallel
+		// grain, so the kernel below runs with a single worker.
+		if err := xorop.AccumulateBatchWorkers(partials, data[loRec*recordSize:hiRec*recordSize],
+			recordSize, blockSels, 1); err != nil {
+			return nil, fmt.Errorf("gpupir: fused block %d: %w", b, err)
+		}
+		for q := range results {
+			if err := xorop.XORBytes(results[q], partials[q]); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return results, nil
+}
+
 // QueryShare processes a raw selector-share query (the n-server
 // generalisation of §2.3): the grid scan driven directly by an explicit
 // N-bit share, with no on-device DPF expansion.
@@ -310,12 +406,18 @@ func (e *Engine) QueryShare(share *bitvec.Vector) ([]byte, metrics.Breakdown, er
 	return result, bd, nil
 }
 
-// QueryBatch processes queries back-to-back with CUDA-stream-style
-// overlap: the eval of query i+1 overlaps the scan of query i, so the
-// modeled makespan is bounded by the slower stage.
+// QueryBatch processes a batch of coalesced queries. The default path
+// fuses the scans: all B keys upload and expand first (stream-
+// overlapped), then ONE fused grid pass streams the database once and
+// accumulates all B results (gridScanBatch / ScanBatchDuration). With
+// DisableBatchFusion the engine reverts to one scan per query with
+// CUDA-stream-style eval/scan overlap.
 func (e *Engine) QueryBatch(keys []*dpf.Key) ([][]byte, metrics.BatchStats, error) {
 	if len(keys) == 0 {
 		return nil, metrics.BatchStats{}, errors.New("gpupir: empty batch")
+	}
+	if !e.cfg.DisableBatchFusion && len(keys) > 1 {
+		return e.queryBatchFused(keys)
 	}
 	results := make([][]byte, len(keys))
 	var total metrics.Breakdown
@@ -343,6 +445,127 @@ func (e *Engine) QueryBatch(keys []*dpf.Key) ([][]byte, metrics.BatchStats, erro
 		PerQuery:       total.Scale(len(keys)),
 		WallLatency:    wall,
 		ModeledLatency: modeled,
+	}
+	return results, stats, nil
+}
+
+// queryBatchFused is the fused hot path: upload + expand every key
+// (uploads and evals overlap scan-free), then one fused grid scan and B
+// downloads. The fused scan needs ALL selectors resident before it
+// launches, so eval no longer overlaps scanning — the single pass is
+// cheap enough that the trade wins for every B > 1.
+func (e *Engine) queryBatchFused(keys []*dpf.Key) ([][]byte, metrics.BatchStats, error) {
+	b := len(keys)
+	for i, k := range keys {
+		if err := e.validateKey(k); err != nil {
+			return nil, metrics.BatchStats{}, fmt.Errorf("gpupir: batch key %d: %w", i, err)
+		}
+	}
+	n := uint64(e.db.NumRecords())
+	recordSize := e.db.RecordSize()
+	var total metrics.Breakdown
+
+	start := time.Now()
+	var uploadModeled, evalModeled time.Duration
+	vecs := make([]*bitvec.Vector, b)
+	for i, key := range keys {
+		uploadModeled += e.cfg.UploadDuration(key.WireSize())
+		vec, err := key.EvalFull(dpf.FullEvalOptions{Strategy: dpf.StrategyMemoryBounded})
+		if err != nil {
+			return nil, metrics.BatchStats{}, fmt.Errorf("gpupir: DPF evaluation %d: %w", i, err)
+		}
+		vecs[i] = vec
+		evalModeled += e.cfg.EvalDuration(n)
+	}
+	evalWall := time.Since(start)
+	total.AddPhase(metrics.PhaseCopyToPIM, 0, uploadModeled)
+	total.AddPhase(metrics.PhaseEval, evalWall, evalModeled)
+
+	start = time.Now()
+	results, err := e.gridScanBatch(vecs)
+	if err != nil {
+		return nil, metrics.BatchStats{}, err
+	}
+	scanWall := time.Since(start)
+	scanModeled := e.cfg.ScanBatchDuration(e.db.SizeBytes(), b)
+	total.AddPhase(metrics.PhaseDpXOR, scanWall, scanModeled)
+
+	downloadModeled := time.Duration(b) * e.cfg.DownloadDuration(recordSize)
+	total.AddPhase(metrics.PhaseCopyToHost, 0, downloadModeled)
+
+	// Key uploads overlap on-device eval (CUDA streams), so the makespan
+	// pays the slower of the two, then the single fused scan, then the
+	// result downloads.
+	frontEnd := evalModeled
+	if uploadModeled > frontEnd {
+		frontEnd = uploadModeled
+	}
+	stats := metrics.BatchStats{
+		Queries:        b,
+		PerQuery:       total.Scale(b),
+		WallLatency:    evalWall + scanWall,
+		ModeledLatency: frontEnd + scanModeled + downloadModeled,
+		Fused:          true,
+	}
+	return results, stats, nil
+}
+
+// QueryShareBatch processes B raw selector-share queries with ONE fused
+// grid pass over the database — the n-server analogue of the fused
+// QueryBatch. The shares themselves cross PCIe (B × N/8 bytes).
+func (e *Engine) QueryShareBatch(shares []*bitvec.Vector) ([][]byte, metrics.BatchStats, error) {
+	if e.db == nil {
+		return nil, metrics.BatchStats{}, errors.New("gpupir: no database loaded")
+	}
+	if len(shares) == 0 {
+		return nil, metrics.BatchStats{}, errors.New("gpupir: empty share batch")
+	}
+	for i, sh := range shares {
+		if sh == nil {
+			return nil, metrics.BatchStats{}, fmt.Errorf("gpupir: share %d is nil", i)
+		}
+		if sh.Len() != e.db.NumRecords() {
+			return nil, metrics.BatchStats{}, fmt.Errorf("gpupir: share %d covers %d records, database has %d",
+				i, sh.Len(), e.db.NumRecords())
+		}
+	}
+	b := len(shares)
+	recordSize := e.db.RecordSize()
+	var total metrics.Breakdown
+
+	uploadModeled := time.Duration(b) * e.cfg.UploadDuration(shares[0].Len()/8)
+	total.AddPhase(metrics.PhaseCopyToPIM, 0, uploadModeled)
+
+	start := time.Now()
+	var results [][]byte
+	var err error
+	var scanModeled time.Duration
+	if e.cfg.DisableBatchFusion {
+		results = make([][]byte, b)
+		for i, sh := range shares {
+			if results[i], err = e.gridScan(sh); err != nil {
+				return nil, metrics.BatchStats{}, err
+			}
+		}
+		scanModeled = time.Duration(b) * e.cfg.ScanDuration(e.db.SizeBytes())
+	} else {
+		if results, err = e.gridScanBatch(shares); err != nil {
+			return nil, metrics.BatchStats{}, err
+		}
+		scanModeled = e.cfg.ScanBatchDuration(e.db.SizeBytes(), b)
+	}
+	scanWall := time.Since(start)
+	total.AddPhase(metrics.PhaseDpXOR, scanWall, scanModeled)
+
+	downloadModeled := time.Duration(b) * e.cfg.DownloadDuration(recordSize)
+	total.AddPhase(metrics.PhaseCopyToHost, 0, downloadModeled)
+
+	stats := metrics.BatchStats{
+		Queries:        b,
+		PerQuery:       total.Scale(b),
+		WallLatency:    scanWall,
+		ModeledLatency: uploadModeled + scanModeled + downloadModeled,
+		Fused:          !e.cfg.DisableBatchFusion,
 	}
 	return results, stats, nil
 }

@@ -109,6 +109,42 @@ func (m Model) ScanDuration(dbBytes int64, concurrent int) time.Duration {
 	return time.Duration(sec * float64(time.Second))
 }
 
+// FusedScanDuration models a fused multi-selector scan: one streaming
+// pass over dbBytes that accumulates `batch` results along the way.
+// The contention story changes from ScanDuration's: memory traffic is
+// paid ONCE (the whole machine cooperates on one stream, so the rate is
+// min(threads × per-thread, aggregate)), while XOR ALU work scales with
+// the batch. Each selector share sets ~half the bits, so the fused pass
+// XORs batch × dbBytes/2; cache-resident XOR on streamed lines runs at
+// ~4× the DRAM-bound scan rate per thread. The pass is whichever side of
+// the roofline binds: max(memory-stream time, XOR time). At small B the
+// memory term dominates and per-query cost falls ~1/B; once B× XOR work
+// exceeds the stream time the pass turns ALU-bound and flattens.
+func (m Model) FusedScanDuration(dbBytes int64, batch, threads int) time.Duration {
+	if batch < 1 {
+		batch = 1
+	}
+	if threads < 1 {
+		threads = 1
+	}
+	if threads > m.Threads {
+		threads = m.Threads
+	}
+	streamRate := m.ScanBytesPerSecPerThread * float64(threads)
+	if streamRate > m.AggregateScanBytesPerSec {
+		streamRate = m.AggregateScanBytesPerSec
+	}
+	memSec := float64(dbBytes) / streamRate
+	xorBytes := float64(batch) * float64(dbBytes) / 2
+	xorRate := 4 * m.ScanBytesPerSecPerThread * float64(threads)
+	xorSec := xorBytes / xorRate
+	sec := memSec
+	if xorSec > sec {
+		sec = xorSec
+	}
+	return time.Duration(sec * float64(time.Second))
+}
+
 // XORFoldDuration models XOR-folding n buffers of size bytes each on the
 // host (subresult aggregation) — a trivially bandwidth-bound operation.
 func (m Model) XORFoldDuration(n int, size int) time.Duration {

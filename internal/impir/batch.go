@@ -96,23 +96,65 @@ func (e *Engine) QueryBatch(keys []*dpf.Key) ([][]byte, metrics.BatchStats, erro
 	}
 
 	// ---- Cluster stage (Fig. 8 ➌, Alg. 1 ➍-➏) ----
+	// Each cluster goroutine greedily drains the queue into FUSED groups
+	// of up to cluster.maxBatch share vectors and runs them as one dpXOR
+	// launch sequence: the database chunk streams through each DPU once
+	// per pass for the whole group instead of once per query.
+	type fusedGroup struct {
+		cluster int
+		members []int
+		modeled time.Duration
+	}
+	var groupMu sync.Mutex
+	var groups []fusedGroup
+
 	var clusterWG sync.WaitGroup
-	for _, c := range e.clusters {
+	for ci, c := range e.clusters {
 		clusterWG.Add(1)
-		go func(c *cluster) {
+		go func(ci int, c *cluster) {
 			defer clusterWG.Done()
-			for task := range taskQueue {
-				result, bd, err := e.runCluster(c, task.vec)
-				out := &outcomes[task.idx]
-				out.bd.Add(bd)
-				out.pimModeled = bd.TotalModeled() // cluster phases only; eval is tracked separately
-				if err != nil {
-					out.err = err
-					continue
-				}
-				out.result = result
+			width := c.maxBatch
+			if e.cfg.DisableBatchFusion {
+				width = 1
 			}
-		}(c)
+			for task := range taskQueue {
+				group := []evalTask{task}
+			drain:
+				for len(group) < width {
+					select {
+					case next, ok := <-taskQueue:
+						if !ok {
+							break drain
+						}
+						group = append(group, next)
+					default:
+						break drain
+					}
+				}
+				vecs := make([]*bitvec.Vector, len(group))
+				members := make([]int, len(group))
+				for j, g := range group {
+					vecs[j] = g.vec
+					members[j] = g.idx
+				}
+				results, bd, err := e.runClusterBatch(c, vecs)
+				perBD := bd.Scale(len(group))
+				groupModeled := bd.TotalModeled()
+				for j, g := range group {
+					out := &outcomes[g.idx]
+					out.bd.Add(perBD)
+					out.pimModeled = groupModeled / time.Duration(len(group))
+					if err != nil {
+						out.err = err
+						continue
+					}
+					out.result = results[j]
+				}
+				groupMu.Lock()
+				groups = append(groups, fusedGroup{cluster: ci, members: members, modeled: groupModeled})
+				groupMu.Unlock()
+			}
+		}(ci, c)
 	}
 
 	evalWG.Wait()
@@ -122,7 +164,7 @@ func (e *Engine) QueryBatch(keys []*dpf.Key) ([][]byte, metrics.BatchStats, erro
 	results := make([][]byte, len(keys))
 	var total metrics.Breakdown
 	evalDurations := make([]time.Duration, len(keys))
-	pimDurations := make([]time.Duration, len(keys))
+	fused := false
 	for i := range outcomes {
 		if outcomes[i].err != nil {
 			return nil, metrics.BatchStats{}, fmt.Errorf("impir: query %d: %w", i, outcomes[i].err)
@@ -130,18 +172,128 @@ func (e *Engine) QueryBatch(keys []*dpf.Key) ([][]byte, metrics.BatchStats, erro
 		results[i] = outcomes[i].result
 		total.Add(outcomes[i].bd)
 		evalDurations[i] = outcomes[i].evalModeled
-		pimDurations[i] = outcomes[i].pimModeled
+	}
+
+	// Modeled makespan: replay stage-1 readiness through the recorded
+	// fused-group schedule. Groups appended by one cluster keep their
+	// execution order; clusters run independently.
+	ready := evalReadyTimes(e.cfg.EvalMode, e.cfg.EvalWorkers, evalDurations)
+	clusterFree := make([]time.Duration, len(e.clusters))
+	var makespan time.Duration
+	for _, g := range groups {
+		if len(g.members) > 1 {
+			fused = true
+		}
+		start := clusterFree[g.cluster]
+		for _, m := range g.members {
+			if ready[m] > start {
+				start = ready[m]
+			}
+		}
+		finish := start + g.modeled
+		clusterFree[g.cluster] = finish
+		if finish > makespan {
+			makespan = finish
+		}
 	}
 
 	stats := metrics.BatchStats{
-		Queries:     len(keys),
-		PerQuery:    total.Scale(len(keys)),
-		WallLatency: wallLatency,
-		ModeledLatency: ModeledMakespan(
-			e.cfg.EvalMode, e.cfg.EvalWorkers, len(e.clusters),
-			evalDurations, pimDurations),
+		Queries:        len(keys),
+		PerQuery:       total.Scale(len(keys)),
+		WallLatency:    wallLatency,
+		ModeledLatency: makespan,
+		Fused:          fused,
 	}
 	return results, stats, nil
+}
+
+// QueryShareBatch processes a batch of raw selector-share queries (the
+// explicit-share protocol of QueryShare). Shares are chunked into fused
+// groups of up to each cluster's batch capacity, distributed round-robin
+// across clusters, and each group runs as one dpXOR launch sequence —
+// one database pass for the whole group.
+func (e *Engine) QueryShareBatch(shares []*bitvec.Vector) ([][]byte, metrics.BatchStats, error) {
+	if e.db == nil {
+		return nil, metrics.BatchStats{}, fmt.Errorf("impir: no database loaded")
+	}
+	if len(shares) == 0 {
+		return nil, metrics.BatchStats{}, fmt.Errorf("impir: empty share batch")
+	}
+	for i, share := range shares {
+		if share == nil {
+			return nil, metrics.BatchStats{}, fmt.Errorf("impir: batch share %d is nil", i)
+		}
+		if share.Len() != e.db.NumRecords() {
+			return nil, metrics.BatchStats{}, fmt.Errorf("impir: batch share %d covers %d records, database has %d",
+				i, share.Len(), e.db.NumRecords())
+		}
+	}
+
+	batchStart := time.Now()
+	type shareChunk struct {
+		cluster int
+		lo, hi  int
+	}
+	var chunks []shareChunk
+	for lo, ci := 0, 0; lo < len(shares); ci++ {
+		c := e.clusters[ci%len(e.clusters)]
+		width := c.maxBatch
+		if e.cfg.DisableBatchFusion {
+			width = 1
+		}
+		hi := lo + width
+		if hi > len(shares) {
+			hi = len(shares)
+		}
+		chunks = append(chunks, shareChunk{cluster: ci % len(e.clusters), lo: lo, hi: hi})
+		lo = hi
+	}
+
+	results := make([][]byte, len(shares))
+	chunkBDs := make([]metrics.Breakdown, len(chunks))
+	chunkErrs := make([]error, len(chunks))
+	fused := false
+	var wg sync.WaitGroup
+	for k, ch := range chunks {
+		if ch.hi-ch.lo > 1 {
+			fused = true
+		}
+		wg.Add(1)
+		go func(k int, ch shareChunk) {
+			defer wg.Done()
+			group, bd, err := e.runClusterBatch(e.clusters[ch.cluster], shares[ch.lo:ch.hi])
+			chunkBDs[k] = bd
+			if err != nil {
+				chunkErrs[k] = err
+				return
+			}
+			copy(results[ch.lo:], group)
+		}(k, ch)
+	}
+	wg.Wait()
+	wallLatency := time.Since(batchStart)
+
+	var total metrics.Breakdown
+	clusterBusy := make([]time.Duration, len(e.clusters))
+	var makespan time.Duration
+	for k, ch := range chunks {
+		if chunkErrs[k] != nil {
+			return nil, metrics.BatchStats{}, fmt.Errorf("impir: share group %d: %w", k, chunkErrs[k])
+		}
+		total.Add(chunkBDs[k])
+		clusterBusy[ch.cluster] += chunkBDs[k].TotalModeled()
+		if clusterBusy[ch.cluster] > makespan {
+			makespan = clusterBusy[ch.cluster]
+		}
+	}
+
+	return results, metrics.BatchStats{
+		Queries:        len(shares),
+		PerQuery:       total.Scale(len(shares)),
+		WallLatency:    wallLatency,
+		ModeledLatency: makespan,
+		Fused:          fused,
+	}, nil
 }
 
 // ModeledMakespan replays the batch through a deterministic two-stage
@@ -151,28 +303,7 @@ func (e *Engine) QueryBatch(keys []*dpf.Key) ([][]byte, metrics.BatchStats, erro
 // enters stage 2 when its eval finishes and a cluster is free.
 func ModeledMakespan(mode EvalMode, workers, clusters int, evalDur, pimDur []time.Duration) time.Duration {
 	n := len(evalDur)
-	ready := make([]time.Duration, n)
-
-	switch mode {
-	case EvalPerQueryParallel:
-		// Sequential evals, each using every worker.
-		var t time.Duration
-		for i := 0; i < n; i++ {
-			t += evalDur[i]
-			ready[i] = t
-		}
-	default:
-		// W parallel eval servers, greedy assignment in key order.
-		if workers > n {
-			workers = n
-		}
-		free := make([]time.Duration, workers)
-		for i := 0; i < n; i++ {
-			w := argminDur(free)
-			free[w] += evalDur[i]
-			ready[i] = free[w]
-		}
-	}
+	ready := evalReadyTimes(mode, workers, evalDur)
 
 	// Queries reach the task queue in eval-completion order.
 	order := make([]int, n)
@@ -196,6 +327,35 @@ func ModeledMakespan(mode EvalMode, workers, clusters int, evalDur, pimDur []tim
 		}
 	}
 	return makespan
+}
+
+// evalReadyTimes models stage 1 of the pipeline: when each query's
+// selector share becomes available to the cluster stage, given the eval
+// scheduling mode (see ModeledMakespan).
+func evalReadyTimes(mode EvalMode, workers int, evalDur []time.Duration) []time.Duration {
+	n := len(evalDur)
+	ready := make([]time.Duration, n)
+	switch mode {
+	case EvalPerQueryParallel:
+		// Sequential evals, each using every worker.
+		var t time.Duration
+		for i := 0; i < n; i++ {
+			t += evalDur[i]
+			ready[i] = t
+		}
+	default:
+		// W parallel eval servers, greedy assignment in key order.
+		if workers > n {
+			workers = n
+		}
+		free := make([]time.Duration, workers)
+		for i := 0; i < n; i++ {
+			w := argminDur(free)
+			free[w] += evalDur[i]
+			ready[i] = free[w]
+		}
+	}
+	return ready
 }
 
 func argminDur(xs []time.Duration) int {

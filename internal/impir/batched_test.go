@@ -132,15 +132,17 @@ func TestMaxRecordsFitting(t *testing.T) {
 		{1 << 13, 32}, {1 << 20, 32}, {1 << 16, 8}, {4096, 2048},
 	}
 	for _, tt := range tests {
-		got := maxRecordsFitting(tt.mram, tt.recordSize)
-		if got%64 != 0 {
-			t.Errorf("maxRecordsFitting(%d,%d) = %d, not a 64-multiple", tt.mram, tt.recordSize, got)
-		}
-		if got > 0 && mramFootprint(got, tt.recordSize) > tt.mram {
-			t.Errorf("maxRecordsFitting(%d,%d) = %d overflows MRAM", tt.mram, tt.recordSize, got)
-		}
-		if mramFootprint(got+64, tt.recordSize) <= tt.mram {
-			t.Errorf("maxRecordsFitting(%d,%d) = %d not maximal", tt.mram, tt.recordSize, got)
+		for _, batch := range []int{1, 4, 16} {
+			got := maxRecordsFitting(tt.mram, tt.recordSize, batch)
+			if got%64 != 0 {
+				t.Errorf("maxRecordsFitting(%d,%d,%d) = %d, not a 64-multiple", tt.mram, tt.recordSize, batch, got)
+			}
+			if got > 0 && mramFootprint(got, tt.recordSize, batch) > tt.mram {
+				t.Errorf("maxRecordsFitting(%d,%d,%d) = %d overflows MRAM", tt.mram, tt.recordSize, batch, got)
+			}
+			if mramFootprint(got+64, tt.recordSize, batch) <= tt.mram {
+				t.Errorf("maxRecordsFitting(%d,%d,%d) = %d not maximal", tt.mram, tt.recordSize, batch, got)
+			}
 		}
 	}
 }

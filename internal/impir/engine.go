@@ -80,6 +80,10 @@ type Config struct {
 	// Host models the PIM server's host CPU for modeled durations. Zero
 	// value means hostmodel.PIMHost.
 	Host hostmodel.Model
+	// DisableBatchFusion forces one dpXOR launch per query even when a
+	// cluster could fuse several selector streams into one database pass.
+	// Exists for A/B benchmarking; production keeps fusion on.
+	DisableBatchFusion bool
 }
 
 // DefaultConfig returns the paper's evaluation configuration: 2048 DPUs,
@@ -150,11 +154,13 @@ type cluster struct {
 	// recordsPerDPU is B_d: each DPU's share of the database in records,
 	// a multiple of 64 so selector words never straddle DPUs.
 	recordsPerDPU int
-	// args holds each DPU's precomputed kernel argument block.
-	args [][]byte
 	// layout offsets (identical on every DPU of the cluster).
 	selOffset int
 	outOffset int
+	// maxBatch is the widest fused batch one DPXOR launch on this cluster
+	// carries (bounded by per-DPU WRAM and the MRAM selector/output
+	// regions sized at load time). 1 means fusion is unavailable.
+	maxBatch int
 	// resident is true when the whole chunk fits in MRAM and was
 	// preloaded (the paper's default "one-shot" mode, §3.3). When false,
 	// queries stream the database through MRAM in `passes` batches of
@@ -234,24 +240,47 @@ func (e *Engine) LoadDatabase(db *database.DB) error {
 	recordsPerDPU := (n + dpusPerCluster - 1) / dpusPerCluster
 	recordsPerDPU = (recordsPerDPU + 63) / 64 * 64
 
-	// Resident ("one-shot", §3.3) when the whole chunk plus selector fits
+	// The fused batch width is bounded first by per-DPU WRAM (the kernel
+	// keeps one partial per tasklet per stream on chip), then by the MRAM
+	// room left for B selector streams and B subresults.
+	wramBatch := pimkernel.MaxFusedSelectors(e.cfg.PIM, recordSize)
+
+	// Resident ("one-shot", §3.3) when the whole chunk plus selectors fit
 	// in MRAM; otherwise fall back to streaming the database through MRAM
-	// in batches per query.
-	resident := mramFootprint(recordsPerDPU, recordSize) <= e.cfg.PIM.MRAMPerDPU
+	// in batches per query. In both regimes, pick the widest fused batch
+	// that still fits — fusion amortises the dominant per-pass costs (the
+	// chunk DMA and, in streaming mode, restaging the database), so width
+	// beats per-pass capacity.
+	maxBatch := 1
+	resident := false
 	perPass := recordsPerDPU
+	for b := wramBatch; b >= 1; b-- {
+		if mramFootprint(recordsPerDPU, recordSize, b) <= e.cfg.PIM.MRAMPerDPU {
+			maxBatch = b
+			resident = true
+			break
+		}
+	}
 	passes := 1
 	if !resident {
-		perPass = maxRecordsFitting(e.cfg.PIM.MRAMPerDPU, recordSize)
-		if perPass < 64 {
+		for b := wramBatch; b >= 1; b-- {
+			if fit := maxRecordsFitting(e.cfg.PIM.MRAMPerDPU, recordSize, b); fit >= 64 {
+				maxBatch = b
+				perPass = fit
+				break
+			}
+		}
+		if perPass == recordsPerDPU || perPass < 64 {
 			return fmt.Errorf("impir: MRAM of %d bytes cannot hold even one 64-record batch of %d-byte records",
 				e.cfg.PIM.MRAMPerDPU, recordSize)
 		}
 		passes = (recordsPerDPU + perPass - 1) / perPass
 	}
 
-	// MRAM layout: [db chunk | selector bits | subresult], 8-aligned.
+	// MRAM layout: [db chunk | maxBatch selector streams | maxBatch
+	// subresults], 8-aligned.
 	selOffset := align8(perPass * recordSize)
-	outOffset := align8(selOffset + perPass/8)
+	outOffset := align8(selOffset + maxBatch*perPass/8)
 
 	clusters := make([]*cluster, e.cfg.Clusters)
 	for ci := range clusters {
@@ -261,22 +290,14 @@ func (e *Engine) LoadDatabase(db *database.DB) error {
 			recordsPerDPU:  recordsPerDPU,
 			selOffset:      selOffset,
 			outOffset:      outOffset,
-			args:           make([][]byte, dpusPerCluster),
+			maxBatch:       maxBatch,
 			resident:       resident,
 			passes:         passes,
 			perPassRecords: perPass,
 		}
-		args := pimkernel.DPXORArgs{
-			DBOffset:   0,
-			NumRecords: uint64(perPass),
-			RecordSize: uint64(recordSize),
-			SelOffset:  uint64(selOffset),
-			OutOffset:  uint64(outOffset),
-		}.Marshal()
 		for i := 0; i < dpusPerCluster; i++ {
 			dpuID := ci*dpusPerCluster + i
 			c.dpuIDs[i] = dpuID
-			c.args[i] = args
 			if resident {
 				if err := e.sys.Preload(dpuID, 0, dbSlice(padded, i*recordsPerDPU, recordsPerDPU)); err != nil {
 					return fmt.Errorf("impir: preload cluster %d dpu %d: %w", ci, i, err)
@@ -292,18 +313,19 @@ func (e *Engine) LoadDatabase(db *database.DB) error {
 	return nil
 }
 
-// mramFootprint is the per-DPU MRAM demand of a chunk of the given size.
-func mramFootprint(records, recordSize int) int {
-	return align8(align8(records*recordSize)+records/8) + recordSize
+// mramFootprint is the per-DPU MRAM demand of a chunk of the given size
+// carrying `batch` fused selector streams and subresults.
+func mramFootprint(records, recordSize, batch int) int {
+	return align8(align8(records*recordSize)+batch*(records/8)) + batch*recordSize
 }
 
 // maxRecordsFitting returns the largest 64-multiple record count whose
-// footprint fits the MRAM budget.
-func maxRecordsFitting(mram, recordSize int) int {
+// footprint (at the given fused batch width) fits the MRAM budget.
+func maxRecordsFitting(mram, recordSize, batch int) int {
 	lo, hi := 0, mram/recordSize/64+1
 	for lo < hi {
 		mid := (lo + hi + 1) / 2
-		if mramFootprint(mid*64, recordSize) <= mram {
+		if mramFootprint(mid*64, recordSize, batch) <= mram {
 			lo = mid
 		} else {
 			hi = mid - 1
@@ -385,19 +407,47 @@ func (c *cluster) selectorFlat(vec *bitvec.Vector) []byte {
 	return flat
 }
 
-// runCluster executes the PIM phases of one query on one cluster:
-// scatter the share vector (➌), launch dpXOR (➍), gather subresults (➎),
-// and XOR-fold them on the host (➏). In batched mode (database beyond
-// MRAM capacity) the database itself is also streamed through MRAM, one
-// pass per batch. Returns the server subresult and per-phase breakdown.
+// runCluster executes the PIM phases of one query on one cluster — a
+// width-1 fused pass.
 func (e *Engine) runCluster(c *cluster, vec *bitvec.Vector) ([]byte, metrics.Breakdown, error) {
+	results, bd, err := e.runClusterBatch(c, []*bitvec.Vector{vec})
+	if err != nil {
+		return nil, bd, err
+	}
+	return results[0], bd, nil
+}
+
+// runClusterBatch executes the PIM phases of a FUSED group of up to
+// c.maxBatch queries on one cluster: scatter every share vector (➌),
+// launch ONE dpXOR kernel carrying all B selector streams (➍), gather
+// the per-stream subresults (➎), and XOR-fold them on the host (➏). In
+// batched mode (database beyond MRAM capacity) the database itself is
+// also streamed through MRAM — once per pass for the whole group, which
+// is the fusion's biggest win: B queries share each chunk's DMA instead
+// of restaging it B times. Returns one subresult per share and the
+// group's combined per-phase breakdown.
+func (e *Engine) runClusterBatch(c *cluster, vecs []*bitvec.Vector) ([][]byte, metrics.Breakdown, error) {
+	var bd metrics.Breakdown
+	nq := len(vecs)
+	if nq == 0 {
+		return nil, bd, errors.New("impir: empty cluster group")
+	}
+	if nq > c.maxBatch {
+		return nil, bd, fmt.Errorf("impir: fused group of %d exceeds cluster batch capacity %d", nq, c.maxBatch)
+	}
+
 	c.mu.Lock()
 	defer c.mu.Unlock()
 
-	var bd metrics.Breakdown
 	recordSize := e.db.RecordSize()
-	flatSel := c.selectorFlat(vec)
-	result := make([]byte, recordSize)
+	flatSels := make([][]byte, nq)
+	for q, vec := range vecs {
+		flatSels[q] = c.selectorFlat(vec)
+	}
+	results := make([][]byte, nq)
+	for q := range results {
+		results[q] = make([]byte, recordSize)
+	}
 
 	selChunks := make([][]byte, len(c.dpuIDs))
 	var dbChunks [][]byte
@@ -413,31 +463,36 @@ func (e *Engine) runCluster(c *cluster, vec *bitvec.Vector) ([]byte, metrics.Bre
 			// 64-multiples, so the clamp stays kernel-aligned).
 			passRecords = c.recordsPerDPU - passBase
 		}
-		args := c.args
-		if passRecords != c.perPassRecords {
-			tail := pimkernel.DPXORArgs{
-				DBOffset:   0,
-				NumRecords: uint64(passRecords),
-				RecordSize: uint64(recordSize),
-				SelOffset:  uint64(c.selOffset),
-				OutOffset:  uint64(c.outOffset),
-			}.Marshal()
-			args = make([][]byte, len(c.dpuIDs))
-			for i := range args {
-				args[i] = tail
-			}
-		}
+		argBlock := pimkernel.DPXORArgs{
+			DBOffset:     0,
+			NumRecords:   uint64(passRecords),
+			RecordSize:   uint64(recordSize),
+			SelOffset:    uint64(c.selOffset),
+			OutOffset:    uint64(c.outOffset),
+			NumSelectors: uint64(nq),
+		}.Marshal()
+		args := make([][]byte, len(c.dpuIDs))
+		selStride := passRecords / 8
 		for i := range c.dpuIDs {
 			recStart := i*c.recordsPerDPU + passBase
 			selStart := recStart / 8
-			selChunks[i] = flatSel[selStart : selStart+passRecords/8]
+			args[i] = argBlock
+			// The kernel reads stream q at SelOffset + q×(passRecords/8);
+			// pack each DPU's B per-pass selector slices back to back so
+			// one scatter stages the whole group.
+			combined := make([]byte, nq*selStride)
+			for q := range flatSels {
+				copy(combined[q*selStride:], flatSels[q][selStart:selStart+selStride])
+			}
+			selChunks[i] = combined
 			if !c.resident {
 				dbChunks[i] = dbSlice(e.db, recStart, passRecords)
 			}
 		}
 
-		// Batched mode only: stage this pass's database chunks (§3.3's
-		// adaptation; in resident mode the DB was preloaded for free).
+		// Batched mode only: stage this pass's database chunks ONCE for
+		// the whole fused group (§3.3's adaptation; in resident mode the
+		// DB was preloaded for free).
 		if !c.resident {
 			start := time.Now()
 			cost, err := e.sys.Scatter(c.dpuIDs, 0, dbChunks)
@@ -447,7 +502,7 @@ func (e *Engine) runCluster(c *cluster, vec *bitvec.Vector) ([]byte, metrics.Bre
 			bd.AddPhase(metrics.PhaseCopyToPIM, time.Since(start), cost.Modeled)
 		}
 
-		// ➌ scatter share-vector chunks.
+		// ➌ scatter the group's share-vector chunks.
 		start := time.Now()
 		scatterCost, err := e.sys.Scatter(c.dpuIDs, c.selOffset, selChunks)
 		if err != nil {
@@ -455,7 +510,7 @@ func (e *Engine) runCluster(c *cluster, vec *bitvec.Vector) ([]byte, metrics.Bre
 		}
 		bd.AddPhase(metrics.PhaseCopyToPIM, time.Since(start), scatterCost.Modeled)
 
-		// ➍ dpXOR kernel.
+		// ➍ one dpXOR kernel launch carrying all B selector streams.
 		start = time.Now()
 		launchCost, err := e.sys.Launch(c.dpuIDs, pimkernel.DPXOR{}, args)
 		if err != nil {
@@ -463,26 +518,28 @@ func (e *Engine) runCluster(c *cluster, vec *bitvec.Vector) ([]byte, metrics.Bre
 		}
 		bd.AddPhase(metrics.PhaseDpXOR, time.Since(start), launchCost.Modeled)
 
-		// ➎ gather per-DPU subresults.
+		// ➎ gather the per-DPU, per-stream subresults in one transfer.
 		start = time.Now()
-		subresults, gatherCost, err := e.sys.Gather(c.dpuIDs, c.outOffset, recordSize)
+		subresults, gatherCost, err := e.sys.Gather(c.dpuIDs, c.outOffset, nq*recordSize)
 		if err != nil {
 			return nil, bd, fmt.Errorf("impir: gather: %w", err)
 		}
 		bd.AddPhase(metrics.PhaseCopyToHost, time.Since(start), gatherCost.Modeled)
 
-		// ➏ aggregate on the host.
+		// ➏ aggregate on the host, per stream.
 		start = time.Now()
 		for _, sub := range subresults {
-			if err := xorop.XORBytes(result, sub); err != nil {
-				return nil, bd, fmt.Errorf("impir: aggregate: %w", err)
+			for q := range results {
+				if err := xorop.XORBytes(results[q], sub[q*recordSize:(q+1)*recordSize]); err != nil {
+					return nil, bd, fmt.Errorf("impir: aggregate: %w", err)
+				}
 			}
 		}
 		bd.AddPhase(metrics.PhaseAggregate, time.Since(start),
-			e.cfg.Host.XORFoldDuration(len(subresults), recordSize))
+			e.cfg.Host.XORFoldDuration(nq*len(subresults), recordSize))
 	}
 
-	return result, bd, nil
+	return results, bd, nil
 }
 
 // Query processes a single PIR query end-to-end: per-query-parallel

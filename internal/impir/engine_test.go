@@ -317,12 +317,17 @@ func TestEvalModeString(t *testing.T) {
 	}
 }
 
-// TestClusterThroughputImproves: with fixed per-query PIM work, more
-// clusters must not reduce modeled batch throughput (Take-away 5).
+// TestClusterThroughputImproves: with fixed per-query PIM work and
+// fusion disabled, more clusters must not reduce modeled batch
+// throughput (Take-away 5 — replica parallelism). With fusion on, the
+// trade-off inverts: one wide cluster fuses the whole batch into a
+// single database pass, while splitting into replicas multiplies the
+// scan traffic — so a single fused cluster must beat its unfused self.
 func TestClusterThroughputImproves(t *testing.T) {
-	qpsFor := func(clusters int) float64 {
+	qpsFor := func(clusters int, disableFusion bool) float64 {
 		cfg := testConfig(clusters)
 		cfg.EvalWorkers = 8
+		cfg.DisableBatchFusion = disableFusion
 		eng, db := newLoadedEngine(t, cfg, 2048)
 		const batch = 16
 		keys := make([]*dpf.Key, batch)
@@ -336,10 +341,14 @@ func TestClusterThroughputImproves(t *testing.T) {
 		}
 		return stats.ModeledQPS()
 	}
-	one := qpsFor(1)
-	four := qpsFor(4)
-	if four < one*0.95 {
-		t.Fatalf("4 clusters modeled QPS %.1f < 1 cluster %.1f", four, one)
+	oneUnfused := qpsFor(1, true)
+	fourUnfused := qpsFor(4, true)
+	if fourUnfused < oneUnfused*0.95 {
+		t.Fatalf("unfused: 4 clusters modeled QPS %.1f < 1 cluster %.1f", fourUnfused, oneUnfused)
+	}
+	oneFused := qpsFor(1, false)
+	if oneFused <= oneUnfused {
+		t.Fatalf("fused single cluster QPS %.1f not above unfused %.1f", oneFused, oneUnfused)
 	}
 }
 

@@ -168,6 +168,7 @@ func newServerReport(cur, prev []metrics.SchedulerStats) *ServerReport {
 		r.Aggregate.Passes += d.Passes
 		r.Aggregate.CoalescedPasses += d.CoalescedPasses
 		r.Aggregate.CoalescedQueries += d.CoalescedQueries
+		r.Aggregate.FusedPasses += d.FusedPasses
 		r.Aggregate.TotalWait += d.TotalWait
 		r.Aggregate.Updates += d.Updates
 		for b := range d.PassWidths {

@@ -159,6 +159,10 @@ type BatchStats struct {
 	// hardware, including pipeline overlap between eval workers and DPU
 	// clusters.
 	ModeledLatency time.Duration
+	// Fused reports that the batch was served by fused one-pass scans
+	// (one database stream accumulating all queries) rather than one
+	// scan per query.
+	Fused bool
 }
 
 // ModeledQPS returns the modeled query throughput of the batch.
@@ -233,6 +237,10 @@ type SchedulerStats struct {
 	// CoalescedQueries counts single queries served through a coalesced
 	// pass rather than a solo engine pass.
 	CoalescedQueries uint64
+	// FusedPasses counts engine passes executed as fused one-pass scans:
+	// the whole batch shared one streaming pass over the database instead
+	// of paying one scan per query.
+	FusedPasses uint64
 	// PassWidths is a histogram of single-query pass widths: how many
 	// requests each engine pass served, bucketed by WidthBucket. Solo
 	// passes land in bucket 0; a healthy coalescing server under
@@ -409,6 +417,7 @@ func Delta(cur, prev SchedulerStats) SchedulerStats {
 		Passes:           cur.Passes - prev.Passes,
 		CoalescedPasses:  cur.CoalescedPasses - prev.CoalescedPasses,
 		CoalescedQueries: cur.CoalescedQueries - prev.CoalescedQueries,
+		FusedPasses:      cur.FusedPasses - prev.FusedPasses,
 		MaxDepth:         cur.MaxDepth,
 		Depth:            cur.Depth,
 		TotalWait:        cur.TotalWait - prev.TotalWait,
@@ -456,7 +465,7 @@ func DeltaStore(cur, prev StoreStats) StoreStats {
 // String renders the queue counters compactly for logs and reports.
 func (s SchedulerStats) String() string {
 	return fmt.Sprintf(
-		"submitted=%d rejected=%d cancelled=%d passes=%d coalesce=%.2f avg-wait=%v max-depth=%d epoch=%d",
+		"submitted=%d rejected=%d cancelled=%d passes=%d coalesce=%.2f fused=%d avg-wait=%v max-depth=%d epoch=%d",
 		s.Submitted, s.Rejected, s.Cancelled, s.Passes, s.AvgCoalesce(),
-		s.AvgWait().Round(time.Microsecond), s.MaxDepth, s.Epoch)
+		s.FusedPasses, s.AvgWait().Round(time.Microsecond), s.MaxDepth, s.Epoch)
 }

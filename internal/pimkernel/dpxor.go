@@ -42,12 +42,30 @@ type DPXORArgs struct {
 	RecordSize uint64
 	// SelOffset is where the packed selector bits for the chunk begin.
 	SelOffset uint64
-	// OutOffset is where the master tasklet writes the chunk subresult
-	// (RecordSize bytes).
+	// OutOffset is where the master tasklet writes the chunk subresults
+	// (NumSelectors × RecordSize bytes, one per selector stream).
 	OutOffset uint64
+	// NumSelectors is the number of fused selector streams this launch
+	// carries (the batch width B). Stream q's packed bits live at
+	// SelOffset + q×(NumRecords/8) and its subresult is written to
+	// OutOffset + q×RecordSize. 0 means 1 (a pre-fusion argument block).
+	NumSelectors uint64
 }
 
-const argsSize = 5 * 8
+// MaxSelectorsPerLaunch bounds the fused batch width one DPXOR launch
+// accepts; real WRAM capacity binds far earlier for most record sizes
+// (see MaxFusedSelectors).
+const MaxSelectorsPerLaunch = 64
+
+const argsSize = 6 * 8
+
+// batch returns the effective selector-stream count (≥ 1).
+func (a DPXORArgs) batch() int {
+	if a.NumSelectors == 0 {
+		return 1
+	}
+	return int(a.NumSelectors)
+}
 
 // Marshal encodes the argument block for pim.System.Launch.
 func (a DPXORArgs) Marshal() []byte {
@@ -57,6 +75,7 @@ func (a DPXORArgs) Marshal() []byte {
 	binary.LittleEndian.PutUint64(out[16:], a.RecordSize)
 	binary.LittleEndian.PutUint64(out[24:], a.SelOffset)
 	binary.LittleEndian.PutUint64(out[32:], a.OutOffset)
+	binary.LittleEndian.PutUint64(out[40:], uint64(a.batch()))
 	return out
 }
 
@@ -65,11 +84,12 @@ func parseArgs(raw []byte) (DPXORArgs, error) {
 		return DPXORArgs{}, fmt.Errorf("pimkernel: args block is %d bytes, want %d", len(raw), argsSize)
 	}
 	return DPXORArgs{
-		DBOffset:   binary.LittleEndian.Uint64(raw[0:]),
-		NumRecords: binary.LittleEndian.Uint64(raw[8:]),
-		RecordSize: binary.LittleEndian.Uint64(raw[16:]),
-		SelOffset:  binary.LittleEndian.Uint64(raw[24:]),
-		OutOffset:  binary.LittleEndian.Uint64(raw[32:]),
+		DBOffset:     binary.LittleEndian.Uint64(raw[0:]),
+		NumRecords:   binary.LittleEndian.Uint64(raw[8:]),
+		RecordSize:   binary.LittleEndian.Uint64(raw[16:]),
+		SelOffset:    binary.LittleEndian.Uint64(raw[24:]),
+		OutOffset:    binary.LittleEndian.Uint64(raw[32:]),
+		NumSelectors: binary.LittleEndian.Uint64(raw[40:]),
 	}, nil
 }
 
@@ -86,6 +106,9 @@ func (a DPXORArgs) Validate() error {
 		// Selector words must not straddle tasklet boundaries; the engine
 		// pads chunks to 64-record multiples.
 		return fmt.Errorf("pimkernel: record count %d must be a multiple of 64", a.NumRecords)
+	case a.NumSelectors > MaxSelectorsPerLaunch:
+		return fmt.Errorf("pimkernel: %d selector streams exceed the per-launch limit %d",
+			a.NumSelectors, MaxSelectorsPerLaunch)
 	}
 	return nil
 }
@@ -97,14 +120,64 @@ func (a DPXORArgs) Validate() error {
 // combines them with pim.Config.KernelDuration to evaluate paper-scale
 // configurations without materialising the database.
 func ModelCost(numRecords, recordSize, tasklets int) (instrCycles, dmaBytes int64) {
+	return ModelCostBatch(numRecords, recordSize, tasklets, 1)
+}
+
+// ModelCostBatch is ModelCost for a FUSED launch carrying `batch`
+// selector streams: the database chunk is DMA'd from MRAM once per pass
+// (the term fusion amortises), while selector checks, XOR accumulation,
+// the stage-2 folds, selector-stream DMA and subresult DMA all scale
+// with the batch.
+func ModelCostBatch(numRecords, recordSize, tasklets, batch int) (instrCycles, dmaBytes int64) {
+	if batch < 1 {
+		batch = 1
+	}
 	words := int64(recordSize / 8)
 	n := int64(numRecords)
-	instrCycles = n*cyclesRecordCheck + n/2*words*cyclesPerWordXOR
-	// Stage 2: master tasklet folds one partial per tasklet.
-	instrCycles += int64(tasklets) * words * cyclesPerWordXOR
-	// DMA: the database chunk, the selector bits, and the subresult.
-	dmaBytes = n*int64(recordSize) + n/8 + int64(recordSize)
+	b := int64(batch)
+	instrCycles = b*n*cyclesRecordCheck + b*(n/2)*words*cyclesPerWordXOR
+	// Stage 2: master tasklet folds one partial per tasklet per stream.
+	instrCycles += b * int64(tasklets) * words * cyclesPerWordXOR
+	// DMA: the database chunk ONCE, B selector streams, B subresults.
+	dmaBytes = n*int64(recordSize) + b*(n/8) + b*int64(recordSize)
 	return instrCycles, dmaBytes
+}
+
+// selBlockGroupsFor returns how many 64-record groups of selector words
+// one WRAM selector-buffer transfer covers per stream: 64 groups (512
+// bytes/stream) when the batch is narrow, halved until the combined
+// B-stream buffer fits the historical 512-byte footprint (floor 1).
+func selBlockGroupsFor(batch int) int {
+	sbg := 64
+	for sbg > 1 && batch*sbg*8 > 512 {
+		sbg /= 2
+	}
+	return sbg
+}
+
+// MaxFusedSelectors returns the widest batch B one DPXOR launch supports
+// for the given record size under cfg's WRAM budget: shared per-tasklet
+// partials (T×B×recordSize), each tasklet's record and selector buffers,
+// and the master tasklet's fold buffer must all fit WRAMPerDPU. Returns
+// at least 1 (a solo launch must always work) and at most
+// MaxSelectorsPerLaunch.
+func MaxFusedSelectors(cfg pim.Config, recordSize int) int {
+	recsPerDMA := pim.DMAMaxTransfer / recordSize
+	if recsPerDMA > 64 {
+		recsPerDMA = 64
+	}
+	for recsPerDMA&(recsPerDMA-1) != 0 {
+		recsPerDMA &= recsPerDMA - 1
+	}
+	t := cfg.TaskletsPerDPU
+	for b := MaxSelectorsPerLaunch; b > 1; b-- {
+		selBuf := b * selBlockGroupsFor(b) * 8
+		wram := t*b*recordSize + t*(recsPerDMA*recordSize+selBuf) + recordSize
+		if wram <= cfg.WRAMPerDPU {
+			return b
+		}
+	}
+	return 1
 }
 
 // DPXOR is the dpXOR kernel. One instance is stateless and reusable
@@ -117,9 +190,12 @@ var _ pim.Kernel = DPXOR{}
 func (DPXOR) Name() string { return "dpxor" }
 
 // Run implements pim.Kernel. Every tasklet scans an interleaved share of
-// the DPU's records (stage 1 of the parallel reduction), deposits its
-// partial into shared WRAM, and tasklet 0 folds the partials and writes
-// the DPU subresult to MRAM (stage 2).
+// the DPU's records (stage 1 of the parallel reduction), accumulating
+// one partial per fused selector stream, and tasklet 0 folds the
+// partials and writes the per-stream DPU subresults to MRAM (stage 2).
+// A fused launch (NumSelectors > 1) DMAs each MRAM record sub-chunk
+// ONCE and XORs it into every selecting stream's partial — the B-query
+// pass costs one chunk's worth of MRAM traffic instead of B.
 func (k DPXOR) Run(ctx *pim.TaskletCtx) error {
 	args, err := parseArgs(ctx.Args())
 	if err != nil {
@@ -130,6 +206,7 @@ func (k DPXOR) Run(ctx *pim.TaskletCtx) error {
 	}
 	recordSize := int(args.RecordSize)
 	numRecords := int(args.NumRecords)
+	b := args.batch()
 	t := ctx.NumTasklets()
 	tid := ctx.TaskletID()
 
@@ -144,20 +221,24 @@ func (k DPXOR) Run(ctx *pim.TaskletCtx) error {
 		lastGroup = groups
 	}
 
-	partials, err := ctx.SharedWRAM("dpxor.partials", t*recordSize)
+	partials, err := ctx.SharedWRAM("dpxor.partials", t*b*recordSize)
 	if err != nil {
 		return err
 	}
-	acc := partials[tid*recordSize : (tid+1)*recordSize]
+	accs := make([][]byte, b)
+	for q := 0; q < b; q++ {
+		off := (tid*b + q) * recordSize
+		accs[q] = partials[off : off+recordSize]
+	}
 
 	if firstGroup < lastGroup {
-		if err := k.scanRange(ctx, args, acc, firstGroup, lastGroup); err != nil {
+		if err := k.scanRange(ctx, args, accs, firstGroup, lastGroup); err != nil {
 			return err
 		}
 	}
 
-	// Stage 2: wait for every tasklet's partial, then the master tasklet
-	// folds them (Alg. 1 MASTERXOR).
+	// Stage 2: wait for every tasklet's partials, then the master tasklet
+	// folds them per stream (Alg. 1 MASTERXOR).
 	if !ctx.Barrier() {
 		return errors.New("pimkernel: launch aborted")
 	}
@@ -168,20 +249,33 @@ func (k DPXOR) Run(ctx *pim.TaskletCtx) error {
 	if err != nil {
 		return err
 	}
-	for i := 0; i < t; i++ {
-		if err := xorop.XORBytes(out, partials[i*recordSize:(i+1)*recordSize]); err != nil {
+	for q := 0; q < b; q++ {
+		for i := range out {
+			out[i] = 0
+		}
+		for i := 0; i < t; i++ {
+			off := (i*b + q) * recordSize
+			if err := xorop.XORBytes(out, partials[off:off+recordSize]); err != nil {
+				return err
+			}
+		}
+		ctx.ChargeCycles(int64(t) * int64(recordSize/8) * cyclesPerWordXOR)
+		if err := writeMRAMChunked(ctx, int(args.OutOffset)+q*recordSize, out); err != nil {
 			return err
 		}
 	}
-	ctx.ChargeCycles(int64(t) * int64(recordSize/8) * cyclesPerWordXOR)
-	return writeMRAMChunked(ctx, int(args.OutOffset), out)
+	return nil
 }
 
 // scanRange processes the tasklet's 64-record groups: for each group, DMA
-// the selector word and the records into WRAM, then XOR-accumulate the
-// selected ones.
-func (DPXOR) scanRange(ctx *pim.TaskletCtx, args DPXORArgs, acc []byte, firstGroup, lastGroup int) error {
+// the B selector words and — unless every stream's word is zero — the
+// records into WRAM once, then XOR-accumulate the selected records into
+// each stream's partial.
+func (DPXOR) scanRange(ctx *pim.TaskletCtx, args DPXORArgs, accs [][]byte, firstGroup, lastGroup int) error {
 	recordSize := int(args.RecordSize)
+	b := args.batch()
+	// Stream q's selector bits start at SelOffset + q × stride.
+	selStride := int(args.NumRecords) / 8
 
 	// Records are fetched in sub-chunks of ≤ one DMA transfer.
 	recsPerDMA := pim.DMAMaxTransfer / recordSize
@@ -197,10 +291,11 @@ func (DPXOR) scanRange(ctx *pim.TaskletCtx, args DPXORArgs, acc []byte, firstGro
 	if err != nil {
 		return err
 	}
-	// Selector words are fetched in blocks to amortise DMA setup: 64
-	// groups (512 bytes) per transfer.
-	const selBlockGroups = 64
-	selBuf, err := ctx.AllocWRAM(selBlockGroups * 8)
+	// Selector words are fetched in blocks to amortise DMA setup. The
+	// block shrinks as the batch widens so the combined B-stream buffer
+	// keeps the historical 512-byte WRAM footprint.
+	selBlockGroups := selBlockGroupsFor(b)
+	selBuf, err := ctx.AllocWRAM(b * selBlockGroups * 8)
 	if err != nil {
 		return err
 	}
@@ -211,39 +306,57 @@ func (DPXOR) scanRange(ctx *pim.TaskletCtx, args DPXORArgs, acc []byte, firstGro
 			blockEnd = lastGroup
 		}
 		nWords := blockEnd - blockStart
-		if err := ctx.ReadMRAM(int(args.SelOffset)+blockStart*8, selBuf[:nWords*8]); err != nil {
-			return err
+		for q := 0; q < b; q++ {
+			dst := selBuf[q*selBlockGroups*8:]
+			if err := ctx.ReadMRAM(int(args.SelOffset)+q*selStride+blockStart*8, dst[:nWords*8]); err != nil {
+				return err
+			}
 		}
 
 		for g := 0; g < nWords; g++ {
-			word := binary.LittleEndian.Uint64(selBuf[g*8:])
 			group := blockStart + g
-			ctx.ChargeCycles(64 * cyclesRecordCheck)
-			if word == 0 {
-				// No record of this group is selected: the DMA fetch of
-				// the records can be skipped entirely. (This leaks only
-				// the server's own pseudorandom share, never the query.)
+			var union uint64
+			for q := 0; q < b; q++ {
+				union |= binary.LittleEndian.Uint64(selBuf[(q*selBlockGroups+g)*8:])
+			}
+			ctx.ChargeCycles(int64(b) * 64 * cyclesRecordCheck)
+			if union == 0 {
+				// No stream selects any record of this group: the DMA
+				// fetch of the records can be skipped entirely. (This
+				// leaks only the server's own pseudorandom shares, never
+				// the query.)
 				continue
 			}
 			baseRecord := group * 64
 			for sub := 0; sub < 64; sub += recsPerDMA {
-				subSel := word >> uint(sub)
+				subUnion := union >> uint(sub)
 				if recsPerDMA < 64 {
-					subSel &= (1 << uint(recsPerDMA)) - 1
+					subUnion &= (1 << uint(recsPerDMA)) - 1
 				}
-				if subSel == 0 {
+				if subUnion == 0 {
 					continue
 				}
+				// ONE record DMA serves every stream of the batch.
 				recOff := int(args.DBOffset) + (baseRecord+sub)*recordSize
 				if err := ctx.ReadMRAM(recOff, recBuf[:recsPerDMA*recordSize]); err != nil {
 					return err
 				}
-				sel := [1]uint64{subSel}
-				if err := xorop.Accumulate(acc, recBuf[:recsPerDMA*recordSize], recordSize, sel[:]); err != nil {
-					return err
+				for q := 0; q < b; q++ {
+					word := binary.LittleEndian.Uint64(selBuf[(q*selBlockGroups+g)*8:])
+					subSel := word >> uint(sub)
+					if recsPerDMA < 64 {
+						subSel &= (1 << uint(recsPerDMA)) - 1
+					}
+					if subSel == 0 {
+						continue
+					}
+					sel := [1]uint64{subSel}
+					if err := xorop.Accumulate(accs[q], recBuf[:recsPerDMA*recordSize], recordSize, sel[:]); err != nil {
+						return err
+					}
+					setBits := bits.OnesCount64(subSel)
+					ctx.ChargeCycles(int64(setBits) * int64(recordSize/8) * cyclesPerWordXOR)
 				}
-				setBits := bits.OnesCount64(subSel)
-				ctx.ChargeCycles(int64(setBits) * int64(recordSize/8) * cyclesPerWordXOR)
 			}
 		}
 	}

@@ -197,13 +197,24 @@ func TestKernelRejectsBadArgsBlock(t *testing.T) {
 }
 
 func TestArgsMarshalRoundTrip(t *testing.T) {
-	a := DPXORArgs{DBOffset: 8, NumRecords: 640, RecordSize: 32, SelOffset: 4096, OutOffset: 8192}
+	a := DPXORArgs{DBOffset: 8, NumRecords: 640, RecordSize: 32, SelOffset: 4096, OutOffset: 8192, NumSelectors: 2}
 	back, err := parseArgs(a.Marshal())
 	if err != nil {
 		t.Fatal(err)
 	}
 	if back != a {
 		t.Fatalf("round trip: got %+v, want %+v", back, a)
+	}
+
+	// A pre-fusion args block (NumSelectors unset) normalises to one
+	// selector stream on the wire.
+	legacy := DPXORArgs{DBOffset: 8, NumRecords: 640, RecordSize: 32, SelOffset: 4096, OutOffset: 8192}
+	back, err = parseArgs(legacy.Marshal())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.NumSelectors != 1 {
+		t.Fatalf("legacy args marshalled NumSelectors=%d, want 1", back.NumSelectors)
 	}
 }
 

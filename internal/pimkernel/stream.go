@@ -27,9 +27,15 @@ type StreamArgs struct {
 	Length uint64
 	// OutOffset is where tasklet 0 writes the 8-byte XOR checksum.
 	OutOffset uint64
+	// Passes is how many times the region is streamed back to back.
+	// 0 means 1. The per-query dpXOR regime streams the chunk B times
+	// for a batch of B; the fused regime streams it once — setting
+	// Passes to each makes the traffic difference directly measurable
+	// with this probe kernel.
+	Passes uint64
 }
 
-const streamArgsSize = 3 * 8
+const streamArgsSize = 4 * 8
 
 // Marshal encodes the argument block for pim.System.Launch.
 func (a StreamArgs) Marshal() []byte {
@@ -37,6 +43,11 @@ func (a StreamArgs) Marshal() []byte {
 	binary.LittleEndian.PutUint64(out[0:], a.Offset)
 	binary.LittleEndian.PutUint64(out[8:], a.Length)
 	binary.LittleEndian.PutUint64(out[16:], a.OutOffset)
+	passes := a.Passes
+	if passes == 0 {
+		passes = 1
+	}
+	binary.LittleEndian.PutUint64(out[24:], passes)
 	return out
 }
 
@@ -48,12 +59,15 @@ func parseStreamArgs(raw []byte) (StreamArgs, error) {
 		Offset:    binary.LittleEndian.Uint64(raw[0:]),
 		Length:    binary.LittleEndian.Uint64(raw[8:]),
 		OutOffset: binary.LittleEndian.Uint64(raw[16:]),
+		Passes:    binary.LittleEndian.Uint64(raw[24:]),
 	}
 	switch {
 	case a.Offset%pim.DMAAlign != 0 || a.OutOffset%pim.DMAAlign != 0:
 		return StreamArgs{}, errors.New("pimkernel: stream offsets must be 8-byte aligned")
 	case a.Length == 0 || a.Length%pim.DMAAlign != 0:
 		return StreamArgs{}, fmt.Errorf("pimkernel: stream length %d must be a positive multiple of %d", a.Length, pim.DMAAlign)
+	case a.Passes == 0:
+		return StreamArgs{}, errors.New("pimkernel: stream pass count must be ≥ 1")
 	}
 	return a, nil
 }
@@ -95,18 +109,20 @@ func (Stream) Run(ctx *pim.TaskletCtx) error {
 			return err
 		}
 		var acc uint64
-		for off := first * 8; off < last*8; off += pim.DMAMaxTransfer {
-			n := last*8 - off
-			if n > pim.DMAMaxTransfer {
-				n = pim.DMAMaxTransfer
+		for pass := uint64(0); pass < args.Passes; pass++ {
+			for off := first * 8; off < last*8; off += pim.DMAMaxTransfer {
+				n := last*8 - off
+				if n > pim.DMAMaxTransfer {
+					n = pim.DMAMaxTransfer
+				}
+				if err := ctx.ReadMRAM(int(args.Offset)+off, buf[:n]); err != nil {
+					return err
+				}
+				for i := 0; i < n; i += 8 {
+					acc ^= binary.LittleEndian.Uint64(buf[i:])
+				}
+				ctx.ChargeCycles(int64(n) / 8 * cyclesPerStreamWord)
 			}
-			if err := ctx.ReadMRAM(int(args.Offset)+off, buf[:n]); err != nil {
-				return err
-			}
-			for i := 0; i < n; i += 8 {
-				acc ^= binary.LittleEndian.Uint64(buf[i:])
-			}
-			ctx.ChargeCycles(int64(n) / 8 * cyclesPerStreamWord)
 		}
 		binary.LittleEndian.PutUint64(sums[tid*8:], acc)
 	}

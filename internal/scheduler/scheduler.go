@@ -46,6 +46,7 @@ type Engine interface {
 	Query(*dpf.Key) ([]byte, metrics.Breakdown, error)
 	QueryBatch([]*dpf.Key) ([][]byte, metrics.BatchStats, error)
 	QueryShare(*bitvec.Vector) ([]byte, metrics.Breakdown, error)
+	QueryShareBatch([]*bitvec.Vector) ([][]byte, metrics.BatchStats, error)
 	ApplyUpdates(updates map[uint64][]byte) error
 }
 
@@ -139,6 +140,7 @@ type Scheduler struct {
 	passes           atomic.Uint64
 	coalescedPasses  atomic.Uint64
 	coalescedQueries atomic.Uint64
+	fusedPasses      atomic.Uint64
 	totalWaitNanos   atomic.Int64
 	maxDepth         atomic.Int64
 	passWidths       [metrics.NumWidthBuckets]atomic.Uint64
@@ -320,6 +322,7 @@ func (s *Scheduler) Stats() metrics.SchedulerStats {
 		Passes:           s.passes.Load(),
 		CoalescedPasses:  s.coalescedPasses.Load(),
 		CoalescedQueries: s.coalescedQueries.Load(),
+		FusedPasses:      s.fusedPasses.Load(),
 		MaxDepth:         int(s.maxDepth.Load()),
 		Depth:            len(s.queue),
 		TotalWait:        time.Duration(s.totalWaitNanos.Load()),
@@ -506,6 +509,9 @@ func (s *Scheduler) runCoalesced(batch []*request) {
 	}
 	s.coalescedPasses.Add(1)
 	s.coalescedQueries.Add(uint64(len(batch)))
+	if stats.Fused {
+		s.fusedPasses.Add(1)
+	}
 	s.passWidths[metrics.WidthBucket(len(batch))].Add(1)
 	perQuery := stats.PerQuery
 	for i, r := range batch {
@@ -536,6 +542,9 @@ func (s *Scheduler) runSolo(req *request) {
 			s.finish(req, err)
 			return
 		}
+		if stats.Fused {
+			s.fusedPasses.Add(1)
+		}
 		req.results = results
 		req.stats = stats
 		s.finish(req, nil)
@@ -549,22 +558,19 @@ func (s *Scheduler) runSolo(req *request) {
 		req.bd = bd
 		s.finish(req, nil)
 	case reqShareBatch:
-		results := make([][]byte, len(req.shares))
-		for i, sh := range req.shares {
-			// The submitter is the only waiter; if it is gone, spare the
-			// engine the remaining shares.
-			if err := req.ctx.Err(); err != nil {
-				s.finish(req, err)
-				return
-			}
-			result, _, err := s.eng.QueryShare(sh)
-			if err != nil {
-				s.finish(req, fmt.Errorf("share %d: %w", i, err))
-				return
-			}
-			results[i] = result
+		// One fused engine pass for the whole share batch: the engine
+		// streams the database once for all shares instead of once per
+		// share.
+		results, stats, err := s.eng.QueryShareBatch(req.shares)
+		if err != nil {
+			s.finish(req, err)
+			return
+		}
+		if stats.Fused {
+			s.fusedPasses.Add(1)
 		}
 		req.results = results
+		req.stats = stats
 		s.finish(req, nil)
 	default:
 		s.finish(req, fmt.Errorf("scheduler: unknown request kind %d", req.kind))

@@ -84,6 +84,19 @@ func (f *fakeEngine) QueryShare(sh *bitvec.Vector) ([]byte, metrics.Breakdown, e
 	return []byte{2}, metrics.Breakdown{}, nil
 }
 
+func (f *fakeEngine) QueryShareBatch(shares []*bitvec.Vector) ([][]byte, metrics.BatchStats, error) {
+	f.enter()
+	defer f.leave()
+	f.checkOverlap()
+	f.batchPasses.Add(1)
+	time.Sleep(f.batchDelay)
+	out := make([][]byte, len(shares))
+	for i := range out {
+		out[i] = []byte{2, byte(i)}
+	}
+	return out, metrics.BatchStats{Queries: len(shares), Fused: len(shares) > 1}, nil
+}
+
 func (f *fakeEngine) ApplyUpdates(updates map[uint64][]byte) error {
 	f.updates.Add(1)
 	defer f.updates.Add(-1)
@@ -507,6 +520,11 @@ func TestShareBatchIsOneAdmissionUnit(t *testing.T) {
 	}
 	if stats := s0.Stats(); stats.Submitted != 2 || stats.Passes != 2 {
 		t.Errorf("two share batches should be two admissions/passes: %+v", stats)
+	}
+	// The CPU engine fuses multi-share batches into one database scan;
+	// both passes must be counted as fused.
+	if stats := s0.Stats(); stats.FusedPasses != 2 {
+		t.Errorf("FusedPasses = %d, want 2: %+v", stats.FusedPasses, stats)
 	}
 }
 

@@ -119,12 +119,25 @@ func accumulate32(acc, db []byte, sel []uint64) {
 	le.PutUint64(acc[24:32], le.Uint64(acc[24:32])^a3)
 }
 
+// wideStackWords caps the record width (in 64-bit words) that
+// accumulateWide can scratch on the stack: 64 words = 512-byte records,
+// covering every record size the paper and bench configs use.
+const wideStackWords = 64
+
 // accumulateWide handles any record size that is a multiple of 8 bytes,
-// unrolling the per-record XOR four words (256 bits) per iteration.
+// unrolling the per-record XOR four words (256 bits) per iteration. For
+// records up to wideStackWords×8 bytes the scratch accumulator lives on
+// the stack, so the hot loop performs zero heap allocations.
 func accumulateWide(acc, db []byte, recordSize int, sel []uint64) {
 	le := binary.LittleEndian
 	words := recordSize / 8
-	tmp := make([]uint64, words)
+	var stack [wideStackWords]uint64
+	var tmp []uint64
+	if words <= wideStackWords {
+		tmp = stack[:words]
+	} else {
+		tmp = make([]uint64, words)
+	}
 	for w, word := range sel {
 		if word == 0 {
 			continue

@@ -121,6 +121,17 @@ run_benchmarks() {
         echo "--- Keyword retrieval (load factor + k-probe lookup cost) ---"
         go run ./cmd/impir-bench -experiment keyword -verify-records 2048
     fi
+
+    # Fused one-pass batch dpXOR: a memory-bound measured comparison of
+    # one fused B-selector scan vs B independent scans (per-query time
+    # must fall, effective scan bandwidth must rise with B), plus modeled
+    # engine cross-checks and a fused-vs-per-query bit-exactness
+    # verification on the CPU, GPU and PIM engines.
+    if [[ "${PACKAGE}" == "./..." || "${PACKAGE}" == "." ]]; then
+        echo ""
+        echo "--- Batch fusion (fused one-pass dpXOR vs per-query scans) ---"
+        go run ./cmd/impir-bench -experiment batchfuse -verify-records 2048
+    fi
 }
 
 # Machine-readable experiment reports: the model-layer experiments as
