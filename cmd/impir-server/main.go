@@ -58,6 +58,7 @@ import (
 	"os"
 	"os/signal"
 	"reflect"
+	"strconv"
 	"syscall"
 	"time"
 
@@ -105,6 +106,11 @@ func run() error {
 			"max single queries per coalesced pass (0 = 64)")
 		drainTimeout = flag.Duration("drain-timeout", 10*time.Second,
 			"graceful drain bound on SIGTERM/SIGINT before in-flight requests are abandoned")
+
+		adminAddr = flag.String("admin-addr", "",
+			"serve the operator endpoint (GET /metrics, /healthz, /readyz) on this address; empty disables it")
+		slowQuery = flag.Duration("slow-query", 0,
+			"log a structured trace for any query frame taking at least this long end-to-end (0 = off)")
 	)
 	flag.Parse()
 
@@ -140,15 +146,23 @@ func run() error {
 		}
 	}
 
+	// Sharded invocations stamp slow-query traces with their shard so an
+	// operator tailing logs from many processes can tell them apart.
+	traceShard := ""
+	if *deploymentPath != "" || *manifestPath != "" {
+		traceShard = strconv.Itoa(*shard)
+	}
 	srv, err := impir.NewServer(impir.ServerConfig{
-		Engine:           kind,
-		DPUs:             *dpus,
-		Clusters:         *clusters,
-		Threads:          *threads,
-		QueueDepth:       *queueDepth,
-		CoalesceWindow:   *coalesceWindow,
-		MaxCoalesce:      *maxCoalesce,
-		AllowWireUpdates: *allowUpdates,
+		Engine:             kind,
+		DPUs:               *dpus,
+		Clusters:           *clusters,
+		Threads:            *threads,
+		QueueDepth:         *queueDepth,
+		CoalesceWindow:     *coalesceWindow,
+		MaxCoalesce:        *maxCoalesce,
+		AllowWireUpdates:   *allowUpdates,
+		SlowQueryThreshold: *slowQuery,
+		TraceShard:         traceShard,
 	})
 	if err != nil {
 		return err
@@ -163,6 +177,22 @@ func run() error {
 	digest := srv.Database().Digest()
 	log.Printf("replica digest %x", digest[:8])
 
+	// The admin endpoint starts before the query listener so /readyz can
+	// answer 503 during the (potentially long) PIM preload of a restarted
+	// replica — an orchestrator sees "up but not ready", not "down".
+	// Admin serving errors after shutdown are expected (ErrServerClosed);
+	// anything earlier is fatal because an operator relying on probes
+	// must not run blind.
+	adminErr := make(chan error, 1)
+	if *adminAddr != "" {
+		alis, err := net.Listen("tcp", *adminAddr)
+		if err != nil {
+			return fmt.Errorf("admin listener: %w", err)
+		}
+		go func() { adminErr <- srv.ServeAdmin(alis) }()
+		log.Printf("admin endpoint (metrics, healthz, readyz) on %s", alis.Addr())
+	}
+
 	lis, err := net.Listen("tcp", *listen)
 	if err != nil {
 		return err
@@ -174,7 +204,13 @@ func run() error {
 
 	stop := make(chan os.Signal, 1)
 	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
-	<-stop
+	select {
+	case <-stop:
+	case err := <-adminErr:
+		return fmt.Errorf("admin endpoint failed: %w", err)
+	}
+	// Shutdown flips /readyz to 503 first, drains queries, and stops the
+	// admin listener last — so the orchestrator watches the whole drain.
 	log.Printf("draining (up to %v)…", *drainTimeout)
 	ctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
 	defer cancel()

@@ -109,6 +109,23 @@
 // ServerConfig's QueueDepth, CoalesceWindow and MaxCoalesce, and
 // Server.QueueStats for the observed queue behaviour.
 //
+// # Operability
+//
+// Server.ServeAdmin serves an operator plane on its own listener,
+// separate from the binary query protocol: /metrics is a Prometheus
+// text exposition (stdlib-only registry — per-frame request counters,
+// per-stage latency histograms, scheduler counters mirrored at scrape
+// time so they can never disagree with QueueStats, database gauges),
+// /healthz reports the process up, and /readyz reports 200 only while
+// the database is loaded, the query listener accepts, and no update
+// quiesce or drain is underway. ServerConfig.SlowQueryThreshold logs a
+// structured one-line trace (frame, shard, queue wait, engine pass,
+// coalesce width, fused flag, per-phase breakdown) for every dispatch
+// crossing it. On the client, NewClientObs packages the interceptor
+// chain into per-call latency/outcome metrics plus retry/hedge mirrors,
+// scrapeable or snapshotable. Everything exported is an operational
+// aggregate: indices' timing, never their values.
+//
 // # Batched execution
 //
 // A batch pass — a client's explicit RetrieveBatch, or single queries

@@ -5,41 +5,11 @@ import (
 	"time"
 )
 
-// TestHistIndexMonotone: the bucket index must be monotone in the value
-// and every bucket's representative must bound the values mapped to it
-// from above (quantiles never under-report).
-func TestHistIndexMonotone(t *testing.T) {
-	prev := -1
-	for u := int64(0); u < 1<<20; u = u*5/4 + 1 {
-		idx := histIndex(u)
-		if idx < prev {
-			t.Fatalf("histIndex(%d) = %d < previous %d", u, idx, prev)
-		}
-		if idx >= histLen {
-			t.Fatalf("histIndex(%d) = %d out of range", u, idx)
-		}
-		if rep := histValue(idx); rep < u {
-			t.Fatalf("histValue(%d) = %d under-reports value %d", idx, rep, u)
-		}
-		prev = idx
-	}
-	// The relative error of the representative stays bounded by the
-	// sub-bucket resolution.
-	for _, u := range []int64{100, 1000, 10_000, 100_000, 1_000_000} {
-		rep := histValue(histIndex(u))
-		if float64(rep-u) > float64(u)/(histSubBuckets/2) {
-			t.Errorf("value %d maps to representative %d: relative error too big", u, rep)
-		}
-	}
-	// Values past the top octave clamp instead of overflowing.
-	if idx := histIndex(1 << 40); idx != histLen-1 {
-		t.Errorf("huge value mapped to %d, want top bucket %d", idx, histLen-1)
-	}
-}
-
-func TestHistQuantiles(t *testing.T) {
+// The histogram implementation and its invariant tests live in
+// internal/obs; this checks the aliases preserve loadgen's observable
+// quantile behaviour (upper-edge representatives, interval deltas).
+func TestHistAliasBehaviour(t *testing.T) {
 	var h Hist
-	// 1000 observations: 1ms, 2ms, ..., 1000ms.
 	for i := 1; i <= 1000; i++ {
 		h.Record(time.Duration(i) * time.Millisecond)
 	}
@@ -47,26 +17,13 @@ func TestHistQuantiles(t *testing.T) {
 	if s.Count != 1000 {
 		t.Fatalf("count = %d", s.Count)
 	}
-	check := func(q float64, want time.Duration) {
-		t.Helper()
-		got := s.Quantile(q)
-		// Histogram resolution: within one sub-bucket of the true value.
-		if got < want || float64(got-want) > float64(want)/(histSubBuckets/2)+float64(histUnit) {
-			t.Errorf("Quantile(%v) = %v, want ≈%v (never below)", q, got, want)
-		}
+	if q := s.Quantile(0.5); q < 500*time.Millisecond || q > 540*time.Millisecond {
+		t.Errorf("median %v outside upper-edge band [500ms, 540ms]", q)
 	}
-	check(0.50, 500*time.Millisecond)
-	check(0.90, 900*time.Millisecond)
-	check(0.99, 990*time.Millisecond)
 	if s.Max != 1000*time.Millisecond {
 		t.Errorf("Max = %v", s.Max)
 	}
-	mean := s.Mean()
-	if mean < 495*time.Millisecond || mean > 506*time.Millisecond {
-		t.Errorf("Mean = %v, want ≈500ms", mean)
-	}
 
-	// An interval delta holds exactly the observations between snapshots.
 	for i := 0; i < 100; i++ {
 		h.Record(5 * time.Second)
 	}
@@ -76,13 +33,5 @@ func TestHistQuantiles(t *testing.T) {
 	}
 	if q := d.Quantile(0.5); q < 5*time.Second {
 		t.Errorf("delta median %v under-reports the 5s burst", q)
-	}
-}
-
-func TestHistEmpty(t *testing.T) {
-	var h Hist
-	s := h.Snapshot()
-	if s.Quantile(0.99) != 0 || s.Mean() != 0 || s.Count != 0 {
-		t.Errorf("empty histogram not zero: %+v", s)
 	}
 }

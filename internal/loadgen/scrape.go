@@ -1,0 +1,142 @@
+package loadgen
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"github.com/impir/impir/internal/metrics"
+	"github.com/impir/impir/internal/obs"
+)
+
+// ScrapeReport folds the servers' admin /metrics expositions into the
+// run artifact, cross-checked against the in-process scheduler
+// snapshots the exposition mirrors. It is captured once, after the
+// run's workers drain: the harness waits for the servers' counters to
+// settle (two consecutive identical snapshots), scrapes between them,
+// and then demands EXACT agreement — the scheduler counters are
+// mirrored from the same atomics QueueStats() reads, so at an idle
+// moment any difference means the exporter pipeline (mirror hooks,
+// text rendering, HTTP serving, parsing) dropped or skewed a value.
+type ScrapeReport struct {
+	// Servers holds each server's scraped samples (histogram bucket
+	// series elided to keep the artifact readable), in ServerStats
+	// order.
+	Servers []map[string]float64 `json:"servers"`
+	// Consistent reports the scrape agreed exactly with the paired
+	// QueueStats snapshot on every mirrored counter.
+	Consistent bool `json:"consistent"`
+	// Mismatches lists every disagreement, one line each.
+	Mismatches []string `json:"mismatches,omitempty"`
+	// Error is set when scraping itself failed (no cross-check ran).
+	Error string `json:"error,omitempty"`
+}
+
+// scrapeSettleAttempts bounds the idle-settle loop; under a healthy
+// drain the first attempt already finds the servers quiescent.
+const (
+	scrapeSettleAttempts = 40
+	scrapeSettlePause    = 25 * time.Millisecond
+)
+
+// captureScrape pairs one scrape with a settled QueueStats snapshot.
+// Late frames (operations abandoned on their deadline but still in
+// flight server-side) can tick counters briefly after the workers
+// drain, so the capture retries until a snapshot taken before the
+// scrape matches one taken after it.
+func captureScrape(scrape func() ([]map[string]float64, error), stats func() []metrics.SchedulerStats) *ScrapeReport {
+	var (
+		samples []map[string]float64
+		after   []metrics.SchedulerStats
+	)
+	for attempt := 0; ; attempt++ {
+		before := stats()
+		s, err := scrape()
+		if err != nil {
+			return &ScrapeReport{Error: err.Error()}
+		}
+		samples, after = s, stats()
+		if schedCountersEqual(before, after) || attempt >= scrapeSettleAttempts {
+			break
+		}
+		time.Sleep(scrapeSettlePause)
+	}
+	return newScrapeReport(samples, after)
+}
+
+// schedCountersEqual compares the mirrored counter fields of two
+// snapshot slices (transient gauges like Depth are excluded — they do
+// not participate in the cross-check).
+func schedCountersEqual(a, b []metrics.SchedulerStats) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		x, y := a[i], b[i]
+		if x.Submitted != y.Submitted || x.Rejected != y.Rejected ||
+			x.Cancelled != y.Cancelled || x.Dispatched != y.Dispatched ||
+			x.Passes != y.Passes || x.CoalescedPasses != y.CoalescedPasses ||
+			x.CoalescedQueries != y.CoalescedQueries || x.FusedPasses != y.FusedPasses ||
+			x.Updates != y.Updates || x.Epoch != y.Epoch ||
+			x.PassWidths != y.PassWidths {
+			return false
+		}
+	}
+	return true
+}
+
+// newScrapeReport cross-checks each server's scraped samples against
+// its scheduler snapshot taken at the same idle moment.
+func newScrapeReport(samples []map[string]float64, stats []metrics.SchedulerStats) *ScrapeReport {
+	rep := &ScrapeReport{Consistent: true}
+	if len(samples) != len(stats) {
+		rep.Consistent = false
+		rep.Mismatches = append(rep.Mismatches,
+			fmt.Sprintf("scraped %d servers but have queue stats for %d", len(samples), len(stats)))
+	}
+	for i, m := range samples {
+		rep.Servers = append(rep.Servers, foldSamples(m))
+		if i >= len(stats) {
+			continue
+		}
+		st := stats[i]
+		check := func(sample string, want uint64) {
+			got, ok := m[sample]
+			if !ok && want == 0 {
+				return // a zero-valued series may legitimately not exist yet
+			}
+			if !ok || got != float64(want) {
+				rep.Consistent = false
+				rep.Mismatches = append(rep.Mismatches,
+					fmt.Sprintf("server %d: %s scraped %v, queue stats say %d", i, sample, got, want))
+			}
+		}
+		check(obs.SchedulerMirrorSample("submitted"), st.Submitted)
+		check(obs.SchedulerMirrorSample("rejected"), st.Rejected)
+		check(obs.SchedulerMirrorSample("cancelled"), st.Cancelled)
+		check(obs.SchedulerMirrorSample("dispatched"), st.Dispatched)
+		check(obs.SchedulerMirrorSample("passes"), st.Passes)
+		check(obs.SchedulerMirrorSample("coalesced_passes"), st.CoalescedPasses)
+		check(obs.SchedulerMirrorSample("coalesced_queries"), st.CoalescedQueries)
+		check(obs.SchedulerMirrorSample("fused_passes"), st.FusedPasses)
+		check(obs.SchedulerMirrorSample("updates"), st.Updates)
+		for b, w := range st.PassWidths {
+			check(obs.PassWidthSample(b), w)
+		}
+	}
+	return rep
+}
+
+// foldSamples elides histogram bucket series — dozens per family, and
+// the quantile story already lives in the artifact's latency sections —
+// keeping the folded scrape at counter/gauge granularity.
+func foldSamples(m map[string]float64) map[string]float64 {
+	out := make(map[string]float64, len(m))
+	for k, v := range m {
+		if strings.Contains(k, "_bucket{") {
+			continue
+		}
+		out[k] = v
+	}
+	return out
+}

@@ -462,10 +462,32 @@ func DeltaStore(cur, prev StoreStats) StoreStats {
 	return d
 }
 
+// RoundDuration rounds d for human-facing reports at a scale adapted to
+// its magnitude — about three significant digits — so a 1h23m drain and
+// a 740ns modeled queue wait both render usefully. Fixed-scale rounding
+// (the old Round(time.Microsecond)) truncated sub-microsecond engine
+// model waits to "0s" in bench reports.
+func RoundDuration(d time.Duration) time.Duration {
+	abs := d
+	if abs < 0 {
+		abs = -abs
+	}
+	switch {
+	case abs >= time.Second:
+		return d.Round(10 * time.Millisecond)
+	case abs >= time.Millisecond:
+		return d.Round(10 * time.Microsecond)
+	case abs >= time.Microsecond:
+		return d.Round(10 * time.Nanosecond)
+	default:
+		return d
+	}
+}
+
 // String renders the queue counters compactly for logs and reports.
 func (s SchedulerStats) String() string {
 	return fmt.Sprintf(
 		"submitted=%d rejected=%d cancelled=%d passes=%d coalesce=%.2f fused=%d avg-wait=%v max-depth=%d epoch=%d",
 		s.Submitted, s.Rejected, s.Cancelled, s.Passes, s.AvgCoalesce(),
-		s.FusedPasses, s.AvgWait().Round(time.Microsecond), s.MaxDepth, s.Epoch)
+		s.FusedPasses, RoundDuration(s.AvgWait()), s.MaxDepth, s.Epoch)
 }

@@ -194,6 +194,39 @@ func TestWidthBucket(t *testing.T) {
 	}
 }
 
+func TestRoundDuration(t *testing.T) {
+	cases := []struct {
+		in, want time.Duration
+	}{
+		{83*time.Minute + 123*time.Millisecond, 83*time.Minute + 120*time.Millisecond},
+		{1234567 * time.Nanosecond, 1230 * time.Microsecond},
+		{1234 * time.Nanosecond, 1230 * time.Nanosecond},
+		{740 * time.Nanosecond, 740 * time.Nanosecond}, // sub-µs keeps full precision
+		{0, 0},
+		{-1234 * time.Nanosecond, -1230 * time.Nanosecond},
+	}
+	for _, c := range cases {
+		if got := RoundDuration(c.in); got != c.want {
+			t.Errorf("RoundDuration(%v) = %v, want %v", c.in, got, c.want)
+		}
+	}
+}
+
+// Sub-microsecond average waits must not render as "0s" — the bench
+// report regression this rounding exists for.
+func TestSchedulerStatsStringSubMicroWait(t *testing.T) {
+	s := SchedulerStats{Dispatched: 1000, TotalWait: 740 * time.Microsecond}
+	if s.AvgWait() != 740*time.Nanosecond {
+		t.Fatalf("AvgWait = %v", s.AvgWait())
+	}
+	if strings.Contains(s.String(), "avg-wait=0s") {
+		t.Errorf("String() truncated sub-µs wait to zero: %q", s.String())
+	}
+	if !strings.Contains(s.String(), "avg-wait=740ns") {
+		t.Errorf("String() = %q, want avg-wait=740ns", s.String())
+	}
+}
+
 func TestSchedulerStatsDelta(t *testing.T) {
 	prev := SchedulerStats{
 		Submitted: 100, Rejected: 5, Cancelled: 1, Dispatched: 90,

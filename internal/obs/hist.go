@@ -1,0 +1,183 @@
+// Package obs is the operability layer: a zero-dependency (stdlib-only)
+// Prometheus text-exposition metrics registry, the admin HTTP endpoint
+// serving /metrics, /healthz and /readyz, the shared HDR-style latency
+// histogram (one implementation behind both the load generator's
+// quantiles and the server's exported latency histograms), and the
+// per-query trace context the slow-query log is assembled from.
+//
+// Everything here observes the PIR machinery from the outside: nothing
+// in this package sees a query index, a key, or a selector share — only
+// durations, counts and frame types, all of which the wire already
+// reveals to the server by construction.
+package obs
+
+import (
+	"math/bits"
+	"sync/atomic"
+	"time"
+)
+
+// HDR-style latency histogram: log2 major buckets, each split into
+// linear sub-buckets, covering 1µs up to ~67s with bounded relative
+// error (≤ 1/histSubBuckets per recorded value). Recording is an atomic
+// add on one bucket — safe for every worker of the pool concurrently,
+// no lock on the hot path — and Snapshot copies the counts out for
+// quantile math and interval deltas.
+const (
+	// histUnit is the recording resolution; everything below records as
+	// one unit.
+	histUnit = time.Microsecond
+	// histSubBuckets is the linear resolution within one power of two.
+	histSubBuckets = 32
+	// histMaxOctave bounds the dynamic range: 2^26 µs ≈ 67 s. Larger
+	// values clamp into the top bucket.
+	histMaxOctave = 26
+	// histLen: values < 2*histSubBuckets index directly; above that each
+	// octave contributes histSubBuckets buckets.
+	histLen = 2*histSubBuckets + (histMaxOctave-subBucketBits)*histSubBuckets
+	// subBucketBits is log2(histSubBuckets).
+	subBucketBits = 5
+)
+
+// histIndex maps a value in histUnits to its bucket.
+func histIndex(u int64) int {
+	if u < 2*histSubBuckets {
+		return int(u)
+	}
+	m := bits.Len64(uint64(u)) // 2^(m-1) <= u < 2^m, m >= 7
+	if m > histMaxOctave {
+		return histLen - 1
+	}
+	// Shift the value down so histSubBuckets..2*histSubBuckets-1 linear
+	// positions remain within the octave.
+	sub := u >> (m - subBucketBits - 1) // in [histSubBuckets, 2*histSubBuckets)
+	idx := 2*histSubBuckets + (m-subBucketBits-2)*histSubBuckets + int(sub) - histSubBuckets
+	if idx >= histLen {
+		return histLen - 1
+	}
+	return idx
+}
+
+// histValue returns a representative value (in histUnits) for a bucket:
+// the upper edge, so quantiles never under-report.
+func histValue(idx int) int64 {
+	if idx < 2*histSubBuckets {
+		return int64(idx)
+	}
+	rel := idx - 2*histSubBuckets
+	octave := rel / histSubBuckets // 0-based above the linear range
+	sub := rel % histSubBuckets
+	base := int64(histSubBuckets+sub) << (octave + 1)
+	return base + (int64(1)<<(octave+1) - 1)
+}
+
+// Hist records latencies concurrently and lock-free.
+type Hist struct {
+	counts [histLen]atomic.Uint64
+	total  atomic.Uint64
+	sum    atomic.Int64 // histUnits
+	max    atomic.Int64 // histUnits
+}
+
+// Record adds one observation.
+func (h *Hist) Record(d time.Duration) {
+	u := int64(d / histUnit)
+	if u < 0 {
+		u = 0
+	}
+	h.counts[histIndex(u)].Add(1)
+	h.total.Add(1)
+	h.sum.Add(u)
+	for {
+		cur := h.max.Load()
+		if u <= cur || h.max.CompareAndSwap(cur, u) {
+			break
+		}
+	}
+}
+
+// Snapshot copies the histogram state for quantile math. Concurrent
+// recording keeps going; the snapshot is internally consistent enough
+// for reporting (counts may trail total by in-flight adds).
+func (h *Hist) Snapshot() HistSnapshot {
+	var s HistSnapshot
+	s.Max = time.Duration(h.max.Load()) * histUnit
+	s.Sum = time.Duration(h.sum.Load()) * histUnit
+	for i := range h.counts {
+		c := h.counts[i].Load()
+		s.counts[i] = c
+		s.Count += c
+	}
+	return s
+}
+
+// HistSnapshot is an immutable copy of a Hist.
+type HistSnapshot struct {
+	counts [histLen]uint64
+	Count  uint64
+	Sum    time.Duration
+	Max    time.Duration
+}
+
+// Sub returns the observations recorded between prev and s (both
+// snapshots of the same Hist, prev earlier). Max cannot be subtracted;
+// the interval Max is approximated by the highest non-empty bucket.
+func (s HistSnapshot) Sub(prev HistSnapshot) HistSnapshot {
+	var d HistSnapshot
+	d.Sum = s.Sum - prev.Sum
+	for i := range s.counts {
+		c := s.counts[i] - prev.counts[i]
+		d.counts[i] = c
+		d.Count += c
+		if c > 0 {
+			d.Max = time.Duration(histValue(i)) * histUnit
+		}
+	}
+	return d
+}
+
+// Quantile returns the latency at quantile q in [0,1]. Zero when empty.
+func (s HistSnapshot) Quantile(q float64) time.Duration {
+	if s.Count == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := uint64(q * float64(s.Count))
+	if rank >= s.Count {
+		rank = s.Count - 1
+	}
+	var seen uint64
+	for i, c := range s.counts {
+		seen += c
+		if seen > rank {
+			return time.Duration(histValue(i)) * histUnit
+		}
+	}
+	return s.Max
+}
+
+// Mean returns the average recorded latency. Zero when empty.
+func (s HistSnapshot) Mean() time.Duration {
+	if s.Count == 0 {
+		return 0
+	}
+	return s.Sum / time.Duration(s.Count)
+}
+
+// cumulative walks the snapshot's buckets in order, calling fn with
+// each non-empty bucket's upper-edge representative (histUnits) and its
+// count. The Prometheus exposition derives its cumulative le buckets
+// from this walk, so the exported histogram and the quantile math agree
+// on every bucket boundary.
+func (s HistSnapshot) cumulative(fn func(upperEdge int64, count uint64)) {
+	for i, c := range s.counts {
+		if c > 0 {
+			fn(histValue(i), c)
+		}
+	}
+}

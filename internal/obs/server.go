@@ -1,0 +1,241 @@
+package obs
+
+import (
+	"time"
+
+	"github.com/impir/impir/internal/metrics"
+)
+
+// Readiness condition names used across the server stack. The admin
+// /readyz endpoint reports the failing names, so they are part of the
+// operator-facing surface.
+const (
+	// CondDBLoaded holds once a database is loaded into the engine.
+	CondDBLoaded = "db-loaded"
+	// CondServing holds while the query listener accepts and the server
+	// is not draining.
+	CondServing = "serving"
+	// CondUpdateQuiesce fails only while an update holds the scheduler's
+	// quiesce gate exclusively (in-flight passes drained, queries briefly
+	// held).
+	CondUpdateQuiesce = "update-quiesce"
+)
+
+// Request stages the per-frame latency histogram splits on.
+const (
+	// StageQueue is admission-queue wait before an engine pass.
+	StageQueue = "queue"
+	// StageEngine is the engine pass duration.
+	StageEngine = "engine"
+	// StageTotal is end-to-end dispatch as the transport sees it.
+	StageTotal = "total"
+)
+
+// ServerMetrics is the server-side metric bundle: every family one
+// impir server exports, created against one Registry. The transport and
+// scheduler hold a *ServerMetrics and record into it; nil receivers are
+// no-ops so un-instrumented servers (tests, benches) pay nothing.
+//
+// Two classes of family coexist deliberately:
+//
+//   - Event-sourced: requests, busy rejects, failures, lost arrivals and
+//     the stage latency histograms are incremented at the moment the
+//     event happens.
+//   - Mirrored: the impir_scheduler_* counters' source of truth is the
+//     scheduler's own atomics; MirrorScheduler copies a Stats snapshot
+//     into them at scrape time (via Registry.OnScrape), so a scrape and
+//     a QueueStats() call can never disagree about those counters.
+type ServerMetrics struct {
+	Registry *Registry
+
+	requests *CounterVec // frame
+	busy     *CounterVec // frame
+	failures *CounterVec // frame
+	lost     *CounterVec // (none)
+	latency  *HistogramVec
+	phases   *HistogramVec // phase
+	ready    *GaugeVec
+
+	schedCounters map[string]*Counter // keyed by short name
+	passWidth     *CounterVec         // width
+	depth         *GaugeVec
+	maxDepth      *GaugeVec
+	dbEpoch       *GaugeVec
+	dbRecords     *GaugeVec
+	dbRecordBytes *GaugeVec
+}
+
+// schedMirrorNames maps the impir_scheduler_*_total suffixes to the
+// SchedulerStats fields they mirror; the order fixes exposition order.
+var schedMirrorNames = []struct{ name, help string }{
+	{"submitted", "Requests admitted to the scheduler queue."},
+	{"rejected", "Requests refused with busy because the admission queue was full."},
+	{"cancelled", "Requests dequeued without an engine pass because their context died."},
+	{"dispatched", "Requests that reached an engine pass."},
+	{"passes", "Engine passes executed."},
+	{"coalesced_passes", "Passes that merged 2+ single queries from different connections."},
+	{"coalesced_queries", "Single queries served through a coalesced pass."},
+	{"fused_passes", "Passes executed as fused one-pass database scans."},
+	{"updates", "Database bulk updates applied."},
+}
+
+// NewServerMetrics registers the full server family set on reg.
+func NewServerMetrics(reg *Registry) *ServerMetrics {
+	m := &ServerMetrics{Registry: reg, schedCounters: make(map[string]*Counter)}
+
+	m.requests = reg.NewCounter("impir_requests_total",
+		"Wire frames dispatched, by frame type.", "frame")
+	m.busy = reg.NewCounter("impir_busy_rejects_total",
+		"Requests rejected with a busy frame (admission queue full), by frame type.", "frame")
+	m.failures = reg.NewCounter("impir_request_failures_total",
+		"Requests that failed for reasons other than busy, by frame type.", "frame")
+	m.lost = reg.NewCounter("impir_lost_arrivals_total",
+		"Frames that arrived after drain began and were never dispatched.")
+	m.latency = reg.NewHistogram("impir_request_latency_seconds",
+		"Request latency by frame type and stage (queue wait, engine pass, total).",
+		nil, "frame", "stage")
+	m.phases = reg.NewHistogram("impir_engine_phase_seconds",
+		"Engine pass wall time attributed to each processing phase.", nil, "phase")
+
+	for _, n := range schedMirrorNames {
+		v := reg.NewCounter("impir_scheduler_"+n.name+"_total", n.help+" (mirrored from the scheduler at scrape time.)")
+		m.schedCounters[n.name] = v.With()
+	}
+	m.passWidth = reg.NewCounter("impir_scheduler_pass_width_total",
+		"Single-query engine passes by coalesce width bucket (mirrored at scrape time).", "width")
+	m.depth = reg.NewGauge("impir_scheduler_queue_depth",
+		"Admission queue depth at scrape time.")
+	m.maxDepth = reg.NewGauge("impir_scheduler_queue_depth_max",
+		"Deepest the admission queue has been.")
+	m.dbEpoch = reg.NewGauge("impir_db_epoch",
+		"Database version the scheduler is serving (bumped once per applied update).")
+	m.dbRecords = reg.NewGauge("impir_db_records",
+		"Records in the loaded database.")
+	m.dbRecordBytes = reg.NewGauge("impir_db_record_bytes",
+		"Record size of the loaded database in bytes.")
+	m.ready = reg.NewGauge("impir_ready",
+		"1 while every readiness condition holds, else 0.")
+	return m
+}
+
+// IncRequest counts one dispatched frame.
+func (m *ServerMetrics) IncRequest(frame string) {
+	if m == nil {
+		return
+	}
+	m.requests.With(frame).Inc()
+}
+
+// IncBusy counts one busy rejection.
+func (m *ServerMetrics) IncBusy(frame string) {
+	if m == nil {
+		return
+	}
+	m.busy.With(frame).Inc()
+}
+
+// IncFailure counts one non-busy failure.
+func (m *ServerMetrics) IncFailure(frame string) {
+	if m == nil {
+		return
+	}
+	m.failures.With(frame).Inc()
+}
+
+// IncLostArrival counts one frame that arrived after drain began.
+func (m *ServerMetrics) IncLostArrival() {
+	if m == nil {
+		return
+	}
+	m.lost.With().Inc()
+}
+
+// ObserveStage records one stage latency for a frame type.
+func (m *ServerMetrics) ObserveStage(frame, stage string, d time.Duration) {
+	if m == nil {
+		return
+	}
+	m.latency.With(frame, stage).Observe(d)
+}
+
+// ObserveBreakdown attributes an engine pass's wall time to phases.
+func (m *ServerMetrics) ObserveBreakdown(bd metrics.Breakdown) {
+	if m == nil {
+		return
+	}
+	for i := 0; i < metrics.NumPhases; i++ {
+		if d := bd.Wall[i]; d > 0 {
+			m.phases.With(metrics.Phase(i).String()).Observe(d)
+		}
+	}
+}
+
+// MirrorScheduler copies a scheduler snapshot into the mirror families.
+// Call from a Registry.OnScrape hook with a fresh Stats() snapshot.
+func (m *ServerMetrics) MirrorScheduler(st metrics.SchedulerStats) {
+	if m == nil {
+		return
+	}
+	m.schedCounters["submitted"].Set(st.Submitted)
+	m.schedCounters["rejected"].Set(st.Rejected)
+	m.schedCounters["cancelled"].Set(st.Cancelled)
+	m.schedCounters["dispatched"].Set(st.Dispatched)
+	m.schedCounters["passes"].Set(st.Passes)
+	m.schedCounters["coalesced_passes"].Set(st.CoalescedPasses)
+	m.schedCounters["coalesced_queries"].Set(st.CoalescedQueries)
+	m.schedCounters["fused_passes"].Set(st.FusedPasses)
+	m.schedCounters["updates"].Set(st.Updates)
+	for i, w := range st.PassWidths {
+		m.passWidth.With(metrics.WidthBucketLabel(i)).Set(w)
+	}
+	m.depth.With().Set(int64(st.Depth))
+	m.maxDepth.With().Set(int64(st.MaxDepth))
+	m.dbEpoch.With().Set(int64(st.Epoch))
+}
+
+// SetDB publishes the loaded database's shape.
+func (m *ServerMetrics) SetDB(records int, recordBytes int) {
+	if m == nil {
+		return
+	}
+	m.dbRecords.With().Set(int64(records))
+	m.dbRecordBytes.With().Set(int64(recordBytes))
+}
+
+// MirrorReadiness publishes the readiness tracker as the impir_ready
+// gauge. Call from an OnScrape hook.
+func (m *ServerMetrics) MirrorReadiness(r *Readiness) {
+	if m == nil {
+		return
+	}
+	ok, _ := r.Ready()
+	var v int64
+	if ok {
+		v = 1
+	}
+	m.ready.With().Set(v)
+}
+
+// SchedulerMirrorSample names the scraped sample that mirrors a
+// SchedulerStats counter — the loadgen cross-check and tests use it to
+// compare scrape values against QueueStats() truth without hand-writing
+// exposition strings.
+func SchedulerMirrorSample(short string) string {
+	return "impir_scheduler_" + short + "_total"
+}
+
+// PassWidthSample names the scraped pass-width sample for bucket i.
+func PassWidthSample(i int) string {
+	return `impir_scheduler_pass_width_total{width="` + metrics.WidthBucketLabel(i) + `"}`
+}
+
+// RequestSample names the scraped per-frame request counter sample.
+func RequestSample(frame string) string {
+	return `impir_requests_total{frame="` + frame + `"}`
+}
+
+// StageCountSample names the _count sample of the per-frame, per-stage
+// latency histogram.
+func StageCountSample(frame, stage string) string {
+	return `impir_request_latency_seconds_count{frame="` + frame + `",stage="` + stage + `"}`
+}

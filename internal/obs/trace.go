@@ -1,0 +1,75 @@
+package obs
+
+import (
+	"context"
+	"fmt"
+	"strings"
+	"time"
+
+	"github.com/impir/impir/internal/metrics"
+)
+
+// Trace accumulates per-query stage timings as one request moves
+// transport→scheduler→engine. The transport allocates it, the scheduler
+// fills the dispatch-side fields, and the transport renders it as a
+// structured one-line log when the total crosses the slow-query
+// threshold.
+//
+// Publication discipline: the scheduler writes these fields before
+// completing the request, and the transport reads them only after a
+// successful wait (the done-channel close orders the accesses). A
+// request that errored or was abandoned mid-pass must not have its
+// trace read — the fields may still be in flight.
+type Trace struct {
+	// Frame is the wire frame type ("query", "batch", ...).
+	Frame string
+	// Shard labels the serving shard ("" when unsharded).
+	Shard string
+	// Start is when the transport began dispatching the frame.
+	Start time.Time
+	// Total is end-to-end dispatch time, set by the transport.
+	Total time.Duration
+	// QueueWait is time spent in the admission queue before a pass.
+	QueueWait time.Duration
+	// Engine is the engine pass duration (shared by every request the
+	// pass served).
+	Engine time.Duration
+	// PassWidth is how many requests the serving engine pass carried.
+	PassWidth int
+	// Fused reports the pass ran as a fused one-pass scan.
+	Fused bool
+	// Breakdown is the engine's per-phase accounting for this request.
+	Breakdown metrics.Breakdown
+}
+
+// String renders the trace as one structured log line (logfmt-style
+// key=value pairs), e.g.:
+//
+//	frame=query shard=0 total=1.2ms queue=300µs engine=850µs width=4 fused=true phases[Eval=400µs dpXOR=380µs]
+func (t *Trace) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "frame=%s", t.Frame)
+	if t.Shard != "" {
+		fmt.Fprintf(&sb, " shard=%s", t.Shard)
+	}
+	fmt.Fprintf(&sb, " total=%v queue=%v engine=%v width=%d fused=%t",
+		metrics.RoundDuration(t.Total), metrics.RoundDuration(t.QueueWait),
+		metrics.RoundDuration(t.Engine), t.PassWidth, t.Fused)
+	if bd := t.Breakdown.String(); bd != "" {
+		fmt.Fprintf(&sb, " phases[%s]", bd)
+	}
+	return sb.String()
+}
+
+type traceKey struct{}
+
+// NewContext returns ctx carrying t for the scheduler to fill.
+func NewContext(ctx context.Context, t *Trace) context.Context {
+	return context.WithValue(ctx, traceKey{}, t)
+}
+
+// FromContext returns the trace carried by ctx, or nil.
+func FromContext(ctx context.Context) *Trace {
+	t, _ := ctx.Value(traceKey{}).(*Trace)
+	return t
+}

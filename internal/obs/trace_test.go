@@ -1,0 +1,57 @@
+package obs
+
+import (
+	"context"
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/impir/impir/internal/metrics"
+)
+
+func TestTraceString(t *testing.T) {
+	tr := &Trace{
+		Frame:     "query",
+		Shard:     "0",
+		Total:     1200 * time.Microsecond,
+		QueueWait: 300 * time.Microsecond,
+		Engine:    850 * time.Microsecond,
+		PassWidth: 4,
+		Fused:     true,
+	}
+	got := tr.String()
+	for _, want := range []string{
+		"frame=query", "shard=0", "total=1.2ms", "queue=300µs",
+		"engine=850µs", "width=4", "fused=true",
+	} {
+		if !strings.Contains(got, want) {
+			t.Errorf("trace %q missing %q", got, want)
+		}
+	}
+	if strings.Contains(got, "phases[") {
+		t.Errorf("trace %q renders an empty phase breakdown", got)
+	}
+
+	// Unsharded traces omit the shard key entirely; a populated
+	// breakdown shows up as phases[...].
+	tr2 := &Trace{Frame: "batch", Total: time.Millisecond}
+	tr2.Breakdown.AddPhase(metrics.PhaseEval, 400*time.Microsecond, 400*time.Microsecond)
+	got2 := tr2.String()
+	if strings.Contains(got2, "shard=") {
+		t.Errorf("unsharded trace %q must not carry a shard key", got2)
+	}
+	if !strings.Contains(got2, "phases[Eval=400µs]") {
+		t.Errorf("trace %q missing phase breakdown", got2)
+	}
+}
+
+func TestTraceContext(t *testing.T) {
+	if FromContext(context.Background()) != nil {
+		t.Fatal("FromContext on a bare context must be nil")
+	}
+	tr := &Trace{Frame: "query"}
+	ctx := NewContext(context.Background(), tr)
+	if got := FromContext(ctx); got != tr {
+		t.Fatalf("FromContext = %p, want %p", got, tr)
+	}
+}

@@ -1,0 +1,181 @@
+package scheduler
+
+import (
+	"context"
+	"net"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/impir/impir/internal/obs"
+)
+
+// gatedEngine blocks ApplyUpdates on a channel so a test can hold the
+// scheduler's update quiesce open for as long as it likes.
+type gatedEngine struct {
+	fakeEngine
+	gate chan struct{}
+}
+
+func (g *gatedEngine) ApplyUpdates(updates map[uint64][]byte) error {
+	<-g.gate
+	return g.fakeEngine.ApplyUpdates(updates)
+}
+
+// TestReadyzFlipsDuringUpdateQuiesce drives a real admin HTTP endpoint
+// against a scheduler whose update is deterministically stuck inside
+// the engine: /readyz must report 503 naming update-quiesce for the
+// whole quiesce, queries submitted meanwhile must be held (not failed),
+// and /readyz must return to 200 once the update completes.
+func TestReadyzFlipsDuringUpdateQuiesce(t *testing.T) {
+	ge := &gatedEngine{gate: make(chan struct{})}
+	reg := obs.NewRegistry()
+	sm := obs.NewServerMetrics(reg)
+	ready := obs.NewReadiness()
+	ready.Set(obs.CondUpdateQuiesce, true)
+
+	s := New(ge, Config{QueueDepth: 64, Obs: sm, Readiness: ready})
+	defer s.Close()
+	reg.OnScrape(func() {
+		sm.MirrorScheduler(s.Stats())
+		sm.MirrorReadiness(ready)
+	})
+
+	admin := obs.NewAdmin(reg, ready)
+	lis, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go admin.Serve(lis)
+	defer admin.Shutdown(context.Background())
+	base := "http://" + lis.Addr().String()
+
+	readyz := func() (int, string) {
+		t.Helper()
+		resp, err := http.Get(base + "/readyz")
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		var sb strings.Builder
+		buf := make([]byte, 512)
+		for {
+			n, rerr := resp.Body.Read(buf)
+			sb.Write(buf[:n])
+			if rerr != nil {
+				break
+			}
+		}
+		return resp.StatusCode, sb.String()
+	}
+
+	if code, _ := readyz(); code != http.StatusOK {
+		t.Fatalf("/readyz before any update = %d, want 200", code)
+	}
+
+	// Start an update; the engine blocks on the gate, so the quiesce
+	// stays open until the test releases it.
+	updateDone := make(chan error, 1)
+	go func() { updateDone <- s.Update(map[uint64][]byte{0: {1}}) }()
+
+	// The readiness flip happens before the quiesce gate is even
+	// acquired, so polling converges; once 503 it STAYS 503 while the
+	// engine is stuck, which is what makes this deterministic.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		code, body := readyz()
+		if code == http.StatusServiceUnavailable {
+			if !strings.Contains(body, "not ready: "+obs.CondUpdateQuiesce) {
+				t.Fatalf("/readyz body %q must name %s", body, obs.CondUpdateQuiesce)
+			}
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("/readyz never flipped to 503 during the quiesce")
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	// A query submitted during the quiesce is held behind the gate —
+	// never failed.
+	queryDone := make(chan error, 1)
+	go func() {
+		_, _, err := s.Query(context.Background(), nil)
+		queryDone <- err
+	}()
+	select {
+	case err := <-queryDone:
+		t.Fatalf("query completed during the quiesce (err=%v), want it held", err)
+	case <-time.After(50 * time.Millisecond):
+	}
+
+	// The scrape keeps answering mid-quiesce, and the ready gauge
+	// mirrors the flip.
+	resp, err := http.Get(base + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	samples, perr := obs.ParseText(resp.Body)
+	resp.Body.Close()
+	if perr != nil {
+		t.Fatal(perr)
+	}
+	if v := samples["impir_ready"]; v != 0 {
+		t.Errorf("impir_ready = %v mid-quiesce, want 0", v)
+	}
+
+	close(ge.gate)
+	if err := <-updateDone; err != nil {
+		t.Fatalf("update: %v", err)
+	}
+	if err := <-queryDone; err != nil {
+		t.Fatalf("query held across the quiesce failed: %v", err)
+	}
+
+	for {
+		code, _ := readyz()
+		if code == http.StatusOK {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("/readyz never recovered after the update")
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// TestObsStageObservations: the scheduler records queue and engine
+// stage samples plus pass-width mirrors that agree with its own Stats.
+func TestObsStageObservations(t *testing.T) {
+	reg := obs.NewRegistry()
+	sm := obs.NewServerMetrics(reg)
+	s := New(&fakeEngine{}, Config{QueueDepth: 64, Obs: sm})
+	defer s.Close()
+	reg.OnScrape(func() { sm.MirrorScheduler(s.Stats()) })
+
+	ctx := context.Background()
+	for i := 0; i < 5; i++ {
+		if _, _, err := s.Query(ctx, nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	var sb strings.Builder
+	if err := reg.WriteText(&sb); err != nil {
+		t.Fatal(err)
+	}
+	samples, err := obs.ParseText(strings.NewReader(sb.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := s.Stats()
+	if got := samples[obs.SchedulerMirrorSample("submitted")]; got != float64(st.Submitted) {
+		t.Errorf("submitted mirror = %v, stats say %d", got, st.Submitted)
+	}
+	for _, stage := range []string{obs.StageQueue, obs.StageEngine} {
+		if got := samples[obs.StageCountSample("query", stage)]; got != 5 {
+			t.Errorf("stage %s count = %v, want 5", stage, got)
+		}
+	}
+}

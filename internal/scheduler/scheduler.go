@@ -36,6 +36,7 @@ import (
 	"github.com/impir/impir/internal/database"
 	"github.com/impir/impir/internal/dpf"
 	"github.com/impir/impir/internal/metrics"
+	"github.com/impir/impir/internal/obs"
 )
 
 // Engine is the compute plane under the scheduler: any of the IM-PIR,
@@ -71,6 +72,15 @@ type Config struct {
 	// MaxCoalesce caps how many single queries one coalesced pass may
 	// serve. 0 means 64.
 	MaxCoalesce int
+	// Obs, when non-nil, receives per-stage latency observations (queue
+	// wait and engine pass per frame type, per-request engine phase
+	// attribution) and has per-query obs.Trace contexts filled in. Nil
+	// keeps the scheduler un-instrumented at zero cost.
+	Obs *obs.ServerMetrics
+	// Readiness, when non-nil, has its update-quiesce condition dropped
+	// while an Update holds the quiesce gate, so /readyz steers an
+	// orchestrator away during the brief query hold.
+	Readiness *obs.Readiness
 }
 
 func (c Config) withDefaults() Config {
@@ -91,6 +101,24 @@ const (
 	reqShare                         // one selector share
 	reqShareBatch                    // a client's explicit share batch
 )
+
+// frame names the request kind the way the wire and the exported
+// metrics do, so a scheduler-side histogram sample and a transport-side
+// counter for the same request always share one frame label.
+func (k reqKind) frame() string {
+	switch k {
+	case reqQuery:
+		return "query"
+	case reqBatch:
+		return "batch"
+	case reqShare:
+		return "share"
+	case reqShareBatch:
+		return "share_batch"
+	default:
+		return "unknown"
+	}
+}
 
 // request is one queued unit of work plus the channel its submitter
 // waits on. The dispatcher writes the result fields before closing done;
@@ -131,6 +159,10 @@ type Scheduler struct {
 	pending int // requests admitted but not yet completed
 
 	gate quiesceGate
+
+	// quiescers counts Updates currently holding or waiting on the
+	// quiesce gate; the readiness condition drops while it is nonzero.
+	quiescers atomic.Int64
 
 	// counters (atomics; snapshot via Stats).
 	submitted        atomic.Uint64
@@ -285,9 +317,20 @@ func (s *Scheduler) Update(updates map[uint64][]byte) error {
 	if err := validateUpdates(s.eng.Database(), updates); err != nil {
 		return err
 	}
+	// Drop the readiness condition for the whole quiesce — including the
+	// wait for in-flight passes to drain — so an orchestrator polling
+	// /readyz stops routing before queries start being held. A counter
+	// (not a plain flip) keeps the condition down while ANY concurrent
+	// update is still quiescing.
+	if s.quiescers.Add(1) == 1 {
+		s.cfg.Readiness.Set(obs.CondUpdateQuiesce, false)
+	}
 	s.gate.beginUpdate()
 	err := s.eng.ApplyUpdates(updates)
 	s.gate.endUpdate(err == nil)
+	if s.quiescers.Add(-1) == 0 {
+		s.cfg.Readiness.Set(obs.CondUpdateQuiesce, true)
+	}
 	return err
 }
 
@@ -458,11 +501,33 @@ func (s *Scheduler) gather(first *request) (batch []*request, next *request) {
 func (s *Scheduler) beginPass(reqs ...*request) {
 	now := time.Now()
 	for _, r := range reqs {
-		s.totalWaitNanos.Add(now.Sub(r.enqueued).Nanoseconds())
+		wait := now.Sub(r.enqueued)
+		s.totalWaitNanos.Add(wait.Nanoseconds())
+		s.cfg.Obs.ObserveStage(r.kind.frame(), obs.StageQueue, wait)
+		if tr := obs.FromContext(r.ctx); tr != nil {
+			tr.QueueWait = wait
+		}
 	}
 	s.dispatched.Add(uint64(len(reqs)))
 	s.passes.Add(1)
 	s.gate.beginQuery()
+}
+
+// observeServe records the engine-stage metrics and fills the trace of
+// one request served by a pass: the pass duration (shared by every
+// request the pass carried), how many queries the pass served, whether
+// it ran fused, and this request's engine phase attribution. It runs
+// before finish, so a submitter woken by the done close observes a
+// fully written trace.
+func (s *Scheduler) observeServe(r *request, engDur time.Duration, width int, fused bool, bd metrics.Breakdown) {
+	s.cfg.Obs.ObserveStage(r.kind.frame(), obs.StageEngine, engDur)
+	s.cfg.Obs.ObserveBreakdown(bd)
+	if tr := obs.FromContext(r.ctx); tr != nil {
+		tr.Engine = engDur
+		tr.PassWidth = width
+		tr.Fused = fused
+		tr.Breakdown = bd
+	}
 }
 
 func (s *Scheduler) endPass() {
@@ -484,7 +549,9 @@ func (s *Scheduler) runCoalesced(batch []*request) {
 	for i, r := range batch {
 		keys[i] = r.key
 	}
+	engStart := time.Now()
 	results, stats, err := s.eng.QueryBatch(keys)
+	engDur := time.Since(engStart)
 	if err != nil {
 		// One bad key fails the engine's whole batch pass. Rerun each
 		// query solo (still under this pass's gate hold) so the error
@@ -496,6 +563,7 @@ func (s *Scheduler) runCoalesced(batch []*request) {
 				s.finish(r, cerr)
 				continue
 			}
+			soloStart := time.Now()
 			result, bd, qerr := s.eng.Query(r.key)
 			if qerr != nil {
 				s.finish(r, qerr)
@@ -503,6 +571,7 @@ func (s *Scheduler) runCoalesced(batch []*request) {
 			}
 			r.results = [][]byte{result}
 			r.bd = bd
+			s.observeServe(r, time.Since(soloStart), 1, false, bd)
 			s.finish(r, nil)
 		}
 		return
@@ -517,6 +586,7 @@ func (s *Scheduler) runCoalesced(batch []*request) {
 	for i, r := range batch {
 		r.results = [][]byte{results[i]}
 		r.bd = perQuery
+		s.observeServe(r, engDur, len(batch), stats.Fused, perQuery)
 		s.finish(r, nil)
 	}
 }
@@ -525,6 +595,7 @@ func (s *Scheduler) runCoalesced(batch []*request) {
 func (s *Scheduler) runSolo(req *request) {
 	s.beginPass(req)
 	defer s.endPass()
+	engStart := time.Now()
 	switch req.kind {
 	case reqQuery:
 		s.passWidths[metrics.WidthBucket(1)].Add(1)
@@ -535,6 +606,7 @@ func (s *Scheduler) runSolo(req *request) {
 		}
 		req.results = [][]byte{result}
 		req.bd = bd
+		s.observeServe(req, time.Since(engStart), 1, false, bd)
 		s.finish(req, nil)
 	case reqBatch:
 		results, stats, err := s.eng.QueryBatch(req.keys)
@@ -547,6 +619,7 @@ func (s *Scheduler) runSolo(req *request) {
 		}
 		req.results = results
 		req.stats = stats
+		s.observeServe(req, time.Since(engStart), stats.Queries, stats.Fused, stats.PerQuery)
 		s.finish(req, nil)
 	case reqShare:
 		result, bd, err := s.eng.QueryShare(req.share)
@@ -556,6 +629,7 @@ func (s *Scheduler) runSolo(req *request) {
 		}
 		req.results = [][]byte{result}
 		req.bd = bd
+		s.observeServe(req, time.Since(engStart), 1, false, bd)
 		s.finish(req, nil)
 	case reqShareBatch:
 		// One fused engine pass for the whole share batch: the engine
@@ -571,6 +645,7 @@ func (s *Scheduler) runSolo(req *request) {
 		}
 		req.results = results
 		req.stats = stats
+		s.observeServe(req, time.Since(engStart), stats.Queries, stats.Fused, stats.PerQuery)
 		s.finish(req, nil)
 	default:
 		s.finish(req, fmt.Errorf("scheduler: unknown request kind %d", req.kind))

@@ -23,6 +23,7 @@ import (
 	"github.com/impir/impir/internal/database"
 	"github.com/impir/impir/internal/dpf"
 	"github.com/impir/impir/internal/metrics"
+	"github.com/impir/impir/internal/obs"
 	"github.com/impir/impir/internal/pirproto"
 	"github.com/impir/impir/internal/scheduler"
 )
@@ -65,6 +66,9 @@ type Server struct {
 	lis          net.Listener
 	logf         func(format string, args ...any)
 	allowUpdates bool
+	obs          *obs.ServerMetrics
+	slowQuery    time.Duration
+	shard        string
 
 	mu       sync.Mutex
 	conns    map[net.Conn]struct{}
@@ -90,6 +94,27 @@ func WithLogf(f func(format string, args ...any)) ServerOption {
 // TLS via NewServerTLS with client certificate verification.
 func WithWireUpdates() ServerOption {
 	return func(s *Server) { s.allowUpdates = true }
+}
+
+// WithObserver records per-frame request/busy/failure counters and
+// total-stage latency into m (the queue and engine stages are recorded
+// by the scheduler, which shares the same bundle).
+func WithObserver(m *obs.ServerMetrics) ServerOption {
+	return func(s *Server) { s.obs = m }
+}
+
+// WithSlowQuery logs a structured one-line trace (frame type, shard,
+// queue wait, pass width, fused?, engine breakdown) for every query
+// frame whose end-to-end dispatch takes at least threshold. 0 disables
+// slow-query tracing.
+func WithSlowQuery(threshold time.Duration) ServerOption {
+	return func(s *Server) { s.slowQuery = threshold }
+}
+
+// WithShard stamps slow-query traces with the serving shard's label in
+// a sharded deployment. Unset means unsharded (no shard in the trace).
+func WithShard(shard string) ServerOption {
+	return func(s *Server) { s.shard = shard }
 }
 
 // NewServer starts serving the dispatcher on the listener. party is this
@@ -244,6 +269,7 @@ func (s *Server) handle(conn net.Conn) {
 			// "closed, and inflight is zero" observation is final: any
 			// frame read after that is dropped here, never half-served.
 			if !s.beginDispatch() {
+				s.obs.IncLostArrival()
 				return
 			}
 			select {
@@ -256,8 +282,24 @@ func (s *Server) handle(conn net.Conn) {
 	}()
 
 	for f := range frames {
-		err := s.dispatch(ctx, conn, f.t, f.payload)
+		name := frameName(f.t)
+		start := time.Now()
+		s.obs.IncRequest(name)
+		dctx := ctx
+		var tr *obs.Trace
+		if s.slowQuery > 0 && isQueryFrame(f.t) {
+			tr = &obs.Trace{Frame: name, Shard: s.shard, Start: start}
+			dctx = obs.NewContext(ctx, tr)
+		}
+		err := s.dispatch(dctx, conn, f.t, f.payload)
+		total := time.Since(start)
+		s.obs.ObserveStage(name, obs.StageTotal, total)
 		if err != nil {
+			if errors.Is(err, scheduler.ErrBusy) {
+				s.obs.IncBusy(name)
+			} else {
+				s.obs.IncFailure(name)
+			}
 			respType, msg := pirproto.MsgError, []byte(err.Error())
 			if errors.Is(err, scheduler.ErrBusy) {
 				respType, msg = pirproto.MsgBusy, nil
@@ -269,7 +311,47 @@ func (s *Server) handle(conn net.Conn) {
 			}
 			continue
 		}
+		// Only a successfully served request's trace may be read: the
+		// scheduler finished writing it before completing the request
+		// (the done-channel close orders the accesses). An errored or
+		// abandoned request's trace could still be written mid-pass.
+		if tr != nil && total >= s.slowQuery {
+			tr.Total = total
+			s.logf("transport: slow query: %s", tr)
+		}
 		s.addInflight(-1)
+	}
+}
+
+// frameName labels a wire frame type for metrics and traces, matching
+// the scheduler's request-kind frame names.
+func frameName(t pirproto.MsgType) string {
+	switch t {
+	case pirproto.MsgHello:
+		return "hello"
+	case pirproto.MsgQuery:
+		return "query"
+	case pirproto.MsgBatchQuery:
+		return "batch"
+	case pirproto.MsgShareQuery:
+		return "share"
+	case pirproto.MsgShareBatchQuery:
+		return "share_batch"
+	case pirproto.MsgUpdate:
+		return "update"
+	default:
+		return "unknown"
+	}
+}
+
+// isQueryFrame reports whether t is dispatched through the scheduler's
+// query path — the frames a slow-query trace is meaningful for.
+func isQueryFrame(t pirproto.MsgType) bool {
+	switch t {
+	case pirproto.MsgQuery, pirproto.MsgBatchQuery, pirproto.MsgShareQuery, pirproto.MsgShareBatchQuery:
+		return true
+	default:
+		return false
 	}
 }
 

@@ -1,0 +1,120 @@
+#!/usr/bin/env bash
+# metrics-lint.sh -- Prometheus text exposition (version 0.0.4) linter.
+#
+# Validates a /metrics scrape from a file argument or stdin against the
+# invariants a scrape consumer relies on:
+#
+#   * every sample belongs to a family announced by "# TYPE", and every
+#     TYPE'd family carries a "# HELP" line
+#   * TYPE is one of counter, gauge, histogram, summary, untyped
+#   * sample values parse as numbers; no duplicate series
+#   * histogram families: le buckets are sorted ascending and their
+#     values non-decreasing (cumulative), the +Inf bucket exists and
+#     equals the series' _count, and _sum/_count are present
+#
+# Timestamped samples are rejected: impir's exporter never emits them,
+# so one showing up means the exposition didn't come from impir.
+#
+# Usage:
+#   curl -fsS localhost:9090/metrics | ./scripts/metrics-lint.sh
+#   ./scripts/metrics-lint.sh scrape.txt
+
+set -euo pipefail
+
+awk '
+function fail(msg) {
+    printf "metrics-lint: line %d: %s\n", NR, msg > "/dev/stderr"
+    bad = 1
+}
+# famOf strips histogram sample suffixes down to the declared family.
+function famOf(name,   b) {
+    if (name in type) return name
+    b = name
+    if (sub(/_bucket$/, "", b) && (b in type)) return b
+    b = name
+    if (sub(/_sum$/, "", b) && (b in type)) return b
+    b = name
+    if (sub(/_count$/, "", b) && (b in type)) return b
+    return name
+}
+/^# HELP / { help[$3] = 1; next }
+/^# TYPE / {
+    if ($4 !~ /^(counter|gauge|histogram|summary|untyped)$/)
+        fail("family " $3 ": unknown TYPE \"" $4 "\"")
+    if ($3 in type)
+        fail("family " $3 ": duplicate TYPE line")
+    type[$3] = $4
+    families++
+    next
+}
+/^#/ { next }
+/^[ \t]*$/ { next }
+{
+    # A sample line: name[{labels}] value. The value is the last
+    # whitespace-separated token (label VALUES may contain spaces; le
+    # and friends never do).
+    if (match($0, /[^ \t]+$/) == 0) { fail("unparseable line"); next }
+    value = substr($0, RSTART, RLENGTH)
+    id = substr($0, 1, RSTART - 1)
+    sub(/[ \t]+$/, "", id)
+    if (id == "") { fail("sample with no name"); next }
+    if (value !~ /^[-+]?([0-9]*\.?[0-9]+([eE][-+]?[0-9]+)?|NaN|Inf|-Inf|\+Inf)$/) {
+        fail("sample " id ": bad value \"" value "\" (timestamps are rejected)")
+        next
+    }
+    if (id in seen) fail("duplicate series " id)
+    seen[id] = 1
+    samples++
+
+    # Split the series id into metric name and label block.
+    if (match(id, /^[a-zA-Z_:][a-zA-Z0-9_:]*/) == 0) { fail("bad metric name in " id); next }
+    name = substr(id, RSTART, RLENGTH)
+    labels = substr(id, RLENGTH + 1)
+    if (labels != "" && labels !~ /^\{.*\}$/) { fail("malformed label block in " id); next }
+
+    fam = famOf(name)
+    if (!(fam in type)) { fail("sample " id ": no # TYPE for family"); next }
+    if (!(fam in help)) { fail("sample " id ": family " fam " has no # HELP"); next }
+
+    if (type[fam] != "histogram") next
+
+    # Histogram bookkeeping, grouped by the series labels minus le.
+    if (name == fam "_bucket") {
+        if (match(labels, /le="[^"]*"/) == 0) { fail("bucket " id " has no le label"); next }
+        le = substr(labels, RSTART + 4, RLENGTH - 5)
+        rest = substr(labels, 1, RSTART - 1) substr(labels, RSTART + RLENGTH)
+        gsub(/,\}$/, "}", rest); gsub(/\{,/, "{", rest); gsub(/,,/, ",", rest)
+        key = fam SUBSEP rest
+        if (key in lastLe) {
+            if (lastLe[key] == "+Inf")
+                fail("bucket " id ": bucket after le=\"+Inf\"")
+            else if (le != "+Inf" && (le + 0) <= (lastLe[key] + 0))
+                fail("bucket " id ": le not ascending (" lastLe[key] " then " le ")")
+            if ((value + 0) < (lastVal[key] + 0))
+                fail("bucket " id ": cumulative count decreased (" lastVal[key] " then " value ")")
+        }
+        lastLe[key] = le; lastVal[key] = value
+        if (le == "+Inf") inf[key] = value
+        hkeys[key] = fam
+    } else if (name == fam "_count") {
+        cnt[fam SUBSEP labels] = value
+    } else if (name == fam "_sum") {
+        sum[fam SUBSEP labels] = 1
+    } else {
+        fail("sample " id ": histogram family with non-histogram sample")
+    }
+}
+END {
+    for (key in hkeys) {
+        split(key, p, SUBSEP)
+        where = p[1] p[2]
+        if (!(key in inf)) { fail("histogram " where ": missing +Inf bucket"); continue }
+        if (!(key in cnt)) { fail("histogram " where ": missing _count"); continue }
+        if (!(key in sum)) fail("histogram " where ": missing _sum")
+        if ((inf[key] + 0) != (cnt[key] + 0))
+            fail("histogram " where ": +Inf bucket " inf[key] " != _count " cnt[key])
+    }
+    if (bad) exit 1
+    printf "metrics-lint: ok — %d families, %d samples\n", families, samples
+}
+' "${1:-/dev/stdin}"

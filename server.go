@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"io"
 	"net"
 	"time"
 
@@ -12,6 +13,7 @@ import (
 	"github.com/impir/impir/internal/gpupir"
 	"github.com/impir/impir/internal/impir"
 	"github.com/impir/impir/internal/metrics"
+	"github.com/impir/impir/internal/obs"
 	"github.com/impir/impir/internal/pim"
 	"github.com/impir/impir/internal/scheduler"
 	"github.com/impir/impir/internal/transport"
@@ -96,6 +98,18 @@ type ServerConfig struct {
 	// (operator-only listener, network ACLs, or mutual TLS). Local
 	// Server.Update calls are always allowed.
 	AllowWireUpdates bool
+	// SlowQueryThreshold logs a structured one-line trace (frame type,
+	// shard, queue wait, pass width, fused?, engine phase breakdown) for
+	// every wire query frame whose end-to-end dispatch takes at least
+	// this long. 0 disables slow-query tracing.
+	SlowQueryThreshold time.Duration
+	// TraceShard labels slow-query traces with this server's shard in a
+	// sharded deployment (e.g. "0"). Empty means unsharded — the label
+	// is omitted from traces.
+	TraceShard string
+	// SlowQueryLogf directs slow-query trace lines and other transport
+	// logs (default: the standard logger).
+	SlowQueryLogf func(format string, args ...any)
 }
 
 // engine abstracts the three compute planes: the scheduler-facing query
@@ -134,6 +148,17 @@ type Server struct {
 	sched            *scheduler.Scheduler
 	srv              *transport.Server
 	allowWireUpdates bool
+	slowQuery        time.Duration
+	traceShard       string
+	logf             func(format string, args ...any)
+
+	// Operability plane: every server carries a metrics registry, a
+	// readiness tracker and an admin endpoint, whether or not the admin
+	// listener is ever started — local users can still WriteMetrics.
+	reg   *obs.Registry
+	sm    *obs.ServerMetrics
+	ready *obs.Readiness
+	admin *obs.Admin
 }
 
 // NewServer builds a server with the configured engine behind a request
@@ -143,12 +168,42 @@ func NewServer(cfg ServerConfig) (*Server, error) {
 	if err != nil {
 		return nil, err
 	}
+	reg := obs.NewRegistry()
+	sm := obs.NewServerMetrics(reg)
+	ready := obs.NewReadiness()
+	ready.Register(obs.CondDBLoaded)
+	ready.Register(obs.CondServing)
+	ready.Set(obs.CondUpdateQuiesce, true)
 	sched := scheduler.New(eng, scheduler.Config{
 		QueueDepth:     cfg.QueueDepth,
 		CoalesceWindow: cfg.CoalesceWindow,
 		MaxCoalesce:    cfg.MaxCoalesce,
+		Obs:            sm,
+		Readiness:      ready,
 	})
-	return &Server{eng: eng, sched: sched, allowWireUpdates: cfg.AllowWireUpdates}, nil
+	// Mirror-at-scrape: the impir_scheduler_* counters, database gauges
+	// and the ready gauge are copied from their in-process sources the
+	// moment an exposition is rendered, so a scrape can never disagree
+	// with a concurrent QueueStats() about what those counters were.
+	reg.OnScrape(func() {
+		sm.MirrorScheduler(sched.Stats())
+		sm.MirrorReadiness(ready)
+		if db := eng.Database(); db != nil {
+			sm.SetDB(db.NumRecords(), db.RecordSize())
+		}
+	})
+	return &Server{
+		eng:              eng,
+		sched:            sched,
+		allowWireUpdates: cfg.AllowWireUpdates,
+		slowQuery:        cfg.SlowQueryThreshold,
+		traceShard:       cfg.TraceShard,
+		logf:             cfg.SlowQueryLogf,
+		reg:              reg,
+		sm:               sm,
+		ready:            ready,
+		admin:            obs.NewAdmin(reg, ready),
+	}, nil
 }
 
 // newEngine builds the configured compute plane.
@@ -201,8 +256,13 @@ func shrinkPIM(cfg pim.Config, n int) pim.Config {
 
 // Load replicates the database into the server's engine. For the PIM
 // engine this preloads DPU MRAM, a one-time cost outside the query path.
+// A successful load satisfies the db-loaded readiness condition.
 func (s *Server) Load(db *DB) error {
-	return s.eng.LoadDatabase(db)
+	if err := s.eng.LoadDatabase(db); err != nil {
+		return err
+	}
+	s.ready.Set(obs.CondDBLoaded, true)
+	return nil
 }
 
 // EngineName reports the compute plane ("IM-PIR", "CPU-PIR", "GPU-PIR").
@@ -273,23 +333,60 @@ func (s *Server) Serve(lis net.Listener, party uint8) error {
 	if s.srv != nil {
 		return errors.New("impir: server already serving")
 	}
-	var opts []transport.ServerOption
+	opts := []transport.ServerOption{transport.WithObserver(s.sm)}
 	if s.allowWireUpdates {
 		opts = append(opts, transport.WithWireUpdates())
+	}
+	if s.slowQuery > 0 {
+		opts = append(opts, transport.WithSlowQuery(s.slowQuery))
+	}
+	if s.traceShard != "" {
+		opts = append(opts, transport.WithShard(s.traceShard))
+	}
+	if s.logf != nil {
+		opts = append(opts, transport.WithLogf(s.logf))
 	}
 	srv, err := transport.NewServer(lis, s.sched, party, opts...)
 	if err != nil {
 		return err
 	}
 	s.srv = srv
+	s.ready.Set(obs.CondServing, true)
 	return nil
 }
 
-// Shutdown stops the server gracefully: the listener stops accepting,
+// ServeAdmin serves the operator endpoint — GET /metrics (Prometheus
+// text exposition), /healthz (process liveness) and /readyz (503 until
+// the database is loaded and the query listener accepts, and again
+// while an update quiesces or a drain is underway) — on lis. It blocks
+// until ShutdownAdmin (or Shutdown, which stops the admin endpoint
+// last); the returned error is http.ErrServerClosed after a clean stop.
+//
+// The admin endpoint is its own listener, separate from the binary
+// query protocol, so probes and scrapes keep answering through
+// query-plane overload and drain. It exposes only operational
+// aggregates; nothing per-query or secret-dependent is registered.
+func (s *Server) ServeAdmin(lis net.Listener) error {
+	return s.admin.Serve(lis)
+}
+
+// AdminAddr returns the admin listener address, or "" before ServeAdmin.
+func (s *Server) AdminAddr() string { return s.admin.Addr() }
+
+// WriteMetrics renders the server's metric families in the Prometheus
+// text exposition format — the same bytes GET /metrics serves — for
+// in-process consumers (tests, the load generator's artifact).
+func (s *Server) WriteMetrics(w io.Writer) error { return s.reg.WriteText(w) }
+
+// Shutdown stops the server gracefully: /readyz flips to 503 first (so
+// an orchestrator stops routing), then the listener stops accepting,
 // requests already admitted (queued or executing) complete and have
-// their responses written, then connections close and the engine is
-// released. ctx bounds the drain; on expiry remaining work is abandoned.
+// their responses written, connections close, the engine is released,
+// and the admin endpoint — which kept answering the 503 throughout the
+// drain — stops last. ctx bounds the drain; on expiry remaining work is
+// abandoned.
 func (s *Server) Shutdown(ctx context.Context) error {
+	s.ready.Set(obs.CondServing, false)
 	var err error
 	if s.srv != nil {
 		err = s.srv.Shutdown(ctx)
@@ -301,6 +398,9 @@ func (s *Server) Shutdown(ctx context.Context) error {
 	s.sched.Close()
 	if cerr := s.eng.Close(); err == nil {
 		err = cerr
+	}
+	if aerr := s.admin.Shutdown(ctx); err == nil {
+		err = aerr
 	}
 	return err
 }
@@ -317,6 +417,7 @@ func (s *Server) Addr() net.Addr {
 // engine immediately. Queued requests fail; use Shutdown to drain them
 // first.
 func (s *Server) Close() error {
+	s.ready.Set(obs.CondServing, false)
 	var err error
 	if s.srv != nil {
 		err = s.srv.Close()
@@ -325,6 +426,11 @@ func (s *Server) Close() error {
 	s.sched.Close()
 	if cerr := s.eng.Close(); err == nil {
 		err = cerr
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), time.Second)
+	defer cancel()
+	if aerr := s.admin.Shutdown(ctx); err == nil {
+		err = aerr
 	}
 	return err
 }
