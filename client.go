@@ -11,6 +11,7 @@ import (
 
 	"github.com/impir/impir/internal/fanout"
 	"github.com/impir/impir/internal/metrics"
+	"github.com/impir/impir/internal/obs"
 	"github.com/impir/impir/internal/transport"
 )
 
@@ -564,14 +565,21 @@ func (c *Client) fanOut(ctx context.Context, co callOptions, queries []serverQue
 	if err != nil {
 		return nil, err
 	}
+	span := obs.SpanFromContext(ctx)
 	subresults := make([][][]byte, len(conns))
 	g, gctx := fanout.WithContext(ctx)
 	for p := range conns {
 		g.Go(func() error {
-			rs, err := c.partyDo(gctx, co, p, conns[p], queries[p])
+			psp := span.StartChild("party")
+			psp.SetAttrInt("party", int64(p))
+			psp.SetAttrInt("replicas", int64(len(conns[p])))
+			rs, err := c.partyDo(obs.ContextWithSpan(gctx, psp), co, p, conns[p], queries[p])
 			if err != nil {
+				psp.SetAttr("error", err.Error())
+				psp.End()
 				return fmt.Errorf("impir: %s: %w", fmtParty(p, len(conns[p])), err)
 			}
+			psp.End()
 			subresults[p] = rs
 			return nil
 		})
@@ -592,16 +600,24 @@ func (c *Client) partyDo(ctx context.Context, co callOptions, p int, conns []*tr
 	if len(order) == 0 {
 		return nil, errors.New("no live replicas")
 	}
+	psp := obs.SpanFromContext(ctx)
 	n := 1
 	if co.hedge {
 		n = len(order)
 	}
 	if n == 1 {
+		att := psp.StartChild("attempt")
+		att.SetAttrInt("replica", int64(order[0]))
 		start := time.Now()
-		rs, err := q.do(ctx, conns[order[0]])
+		rs, err := q.do(attemptContext(ctx, att), conns[order[0]])
 		if err == nil {
 			c.observeLatency(p, order[0], time.Since(start), false)
+			att.SetAttr("outcome", "ok")
+		} else {
+			att.SetAttr("outcome", "error")
+			att.SetAttr("error", err.Error())
 		}
+		att.End()
 		return rs, err
 	}
 
@@ -615,15 +631,20 @@ func (c *Client) partyDo(ctx context.Context, co callOptions, p int, conns []*tr
 	if adaptive := 2 * time.Duration(primaryEWMA); adaptive > delay {
 		delay = adaptive
 	}
+	psp.SetAttr("hedge_delay", delay.String())
 
 	rs, winner, err := fanout.Hedge(ctx, n, delay, func(ctx context.Context, i int) ([][]byte, error) {
 		if i > 0 {
 			c.bump(func(st *metrics.StoreStats) { st.Hedges++ })
 		}
+		att := psp.StartChild("attempt")
+		att.SetAttrInt("replica", int64(order[i]))
+		att.SetAttrBool("hedge", i > 0)
 		start := time.Now()
-		rs, err := q.do(ctx, conns[order[i]])
+		rs, err := q.do(attemptContext(ctx, att), conns[order[i]])
 		if err == nil {
 			c.observeLatency(p, order[i], time.Since(start), false)
+			att.SetAttr("outcome", "ok")
 		} else if ctx.Err() != nil {
 			// A cancelled exchange only tells us the replica took AT
 			// LEAST this long — it lost the race, or the whole call was
@@ -632,7 +653,17 @@ func (c *Client) partyDo(ctx context.Context, co callOptions, p int, conns []*tr
 			// chronically slow replicas from primary without letting an
 			// early external cancellation make a slow replica look fast.
 			c.observeLatency(p, order[i], time.Since(start), true)
+			if context.Cause(ctx) == fanout.ErrHedgeLost {
+				att.SetAttr("outcome", "lost")
+				att.SetAttrBool("cancelled", true)
+			} else {
+				att.SetAttr("outcome", "cancelled")
+			}
+		} else {
+			att.SetAttr("outcome", "error")
+			att.SetAttr("error", err.Error())
 		}
+		att.End()
 		return rs, err
 	})
 	if err != nil {
@@ -641,7 +672,21 @@ func (c *Client) partyDo(ctx context.Context, co callOptions, p int, conns []*tr
 	if winner > 0 {
 		c.bump(func(st *metrics.StoreStats) { st.HedgeWins++ })
 	}
+	psp.SetAttrInt("winner_replica", int64(order[winner]))
 	return rs, nil
+}
+
+// attemptContext attaches the attempt span's ID as the wire trace
+// context for this one exchange. Each attempt span draws its ID
+// independently at random, so every party — indeed every replica —
+// receives a different, unlinkable ID; see the privacy argument in
+// impir.go. Untraced calls (nil span) attach nothing and produce the
+// exact legacy wire image.
+func attemptContext(ctx context.Context, att *obs.Span) context.Context {
+	if att == nil {
+		return ctx
+	}
+	return transport.ContextWithTrace(ctx, att.ID(), true)
 }
 
 // replicaOrder returns party p's live replica indices fastest-first by

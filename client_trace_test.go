@@ -1,0 +1,123 @@
+package impir
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+)
+
+func TestTracerSampleAllCollectsTree(t *testing.T) {
+	tr := NewTracer(TracerConfig{SampleRate: 1})
+	invoked := 0
+	rec, err := tr.interceptUnary(context.Background(), 5,
+		func(ctx context.Context, index uint64) ([]byte, error) {
+			invoked++
+			return []byte{1}, nil
+		})
+	if err != nil || len(rec) != 1 || invoked != 1 {
+		t.Fatalf("interceptor mangled the call: rec=%v err=%v invoked=%d", rec, err, invoked)
+	}
+	got := tr.RecentTraces(0)
+	if len(got) != 1 || got[0].Name != opRetrieve {
+		t.Fatalf("ring = %+v, want one retrieve trace", got)
+	}
+	if v, _ := got[0].Attr("sampled"); v != "true" {
+		t.Fatalf("sampled attr = %q", v)
+	}
+	if got[0].TraceID == "" || got[0].SpanID == "" {
+		t.Fatal("trace missing identity")
+	}
+}
+
+func TestTracerBatchAndErrorAttrs(t *testing.T) {
+	tr := NewTracer(TracerConfig{SampleRate: 1})
+	boom := errors.New("replica down")
+	_, err := tr.interceptBatch(context.Background(), []uint64{1, 2, 3},
+		func(ctx context.Context, indices []uint64) ([][]byte, error) {
+			return nil, boom
+		})
+	if !errors.Is(err, boom) {
+		t.Fatalf("interceptor swallowed the error: %v", err)
+	}
+	got := tr.RecentTraces(0)
+	if len(got) != 1 || got[0].Name != opRetrieveBatch {
+		t.Fatalf("ring = %+v", got)
+	}
+	if v, _ := got[0].Attr("batch_size"); v != "3" {
+		t.Fatalf("batch_size = %q", v)
+	}
+	if v, _ := got[0].Attr("error"); v != "replica down" {
+		t.Fatalf("error attr = %q", v)
+	}
+}
+
+func TestTracerSlowThresholdRingsOnlySlowOps(t *testing.T) {
+	tr := NewTracer(TracerConfig{SlowThreshold: 20 * time.Millisecond})
+	call := func(d time.Duration) {
+		tr.interceptUnary(context.Background(), 0,
+			func(ctx context.Context, index uint64) ([]byte, error) {
+				time.Sleep(d)
+				return nil, nil
+			})
+	}
+	call(0)
+	if got := tr.RecentTraces(0); len(got) != 0 {
+		t.Fatalf("fast unsampled op was ringed: %+v", got)
+	}
+	call(30 * time.Millisecond)
+	got := tr.RecentTraces(0)
+	if len(got) != 1 {
+		t.Fatalf("slow op not ringed: %+v", got)
+	}
+	if v, _ := got[0].Attr("sampled"); v != "false" {
+		t.Fatalf("slow-only trace claims sampled=%q", v)
+	}
+}
+
+func TestTracerDisabledZeroAllocation(t *testing.T) {
+	if raceEnabledImpir {
+		t.Skip("allocation counts are unreliable under -race")
+	}
+	tr := NewTracer(TracerConfig{}) // rate 0, no slow threshold
+	ctx := context.Background()
+	invoke := func(ctx context.Context, index uint64) ([]byte, error) { return nil, nil }
+	allocs := testing.AllocsPerRun(1000, func() {
+		tr.interceptUnary(ctx, 1, invoke)
+	})
+	if allocs != 0 {
+		t.Fatalf("disabled tracer allocates %.1f/op on the unary path, want 0", allocs)
+	}
+	binvoke := func(ctx context.Context, indices []uint64) ([][]byte, error) { return nil, nil }
+	indices := []uint64{1, 2}
+	allocs = testing.AllocsPerRun(1000, func() {
+		tr.interceptBatch(ctx, indices, binvoke)
+	})
+	if allocs != 0 {
+		t.Fatalf("disabled tracer allocates %.1f/op on the batch path, want 0", allocs)
+	}
+}
+
+// BenchmarkTracerDisabledUnary is the perf guard's evidence: the
+// interceptor with sampling off must report 0 B/op, 0 allocs/op.
+func BenchmarkTracerDisabledUnary(b *testing.B) {
+	tr := NewTracer(TracerConfig{})
+	ctx := context.Background()
+	invoke := func(ctx context.Context, index uint64) ([]byte, error) { return nil, nil }
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tr.interceptUnary(ctx, uint64(i), invoke)
+	}
+}
+
+func BenchmarkTracerSampledUnary(b *testing.B) {
+	tr := NewTracer(TracerConfig{SampleRate: 1})
+	ctx := context.Background()
+	invoke := func(ctx context.Context, index uint64) ([]byte, error) { return nil, nil }
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tr.interceptUnary(ctx, uint64(i), invoke)
+	}
+}

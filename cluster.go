@@ -10,6 +10,7 @@ import (
 	"github.com/impir/impir/internal/cluster"
 	"github.com/impir/impir/internal/fanout"
 	"github.com/impir/impir/internal/metrics"
+	"github.com/impir/impir/internal/obs"
 )
 
 // Sharded deployments: the topology, planning, and database-carving
@@ -190,16 +191,26 @@ func (c *ClusterClient) retrieve(ctx context.Context, co callOptions, global uin
 	if err != nil {
 		return nil, err
 	}
+	span := obs.SpanFromContext(ctx)
 	recs := make([][]byte, len(c.shards))
 	g, gctx := fanout.WithContext(ctx)
 	for s := range c.shards {
 		g.Go(func() error {
+			// The dummy marking exists ONLY in this client-side span: the
+			// sub-query each non-owner shard receives is indistinguishable
+			// from a real one, and the wire trace context carries no hint.
+			ssp := span.StartChild("shard")
+			ssp.SetAttrInt("shard", int64(s))
+			ssp.SetAttrBool("dummy", s != plan.Owner)
 			start := time.Now()
-			rec, err := c.shards[s].retrieve(gctx, co, plan.Locals[s])
+			rec, err := c.shards[s].retrieve(obs.ContextWithSpan(gctx, ssp), co, plan.Locals[s])
 			c.record(s, 1, 0, time.Since(start), err)
 			if err != nil {
+				ssp.SetAttr("error", err.Error())
+				ssp.End()
 				return fmt.Errorf("impir: shard %d: %w", s, err)
 			}
+			ssp.End()
 			recs[s] = rec
 			return nil
 		})
@@ -245,16 +256,32 @@ func (c *ClusterClient) retrieveBatch(ctx context.Context, co callOptions, globa
 	if err != nil {
 		return nil, err
 	}
+	span := obs.SpanFromContext(ctx)
+	owned := make([]int, len(c.shards))
+	if span != nil {
+		for _, o := range plan.Owners {
+			owned[o]++
+		}
+	}
 	perShard := make([][][]byte, len(c.shards))
 	g, gctx := fanout.WithContext(ctx)
 	for s := range c.shards {
 		g.Go(func() error {
+			// Client-side only, as in retrieve: every shard receives the
+			// same batch shape regardless of how many items it owns.
+			ssp := span.StartChild("shard")
+			ssp.SetAttrInt("shard", int64(s))
+			ssp.SetAttrInt("real", int64(owned[s]))
+			ssp.SetAttrBool("dummy", owned[s] == 0)
 			start := time.Now()
-			recs, err := c.shards[s].retrieveBatch(gctx, co, plan.Locals[s])
+			recs, err := c.shards[s].retrieveBatch(obs.ContextWithSpan(gctx, ssp), co, plan.Locals[s])
 			c.record(s, 0, uint64(len(globals)), time.Since(start), err)
 			if err != nil {
+				ssp.SetAttr("error", err.Error())
+				ssp.End()
 				return fmt.Errorf("impir: shard %d: %w", s, err)
 			}
+			ssp.End()
 			perShard[s] = recs
 			return nil
 		})

@@ -23,6 +23,7 @@ package main
 
 import (
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -56,6 +57,8 @@ func run() error {
 		timeout = flag.Duration("timeout", 30*time.Second, "overall deadline for connect and retrieval")
 		retries = flag.Int("retries", 0, "extra whole-operation attempts after transient failures")
 		noHedge = flag.Bool("no-hedge", false, "disable hedged fan-out across replica sets")
+		trace   = flag.Bool("trace", false,
+			"trace the retrieval and print the span tree JSON (per-shard, per-party, per-attempt timings; each server receives only its own fresh span ID)")
 	)
 	flag.Parse()
 
@@ -73,6 +76,11 @@ func run() error {
 			impir.WithRetries(*retries),
 			impir.WithHedging(!*noHedge),
 		),
+	}
+	var tracer *impir.Tracer
+	if *trace {
+		tracer = impir.NewTracer(impir.TracerConfig{SampleRate: 1})
+		opts = append(opts, tracer.Option())
 	}
 
 	// Resolve whatever flags were given into one deployment manifest —
@@ -105,7 +113,7 @@ func run() error {
 	}
 
 	if d.Keyword != nil {
-		return runKV(ctx, d, opts, flag.Args())
+		return runKV(ctx, d, opts, tracer, flag.Args())
 	}
 
 	indices, err := parseIndices(*indexFlag)
@@ -143,14 +151,26 @@ func run() error {
 	if st := store.Stats(); st.Hedges > 0 {
 		fmt.Printf("hedging: %d hedge(s), %d won\n", st.Hedges, st.HedgeWins)
 	}
+	printTraces(tracer)
 	return nil
+}
+
+// printTraces dumps the tracer's span trees as indented JSON — the
+// whole point of -trace is reading them.
+func printTraces(tracer *impir.Tracer) {
+	if tracer == nil {
+		return
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	enc.Encode(tracer.RecentTraces(0))
 }
 
 // runKV executes a keyword-store operation: `get <key> [key...]`
 // against the deployment's keyword table. A present key prints its
 // value; an absent key is an error — which only the client learns, the
 // servers saw the same constant-shape probe either way.
-func runKV(ctx context.Context, d impir.Deployment, opts []impir.ClientOption, args []string) error {
+func runKV(ctx context.Context, d impir.Deployment, opts []impir.ClientOption, tracer *impir.Tracer, args []string) error {
 	if len(args) < 2 || args[0] != "get" {
 		return fmt.Errorf("keyword mode usage: impir-client -deployment kv-deployment.json get <key> [key...]")
 	}
@@ -184,6 +204,7 @@ func runKV(ctx context.Context, d impir.Deployment, opts []impir.ClientOption, a
 	}
 	fmt.Printf("%d key(s) in %v (no server learned the keys — or whether they exist)\n",
 		len(keys), elapsed.Round(time.Millisecond))
+	printTraces(tracer)
 	if missing > 0 {
 		return fmt.Errorf("%d of %d key(s) not found", missing, len(keys))
 	}

@@ -67,6 +67,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 		timeout  = fs.Duration("timeout", 5*time.Second, "per-operation deadline (0 = none)")
 		seed     = fs.Int64("seed", 1, "operation stream seed")
 		keysPath = fs.String("keys", "", "keyword corpus file, one key per line (remote keyword workloads)")
+		traceSample = fs.Float64("trace-sample", 0,
+			"client-side trace sample rate in [0,1]; sampled span trees are summarised into the run artifact (0 = tracing off, no overhead)")
 
 		ramp        = fs.Bool("ramp", false, "saturation search: ramp QPS from -qps until the SLO breaks, then measure at the knee")
 		rampMax     = fs.Float64("ramp-max", 0, "ramp ceiling (0 = 64×start)")
@@ -133,9 +135,17 @@ func run(args []string, stdout, stderr io.Writer) int {
 	if *conns < 1 {
 		*conns = 1
 	}
+	// One tracer shared across the pools: every pool's sampled trees
+	// land in the same ring, which the artifact summarises at the end.
+	var tracer *impir.Tracer
+	var clientOpts []impir.ClientOption
+	if *traceSample > 0 {
+		tracer = impir.NewTracer(impir.TracerConfig{SampleRate: *traceSample})
+		clientOpts = append(clientOpts, tracer.Option())
+	}
 	target := loadgen.Target{Keys: keys}
 	for i := 0; i < *conns; i++ {
-		store, err := impir.Open(ctx, d)
+		store, err := impir.Open(ctx, d, clientOpts...)
 		if err != nil {
 			fmt.Fprintln(stderr, "impir-loadgen: open:", err)
 			return 1
@@ -143,7 +153,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		defer store.Close()
 		target.PerClient = append(target.PerClient, store)
 		if wl != loadgen.WorkloadIndex {
-			kv, err := impir.OpenKV(ctx, d)
+			kv, err := impir.OpenKV(ctx, d, clientOpts...)
 			if err != nil {
 				fmt.Fprintln(stderr, "impir-loadgen: open keyword view:", err)
 				return 1
@@ -204,6 +214,10 @@ func run(args []string, stdout, stderr io.Writer) int {
 			fmt.Fprintln(stderr, "impir-loadgen:", err)
 			return 1
 		}
+	}
+
+	if tracer != nil {
+		res.Traces = traceSummaries(tracer.RecentTraces(0))
 	}
 
 	if *jsonOut {
@@ -399,6 +413,31 @@ func (ss *selfserveDeployment) scrape() ([]map[string]float64, error) {
 		out[i] = samples
 	}
 	return out, nil
+}
+
+// traceSummaries condenses the tracer's sampled span trees into the
+// artifact's flat summary form: op, duration, tree width, error.
+func traceSummaries(snaps []impir.TraceSnapshot) []loadgen.TraceSummary {
+	var count func(impir.TraceSnapshot) int
+	count = func(sn impir.TraceSnapshot) int {
+		n := 1
+		for _, c := range sn.Children {
+			n += count(c)
+		}
+		return n
+	}
+	out := make([]loadgen.TraceSummary, 0, len(snaps))
+	for _, sn := range snaps {
+		errAttr, _ := sn.Attr("error")
+		out = append(out, loadgen.TraceSummary{
+			TraceID: sn.TraceID,
+			Op:      sn.Name,
+			DurUS:   sn.DurUS,
+			Spans:   count(sn),
+			Error:   errAttr,
+		})
+	}
+	return out
 }
 
 // loadKeys reads a keyword corpus file: one key per line, blank lines

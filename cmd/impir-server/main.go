@@ -51,6 +51,7 @@ package main
 
 import (
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"log"
@@ -59,6 +60,7 @@ import (
 	"os/signal"
 	"reflect"
 	"strconv"
+	"strings"
 	"syscall"
 	"time"
 
@@ -66,6 +68,23 @@ import (
 	"github.com/impir/impir/internal/cluster"
 	"github.com/impir/impir/internal/keyword"
 )
+
+// jsonLogf renders transport log lines for -log-format=json: lines the
+// transport already rendered as JSON objects (slow-query traces under
+// JSONLogs) pass through verbatim, anything else is wrapped, so stderr
+// stays one JSON object per line and log pipelines never need a regex.
+func jsonLogf(format string, args ...any) {
+	msg := fmt.Sprintf(format, args...)
+	if strings.HasPrefix(msg, "{") {
+		fmt.Fprintln(os.Stderr, msg)
+		return
+	}
+	b, err := json.Marshal(map[string]string{"msg": msg})
+	if err != nil {
+		return
+	}
+	fmt.Fprintln(os.Stderr, string(b))
+}
 
 func main() {
 	if err := run(); err != nil {
@@ -108,14 +127,25 @@ func run() error {
 			"graceful drain bound on SIGTERM/SIGINT before in-flight requests are abandoned")
 
 		adminAddr = flag.String("admin-addr", "",
-			"serve the operator endpoint (GET /metrics, /healthz, /readyz) on this address; empty disables it")
+			"serve the operator endpoint (GET /metrics, /healthz, /readyz, /debug/traces) on this address; empty disables it")
 		slowQuery = flag.Duration("slow-query", 0,
 			"log a structured trace for any query frame taking at least this long end-to-end (0 = off)")
+		traceSample = flag.Float64("trace-sample", 0,
+			"head-sample this fraction of queries arriving without a client trace context into the /debug/traces ring (0 = only client-sampled and slow queries, 1 = all)")
+		traceRing = flag.Int("trace-ring", 0,
+			"trace ring buffer capacity (0 = 256)")
+		pprofOn = flag.Bool("pprof", false,
+			"mount net/http/pprof under /debug/pprof/ on the admin endpoint")
+		logFormat = flag.String("log-format", "text",
+			"slow-query/trace log rendering: text (logfmt) or json (one object per line)")
 	)
 	flag.Parse()
 
 	if *party < 0 || *party > 255 {
 		return fmt.Errorf("party %d must be in 0..255", *party)
+	}
+	if *logFormat != "text" && *logFormat != "json" {
+		return fmt.Errorf("unknown -log-format %q (want text or json)", *logFormat)
 	}
 	kind, err := impir.ParseEngineKind(*engine)
 	if err != nil {
@@ -152,7 +182,7 @@ func run() error {
 	if *deploymentPath != "" || *manifestPath != "" {
 		traceShard = strconv.Itoa(*shard)
 	}
-	srv, err := impir.NewServer(impir.ServerConfig{
+	scfg := impir.ServerConfig{
 		Engine:             kind,
 		DPUs:               *dpus,
 		Clusters:           *clusters,
@@ -163,7 +193,15 @@ func run() error {
 		AllowWireUpdates:   *allowUpdates,
 		SlowQueryThreshold: *slowQuery,
 		TraceShard:         traceShard,
-	})
+		TraceSampleRate:    *traceSample,
+		TraceRingSize:      *traceRing,
+		EnablePprof:        *pprofOn,
+	}
+	if *logFormat == "json" {
+		scfg.JSONLogs = true
+		scfg.SlowQueryLogf = jsonLogf
+	}
+	srv, err := impir.NewServer(scfg)
 	if err != nil {
 		return err
 	}

@@ -126,6 +126,37 @@
 // scrapeable or snapshotable. Everything exported is an operational
 // aggregate: indices' timing, never their values.
 //
+// # Distributed tracing
+//
+// NewTracer adds the per-query half: a head-sampled root span per
+// logical operation, child spans for every shard sub-query, party, and
+// replica attempt (hedge delay, winner/loser, loser cancellation), and
+// a ring buffer of finished span trees (Tracer.RecentTraces, or
+// mounted as an HTTP handler). Servers keep their own ring — queue
+// wait, engine pass, per-phase breakdown — served as JSON at the admin
+// endpoint's /debug/traces?min_ms=N, populated by client-sampled
+// queries, ServerConfig.TraceSampleRate, and everything over the
+// slow-query threshold. ServerConfig.EnablePprof additionally mounts
+// net/http/pprof under /debug/pprof/ (off by default).
+//
+// Privacy argument: tracing must not weaken the non-collusion model,
+// so NO SHARED TRACE ID EVER CROSSES A PARTY BOUNDARY. The wire trace
+// context a server receives is the span ID of that one replica
+// attempt, drawn independently at random per attempt — two parties
+// (indeed two replicas) never receive the same ID, and because the IDs
+// are independent uniform draws, colluding servers comparing their
+// contexts learn nothing about whether two queries belong to the same
+// operation beyond the arrival timing they already observe. The
+// linkage lives only client-side: the client's span tree records each
+// attempt's ID, which equals the trace_id of exactly that server's
+// ring entry, so the operator of the CLIENT can join the halves while
+// the servers cannot. Shard dummy marking (dummy=true on non-owner
+// sub-queries) and keyword probe counts exist only in client-side
+// spans and never go on the wire; the wire bytes of a traced query
+// differ from an untraced one only by the negotiated version-2
+// extension, and untraced queries are byte-identical to the legacy
+// protocol.
+//
 // # Batched execution
 //
 // A batch pass — a client's explicit RetrieveBatch, or single queries

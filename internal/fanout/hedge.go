@@ -6,6 +6,11 @@ import (
 	"time"
 )
 
+// ErrHedgeLost is the cancellation cause handed to attempts that lose
+// the hedge race: the winner's result was returned and the losers'
+// contexts were cancelled with this cause.
+var ErrHedgeLost = errors.New("fanout: attempt lost the hedge race")
+
 // Hedge runs up to n attempts of one idempotent operation against
 // interchangeable replicas, fastest-first: attempt 0 starts immediately,
 // and each further attempt starts when delay elapses without a winner —
@@ -20,13 +25,17 @@ import (
 // the PIR wire protocol a cancelled exchange poisons its connection,
 // which the client layer heals by redialing — the price of hedging is a
 // redial per lost race, never a wrong answer.
+//
+// A loser's context is cancelled with ErrHedgeLost as the cause, so an
+// attempt (or its tracing) can distinguish losing the race from the
+// caller's own cancellation via context.Cause.
 func Hedge[T any](ctx context.Context, n int, delay time.Duration, attempt func(ctx context.Context, i int) (T, error)) (T, int, error) {
 	var zero T
 	if n < 1 {
 		return zero, 0, errors.New("fanout: hedge needs at least one attempt")
 	}
-	actx, cancel := context.WithCancel(ctx)
-	defer cancel()
+	actx, cancel := context.WithCancelCause(ctx)
+	defer cancel(nil)
 
 	type result struct {
 		i   int
@@ -94,6 +103,7 @@ func Hedge[T any](ctx context.Context, n int, delay time.Duration, attempt func(
 			armNext()
 		case r := <-results:
 			if r.err == nil {
+				cancel(ErrHedgeLost)
 				return r.val, r.i, nil
 			}
 			if firstErr == nil {

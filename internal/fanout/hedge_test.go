@@ -100,6 +100,60 @@ func TestHedgeContextCancellation(t *testing.T) {
 	}
 }
 
+func TestHedgeLoserSeesLostCause(t *testing.T) {
+	// The loser must be able to tell losing the race apart from the
+	// caller's own cancellation: its context's Cause is ErrHedgeLost.
+	cause := make(chan error, 1)
+	v, i, err := Hedge(context.Background(), 2, 5*time.Millisecond,
+		func(ctx context.Context, i int) (string, error) {
+			if i == 0 {
+				<-ctx.Done()
+				cause <- context.Cause(ctx)
+				return "", ctx.Err()
+			}
+			return "hedge", nil
+		})
+	if err != nil || v != "hedge" || i != 1 {
+		t.Fatalf("got (%q, %d, %v)", v, i, err)
+	}
+	select {
+	case got := <-cause:
+		if !errors.Is(got, ErrHedgeLost) {
+			t.Fatalf("loser's cause = %v, want ErrHedgeLost", got)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("losing attempt was never cancelled")
+	}
+}
+
+func TestHedgeCallerCancelIsNotLost(t *testing.T) {
+	// Caller cancellation must NOT masquerade as a lost race.
+	ctx, cancel := context.WithCancel(context.Background())
+	cause := make(chan error, 1)
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		Hedge(ctx, 1, 0, func(ctx context.Context, i int) (int, error) {
+			<-ctx.Done()
+			cause <- context.Cause(ctx)
+			return 0, ctx.Err()
+		})
+	}()
+	cancel()
+	<-done
+	select {
+	case got := <-cause:
+		if errors.Is(got, ErrHedgeLost) {
+			t.Fatalf("caller cancellation reported as ErrHedgeLost")
+		}
+		if !errors.Is(got, context.Canceled) {
+			t.Fatalf("cause = %v, want context.Canceled", got)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("attempt never observed cancellation")
+	}
+}
+
 func TestHedgeZeroDelayRacesAll(t *testing.T) {
 	var launches atomic.Int32
 	release := make(chan struct{})

@@ -213,6 +213,26 @@ type Result struct {
 	KV    *metrics.KVStats   `json:"kv,omitempty"`
 	// Ramp carries the saturation-search steps when -ramp ran.
 	Ramp *RampResult `json:"ramp,omitempty"`
+	// Traces condenses the client-side sampled span trees of the run
+	// (runs with -trace-sample only; omitted otherwise so existing
+	// baselines keep their fingerprint).
+	Traces []TraceSummary `json:"traces,omitempty"`
+}
+
+// TraceSummary is one sampled client trace boiled down to the numbers a
+// run artifact needs: which operation, how long, how wide the tree got.
+// The full span trees stay in the tracer's ring — the artifact records
+// enough to spot outliers, not to replay them.
+type TraceSummary struct {
+	TraceID string `json:"trace_id"`
+	Op      string `json:"op"`
+	DurUS   int64  `json:"dur_us"`
+	// Spans counts every span in the tree (root, per-shard, per-party,
+	// per-attempt).
+	Spans int `json:"spans"`
+	// Error carries the root span's error attribute, if the operation
+	// failed.
+	Error string `json:"error,omitempty"`
 }
 
 // BaselineMetrics projects the result onto the named scalar metrics the
@@ -285,6 +305,9 @@ func (r *Result) PrintHuman(w io.Writer) {
 				fmt.Fprintf(w, "    %s\n", ms)
 			}
 		}
+	}
+	if len(r.Traces) > 0 {
+		fmt.Fprintf(w, "  traces     : %d sampled span tree(s) in artifact\n", len(r.Traces))
 	}
 	if r.Ramp != nil {
 		r.Ramp.PrintHuman(w)

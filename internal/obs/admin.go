@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"sort"
 	"sync"
 	"time"
@@ -65,23 +66,48 @@ func (r *Readiness) Ready() (bool, []string) {
 // Admin is the operator-facing HTTP endpoint: /metrics (Prometheus
 // text exposition), /healthz (process up — 200 as long as the listener
 // answers), /readyz (200 only while every readiness condition holds;
-// 503 with the failing condition names otherwise). It is served on its
-// own listener, separate from the binary query protocol, so probes and
-// scrapes survive query-plane overload and drain.
+// 503 with the failing condition names otherwise), plus /debug/traces
+// (the trace ring buffer as JSON) when a ring is attached and the
+// net/http/pprof handlers under /debug/pprof/ when enabled. It is
+// served on its own listener, separate from the binary query protocol,
+// so probes and scrapes survive query-plane overload and drain.
 type Admin struct {
-	reg   *Registry
-	ready *Readiness
+	reg    *Registry
+	ready  *Readiness
+	traces *TraceRing
+	pprof  bool
 
 	mu  sync.Mutex
 	srv *http.Server
 	lis net.Listener
 }
 
+// AdminOption customises an Admin endpoint.
+type AdminOption func(*Admin)
+
+// WithTraceRing serves the ring's recent traces as JSON at
+// /debug/traces (filterable with ?min_ms=N).
+func WithTraceRing(r *TraceRing) AdminOption {
+	return func(a *Admin) { a.traces = r }
+}
+
+// WithPprof mounts the net/http/pprof profiling handlers under
+// /debug/pprof/ on the admin mux. Off unless requested: profiles can
+// stall a loaded process and expose more internals than metrics do, so
+// they are an explicit operator opt-in.
+func WithPprof() AdminOption {
+	return func(a *Admin) { a.pprof = true }
+}
+
 // NewAdmin builds an admin endpoint over the registry and readiness
 // tracker. Either may be nil: a nil registry serves an empty exposition,
 // a nil readiness is always ready.
-func NewAdmin(reg *Registry, ready *Readiness) *Admin {
-	return &Admin{reg: reg, ready: ready}
+func NewAdmin(reg *Registry, ready *Readiness, opts ...AdminOption) *Admin {
+	a := &Admin{reg: reg, ready: ready}
+	for _, opt := range opts {
+		opt(a)
+	}
+	return a
 }
 
 // Handler returns the admin mux; useful for tests and for mounting the
@@ -89,6 +115,16 @@ func NewAdmin(reg *Registry, ready *Readiness) *Admin {
 func (a *Admin) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/metrics", a.handleMetrics)
+	if a.traces != nil {
+		mux.Handle("/debug/traces", a.traces)
+	}
+	if a.pprof {
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	}
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 		fmt.Fprintln(w, "ok")

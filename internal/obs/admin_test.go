@@ -2,6 +2,7 @@ package obs
 
 import (
 	"context"
+	"encoding/json"
 	"io"
 	"net"
 	"net/http"
@@ -97,6 +98,68 @@ func TestAdminEndpoints(t *testing.T) {
 	}
 	if !strings.Contains(body, "test_requests_total 3") {
 		t.Errorf("/metrics body missing counter:\n%s", body)
+	}
+}
+
+func TestAdminTraceAndPprofEndpoints(t *testing.T) {
+	ring := NewTraceRing(4)
+	s := NewRootSpan(NewTraceID(), "server.query")
+	s.endAt(7 * time.Millisecond)
+	ring.Add(s)
+
+	// Default admin: no ring mounted, pprof off.
+	bare := httptest.NewServer(NewAdmin(NewRegistry(), nil).Handler())
+	defer bare.Close()
+	for _, path := range []string{"/debug/traces", "/debug/pprof/", "/debug/pprof/cmdline"} {
+		resp, err := http.Get(bare.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusNotFound {
+			t.Errorf("bare admin %s = %d, want 404", path, resp.StatusCode)
+		}
+	}
+
+	full := httptest.NewServer(NewAdmin(NewRegistry(), nil, WithTraceRing(ring), WithPprof()).Handler())
+	defer full.Close()
+
+	resp, err := http.Get(full.URL + "/debug/traces")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/debug/traces = %d", resp.StatusCode)
+	}
+	var spans []SpanSnapshot
+	if err := json.Unmarshal(body, &spans); err != nil {
+		t.Fatalf("/debug/traces body not JSON: %v\n%s", err, body)
+	}
+	if len(spans) != 1 || spans[0].Name != "server.query" {
+		t.Fatalf("/debug/traces served %+v, want the ringed trace", spans)
+	}
+
+	// min_ms filters through the mounted handler too.
+	resp, err = http.Get(full.URL + "/debug/traces?min_ms=100")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ = io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err := json.Unmarshal(body, &spans); err != nil || len(spans) != 0 {
+		t.Fatalf("min_ms=100 served %s (err %v), want []", body, err)
+	}
+
+	resp, err = http.Get(full.URL + "/debug/pprof/cmdline")
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Errorf("/debug/pprof/cmdline with WithPprof = %d, want 200", resp.StatusCode)
 	}
 }
 

@@ -1,0 +1,7 @@
+//go:build race
+
+package obs
+
+// raceEnabled lets allocation-count assertions skip themselves under
+// the race detector, whose instrumentation perturbs them.
+const raceEnabled = true

@@ -2,6 +2,7 @@ package obs
 
 import (
 	"context"
+	"encoding/json"
 	"fmt"
 	"strings"
 	"time"
@@ -40,6 +41,16 @@ type Trace struct {
 	Fused bool
 	// Breakdown is the engine's per-phase accounting for this request.
 	Breakdown metrics.Breakdown
+	// SpanID is the party-local trace identifier: joined from the
+	// client's wire trace context when the query carried one, freshly
+	// generated otherwise. It is stamped into the slow-query log line
+	// and identifies this trace in the server's ring buffer — the link a
+	// client span tree uses to find the server-side half of an attempt.
+	SpanID SpanID
+	// Sampled marks the trace for the server's ring buffer regardless
+	// of the slow-query threshold (head-sampled by the client or by the
+	// server's own sampler).
+	Sampled bool
 }
 
 // String renders the trace as one structured log line (logfmt-style
@@ -52,6 +63,9 @@ func (t *Trace) String() string {
 	if t.Shard != "" {
 		fmt.Fprintf(&sb, " shard=%s", t.Shard)
 	}
+	if !t.SpanID.IsZero() {
+		fmt.Fprintf(&sb, " trace_id=%s", t.SpanID)
+	}
 	fmt.Fprintf(&sb, " total=%v queue=%v engine=%v width=%d fused=%t",
 		metrics.RoundDuration(t.Total), metrics.RoundDuration(t.QueueWait),
 		metrics.RoundDuration(t.Engine), t.PassWidth, t.Fused)
@@ -59,6 +73,87 @@ func (t *Trace) String() string {
 		fmt.Fprintf(&sb, " phases[%s]", bd)
 	}
 	return sb.String()
+}
+
+// traceJSON is the structured rendering of one slow-query/trace line.
+type traceJSON struct {
+	Msg      string             `json:"msg"`
+	TS       string             `json:"ts"`
+	Frame    string             `json:"frame"`
+	Shard    string             `json:"shard,omitempty"`
+	TraceID  string             `json:"trace_id,omitempty"`
+	TotalUS  int64              `json:"total_us"`
+	QueueUS  int64              `json:"queue_us"`
+	EngineUS int64              `json:"engine_us"`
+	Width    int                `json:"width"`
+	Fused    bool               `json:"fused"`
+	Phases   map[string]float64 `json:"phases_us,omitempty"`
+}
+
+// JSON renders the trace as one single-line JSON object carrying the
+// same fields as String, for log pipelines that ingest structured
+// lines without regex. The timestamp is the dispatch start.
+func (t *Trace) JSON() []byte {
+	v := traceJSON{
+		Msg:      "slow_query",
+		TS:       t.Start.Format(time.RFC3339Nano),
+		Frame:    t.Frame,
+		Shard:    t.Shard,
+		TotalUS:  t.Total.Microseconds(),
+		QueueUS:  t.QueueWait.Microseconds(),
+		EngineUS: t.Engine.Microseconds(),
+		Width:    t.PassWidth,
+		Fused:    t.Fused,
+	}
+	if !t.SpanID.IsZero() {
+		v.TraceID = t.SpanID.String()
+	}
+	for i := 0; i < metrics.NumPhases; i++ {
+		if w := t.Breakdown.Wall[i]; w > 0 {
+			if v.Phases == nil {
+				v.Phases = make(map[string]float64)
+			}
+			v.Phases[metrics.Phase(i).String()] = float64(w) / float64(time.Microsecond)
+		}
+	}
+	b, err := json.Marshal(v)
+	if err != nil {
+		return []byte(`{"msg":"slow_query"}`)
+	}
+	return b
+}
+
+// Span converts a completed trace into a span tree for the server's
+// ring buffer: a root span under the party-local ID with queue and
+// engine stage children (the engine child carries the per-phase wall
+// times as attributes). Call only after the request completed
+// successfully — the same publication discipline as reading any other
+// Trace field.
+func (t *Trace) Span() *Span {
+	id := t.SpanID
+	if id.IsZero() {
+		id = NewSpanID()
+	}
+	root := &Span{id: id, name: "server." + t.Frame, start: t.Start}
+	if t.Shard != "" {
+		root.SetAttr("shard", t.Shard)
+	}
+	root.SetAttrInt("width", int64(t.PassWidth))
+	root.SetAttrBool("fused", t.Fused)
+	queue := &Span{id: NewSpanID(), name: "queue", start: t.Start}
+	queue.endAt(t.QueueWait)
+	// The engine pass starts when the queue wait ends — exact for solo
+	// passes, within the coalescing window for fused ones.
+	eng := &Span{id: NewSpanID(), name: "engine", start: t.Start.Add(t.QueueWait)}
+	for i := 0; i < metrics.NumPhases; i++ {
+		if w := t.Breakdown.Wall[i]; w > 0 {
+			eng.SetAttr(metrics.Phase(i).String(), w.String())
+		}
+	}
+	eng.endAt(t.Engine)
+	root.children = []*Span{queue, eng}
+	root.endAt(t.Total)
+	return root
 }
 
 type traceKey struct{}

@@ -87,8 +87,19 @@ func (t MsgType) String() string {
 	}
 }
 
-// Version is the protocol version carried in Hello frames.
-const Version = 1
+// Protocol versions carried in Hello frames. Version 2 is identical to
+// version 1 on every frame except that it permits the optional
+// trace-context extension (FlagTraceContext) on query/batch frames. A
+// server that accepts version 2 must also accept version 1; a client
+// whose version-2 hello is rejected downgrades to version 1 and simply
+// never attaches the extension.
+const (
+	// VersionLegacy is the pre-tracing protocol: no header flags, no
+	// frame extensions.
+	VersionLegacy = 1
+	// Version is the current protocol version.
+	Version = 2
+)
 
 // MaxFrameSize bounds a frame's payload; larger frames are rejected
 // before allocation. Batch frames of thousands of keys stay well below
@@ -104,21 +115,37 @@ var (
 	ErrBadMagic = errors.New("pirproto: bad frame magic")
 )
 
-// Frame header: magic(2) type(1) reserved(1) length(4, LE).
+// Frame header: magic(2) type(1) flags(1) length(4, LE). The flags
+// byte was reserved (always zero) through protocol version 1; version 2
+// uses it to mark optional extensions. Version-1 peers wrote it as zero
+// and ignored it on read, which is exactly what makes the extension
+// negotiable: a flagged frame is only ever sent to a peer that said
+// hello with version 2.
 const headerSize = 8
+
+// FlagTraceContext marks a query/batch frame whose payload is prefixed
+// with a TraceContext (traceContextSize bytes). Only valid on
+// connections that negotiated protocol version ≥ 2.
+const FlagTraceContext byte = 0x01
 
 // maxUpdateEntries bounds a MsgUpdate frame's entry count, enforced
 // symmetrically by MarshalUpdate and ParseUpdate.
 const maxUpdateEntries = 1 << 20
 
-// WriteFrame writes one frame.
+// WriteFrame writes one frame with no flags — the version-1 wire image.
 func WriteFrame(w io.Writer, t MsgType, payload []byte) error {
+	return WriteFrameFlags(w, t, 0, payload)
+}
+
+// WriteFrameFlags writes one frame with the given header flags.
+func WriteFrameFlags(w io.Writer, t MsgType, flags byte, payload []byte) error {
 	if len(payload) > MaxFrameSize {
 		return ErrFrameTooLarge
 	}
 	var hdr [headerSize]byte
 	hdr[0], hdr[1] = magic[0], magic[1]
 	hdr[2] = byte(t)
+	hdr[3] = flags
 	binary.LittleEndian.PutUint32(hdr[4:], uint32(len(payload)))
 	if _, err := w.Write(hdr[:]); err != nil {
 		return fmt.Errorf("pirproto: write header: %w", err)
@@ -131,24 +158,74 @@ func WriteFrame(w io.Writer, t MsgType, payload []byte) error {
 	return nil
 }
 
-// ReadFrame reads one frame, validating magic and size.
+// ReadFrame reads one frame, validating magic and size, discarding the
+// header flags — the version-1 read path.
 func ReadFrame(r io.Reader) (MsgType, []byte, error) {
+	t, _, payload, err := ReadFrameFlags(r)
+	return t, payload, err
+}
+
+// ReadFrameFlags reads one frame, returning its header flags.
+func ReadFrameFlags(r io.Reader) (MsgType, byte, []byte, error) {
 	var hdr [headerSize]byte
 	if _, err := io.ReadFull(r, hdr[:]); err != nil {
-		return 0, nil, err
+		return 0, 0, nil, err
 	}
 	if hdr[0] != magic[0] || hdr[1] != magic[1] {
-		return 0, nil, ErrBadMagic
+		return 0, 0, nil, ErrBadMagic
 	}
 	size := binary.LittleEndian.Uint32(hdr[4:])
 	if size > MaxFrameSize {
-		return 0, nil, ErrFrameTooLarge
+		return 0, 0, nil, ErrFrameTooLarge
 	}
 	payload := make([]byte, size)
 	if _, err := io.ReadFull(r, payload); err != nil {
-		return 0, nil, fmt.Errorf("pirproto: read payload: %w", err)
+		return 0, 0, nil, fmt.Errorf("pirproto: read payload: %w", err)
 	}
-	return MsgType(hdr[2]), payload, nil
+	return MsgType(hdr[2]), hdr[3], payload, nil
+}
+
+// TraceContext is the optional per-frame tracing extension: the span ID
+// the client minted for this one server's view of one attempt. Each
+// party receives an independently random ID — the context deliberately
+// carries no shared trace ID, so two colluding servers cannot link
+// their halves of one client operation through it.
+type TraceContext struct {
+	// SpanID is the party-local span ID (little-endian on the wire).
+	SpanID uint64
+	// Sampled asks the server to record the trace in its ring buffer
+	// even below its own sampling rate.
+	Sampled bool
+}
+
+// traceContextSize is the extension prefix length: span ID (8, LE) +
+// sampled flag (1).
+const traceContextSize = 9
+
+// PrependTraceContext returns payload prefixed with the encoded trace
+// context, for a frame written with FlagTraceContext.
+func PrependTraceContext(tc TraceContext, payload []byte) []byte {
+	out := make([]byte, traceContextSize+len(payload))
+	binary.LittleEndian.PutUint64(out, tc.SpanID)
+	if tc.Sampled {
+		out[8] = 1
+	}
+	copy(out[traceContextSize:], payload)
+	return out
+}
+
+// SplitTraceContext strips the trace-context prefix from a frame
+// payload carrying FlagTraceContext, returning the context and the
+// inner payload.
+func SplitTraceContext(b []byte) (TraceContext, []byte, error) {
+	if len(b) < traceContextSize {
+		return TraceContext{}, nil, errors.New("pirproto: frame too short for trace context")
+	}
+	tc := TraceContext{
+		SpanID:  binary.LittleEndian.Uint64(b),
+		Sampled: b[8] != 0,
+	}
+	return tc, b[traceContextSize:], nil
 }
 
 // ServerInfo describes a PIR server's database to clients.

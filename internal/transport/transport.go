@@ -69,6 +69,9 @@ type Server struct {
 	obs          *obs.ServerMetrics
 	slowQuery    time.Duration
 	shard        string
+	traces       *obs.TraceRing
+	sampler      obs.Sampler
+	jsonLogs     bool
 
 	mu       sync.Mutex
 	conns    map[net.Conn]struct{}
@@ -115,6 +118,28 @@ func WithSlowQuery(threshold time.Duration) ServerOption {
 // a sharded deployment. Unset means unsharded (no shard in the trace).
 func WithShard(shard string) ServerOption {
 	return func(s *Server) { s.shard = shard }
+}
+
+// WithTraceRing records finished traces of sampled and slow queries
+// into r (served as JSON by the admin endpoint). A trace enters the
+// ring when the query's wire context asked for sampling, the server's
+// own sampler picked it, or it crossed the slow-query threshold.
+func WithTraceRing(r *obs.TraceRing) ServerOption {
+	return func(s *Server) { s.traces = r }
+}
+
+// WithTraceSampler head-samples queries that arrive WITHOUT a wire
+// trace context (legacy clients, or new clients below their own
+// sampling rate) so a server still populates its ring under pure
+// legacy traffic. Queries whose context says sampled are always kept.
+func WithTraceSampler(sampler obs.Sampler) ServerOption {
+	return func(s *Server) { s.sampler = sampler }
+}
+
+// WithJSONLogs renders slow-query trace lines as single-line JSON
+// objects instead of logfmt, for structured log pipelines.
+func WithJSONLogs() ServerOption {
+	return func(s *Server) { s.jsonLogs = true }
 }
 
 // NewServer starts serving the dispatcher on the listener. party is this
@@ -253,6 +278,7 @@ func (s *Server) handle(conn net.Conn) {
 
 	type frame struct {
 		t       pirproto.MsgType
+		flags   byte
 		payload []byte
 	}
 	frames := make(chan frame)
@@ -260,7 +286,7 @@ func (s *Server) handle(conn net.Conn) {
 		defer cancel()
 		defer close(frames)
 		for {
-			t, payload, err := pirproto.ReadFrame(conn)
+			t, flags, payload, err := pirproto.ReadFrameFlags(conn)
 			if err != nil {
 				return // connection closed or broken framing; nothing to salvage
 			}
@@ -273,7 +299,7 @@ func (s *Server) handle(conn net.Conn) {
 				return
 			}
 			select {
-			case frames <- frame{t, payload}:
+			case frames <- frame{t, flags, payload}:
 			case <-ctx.Done():
 				s.addInflight(-1)
 				return
@@ -287,11 +313,24 @@ func (s *Server) handle(conn net.Conn) {
 		s.obs.IncRequest(name)
 		dctx := ctx
 		var tr *obs.Trace
-		if s.slowQuery > 0 && isQueryFrame(f.t) {
-			tr = &obs.Trace{Frame: name, Shard: s.shard, Start: start}
-			dctx = obs.NewContext(ctx, tr)
+		payload := f.payload
+		if isQueryFrame(f.t) {
+			var err error
+			tr, payload, err = s.beginTrace(name, start, f.flags, f.payload)
+			if err != nil {
+				s.obs.IncFailure(name)
+				werr := pirproto.WriteFrame(conn, pirproto.MsgError, []byte(err.Error()))
+				s.addInflight(-1)
+				if werr != nil {
+					return
+				}
+				continue
+			}
+			if tr != nil {
+				dctx = obs.NewContext(ctx, tr)
+			}
 		}
-		err := s.dispatch(dctx, conn, f.t, f.payload)
+		err := s.dispatch(dctx, conn, f.t, payload)
 		total := time.Since(start)
 		s.obs.ObserveStage(name, obs.StageTotal, total)
 		if err != nil {
@@ -315,12 +354,57 @@ func (s *Server) handle(conn net.Conn) {
 		// scheduler finished writing it before completing the request
 		// (the done-channel close orders the accesses). An errored or
 		// abandoned request's trace could still be written mid-pass.
-		if tr != nil && total >= s.slowQuery {
+		if tr != nil {
 			tr.Total = total
-			s.logf("transport: slow query: %s", tr)
+			slow := s.slowQuery > 0 && total >= s.slowQuery
+			if tr.Sampled || slow {
+				s.traces.Add(tr.Span())
+			}
+			if slow {
+				if s.jsonLogs {
+					s.logf("%s", tr.JSON())
+				} else {
+					s.logf("transport: slow query: %s", tr)
+				}
+			}
 		}
 		s.addInflight(-1)
 	}
+}
+
+// beginTrace decides whether a query frame gets a Trace and joins the
+// wire trace context onto it: a propagated context's span ID becomes
+// the trace's party-local ID, a context-less query is head-sampled by
+// the server's own sampler. Returns a nil trace (and the payload
+// unchanged) when nothing — sampling, slow-query logging, or a wire
+// context — wants one, which keeps the untraced hot path allocation
+// free.
+func (s *Server) beginTrace(name string, start time.Time, flags byte, payload []byte) (*obs.Trace, []byte, error) {
+	var (
+		spanID  obs.SpanID
+		sampled bool
+	)
+	if flags&pirproto.FlagTraceContext != 0 {
+		tc, inner, err := pirproto.SplitTraceContext(payload)
+		if err != nil {
+			return nil, nil, err
+		}
+		payload = inner
+		spanID = obs.SpanIDFromUint64(tc.SpanID)
+		sampled = tc.Sampled
+	} else if s.sampler.Enabled() {
+		spanID = obs.NewSpanID()
+		sampled = s.sampler.SampleSpan(spanID)
+	}
+	if !sampled && s.slowQuery <= 0 {
+		return nil, payload, nil
+	}
+	if spanID.IsZero() {
+		// Pure slow-query tracing: mint an ID anyway so the log line and
+		// the ring entry for the same query carry the same trace_id.
+		spanID = obs.NewSpanID()
+	}
+	return &obs.Trace{Frame: name, Shard: s.shard, Start: start, SpanID: spanID, Sampled: sampled}, payload, nil
 }
 
 // frameName labels a wire frame type for metrics and traces, matching
@@ -378,7 +462,10 @@ func (s *Server) beginDispatch() bool {
 func (s *Server) dispatch(ctx context.Context, conn net.Conn, t pirproto.MsgType, payload []byte) error {
 	switch t {
 	case pirproto.MsgHello:
-		if len(payload) != 1 || payload[0] != pirproto.Version {
+		// Accept both the legacy and the current version: v2 changes
+		// nothing the server must act on (the trace extension is marked
+		// per-frame by a header flag), so one server serves both.
+		if len(payload) != 1 || (payload[0] != pirproto.VersionLegacy && payload[0] != pirproto.Version) {
 			return fmt.Errorf("unsupported protocol version")
 		}
 		db := s.dispatcher.Database()
@@ -498,9 +585,10 @@ func NewServerTLS(lis net.Listener, d Dispatcher, party uint8, tlsCfg *tls.Confi
 // request/response at a time; concurrent callers are serialised by an
 // internal mutex, so a single Conn may be shared by the fan-out layer.
 type Conn struct {
-	mu   sync.Mutex // serialises request/response exchanges
-	conn net.Conn
-	info pirproto.ServerInfo
+	mu      sync.Mutex // serialises request/response exchanges
+	conn    net.Conn
+	info    pirproto.ServerInfo
+	version uint8 // negotiated protocol version (set during handshake)
 
 	// broken has its own mutex so Broken() answers immediately even
 	// while an exchange holds mu — the client layer probes it to decide
@@ -534,13 +622,25 @@ func DialTLS(ctx context.Context, addr string, tlsCfg *tls.Config) (*Conn, error
 }
 
 // handshake performs the hello exchange on a fresh connection, taking
-// ownership of nc (closed on failure).
+// ownership of nc (closed on failure). It offers the current protocol
+// version first; a server that rejects it (a legacy deployment) leaves
+// the stream usable — its error reply consumed the hello — so the
+// client retries with the legacy version on the same connection and
+// simply never attaches wire extensions.
 func handshake(ctx context.Context, nc net.Conn) (*Conn, error) {
-	c := &Conn{conn: nc}
+	c := &Conn{conn: nc, version: pirproto.Version}
 	t, payload, err := c.roundTrip(ctx, pirproto.MsgHello, []byte{pirproto.Version})
 	if err != nil {
 		nc.Close()
 		return nil, fmt.Errorf("transport: handshake: %w", err)
+	}
+	if t == pirproto.MsgError {
+		c.version = pirproto.VersionLegacy
+		t, payload, err = c.roundTrip(ctx, pirproto.MsgHello, []byte{pirproto.VersionLegacy})
+		if err != nil {
+			nc.Close()
+			return nil, fmt.Errorf("transport: handshake (legacy retry): %w", err)
+		}
 	}
 	if t == pirproto.MsgError {
 		nc.Close()
@@ -562,6 +662,9 @@ func handshake(ctx context.Context, nc net.Conn) (*Conn, error) {
 // Info returns the server's database description from the handshake.
 func (c *Conn) Info() pirproto.ServerInfo { return c.info }
 
+// Version returns the negotiated protocol version.
+func (c *Conn) Version() uint8 { return c.version }
+
 // roundTrip performs one request/response exchange under ctx. A context
 // deadline becomes a socket deadline; cancellation interrupts pending
 // I/O by expiring the deadline immediately. Because the protocol has no
@@ -569,6 +672,10 @@ func (c *Conn) Info() pirproto.ServerInfo { return c.info }
 // mid-flight leaves the stream unusable — the Conn is marked broken and
 // every later exchange fails fast.
 func (c *Conn) roundTrip(ctx context.Context, t pirproto.MsgType, payload []byte) (pirproto.MsgType, []byte, error) {
+	return c.roundTripFlags(ctx, t, 0, payload)
+}
+
+func (c *Conn) roundTripFlags(ctx context.Context, t pirproto.MsgType, flags byte, payload []byte) (pirproto.MsgType, []byte, error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if err := c.brokenErr(); err != nil {
@@ -598,7 +705,7 @@ func (c *Conn) roundTrip(ctx context.Context, t pirproto.MsgType, payload []byte
 		respType pirproto.MsgType
 		resp     []byte
 	)
-	err := pirproto.WriteFrame(c.conn, t, payload)
+	err := pirproto.WriteFrameFlags(c.conn, t, flags, payload)
 	if err == nil {
 		respType, resp, err = pirproto.ReadFrame(c.conn)
 	}
@@ -628,6 +735,38 @@ func (c *Conn) roundTrip(ctx context.Context, t pirproto.MsgType, payload []byte
 		return 0, nil, err
 	}
 	return respType, resp, nil
+}
+
+type traceCtxKey struct{}
+
+// ContextWithTrace returns ctx carrying a wire trace context for the
+// next query exchange on a version-2 connection: the party-local span
+// ID the client minted for this ONE server's view of one attempt, and
+// whether the client sampled the operation. The caller must mint an
+// independent random ID per party — never reuse one ID across
+// connections to different parties, or colluding servers could link
+// their halves of the operation. A zero span ID attaches nothing.
+func ContextWithTrace(ctx context.Context, spanID obs.SpanID, sampled bool) context.Context {
+	if spanID.IsZero() {
+		return ctx
+	}
+	return context.WithValue(ctx, traceCtxKey{},
+		pirproto.TraceContext{SpanID: spanID.Uint64(), Sampled: sampled})
+}
+
+// attachTrace prepends the context's wire trace extension to a query
+// payload when the connection negotiated version 2. On legacy
+// connections, or when ctx carries no trace, the payload is returned
+// untouched — byte-identical to the version-1 wire image.
+func (c *Conn) attachTrace(ctx context.Context, payload []byte) (byte, []byte) {
+	if c.version < pirproto.Version {
+		return 0, payload
+	}
+	tc, ok := ctx.Value(traceCtxKey{}).(pirproto.TraceContext)
+	if !ok {
+		return 0, payload
+	}
+	return pirproto.FlagTraceContext, pirproto.PrependTraceContext(tc, payload)
 }
 
 // queryResp interprets a single-subresult response frame.
@@ -671,7 +810,8 @@ func (c *Conn) Query(ctx context.Context, key *dpf.Key) ([]byte, error) {
 	if err != nil {
 		return nil, err
 	}
-	t, payload, err := c.roundTrip(ctx, pirproto.MsgQuery, kb)
+	flags, kb := c.attachTrace(ctx, kb)
+	t, payload, err := c.roundTripFlags(ctx, pirproto.MsgQuery, flags, kb)
 	if err != nil {
 		return nil, err
 	}
@@ -685,7 +825,8 @@ func (c *Conn) QueryShare(ctx context.Context, share *bitvec.Vector) ([]byte, er
 	if err != nil {
 		return nil, err
 	}
-	t, resp, err := c.roundTrip(ctx, pirproto.MsgShareQuery, payload)
+	flags, payload := c.attachTrace(ctx, payload)
+	t, resp, err := c.roundTripFlags(ctx, pirproto.MsgShareQuery, flags, payload)
 	if err != nil {
 		return nil, err
 	}
@@ -706,7 +847,8 @@ func (c *Conn) QueryBatch(ctx context.Context, keys []*dpf.Key) ([][]byte, error
 	if err != nil {
 		return nil, err
 	}
-	t, resp, err := c.roundTrip(ctx, pirproto.MsgBatchQuery, payload)
+	flags, payload := c.attachTrace(ctx, payload)
+	t, resp, err := c.roundTripFlags(ctx, pirproto.MsgBatchQuery, flags, payload)
 	if err != nil {
 		return nil, err
 	}
@@ -728,7 +870,8 @@ func (c *Conn) QueryShareBatch(ctx context.Context, shares []*bitvec.Vector) ([]
 	if err != nil {
 		return nil, err
 	}
-	t, resp, err := c.roundTrip(ctx, pirproto.MsgShareBatchQuery, payload)
+	flags, payload := c.attachTrace(ctx, payload)
+	t, resp, err := c.roundTripFlags(ctx, pirproto.MsgShareBatchQuery, flags, payload)
 	if err != nil {
 		return nil, err
 	}

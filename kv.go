@@ -3,10 +3,12 @@ package impir
 import (
 	"context"
 	"fmt"
+	"strconv"
 	"sync"
 
 	"github.com/impir/impir/internal/keyword"
 	"github.com/impir/impir/internal/metrics"
+	"github.com/impir/impir/internal/obs"
 )
 
 // Keyword retrieval: the cuckoo-table layer lives in internal/keyword;
@@ -207,6 +209,13 @@ func (c *KVClient) getBatch(ctx context.Context, keys [][]byte, raw bool, opts [
 		indices = append(indices, c.m.Candidates(key)...)
 	}
 	indices = append(indices, c.m.StashIndices()...)
+	// Label the underlying batch's root span with the probe shape; the
+	// span itself only opens inside the store's interceptor chain. Keys,
+	// candidates, and hits never appear — only counts, which are a pure
+	// function of the manifest and the key count.
+	ctx = obs.ContextWithOpAttrs(ctx,
+		obs.Attr{Key: "kv_keys", Value: strconv.Itoa(len(keys))},
+		obs.Attr{Key: "kv_probes", Value: strconv.Itoa(len(indices))})
 	recs, err := c.store.RetrieveBatch(ctx, indices, opts...)
 	if err != nil {
 		return nil, err

@@ -1,0 +1,5 @@
+//go:build !race
+
+package impir
+
+const raceEnabledImpir = false

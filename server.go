@@ -110,6 +110,21 @@ type ServerConfig struct {
 	// SlowQueryLogf directs slow-query trace lines and other transport
 	// logs (default: the standard logger).
 	SlowQueryLogf func(format string, args ...any)
+	// TraceSampleRate head-samples wire queries that arrive without a
+	// client trace context into the server's trace ring buffer: 0 keeps
+	// only client-sampled and slow queries, 1 keeps everything. Sampled
+	// traces are served as JSON at the admin endpoint's /debug/traces.
+	TraceSampleRate float64
+	// TraceRingSize bounds the trace ring buffer (0 means
+	// obs.DefaultTraceRingSize, 256).
+	TraceRingSize int
+	// EnablePprof mounts the net/http/pprof profiling handlers under
+	// /debug/pprof/ on the admin endpoint. Off by default — profiles can
+	// stall a loaded process, so they are an explicit operator opt-in.
+	EnablePprof bool
+	// JSONLogs renders slow-query trace lines as single-line JSON
+	// objects instead of logfmt.
+	JSONLogs bool
 }
 
 // engine abstracts the three compute planes: the scheduler-facing query
@@ -151,14 +166,18 @@ type Server struct {
 	slowQuery        time.Duration
 	traceShard       string
 	logf             func(format string, args ...any)
+	sampler          obs.Sampler
+	jsonLogs         bool
 
 	// Operability plane: every server carries a metrics registry, a
-	// readiness tracker and an admin endpoint, whether or not the admin
-	// listener is ever started — local users can still WriteMetrics.
-	reg   *obs.Registry
-	sm    *obs.ServerMetrics
-	ready *obs.Readiness
-	admin *obs.Admin
+	// readiness tracker, a trace ring and an admin endpoint, whether or
+	// not the admin listener is ever started — local users can still
+	// WriteMetrics and RecentTraces.
+	reg    *obs.Registry
+	sm     *obs.ServerMetrics
+	ready  *obs.Readiness
+	traces *obs.TraceRing
+	admin  *obs.Admin
 }
 
 // NewServer builds a server with the configured engine behind a request
@@ -192,6 +211,11 @@ func NewServer(cfg ServerConfig) (*Server, error) {
 			sm.SetDB(db.NumRecords(), db.RecordSize())
 		}
 	})
+	traces := obs.NewTraceRing(cfg.TraceRingSize)
+	adminOpts := []obs.AdminOption{obs.WithTraceRing(traces)}
+	if cfg.EnablePprof {
+		adminOpts = append(adminOpts, obs.WithPprof())
+	}
 	return &Server{
 		eng:              eng,
 		sched:            sched,
@@ -199,10 +223,13 @@ func NewServer(cfg ServerConfig) (*Server, error) {
 		slowQuery:        cfg.SlowQueryThreshold,
 		traceShard:       cfg.TraceShard,
 		logf:             cfg.SlowQueryLogf,
+		sampler:          obs.NewSampler(cfg.TraceSampleRate),
+		jsonLogs:         cfg.JSONLogs,
 		reg:              reg,
 		sm:               sm,
 		ready:            ready,
-		admin:            obs.NewAdmin(reg, ready),
+		traces:           traces,
+		admin:            obs.NewAdmin(reg, ready, adminOpts...),
 	}, nil
 }
 
@@ -333,7 +360,11 @@ func (s *Server) Serve(lis net.Listener, party uint8) error {
 	if s.srv != nil {
 		return errors.New("impir: server already serving")
 	}
-	opts := []transport.ServerOption{transport.WithObserver(s.sm)}
+	opts := []transport.ServerOption{
+		transport.WithObserver(s.sm),
+		transport.WithTraceRing(s.traces),
+		transport.WithTraceSampler(s.sampler),
+	}
 	if s.allowWireUpdates {
 		opts = append(opts, transport.WithWireUpdates())
 	}
@@ -345,6 +376,9 @@ func (s *Server) Serve(lis net.Listener, party uint8) error {
 	}
 	if s.logf != nil {
 		opts = append(opts, transport.WithLogf(s.logf))
+	}
+	if s.jsonLogs {
+		opts = append(opts, transport.WithJSONLogs())
 	}
 	srv, err := transport.NewServer(lis, s.sched, party, opts...)
 	if err != nil {
@@ -377,6 +411,18 @@ func (s *Server) AdminAddr() string { return s.admin.Addr() }
 // text exposition format — the same bytes GET /metrics serves — for
 // in-process consumers (tests, the load generator's artifact).
 func (s *Server) WriteMetrics(w io.Writer) error { return s.reg.WriteText(w) }
+
+// RecentTraces snapshots the server's trace ring — sampled and slow
+// queries as party-local span trees, newest first, at least min long
+// (0 keeps all). The same data GET /debug/traces serves.
+func (s *Server) RecentTraces(min time.Duration) []TraceSnapshot {
+	spans := s.traces.Snapshot(min)
+	out := make([]TraceSnapshot, 0, len(spans))
+	for _, sp := range spans {
+		out = append(out, sp.Snapshot())
+	}
+	return out
+}
 
 // Shutdown stops the server gracefully: /readyz flips to 503 first (so
 // an orchestrator stops routing), then the listener stops accepting,

@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"github.com/impir/impir/internal/metrics"
+	"github.com/impir/impir/internal/obs"
 )
 
 // Store is the unified client surface of an IM-PIR deployment: one
@@ -236,6 +237,9 @@ func (p *policy) withBudget(ctx context.Context, co callOptions, core func(ctx c
 		if p.onRetry != nil {
 			p.onRetry()
 		}
+		// attempt+1 extra attempts spent so far; the root span (installed
+		// above this loop by the tracing interceptor) keeps the final tally.
+		obs.SpanFromContext(ctx).SetAttrInt("retries", int64(attempt+1))
 	}
 }
 
