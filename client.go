@@ -65,6 +65,7 @@ type clientConfig struct {
 	unary    []UnaryInterceptor
 	batch    []BatchInterceptor
 	defaults callOptions
+	sideInfo int
 }
 
 func resolveClientConfig(opts []ClientOption) clientConfig {
@@ -115,6 +116,17 @@ func WithUnaryInterceptor(is ...UnaryInterceptor) ClientOption {
 // RetrieveBatch chain; they run in registration order, first outermost.
 func WithBatchInterceptor(is ...BatchInterceptor) ClientOption {
 	return func(cfg *clientConfig) { cfg.batch = append(cfg.batch, is...) }
+}
+
+// WithSideInfoCache keeps the last n decoded records in a client-side
+// LRU and spends hits as side information on coded deployments: a
+// cached record is dropped from the batch planner's real assignment and
+// its bucket query replaced by a well-formed dummy, so the wire traffic
+// is byte-identical with or without the hit. Only effective when the
+// deployment declares a batch_code section (Open ignores it otherwise —
+// the uncoded paths have no constant shape to hide hits behind).
+func WithSideInfoCache(n int) ClientOption {
+	return func(cfg *clientConfig) { cfg.sideInfo = n }
 }
 
 // WithDefaultCallOptions installs store-level defaults applied to every

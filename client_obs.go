@@ -31,9 +31,12 @@ type ClientObs struct {
 	requests *obs.CounterVec   // op, outcome
 	latency  *obs.HistogramVec // op
 
-	retries   *obs.Counter
-	hedges    *obs.Counter
-	hedgeWins *obs.Counter
+	retries      *obs.Counter
+	hedges       *obs.Counter
+	hedgeWins    *obs.Counter
+	codedBatches *obs.Counter
+	sideInfoHits *obs.Counter
+	fallbacks    *obs.Counter
 
 	mu     sync.Mutex
 	stores []Store
@@ -65,6 +68,12 @@ func NewClientObs() *ClientObs {
 			"Hedge attempts launched beyond a party's primary replica (mirrored at scrape time).").With(),
 		hedgeWins: reg.NewCounter("impir_client_hedge_wins_total",
 			"Party sub-requests won by a non-primary replica (mirrored at scrape time).").With(),
+		codedBatches: reg.NewCounter("impir_client_coded_batches_total",
+			"Batches served through the batch-code planner (mirrored at scrape time).").With(),
+		sideInfoHits: reg.NewCounter("impir_client_side_info_hits_total",
+			"Records served from the side-information cache and spent as dummies (mirrored at scrape time).").With(),
+		fallbacks: reg.NewCounter("impir_client_code_fallbacks_total",
+			"Coded batches that fell back to the uncoded path (mirrored at scrape time).").With(),
 	}
 	reg.OnScrape(o.mirrorStores)
 	return o
@@ -93,16 +102,22 @@ func (o *ClientObs) mirrorStores() {
 	o.mu.Lock()
 	stores := append([]Store{}, o.stores...)
 	o.mu.Unlock()
-	var retries, hedges, hedgeWins uint64
+	var retries, hedges, hedgeWins, coded, sideInfo, fallbacks uint64
 	for _, st := range stores {
 		s := st.Stats()
 		retries += s.Retries
 		hedges += s.Hedges
 		hedgeWins += s.HedgeWins
+		coded += s.CodedBatches
+		sideInfo += s.SideInfoHits
+		fallbacks += s.CodeFallbacks
 	}
 	o.retries.Set(retries)
 	o.hedges.Set(hedges)
 	o.hedgeWins.Set(hedgeWins)
+	o.codedBatches.Set(coded)
+	o.sideInfoHits.Set(sideInfo)
+	o.fallbacks.Set(fallbacks)
 }
 
 func (o *ClientObs) record(op string, start time.Time, err error) {
@@ -160,10 +175,14 @@ type ClientObsSnapshot struct {
 	Retrieve      ClientCallStats
 	RetrieveBatch ClientCallStats
 	// Retries, Hedges and HedgeWins aggregate the attached stores'
-	// client-side counters.
-	Retries   uint64
-	Hedges    uint64
-	HedgeWins uint64
+	// client-side counters, as do the coded-batch and side-information
+	// counters (non-zero only for coded deployments).
+	Retries      uint64
+	Hedges       uint64
+	HedgeWins    uint64
+	CodedBatches uint64
+	SideInfoHits uint64
+	Fallbacks    uint64
 }
 
 // Snapshot returns the bundle's current counters and latency quantiles.
@@ -175,6 +194,9 @@ func (o *ClientObs) Snapshot() ClientObsSnapshot {
 		Retries:       o.retries.Value(),
 		Hedges:        o.hedges.Value(),
 		HedgeWins:     o.hedgeWins.Value(),
+		CodedBatches:  o.codedBatches.Value(),
+		SideInfoHits:  o.sideInfoHits.Value(),
+		Fallbacks:     o.fallbacks.Value(),
 	}
 }
 

@@ -296,6 +296,47 @@ func (c *ClusterClient) retrieveBatch(ctx context.Context, co callOptions, globa
 	return out, nil
 }
 
+// retrieveBatchShards fans PRE-PLANNED per-shard local sub-batches out
+// to every cohort concurrently and returns each cohort's answers. It is
+// the transport layer of the coded batch path (CodedStore), which
+// plans its own per-shard locals — a constant buckets/shard + overflow
+// sub-queries per cohort — instead of PlanBatch's uniform fan-out of
+// the whole batch to every shard; that routing is where the coded
+// per-server win comes from. Every cohort still receives an
+// equal-length batch, so the shape remains identical across shards.
+func (c *ClusterClient) retrieveBatchShards(ctx context.Context, co callOptions, locals [][]uint64) ([][][]byte, error) {
+	if len(locals) != len(c.shards) {
+		return nil, fmt.Errorf("impir: %d shard batches for %d shards", len(locals), len(c.shards))
+	}
+	span := obs.SpanFromContext(ctx)
+	perShard := make([][][]byte, len(c.shards))
+	g, gctx := fanout.WithContext(ctx)
+	for s := range c.shards {
+		g.Go(func() error {
+			// As in retrieveBatch, which slots are real exists only
+			// client-side; each cohort sees an ordinary fixed-shape batch.
+			ssp := span.StartChild("shard")
+			ssp.SetAttrInt("shard", int64(s))
+			ssp.SetAttrBool("coded", true)
+			start := time.Now()
+			recs, err := c.shards[s].retrieveBatch(obs.ContextWithSpan(gctx, ssp), co, locals[s])
+			c.record(s, 0, uint64(len(locals[s])), time.Since(start), err)
+			if err != nil {
+				ssp.SetAttr("error", err.Error())
+				ssp.End()
+				return fmt.Errorf("impir: shard %d: %w", s, err)
+			}
+			ssp.End()
+			perShard[s] = recs
+			return nil
+		})
+	}
+	if err := g.Wait(); err != nil {
+		return nil, err
+	}
+	return perShard, nil
+}
+
 // Update routes a bulk record update, keyed by global index, to the
 // owning cohorts only: each dirty row travels to exactly the shard that
 // holds it — and there to EVERY replica of every party — and each

@@ -46,6 +46,7 @@ var runners = map[string]func(bench.Options) *bench.Report{
 	"keyword":   bench.KeywordLookup,
 	"hedging":   bench.HedgingTail,
 	"batchfuse": bench.BatchFuse,
+	"batchcode": bench.BatchCode,
 }
 
 func main() {
@@ -131,6 +132,6 @@ func sortedNames() []string {
 		"fig3a", "fig3b", "fig9a", "fig9b", "fig9c", "fig9d",
 		"fig10a", "fig10b", "table1", "fig11a", "fig11b", "fig12a", "fig12b",
 		"a1", "a2", "a3", "a4", "a5", "a6", "a7", "shards", "keyword", "hedging",
-		"batchfuse",
+		"batchfuse", "batchcode",
 	}
 }

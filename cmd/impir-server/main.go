@@ -65,6 +65,7 @@ import (
 	"time"
 
 	"github.com/impir/impir"
+	"github.com/impir/impir/internal/batchcode"
 	"github.com/impir/impir/internal/cluster"
 	"github.com/impir/impir/internal/keyword"
 )
@@ -289,6 +290,24 @@ func buildDeploymentDatabase(path string, shard int, workload string, records in
 			len(pairs), table.Manifest.NumBuckets, table.Manifest.StashBuckets, table.LoadFactor())
 	} else if db, err = buildDatabase(workload, records, seed); err != nil {
 		return nil, err
+	}
+	if d.BatchCode != nil {
+		// The deployment's rows are a batch-code encoding of the logical
+		// database just built: replicate each record into its r candidate
+		// buckets before the geometry checks and shard carving — the
+		// served shards hold coded rows, and the layout replay is
+		// deterministic, so independently started replicas stay
+		// byte-identical.
+		code := *d.BatchCode
+		if uint64(db.NumRecords()) != code.NumRecords {
+			return nil, fmt.Errorf("synthetic database has %d records, the deployment's batch code encodes %d (were -records/-seed the values deployment.json was generated for?)",
+				db.NumRecords(), code.NumRecords)
+		}
+		if db, err = batchcode.Encode(db, code); err != nil {
+			return nil, err
+		}
+		log.Printf("batch code: %d logical records → %d coded rows (%d buckets × %d rows, %d-way replication)",
+			code.NumRecords, code.TotalRows(), code.Buckets, code.BucketRows, code.Choices)
 	}
 	if d.RecordSize > 0 && db.RecordSize() != d.RecordSize {
 		return nil, fmt.Errorf("synthetic database has %d-byte records, deployment declares %d", db.RecordSize(), d.RecordSize)

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"os"
 
+	"github.com/impir/impir/internal/batchcode"
 	"github.com/impir/impir/internal/cluster"
 )
 
@@ -109,7 +110,44 @@ type Deployment struct {
 	// manifest is public data: it reveals bucket geometry and hash
 	// seeds, never the stored keys.
 	Keyword *KVManifest `json:"keyword,omitempty"`
+	// BatchCode optionally declares that the served rows are a
+	// probabilistic batch-code encoding of a smaller logical database:
+	// the shards hold CodeManifest.TotalRows() coded rows while the
+	// application addresses CodeManifest.NumRecords logical records.
+	// Open then routes RetrieveBatch through the batch planner — one
+	// sub-query per bucket instead of one full scan per record. Like
+	// Keyword, the manifest is public data: geometry and hash seeds
+	// only.
+	BatchCode *CodeManifest `json:"batch_code,omitempty"`
 }
+
+// CodeManifest describes a probabilistic batch-code layout
+// (internal/batchcode): how a logical database is replicated into
+// bucketised subdatabases so multi-record batches cost one sub-query
+// per bucket.
+type CodeManifest = batchcode.Manifest
+
+// ParseCodeManifest parses a batch-code manifest from JSON and
+// validates it.
+func ParseCodeManifest(data []byte) (CodeManifest, error) { return batchcode.Parse(data) }
+
+// LoadCodeManifest reads and validates a batch-code manifest file.
+func LoadCodeManifest(path string) (CodeManifest, error) { return batchcode.Load(path) }
+
+// DeriveBatchCode derives a batch-code manifest for a logical database
+// of numRecords records: bucket capacities are sized for the requested
+// bucket count, replication factor (choices) and overflow slots, and
+// the per-choice hash seeds are drawn deterministically from seed, so
+// every holder of the same parameters derives the same layout.
+func DeriveBatchCode(numRecords uint64, recordSize, buckets, choices, overflowSlots, maxBatch int, seed uint64) (CodeManifest, error) {
+	return batchcode.Derive(numRecords, recordSize, buckets, choices, overflowSlots, maxBatch, seed)
+}
+
+// EncodeBatchCode replicates the logical database into the manifest's
+// bucket layout — the m.TotalRows()-row database coded servers load.
+// Encoding is deterministic: independently started replicas that
+// encode the same logical database stay byte-identical.
+func EncodeBatchCode(db *DB, m CodeManifest) (*DB, error) { return batchcode.Encode(db, m) }
 
 // FlatDeployment describes the simplest topology: one shard served by
 // len(addrs) single-replica parties — the classic "dial these ≥ 2
@@ -154,6 +192,13 @@ func DeploymentFromManifest(m ShardManifest) Deployment {
 // addrs...).WithKeyword(m) is a keyword store over a server pair.
 func (d Deployment) WithKeyword(m KVManifest) Deployment {
 	d.Keyword = &m
+	return d
+}
+
+// WithBatchCode returns a copy of the deployment carrying the batch
+// code manifest, so coded topologies compose as data like WithKeyword.
+func (d Deployment) WithBatchCode(m CodeManifest) Deployment {
+	d.BatchCode = &m
 	return d
 }
 
@@ -228,6 +273,57 @@ func (d Deployment) Validate() error {
 	if d.Keyword != nil {
 		if err := d.Keyword.Validate(); err != nil {
 			return err
+		}
+	}
+	if d.BatchCode != nil {
+		if err := d.validateBatchCode(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// validateBatchCode checks the coded layer's fit: the served rows must
+// be exactly the code's physical grid, record sizes must agree across
+// every declared layer, and in a sharded deployment the shard cuts must
+// fall on bucket boundaries with the same bucket count per shard — that
+// alignment is what lets the coded batch send each shard a constant
+// C/S(+overflow) sub-queries instead of fanning the whole batch
+// everywhere, which is where the per-server win comes from.
+func (d Deployment) validateBatchCode() error {
+	code := d.BatchCode
+	if err := code.Validate(); err != nil {
+		return err
+	}
+	if d.RecordSize > 0 && d.RecordSize != code.RecordSize {
+		return fmt.Errorf("impir: deployment record size %d does not match the batch code's %d",
+			d.RecordSize, code.RecordSize)
+	}
+	if n := d.NumRecords(); n > 0 && n != code.TotalRows() {
+		return fmt.Errorf("impir: deployment serves %d rows but the batch code lays out %d (buckets × bucket_rows)",
+			n, code.TotalRows())
+	}
+	if s := len(d.Shards); s > 1 {
+		if code.Buckets%s != 0 {
+			return fmt.Errorf("impir: %d buckets do not divide evenly over %d shards; a coded sharded deployment needs buckets %% shards == 0",
+				code.Buckets, s)
+		}
+		perShard := uint64(code.Buckets/s) * code.BucketRows
+		for i, shard := range d.Shards {
+			if shard.NumRecords != perShard {
+				return fmt.Errorf("impir: shard %d holds %d rows, want %d (%d buckets × %d rows; shard cuts must fall on bucket boundaries)",
+					i, shard.NumRecords, perShard, code.Buckets/s, code.BucketRows)
+			}
+		}
+	}
+	if d.Keyword != nil {
+		if d.Keyword.TotalBuckets() != code.NumRecords {
+			return fmt.Errorf("impir: keyword table has %d buckets but the batch code encodes %d logical records; the code must cover exactly the keyword table",
+				d.Keyword.TotalBuckets(), code.NumRecords)
+		}
+		if d.Keyword.RecordSize() != code.RecordSize {
+			return fmt.Errorf("impir: keyword record size %d does not match the batch code's %d",
+				d.Keyword.RecordSize(), code.RecordSize)
 		}
 	}
 	return nil

@@ -252,6 +252,50 @@
 // (public operator actions, like all updates). DialKVCluster runs the
 // identical probes through a ClusterClient for sharded keyword stores.
 //
+// # Multi-message batches
+//
+// Fusion amortises the scan across a batch, but every server still
+// evaluates B selectors per B-record RetrieveBatch, and every cohort
+// of a sharded deployment still receives B sub-queries. The
+// probabilistic batch code removes that linear factor: each logical
+// record is hashed (public seeds, like the keyword table) into r of C
+// candidate buckets, the servers load the coded database — C bucket
+// subdatabases plus a few overflow slots, concatenated —
+//
+//	logical record i ── h_1(i), …, h_r(i) ──► r of the C buckets
+//	coded DB = bucket_0 ‖ bucket_1 ‖ … ‖ bucket_{C-1} ‖ overflow
+//
+// and the client plans a batch as a matching of records onto distinct
+// buckets (two-choice hashing makes up to max_batch records match with
+// overwhelming probability). Every batch then costs a CONSTANT
+// C+overflow sub-queries — a real coded row where the matching placed
+// a record, a uniformly random row of the slot's bucket everywhere
+// else — so on a bucket-aligned sharded deployment each cohort
+// receives exactly C/shards+overflow sub-queries however large the
+// batch. A deployment opts in by carrying a batch_code section
+// (Deployment.WithBatchCode; derive the manifest with DeriveBatchCode
+// and load EncodeBatchCode's output on the servers), and Open wraps
+// the topology client in a CodedStore. Servers need no protocol
+// change: coded sub-queries are ordinary PIR queries over the coded
+// row space. Keyword lookups ride the same planner — a KVClient.Get
+// over a coded deployment issues its k+S probes as one coded batch.
+//
+// WithSideInfoCache adds a client-side LRU of retrieved records whose
+// hits are SPENT, not skipped: a slot whose record the cache already
+// holds still carries a uniform dummy query, so an all-hits batch is
+// byte-identical on the wire to an all-misses batch.
+//
+// Privacy argument: the coded query shape — slot count, order, and
+// each slot's index domain — is a function of the public manifest
+// alone, never of the batch's size, content, or cache state. Each
+// sub-query is an ordinary PIR query whose index no server learns;
+// dummies are uniform over the same domain as real rows; which slots
+// were real, dummy, or cache-satisfied exists only client-side. The
+// manifest (geometry and hash seeds) and the max_batch cap are public,
+// and the rare matching-overflow fallback re-exposes only the uncoded
+// B-query shape every deployment already has (counted in
+// StoreStats.CodeFallbacks).
+//
 // See the examples/ directory for runnable programs, including network
 // deployments over TCP, live updates under load, a sharded deployment
 // (examples/sharded), and directory-free keyword workloads

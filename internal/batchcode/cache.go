@@ -1,0 +1,102 @@
+package batchcode
+
+import (
+	"container/list"
+	"sync"
+)
+
+// SideInfoCache is an LRU over decoded records, keyed by logical index.
+// Hits are "side information" in the IPIR-SI sense: a record the client
+// already holds need not be fetched, so the planner drops it from the
+// real assignment and issues a dummy bucket query in its place — the
+// traffic shape is byte-identical with or without the hit, which is
+// what lets the cache exist without weakening privacy.
+type SideInfoCache struct {
+	mu      sync.Mutex
+	cap     int
+	order   *list.List // front = most recent; values are *cacheEntry
+	entries map[uint64]*list.Element
+}
+
+type cacheEntry struct {
+	index uint64
+	rec   []byte
+}
+
+// NewSideInfoCache builds a cache holding up to capacity records;
+// capacity < 1 returns nil (no cache).
+func NewSideInfoCache(capacity int) *SideInfoCache {
+	if capacity < 1 {
+		return nil
+	}
+	return &SideInfoCache{
+		cap:     capacity,
+		order:   list.New(),
+		entries: make(map[uint64]*list.Element, capacity),
+	}
+}
+
+// Get returns a copy of the cached record and refreshes its recency.
+func (c *SideInfoCache) Get(index uint64) ([]byte, bool) {
+	if c == nil {
+		return nil, false
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.entries[index]
+	if !ok {
+		return nil, false
+	}
+	c.order.MoveToFront(el)
+	rec := el.Value.(*cacheEntry).rec
+	out := make([]byte, len(rec))
+	copy(out, rec)
+	return out, true
+}
+
+// Put stores a copy of the record, evicting the least recently used
+// entry when full.
+func (c *SideInfoCache) Put(index uint64, rec []byte) {
+	if c == nil {
+		return
+	}
+	cp := make([]byte, len(rec))
+	copy(cp, rec)
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.entries[index]; ok {
+		el.Value.(*cacheEntry).rec = cp
+		c.order.MoveToFront(el)
+		return
+	}
+	for c.order.Len() >= c.cap {
+		back := c.order.Back()
+		c.order.Remove(back)
+		delete(c.entries, back.Value.(*cacheEntry).index)
+	}
+	c.entries[index] = c.order.PushFront(&cacheEntry{index: index, rec: cp})
+}
+
+// Invalidate drops an entry (the record was updated; stale side
+// information would decode wrong answers).
+func (c *SideInfoCache) Invalidate(index uint64) {
+	if c == nil {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.entries[index]; ok {
+		c.order.Remove(el)
+		delete(c.entries, index)
+	}
+}
+
+// Len returns the live entry count.
+func (c *SideInfoCache) Len() int {
+	if c == nil {
+		return 0
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.order.Len()
+}

@@ -1,0 +1,77 @@
+package batchcode
+
+import (
+	"reflect"
+	"testing"
+)
+
+// FuzzParseCodeManifest is the fixed-point fuzz of the code manifest
+// codec (the pirproto pattern): any accepted input must sit inside
+// every allocation cap — a client sizes its placement table and every
+// batch's query vector straight from these fields — and must survive a
+// JSON re-encode/re-parse round trip unchanged.
+func FuzzParseCodeManifest(f *testing.F) {
+	good, err := Manifest{
+		NumRecords: 1024, RecordSize: 32, Buckets: 8, Choices: 2,
+		BucketRows: 512, OverflowSlots: 1, MaxBatch: 32, Seeds: []uint64{1, 2},
+	}.JSON()
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(good)
+	f.Add([]byte(`{}`))
+	f.Add([]byte(`{"num_records":-1}`))
+	f.Add([]byte(`{"num_records":67108865,"record_size":1,"buckets":2,"choices":2,"bucket_rows":1,"max_batch":1,"seeds":[1,2]}`))
+	f.Add([]byte(`{"num_records":1,"record_size":1,"buckets":4096,"choices":2,"bucket_rows":4294967296,"max_batch":1,"seeds":[1,2]}`))
+	f.Add([]byte(`{"num_records":8,"record_size":8,"buckets":4,"choices":2,"bucket_rows":8,"overflow_slots":9,"max_batch":8,"seeds":[1,2]}`))
+	f.Add([]byte(`{"num_records":8,"record_size":8,"buckets":4,"choices":2,"bucket_rows":8,"max_batch":8,"seeds":[7,7]}`))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		m, err := Parse(data)
+		if err != nil {
+			return
+		}
+		// Accepted manifests sit inside every allocation cap.
+		if m.NumRecords < 1 || m.NumRecords > MaxRecords {
+			t.Fatalf("accepted manifest has %d records", m.NumRecords)
+		}
+		if m.RecordSize < 1 || m.RecordSize > MaxRecordSize {
+			t.Fatalf("accepted manifest has record size %d", m.RecordSize)
+		}
+		if m.Buckets < m.Choices || m.Buckets > MaxBuckets {
+			t.Fatalf("accepted manifest has %d buckets for %d choices", m.Buckets, m.Choices)
+		}
+		if m.Choices < MinChoices || m.Choices > MaxChoices || len(m.Seeds) != m.Choices {
+			t.Fatalf("accepted manifest has %d choices, %d seeds", m.Choices, len(m.Seeds))
+		}
+		if m.QueriesPerBatch() > MaxBuckets+MaxOverflowSlots || m.QueriesPerBatch() < m.Buckets {
+			t.Fatalf("accepted manifest issues %d queries per batch", m.QueriesPerBatch())
+		}
+		if m.TotalRows() < m.BucketRows || m.TotalRows() > uint64(MaxBuckets)*MaxBucketRows {
+			t.Fatalf("accepted manifest has %d coded rows", m.TotalRows())
+		}
+		// Candidates stay in range and distinct for a few indices.
+		for i := uint64(0); i < 4; i++ {
+			c := m.Candidates(i % m.NumRecords)
+			seen := map[int]bool{}
+			for _, b := range c {
+				if b < 0 || b >= m.Buckets || seen[b] {
+					t.Fatalf("candidates %v out of range or duplicated", c)
+				}
+				seen[b] = true
+			}
+		}
+		// And round-trip: JSON() must re-validate and Parse back equal.
+		out, err := m.JSON()
+		if err != nil {
+			t.Fatalf("accepted manifest fails re-encode: %v", err)
+		}
+		back, err := Parse(out)
+		if err != nil {
+			t.Fatalf("re-encoded manifest fails to parse: %v", err)
+		}
+		if !reflect.DeepEqual(m, back) {
+			t.Fatalf("round trip drift:\n%+v\n%+v", m, back)
+		}
+	})
+}

@@ -1,0 +1,89 @@
+package batchcode
+
+import (
+	"fmt"
+
+	"github.com/impir/impir/internal/database"
+)
+
+// Layout is a manifest's concrete bucket placement: for every logical
+// record and every choice, the coded row holding that copy. Both the
+// client (to plan queries) and the encoder (to build the coded
+// database) replay the same deterministic construction, so they agree
+// without communicating: records are visited in index order and each
+// copy takes the next free row of its candidate bucket.
+type Layout struct {
+	m Manifest
+	// rows[i*Choices+j] is the coded row of record i's j-th copy.
+	rows []uint64
+	// load[b] is bucket b's real (unpadded) row count.
+	load []uint64
+}
+
+// NewLayout replays the manifest's hashing into a placement table. It
+// fails if any bucket's load exceeds BucketRows — a manifest that was
+// not sized for its record count (Derive sizes it tightly).
+func NewLayout(m Manifest) (*Layout, error) {
+	if err := m.Validate(); err != nil {
+		return nil, err
+	}
+	l := &Layout{
+		m:    m,
+		rows: make([]uint64, m.NumRecords*uint64(m.Choices)),
+		load: make([]uint64, m.Buckets),
+	}
+	for i := uint64(0); i < m.NumRecords; i++ {
+		for j, b := range m.Candidates(i) {
+			if l.load[b] >= m.BucketRows {
+				return nil, fmt.Errorf("batchcode: bucket %d overflows its %d rows at record %d; the manifest's bucket_rows is too small for its record count",
+					b, m.BucketRows, i)
+			}
+			l.rows[i*uint64(m.Choices)+uint64(j)] = uint64(b)*m.BucketRows + l.load[b]
+			l.load[b]++
+		}
+	}
+	return l, nil
+}
+
+// Manifest returns the layout's code manifest.
+func (l *Layout) Manifest() Manifest { return l.m }
+
+// Row returns the coded row index of record i's copy for choice j.
+func (l *Layout) Row(i uint64, j int) uint64 {
+	return l.rows[i*uint64(l.m.Choices)+uint64(j)]
+}
+
+// Bucket returns the bucket holding record i's copy for choice j.
+func (l *Layout) Bucket(i uint64, j int) int {
+	return int(l.Row(i, j) / l.m.BucketRows)
+}
+
+// Encode builds the coded database: TotalRows physical rows with record
+// i copied into its r placement rows and padding rows zeroed. Servers
+// serve the coded database like any other — each bucket is an ordinary
+// contiguous row range, so no protocol or engine change is needed.
+func Encode(db *database.DB, m Manifest) (*database.DB, error) {
+	if uint64(db.NumRecords()) != m.NumRecords {
+		return nil, fmt.Errorf("batchcode: database has %d records, manifest declares %d", db.NumRecords(), m.NumRecords)
+	}
+	if db.RecordSize() != m.RecordSize {
+		return nil, fmt.Errorf("batchcode: database records are %d bytes, manifest declares %d", db.RecordSize(), m.RecordSize)
+	}
+	l, err := NewLayout(m)
+	if err != nil {
+		return nil, err
+	}
+	out, err := database.New(int(m.TotalRows()), m.RecordSize)
+	if err != nil {
+		return nil, err
+	}
+	for i := uint64(0); i < m.NumRecords; i++ {
+		rec := db.Record(int(i))
+		for j := 0; j < m.Choices; j++ {
+			if err := out.SetRecord(int(l.Row(i, j)), rec); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return out, nil
+}

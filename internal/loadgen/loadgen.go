@@ -100,6 +100,11 @@ func (c Config) withDefaults() (Config, error) {
 	if c.Workload == "" {
 		c.Workload = WorkloadIndex
 	}
+	if c.Workload == WorkloadBatch && c.Batch < 2 {
+		// The batch workload exists to exercise RetrieveBatch; the
+		// normalised size lands in the fingerprint, keeping runs honest.
+		c.Batch = defaultBatchSize
+	}
 	if c.Clients < 1 || c.Workers < 1 || c.Batch < 1 {
 		return c, fmt.Errorf("loadgen: clients/workers/batch must be positive")
 	}
@@ -339,6 +344,7 @@ func Run(ctx context.Context, t Target, cfg Config) (*Result, error) {
 	res.AchievedQPS = float64(res.Counts.OK) / elapsed.Seconds()
 	baseMu.Lock()
 	res.Store = metrics.DeltaStore(t.storeStats(), storeBase)
+	res.BatchCode = newBatchCodeReport(res.Store)
 	if cfg.ServerStats != nil {
 		res.Servers = newServerReport(cfg.ServerStats(), serverBase)
 	}

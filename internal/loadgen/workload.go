@@ -22,15 +22,24 @@ const (
 	WorkloadKeyword Workload = "keyword"
 	// WorkloadMixed alternates index and keyword operations per arrival.
 	WorkloadMixed Workload = "mixed"
+	// WorkloadBatch issues multi-record RetrieveBatch operations every
+	// arrival — the workload the batch-code layer exists for. The batch
+	// size defaults to defaultBatchSize when -batch leaves it below 2,
+	// so the workload always exercises the batched path.
+	WorkloadBatch Workload = "batch"
 )
+
+// defaultBatchSize is the batch the batch workload issues when the
+// configured batch size would degenerate to single retrievals.
+const defaultBatchSize = 8
 
 // ParseWorkload converts a -workload flag value.
 func ParseWorkload(s string) (Workload, error) {
 	switch Workload(s) {
-	case WorkloadIndex, WorkloadKeyword, WorkloadMixed:
+	case WorkloadIndex, WorkloadKeyword, WorkloadMixed, WorkloadBatch:
 		return Workload(s), nil
 	default:
-		return "", fmt.Errorf("loadgen: unknown workload %q (want index, keyword, or mixed)", s)
+		return "", fmt.Errorf("loadgen: unknown workload %q (want index, keyword, mixed, or batch)", s)
 	}
 }
 
@@ -145,6 +154,11 @@ func addStoreStats(dst *metrics.StoreStats, src metrics.StoreStats) {
 	dst.Retries += src.Retries
 	dst.Hedges += src.Hedges
 	dst.HedgeWins += src.HedgeWins
+	dst.CodedBatches += src.CodedBatches
+	dst.CodedQueries += src.CodedQueries
+	dst.CodedDummies += src.CodedDummies
+	dst.CodeFallbacks += src.CodeFallbacks
+	dst.SideInfoHits += src.SideInfoHits
 	for i, sh := range src.Shards {
 		if i >= len(dst.Shards) {
 			dst.Shards = append(dst.Shards, sh)
@@ -184,6 +198,9 @@ func newIssuer(t Target, w Workload, batch int, seed int64) (issuer, error) {
 	}
 	if batch < 1 {
 		batch = 1
+	}
+	if w == WorkloadBatch && batch < 2 {
+		batch = defaultBatchSize
 	}
 	numRecords := t.geometry().NumRecords()
 	if numRecords == 0 {
@@ -225,9 +242,22 @@ func newIssuer(t Target, w Workload, batch int, seed int64) (issuer, error) {
 		return err
 	}
 
+	batched := func(ctx context.Context, client int, seq uint64) error {
+		store := t.storeFor(client)
+		base := splitmix64(uint64(seed)<<32 ^ uint64(client)<<40 ^ seq ^ 0xba7c) // its own draw stream
+		indices := make([]uint64, batch)
+		for i := range indices {
+			indices[i] = splitmix64(base+uint64(i)) % numRecords
+		}
+		_, err := store.RetrieveBatch(ctx, indices)
+		return err
+	}
+
 	switch w {
 	case WorkloadIndex:
 		return index, nil
+	case WorkloadBatch:
+		return batched, nil
 	case WorkloadKeyword:
 		return keyword, nil
 	case WorkloadMixed:

@@ -321,6 +321,24 @@ type StoreStats struct {
 	// Shards holds the per-cohort counters, indexed by shard (a flat
 	// deployment is one cohort, so one entry).
 	Shards []ShardStats
+	// Coded-batch counters, maintained by the batch-code layer on coded
+	// deployments (zero elsewhere). Like the hedging counters these are
+	// client-side only: which of a coded batch's constant-shape slots
+	// were real, dummy, or spent from the cache is exactly what the wire
+	// hides.
+	//
+	// CodedBatches counts RetrieveBatch calls served through the batch
+	// code planner; CodedQueries the constant-shape sub-queries they
+	// issued (buckets + overflow slots per batch) and CodedDummies how
+	// many of those were dummies. CodeFallbacks counts batches that fell
+	// back to the uncoded path (over the declared cap, or a matching
+	// overflow). SideInfoHits counts records served from the client-side
+	// cache and spent as side information (their slots left dummy).
+	CodedBatches  uint64
+	CodedQueries  uint64
+	CodedDummies  uint64
+	CodeFallbacks uint64
+	SideInfoHits  uint64
 }
 
 // ClusterStats is the sharded-deployment name StoreStats grew out of.
@@ -348,6 +366,10 @@ func (c StoreStats) String() string {
 	}
 	if c.Hedges > 0 || c.HedgeWins > 0 {
 		fmt.Fprintf(&sb, " hedges=%d hedge-wins=%d", c.Hedges, c.HedgeWins)
+	}
+	if c.CodedBatches > 0 || c.CodeFallbacks > 0 {
+		fmt.Fprintf(&sb, " coded=%d coded-queries=%d dummies=%d fallbacks=%d side-info=%d",
+			c.CodedBatches, c.CodedQueries, c.CodedDummies, c.CodeFallbacks, c.SideInfoHits)
 	}
 	for i, s := range c.Shards {
 		fmt.Fprintf(&sb, " shard%d[q=%d bq=%d rows=%d err=%d avg=%v]",
@@ -443,6 +465,11 @@ func DeltaStore(cur, prev StoreStats) StoreStats {
 		Retries:         cur.Retries - prev.Retries,
 		Hedges:          cur.Hedges - prev.Hedges,
 		HedgeWins:       cur.HedgeWins - prev.HedgeWins,
+		CodedBatches:    cur.CodedBatches - prev.CodedBatches,
+		CodedQueries:    cur.CodedQueries - prev.CodedQueries,
+		CodedDummies:    cur.CodedDummies - prev.CodedDummies,
+		CodeFallbacks:   cur.CodeFallbacks - prev.CodeFallbacks,
+		SideInfoHits:    cur.SideInfoHits - prev.SideInfoHits,
 		Shards:          make([]ShardStats, len(cur.Shards)),
 	}
 	for i, s := range cur.Shards {

@@ -134,6 +134,11 @@ func newKVClient(store Store, m KVManifest) (*KVClient, error) {
 // Manifest returns the table manifest the client probes with.
 func (c *KVClient) Manifest() KVManifest { return c.m }
 
+// Store returns the underlying index store the client probes — useful
+// for inspecting topology-specific state (a *CodedStore's batch-code
+// counters, say) without reopening the deployment.
+func (c *KVClient) Store() Store { return c.store }
+
 // ProbesPerKey returns the constant bucket count retrieved per key —
 // the k candidates plus the stash tail.
 func (c *KVClient) ProbesPerKey() int { return c.m.ProbesPerKey() }

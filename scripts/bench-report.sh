@@ -132,6 +132,18 @@ run_benchmarks() {
         echo "--- Batch fusion (fused one-pass dpXOR vs per-query scans) ---"
         go run ./cmd/impir-bench -experiment batchfuse -verify-records 2048
     fi
+
+    # Multi-message batch code: measured per-server cost of a B-record
+    # RetrieveBatch on a coded deployment (constant buckets/shards +
+    # overflow sub-queries) vs the uncoded fan-out (B sub-queries per
+    # server), at equal per-server storage, plus the keyword Get
+    # before/after and a Derive→Encode→PlanBatch decode verification.
+    # The B=8 row must show the ≥2× per-server win.
+    if [[ "${PACKAGE}" == "./..." || "${PACKAGE}" == "." ]]; then
+        echo ""
+        echo "--- Batch code (coded vs uncoded multi-message batches) ---"
+        go run ./cmd/impir-bench -experiment batchcode -verify-records 2048
+    fi
 }
 
 # Machine-readable experiment reports: the model-layer experiments as

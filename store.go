@@ -61,12 +61,14 @@ var (
 //
 // A single-shard deployment opens as a *Client (geometry learned from —
 // and, when the manifest declares it, validated against — the server
-// handshake); a multi-shard deployment opens as a *ClusterClient.
-// Options configure the encoding, TLS, the interceptor chain, and the
-// default per-call policy; per-call options on each operation override
-// those defaults. Deployments whose manifest carries a keyword table
-// still open as an index store here — use OpenKV for the key→value
-// view.
+// handshake); a multi-shard deployment opens as a *ClusterClient; a
+// deployment declaring a batch_code section opens as a *CodedStore
+// wrapping either, routing RetrieveBatch through the multi-message
+// batch planner (and honouring WithSideInfoCache). Options configure
+// the encoding, TLS, the interceptor chain, and the default per-call
+// policy; per-call options on each operation override those defaults.
+// Deployments whose manifest carries a keyword table still open as an
+// index store here — use OpenKV for the key→value view.
 func Open(ctx context.Context, d Deployment, opts ...ClientOption) (Store, error) {
 	if err := d.Validate(); err != nil {
 		return nil, err
@@ -75,10 +77,27 @@ func Open(ctx context.Context, d Deployment, opts ...ClientOption) (Store, error
 	if cfg.encoding == nil {
 		return nil, errors.New("impir: nil encoding")
 	}
+	var (
+		inner Store
+		err   error
+	)
 	if d.NumShards() == 1 {
-		return openFlat(ctx, d.Shards[0], d.RecordSize, cfg)
+		inner, err = openFlat(ctx, d.Shards[0], d.RecordSize, cfg)
+	} else {
+		inner, err = openCluster(ctx, d, cfg)
 	}
-	return openCluster(ctx, d, cfg)
+	if err != nil {
+		return nil, err
+	}
+	if d.BatchCode == nil {
+		return inner, nil
+	}
+	coded, err := newCodedStore(inner, *d.BatchCode, cfg.sideInfo)
+	if err != nil {
+		inner.Close()
+		return nil, err
+	}
+	return coded, nil
 }
 
 // OpenKV opens a deployment whose manifest carries a keyword table and

@@ -1,0 +1,331 @@
+package impir
+
+import (
+	"context"
+	"fmt"
+	"sync"
+
+	"github.com/impir/impir/internal/batchcode"
+	"github.com/impir/impir/internal/metrics"
+)
+
+// CodedStore is the multi-message layer Open wraps around a deployment
+// that declares a batch_code section: the servers hold a probabilistic
+// batch-code encoding of the logical database (every record replicated
+// into r of C buckets; see internal/batchcode), and this store
+// translates logical indices into coded rows so a B-record
+// RetrieveBatch costs a CONSTANT C+overflow sub-queries — one per
+// bucket, real where the batch planner assigned a record, a well-formed
+// dummy everywhere else — instead of B full-domain queries.
+//
+// Privacy: the coded query vector's shape (slot count, order, and the
+// per-slot index domains) depends only on the public manifest, never on
+// the batch's size or content; each sub-query is an ordinary PIR query
+// whose index the servers cannot see. Which slots were real, which were
+// dummies, and which records came from the side-information cache exist
+// only client-side — the wire is byte-identical across all of them.
+//
+// On a sharded coded deployment (buckets aligned to shards; enforced by
+// Deployment.Validate) each cohort receives exactly buckets/shards +
+// overflow sub-queries per batch, which is where the per-server win
+// comes from. Batches beyond the declared MaxBatch cap — and the
+// vanishingly rare batches whose bucket matching overflows — fall back
+// to the uncoded path transparently (a public event: the cap is public,
+// and the fallback's B-query shape is the pre-code shape every
+// deployment already exposes).
+type CodedStore struct {
+	inner   Store
+	flat    *Client        // non-nil for single-shard deployments
+	cluster *ClusterClient // non-nil for sharded deployments
+	layout  *batchcode.Layout
+	cache   *batchcode.SideInfoCache
+
+	mu    sync.Mutex
+	coded metrics.StoreStats // only the Coded*/SideInfo fields are used
+}
+
+var _ Store = (*CodedStore)(nil)
+
+// newCodedStore wraps an opened topology client in the coded layer,
+// cross-checking the served geometry against the code manifest.
+func newCodedStore(inner Store, code CodeManifest, sideInfo int) (*CodedStore, error) {
+	if inner.NumRecords() < code.TotalRows() {
+		return nil, fmt.Errorf("impir: deployment serves %d rows but the batch code lays out %d; the servers are not holding the coded database",
+			inner.NumRecords(), code.TotalRows())
+	}
+	if inner.RecordSize() != code.RecordSize {
+		return nil, fmt.Errorf("impir: deployment serves %d-byte records but the batch code declares %d",
+			inner.RecordSize(), code.RecordSize)
+	}
+	layout, err := batchcode.NewLayout(code)
+	if err != nil {
+		return nil, err
+	}
+	s := &CodedStore{inner: inner, layout: layout, cache: batchcode.NewSideInfoCache(sideInfo)}
+	switch c := inner.(type) {
+	case *Client:
+		s.flat = c
+	case *ClusterClient:
+		s.cluster = c
+		if code.Buckets%len(c.shards) != 0 {
+			return nil, fmt.Errorf("impir: %d buckets over %d shards; coded routing needs bucket-aligned shards", code.Buckets, len(c.shards))
+		}
+	default:
+		return nil, fmt.Errorf("impir: batch code over unsupported store type %T", inner)
+	}
+	return s, nil
+}
+
+// Code returns the batch-code manifest the store plans against.
+func (s *CodedStore) Code() CodeManifest { return s.layout.Manifest() }
+
+// Inner returns the wrapped topology client (*Client or
+// *ClusterClient), for topology-specific accessors.
+func (s *CodedStore) Inner() Store { return s.inner }
+
+// NumRecords returns the LOGICAL record count — the index space the
+// application addresses. The physical coded row count is
+// Code().TotalRows().
+func (s *CodedStore) NumRecords() uint64 { return s.layout.Manifest().NumRecords }
+
+// RecordSize returns the record size in bytes.
+func (s *CodedStore) RecordSize() int { return s.layout.Manifest().RecordSize }
+
+// Retrieve privately fetches one logical record through its first coded
+// copy. A side-information cache hit still issues one well-formed query
+// — for a uniformly random coded row — so a single retrieval's wire
+// traffic is identical whether or not the record was cached.
+func (s *CodedStore) Retrieve(ctx context.Context, index uint64, opts ...CallOption) ([]byte, error) {
+	m := s.layout.Manifest()
+	if index >= m.NumRecords {
+		return nil, fmt.Errorf("impir: index %d outside logical database of %d records", index, m.NumRecords)
+	}
+	if rec, ok := s.cache.Get(index); ok {
+		dummy, err := batchcode.RandRow(m.TotalRows())
+		if err != nil {
+			return nil, err
+		}
+		if _, err := s.inner.Retrieve(ctx, dummy, opts...); err != nil {
+			return nil, err
+		}
+		s.bump(func(st *metrics.StoreStats) { st.SideInfoHits++ })
+		return rec, nil
+	}
+	rec, err := s.inner.Retrieve(ctx, s.layout.Row(index, 0), opts...)
+	if err == nil {
+		s.cache.Put(index, rec)
+	}
+	return rec, err
+}
+
+// RetrieveBatch privately fetches several logical records through one
+// coded batch: a constant Code().QueriesPerBatch() sub-queries whatever
+// the batch size, duplicates collapsed, cache hits spent as side
+// information. Batches over the declared cap — or whose matching
+// overflows — fall back to the uncoded translation (one query per
+// record), counted in Stats().CodeFallbacks.
+func (s *CodedStore) RetrieveBatch(ctx context.Context, indices []uint64, opts ...CallOption) ([][]byte, error) {
+	if len(indices) == 0 {
+		return [][]byte{}, nil
+	}
+	m := s.layout.Manifest()
+	for _, idx := range indices {
+		if idx >= m.NumRecords {
+			return nil, fmt.Errorf("impir: index %d outside logical database of %d records", idx, m.NumRecords)
+		}
+	}
+	// Pin cache hits now so eviction between planning and demux cannot
+	// lose a record the plan decided not to fetch.
+	have := make(map[uint64][]byte)
+	for _, idx := range indices {
+		if _, ok := have[idx]; ok {
+			continue
+		}
+		if rec, ok := s.cache.Get(idx); ok {
+			have[idx] = rec
+		}
+	}
+	plan, ok, err := s.layout.PlanBatch(indices, func(idx uint64) bool {
+		_, hit := have[idx]
+		return hit
+	})
+	if err != nil {
+		return nil, err
+	}
+	if !ok {
+		return s.retrieveBatchUncoded(ctx, indices, opts)
+	}
+
+	var recs [][]byte
+	if s.cluster != nil {
+		recs, err = s.clusterCodedBatch(ctx, plan, opts)
+	} else {
+		recs, err = s.flat.RetrieveBatch(ctx, plan.Indices, opts...)
+	}
+	if err != nil {
+		return nil, err
+	}
+	out := make([][]byte, len(indices))
+	for i, src := range plan.Sources {
+		switch src.Kind {
+		case batchcode.FromSlot:
+			out[i] = recs[src.Slot]
+			s.cache.Put(indices[i], out[i])
+		case batchcode.FromCache:
+			out[i] = have[indices[i]]
+		case batchcode.FromDup:
+			out[i] = append([]byte(nil), out[src.Dup]...)
+		}
+	}
+	s.bump(func(st *metrics.StoreStats) {
+		st.CodedBatches++
+		st.CodedQueries += uint64(len(plan.Indices))
+		st.CodedDummies += uint64(len(plan.Indices) - plan.Real)
+		st.SideInfoHits += uint64(plan.CacheHits)
+	})
+	return out, nil
+}
+
+// retrieveBatchUncoded is the fallback path: every logical record
+// fetched through its first coded copy, one sub-query per record — the
+// exact pre-code batch shape.
+func (s *CodedStore) retrieveBatchUncoded(ctx context.Context, indices []uint64, opts []CallOption) ([][]byte, error) {
+	rows := make([]uint64, len(indices))
+	for i, idx := range indices {
+		rows[i] = s.layout.Row(idx, 0)
+	}
+	recs, err := s.inner.RetrieveBatch(ctx, rows, opts...)
+	if err != nil {
+		return nil, err
+	}
+	for i, idx := range indices {
+		s.cache.Put(idx, recs[i])
+	}
+	s.bump(func(st *metrics.StoreStats) { st.CodeFallbacks++ })
+	return recs, nil
+}
+
+// clusterCodedBatch routes one coded plan over a sharded deployment:
+// each cohort receives exactly buckets/shards bucket sub-queries (its
+// own buckets, localised) plus every overflow slot (real local on the
+// owning shard, dummy elsewhere) — equal-length batches, constant
+// shape. The whole coded batch runs as ONE logical operation under the
+// cluster's policy engine, so interceptors and retries fire once.
+func (s *CodedStore) clusterCodedBatch(ctx context.Context, plan *batchcode.Plan, opts []CallOption) ([][]byte, error) {
+	cc := s.cluster
+	m := s.layout.Manifest()
+	nShards := len(cc.shards)
+	bps := m.Buckets / nShards
+
+	owners := make([]int, len(plan.Indices))
+	pos := make([]int, len(plan.Indices))
+	locals := make([][]uint64, nShards)
+	for sh := range locals {
+		locals[sh] = make([]uint64, bps+m.OverflowSlots)
+	}
+	for b := 0; b < m.Buckets; b++ {
+		sh, err := s.shardOf(plan.Indices[b])
+		if err != nil {
+			return nil, err
+		}
+		if want := b / bps; sh != want {
+			return nil, fmt.Errorf("impir: bucket %d row %d lands on shard %d, want %d; shard cuts are not bucket-aligned",
+				b, plan.Indices[b], sh, want)
+		}
+		owners[b], pos[b] = sh, b%bps
+		locals[sh][b%bps] = plan.Indices[b] - cc.plan.Shards[sh].FirstRecord
+	}
+	for t := 0; t < m.OverflowSlots; t++ {
+		slot := m.Buckets + t
+		owner, err := s.shardOf(plan.Indices[slot])
+		if err != nil {
+			return nil, err
+		}
+		owners[slot], pos[slot] = owner, bps+t
+		for sh := range locals {
+			if sh == owner {
+				locals[sh][bps+t] = plan.Indices[slot] - cc.plan.Shards[sh].FirstRecord
+				continue
+			}
+			dummy, err := batchcode.RandRow(cc.plan.Shards[sh].NumRecords)
+			if err != nil {
+				return nil, err
+			}
+			locals[sh][bps+t] = dummy
+		}
+	}
+
+	co := cc.policy.resolve(opts)
+	recs, err := cc.policy.doBatch(ctx, co, plan.Indices, func(ctx context.Context, _ []uint64) ([][]byte, error) {
+		perShard, err := cc.retrieveBatchShards(ctx, co, locals)
+		if err != nil {
+			return nil, err
+		}
+		out := make([][]byte, len(plan.Indices))
+		for k := range out {
+			out[k] = perShard[owners[k]][pos[k]]
+		}
+		return out, nil
+	})
+	cc.bump(func(st *metrics.StoreStats) {
+		if err == nil {
+			st.BatchRetrievals++
+		} else {
+			countFailure(st, err)
+		}
+	})
+	return recs, err
+}
+
+// shardOf locates the cohort serving a coded row.
+func (s *CodedStore) shardOf(row uint64) (int, error) {
+	sh, _, err := s.cluster.plan.Locate(row)
+	return sh, err
+}
+
+// Update pushes a bulk logical update through to EVERY coded copy of
+// each record (updates are public operator actions, so fanning a row to
+// its r bucket copies leaks nothing), and drops the records from the
+// side-information cache so later hits cannot serve stale bytes.
+func (s *CodedStore) Update(ctx context.Context, updates map[uint64][]byte, opts ...CallOption) error {
+	m := s.layout.Manifest()
+	coded := make(map[uint64][]byte, len(updates)*m.Choices)
+	for idx, rec := range updates {
+		if idx >= m.NumRecords {
+			return fmt.Errorf("impir: index %d outside logical database of %d records", idx, m.NumRecords)
+		}
+		for j := 0; j < m.Choices; j++ {
+			coded[s.layout.Row(idx, j)] = rec
+		}
+	}
+	if err := s.inner.Update(ctx, coded, opts...); err != nil {
+		return err
+	}
+	for idx := range updates {
+		s.cache.Invalidate(idx)
+	}
+	return nil
+}
+
+// Stats snapshots the client-side counters: the wrapped topology
+// client's counters plus the coded-batch layer's own.
+func (s *CodedStore) Stats() StoreStats {
+	st := s.inner.Stats()
+	s.mu.Lock()
+	st.CodedBatches += s.coded.CodedBatches
+	st.CodedQueries += s.coded.CodedQueries
+	st.CodedDummies += s.coded.CodedDummies
+	st.CodeFallbacks += s.coded.CodeFallbacks
+	st.SideInfoHits += s.coded.SideInfoHits
+	s.mu.Unlock()
+	return st
+}
+
+func (s *CodedStore) bump(f func(*metrics.StoreStats)) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	f(&s.coded)
+}
+
+// Close closes the wrapped topology client.
+func (s *CodedStore) Close() error { return s.inner.Close() }

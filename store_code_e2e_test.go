@@ -1,0 +1,465 @@
+package impir
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"io"
+	"net"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"github.com/impir/impir/internal/batchcode"
+)
+
+// codedTestDB builds a logical database with distinguishable records.
+func codedTestDB(t *testing.T, n, recordSize int) *DB {
+	t.Helper()
+	db, err := NewDatabase(n, recordSize)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < n; i++ {
+		rec := make([]byte, recordSize)
+		for j := range rec {
+			rec[j] = byte(i + 7*j)
+		}
+		rec[0], rec[1] = byte(i), byte(i>>8)
+		if err := db.SetRecord(i, rec); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return db
+}
+
+// startCodedFlat encodes db under code, serves the coded database from a
+// two-party flat deployment (wire updates allowed), and returns the
+// deployment manifest declaring the code.
+func startCodedFlat(t *testing.T, db *DB, code CodeManifest) Deployment {
+	t.Helper()
+	coded, err := batchcode.Encode(db, code)
+	if err != nil {
+		t.Fatal(err)
+	}
+	addrs := make([]string, 2)
+	for i := range addrs {
+		srv, err := NewServer(ServerConfig{Engine: EngineCPU, Threads: 2, AllowWireUpdates: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { srv.Close() })
+		if err := srv.Load(coded.Clone()); err != nil {
+			t.Fatal(err)
+		}
+		lis, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := srv.Serve(lis, uint8(i)); err != nil {
+			t.Fatal(err)
+		}
+		addrs[i] = srv.Addr().String()
+	}
+	return FlatDeployment(addrs...).WithBatchCode(code)
+}
+
+// TestCodedStoreFlatE2E is the tentpole's differential check over real
+// TCP: a coded deployment must decode byte-identically to the logical
+// database for every batch size, while issuing a CONSTANT number of
+// sub-queries per batch.
+func TestCodedStoreFlatE2E(t *testing.T) {
+	ctx := context.Background()
+	const n, recordSize = 300, 32
+	db := codedTestDB(t, n, recordSize)
+	code, err := batchcode.Derive(n, recordSize, 8, 2, 2, 16, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := startCodedFlat(t, db, code)
+
+	store := openFromJSON(t, ctx, d)
+	cs, ok := store.(*CodedStore)
+	if !ok {
+		t.Fatalf("Open returned %T, want *CodedStore", store)
+	}
+	if got := cs.NumRecords(); got != n {
+		t.Fatalf("NumRecords() = %d, want logical %d", got, n)
+	}
+
+	// Single retrieval rides the coded layout.
+	rec, err := store.Retrieve(ctx, 123)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(rec, db.Record(123)) {
+		t.Fatal("Retrieve decoded wrong bytes through the coded layout")
+	}
+
+	// Batches of every size (duplicates included) decode byte-identically
+	// and cost exactly QueriesPerBatch() sub-queries each.
+	want := uint64(code.QueriesPerBatch())
+	for _, indices := range [][]uint64{
+		{0},
+		{n - 1, 0, 17},
+		{5, 5, 5},
+		{1, 2, 3, 4, 5, 6, 7, 8},
+		{42, 17, 42, 299, 0, 13, 17, 100, 200, 250},
+	} {
+		before := store.Stats()
+		recs, err := store.RetrieveBatch(ctx, indices)
+		if err != nil {
+			t.Fatalf("RetrieveBatch(%v): %v", indices, err)
+		}
+		for i, idx := range indices {
+			if !bytes.Equal(recs[i], db.Record(int(idx))) {
+				t.Fatalf("batch %v position %d (index %d): wrong bytes", indices, i, idx)
+			}
+		}
+		delta := store.Stats().CodedQueries - before.CodedQueries
+		if delta != want {
+			t.Fatalf("batch of %d cost %d coded sub-queries, want constant %d", len(indices), delta, want)
+		}
+	}
+	st := store.Stats()
+	if st.CodedBatches != 5 || st.CodeFallbacks != 0 {
+		t.Fatalf("stats: coded=%d fallbacks=%d, want 5 coded, 0 fallbacks", st.CodedBatches, st.CodeFallbacks)
+	}
+}
+
+// TestCodedStoreShardedE2E routes a coded deployment over bucket-aligned
+// shards: each cohort must receive exactly buckets/shards + overflow
+// sub-queries per batch — the per-server win — and still decode
+// byte-identically.
+func TestCodedStoreShardedE2E(t *testing.T) {
+	ctx := context.Background()
+	const n, recordSize, shards = 400, 32, 2
+	db := codedTestDB(t, n, recordSize)
+	code, err := batchcode.Derive(n, recordSize, 4, 2, 1, 8, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	coded, err := batchcode.Encode(db, code)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, _ := startCluster(t, coded, shards)
+	d := DeploymentFromManifest(m).WithBatchCode(code)
+
+	store := openFromJSON(t, ctx, d)
+	if _, ok := store.(*CodedStore); !ok {
+		t.Fatalf("Open returned %T, want *CodedStore", store)
+	}
+
+	perShard := uint64(code.Buckets/shards + code.OverflowSlots)
+	for trial := 0; trial < 4; trial++ {
+		indices := []uint64{uint64(trial * 90), uint64(trial*90 + 31), uint64(trial*90 + 62), 7}
+		before := store.Stats()
+		recs, err := store.RetrieveBatch(ctx, indices)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, idx := range indices {
+			if !bytes.Equal(recs[i], db.Record(int(idx))) {
+				t.Fatalf("trial %d position %d (index %d): wrong bytes", trial, i, idx)
+			}
+		}
+		after := store.Stats()
+		for s := range after.Shards {
+			delta := after.Shards[s].BatchQueries - before.Shards[s].BatchQueries
+			if delta != perShard {
+				t.Fatalf("trial %d shard %d received %d sub-queries, want constant %d", trial, s, delta, perShard)
+			}
+		}
+	}
+}
+
+// countingProxy forwards TCP to backend, counting bytes both ways.
+type countingProxy struct {
+	addr     string
+	toServer atomic.Uint64
+	toClient atomic.Uint64
+}
+
+func startCountingProxy(t *testing.T, backend string) *countingProxy {
+	t.Helper()
+	lis, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { lis.Close() })
+	p := &countingProxy{addr: lis.Addr().String()}
+	go func() {
+		for {
+			conn, err := lis.Accept()
+			if err != nil {
+				return
+			}
+			up, err := net.Dial("tcp", backend)
+			if err != nil {
+				conn.Close()
+				continue
+			}
+			go func() {
+				io.Copy(countWriter{up, &p.toServer}, conn)
+				up.Close()
+			}()
+			go func() {
+				io.Copy(countWriter{conn, &p.toClient}, up)
+				conn.Close()
+			}()
+		}
+	}()
+	return p
+}
+
+type countWriter struct {
+	w io.Writer
+	n *atomic.Uint64
+}
+
+func (c countWriter) Write(b []byte) (int, error) {
+	n, err := c.w.Write(b)
+	c.n.Add(uint64(n))
+	return n, err
+}
+
+// TestCodedTrafficShapeSideInfo is the privacy acceptance check: a batch
+// whose every record is served from the side-information cache must put
+// the SAME number of bytes on the wire, in both directions, as the cold
+// batch that filled the cache. DPF keys are fixed-size for a fixed
+// domain, so equality is exact, not approximate.
+func TestCodedTrafficShapeSideInfo(t *testing.T) {
+	ctx := context.Background()
+	const n, recordSize = 256, 32
+	db := codedTestDB(t, n, recordSize)
+	code, err := batchcode.Derive(n, recordSize, 4, 2, 1, 8, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := startCodedFlat(t, db, code)
+
+	// Interpose the counting proxy on party 0.
+	proxy := startCountingProxy(t, d.Shards[0].Parties[0].Replicas[0])
+	d.Shards[0].Parties[0].Replicas[0] = proxy.addr
+
+	store := openFromJSON(t, ctx, d, WithSideInfoCache(32))
+
+	indices := []uint64{10, 77, 140, 203}
+	settle := func() (uint64, uint64) {
+		time.Sleep(20 * time.Millisecond)
+		return proxy.toServer.Load(), proxy.toClient.Load()
+	}
+
+	// Cold batch: all real, fills the cache.
+	if _, err := store.RetrieveBatch(ctx, indices); err != nil {
+		t.Fatal(err)
+	}
+	upCold0, downCold0 := settle()
+	if _, err := store.RetrieveBatch(ctx, []uint64{30, 99, 160, 220}); err != nil {
+		t.Fatal(err)
+	}
+	upCold1, downCold1 := settle()
+
+	// Hot batch: every record is a cache hit, spent as side information.
+	before := store.Stats()
+	recs, err := store.RetrieveBatch(ctx, indices)
+	if err != nil {
+		t.Fatal(err)
+	}
+	upHot, downHot := settle()
+	for i, idx := range indices {
+		if !bytes.Equal(recs[i], db.Record(int(idx))) {
+			t.Fatalf("cache-hit batch position %d (index %d): wrong bytes", i, idx)
+		}
+	}
+	delta := store.Stats()
+	if hits := delta.SideInfoHits - before.SideInfoHits; hits != uint64(len(indices)) {
+		t.Fatalf("side-info hits = %d, want %d", hits, len(indices))
+	}
+	if dummies := delta.CodedDummies - before.CodedDummies; dummies != uint64(code.QueriesPerBatch()) {
+		t.Fatalf("all-cached batch issued %d dummies, want every one of %d slots", dummies, code.QueriesPerBatch())
+	}
+
+	coldUp, coldDown := upCold1-upCold0, downCold1-downCold0
+	hotUp, hotDown := upHot-upCold1, downHot-downCold1
+	if hotUp != coldUp || hotDown != coldDown {
+		t.Fatalf("wire traffic differs between cache-miss and cache-hit batches: cold %d↑/%d↓ bytes, hot %d↑/%d↓ bytes",
+			coldUp, coldDown, hotUp, hotDown)
+	}
+	if coldUp == 0 || coldDown == 0 {
+		t.Fatal("proxy counted no traffic; test harness is broken")
+	}
+}
+
+// TestCodedKeywordE2E: the keyword layer rides the coded path — OpenKV
+// over a deployment declaring both a keyword table and a batch code
+// serves Get/GetBatch through the batch planner.
+func TestCodedKeywordE2E(t *testing.T) {
+	ctx := context.Background()
+	pairs := make([]KVPair, 40)
+	for i := range pairs {
+		pairs[i] = KVPair{
+			Key:   []byte(fmt.Sprintf("key-%03d", i)),
+			Value: []byte(fmt.Sprintf("value-%03d", i)),
+		}
+	}
+	db, kvm, err := BuildKVDB(pairs, KVTableOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	code, err := batchcode.Derive(uint64(db.NumRecords()), db.RecordSize(), 8, 2, 2, 64, 13)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := startCodedFlat(t, db, code).WithKeyword(kvm)
+	if err := d.Validate(); err != nil {
+		t.Fatal(err)
+	}
+
+	kv, err := OpenKV(ctx, d, WithSideInfoCache(64))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer kv.Close()
+	if _, ok := kv.Store().(*CodedStore); !ok {
+		t.Fatalf("keyword client probes a %T, want *CodedStore", kv.Store())
+	}
+
+	for i := 0; i < 10; i++ {
+		val, err := kv.Get(ctx, pairs[i].Key)
+		if err != nil {
+			t.Fatalf("Get(%q): %v", pairs[i].Key, err)
+		}
+		if !bytes.Equal(val, pairs[i].Value) {
+			t.Fatalf("Get(%q) = %q, want %q", pairs[i].Key, val, pairs[i].Value)
+		}
+	}
+	if _, err := kv.Get(ctx, []byte("key-999")); err != ErrNotFound {
+		t.Fatalf("absent key: err = %v, want ErrNotFound", err)
+	}
+	st := kv.Store().Stats()
+	if st.CodedBatches == 0 {
+		t.Fatal("keyword probes never rode the coded batch path")
+	}
+}
+
+// TestCodedStoreFallback: batches over the declared cap fall back to the
+// uncoded translation — still correct, counted, and shaped like the
+// pre-code deployment.
+func TestCodedStoreFallback(t *testing.T) {
+	ctx := context.Background()
+	const n, recordSize = 200, 32
+	db := codedTestDB(t, n, recordSize)
+	code, err := batchcode.Derive(n, recordSize, 4, 2, 1, 4, 17)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := startCodedFlat(t, db, code)
+	store := openFromJSON(t, ctx, d)
+
+	indices := []uint64{1, 30, 60, 90, 120, 150} // 6 > MaxBatch of 4
+	recs, err := store.RetrieveBatch(ctx, indices)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, idx := range indices {
+		if !bytes.Equal(recs[i], db.Record(int(idx))) {
+			t.Fatalf("fallback position %d (index %d): wrong bytes", i, idx)
+		}
+	}
+	st := store.Stats()
+	if st.CodeFallbacks != 1 || st.CodedBatches != 0 {
+		t.Fatalf("stats: fallbacks=%d coded=%d, want exactly one fallback and no coded batch", st.CodeFallbacks, st.CodedBatches)
+	}
+}
+
+// TestCodedStoreUpdate: a logical update must reach every coded copy and
+// invalidate the side-information cache, so no later read — coded batch,
+// single retrieval, or cache hit — can serve stale bytes.
+func TestCodedStoreUpdate(t *testing.T) {
+	ctx := context.Background()
+	const n, recordSize = 200, 32
+	db := codedTestDB(t, n, recordSize)
+	code, err := batchcode.Derive(n, recordSize, 4, 2, 1, 8, 23)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := startCodedFlat(t, db, code)
+	store := openFromJSON(t, ctx, d, WithSideInfoCache(16))
+
+	const idx = 55
+	if _, err := store.Retrieve(ctx, idx); err != nil { // warm the cache
+		t.Fatal(err)
+	}
+	fresh := bytes.Repeat([]byte{0xAB}, recordSize)
+	if err := store.Update(ctx, map[uint64][]byte{idx: fresh}); err != nil {
+		t.Fatal(err)
+	}
+
+	// Single retrieval must not serve the stale cached copy.
+	rec, err := store.Retrieve(ctx, idx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(rec, fresh) {
+		t.Fatal("Retrieve served stale bytes after Update; cache not invalidated")
+	}
+	// Every coded copy was updated: a batch may route the record through
+	// any of its r copies, so exercise the planner a few times.
+	for trial := 0; trial < 4; trial++ {
+		recs, err := store.RetrieveBatch(ctx, []uint64{idx, uint64(trial * 40)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(recs[0], fresh) {
+			t.Fatalf("trial %d: coded batch served a stale copy; Update missed a bucket replica", trial)
+		}
+	}
+}
+
+// TestDeploymentBatchCodeValidation: manifests that contradict their
+// batch code must be rejected at Validate time, before any dial.
+func TestDeploymentBatchCodeValidation(t *testing.T) {
+	code, err := batchcode.Derive(100, 32, 4, 2, 1, 8, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Record size contradiction.
+	d := FlatDeployment("a:1", "b:1").WithBatchCode(code)
+	d.RecordSize = 64
+	if err := d.Validate(); err == nil {
+		t.Fatal("record-size mismatch accepted")
+	}
+
+	// Declared row count that is not the coded row count.
+	m, err := UniformManifest(code.TotalRows()+5, 32, [][]string{{"a:1", "b:1"}, {"c:1", "d:1"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := DeploymentFromManifest(m).WithBatchCode(code).Validate(); err == nil {
+		t.Fatal("wrong coded row count accepted")
+	}
+
+	// Bucket-misaligned shard count: 4 buckets cannot route over 3 shards.
+	m3, err := UniformManifest(code.TotalRows(), 32, [][]string{{"a:1", "b:1"}, {"c:1", "d:1"}, {"e:1", "f:1"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := DeploymentFromManifest(m3).WithBatchCode(code).Validate(); err == nil {
+		t.Fatal("bucket-misaligned shards accepted")
+	}
+
+	// Keyword table whose bucket count the code does not cover.
+	pairs := []KVPair{{Key: []byte("k"), Value: []byte("v")}}
+	_, kvm, err := BuildKVDB(pairs, KVTableOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if kvm.TotalBuckets() != code.NumRecords {
+		if err := FlatDeployment("a:1", "b:1").WithKeyword(kvm).WithBatchCode(code).Validate(); err == nil {
+			t.Fatal("keyword/code bucket-count mismatch accepted")
+		}
+	}
+}
